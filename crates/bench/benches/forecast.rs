@@ -1,0 +1,41 @@
+//! Time-series substrate cost: SARIMA CSS fitting and forecasting on the
+//! two-month estimation window, plus ACF/decomposition primitives.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rrp_spotmarket::{SpotArchive, VmClass};
+use rrp_timeseries::acf::{acf, pacf};
+use rrp_timeseries::decompose::decompose;
+use rrp_timeseries::sarima::SarimaSpec;
+
+fn bench_forecast(c: &mut Criterion) {
+    let archive = SpotArchive::canonical(VmClass::C1Medium);
+    let est = archive.estimation_window();
+    let xs = est.values().to_vec();
+
+    let mut group = c.benchmark_group("forecast");
+    group.bench_function("acf30", |b| b.iter(|| acf(&xs, 30)));
+    group.bench_function("pacf30", |b| b.iter(|| pacf(&xs, 30)));
+    group.bench_function("decompose24", |b| b.iter(|| decompose(&xs, 24).seasonal[0]));
+
+    group.sample_size(10);
+    group.bench_function("fit_arma_2_1", |b| {
+        b.iter(|| {
+            SarimaSpec { p: 2, d: 0, q: 1, sp: 0, sd: 0, sq: 0, s: 24 }
+                .fit(&xs)
+                .aic
+        })
+    });
+    group.bench_function("fit_sarima_201_100", |b| {
+        b.iter(|| {
+            SarimaSpec { p: 2, d: 0, q: 1, sp: 1, sd: 0, sq: 0, s: 24 }
+                .fit(&xs)
+                .aic
+        })
+    });
+    let fit = SarimaSpec { p: 2, d: 0, q: 1, sp: 1, sd: 0, sq: 0, s: 24 }.fit(&xs);
+    group.bench_function("forecast24", |b| b.iter(|| fit.forecast(24)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_forecast);
+criterion_main!(benches);

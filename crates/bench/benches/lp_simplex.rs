@@ -1,0 +1,50 @@
+//! LP substrate scaling: dense reference engine vs sparse LU engine on
+//! transportation-style LPs of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rrp_lp::{Cmp, Model, Sense};
+
+/// Balanced transportation problem with `k` sources and `k` sinks.
+fn transportation(k: usize) -> Model {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(k as u64);
+    let mut m = Model::new(Sense::Minimize);
+    let mut vars = vec![vec![0usize; k]; k];
+    for (s, row) in vars.iter_mut().enumerate() {
+        for (t, v) in row.iter_mut().enumerate() {
+            *v = m.add_var(0.0, f64::INFINITY, rng.gen_range(1.0..10.0), &format!("x{s}_{t}"));
+        }
+    }
+    let supply: Vec<f64> = (0..k).map(|_| rng.gen_range(5.0..15.0)).collect();
+    let total: f64 = supply.iter().sum();
+    for s in 0..k {
+        let terms: Vec<_> = (0..k).map(|t| (vars[s][t], 1.0)).collect();
+        m.add_con(&terms, Cmp::Eq, supply[s]);
+    }
+    for t in 0..k {
+        let terms: Vec<_> = (0..k).map(|s| (vars[s][t], 1.0)).collect();
+        m.add_con(&terms, Cmp::Eq, total / k as f64);
+    }
+    m
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_simplex");
+    for k in [4usize, 8, 16] {
+        let m = transportation(k);
+        group.bench_with_input(BenchmarkId::new("sparse", k * k), &m, |b, m| {
+            b.iter(|| m.solve().unwrap().objective)
+        });
+        group.bench_with_input(BenchmarkId::new("dense", k * k), &m, |b, m| {
+            b.iter(|| m.solve_dense().unwrap().objective)
+        });
+    }
+    // sparse-only on a size where the dense engine is impractical
+    let big = transportation(32);
+    group.sample_size(10);
+    group.bench_function("sparse/1024", |b| b.iter(|| big.solve().unwrap().objective));
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Ablation: generic branch & bound vs the structure-exploiting
+//! Wagner–Whitin DP on uncapacitated DRRP instances of growing horizon —
+//! quantifying the value of the paper's "dynamic lot-sizing" observation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rrp_core::demand::DemandModel;
+use rrp_core::{wagner_whitin, CostSchedule, DrrpProblem, PlanningParams};
+use rrp_milp::MilpOptions;
+use rrp_spotmarket::CostRates;
+
+fn instance(horizon: usize) -> CostSchedule {
+    let demand = DemandModel::paper_default().sample(horizon, horizon as u64);
+    let compute: Vec<f64> =
+        (0..horizon).map(|t| 0.2 + 0.1 * ((t % 24) as f64 / 24.0)).collect();
+    CostSchedule::ec2(compute, demand, &CostRates::ec2_2011())
+}
+
+fn bench_lotsizing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("milp_lotsizing");
+    // B&B solves take ~1 s at 24 slots; keep sampling modest
+    group.sample_size(10);
+    for horizon in [12usize, 24] {
+        let s = instance(horizon);
+        let p = DrrpProblem::new(s.clone(), PlanningParams::default());
+        group.bench_with_input(BenchmarkId::new("bb_milp", horizon), &p, |b, p| {
+            b.iter(|| p.solve_milp(&MilpOptions::default()).unwrap().objective)
+        });
+        group.bench_with_input(BenchmarkId::new("wagner_whitin", horizon), &s, |b, s| {
+            b.iter(|| wagner_whitin::solve(s, &PlanningParams::default()).objective)
+        });
+    }
+    // WW-only long-horizon scaling (a week, a month)
+    for horizon in [168usize, 720] {
+        let s = instance(horizon);
+        group.bench_with_input(BenchmarkId::new("wagner_whitin", horizon), &s, |b, s| {
+            b.iter(|| wagner_whitin::solve(s, &PlanningParams::default()).objective)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lotsizing);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Ablation: sequential vs parallel branch & bound on knapsack-style
+//! binary programs whose trees are deep enough to amortise batching.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rrp_lp::{Cmp, Model, Sense};
+use rrp_milp::{solve_parallel, MilpOptions, MilpProblem};
+
+/// Correlated binary knapsack: profits ≈ weights makes the LP bound weak
+/// and forces real tree search.
+fn knapsack(n: usize, seed: u64) -> MilpProblem {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut m = Model::new(Sense::Maximize);
+    let mut weights = Vec::with_capacity(n);
+    let mut vars = Vec::with_capacity(n);
+    for i in 0..n {
+        let w: f64 = rng.gen_range(10.0..30.0);
+        let p = w + rng.gen_range(-1.0..1.0);
+        vars.push(m.add_var(0.0, 1.0, p, &format!("x{i}")));
+        weights.push(w);
+    }
+    let cap: f64 = weights.iter().sum::<f64>() * 0.5;
+    let terms: Vec<_> = vars.iter().zip(&weights).map(|(&v, &w)| (v, w)).collect();
+    m.add_con(&terms, Cmp::Le, cap);
+    MilpProblem::new(m, vars)
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_bb");
+    group.sample_size(10);
+    for n in [14usize, 18] {
+        let p = knapsack(n, 99);
+        let opts = MilpOptions { node_limit: 50_000, ..Default::default() };
+        group.bench_with_input(BenchmarkId::new("sequential", n), &p, |b, p| {
+            b.iter(|| p.solve(&opts).map(|s| s.objective).unwrap_or(0.0))
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", n), &p, |b, p| {
+            b.iter(|| solve_parallel(p, &opts).map(|s| s.objective).unwrap_or(0.0))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! SRRP deterministic-equivalent scaling with scenario-tree size, and the
+//! formulation ablation: facility-location reformulation vs the textbook
+//! big-M form of Eq. (13)–(19).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rrp_core::demand::DemandModel;
+use rrp_core::sampling::stage_distributions;
+use rrp_core::{CostSchedule, PlanningParams, ScenarioTree, SrrpProblem};
+use rrp_milp::MilpOptions;
+use rrp_spotmarket::{CostRates, EmpiricalDist, SpotArchive, VmClass};
+
+fn problem(horizon: usize) -> SrrpProblem {
+    let class = VmClass::C1Medium;
+    let archive = SpotArchive::canonical(class);
+    let history = archive.estimation_window();
+    let base = EmpiricalDist::from_history(history.values(), 3);
+    let bids = vec![base.mean(); horizon];
+    let dists = stage_distributions(&base, &bids, class.on_demand_price());
+    let tree = ScenarioTree::from_stage_distributions(&dists, 500_000);
+    let demand = DemandModel::paper_default().sample(horizon, 5);
+    let schedule = CostSchedule::ec2(vec![0.0; horizon], demand, &CostRates::ec2_2011());
+    SrrpProblem::new(schedule, PlanningParams::default(), tree)
+}
+
+fn bench_srrp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("srrp_tree");
+    group.sample_size(10);
+    for horizon in [3usize, 4, 5, 6] {
+        let p = problem(horizon);
+        let nodes = p.tree.len();
+        group.bench_with_input(BenchmarkId::new("fl", nodes), &p, |b, p| {
+            b.iter(|| {
+                p.solve_milp(&MilpOptions { node_limit: 100_000, ..Default::default() })
+                    .unwrap()
+                    .expected_cost
+            })
+        });
+        if horizon <= 4 {
+            group.bench_with_input(BenchmarkId::new("bigm", nodes), &p, |b, p| {
+                b.iter(|| {
+                    p.solve_milp_bigm(&MilpOptions {
+                        node_limit: 100_000,
+                        ..Default::default()
+                    })
+                    .unwrap()
+                    .expected_cost
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_srrp);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Ablation — bid-level sensitivity. The paper assumes truthful bids and
+//! studies bid *accuracy* (Fig. 12(b)); this experiment sweeps the bid
+//! *level* (quantiles of the price history) for both planning models,
+//! exposing the risk profile the bid controls: low bids lose auctions and
+//! fall back to on-demand, high bids always win but forfeit nothing — with
+//! uniform pricing, winners pay the spot price regardless of their bid.
+//!
+//! ```sh
+//! cargo run --release -p rrp-bench --bin ablation_bid_level
+//! ```
+
+use rayon::prelude::*;
+use rrp_bench::{header, EvalDay, DEMAND_SEED};
+use rrp_core::policy::Policy;
+use rrp_core::rolling::{simulate, MarketEnv, RollingConfig};
+use rrp_milp::MilpOptions;
+use rrp_spotmarket::{CostRates, VmClass};
+use rrp_timeseries::stats::quantile;
+
+fn main() {
+    header("Ablation — bid level (history quantile) vs realised cost (c1.medium)");
+    let class = VmClass::C1Medium;
+    let days = 8;
+    println!("{days} evaluation days; bid fixed at a quantile of the history\n");
+    println!(
+        "{:<8} {:>14} {:>8} {:>14} {:>8}",
+        "bid-q", "det cost $", "det oob", "sto cost $", "sto oob"
+    );
+    for q in [0.05, 0.25, 0.50, 0.75, 0.95, 1.0] {
+        let rows: Vec<(f64, usize, f64, usize)> = (0..days)
+            .into_par_iter()
+            .map(|day| {
+                let d = EvalDay::new(class, day, 0.4, DEMAND_SEED + day as u64);
+                let bid = quantile(&d.history, q);
+                let bids = vec![bid; d.realized.len()];
+                let env = MarketEnv {
+                    realized: &d.realized,
+                    history: &d.history,
+                    predictions: Some(&bids),
+                    on_demand: class.on_demand_price(),
+                    demand: &d.demand,
+                    rates: CostRates::ec2_2011(),
+                };
+                let det_cfg = RollingConfig { horizon: 24, ..Default::default() };
+                let sto_cfg = RollingConfig {
+                    horizon: 6,
+                    milp: MilpOptions { node_limit: 50_000, ..Default::default() },
+                    ..Default::default()
+                };
+                let det = simulate(Policy::DetPredict, &env, &det_cfg);
+                let sto = simulate(Policy::StoPredict, &env, &sto_cfg);
+                (det.cost.total(), det.out_of_bid_events, sto.cost.total(), sto.out_of_bid_events)
+            })
+            .collect();
+        let det: f64 = rows.iter().map(|r| r.0).sum();
+        let det_oob: usize = rows.iter().map(|r| r.1).sum();
+        let sto: f64 = rows.iter().map(|r| r.2).sum();
+        let sto_oob: usize = rows.iter().map(|r| r.3).sum();
+        println!("{:<8} {:>14.3} {:>8} {:>14.3} {:>8}", q, det, det_oob, sto, sto_oob);
+    }
+    println!();
+    println!("expected: cost falls as the bid rises (fewer λ fallbacks) and");
+    println!("flattens once the bid clears nearly every auction; the stochastic");
+    println!("model degrades more gracefully at low bids (it plans for the λ state).");
+}

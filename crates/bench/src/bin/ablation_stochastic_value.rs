@@ -1,0 +1,59 @@
+//! Ablation — EVPI and VSS of the SRRP instances the evaluation solves:
+//! how much of the clairvoyant saving the recourse model captures, per VM
+//! class and bid level. `WS ≤ SRRP* ≤ EEV` always; the VSS column is the
+//! model-level counterpart of Fig. 12(a)'s sto-vs-det gap.
+//!
+//! ```sh
+//! cargo run --release -p rrp-bench --bin ablation_stochastic_value
+//! ```
+
+use rrp_bench::header;
+use rrp_core::demand::DemandModel;
+use rrp_core::sampling::stage_distributions;
+use rrp_core::stochastics::stochastic_value;
+use rrp_core::{CostSchedule, PlanningParams, ScenarioTree, SrrpProblem};
+use rrp_milp::MilpOptions;
+use rrp_spotmarket::{CostRates, EmpiricalDist, SpotArchive, VmClass};
+
+fn main() {
+    header("Ablation — wait-and-see / SRRP* / EEV (6-hour horizon, bid = percentile)");
+    println!(
+        "{:<12} {:>6} {:>10} {:>10} {:>10} {:>9} {:>9}",
+        "class", "bid-q", "WS $", "SRRP* $", "EEV $", "EVPI", "VSS"
+    );
+    for class in VmClass::EVALUATION {
+        let archive = SpotArchive::canonical(class);
+        let history = archive.estimation_window();
+        let base = EmpiricalDist::from_history(history.values(), 3);
+        let demand = DemandModel::paper_default().sample(6, 2012);
+        for (label, bid) in [
+            ("p25", rrp_timeseries::stats::quantile(history.values(), 0.25)),
+            ("mean", base.mean()),
+            ("p90", rrp_timeseries::stats::quantile(history.values(), 0.90)),
+        ] {
+            let dists = stage_distributions(&base, &vec![bid; 6], class.on_demand_price());
+            let tree = ScenarioTree::from_stage_distributions(&dists, 500_000);
+            let schedule =
+                CostSchedule::ec2(vec![0.0; 6], demand.clone(), &CostRates::ec2_2011());
+            let srrp = SrrpProblem::new(schedule, PlanningParams::default(), tree);
+            let v = stochastic_value(
+                &srrp,
+                &MilpOptions { node_limit: 100_000, ..Default::default() },
+            )
+            .expect("solvable");
+            println!(
+                "{:<12} {:>6} {:>10.4} {:>10.4} {:>10.4} {:>8.4} {:>8.4}",
+                class.name(),
+                label,
+                v.wait_and_see,
+                v.srrp,
+                v.eev,
+                v.evpi,
+                v.vss
+            );
+        }
+    }
+    println!();
+    println!("low bids put more mass on the out-of-bid state → larger EVPI/VSS;");
+    println!("high bids make the spot effectively deterministic → both shrink.");
+}

@@ -1,0 +1,38 @@
+//! Figure 3 — box-and-whisker diagram of spot-price data sets for the four
+//! linux VM classes; outliers are points beyond 1.5·IQR whiskers. The paper
+//! observes more outliers for more powerful classes, yet always < 3 %.
+//!
+//! ```sh
+//! cargo run --release -p rrp-bench --bin fig03_boxwhisker
+//! ```
+
+use rrp_bench::header;
+use rrp_spotmarket::{SpotArchive, VmClass};
+use rrp_timeseries::outlier::BoxWhisker;
+
+fn main() {
+    header("Fig. 3 — box-and-whisker of spot prices per VM class (synthetic archive)");
+    println!(
+        "{:<12} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9} {:>9}",
+        "class", "whisk-lo", "q1", "median", "q3", "whisk-hi", "#outlier", "outlier%"
+    );
+    for class in VmClass::ALL {
+        let archive = SpotArchive::canonical(class);
+        let xs = archive.hourly.values();
+        let bw = BoxWhisker::build(xs);
+        println!(
+            "{:<12} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>9} {:>8.2}%",
+            class.name(),
+            bw.whisker_lo,
+            bw.q1,
+            bw.median,
+            bw.q3,
+            bw.whisker_hi,
+            bw.outliers.len(),
+            100.0 * bw.outlier_fraction(xs.len()),
+        );
+    }
+    println!();
+    println!("paper: outliers grow with class power but stay < 3% of the data;");
+    println!("       prices sit far below on-demand (log-scale 0.1-1.0 band).");
+}

@@ -1,0 +1,82 @@
+//! Figure 12(b) — impact of bid-price approximation precision on SRRP for
+//! c1.medium: bids artificially deviated ±2 % … ±10 % from the realised
+//! prices; the cost error relative to the actual-realisation baseline grows
+//! as the approximation degrades.
+//!
+//! ```sh
+//! cargo run --release -p rrp-bench --bin fig12b_precision
+//! ```
+
+use rrp_bench::{header, EvalDay, DEMAND_SEED};
+use rrp_core::policy::Policy;
+use rrp_core::rolling::{simulate, MarketEnv, RollingConfig};
+use rrp_core::sampling::deviated_bids;
+use rrp_milp::MilpOptions;
+use rrp_spotmarket::{CostRates, VmClass};
+use rrp_timeseries::metrics::mspe;
+use rrp_timeseries::sarima::SarimaSpec;
+
+fn run_with_bids(day: &EvalDay, class: VmClass, bids: &[f64]) -> f64 {
+    let env = MarketEnv {
+        realized: &day.realized,
+        history: &day.history,
+        predictions: Some(bids),
+        on_demand: class.on_demand_price(),
+        demand: &day.demand,
+        rates: CostRates::ec2_2011(),
+    };
+    let cfg = RollingConfig {
+        horizon: 6,
+        milp: MilpOptions { node_limit: 50_000, ..Default::default() },
+        ..Default::default()
+    };
+    simulate(Policy::StoPredict, &env, &cfg).cost.total()
+}
+
+fn main() {
+    header("Fig. 12(b) — SRRP cost error vs bid approximation precision (c1.medium)");
+    let class = VmClass::C1Medium;
+    let days = 5;
+
+    // baseline: bids equal to the actual price realisation
+    let mut baseline = 0.0;
+    let mut evals = Vec::new();
+    for day in 0..days {
+        let d = EvalDay::new(class, day, 0.4, DEMAND_SEED + day as u64);
+        baseline += run_with_bids(&d, class, &d.realized.clone());
+        evals.push(d);
+    }
+
+    println!("baseline (bids = actual realisation): ${baseline:.4} over {days} days\n");
+    println!("{:>10} {:>12} {:>12}", "deviation", "MSPE", "error %");
+    for pct in [-10.0, -8.0, -6.0, -4.0, -2.0, 2.0, 4.0, 6.0, 8.0, 10.0] {
+        let mut cost = 0.0;
+        let mut dev_mspe = 0.0;
+        for d in &evals {
+            let bids = deviated_bids(&d.realized, pct);
+            dev_mspe += mspe(&d.realized, &bids);
+            cost += run_with_bids(d, class, &bids);
+        }
+        let err = (cost / baseline - 1.0) * 100.0;
+        println!("{:>9}% {:>12.3e} {:>11.2}%", pct, dev_mspe / days as f64, err);
+    }
+
+    // where does the SARIMA prediction sit on this scale?
+    let mut sarima_mspe = 0.0;
+    let mut sarima_cost = 0.0;
+    for d in &evals {
+        let fit =
+            SarimaSpec { p: 2, d: 0, q: 1, sp: 1, sd: 0, sq: 0, s: 24 }.fit(&d.history);
+        let predictions = fit.forecast(d.realized.len());
+        sarima_mspe += mspe(&d.realized, &predictions);
+        sarima_cost += run_with_bids(d, class, &predictions);
+    }
+    println!(
+        "\nSARIMA prediction: MSPE {:.3e}, cost error {:+.2}% of baseline",
+        sarima_mspe / days as f64,
+        (sarima_cost / baseline - 1.0) * 100.0
+    );
+    println!("paper: errors increase as the approximation degrades; the best-");
+    println!("       prediction MSPE falls between the ±2% and ±4% bands, and the");
+    println!("       induced cost error is 'generally acceptable'.");
+}

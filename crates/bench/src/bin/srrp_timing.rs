@@ -1,0 +1,44 @@
+//! Developer utility: timing of SRRP solves at growing horizons through the
+//! facility-location path (`solve_milp`) vs the big-M path.
+use rrp_core::sampling::stage_distributions;
+use rrp_core::*;
+use rrp_milp::MilpOptions;
+use rrp_spotmarket::*;
+
+fn main() {
+    let class = VmClass::C1Medium;
+    let archive = SpotArchive::canonical(class);
+    let history = archive.estimation_window();
+    let base = EmpiricalDist::from_history(history.values(), 3);
+    let bid = base.mean();
+    for horizon in [3usize, 4, 6, 8] {
+        let dists = stage_distributions(&base, &vec![bid; horizon], class.on_demand_price());
+        let tree = ScenarioTree::from_stage_distributions(&dists, 500_000);
+        let demand = rrp_core::demand::DemandModel::paper_default().sample(horizon, 3);
+        let schedule = CostSchedule::ec2(vec![0.0; horizon], demand, &CostRates::ec2_2011());
+        let srrp = SrrpProblem::new(schedule, PlanningParams::default(), tree.clone());
+        let t0 = std::time::Instant::now();
+        let plan = srrp
+            .solve_milp(&MilpOptions { node_limit: 50_000, ..Default::default() })
+            .unwrap();
+        println!(
+            "FL   H={horizon} treenodes={} cost={:.4} gap={:.2e} time={:?}",
+            tree.len(),
+            plan.expected_cost,
+            plan.gap,
+            t0.elapsed()
+        );
+        if horizon <= 4 {
+            let t1 = std::time::Instant::now();
+            let p2 = srrp
+                .solve_milp_bigm(&MilpOptions { node_limit: 50_000, ..Default::default() })
+                .unwrap();
+            println!(
+                "bigM H={horizon} cost={:.4} gap={:.2e} time={:?}",
+                p2.expected_cost,
+                p2.gap,
+                t1.elapsed()
+            );
+        }
+    }
+}

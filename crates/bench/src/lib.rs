@@ -1,0 +1,66 @@
+//! Shared helpers for the per-figure experiment binaries and Criterion
+//! benches. Each binary in `src/bin/` regenerates one figure of the paper;
+//! see DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
+//! paper-vs-measured outcomes.
+
+use rrp_core::demand::DemandModel;
+use rrp_spotmarket::{SpotArchive, VmClass};
+
+/// Deterministic per-figure seeds so every run of a binary prints the same
+/// numbers. The seed is printed by each binary for reproducibility.
+pub const DEMAND_SEED: u64 = 20120521; // IPDPS'12 conference date
+
+/// One simulated evaluation day: price history (the paper's two-month
+/// estimation window shifted by `day_offset`), the realised next 24 hours,
+/// and a demand draw.
+pub struct EvalDay {
+    pub history: Vec<f64>,
+    pub realized: Vec<f64>,
+    pub demand: Vec<f64>,
+}
+
+impl EvalDay {
+    pub fn new(class: VmClass, day_offset: usize, demand_mean: f64, seed: u64) -> Self {
+        let archive = SpotArchive::canonical(class);
+        let start = rrp_spotmarket::archive::ESTIMATION_START_DAY + day_offset;
+        let end = rrp_spotmarket::archive::ESTIMATION_END_DAY + day_offset;
+        assert!(end + 1 <= rrp_spotmarket::archive::ARCHIVE_DAYS);
+        let history = archive.hourly_window(start, end).into_values();
+        let realized = archive.hourly_window(end, end + 1).into_values();
+        let demand = DemandModel::with_mean(demand_mean).sample(realized.len(), seed);
+        Self { history, realized, demand }
+    }
+}
+
+/// Render a crude ASCII bar for terminal "plots".
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    let n = if max > 0.0 { ((value / max) * width as f64).round() as usize } else { 0 };
+    "#".repeat(n.min(width))
+}
+
+/// Format a separator header for experiment output.
+pub fn header(title: &str) {
+    println!("{}", "=".repeat(72));
+    println!("{title}");
+    println!("{}", "=".repeat(72));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_day_shapes() {
+        let d = EvalDay::new(VmClass::C1Medium, 0, 0.4, 1);
+        assert_eq!(d.history.len(), 62 * 24);
+        assert_eq!(d.realized.len(), 24);
+        assert_eq!(d.demand.len(), 24);
+    }
+
+    #[test]
+    fn bars_scale() {
+        assert_eq!(bar(5.0, 10.0, 10), "#####");
+        assert_eq!(bar(0.0, 10.0, 10), "");
+        assert_eq!(bar(20.0, 10.0, 10).len(), 10);
+    }
+}

@@ -1,0 +1,86 @@
+//! Cost accounting: the decomposition shown in the paper's Fig. 10.
+
+/// Cost of a plan or an executed run, split the way Fig. 10 reports it.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CostBreakdown {
+    /// Instance rental (`Σ Cp·χ`), at realised prices when executed.
+    pub compute: f64,
+    /// Storage + I/O on inventoried data (`Σ (Cs+Cio)·β`).
+    pub inventory: f64,
+    /// Network transfer-in of input data (`Σ C_f⁺·Φ·α`).
+    pub transfer_in: f64,
+    /// Network transfer-out of served demand (`Σ C_f⁻·D`).
+    pub transfer_out: f64,
+}
+
+impl CostBreakdown {
+    pub fn total(&self) -> f64 {
+        self.compute + self.inventory + self.transfer_in + self.transfer_out
+    }
+
+    /// Combined transfer component (the paper's Fig. 10 groups in+out).
+    pub fn transfer(&self) -> f64 {
+        self.transfer_in + self.transfer_out
+    }
+
+    /// Percentage shares `(compute, inventory, transfer)` of the total.
+    pub fn shares(&self) -> (f64, f64, f64) {
+        let t = self.total();
+        if t <= 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        (
+            self.compute / t * 100.0,
+            self.inventory / t * 100.0,
+            self.transfer() / t * 100.0,
+        )
+    }
+
+    pub fn add(&mut self, other: &CostBreakdown) {
+        self.compute += other.compute;
+        self.inventory += other.inventory;
+        self.transfer_in += other.transfer_in;
+        self.transfer_out += other.transfer_out;
+    }
+}
+
+/// Overpay percentage of `cost` relative to an `ideal` baseline
+/// (paper Fig. 12(a)).
+pub fn overpay_pct(cost: f64, ideal: f64) -> f64 {
+    assert!(ideal > 0.0, "ideal cost must be positive");
+    (cost / ideal - 1.0) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_shares() {
+        let b = CostBreakdown { compute: 6.0, inventory: 2.0, transfer_in: 1.0, transfer_out: 1.0 };
+        assert_eq!(b.total(), 10.0);
+        let (c, i, t) = b.shares();
+        assert!((c - 60.0).abs() < 1e-12);
+        assert!((i - 20.0).abs() < 1e-12);
+        assert!((t - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let mut a = CostBreakdown { compute: 1.0, ..Default::default() };
+        a.add(&CostBreakdown { compute: 2.0, inventory: 3.0, ..Default::default() });
+        assert_eq!(a.compute, 3.0);
+        assert_eq!(a.inventory, 3.0);
+    }
+
+    #[test]
+    fn overpay() {
+        assert!((overpay_pct(15.0, 10.0) - 50.0).abs() < 1e-12);
+        assert!(overpay_pct(10.0, 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_total_shares() {
+        assert_eq!(CostBreakdown::default().shares(), (0.0, 0.0, 0.0));
+    }
+}

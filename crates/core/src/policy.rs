@@ -1,0 +1,90 @@
+//! Planning policies — the line-up evaluated in the paper's Fig. 10 and
+//! Fig. 12(a).
+
+/// How the planner prices future slots and bids in the spot market.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// No planning: rent an instance every slot with demand, generate
+    /// exactly that slot's demand, keep no inventory. Priced at the
+    /// on-demand rate (the paper's Fig. 10 "No-Plan" baseline).
+    NoPlan,
+    /// DRRP planning in the on-demand market (fixed on-demand compute
+    /// price, no bidding) — Fig. 12(a)'s "on-demand" series.
+    OnDemandPlanned,
+    /// DRRP with day-ahead predicted spot prices as both the cost
+    /// parameters and the bids — "det-predict".
+    DetPredict,
+    /// SRRP with predicted prices as bids, distributions from Eq. (10) —
+    /// "sto-predict".
+    StoPredict,
+    /// DRRP with the historical expected mean price as cost and bid —
+    /// "det-exp-mean".
+    DetExpMean,
+    /// SRRP with the historical mean as bid — "sto-exp-mean".
+    StoExpMean,
+    /// Perfect foresight: DRRP on the realised prices, bidding the realised
+    /// price (always wins, always pays spot). The paper's "ideal case".
+    Oracle,
+}
+
+impl Policy {
+    /// All policies compared in Fig. 12(a), in the paper's legend order.
+    pub const FIG12A: [Policy; 5] = [
+        Policy::OnDemandPlanned,
+        Policy::DetPredict,
+        Policy::StoPredict,
+        Policy::DetExpMean,
+        Policy::StoExpMean,
+    ];
+
+    /// Whether the policy plans with the stochastic (SRRP) model.
+    pub fn is_stochastic(self) -> bool {
+        matches!(self, Policy::StoPredict | Policy::StoExpMean)
+    }
+
+    /// Whether the policy participates in the spot market (bids) at all.
+    pub fn uses_spot(self) -> bool {
+        !matches!(self, Policy::NoPlan | Policy::OnDemandPlanned)
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Policy::NoPlan => "no-plan",
+            Policy::OnDemandPlanned => "on-demand",
+            Policy::DetPredict => "det-predict",
+            Policy::StoPredict => "sto-predict",
+            Policy::DetExpMean => "det-exp-mean",
+            Policy::StoExpMean => "sto-exp-mean",
+            Policy::Oracle => "oracle",
+        }
+    }
+}
+
+impl std::fmt::Display for Policy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert!(Policy::StoPredict.is_stochastic());
+        assert!(!Policy::DetPredict.is_stochastic());
+        assert!(Policy::DetPredict.uses_spot());
+        assert!(!Policy::OnDemandPlanned.uses_spot());
+        assert!(Policy::Oracle.uses_spot());
+    }
+
+    #[test]
+    fn fig12a_lineup_matches_paper_legend() {
+        let names: Vec<&str> = Policy::FIG12A.iter().map(|p| p.name()).collect();
+        assert_eq!(
+            names,
+            vec!["on-demand", "det-predict", "sto-predict", "det-exp-mean", "sto-exp-mean"]
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! Multi-class, multi-instance planning — the paper's §III-B setting: an
+//! ASP rents `n` instances of each class, each serving `1/n` of that
+//! class's total demand, so "the overall resource cost is calculated as n
+//! times the rental cost associated with a single compute instance" and
+//! planning runs on a per-instance basis.
+
+use rrp_spotmarket::VmClass;
+
+use crate::eval::CostBreakdown;
+use crate::policy::Policy;
+use crate::rolling::{simulate, MarketEnv, RollingConfig, RunResult};
+
+/// One class's position in the portfolio.
+#[derive(Debug, Clone, Copy)]
+pub struct Position {
+    pub class: VmClass,
+    /// Number of identical instances (`n` in the paper).
+    pub instances: usize,
+    /// Total demand per slot for this class (GB); each instance serves
+    /// `total_demand / instances`.
+    pub total_demand_gb: f64,
+}
+
+/// A portfolio evaluation: per-class per-instance results scaled by `n`.
+#[derive(Debug, Clone)]
+pub struct PortfolioResult {
+    pub per_class: Vec<(VmClass, RunResult)>,
+    pub total: CostBreakdown,
+}
+
+/// Evaluate one policy across every position. `envs` supplies the market
+/// per class (realised prices and history differ per class); the demand in
+/// each env must already be the *per-instance* share.
+pub fn evaluate<'a>(
+    policy: Policy,
+    positions: &[Position],
+    envs: &[MarketEnv<'a>],
+    cfg: &RollingConfig,
+) -> PortfolioResult {
+    assert_eq!(positions.len(), envs.len());
+    let mut per_class = Vec::with_capacity(positions.len());
+    let mut total = CostBreakdown::default();
+    for (pos, env) in positions.iter().zip(envs) {
+        let r = simulate(policy, env, cfg);
+        let scaled = CostBreakdown {
+            compute: r.cost.compute * pos.instances as f64,
+            inventory: r.cost.inventory * pos.instances as f64,
+            transfer_in: r.cost.transfer_in * pos.instances as f64,
+            transfer_out: r.cost.transfer_out * pos.instances as f64,
+        };
+        total.add(&scaled);
+        per_class.push((pos.class, r));
+    }
+    PortfolioResult { per_class, total }
+}
+
+/// Split a class's total demand into the per-instance share.
+pub fn per_instance_demand(total: &[f64], instances: usize) -> Vec<f64> {
+    assert!(instances >= 1);
+    total.iter().map(|d| d / instances as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrp_spotmarket::CostRates;
+
+    #[test]
+    fn per_instance_demand_splits_evenly() {
+        let d = per_instance_demand(&[4.0, 2.0], 4);
+        assert_eq!(d, vec![1.0, 0.5]);
+    }
+
+    #[test]
+    fn portfolio_scales_linearly_in_n() {
+        let realized = vec![0.06; 6];
+        let history = vec![0.06; 50];
+        let total_demand = vec![1.2; 6];
+        let rates = CostRates::ec2_2011();
+        let build = |instances: usize, demand: &'_ Vec<f64>| -> f64 {
+            let env = MarketEnv {
+                realized: &realized,
+                history: &history,
+                predictions: None,
+                on_demand: VmClass::C1Medium.on_demand_price(),
+                demand,
+                rates,
+            };
+            let pos = Position {
+                class: VmClass::C1Medium,
+                instances,
+                total_demand_gb: 1.2,
+            };
+            evaluate(Policy::DetExpMean, &[pos], &[env], &RollingConfig::default())
+                .total
+                .total()
+        };
+        let d3 = per_instance_demand(&total_demand, 3);
+        let c3 = build(3, &d3);
+        let d1 = per_instance_demand(&total_demand, 1);
+        let c1_whole = build(1, &d1);
+        // three instances serving thirds pay 3 × the per-instance cost —
+        // more than one instance serving everything (3 rentals vs 1), which
+        // is exactly the paper's fixed-n assumption
+        assert!(c3 > c1_whole);
+        // and scaling is exact: same env with n=3 equals 3 × (n=1 on the
+        // per-instance share)
+        let env_share = MarketEnv {
+            realized: &realized,
+            history: &history,
+            predictions: None,
+            on_demand: VmClass::C1Medium.on_demand_price(),
+            demand: &d3,
+            rates,
+        };
+        let one = evaluate(
+            Policy::DetExpMean,
+            &[Position { class: VmClass::C1Medium, instances: 1, total_demand_gb: 0.4 }],
+            &[env_share.clone()],
+            &RollingConfig::default(),
+        )
+        .total
+        .total();
+        assert!((c3 - 3.0 * one).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_class_totals_add_up() {
+        let realized = vec![0.06; 4];
+        let history = vec![0.06; 50];
+        let d1 = vec![0.4; 4];
+        let d2 = vec![0.3; 4];
+        let rates = CostRates::ec2_2011();
+        fn mk_env<'a>(
+            realized: &'a [f64],
+            history: &'a [f64],
+            demand: &'a [f64],
+            od: f64,
+            rates: CostRates,
+        ) -> MarketEnv<'a> {
+            MarketEnv { realized, history, predictions: None, on_demand: od, demand, rates }
+        }
+        let positions = [
+            Position { class: VmClass::C1Medium, instances: 2, total_demand_gb: 0.8 },
+            Position { class: VmClass::M1Large, instances: 1, total_demand_gb: 0.3 },
+        ];
+        let envs = [
+            mk_env(&realized, &history, &d1, 0.2, rates),
+            mk_env(&realized, &history, &d2, 0.4, rates),
+        ];
+        let r = evaluate(Policy::OnDemandPlanned, &positions, &envs, &RollingConfig::default());
+        assert_eq!(r.per_class.len(), 2);
+        let sum: f64 = r
+            .per_class
+            .iter()
+            .zip(&positions)
+            .map(|((_, rr), p)| rr.cost.total() * p.instances as f64)
+            .sum();
+        assert!((r.total.total() - sum).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,553 @@
+//! Plan execution against realised spot prices.
+//!
+//! The paper's evaluation (§V) solves each decision model over its horizon
+//! — 24 h for DRRP, 6 h for SRRP — and executes that plan: DRRP commits to
+//! its rental schedule (an out-of-bid slot is forced onto on-demand
+//! capacity at λ), while SRRP's vertex-indexed recourse adapts *within*
+//! the horizon by walking the scenario tree along the realised price path.
+//! That asymmetry is exactly why SRRP hedges better (§V-C).
+//!
+//! [`ReplanMode::PerHorizon`] reproduces that protocol; [`ReplanMode::
+//! EverySlot`] is the §V-D "rolling horizon fashion" where a revised plan
+//! is issued each slot — a certainty-equivalent MPC that narrows the gap
+//! between the models (an ablation worth measuring, see the `replan`
+//! bench).
+
+use rrp_milp::MilpOptions;
+use rrp_spotmarket::{rental_outcome, EmpiricalDist};
+
+use crate::cost::{CostSchedule, PlanningParams};
+use crate::drrp::DrrpProblem;
+use crate::eval::CostBreakdown;
+use crate::policy::Policy;
+use crate::sampling::stage_distributions;
+use crate::scenario::ScenarioTree;
+use crate::srrp::{SrrpPlan, SrrpProblem};
+
+/// The market a simulation runs against.
+#[derive(Debug, Clone)]
+pub struct MarketEnv<'a> {
+    /// Realised hourly spot prices for the simulated span.
+    pub realized: &'a [f64],
+    /// Price history preceding the span (drives the base distribution and
+    /// the expected-mean bid).
+    pub history: &'a [f64],
+    /// Per-slot price predictions aligned with `realized` (used by the
+    /// *-predict policies; may be `None` for the others).
+    pub predictions: Option<&'a [f64]>,
+    /// On-demand fallback price λ.
+    pub on_demand: f64,
+    /// Demand per slot, aligned with `realized`.
+    pub demand: &'a [f64],
+    /// Per-GB billing rates.
+    pub rates: rrp_spotmarket::CostRates,
+}
+
+/// When plans are revised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplanMode {
+    /// Solve once per horizon window and execute the whole window — the
+    /// paper's §V evaluation protocol.
+    #[default]
+    PerHorizon,
+    /// Re-solve every slot, executing only the first decision — the §V-D
+    /// "rolling horizon fashion".
+    EverySlot,
+}
+
+/// Simulation knobs.
+#[derive(Debug, Clone)]
+pub struct RollingConfig {
+    /// Planning window length (24 for DRRP, 6 for SRRP in the paper).
+    pub horizon: usize,
+    /// Plan-revision protocol.
+    pub replan: ReplanMode,
+    /// Price states kept in the base distribution for SRRP trees.
+    pub max_states: usize,
+    /// Hard cap on scenario-tree size.
+    pub max_tree_nodes: usize,
+    /// MILP settings for SRRP solves.
+    pub milp: MilpOptions,
+}
+
+impl Default for RollingConfig {
+    fn default() -> Self {
+        Self {
+            horizon: 6,
+            replan: ReplanMode::PerHorizon,
+            max_states: 3,
+            max_tree_nodes: 500_000,
+            milp: MilpOptions { node_limit: 50_000, ..MilpOptions::default() },
+        }
+    }
+}
+
+/// One executed slot, for post-hoc analysis and plotting.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct SlotRecord {
+    pub slot: usize,
+    pub demand: f64,
+    pub realized_price: f64,
+    pub bid: f64,
+    pub rented: bool,
+    pub out_of_bid: bool,
+    /// Compute dollars paid this slot (0 when not rented).
+    pub paid: f64,
+    /// Data generated this slot (GB).
+    pub alpha: f64,
+    /// Inventory at end of slot (GB).
+    pub inventory: f64,
+}
+
+/// Result of a simulated run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Realised total cost decomposition.
+    pub cost: CostBreakdown,
+    /// Number of slots where the bid lost the auction.
+    pub out_of_bid_events: usize,
+    /// Number of slots where an instance was rented.
+    pub rental_slots: usize,
+    /// Final inventory (GB) at the end of the run.
+    pub final_inventory: f64,
+    /// Number of optimisation solves performed.
+    pub plans_solved: usize,
+    /// Per-slot execution trace.
+    pub trace: Vec<SlotRecord>,
+}
+
+/// Internal execution ledger.
+struct Ledger {
+    inv: f64,
+    cost: CostBreakdown,
+    out_of_bid: usize,
+    rentals: usize,
+    trace: Vec<SlotRecord>,
+}
+
+impl Ledger {
+    /// Execute one slot: decision `(alpha, chi)` with bid `bid` against the
+    /// realised price; bills everything and advances the inventory.
+    fn execute(
+        &mut self,
+        env: &MarketEnv<'_>,
+        policy: Policy,
+        t: usize,
+        alpha: f64,
+        chi: bool,
+        bid: f64,
+    ) {
+        let mut paid = 0.0;
+        let mut oob = false;
+        if chi {
+            self.rentals += 1;
+            paid = if policy.uses_spot() {
+                let o = rental_outcome(bid, env.realized[t], env.on_demand);
+                if o.out_of_bid {
+                    self.out_of_bid += 1;
+                    oob = true;
+                }
+                o.price_paid
+            } else {
+                env.on_demand
+            };
+            self.cost.compute += paid;
+        }
+        let alpha = alpha.max(0.0);
+        self.cost.transfer_in += env.rates.transfer_in_per_output_gb() * alpha;
+        self.inv += alpha;
+        assert!(
+            self.inv + 1e-6 >= env.demand[t],
+            "policy {policy} under-produced at slot {t}: inv {} < demand {}",
+            self.inv,
+            env.demand[t]
+        );
+        self.inv = (self.inv - env.demand[t]).max(0.0);
+        self.cost.inventory += env.rates.inventory_gb_slot() * self.inv;
+        self.cost.transfer_out += env.rates.transfer_out_gb * env.demand[t];
+        self.trace.push(SlotRecord {
+            slot: t,
+            demand: env.demand[t],
+            realized_price: env.realized[t],
+            bid,
+            rented: chi,
+            out_of_bid: oob,
+            paid,
+            alpha,
+            inventory: self.inv,
+        });
+    }
+}
+
+/// Simulate one policy over the environment.
+pub fn simulate(policy: Policy, env: &MarketEnv<'_>, cfg: &RollingConfig) -> RunResult {
+    let t_total = env.realized.len();
+    assert_eq!(env.demand.len(), t_total, "demand/realized length mismatch");
+    if let Some(p) = env.predictions {
+        assert_eq!(p.len(), t_total, "predictions/realized length mismatch");
+    }
+    assert!(cfg.horizon >= 1);
+
+    let base_dist = EmpiricalDist::from_history(env.history, cfg.max_states);
+    let hist_mean = base_dist.mean();
+
+    let mut ledger =
+        Ledger {
+            inv: 0.0,
+            cost: CostBreakdown::default(),
+            out_of_bid: 0,
+            rentals: 0,
+            trace: Vec::with_capacity(t_total),
+        };
+    let mut plans_solved = 0usize;
+
+    let mut t = 0usize;
+    while t < t_total {
+        let end = (t + cfg.horizon).min(t_total);
+        let window = t..end;
+        let demand_w: Vec<f64> = env.demand[window.clone()].to_vec();
+
+        // per-slot bid estimates over the window
+        let bids: Vec<f64> = match policy {
+            Policy::NoPlan | Policy::OnDemandPlanned => vec![env.on_demand; end - t],
+            Policy::DetPredict | Policy::StoPredict => {
+                let p = env.predictions.expect("predict policies need predictions");
+                p[window.clone()].to_vec()
+            }
+            Policy::DetExpMean | Policy::StoExpMean => vec![hist_mean; end - t],
+            Policy::Oracle => env.realized[window.clone()].to_vec(),
+        };
+
+        let params = PlanningParams { initial_inventory: ledger.inv, capacity: None };
+        // how many slots of this window we execute before replanning
+        let commit = match cfg.replan {
+            ReplanMode::PerHorizon => end - t,
+            ReplanMode::EverySlot => 1,
+        };
+
+        match policy {
+            Policy::NoPlan => {
+                for k in 0..commit {
+                    let need = (env.demand[t + k] - ledger.inv).max(0.0);
+                    ledger.execute(env, policy, t + k, need, env.demand[t + k] > 0.0, bids[k]);
+                }
+            }
+            Policy::StoPredict | Policy::StoExpMean => {
+                let dists = stage_distributions(&base_dist, &bids, env.on_demand);
+                let tree = ScenarioTree::from_stage_distributions(&dists, cfg.max_tree_nodes);
+                let schedule =
+                    CostSchedule::ec2(vec![0.0; end - t], demand_w.clone(), &env.rates);
+                let srrp = SrrpProblem::new(schedule, params, tree.clone());
+                plans_solved += 1;
+                match srrp.solve_milp(&cfg.milp) {
+                    Ok(plan) => {
+                        // walk the tree along the realised price path
+                        let mut v = 0usize;
+                        for k in 0..commit {
+                            let (alpha, chi, child) = descend(
+                                &tree,
+                                &plan,
+                                v,
+                                env.realized[t + k],
+                                bids[k],
+                            );
+                            ledger.execute(env, policy, t + k, alpha, chi, bids[k]);
+                            v = child;
+                        }
+                    }
+                    Err(_) => {
+                        for k in 0..commit {
+                            let (a, c) = fallback_step(env.demand[t + k], ledger.inv);
+                            ledger.execute(env, policy, t + k, a, c, bids[k]);
+                        }
+                    }
+                }
+            }
+            _ => {
+                // deterministic planners: DRRP (Wagner–Whitin fast path)
+                let compute: Vec<f64> = match policy {
+                    Policy::OnDemandPlanned => vec![env.on_demand; end - t],
+                    _ => bids.clone(),
+                };
+                let schedule = CostSchedule::ec2(compute, demand_w.clone(), &env.rates);
+                let drrp = DrrpProblem::new(schedule, params);
+                plans_solved += 1;
+                match drrp.solve() {
+                    Ok(plan) => {
+                        for k in 0..commit {
+                            ledger.execute(
+                                env,
+                                policy,
+                                t + k,
+                                plan.alpha[k],
+                                plan.chi[k],
+                                bids[k],
+                            );
+                        }
+                    }
+                    Err(_) => {
+                        for k in 0..commit {
+                            let (a, c) = fallback_step(env.demand[t + k], ledger.inv);
+                            ledger.execute(env, policy, t + k, a, c, bids[k]);
+                        }
+                    }
+                }
+            }
+        }
+        t += commit;
+    }
+
+    RunResult {
+        cost: ledger.cost,
+        out_of_bid_events: ledger.out_of_bid,
+        rental_slots: ledger.rentals,
+        final_inventory: ledger.inv,
+        plans_solved,
+        trace: ledger.trace,
+    }
+}
+
+/// Follow the recourse policy one step: among the children of `v`, pick the
+/// vertex matching the realised price (out-of-bid → the λ vertex, i.e. the
+/// highest price state) and return its decision.
+fn descend(
+    tree: &ScenarioTree,
+    plan: &SrrpPlan,
+    v: usize,
+    realized: f64,
+    bid: f64,
+) -> (f64, bool, usize) {
+    let children = tree.children(v);
+    assert!(!children.is_empty(), "descended past a leaf");
+    let chosen = if realized > bid {
+        *children
+            .iter()
+            .max_by(|&&a, &&b| tree.node(a).price.partial_cmp(&tree.node(b).price).unwrap())
+            .unwrap()
+    } else {
+        *children
+            .iter()
+            .min_by(|&&a, &&b| {
+                let da = (tree.node(a).price - realized).abs();
+                let db = (tree.node(b).price - realized).abs();
+                da.partial_cmp(&db).unwrap()
+            })
+            .unwrap()
+    };
+    (plan.alpha[chosen], plan.chi[chosen], chosen)
+}
+
+/// Emergency step when a planner fails: cover this slot's shortfall only.
+fn fallback_step(demand: f64, inv: f64) -> (f64, bool) {
+    let need = (demand - inv).max(0.0);
+    (need, need > 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrp_spotmarket::CostRates;
+
+    fn env<'a>(
+        realized: &'a [f64],
+        history: &'a [f64],
+        demand: &'a [f64],
+        predictions: Option<&'a [f64]>,
+    ) -> MarketEnv<'a> {
+        MarketEnv {
+            realized,
+            history,
+            predictions,
+            on_demand: 0.2,
+            demand,
+            rates: CostRates::ec2_2011(),
+        }
+    }
+
+    #[test]
+    fn noplan_rents_every_demand_slot() {
+        let realized = vec![0.06; 8];
+        let history = vec![0.05, 0.06, 0.07];
+        let demand = vec![0.4; 8];
+        let r = simulate(
+            Policy::NoPlan,
+            &env(&realized, &history, &demand, None),
+            &RollingConfig::default(),
+        );
+        assert_eq!(r.rental_slots, 8);
+        assert_eq!(r.out_of_bid_events, 0);
+        assert!((r.cost.compute - 8.0 * 0.2).abs() < 1e-9);
+        assert!(r.final_inventory.abs() < 1e-9);
+    }
+
+    #[test]
+    fn oracle_always_wins_and_pays_spot() {
+        let realized = vec![0.05, 0.09, 0.04, 0.07];
+        let history = vec![0.05; 10];
+        let demand = vec![0.4; 4];
+        let r = simulate(
+            Policy::Oracle,
+            &env(&realized, &history, &demand, None),
+            &RollingConfig::default(),
+        );
+        assert_eq!(r.out_of_bid_events, 0);
+        assert!(r.cost.compute <= 4.0 * 0.09 + 1e-9);
+    }
+
+    #[test]
+    fn planned_beats_noplan_on_cost() {
+        let realized = vec![0.06; 24];
+        let history = vec![0.06; 100];
+        let demand = vec![0.4; 24];
+        let e = env(&realized, &history, &demand, None);
+        for replan in [ReplanMode::PerHorizon, ReplanMode::EverySlot] {
+            let cfg = RollingConfig { horizon: 6, replan, ..Default::default() };
+            let noplan = simulate(Policy::NoPlan, &e, &cfg);
+            let planned = simulate(Policy::DetExpMean, &e, &cfg);
+            assert!(
+                planned.cost.total() <= noplan.cost.total() + 1e-9,
+                "{replan:?}: planned {} vs noplan {}",
+                planned.cost.total(),
+                noplan.cost.total()
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_bid_falls_back_to_on_demand() {
+        // history says cheap, reality is expensive: det-exp-mean bids low
+        // and loses every auction.
+        let realized = vec![0.19; 6];
+        let history = vec![0.05; 100];
+        let demand = vec![0.4; 6];
+        let e = env(&realized, &history, &demand, None);
+        let r = simulate(Policy::DetExpMean, &e, &RollingConfig::default());
+        assert!(r.out_of_bid_events > 0);
+        assert!(r.cost.compute >= r.rental_slots as f64 * 0.2 - 1e-9);
+    }
+
+    #[test]
+    fn stochastic_policy_walks_tree_and_meets_demand() {
+        let realized = vec![0.055, 0.065, 0.05, 0.07, 0.06, 0.058];
+        let history: Vec<f64> =
+            (0..200).map(|i| 0.05 + 0.02 * ((i % 5) as f64) / 4.0).collect();
+        let demand = vec![0.4; 6];
+        let e = env(&realized, &history, &demand, None);
+        let cfg = RollingConfig { horizon: 6, max_states: 3, ..Default::default() };
+        let r = simulate(Policy::StoExpMean, &e, &cfg);
+        assert!(r.cost.total() > 0.0);
+        assert_eq!(r.plans_solved, 1, "per-horizon mode plans once for 6 slots");
+        let r2 = simulate(
+            Policy::StoExpMean,
+            &e,
+            &RollingConfig { replan: ReplanMode::EverySlot, ..cfg },
+        );
+        assert_eq!(r2.plans_solved, 6, "every-slot mode replans each slot");
+    }
+
+    #[test]
+    fn per_horizon_det_commits_to_plan() {
+        // 12 slots, horizon 6 → exactly 2 DRRP solves in PerHorizon mode.
+        let realized = vec![0.06; 12];
+        let history = vec![0.06; 50];
+        let demand = vec![0.4; 12];
+        let e = env(&realized, &history, &demand, None);
+        let cfg = RollingConfig { horizon: 6, ..Default::default() };
+        let r = simulate(Policy::DetExpMean, &e, &cfg);
+        assert_eq!(r.plans_solved, 2);
+    }
+
+    #[test]
+    fn predictions_required_for_predict_policies() {
+        let realized = vec![0.06; 3];
+        let history = vec![0.06; 10];
+        let demand = vec![0.4; 3];
+        let preds = vec![0.06; 3];
+        let e = env(&realized, &history, &demand, Some(&preds));
+        let r = simulate(Policy::DetPredict, &e, &RollingConfig::default());
+        assert!(r.cost.total() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need predictions")]
+    fn predict_without_predictions_panics() {
+        let realized = vec![0.06; 3];
+        let history = vec![0.06; 10];
+        let demand = vec![0.4; 3];
+        let e = env(&realized, &history, &demand, None);
+        simulate(Policy::DetPredict, &e, &RollingConfig::default());
+    }
+
+    #[test]
+    fn replanning_matches_commitment_on_deterministic_market() {
+        // Principle of optimality: with flat prices (no uncertainty),
+        // re-solving every slot must reproduce the committed plan exactly.
+        // Regression test for the float-residue bug where a ~1e-16 leftover
+        // inventory forced a phantom rental setup in the re-solve.
+        use crate::demand::DemandModel;
+        let od = 0.2;
+        let flat = vec![od; 24];
+        for seed in [20120521u64, 42, 7] {
+            let demand = DemandModel::paper_default().sample(24, seed);
+            let e = env(&flat, &flat, &demand, None);
+            let a = simulate(
+                Policy::OnDemandPlanned,
+                &e,
+                &RollingConfig { horizon: 24, replan: ReplanMode::PerHorizon, ..Default::default() },
+            );
+            let b = simulate(
+                Policy::OnDemandPlanned,
+                &e,
+                &RollingConfig { horizon: 24, replan: ReplanMode::EverySlot, ..Default::default() },
+            );
+            assert!(
+                (a.cost.total() - b.cost.total()).abs() < 1e-9,
+                "seed {seed}: committed {} vs rolling {}",
+                a.cost.total(),
+                b.cost.total()
+            );
+        }
+    }
+
+    #[test]
+    fn trace_is_complete_and_consistent() {
+        let realized = vec![0.05, 0.08, 0.06, 0.07, 0.055, 0.065];
+        let history = vec![0.06; 100];
+        let demand = vec![0.4; 6];
+        let e = env(&realized, &history, &demand, None);
+        let r = simulate(Policy::DetExpMean, &e, &RollingConfig::default());
+        assert_eq!(r.trace.len(), 6);
+        let paid_total: f64 = r.trace.iter().map(|s| s.paid).sum();
+        assert!((paid_total - r.cost.compute).abs() < 1e-12);
+        let rented = r.trace.iter().filter(|s| s.rented).count();
+        assert_eq!(rented, r.rental_slots);
+        for (i, s) in r.trace.iter().enumerate() {
+            assert_eq!(s.slot, i);
+            assert_eq!(s.rented, s.paid > 0.0);
+            assert!(s.inventory >= -1e-12);
+        }
+        assert!((r.trace.last().unwrap().inventory - r.final_inventory).abs() < 1e-12);
+        // records serialise for external analysis
+        let json = serde_json::to_string(&r.trace[0]).expect("serialisable");
+        assert!(json.contains("\"slot\":0"));
+    }
+
+    #[test]
+    fn recourse_adapts_to_price_path() {
+        // Two very different price paths, same plan inputs: the SRRP
+        // execution must pay less on the cheap path than the expensive one.
+        let history: Vec<f64> =
+            (0..300).map(|i| 0.05 + 0.03 * ((i % 7) as f64) / 6.0).collect();
+        let demand = vec![0.4; 6];
+        let cheap = vec![0.05; 6];
+        let pricey = vec![0.30; 6]; // all above any bid → out-of-bid path
+        let cfg = RollingConfig { horizon: 6, ..Default::default() };
+        let r_cheap =
+            simulate(Policy::StoExpMean, &env(&cheap, &history, &demand, None), &cfg);
+        let r_pricey =
+            simulate(Policy::StoExpMean, &env(&pricey, &history, &demand, None), &cfg);
+        assert!(r_cheap.cost.total() < r_pricey.cost.total());
+        assert!(r_pricey.out_of_bid_events > 0);
+        assert_eq!(r_cheap.out_of_bid_events, 0);
+    }
+}

@@ -1,0 +1,50 @@
+//! Bid-dependent dynamic sampling (paper §IV-C, Eq. 10).
+//!
+//! The base distribution summarised from a price history cannot be used
+//! directly in the recourse model because it ignores the out-of-bid risk.
+//! At every decision point the distribution is re-derived from the bid:
+//! states priced at or below the bid keep their probability; the remaining
+//! mass collapses into one state priced at the on-demand fallback λ.
+
+use rrp_spotmarket::EmpiricalDist;
+
+/// Derive the per-stage price distributions for a planning window given the
+/// per-slot bids — one application of Eq. (10) per decision point.
+pub fn stage_distributions(
+    base: &EmpiricalDist,
+    bids: &[f64],
+    on_demand: f64,
+) -> Vec<EmpiricalDist> {
+    bids.iter().map(|&b| base.truncate_at_bid(b, on_demand)).collect()
+}
+
+/// Artificially deviated bid prices for the approximation-precision study
+/// (paper Fig. 12(b)): `realized · (1 + pct/100)`, clamped positive.
+pub fn deviated_bids(realized: &[f64], pct: f64) -> Vec<f64> {
+    realized.iter().map(|&p| (p * (1.0 + pct / 100.0)).max(1e-6)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_slot_truncation() {
+        let base = EmpiricalDist::from_parts(vec![0.05, 0.06, 0.08], vec![0.5, 0.3, 0.2]);
+        let dists = stage_distributions(&base, &[0.055, 0.09], 0.2);
+        assert_eq!(dists.len(), 2);
+        // bid 0.055 keeps only 0.05; rest mass 0.5 at λ
+        assert_eq!(dists[0].values(), &[0.05, 0.2]);
+        // bid 0.09 keeps everything
+        assert_eq!(dists[1].values(), &[0.05, 0.06, 0.08]);
+    }
+
+    #[test]
+    fn deviation_scales_and_clamps() {
+        let b = deviated_bids(&[0.10, 0.20], -10.0);
+        assert!((b[0] - 0.09).abs() < 1e-12);
+        assert!((b[1] - 0.18).abs() < 1e-12);
+        let c = deviated_bids(&[1e-9], -100.0);
+        assert!(c[0] > 0.0);
+    }
+}

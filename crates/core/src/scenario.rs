@@ -1,0 +1,267 @@
+//! Multistage scenario trees over uncertain spot prices (paper §IV-D,
+//! Fig. 9).
+//!
+//! Stage 0 is the root (the known present); each later stage `t ∈ 1..=T`
+//! branches over the discrete price states of that decision point. The tree
+//! is perfectly balanced in depth but stages may have different state
+//! counts — exactly the structure produced by bid-dependent dynamic
+//! sampling (the kept spot states plus the out-of-bid state differ per
+//! slot).
+
+use rrp_spotmarket::EmpiricalDist;
+
+/// One vertex of the tree.
+#[derive(Debug, Clone)]
+pub struct TreeNode {
+    /// Parent index (`None` for the root).
+    pub parent: Option<usize>,
+    /// Stage `τ(v)`: 0 for the root, `1..=T` for decision slots.
+    pub stage: usize,
+    /// Spot price realised in this vertex's slot (unused at the root).
+    pub price: f64,
+    /// Demand realised in this vertex's slot, when the tree models demand
+    /// uncertainty (the paper's stated future work); `None` means the
+    /// stage-deterministic demand of the cost schedule applies.
+    pub demand: Option<f64>,
+    /// Conditional branch probability from the parent.
+    pub branch_prob: f64,
+    /// Absolute probability `p_v` (product along the path).
+    pub prob: f64,
+}
+
+/// A balanced multistage scenario tree.
+#[derive(Debug, Clone)]
+pub struct ScenarioTree {
+    nodes: Vec<TreeNode>,
+    children: Vec<Vec<usize>>,
+    stages: usize,
+}
+
+impl ScenarioTree {
+    /// Build from per-stage price distributions: `dists[t]` describes the
+    /// price states of slot `t+1`. Panics if the tree would exceed
+    /// `max_nodes`.
+    pub fn from_stage_distributions(dists: &[EmpiricalDist], max_nodes: usize) -> Self {
+        // projected size check
+        let mut size: usize = 1;
+        for d in dists {
+            size = size
+                .checked_mul(d.states())
+                .and_then(|s| s.checked_add(1))
+                .unwrap_or(usize::MAX);
+            // (loose upper bound on running total; exact check below)
+        }
+        let mut nodes = vec![TreeNode {
+            parent: None,
+            stage: 0,
+            price: 0.0,
+            demand: None,
+            branch_prob: 1.0,
+            prob: 1.0,
+        }];
+        let mut children: Vec<Vec<usize>> = vec![Vec::new()];
+        let mut frontier = vec![0usize];
+        for (t, d) in dists.iter().enumerate() {
+            let mut next = Vec::with_capacity(frontier.len() * d.states());
+            for &v in &frontier {
+                for (&price, &p) in d.values().iter().zip(d.probs()) {
+                    let id = nodes.len();
+                    assert!(
+                        id < max_nodes,
+                        "scenario tree exceeds {max_nodes} nodes at stage {}",
+                        t + 1
+                    );
+                    nodes.push(TreeNode {
+                        parent: Some(v),
+                        stage: t + 1,
+                        price,
+                        demand: None,
+                        branch_prob: p,
+                        prob: nodes[v].prob * p,
+                    });
+                    children.push(Vec::new());
+                    children[v].push(id);
+                    next.push(id);
+                }
+            }
+            frontier = next;
+        }
+        Self { nodes, children, stages: dists.len() }
+    }
+
+    /// Build a tree over joint (price, demand) states — the paper's stated
+    /// future work ("stochastic optimization solutions ... with
+    /// time-varying workloads"). `stages[t]` lists the states of slot
+    /// `t+1` as `(price, demand, probability)`; probabilities must sum to 1
+    /// per stage.
+    pub fn from_joint_stage_states(
+        stages: &[Vec<(f64, f64, f64)>],
+        max_nodes: usize,
+    ) -> Self {
+        let mut nodes = vec![TreeNode {
+            parent: None,
+            stage: 0,
+            price: 0.0,
+            demand: None,
+            branch_prob: 1.0,
+            prob: 1.0,
+        }];
+        let mut children: Vec<Vec<usize>> = vec![Vec::new()];
+        let mut frontier = vec![0usize];
+        for (t, states) in stages.iter().enumerate() {
+            assert!(!states.is_empty(), "stage {t} has no states");
+            let total: f64 = states.iter().map(|s| s.2).sum();
+            assert!((total - 1.0).abs() < 1e-9, "stage {t} probabilities sum to {total}");
+            let mut next = Vec::with_capacity(frontier.len() * states.len());
+            for &v in &frontier {
+                for &(price, demand, p) in states {
+                    let id = nodes.len();
+                    assert!(
+                        id < max_nodes,
+                        "scenario tree exceeds {max_nodes} nodes at stage {}",
+                        t + 1
+                    );
+                    nodes.push(TreeNode {
+                        parent: Some(v),
+                        stage: t + 1,
+                        price,
+                        demand: Some(demand),
+                        branch_prob: p,
+                        prob: nodes[v].prob * p,
+                    });
+                    children.push(Vec::new());
+                    children[v].push(id);
+                    next.push(id);
+                }
+            }
+            frontier = next;
+        }
+        Self { nodes, children, stages: stages.len() }
+    }
+
+    /// Whether any vertex carries its own demand realisation.
+    pub fn has_stochastic_demand(&self) -> bool {
+        self.nodes.iter().any(|n| n.demand.is_some())
+    }
+
+    /// Total vertices including the root.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of decision stages `T` (excluding the root).
+    pub fn stages(&self) -> usize {
+        self.stages
+    }
+
+    pub fn node(&self, v: usize) -> &TreeNode {
+        &self.nodes[v]
+    }
+
+    pub fn children(&self, v: usize) -> &[usize] {
+        &self.children[v]
+    }
+
+    /// Leaf vertices (each identifies one scenario).
+    pub fn leaves(&self) -> Vec<usize> {
+        (0..self.nodes.len()).filter(|&v| self.children[v].is_empty() && v != 0).collect()
+    }
+
+    /// The root-to-`v` path, excluding the root.
+    pub fn path(&self, v: usize) -> Vec<usize> {
+        let mut p = Vec::new();
+        let mut cur = Some(v);
+        while let Some(c) = cur {
+            if c == 0 {
+                break;
+            }
+            p.push(c);
+            cur = self.nodes[c].parent;
+        }
+        p.reverse();
+        p
+    }
+
+    /// Iterate vertices of a given stage.
+    pub fn stage_nodes(&self, stage: usize) -> Vec<usize> {
+        (0..self.nodes.len()).filter(|&v| self.nodes[v].stage == stage).collect()
+    }
+
+    /// Sum of absolute probabilities per stage (must be 1 for every stage).
+    pub fn stage_probability(&self, stage: usize) -> f64 {
+        self.stage_nodes(stage).iter().map(|&v| self.nodes[v].prob).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dist(values: &[f64], probs: &[f64]) -> EmpiricalDist {
+        EmpiricalDist::from_parts(values.to_vec(), probs.to_vec())
+    }
+
+    #[test]
+    fn two_stage_binary_tree() {
+        let d = dist(&[0.05, 0.08], &[0.6, 0.4]);
+        let tree = ScenarioTree::from_stage_distributions(&[d.clone(), d], 1000);
+        assert_eq!(tree.len(), 1 + 2 + 4);
+        assert_eq!(tree.stages(), 2);
+        assert_eq!(tree.leaves().len(), 4);
+        assert!((tree.stage_probability(1) - 1.0).abs() < 1e-12);
+        assert!((tree.stage_probability(2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leaf_probabilities_multiply() {
+        let d1 = dist(&[1.0, 2.0], &[0.3, 0.7]);
+        let d2 = dist(&[5.0], &[1.0]);
+        let tree = ScenarioTree::from_stage_distributions(&[d1, d2], 100);
+        let leaves = tree.leaves();
+        assert_eq!(leaves.len(), 2);
+        let probs: Vec<f64> = leaves.iter().map(|&v| tree.node(v).prob).collect();
+        assert!((probs[0] - 0.3).abs() < 1e-12);
+        assert!((probs[1] - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_walks_root_to_leaf() {
+        let d = dist(&[0.1, 0.2], &[0.5, 0.5]);
+        let tree = ScenarioTree::from_stage_distributions(&[d.clone(), d], 100);
+        let leaf = tree.leaves()[3];
+        let p = tree.path(leaf);
+        assert_eq!(p.len(), 2);
+        assert_eq!(tree.node(p[0]).stage, 1);
+        assert_eq!(tree.node(p[1]).stage, 2);
+        assert_eq!(p[1], leaf);
+        assert_eq!(tree.node(leaf).parent, Some(p[0]));
+    }
+
+    #[test]
+    fn heterogeneous_stage_widths() {
+        let d1 = dist(&[0.1, 0.2, 0.3], &[0.2, 0.3, 0.5]);
+        let d2 = dist(&[0.15], &[1.0]);
+        let tree = ScenarioTree::from_stage_distributions(&[d1, d2], 100);
+        assert_eq!(tree.stage_nodes(1).len(), 3);
+        assert_eq!(tree.stage_nodes(2).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn node_cap_enforced() {
+        let d = dist(&[0.1, 0.2, 0.3, 0.4], &[0.25; 4]);
+        let dists = vec![d; 8]; // 4^8 leaves ≫ cap
+        ScenarioTree::from_stage_distributions(&dists, 1000);
+    }
+
+    #[test]
+    fn root_only_tree() {
+        let tree = ScenarioTree::from_stage_distributions(&[], 10);
+        assert_eq!(tree.len(), 1);
+        assert!(tree.leaves().is_empty());
+    }
+}

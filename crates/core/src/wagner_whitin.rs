@@ -1,0 +1,286 @@
+//! Wagner–Whitin dynamic programming for the uncapacitated DRRP.
+//!
+//! The paper observes that DRRP "is consistent with the dynamic lot-sizing
+//! problem commonly met in the field of production planning". Without the
+//! capacity constraint (exactly the §V evaluation setting) the model *is*
+//! the classic uncapacitated lot-sizing problem with time-varying costs, so
+//! the Wagner–Whitin zero-inventory-ordering DP solves it exactly in
+//! `O(T²)` — no branch & bound needed. The MILP and this DP are cross-
+//! checked against each other in the test suites.
+//!
+//! Initial inventory `ε` is handled by netting: `ε` is forcibly carried and
+//! consumed by the earliest demand (the balance constraint leaves no other
+//! option), contributing a fixed holding cost; the DP then runs on the net
+//! demand `D′`.
+
+use crate::cost::{validate, CostSchedule, PlanningParams};
+use crate::drrp::{plan_from_decisions, RentalPlan};
+
+/// Solve the uncapacitated DRRP exactly. Panics if `params.capacity` is
+/// set — use the MILP path for capacitated instances.
+pub fn solve(s: &CostSchedule, params: &PlanningParams) -> RentalPlan {
+    assert!(
+        params.capacity.is_none(),
+        "Wagner–Whitin handles only the uncapacitated model"
+    );
+    validate(s, params);
+    let t_max = s.horizon();
+
+    // Net demand after the forced consumption of ε, and the ε-induced
+    // inventory trajectory (a constant cost component). Residues below
+    // NET_TOL are snapped to zero: a 1e-16 leftover (typical after a
+    // rolling execution drains inventory exactly) must not force a rental
+    // setup, or replanning pays phantom fixed costs.
+    const NET_TOL: f64 = 1e-9;
+    let mut net = vec![0.0f64; t_max];
+    let mut eps_inv = vec![0.0f64; t_max];
+    let mut avail = params.initial_inventory;
+    for t in 0..t_max {
+        let served = avail.min(s.demand[t]);
+        net[t] = s.demand[t] - served;
+        if net[t] < NET_TOL {
+            net[t] = 0.0;
+        }
+        avail -= served;
+        eps_inv[t] = avail;
+    }
+
+    // Prefix sums for O(1) window costs.
+    // h_prefix[t] = Σ_{v<t} inventory[v]
+    let mut h_prefix = vec![0.0f64; t_max + 1];
+    for t in 0..t_max {
+        h_prefix[t + 1] = h_prefix[t] + s.inventory[t];
+    }
+    // d_prefix[t] = Σ_{u<t} net[u];  g_prefix[t] = Σ_{u<t} h_prefix[u]·net[u]
+    let mut d_prefix = vec![0.0f64; t_max + 1];
+    let mut g_prefix = vec![0.0f64; t_max + 1];
+    for u in 0..t_max {
+        d_prefix[u + 1] = d_prefix[u] + net[u];
+        g_prefix[u + 1] = g_prefix[u] + h_prefix[u] * net[u];
+    }
+
+    // Cost of producing at slot t (0-based) all net demand of u ∈ [t, j]:
+    //   Σ_u net_u·( gen_t + (h_prefix[u] − h_prefix[t]) )
+    // = gen_t·(D_j − D_{t}) + (G_j − G_t) − h_prefix[t]·(D_j − D_t)
+    // with D, G the prefix arrays evaluated at u+1 boundaries.
+    let window = |t: usize, j: usize| -> f64 {
+        let dd = d_prefix[j + 1] - d_prefix[t];
+        if dd <= NET_TOL {
+            return 0.0;
+        }
+        let gg = g_prefix[j + 1] - g_prefix[t];
+        s.gen[t] * dd + gg - h_prefix[t] * dd + s.compute[t]
+    };
+
+    // f[j] = optimal cost of covering net demand in slots [0, j)
+    let mut f = vec![f64::INFINITY; t_max + 1];
+    let mut from = vec![usize::MAX; t_max + 1];
+    f[0] = 0.0;
+    for j in 0..t_max {
+        for t in 0..=j {
+            let dd = d_prefix[j + 1] - d_prefix[t];
+            let c = if dd <= NET_TOL {
+                // nothing to produce in [t, j]: only valid when f[t] covers
+                // everything before t, and slots t..=j need no setup
+                0.0
+            } else {
+                window(t, j)
+            };
+            let cand = f[t] + c;
+            if cand < f[j + 1] - 1e-15 {
+                f[j + 1] = cand;
+                from[j + 1] = t;
+            }
+        }
+    }
+
+    // Reconstruct production decisions.
+    let mut alpha = vec![0.0f64; t_max];
+    let mut chi = vec![false; t_max];
+    let mut j = t_max;
+    while j > 0 {
+        let t = from[j];
+        debug_assert!(t != usize::MAX);
+        let dd = d_prefix[j] - d_prefix[t];
+        if dd > NET_TOL {
+            alpha[t] = dd;
+            chi[t] = true;
+        }
+        j = t;
+    }
+
+    // Full inventory trajectory from the balance equation.
+    let mut beta = vec![0.0f64; t_max];
+    let mut inv = params.initial_inventory;
+    for t in 0..t_max {
+        inv = inv + alpha[t] - s.demand[t];
+        beta[t] = if inv.abs() < 1e-12 { 0.0 } else { inv };
+        debug_assert!(inv > -1e-9, "negative inventory at slot {t}: {inv}");
+    }
+
+    plan_from_decisions(s, alpha, beta, chi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrp_spotmarket::CostRates;
+
+    fn schedule(compute: Vec<f64>, demand: Vec<f64>) -> CostSchedule {
+        CostSchedule::ec2(compute, demand, &CostRates::ec2_2011())
+    }
+
+    #[test]
+    fn classic_textbook_instance() {
+        // Wagner-Whitin style: constant setup 10, holding 1/unit/period,
+        // zero unit cost, demands [6, 7, 4, 6].
+        let mut s = schedule(vec![10.0; 4], vec![6.0, 7.0, 4.0, 6.0]);
+        s.inventory = vec![1.0; 4];
+        s.gen = vec![0.0; 4];
+        s.out = vec![0.0; 4];
+        let plan = solve(&s, &PlanningParams::default());
+        // candidate policies: produce each period: 40
+        // produce {0 cover 0-1, 2 cover 2-3}: 10+7 + 10+6 = 33
+        // produce {0 all}: 10 + 7 + 8 + 18 = 43 ... optimum is 33
+        assert!((plan.objective - 33.0).abs() < 1e-9, "{}", plan.objective);
+        assert_eq!(plan.chi, vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn produce_every_slot_when_holding_expensive() {
+        let mut s = schedule(vec![0.1; 5], vec![1.0; 5]);
+        s.inventory = vec![50.0; 5];
+        let plan = solve(&s, &PlanningParams::default());
+        assert_eq!(plan.chi, vec![true; 5]);
+        assert!(plan.beta.iter().all(|&b| b.abs() < 1e-9));
+    }
+
+    #[test]
+    fn produce_once_when_holding_free() {
+        let mut s = schedule(vec![1.0; 5], vec![0.5; 5]);
+        s.inventory = vec![0.0; 5];
+        let plan = solve(&s, &PlanningParams::default());
+        assert_eq!(plan.chi.iter().filter(|&&c| c).count(), 1);
+        assert!(plan.chi[0]);
+        assert!((plan.alpha[0] - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn epsilon_covers_prefix() {
+        let s = schedule(vec![0.2; 4], vec![0.5; 4]);
+        let plan =
+            solve(&s, &PlanningParams { initial_inventory: 1.2, capacity: None });
+        assert!(!plan.chi[0] && !plan.chi[1]);
+        assert!(plan.is_feasible(&s, &PlanningParams { initial_inventory: 1.2, capacity: None }, 1e-9));
+        // slot 2 still has 0.2 of ε left: net demand 0.3 there
+        let total_alpha: f64 = plan.alpha.iter().sum();
+        assert!((total_alpha - (2.0 - 1.2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn epsilon_larger_than_total_demand() {
+        let s = schedule(vec![0.2; 3], vec![0.1; 3]);
+        let params = PlanningParams { initial_inventory: 5.0, capacity: None };
+        let plan = solve(&s, &params);
+        assert_eq!(plan.chi, vec![false; 3]);
+        assert!(plan.alpha.iter().all(|&a| a == 0.0));
+        // inventory trajectory 4.9, 4.8, 4.7
+        assert!((plan.beta[2] - 4.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_demand_slots_inside_window() {
+        let s = schedule(vec![1.0, 0.01, 1.0, 1.0], vec![0.5, 0.0, 0.0, 0.5]);
+        let plan = solve(&s, &PlanningParams::default());
+        assert!(plan.is_feasible(&s, &PlanningParams::default(), 1e-9));
+        // cheap slot 1 cannot help slot 0 (no backlogging); slot 0 must rent
+        assert!(plan.chi[0]);
+    }
+
+    #[test]
+    fn time_varying_prices_pick_cheap_slot() {
+        // Slot 1 is dramatically cheaper and holding is expensive enough
+        // (0.05/GB·slot) that serving slots 1–3 from slot 0 loses to a
+        // second rental at slot 1:
+        //   all-at-0:   1.0      + 0.05·(1.2+0.8+0.4) = 1.12  (+ gen const)
+        //   0 then 1:   1.0+0.01 + 0.05·(0.8+0.4)     = 1.07
+        let mut s = schedule(vec![1.0, 0.01, 1.0, 1.0], vec![0.4, 0.4, 0.4, 0.4]);
+        s.inventory = vec![0.05; 4];
+        let plan = solve(&s, &PlanningParams::default());
+        assert!(plan.chi[0], "slot 0 demand must be served (no backlog)");
+        assert!(plan.chi[1], "cheap slot should host production: {:?}", plan.chi);
+        assert!(!plan.chi[2] && !plan.chi[3], "{:?}", plan.chi);
+        assert!((plan.alpha[1] - 1.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        for _ in 0..40 {
+            let t = 1 + rng.gen_range(0..6);
+            let compute: Vec<f64> = (0..t).map(|_| rng.gen_range(0.01..2.0)).collect();
+            let demand: Vec<f64> = (0..t).map(|_| rng.gen_range(0.0..1.5)).collect();
+            let mut s = schedule(compute, demand);
+            s.inventory = (0..t).map(|_| rng.gen_range(0.0..0.5)).collect();
+            s.gen = (0..t).map(|_| rng.gen_range(0.0..0.3)).collect();
+            let eps = if rng.gen_bool(0.3) { rng.gen_range(0.0..1.0) } else { 0.0 };
+            let params = PlanningParams { initial_inventory: eps, capacity: None };
+            let plan = solve(&s, &params);
+            // brute force over χ patterns; given χ, greedy production at the
+            // last allowed slot before each demand... simpler: for each χ
+            // pattern, optimal α given ZIO: produce at rental slots to cover
+            // until next rental slot. Compute cost directly.
+            let mut best = f64::INFINITY;
+            for mask in 0u32..(1 << t) {
+                let chi: Vec<bool> = (0..t).map(|u| mask & (1 << u) != 0).collect();
+                // feasibility + cost via forward simulation: at each rental
+                // slot produce exactly the demand until the next rental slot
+                // (ZIO is optimal for fixed χ with linear costs).
+                let mut cost = 0.0;
+                let mut inv = eps;
+                let mut ok = true;
+                for u in 0..t {
+                    if chi[u] {
+                        cost += s.compute[u];
+                        // produce to cover net demand through slot before next rental
+                        let mut need = 0.0;
+                        let mut carried = inv;
+                        for v in u..t {
+                            if v > u && chi[v] {
+                                break;
+                            }
+                            let short = (s.demand[v] - carried).max(0.0);
+                            need += short;
+                            carried = (carried - s.demand[v]).max(0.0);
+                        }
+                        cost += s.gen[u] * need;
+                        inv += need;
+                    }
+                    if inv + 1e-12 < s.demand[u] {
+                        ok = false;
+                        break;
+                    }
+                    inv -= s.demand[u];
+                    cost += s.inventory[u] * inv;
+                    cost += s.out[u] * s.demand[u];
+                }
+                if ok && cost < best {
+                    best = cost;
+                }
+            }
+            assert!(
+                plan.objective <= best + 1e-7,
+                "WW {} worse than brute force {}",
+                plan.objective,
+                best
+            );
+            assert!(
+                plan.objective >= best - 1e-7,
+                "WW {} beats brute force {} (impossible)",
+                plan.objective,
+                best
+            );
+        }
+    }
+}

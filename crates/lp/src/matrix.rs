@@ -1,0 +1,223 @@
+//! Compressed sparse column (CSC) matrices and sparse vectors.
+//!
+//! The simplex solver only ever needs column access to the constraint
+//! matrix, so CSC is the single storage format. Entries within a column are
+//! kept sorted by row index with no duplicates; [`CscBuilder`] enforces this
+//! by accumulating triplets and merging.
+
+/// A sparse vector as parallel (index, value) arrays, not necessarily sorted.
+#[derive(Debug, Clone, Default)]
+pub struct SparseVec {
+    pub idx: Vec<usize>,
+    pub val: Vec<f64>,
+}
+
+impl SparseVec {
+    pub fn clear(&mut self) {
+        self.idx.clear();
+        self.val.clear();
+    }
+
+    pub fn push(&mut self, i: usize, v: f64) {
+        self.idx.push(i);
+        self.val.push(v);
+    }
+
+    pub fn len(&self) -> usize {
+        self.idx.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.idx.is_empty()
+    }
+
+    /// Scatter into a dense vector (which must be zeroed where untouched).
+    pub fn scatter_into(&self, dense: &mut [f64]) {
+        for (&i, &v) in self.idx.iter().zip(&self.val) {
+            dense[i] += v;
+        }
+    }
+}
+
+/// Immutable CSC matrix.
+#[derive(Debug, Clone)]
+pub struct Csc {
+    nrows: usize,
+    ncols: usize,
+    /// Column start offsets, length `ncols + 1`.
+    colptr: Vec<usize>,
+    /// Row indices, sorted within each column.
+    rowind: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl Csc {
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    pub fn nnz(&self) -> usize {
+        self.rowind.len()
+    }
+
+    /// Row indices of column `j`.
+    pub fn col_rows(&self, j: usize) -> &[usize] {
+        &self.rowind[self.colptr[j]..self.colptr[j + 1]]
+    }
+
+    /// Values of column `j` (parallel to [`Csc::col_rows`]).
+    pub fn col_vals(&self, j: usize) -> &[f64] {
+        &self.values[self.colptr[j]..self.colptr[j + 1]]
+    }
+
+    /// Iterate `(row, value)` over column `j`.
+    pub fn col_iter(&self, j: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.col_rows(j).iter().copied().zip(self.col_vals(j).iter().copied())
+    }
+
+    /// Dense `yᵀ · A_j` (dot of a dense row vector with column `j`).
+    pub fn col_dot(&self, j: usize, y: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for (i, v) in self.col_iter(j) {
+            acc += y[i] * v;
+        }
+        acc
+    }
+
+    /// `out += A_j * scale` for dense `out`.
+    pub fn col_axpy(&self, j: usize, scale: f64, out: &mut [f64]) {
+        for (i, v) in self.col_iter(j) {
+            out[i] += v * scale;
+        }
+    }
+
+    /// Dense matrix-vector product `A x` (used by tests and residual checks).
+    pub fn mul_dense(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.ncols);
+        let mut out = vec![0.0; self.nrows];
+        for j in 0..self.ncols {
+            if x[j] != 0.0 {
+                self.col_axpy(j, x[j], &mut out);
+            }
+        }
+        out
+    }
+}
+
+/// Builder accumulating triplets; duplicates within a column are summed.
+#[derive(Debug, Clone)]
+pub struct CscBuilder {
+    nrows: usize,
+    cols: Vec<Vec<(usize, f64)>>,
+}
+
+impl CscBuilder {
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        Self { nrows, cols: vec![Vec::new(); ncols] }
+    }
+
+    pub fn add_col(&mut self) -> usize {
+        self.cols.push(Vec::new());
+        self.cols.len() - 1
+    }
+
+    pub fn push(&mut self, row: usize, col: usize, val: f64) {
+        debug_assert!(row < self.nrows, "row {row} out of bounds ({})", self.nrows);
+        if val != 0.0 {
+            self.cols[col].push((row, val));
+        }
+    }
+
+    pub fn build(mut self) -> Csc {
+        let ncols = self.cols.len();
+        let mut colptr = Vec::with_capacity(ncols + 1);
+        let mut rowind = Vec::new();
+        let mut values = Vec::new();
+        colptr.push(0);
+        for col in &mut self.cols {
+            col.sort_unstable_by_key(|&(r, _)| r);
+            let mut k = 0;
+            while k < col.len() {
+                let r = col[k].0;
+                let mut v = col[k].1;
+                let mut k2 = k + 1;
+                while k2 < col.len() && col[k2].0 == r {
+                    v += col[k2].1;
+                    k2 += 1;
+                }
+                if v != 0.0 {
+                    rowind.push(r);
+                    values.push(v);
+                }
+                k = k2;
+            }
+            colptr.push(rowind.len());
+        }
+        Csc { nrows: self.nrows, ncols, colptr, rowind, values }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sorts_and_merges_duplicates() {
+        let mut b = CscBuilder::new(3, 2);
+        b.push(2, 0, 1.0);
+        b.push(0, 0, 2.0);
+        b.push(2, 0, 3.0);
+        b.push(1, 1, -1.0);
+        let m = b.build();
+        assert_eq!(m.col_rows(0), &[0, 2]);
+        assert_eq!(m.col_vals(0), &[2.0, 4.0]);
+        assert_eq!(m.col_rows(1), &[1]);
+        assert_eq!(m.nnz(), 3);
+    }
+
+    #[test]
+    fn exact_zero_sums_are_dropped() {
+        let mut b = CscBuilder::new(2, 1);
+        b.push(0, 0, 1.5);
+        b.push(0, 0, -1.5);
+        b.push(1, 0, 2.0);
+        let m = b.build();
+        assert_eq!(m.col_rows(0), &[1]);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn mul_dense_matches_manual() {
+        // A = [[1, 0], [2, 3]]
+        let mut b = CscBuilder::new(2, 2);
+        b.push(0, 0, 1.0);
+        b.push(1, 0, 2.0);
+        b.push(1, 1, 3.0);
+        let m = b.build();
+        let y = m.mul_dense(&[2.0, -1.0]);
+        assert_eq!(y, vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn col_dot_and_axpy() {
+        let mut b = CscBuilder::new(3, 1);
+        b.push(0, 0, 1.0);
+        b.push(2, 0, -2.0);
+        let m = b.build();
+        assert_eq!(m.col_dot(0, &[3.0, 100.0, 0.5]), 2.0);
+        let mut out = vec![0.0; 3];
+        m.col_axpy(0, 2.0, &mut out);
+        assert_eq!(out, vec![2.0, 0.0, -4.0]);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = CscBuilder::new(0, 0).build();
+        assert_eq!(m.nnz(), 0);
+        assert!(m.mul_dense(&[]).is_empty());
+    }
+}

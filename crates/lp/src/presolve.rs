@@ -1,0 +1,390 @@
+//! Presolve: problem reductions applied before the simplex.
+//!
+//! Three classic reductions run to a fixed point:
+//!
+//! 1. **Fixed variables** (`l = u`) are substituted into every constraint
+//!    and moved into an objective offset.
+//! 2. **Empty rows** are dropped (after checking they are consistent —
+//!    an inconsistent empty row proves infeasibility).
+//! 3. **Singleton rows** (`a·x cmp b` with one nonzero) become variable
+//!    bounds and are dropped; crossing bounds prove infeasibility.
+//!
+//! [`presolve`] returns a reduced [`Model`] plus the bookkeeping needed by
+//! [`Presolved::postsolve`] to express a reduced-space solution in the
+//! original variable space. Dropped rows get zero duals (they are either
+//! free or folded into bound multipliers, which the reduced solve reports
+//! as reduced costs).
+
+use crate::model::{Cmp, Model};
+use crate::solution::{Solution, Status};
+
+/// Outcome of presolving.
+#[derive(Debug)]
+pub enum PresolveOutcome {
+    /// The model was reduced (possibly to nothing).
+    Reduced(Presolved),
+    /// Presolve proved infeasibility outright.
+    Infeasible,
+}
+
+/// A reduced model plus the mapping back to the original space.
+#[derive(Debug)]
+pub struct Presolved {
+    pub model: Model,
+    /// `keep_vars[j]` = original index of reduced column `j`.
+    keep_vars: Vec<usize>,
+    /// Fixed value per original column (`None` if it survived).
+    fixed: Vec<Option<f64>>,
+    /// `keep_rows[i]` = original index of reduced row `i`.
+    keep_rows: Vec<usize>,
+    /// Original counts.
+    n_orig_vars: usize,
+    n_orig_rows: usize,
+    /// Objective contribution of eliminated variables.
+    obj_offset: f64,
+}
+
+/// Run the reductions on `model`.
+pub fn presolve(model: &Model) -> PresolveOutcome {
+    const TOL: f64 = 1e-9;
+    let n = model.num_vars();
+    let m_rows = model.num_cons();
+
+    // working copies of bounds and rows
+    let mut lower = Vec::with_capacity(n);
+    let mut upper = Vec::with_capacity(n);
+    for j in 0..n {
+        let (l, u) = model.var_bounds(j);
+        lower.push(l);
+        upper.push(u);
+    }
+    let mut rows: Vec<Option<(Vec<(usize, f64)>, Cmp, f64)>> = (0..m_rows)
+        .map(|i| {
+            let (terms, cmp, rhs) = model.con(i);
+            Some((terms.to_vec(), cmp, rhs))
+        })
+        .collect();
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        // singleton + empty rows
+        for slot in rows.iter_mut() {
+            let Some((terms, cmp, rhs)) = slot.as_mut() else { continue };
+            // drop terms on variables already squeezed to a point
+            // (treat as fixed at that point)
+            let mut constant = 0.0;
+            terms.retain(|&(j, c)| {
+                if (upper[j] - lower[j]).abs() <= TOL {
+                    constant += c * lower[j];
+                    false
+                } else {
+                    true
+                }
+            });
+            let rhs_eff = *rhs - constant;
+            if constant != 0.0 {
+                *rhs = rhs_eff;
+                changed = true;
+            }
+            match terms.len() {
+                0 => {
+                    let ok = match cmp {
+                        Cmp::Le => rhs_eff >= -TOL,
+                        Cmp::Ge => rhs_eff <= TOL,
+                        Cmp::Eq => rhs_eff.abs() <= TOL,
+                    };
+                    if !ok {
+                        return PresolveOutcome::Infeasible;
+                    }
+                    *slot = None;
+                    changed = true;
+                }
+                1 => {
+                    let (j, c) = terms[0];
+                    debug_assert!(c != 0.0);
+                    let bound = rhs_eff / c;
+                    let (new_l, new_u) = match (cmp, c > 0.0) {
+                        (Cmp::Le, true) | (Cmp::Ge, false) => (f64::NEG_INFINITY, bound),
+                        (Cmp::Ge, true) | (Cmp::Le, false) => (bound, f64::INFINITY),
+                        (Cmp::Eq, _) => (bound, bound),
+                    };
+                    if new_l > lower[j] + TOL {
+                        lower[j] = new_l;
+                    }
+                    if new_u < upper[j] - TOL {
+                        upper[j] = new_u;
+                    }
+                    if lower[j] > upper[j] + TOL {
+                        return PresolveOutcome::Infeasible;
+                    }
+                    // snap tiny crossings
+                    if lower[j] > upper[j] {
+                        lower[j] = upper[j];
+                    }
+                    *slot = None;
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // assemble the reduced model
+    let mut fixed = vec![None; n];
+    let mut keep_vars = Vec::new();
+    let mut col_map = vec![usize::MAX; n];
+    let mut obj_offset = 0.0;
+    let mut reduced = Model::new(model.sense());
+    for j in 0..n {
+        if (upper[j] - lower[j]).abs() <= TOL {
+            fixed[j] = Some(lower[j]);
+            obj_offset += model.var_obj(j) * lower[j];
+        } else {
+            col_map[j] = keep_vars.len();
+            keep_vars.push(j);
+            reduced.add_var(lower[j], upper[j], model.var_obj(j), model.var_name(j));
+        }
+    }
+    let mut keep_rows = Vec::new();
+    for (i, slot) in rows.iter().enumerate() {
+        let Some((terms, cmp, rhs)) = slot else { continue };
+        let mut new_terms = Vec::with_capacity(terms.len());
+        let mut constant = 0.0;
+        for &(j, c) in terms {
+            match fixed[j] {
+                Some(v) => constant += c * v,
+                None => new_terms.push((col_map[j], c)),
+            }
+        }
+        let rhs_eff = rhs - constant;
+        if new_terms.is_empty() {
+            let ok = match cmp {
+                Cmp::Le => rhs_eff >= -TOL,
+                Cmp::Ge => rhs_eff <= TOL,
+                Cmp::Eq => rhs_eff.abs() <= TOL,
+            };
+            if !ok {
+                return PresolveOutcome::Infeasible;
+            }
+            continue;
+        }
+        reduced.add_con(&new_terms, *cmp, rhs_eff);
+        keep_rows.push(i);
+    }
+
+    PresolveOutcome::Reduced(Presolved {
+        model: reduced,
+        keep_vars,
+        fixed,
+        keep_rows,
+        n_orig_vars: n,
+        n_orig_rows: m_rows,
+        obj_offset,
+    })
+}
+
+impl Presolved {
+    /// Solve the reduced model and express the solution in original space.
+    pub fn solve(&self) -> Result<Solution, Status> {
+        let reduced_sol = if self.model.num_vars() == 0 {
+            // fully solved by presolve
+            Solution {
+                objective: 0.0,
+                values: Vec::new(),
+                duals: vec![0.0; self.model.num_cons()],
+                reduced_costs: Vec::new(),
+                iterations: 0,
+            }
+        } else {
+            self.model.solve()?
+        };
+        Ok(self.postsolve(reduced_sol))
+    }
+
+    /// Lift a reduced-space solution back to the original space.
+    pub fn postsolve(&self, sol: Solution) -> Solution {
+        let mut values = vec![0.0; self.n_orig_vars];
+        for (j, v) in self.fixed.iter().enumerate() {
+            if let Some(v) = v {
+                values[j] = *v;
+            }
+        }
+        for (rj, &oj) in self.keep_vars.iter().enumerate() {
+            values[oj] = sol.values[rj];
+        }
+        let mut duals = vec![0.0; self.n_orig_rows];
+        for (ri, &oi) in self.keep_rows.iter().enumerate() {
+            duals[oi] = sol.duals[ri];
+        }
+        let mut reduced_costs = vec![0.0; self.n_orig_vars];
+        for (rj, &oj) in self.keep_vars.iter().enumerate() {
+            reduced_costs[oj] = sol.reduced_costs[rj];
+        }
+        Solution {
+            objective: sol.objective + self.obj_offset,
+            values,
+            duals,
+            reduced_costs,
+            iterations: sol.iterations,
+        }
+    }
+
+    /// Number of variables eliminated.
+    pub fn vars_removed(&self) -> usize {
+        self.n_orig_vars - self.keep_vars.len()
+    }
+
+    /// Number of rows eliminated.
+    pub fn rows_removed(&self) -> usize {
+        self.n_orig_rows - self.keep_rows.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Sense;
+
+    #[test]
+    fn fixed_variable_removed_and_substituted() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var(2.0, 2.0, 3.0, "x");
+        let y = m.add_var(0.0, 10.0, 1.0, "y");
+        m.add_con(&[(x, 1.0), (y, 1.0)], Cmp::Ge, 5.0);
+        let PresolveOutcome::Reduced(p) = presolve(&m) else { panic!("reduced") };
+        assert_eq!(p.vars_removed(), 1);
+        let sol = p.solve().unwrap();
+        // x fixed at 2 → y >= 3; obj = 6 + 3 = 9
+        assert!((sol.objective - 9.0).abs() < 1e-8);
+        assert_eq!(sol.values.len(), 2);
+        assert!((sol.values[x] - 2.0).abs() < 1e-12);
+        assert!((sol.values[y] - 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn singleton_row_becomes_bound() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var(0.0, 100.0, 1.0, "x");
+        m.add_con(&[(x, 2.0)], Cmp::Ge, 10.0);
+        let PresolveOutcome::Reduced(p) = presolve(&m) else { panic!("reduced") };
+        assert_eq!(p.rows_removed(), 1);
+        let sol = p.solve().unwrap();
+        assert!((sol.values[x] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_coefficient_singleton_flips_direction() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var(0.0, 100.0, 1.0, "x");
+        m.add_con(&[(x, -1.0)], Cmp::Ge, -7.0); // x <= 7
+        let PresolveOutcome::Reduced(p) = presolve(&m) else { panic!("reduced") };
+        let sol = p.solve().unwrap();
+        assert!((sol.values[x] - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_singleton_pair_detected() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var(0.0, 10.0, 1.0, "x");
+        m.add_con(&[(x, 1.0)], Cmp::Ge, 8.0);
+        m.add_con(&[(x, 1.0)], Cmp::Le, 3.0);
+        assert!(matches!(presolve(&m), PresolveOutcome::Infeasible));
+    }
+
+    #[test]
+    fn inconsistent_fixed_row_detected() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var(1.0, 1.0, 0.0, "x");
+        m.add_con(&[(x, 1.0)], Cmp::Eq, 2.0);
+        assert!(matches!(presolve(&m), PresolveOutcome::Infeasible));
+    }
+
+    #[test]
+    fn cascading_fixes_reach_fixpoint() {
+        // row1 fixes x via equality singleton; then row2 becomes a singleton
+        // on y; y's bound then makes row3 empty-but-consistent.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var(0.0, 10.0, 1.0, "x");
+        let y = m.add_var(0.0, 10.0, 1.0, "y");
+        m.add_con(&[(x, 1.0)], Cmp::Eq, 4.0);
+        m.add_con(&[(x, 1.0), (y, 1.0)], Cmp::Ge, 6.0);
+        let PresolveOutcome::Reduced(p) = presolve(&m) else { panic!("reduced") };
+        assert_eq!(p.vars_removed(), 1);
+        assert_eq!(p.rows_removed(), 2);
+        let sol = p.solve().unwrap();
+        assert!((sol.values[x] - 4.0).abs() < 1e-9);
+        assert!((sol.values[y] - 2.0).abs() < 1e-9);
+        assert!((sol.objective - 6.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn fully_presolved_model() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var(0.0, 10.0, 2.0, "x");
+        m.add_con(&[(x, 1.0)], Cmp::Eq, 3.0);
+        let PresolveOutcome::Reduced(p) = presolve(&m) else { panic!("reduced") };
+        assert_eq!(p.model.num_vars(), 0);
+        let sol = p.solve().unwrap();
+        assert!((sol.objective - 6.0).abs() < 1e-12);
+        assert!((sol.values[x] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn presolved_objective_matches_direct_solve() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        for _ in 0..30 {
+            let n = 2 + rng.gen_range(0..6);
+            let mut m = Model::new(Sense::Minimize);
+            let vars: Vec<_> = (0..n)
+                .map(|j| {
+                    // a third of the variables are fixed
+                    let l = rng.gen_range(-3.0..3.0);
+                    let u = if rng.gen_bool(0.3) { l } else { l + rng.gen_range(0.1..5.0) };
+                    m.add_var(l, u, rng.gen_range(-2.0..2.0), &format!("v{j}"))
+                })
+                .collect();
+            for _ in 0..rng.gen_range(1..5) {
+                let singleton = rng.gen_bool(0.4);
+                let mut terms = Vec::new();
+                if singleton {
+                    terms.push((vars[rng.gen_range(0..n)], rng.gen_range(0.5..2.0)));
+                } else {
+                    for &v in &vars {
+                        if rng.gen_bool(0.6) {
+                            terms.push((v, rng.gen_range(-2.0..2.0)));
+                        }
+                    }
+                }
+                if terms.is_empty() {
+                    continue;
+                }
+                // rhs around a feasible midpoint
+                let mid: f64 = terms
+                    .iter()
+                    .map(|&(v, c)| {
+                        let (l, u) = m.var_bounds(v);
+                        c * 0.5 * (l + u.min(l + 10.0))
+                    })
+                    .sum();
+                m.add_con(&terms, Cmp::Le, mid + rng.gen_range(0.0..3.0));
+            }
+            let direct = m.solve();
+            let pres = match presolve(&m) {
+                PresolveOutcome::Reduced(p) => p.solve(),
+                PresolveOutcome::Infeasible => Err(Status::Infeasible),
+            };
+            match (direct, pres) {
+                (Ok(a), Ok(b)) => assert!(
+                    (a.objective - b.objective).abs() <= 1e-6 * (1.0 + a.objective.abs()),
+                    "direct {} vs presolved {}",
+                    a.objective,
+                    b.objective
+                ),
+                (Err(a), Err(b)) => assert_eq!(a, b),
+                (a, b) => panic!("divergent outcomes: {a:?} vs {b:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Solution and status types.
+
+/// Terminal status of an LP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// An optimal basic feasible solution was found.
+    Optimal,
+    /// The constraints admit no feasible point.
+    Infeasible,
+    /// The objective is unbounded below (after min conversion).
+    Unbounded,
+    /// Iteration limit was hit before convergence.
+    IterationLimit,
+    /// Numerical difficulties prevented convergence.
+    Numerical,
+}
+
+impl std::fmt::Display for Status {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Status::Optimal => "optimal",
+            Status::Infeasible => "infeasible",
+            Status::Unbounded => "unbounded",
+            Status::IterationLimit => "iteration limit",
+            Status::Numerical => "numerical failure",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for Status {}
+
+/// An optimal LP solution in model space.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Objective value in the model's original sense.
+    pub objective: f64,
+    /// Value per structural variable.
+    pub values: Vec<f64>,
+    /// Dual value per constraint (sign follows the minimisation convention,
+    /// flipped for maximisation models).
+    pub duals: Vec<f64>,
+    /// Reduced cost per structural variable.
+    pub reduced_costs: Vec<f64>,
+    /// Simplex iterations across both phases.
+    pub iterations: usize,
+}

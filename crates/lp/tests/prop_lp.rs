@@ -1,0 +1,128 @@
+//! Property-based tests: on random LPs that are feasible by construction,
+//! the solver must return a primal-feasible point whose objective matches
+//! the dual bound (strong duality) and agree across engines.
+
+use proptest::prelude::*;
+use rrp_lp::{Cmp, Model, Sense};
+
+/// A randomly generated LP that is feasible by construction: we first draw a
+/// point `x*` inside the box, then set every RHS so that `x*` satisfies it.
+#[derive(Debug, Clone)]
+struct FeasibleLp {
+    nvars: usize,
+    bounds: Vec<(f64, f64)>,
+    costs: Vec<f64>,
+    cons: Vec<(Vec<(usize, f64)>, Cmp, f64)>,
+    witness: Vec<f64>,
+}
+
+fn feasible_lp() -> impl Strategy<Value = FeasibleLp> {
+    (2usize..8, 1usize..8, any::<u64>()).prop_map(|(nvars, ncons, seed)| {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut bounds = Vec::new();
+        let mut witness = Vec::new();
+        let mut costs = Vec::new();
+        for _ in 0..nvars {
+            let l = rng.gen_range(-5.0..0.0);
+            let u = l + rng.gen_range(0.5..10.0);
+            bounds.push((l, u));
+            witness.push(rng.gen_range(l..u));
+            costs.push(rng.gen_range(-4.0..4.0));
+        }
+        let mut cons = Vec::new();
+        for _ in 0..ncons {
+            let mut terms = Vec::new();
+            for j in 0..nvars {
+                if rng.gen_bool(0.7) {
+                    terms.push((j, rng.gen_range(-3.0..3.0)));
+                }
+            }
+            if terms.is_empty() {
+                continue;
+            }
+            let lhs: f64 = terms.iter().map(|&(j, c)| c * witness[j]).sum();
+            let (cmp, rhs) = match rng.gen_range(0..3) {
+                0 => (Cmp::Le, lhs + rng.gen_range(0.0..2.0)),
+                1 => (Cmp::Ge, lhs - rng.gen_range(0.0..2.0)),
+                _ => (Cmp::Eq, lhs),
+            };
+            cons.push((terms, cmp, rhs));
+        }
+        FeasibleLp { nvars, bounds, costs, cons, witness }
+    })
+}
+
+fn build(lp: &FeasibleLp) -> Model {
+    let mut m = Model::new(Sense::Minimize);
+    for j in 0..lp.nvars {
+        m.add_var(lp.bounds[j].0, lp.bounds[j].1, lp.costs[j], &format!("x{j}"));
+    }
+    for (terms, cmp, rhs) in &lp.cons {
+        m.add_con(terms, *cmp, *rhs);
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn solver_finds_feasible_optimum(lp in feasible_lp()) {
+        let m = build(&lp);
+        let sol = m.solve().expect("feasible by construction");
+        // 1. primal feasibility
+        for j in 0..lp.nvars {
+            prop_assert!(sol.values[j] >= lp.bounds[j].0 - 1e-6);
+            prop_assert!(sol.values[j] <= lp.bounds[j].1 + 1e-6);
+        }
+        for (terms, cmp, rhs) in &lp.cons {
+            let lhs: f64 = terms.iter().map(|&(j, c)| c * sol.values[j]).sum();
+            match cmp {
+                Cmp::Le => prop_assert!(lhs <= rhs + 1e-6, "{lhs} </= {rhs}"),
+                Cmp::Ge => prop_assert!(lhs >= rhs - 1e-6, "{lhs} >/= {rhs}"),
+                Cmp::Eq => prop_assert!((lhs - rhs).abs() <= 1e-6),
+            }
+        }
+        // 2. optimality: no better than the witness is required, but the
+        // witness must never beat the reported optimum.
+        let witness_obj: f64 = (0..lp.nvars).map(|j| lp.costs[j] * lp.witness[j]).sum();
+        prop_assert!(sol.objective <= witness_obj + 1e-6,
+            "optimum {} worse than witness {}", sol.objective, witness_obj);
+    }
+
+    #[test]
+    fn engines_agree(lp in feasible_lp()) {
+        let m = build(&lp);
+        let a = m.solve().expect("sparse feasible");
+        let b = m.solve_dense().expect("dense feasible");
+        prop_assert!((a.objective - b.objective).abs() <= 1e-6 * (1.0 + a.objective.abs()),
+            "sparse {} vs dense {}", a.objective, b.objective);
+    }
+
+    #[test]
+    fn strong_duality_holds(lp in feasible_lp()) {
+        let m = build(&lp);
+        let sol = m.solve().expect("feasible");
+        // dual objective: yᵀrhs + bound terms from reduced costs
+        // For bounded-variable LP: obj = yᵀb + Σ_j d_j · x_j at the active bound.
+        let mut dual_obj = 0.0;
+        for (i, (_, _, rhs)) in lp.cons.iter().enumerate() {
+            dual_obj += sol.duals[i] * rhs;
+        }
+        for j in 0..lp.nvars {
+            let d = sol.reduced_costs[j];
+            if d.abs() > 1e-9 {
+                // complementary slackness: variable sits on a bound
+                let (l, u) = lp.bounds[j];
+                let at = if d > 0.0 { l } else { u };
+                dual_obj += d * at;
+                prop_assert!((sol.values[j] - at).abs() <= 1e-5,
+                    "var {j} has reduced cost {d} but is interior: {} (bounds {l},{u})",
+                    sol.values[j]);
+            }
+        }
+        prop_assert!((dual_obj - sol.objective).abs() <= 1e-5 * (1.0 + sol.objective.abs()),
+            "duality gap: primal {} dual {}", sol.objective, dual_obj);
+    }
+}

@@ -1,0 +1,240 @@
+//! Known-answer and cross-check tests for the simplex solver.
+
+use rrp_lp::{Cmp, Model, Sense, Status};
+
+fn assert_close(a: f64, b: f64, tol: f64) {
+    assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+}
+
+#[test]
+fn trivial_bounds_only() {
+    // min x, 1 <= x <= 5 → 1
+    let mut m = Model::new(Sense::Minimize);
+    let x = m.add_var(1.0, 5.0, 1.0, "x");
+    let sol = m.solve().unwrap();
+    assert_close(sol.objective, 1.0, 1e-9);
+    assert_close(sol.values[x], 1.0, 1e-9);
+}
+
+#[test]
+fn maximize_bounds_only() {
+    let mut m = Model::new(Sense::Maximize);
+    let x = m.add_var(-2.0, 7.0, 3.0, "x");
+    let sol = m.solve().unwrap();
+    assert_close(sol.objective, 21.0, 1e-9);
+    assert_close(sol.values[x], 7.0, 1e-9);
+}
+
+#[test]
+fn classic_2d_lp() {
+    // max 3x + 5y  s.t. x <= 4, 2y <= 12, 3x + 2y <= 18, x,y >= 0
+    // (Hillier & Lieberman) → x=2, y=6, obj=36
+    let mut m = Model::new(Sense::Maximize);
+    let x = m.add_var(0.0, f64::INFINITY, 3.0, "x");
+    let y = m.add_var(0.0, f64::INFINITY, 5.0, "y");
+    m.add_con(&[(x, 1.0)], Cmp::Le, 4.0);
+    m.add_con(&[(y, 2.0)], Cmp::Le, 12.0);
+    m.add_con(&[(x, 3.0), (y, 2.0)], Cmp::Le, 18.0);
+    for sol in [m.solve().unwrap(), m.solve_dense().unwrap()] {
+        assert_close(sol.objective, 36.0, 1e-8);
+        assert_close(sol.values[x], 2.0, 1e-8);
+        assert_close(sol.values[y], 6.0, 1e-8);
+    }
+}
+
+#[test]
+fn duals_of_classic_lp() {
+    // Same LP; dual prices: y2 = 3/2, y3 = 1 for the binding rows, y1 = 0.
+    let mut m = Model::new(Sense::Maximize);
+    let x = m.add_var(0.0, f64::INFINITY, 3.0, "x");
+    let y = m.add_var(0.0, f64::INFINITY, 5.0, "y");
+    m.add_con(&[(x, 1.0)], Cmp::Le, 4.0);
+    m.add_con(&[(y, 2.0)], Cmp::Le, 12.0);
+    m.add_con(&[(x, 3.0), (y, 2.0)], Cmp::Le, 18.0);
+    let sol = m.solve().unwrap();
+    assert_close(sol.duals[0], 0.0, 1e-8);
+    assert_close(sol.duals[1], 1.5, 1e-8);
+    assert_close(sol.duals[2], 1.0, 1e-8);
+}
+
+#[test]
+fn equality_constraints() {
+    // min x + y  s.t. x + y = 10, x - y = 2 → x=6, y=4, obj=10
+    let mut m = Model::new(Sense::Minimize);
+    let x = m.add_var(0.0, f64::INFINITY, 1.0, "x");
+    let y = m.add_var(0.0, f64::INFINITY, 1.0, "y");
+    m.add_con(&[(x, 1.0), (y, 1.0)], Cmp::Eq, 10.0);
+    m.add_con(&[(x, 1.0), (y, -1.0)], Cmp::Eq, 2.0);
+    let sol = m.solve().unwrap();
+    assert_close(sol.values[x], 6.0, 1e-8);
+    assert_close(sol.values[y], 4.0, 1e-8);
+}
+
+#[test]
+fn infeasible_detected() {
+    let mut m = Model::new(Sense::Minimize);
+    let x = m.add_var(0.0, 1.0, 1.0, "x");
+    m.add_con(&[(x, 1.0)], Cmp::Ge, 5.0);
+    assert_eq!(m.solve().unwrap_err(), Status::Infeasible);
+    assert_eq!(m.solve_dense().unwrap_err(), Status::Infeasible);
+}
+
+#[test]
+fn infeasible_system_of_equalities() {
+    let mut m = Model::new(Sense::Minimize);
+    let x = m.add_var(f64::NEG_INFINITY, f64::INFINITY, 0.0, "x");
+    m.add_con(&[(x, 1.0)], Cmp::Eq, 1.0);
+    m.add_con(&[(x, 1.0)], Cmp::Eq, 2.0);
+    assert_eq!(m.solve().unwrap_err(), Status::Infeasible);
+}
+
+#[test]
+fn unbounded_detected() {
+    let mut m = Model::new(Sense::Minimize);
+    let x = m.add_var(f64::NEG_INFINITY, f64::INFINITY, 1.0, "x");
+    m.add_con(&[(x, 1.0)], Cmp::Le, 100.0);
+    assert_eq!(m.solve().unwrap_err(), Status::Unbounded);
+    assert_eq!(m.solve_dense().unwrap_err(), Status::Unbounded);
+}
+
+#[test]
+fn maximization_unbounded() {
+    let mut m = Model::new(Sense::Maximize);
+    let x = m.add_var(0.0, f64::INFINITY, 1.0, "x");
+    m.add_con(&[(x, -1.0)], Cmp::Le, 0.0);
+    assert_eq!(m.solve().unwrap_err(), Status::Unbounded);
+}
+
+#[test]
+fn free_variables() {
+    // min 2x + y s.t. x + y >= 1, x - y >= -3, x,y free.
+    // Feasible rays satisfy dx >= |dy| so 2dx + dy >= 0: bounded.
+    // Optimum at the corner x + y = 1, x - y = -3 → x = -1, y = 2, obj = 0.
+    let mut m = Model::new(Sense::Minimize);
+    let x = m.add_var(f64::NEG_INFINITY, f64::INFINITY, 2.0, "x");
+    let y = m.add_var(f64::NEG_INFINITY, f64::INFINITY, 1.0, "y");
+    m.add_con(&[(x, 1.0), (y, 1.0)], Cmp::Ge, 1.0);
+    m.add_con(&[(x, 1.0), (y, -1.0)], Cmp::Ge, -3.0);
+    let sol = m.solve().unwrap();
+    assert_close(sol.objective, 0.0, 1e-8);
+    assert_close(sol.values[x], -1.0, 1e-8);
+    assert_close(sol.values[y], 2.0, 1e-8);
+}
+
+#[test]
+fn fixed_variable_respected() {
+    let mut m = Model::new(Sense::Minimize);
+    let x = m.add_var(3.0, 3.0, 1.0, "x");
+    let y = m.add_var(0.0, f64::INFINITY, 1.0, "y");
+    m.add_con(&[(x, 1.0), (y, 1.0)], Cmp::Ge, 5.0);
+    let sol = m.solve().unwrap();
+    assert_close(sol.values[x], 3.0, 1e-9);
+    assert_close(sol.values[y], 2.0, 1e-8);
+}
+
+#[test]
+fn upper_bounded_variables_flip() {
+    // max x + y, x <= 1, y <= 1, x + y <= 1.5
+    let mut m = Model::new(Sense::Maximize);
+    let x = m.add_var(0.0, 1.0, 1.0, "x");
+    let y = m.add_var(0.0, 1.0, 1.0, "y");
+    m.add_con(&[(x, 1.0), (y, 1.0)], Cmp::Le, 1.5);
+    let sol = m.solve().unwrap();
+    assert_close(sol.objective, 1.5, 1e-8);
+}
+
+#[test]
+fn degenerate_lp_terminates() {
+    // Beale's cycling example (classic): without anti-cycling this loops.
+    // min -0.75 x4 + 150 x5 - 0.02 x6 + 6 x7
+    // s.t. 0.25 x4 - 60 x5 - 0.04 x6 + 9 x7 <= 0
+    //      0.5  x4 - 90 x5 - 0.02 x6 + 3 x7 <= 0
+    //      x6 <= 1,   all >= 0.   Optimum: -0.05
+    let mut m = Model::new(Sense::Minimize);
+    let x4 = m.add_var(0.0, f64::INFINITY, -0.75, "x4");
+    let x5 = m.add_var(0.0, f64::INFINITY, 150.0, "x5");
+    let x6 = m.add_var(0.0, f64::INFINITY, -0.02, "x6");
+    let x7 = m.add_var(0.0, f64::INFINITY, 6.0, "x7");
+    m.add_con(&[(x4, 0.25), (x5, -60.0), (x6, -0.04), (x7, 9.0)], Cmp::Le, 0.0);
+    m.add_con(&[(x4, 0.5), (x5, -90.0), (x6, -0.02), (x7, 3.0)], Cmp::Le, 0.0);
+    m.add_con(&[(x6, 1.0)], Cmp::Le, 1.0);
+    let sol = m.solve().unwrap();
+    assert_close(sol.objective, -0.05, 1e-8);
+}
+
+#[test]
+fn transportation_problem() {
+    // 2 sources (supply 20, 30) × 3 sinks (demand 10, 25, 15);
+    // costs [[2,3,1],[5,4,8]]. LP optimum = 20*?? — verify against known 125.
+    // x[s][t] >= 0; supply rows Eq, demand cols Eq (balanced).
+    let cost = [[2.0, 3.0, 1.0], [5.0, 4.0, 8.0]];
+    let supply = [20.0, 30.0];
+    let demand = [10.0, 25.0, 15.0];
+    let mut m = Model::new(Sense::Minimize);
+    let mut vars = [[0usize; 3]; 2];
+    for s in 0..2 {
+        for t in 0..3 {
+            vars[s][t] = m.add_var(0.0, f64::INFINITY, cost[s][t], &format!("x{s}{t}"));
+        }
+    }
+    for s in 0..2 {
+        let terms: Vec<_> = (0..3).map(|t| (vars[s][t], 1.0)).collect();
+        m.add_con(&terms, Cmp::Eq, supply[s]);
+    }
+    for t in 0..3 {
+        let terms: Vec<_> = (0..2).map(|s| (vars[s][t], 1.0)).collect();
+        m.add_con(&terms, Cmp::Eq, demand[t]);
+    }
+    // Optimal: s0 ships 15 to t2 (cost 15), 5 to t0 (10); s1 ships 5 to t0 (25), 25 to t1 (100)
+    // = 150.  Check both engines agree and are <= any feasible plan we try.
+    let a = m.solve().unwrap();
+    let b = m.solve_dense().unwrap();
+    assert_close(a.objective, b.objective, 1e-7);
+    assert_close(a.objective, 150.0, 1e-7);
+}
+
+#[test]
+fn larger_random_cross_check() {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1234);
+    for trial in 0..30 {
+        let n = 3 + rng.gen_range(0..10);
+        let mrows = 2 + rng.gen_range(0..8);
+        let mut m = Model::new(Sense::Minimize);
+        let vars: Vec<_> = (0..n)
+            .map(|j| m.add_var(0.0, rng.gen_range(1.0..10.0), rng.gen_range(-5.0..5.0), &format!("v{j}")))
+            .collect();
+        for _ in 0..mrows {
+            let mut terms = Vec::new();
+            for &v in &vars {
+                if rng.gen_bool(0.6) {
+                    terms.push((v, rng.gen_range(-3.0..3.0)));
+                }
+            }
+            if terms.is_empty() {
+                continue;
+            }
+            let cmp = match rng.gen_range(0..3) {
+                0 => Cmp::Le,
+                1 => Cmp::Ge,
+                _ => Cmp::Eq,
+            };
+            // rhs chosen so that x=midpoint is "often" feasible
+            m.add_con(&terms, cmp, rng.gen_range(-5.0..10.0));
+        }
+        let rs = m.solve();
+        let rd = m.solve_dense();
+        match (rs, rd) {
+            (Ok(a), Ok(b)) => {
+                assert!(
+                    (a.objective - b.objective).abs() <= 1e-6 * (1.0 + a.objective.abs()),
+                    "trial {trial}: sparse {} vs dense {}",
+                    a.objective,
+                    b.objective
+                );
+            }
+            (Err(a), Err(b)) => assert_eq!(a, b, "trial {trial}: status mismatch"),
+            (a, b) => panic!("trial {trial}: divergent outcomes {a:?} vs {b:?}"),
+        }
+    }
+}

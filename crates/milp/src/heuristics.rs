@@ -1,0 +1,117 @@
+//! Primal heuristics: cheap attempts to produce integral incumbents from an
+//! LP-relaxation solution.
+
+use rrp_lp::model::StandardLp;
+use rrp_lp::simplex;
+use rrp_lp::Status;
+
+/// Rounding direction for [`round_and_fix`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RoundMode {
+    /// Round each integer to the nearest integral value.
+    Nearest,
+    /// Round any strictly positive fraction up. For fixed-charge models
+    /// (lot-sizing forcing constraints) the relaxation sets indicators to
+    /// tiny fractions; rounding them *up* keeps the point feasible where
+    /// nearest-rounding would zero the indicator and cut off its flow.
+    CeilPositive,
+}
+
+/// Fix every integer column to the rounded relaxation value (clamped into
+/// its current bounds) and re-solve the LP for the continuous columns.
+/// Returns the full column vector and (min-form) objective on success.
+pub(crate) fn round_and_fix(
+    lp: &StandardLp,
+    lower: &[f64],
+    upper: &[f64],
+    integers: &[usize],
+    relax_x: &[f64],
+    mode: RoundMode,
+) -> Option<(Vec<f64>, f64)> {
+    let mut fixed = lp.clone();
+    fixed.lower.copy_from_slice(lower);
+    fixed.upper.copy_from_slice(upper);
+    for &j in integers {
+        let rounded = match mode {
+            RoundMode::Nearest => relax_x[j].round(),
+            RoundMode::CeilPositive => {
+                if relax_x[j] > 1e-9 {
+                    relax_x[j].ceil()
+                } else {
+                    0.0
+                }
+            }
+        };
+        let r = rounded.clamp(lower[j], upper[j]);
+        // clamp may land on a non-integral bound; snap inward if so
+        let r = if (r - r.round()).abs() > 1e-9 {
+            if rounded < lower[j] {
+                lower[j].ceil()
+            } else {
+                upper[j].floor()
+            }
+        } else {
+            r
+        };
+        if r < lower[j] - 1e-9 || r > upper[j] + 1e-9 {
+            return None; // no integral point inside the bounds
+        }
+        fixed.lower[j] = r;
+        fixed.upper[j] = r;
+    }
+    let raw = simplex::solve_sparse(&fixed);
+    if raw.status != Status::Optimal {
+        return None;
+    }
+    let obj: f64 = raw.x.iter().zip(&fixed.c).map(|(x, c)| x * c).sum();
+    Some((raw.x, obj))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrp_lp::{Cmp, Model, Sense};
+
+    #[test]
+    fn rounding_recovers_integral_point() {
+        // min x + y s.t. x + y >= 2.5, 0 <= x,y <= 3, both integer.
+        // Relaxation: x + y = 2.5. Rounding x=1.25→1, y=1.25→1 is infeasible;
+        // but rounding from e.g. (2.5, 0) → (2, 0) then re-solve bumps y.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var(0.0, 3.0, 1.0, "x");
+        let y = m.add_var(0.0, 3.0, 1.0, "y");
+        m.add_con(&[(x, 1.0), (y, 1.0)], Cmp::Ge, 2.5);
+        let std = m.to_standard();
+        let relax = simplex::solve_sparse(&std);
+        assert_eq!(relax.status, Status::Optimal);
+        // Fix only x (treat y as continuous) so the repair step has slack.
+        let got =
+            round_and_fix(&std, &std.lower, &std.upper, &[0], &relax.x, RoundMode::Nearest);
+        if let Some((xs, obj)) = got {
+            assert!((xs[0] - xs[0].round()).abs() < 1e-9);
+            assert!(xs[0] + xs[1] >= 2.5 - 1e-7);
+            assert!(obj >= 2.5 - 1e-7);
+        }
+    }
+
+    #[test]
+    fn rounding_fails_gracefully_when_fixing_infeasible() {
+        // x integer in [0.2, 0.8]: no integral point.
+        let mut m = Model::new(Sense::Minimize);
+        let _x = m.add_var(0.2, 0.8, 1.0, "x");
+        let std = m.to_standard();
+        let relax = simplex::solve_sparse(&std);
+        let got =
+            round_and_fix(&std, &std.lower, &std.upper, &[0], &relax.x, RoundMode::Nearest);
+        assert!(got.is_none());
+        let got_up = round_and_fix(
+            &std,
+            &std.lower,
+            &std.upper,
+            &[0],
+            &relax.x,
+            RoundMode::CeilPositive,
+        );
+        assert!(got_up.is_none());
+    }
+}

@@ -1,0 +1,61 @@
+//! # rrp-milp — branch & bound mixed-integer linear programming
+//!
+//! A MILP solver layered on the `rrp-lp` simplex, standing in for the
+//! CPLEX™ solver the paper used through AIMMS. It supports:
+//!
+//! * continuous + integer (including binary) variables,
+//! * best-bound (best-first) tree search with most-fractional or
+//!   pseudo-cost branching,
+//! * an LP-rounding primal heuristic to find incumbents early,
+//! * relative/absolute gap and node-limit termination,
+//! * optional parallel node processing ([`solve_parallel`]), where workers
+//!   expand batches of frontier nodes concurrently.
+//!
+//! The DRRP and SRRP formulations of the paper are built as [`MilpProblem`]s
+//! by `rrp-core` and solved here.
+//!
+//! ```
+//! use rrp_lp::{Model, Sense, Cmp};
+//! use rrp_milp::{MilpProblem, MilpOptions};
+//! // max 5x + 4y  s.t. 6x + 4y <= 24, x + 2y <= 6, x,y >= 0 integer
+//! let mut m = Model::new(Sense::Maximize);
+//! let x = m.add_var(0.0, f64::INFINITY, 5.0, "x");
+//! let y = m.add_var(0.0, f64::INFINITY, 4.0, "y");
+//! m.add_con(&[(x, 6.0), (y, 4.0)], Cmp::Le, 24.0);
+//! m.add_con(&[(x, 1.0), (y, 2.0)], Cmp::Le, 6.0);
+//! let p = MilpProblem::new(m, vec![x, y]);
+//! let sol = p.solve(&MilpOptions::default()).unwrap();
+//! assert_eq!(sol.values[x].round() as i64, 4);
+//! assert_eq!(sol.values[y].round() as i64, 0);
+//! ```
+
+mod branch;
+mod heuristics;
+mod solver;
+
+pub use branch::Branching;
+pub use solver::{solve_parallel, MilpOptions, MilpSolution, MilpStatus};
+
+use rrp_lp::{Model, VarId};
+
+/// A mixed-integer linear program: an LP [`Model`] plus the set of columns
+/// that must take integral values.
+#[derive(Debug, Clone)]
+pub struct MilpProblem {
+    pub model: Model,
+    pub integers: Vec<VarId>,
+}
+
+impl MilpProblem {
+    pub fn new(model: Model, integers: Vec<VarId>) -> Self {
+        for &v in &integers {
+            assert!(v < model.num_vars(), "integer mark on unknown variable {v}");
+        }
+        Self { model, integers }
+    }
+
+    /// Solve sequentially with the given options.
+    pub fn solve(&self, opts: &MilpOptions) -> Result<MilpSolution, MilpStatus> {
+        solver::solve(self, opts)
+    }
+}

@@ -1,0 +1,400 @@
+//! Best-first branch & bound over the `rrp-lp` simplex.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use rayon::prelude::*;
+use rrp_lp::model::StandardLp;
+use rrp_lp::simplex;
+use rrp_lp::Status;
+
+use crate::branch::{self, Branching, PseudoCosts};
+use crate::heuristics;
+use crate::MilpProblem;
+
+/// Solver options.
+#[derive(Debug, Clone)]
+pub struct MilpOptions {
+    /// Relative optimality gap at which the search stops.
+    pub rel_gap: f64,
+    /// Absolute optimality gap at which the search stops.
+    pub abs_gap: f64,
+    /// Integrality tolerance.
+    pub int_tol: f64,
+    /// Maximum number of B&B nodes to expand.
+    pub node_limit: usize,
+    /// Branching rule.
+    pub branching: Branching,
+    /// Run the LP-rounding heuristic every this many nodes (0 disables).
+    pub heuristic_period: usize,
+    /// Worker batch size for [`solve_parallel`] (0 = rayon default width).
+    pub parallel_batch: usize,
+}
+
+impl Default for MilpOptions {
+    fn default() -> Self {
+        Self {
+            rel_gap: 1e-6,
+            abs_gap: 1e-9,
+            int_tol: 1e-6,
+            node_limit: 1_000_000,
+            branching: Branching::default(),
+            heuristic_period: 16,
+            parallel_batch: 0,
+        }
+    }
+}
+
+/// Failure outcomes of a MILP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MilpStatus {
+    Infeasible,
+    Unbounded,
+    /// Node limit reached with no incumbent found.
+    NodeLimit,
+    Numerical,
+}
+
+impl std::fmt::Display for MilpStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            MilpStatus::Infeasible => "infeasible",
+            MilpStatus::Unbounded => "unbounded",
+            MilpStatus::NodeLimit => "node limit without incumbent",
+            MilpStatus::Numerical => "numerical failure",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for MilpStatus {}
+
+/// A feasible (and usually optimal) MILP solution in model space.
+#[derive(Debug, Clone)]
+pub struct MilpSolution {
+    /// Objective in the model's original sense.
+    pub objective: f64,
+    /// Value per structural variable (integers snapped exactly).
+    pub values: Vec<f64>,
+    /// Best dual bound in the original sense.
+    pub best_bound: f64,
+    /// Final relative gap.
+    pub gap: f64,
+    /// Nodes expanded.
+    pub nodes: usize,
+    /// Whether the gap criterion was met (vs. node-limit stop).
+    pub proven_optimal: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    /// Parent LP bound in min-form (lower bound on any descendant).
+    bound: f64,
+    overrides: Vec<(usize, f64, f64)>,
+    /// (col, up?, parent fractional part, parent objective) for pseudo-costs.
+    branch: Option<(usize, bool, f64, f64)>,
+    id: u64,
+}
+
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound && self.id == other.id
+    }
+}
+impl Eq for Node {}
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert so the SMALLEST bound pops first;
+        // ties broken newest-first (dive towards incumbents).
+        other
+            .bound
+            .partial_cmp(&self.bound)
+            .unwrap_or(Ordering::Equal)
+            .then(self.id.cmp(&other.id))
+    }
+}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+enum Expansion {
+    Pruned,
+    Infeasible,
+    Unbounded,
+    Numerical,
+    /// Integral LP optimum: candidate incumbent (min-form obj, full x).
+    Incumbent(f64, Vec<f64>),
+    /// Fractional: two children plus optional heuristic incumbent.
+    Branched {
+        children: [Node; 2],
+        heuristic: Option<(f64, Vec<f64>)>,
+    },
+}
+
+struct Searcher<'a> {
+    base: &'a StandardLp,
+    integers: &'a [usize],
+    opts: &'a MilpOptions,
+    pc: PseudoCosts,
+    next_id: std::sync::atomic::AtomicU64,
+}
+
+impl<'a> Searcher<'a> {
+    fn new(base: &'a StandardLp, integers: &'a [usize], opts: &'a MilpOptions) -> Self {
+        Self {
+            base,
+            integers,
+            opts,
+            pc: PseudoCosts::new(base.ncols()),
+            next_id: std::sync::atomic::AtomicU64::new(1),
+        }
+    }
+
+    fn fresh_id(&self) -> u64 {
+        self.next_id.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Solve one node's LP relaxation and classify the outcome.
+    /// `cutoff` is the current incumbent objective in min-form (`INFINITY`
+    /// when none); `run_heuristic` enables the rounding heuristic.
+    fn expand(&self, node: &Node, cutoff: f64, run_heuristic: bool) -> Expansion {
+        let mut lp = self.base.clone();
+        for &(j, l, u) in &node.overrides {
+            lp.lower[j] = lp.lower[j].max(l);
+            lp.upper[j] = lp.upper[j].min(u);
+            if lp.lower[j] > lp.upper[j] {
+                return Expansion::Infeasible;
+            }
+        }
+        let raw = simplex::solve_sparse(&lp);
+        let raw = match raw.status {
+            Status::Optimal => raw,
+            Status::Infeasible => return Expansion::Infeasible,
+            Status::Unbounded => return Expansion::Unbounded,
+            Status::IterationLimit | Status::Numerical => {
+                // one retry with the dense reference engine
+                let dense = simplex::solve_dense(&lp);
+                match dense.status {
+                    Status::Optimal => dense,
+                    Status::Infeasible => return Expansion::Infeasible,
+                    Status::Unbounded => return Expansion::Unbounded,
+                    _ => return Expansion::Numerical,
+                }
+            }
+        };
+        let z: f64 = raw.x.iter().zip(&lp.c).map(|(x, c)| x * c).sum();
+
+        // pseudo-cost update from the parent's branching decision
+        if let Some((col, up, frac, parent_obj)) = node.branch {
+            self.pc.record(col, up, frac, (z - parent_obj).max(0.0));
+        }
+
+        if z >= cutoff - self.gap_slack(cutoff) {
+            return Expansion::Pruned;
+        }
+
+        // integrality check
+        let mut fractional: Vec<(usize, f64)> = Vec::new();
+        for &j in self.integers {
+            let v = raw.x[j];
+            if (v - v.round()).abs() > self.opts.int_tol {
+                fractional.push((j, v));
+            }
+        }
+        if fractional.is_empty() {
+            return Expansion::Incumbent(z, raw.x);
+        }
+
+        let heuristic = if run_heuristic {
+            // try nearest-rounding and ceil-positive (fixed-charge friendly)
+            // and keep the better feasible point
+            let tries = [
+                heuristics::RoundMode::Nearest,
+                heuristics::RoundMode::CeilPositive,
+            ];
+            tries
+                .iter()
+                .filter_map(|&mode| {
+                    heuristics::round_and_fix(
+                        self.base, &lp.lower, &lp.upper, self.integers, &raw.x, mode,
+                    )
+                })
+                .filter(|&(_, hz)| hz < cutoff - self.gap_slack(cutoff))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(x, hz)| (hz, x))
+        } else {
+            None
+        };
+
+        let (col, v) = branch::select(self.opts.branching, &self.pc, &fractional);
+        let frac = v - v.floor();
+        let mut down = node.overrides.clone();
+        down.push((col, f64::NEG_INFINITY, v.floor()));
+        let mut up = node.overrides.clone();
+        up.push((col, v.ceil(), f64::INFINITY));
+        let children = [
+            Node { bound: z, overrides: down, branch: Some((col, false, frac, z)), id: self.fresh_id() },
+            Node { bound: z, overrides: up, branch: Some((col, true, frac, z)), id: self.fresh_id() },
+        ];
+        Expansion::Branched { children, heuristic }
+    }
+
+    fn gap_slack(&self, cutoff: f64) -> f64 {
+        if cutoff.is_finite() {
+            self.opts.abs_gap.max(self.opts.rel_gap * cutoff.abs())
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Sequential best-first branch & bound.
+pub fn solve(problem: &MilpProblem, opts: &MilpOptions) -> Result<MilpSolution, MilpStatus> {
+    drive(problem, opts, 1)
+}
+
+/// Parallel branch & bound: expands batches of frontier nodes concurrently
+/// on the rayon thread pool. Results are merged deterministically in batch
+/// order, so repeated runs return identical solutions.
+pub fn solve_parallel(
+    problem: &MilpProblem,
+    opts: &MilpOptions,
+) -> Result<MilpSolution, MilpStatus> {
+    let width = if opts.parallel_batch > 0 {
+        opts.parallel_batch
+    } else {
+        rayon::current_num_threads().max(2) * 2
+    };
+    drive(problem, opts, width)
+}
+
+fn drive(
+    problem: &MilpProblem,
+    opts: &MilpOptions,
+    batch_width: usize,
+) -> Result<MilpSolution, MilpStatus> {
+    let base = problem.model.to_standard();
+    let searcher = Searcher::new(&base, &problem.integers, opts);
+
+    let mut heap: BinaryHeap<Node> = BinaryHeap::new();
+    heap.push(Node { bound: f64::NEG_INFINITY, overrides: Vec::new(), branch: None, id: 0 });
+
+    let mut incumbent: Option<(f64, Vec<f64>)> = None; // (min-form obj, x)
+    let mut nodes = 0usize;
+    let mut seen_numerical = false;
+    let mut root = true;
+
+    while let Some(top_bound) = heap.peek().map(|n| n.bound) {
+        if nodes >= opts.node_limit {
+            break;
+        }
+        // gap-based stop
+        if let Some((inc, _)) = &incumbent {
+            let slack = opts.abs_gap.max(opts.rel_gap * inc.abs());
+            if top_bound >= inc - slack {
+                break;
+            }
+        }
+        // pop a batch
+        let cutoff = incumbent.as_ref().map(|(z, _)| *z).unwrap_or(f64::INFINITY);
+        let mut batch = Vec::with_capacity(batch_width);
+        while batch.len() < batch_width {
+            match heap.pop() {
+                Some(n) if n.bound < cutoff - searcher.gap_slack(cutoff) => batch.push(n),
+                Some(_) => {} // pruned by bound
+                None => break,
+            }
+        }
+        if batch.is_empty() {
+            break;
+        }
+        let run_h = opts.heuristic_period > 0
+            && (root || nodes % opts.heuristic_period.max(1) < batch.len());
+        nodes += batch.len();
+
+        let results: Vec<Expansion> = if batch.len() == 1 {
+            vec![searcher.expand(&batch[0], cutoff, run_h)]
+        } else {
+            batch
+                .par_iter()
+                .map(|n| searcher.expand(n, cutoff, run_h))
+                .collect()
+        };
+
+        for exp in results {
+            match exp {
+                Expansion::Pruned | Expansion::Infeasible => {}
+                Expansion::Unbounded => {
+                    if root {
+                        return Err(MilpStatus::Unbounded);
+                    }
+                    // A child LP cannot be unbounded if the root was bounded;
+                    // treat as numerical trouble.
+                    seen_numerical = true;
+                }
+                Expansion::Numerical => seen_numerical = true,
+                Expansion::Incumbent(z, x) => {
+                    if incumbent.as_ref().map_or(true, |(best, _)| z < *best) {
+                        incumbent = Some((z, x));
+                    }
+                }
+                Expansion::Branched { children, heuristic } => {
+                    if let Some((hz, hx)) = heuristic {
+                        if incumbent.as_ref().map_or(true, |(best, _)| hz < *best) {
+                            // validate integrality of the heuristic point
+                            let ok = problem
+                                .integers
+                                .iter()
+                                .all(|&j| (hx[j] - hx[j].round()).abs() <= opts.int_tol);
+                            if ok {
+                                incumbent = Some((hz, hx));
+                            }
+                        }
+                    }
+                    for c in children {
+                        heap.push(c);
+                    }
+                }
+            }
+        }
+        root = false;
+    }
+
+    let best_frontier = heap.peek().map(|n| n.bound).unwrap_or(f64::INFINITY);
+    match incumbent {
+        Some((z, x)) => {
+            let bound_min = best_frontier.min(z);
+            let gap = if z.abs() > 0.0 {
+                ((z - bound_min) / z.abs()).max(0.0)
+            } else {
+                (z - bound_min).abs()
+            };
+            let slack = opts.abs_gap.max(opts.rel_gap * z.abs());
+            let proven = best_frontier >= z - slack;
+            let scale = base.obj_scale;
+            let mut values: Vec<f64> = x[..base.nstruct].to_vec();
+            for &j in &problem.integers {
+                values[j] = values[j].round();
+            }
+            Ok(MilpSolution {
+                objective: z * scale,
+                values,
+                best_bound: bound_min * scale,
+                gap,
+                nodes,
+                proven_optimal: proven,
+            })
+        }
+        None => {
+            if seen_numerical {
+                Err(MilpStatus::Numerical)
+            } else if nodes >= opts.node_limit {
+                Err(MilpStatus::NodeLimit)
+            } else {
+                Err(MilpStatus::Infeasible)
+            }
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Synthetic spot-price archive — the stand-in for the cloudexchange.org
+//! data set the paper used (Feb 1 2010 – Jun 22 2011, linux, us-east-1).
+//!
+//! The generator is calibrated to the statistical signature the paper
+//! reports rather than to exact prices (which are unrecoverable):
+//!
+//! * spot level ≈ 30 % of on-demand (typical 60-70 % saving, §IV-A),
+//! * tight micro-fluctuations (the Fig. 5 histogram spans ~±7 %),
+//! * a weak but detectable 24-hour cycle (Fig. 6 seasonal panel),
+//! * weak lag autocorrelation that still pokes above the 95 % band at a few
+//!   lags (Fig. 7),
+//! * rare upward spikes so IQR outliers stay below ~3 %, increasing with
+//!   instance power (Fig. 3),
+//! * an irregular update process with a slowly drifting daily rate of
+//!   roughly 0–25 updates/day (Fig. 4).
+//!
+//! Everything is deterministic in the seed, and each [`crate::VmClass`] has
+//! a canonical default seed so "the archive" is stable across runs.
+
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal, Poisson};
+use rrp_timeseries::{EventSeries, TimeSeries};
+
+use crate::vmclass::VmClass;
+
+/// Length of the archive in days (Feb 1 2010 → Jun 22 2011).
+pub const ARCHIVE_DAYS: usize = 507;
+/// First day (0-based) of the paper's estimation window (Dec 1 2010).
+pub const ESTIMATION_START_DAY: usize = 303;
+/// One-past-last day of the estimation window (Jan 31 2011 inclusive).
+pub const ESTIMATION_END_DAY: usize = 365;
+/// The paper's validation day (Feb 1 2011).
+pub const VALIDATION_DAY: usize = 365;
+
+/// A generated spot-price history for one VM class.
+#[derive(Debug, Clone)]
+pub struct SpotArchive {
+    pub class: VmClass,
+    pub seed: u64,
+    /// Raw irregular update events.
+    pub events: EventSeries,
+    /// Hourly regularised series over the full span (`ARCHIVE_DAYS * 24`).
+    pub hourly: TimeSeries,
+}
+
+/// Generator parameters; derived from the class unless customised.
+#[derive(Debug, Clone)]
+pub struct ArchiveParams {
+    /// Mean spot level as a fraction of on-demand.
+    pub discount: f64,
+    /// AR(1) persistence of the mean-reverting component.
+    pub persistence: f64,
+    /// Innovation std-dev, relative to the base level.
+    pub rel_vol: f64,
+    /// Relative amplitude of the 24 h cycle.
+    pub seasonal_amp: f64,
+    /// Probability that an update is a spike.
+    pub spike_prob: f64,
+    /// Spike magnitude range, relative to base.
+    pub spike_range: (f64, f64),
+    /// Mean number of updates per day.
+    pub updates_per_day: f64,
+}
+
+impl ArchiveParams {
+    /// Calibrated defaults per class: larger instances fluctuate and spike
+    /// more, matching the paper's Fig. 3 observation.
+    pub fn for_class(class: VmClass) -> Self {
+        let rank = class.power_rank() as f64;
+        Self {
+            discount: 0.30 + 0.01 * rank,
+            // Fast mean reversion: the paper's trace stays inside a ~±7 %
+            // band for two months, crosses its mean constantly (Fig. 8) and
+            // shows only weak lag correlation (Fig. 7 — "not strong
+            // enough"). 0.4 per update with ~15 updates/day keeps the
+            // hourly autocorrelation mild and kills day-to-day drift.
+            persistence: 0.40,
+            // stationary sd ≈ rel_vol/√(1−0.4²) ≈ 5-6 % of the base level:
+            // the paper's c1.medium histogram spans ≈ ±7 % (Fig. 5), and a
+            // mean-level bid must genuinely lose a sizeable share of
+            // auctions (§V-C) for the out-of-bid recourse to matter.
+            rel_vol: 0.05,
+            seasonal_amp: 0.006,
+            // spikes stay rare and moderate so the IQR outlier share keeps
+            // below the ~3 % the paper reports while skewing the tail; the
+            // rate grows with class power (Fig. 3: "more outliers present
+            // in more powerful VM class")
+            spike_prob: 0.002 * rank,
+            spike_range: (0.20, 0.80),
+            updates_per_day: 12.0 + 2.0 * rank,
+        }
+    }
+}
+
+impl SpotArchive {
+    /// Canonical archive for a class (fixed per-class seed).
+    pub fn canonical(class: VmClass) -> Self {
+        let seed = 0x5EED_0000 + class.power_rank() as u64;
+        Self::generate(class, seed)
+    }
+
+    /// Generate with an explicit seed and default parameters.
+    pub fn generate(class: VmClass, seed: u64) -> Self {
+        Self::generate_with(class, seed, &ArchiveParams::for_class(class))
+    }
+
+    /// Generate with explicit parameters.
+    pub fn generate_with(class: VmClass, seed: u64, p: &ArchiveParams) -> Self {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let base = class.on_demand_price() * p.discount;
+        let normal = Normal::new(0.0, 1.0).expect("unit normal");
+
+        let mut times: Vec<u64> = Vec::new();
+        let mut values: Vec<f64> = Vec::new();
+        let mut x = 0.0f64; // AR(1) deviation state
+
+        for day in 0..ARCHIVE_DAYS {
+            // slowly drifting daily update rate (Fig. 4 shape)
+            let drift = 1.0 + 0.6 * (2.0 * std::f64::consts::PI * day as f64 / 150.0).sin();
+            let rate = (p.updates_per_day * drift).max(0.05);
+            let count = Poisson::new(rate).map(|d| d.sample(&mut rng) as usize).unwrap_or(0);
+            let mut secs: Vec<u64> =
+                (0..count).map(|_| day as u64 * 86_400 + rng.gen_range(0..86_400)).collect();
+            secs.sort_unstable();
+            secs.dedup();
+            for t in secs {
+                x = p.persistence * x + p.rel_vol * normal.sample(&mut rng);
+                let hour_of_day = (t % 86_400) as f64 / 3600.0;
+                let seas = p.seasonal_amp
+                    * (2.0 * std::f64::consts::PI * hour_of_day / 24.0).sin();
+                let spike = if rng.gen_bool(p.spike_prob) {
+                    rng.gen_range(p.spike_range.0..p.spike_range.1)
+                } else {
+                    0.0
+                };
+                let price = (base * (1.0 + x + seas + spike)).max(base * 0.5);
+                // EC2 publishes mills: quantise to $0.001
+                let price = (price * 1000.0).round() / 1000.0;
+                times.push(t);
+                values.push(price);
+            }
+        }
+        let events = EventSeries::new(times, values);
+        let hourly = events.to_hourly(ARCHIVE_DAYS * 24, base);
+        Self { class, seed, events, hourly }
+    }
+
+    /// Hourly sub-series for days `[start_day, end_day)`.
+    pub fn hourly_window(&self, start_day: usize, end_day: usize) -> TimeSeries {
+        self.hourly.slice(start_day * 24, end_day * 24)
+    }
+
+    /// The paper's two-month estimation window (Dec 1 2010 – Jan 31 2011).
+    pub fn estimation_window(&self) -> TimeSeries {
+        self.hourly_window(ESTIMATION_START_DAY, ESTIMATION_END_DAY)
+    }
+
+    /// The paper's validation day (Feb 1 2011), 24 hourly prices.
+    pub fn validation_day(&self) -> TimeSeries {
+        self.hourly_window(VALIDATION_DAY, VALIDATION_DAY + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrp_timeseries::outlier::BoxWhisker;
+    use rrp_timeseries::stats::mean;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = SpotArchive::generate(VmClass::C1Medium, 1);
+        let b = SpotArchive::generate(VmClass::C1Medium, 1);
+        assert_eq!(a.events.values, b.events.values);
+        assert_eq!(a.hourly.values(), b.hourly.values());
+        let c = SpotArchive::generate(VmClass::C1Medium, 2);
+        assert_ne!(a.events.values, c.events.values);
+    }
+
+    #[test]
+    fn discount_in_published_range() {
+        for class in VmClass::ALL {
+            let a = SpotArchive::canonical(class);
+            let m = mean(a.hourly.values());
+            let ratio = m / class.on_demand_price();
+            assert!(
+                (0.25..0.45).contains(&ratio),
+                "{class}: mean/od = {ratio:.3} outside the 60-75% saving band"
+            );
+        }
+    }
+
+    #[test]
+    fn outlier_fraction_below_three_percent_and_grows_with_power() {
+        let mut fractions = Vec::new();
+        for class in [VmClass::C1Medium, VmClass::M1Xlarge] {
+            let a = SpotArchive::canonical(class);
+            let bw = BoxWhisker::build(a.hourly.values());
+            let f = bw.outlier_fraction(a.hourly.len());
+            assert!(f < 0.03, "{class}: outlier fraction {f:.4}");
+            fractions.push(f);
+        }
+        assert!(
+            fractions[1] > fractions[0] * 0.8,
+            "more powerful class should spike at least comparably: {fractions:?}"
+        );
+    }
+
+    #[test]
+    fn update_frequency_in_figure4_range() {
+        let a = SpotArchive::canonical(VmClass::C1Medium);
+        let counts = a.events.daily_update_counts(ARCHIVE_DAYS);
+        let max = *counts.iter().max().unwrap();
+        let avg = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
+        assert!(max <= 40, "max daily updates {max}");
+        assert!((4.0..20.0).contains(&avg), "avg daily updates {avg}");
+    }
+
+    #[test]
+    fn estimation_window_has_expected_span() {
+        let a = SpotArchive::canonical(VmClass::C1Medium);
+        assert_eq!(a.estimation_window().len(), 62 * 24);
+        assert_eq!(a.validation_day().len(), 24);
+    }
+
+    #[test]
+    fn prices_positive_and_quantised() {
+        let a = SpotArchive::canonical(VmClass::M1Large);
+        for &v in &a.events.values {
+            assert!(v > 0.0);
+            let mills = v * 1000.0;
+            assert!((mills - mills.round()).abs() < 1e-9, "price {v} not in mills");
+        }
+    }
+
+    #[test]
+    fn hourly_has_daily_seasonality_detectable() {
+        use rrp_timeseries::decompose::{decompose, seasonal_strength};
+        let a = SpotArchive::canonical(VmClass::C1Medium);
+        let w = a.estimation_window();
+        let d = decompose(w.values(), 24);
+        let s = seasonal_strength(&d);
+        assert!(s > 0.01, "seasonal strength {s} too weak to register");
+    }
+}

@@ -1,0 +1,65 @@
+//! Uniform-price auction semantics of the EC2 spot market.
+//!
+//! The paper's assumptions (§IV): bidders bid their true valuation; all
+//! winners pay the spot price (lowest winning bid) regardless of their own
+//! bid; a bidder whose bid falls below the spot price loses the instance
+//! ("out-of-bid event") and must cover its demand from the on-demand market
+//! at the fixed on-demand price.
+
+/// Outcome of attempting to hold a spot instance for one slot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RentalOutcome {
+    /// Price actually paid for the slot's compute.
+    pub price_paid: f64,
+    /// Whether the bid lost the auction and on-demand capacity was used.
+    pub out_of_bid: bool,
+}
+
+/// Resolve one slot: `bid` against the realised `spot` price with the
+/// class's `on_demand` fallback.
+pub fn rental_outcome(bid: f64, spot: f64, on_demand: f64) -> RentalOutcome {
+    if bid >= spot {
+        RentalOutcome { price_paid: spot, out_of_bid: false }
+    } else {
+        RentalOutcome { price_paid: on_demand, out_of_bid: true }
+    }
+}
+
+/// Effective per-slot compute price along a whole horizon of realised spot
+/// prices for a fixed bid.
+pub fn effective_prices(bid: f64, spots: &[f64], on_demand: f64) -> Vec<f64> {
+    spots.iter().map(|&s| rental_outcome(bid, s, on_demand).price_paid).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn winner_pays_spot_not_bid() {
+        let o = rental_outcome(0.10, 0.06, 0.20);
+        assert!(!o.out_of_bid);
+        assert_eq!(o.price_paid, 0.06);
+    }
+
+    #[test]
+    fn bid_equal_to_spot_wins() {
+        let o = rental_outcome(0.06, 0.06, 0.20);
+        assert!(!o.out_of_bid);
+        assert_eq!(o.price_paid, 0.06);
+    }
+
+    #[test]
+    fn out_of_bid_pays_on_demand() {
+        let o = rental_outcome(0.05, 0.06, 0.20);
+        assert!(o.out_of_bid);
+        assert_eq!(o.price_paid, 0.20);
+    }
+
+    #[test]
+    fn effective_prices_mixture() {
+        let spots = [0.05, 0.07, 0.06];
+        let eff = effective_prices(0.06, &spots, 0.20);
+        assert_eq!(eff, vec![0.05, 0.20, 0.06]);
+    }
+}

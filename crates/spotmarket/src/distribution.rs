@@ -1,0 +1,197 @@
+//! Empirical discrete price distributions and the paper's bid-dependent
+//! dynamic sampling (Eq. 10).
+
+/// A discrete probability distribution over price states, sorted ascending.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmpiricalDist {
+    values: Vec<f64>,
+    probs: Vec<f64>,
+}
+
+impl EmpiricalDist {
+    /// Summarise a price history into a discrete distribution. Exact
+    /// distinct values are used when there are at most `max_states` of
+    /// them; otherwise the history is quantile-binned into `max_states`
+    /// states (each state's value is the bin mean).
+    pub fn from_history(history: &[f64], max_states: usize) -> Self {
+        assert!(!history.is_empty(), "empty price history");
+        assert!(max_states >= 1);
+        let mut sorted = history.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = sorted.len();
+        let mut distinct = sorted.clone();
+        distinct.dedup();
+        if distinct.len() <= max_states {
+            // exact empirical distribution
+            let mut values = Vec::new();
+            let mut probs = Vec::new();
+            let mut i = 0usize;
+            while i < n {
+                let v = sorted[i];
+                let mut j = i;
+                while j < n && sorted[j] == v {
+                    j += 1;
+                }
+                values.push(v);
+                probs.push((j - i) as f64 / n as f64);
+                i = j;
+            }
+            return Self { values, probs };
+        }
+        // quantile binning: equal-count bins, value = bin mean
+        let mut values = Vec::with_capacity(max_states);
+        let mut probs = Vec::with_capacity(max_states);
+        for b in 0..max_states {
+            let lo = b * n / max_states;
+            let hi = ((b + 1) * n / max_states).max(lo + 1).min(n);
+            let bin = &sorted[lo..hi];
+            let mean = bin.iter().sum::<f64>() / bin.len() as f64;
+            values.push(mean);
+            probs.push(bin.len() as f64 / n as f64);
+        }
+        // merge bins that collapsed to identical values
+        let mut mv = Vec::new();
+        let mut mp = Vec::new();
+        for (v, p) in values.into_iter().zip(probs) {
+            match mv.last() {
+                Some(&last) if (last - v) == 0.0 => {
+                    *mp.last_mut().unwrap() += p;
+                }
+                _ => {
+                    mv.push(v);
+                    mp.push(p);
+                }
+            }
+        }
+        Self { values: mv, probs: mp }
+    }
+
+    /// Construct directly (values must be ascending, probs sum to 1).
+    pub fn from_parts(values: Vec<f64>, probs: Vec<f64>) -> Self {
+        assert_eq!(values.len(), probs.len());
+        assert!(!values.is_empty());
+        assert!(values.windows(2).all(|w| w[0] < w[1]), "values must be ascending");
+        let total: f64 = probs.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "probabilities sum to {total}");
+        assert!(probs.iter().all(|&p| p >= 0.0));
+        Self { values, probs }
+    }
+
+    pub fn states(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    pub fn mean(&self) -> f64 {
+        self.values.iter().zip(&self.probs).map(|(v, p)| v * p).sum()
+    }
+
+    /// The paper's Eq. (10): keep the states priced at or below the bid;
+    /// fold all remaining mass into a single out-of-bid state priced at the
+    /// on-demand price λ. The resulting support is what the SRRP scenario
+    /// tree branches over at each decision point.
+    pub fn truncate_at_bid(&self, bid: f64, on_demand: f64) -> EmpiricalDist {
+        let mut values = Vec::new();
+        let mut probs = Vec::new();
+        let mut kept = 0.0f64;
+        for (&v, &p) in self.values.iter().zip(&self.probs) {
+            if v <= bid {
+                values.push(v);
+                probs.push(p);
+                kept += p;
+            }
+        }
+        let out_mass = (1.0 - kept).max(0.0);
+        if out_mass > 1e-12 {
+            // λ sits above every kept spot state by construction
+            values.push(on_demand);
+            probs.push(out_mass);
+        } else if values.is_empty() {
+            values.push(on_demand);
+            probs.push(1.0);
+        }
+        EmpiricalDist { values, probs }
+    }
+
+    /// Probability that the realised price exceeds the bid (the out-of-bid
+    /// risk the deterministic model ignores).
+    pub fn out_of_bid_probability(&self, bid: f64) -> f64 {
+        self.values
+            .iter()
+            .zip(&self.probs)
+            .filter(|(&v, _)| v > bid)
+            .map(|(_, &p)| p)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_distribution_for_few_values() {
+        let d = EmpiricalDist::from_history(&[0.06, 0.05, 0.06, 0.07], 10);
+        assert_eq!(d.values(), &[0.05, 0.06, 0.07]);
+        assert_eq!(d.probs(), &[0.25, 0.5, 0.25]);
+        assert!((d.mean() - 0.06).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binning_caps_state_count() {
+        let history: Vec<f64> = (0..1000).map(|i| 0.05 + i as f64 * 1e-5).collect();
+        let d = EmpiricalDist::from_history(&history, 5);
+        assert_eq!(d.states(), 5);
+        let total: f64 = d.probs().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // bin means are increasing
+        assert!(d.values().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn truncation_folds_out_of_bid_mass() {
+        let d = EmpiricalDist::from_parts(
+            vec![0.05, 0.06, 0.08],
+            vec![0.5, 0.3, 0.2],
+        );
+        let t = d.truncate_at_bid(0.06, 0.20);
+        assert_eq!(t.values(), &[0.05, 0.06, 0.20]);
+        for (got, want) in t.probs().iter().zip([0.5, 0.3, 0.2]) {
+            assert!((got - want).abs() < 1e-12, "{got} vs {want}");
+        }
+        assert!((t.mean() - (0.025 + 0.018 + 0.04)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truncation_with_bid_above_all_is_identity() {
+        let d = EmpiricalDist::from_parts(vec![0.05, 0.06], vec![0.6, 0.4]);
+        let t = d.truncate_at_bid(1.0, 0.20);
+        assert_eq!(t, d);
+    }
+
+    #[test]
+    fn truncation_with_hopeless_bid_is_pure_on_demand() {
+        let d = EmpiricalDist::from_parts(vec![0.05, 0.06], vec![0.6, 0.4]);
+        let t = d.truncate_at_bid(0.01, 0.20);
+        assert_eq!(t.values(), &[0.20]);
+        assert_eq!(t.probs(), &[1.0]);
+    }
+
+    #[test]
+    fn out_of_bid_probability_matches_tail() {
+        let d = EmpiricalDist::from_parts(
+            vec![0.05, 0.06, 0.08],
+            vec![0.5, 0.3, 0.2],
+        );
+        assert!((d.out_of_bid_probability(0.055) - 0.5).abs() < 1e-12);
+        assert!((d.out_of_bid_probability(0.07) - 0.2).abs() < 1e-12);
+        assert_eq!(d.out_of_bid_probability(0.5), 0.0);
+    }
+}

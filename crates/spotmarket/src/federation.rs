@@ -1,0 +1,186 @@
+//! Multi-provider cloud federations. The paper's system model (§III-A)
+//! covers "a cloud market formed by a single IaaS provider, e.g., Amazon,
+//! or a coalition of multiple IaaS providers, e.g., a federation of private
+//! clouds resided in distributed data centers belonging to different
+//! administrative domains".
+//!
+//! A [`Federation`] aggregates several providers' spot feeds for one VM
+//! class; the ASP always sources each slot from the currently cheapest
+//! provider, so the planner sees a single effective price series (the
+//! per-slot minimum) and an effective on-demand price (the cheapest λ).
+
+use rrp_timeseries::TimeSeries;
+
+use crate::vmclass::VmClass;
+
+/// One provider's offer for a VM class.
+#[derive(Debug, Clone)]
+pub struct ProviderOffer {
+    /// Display name ("aws-us-east", "private-dc-3", …).
+    pub name: String,
+    /// Hourly spot/discounted price series.
+    pub spot: TimeSeries,
+    /// On-demand fallback price λ for this provider.
+    pub on_demand: f64,
+}
+
+/// A coalition of providers offering the same VM class.
+#[derive(Debug, Clone)]
+pub struct Federation {
+    pub class: VmClass,
+    providers: Vec<ProviderOffer>,
+}
+
+impl Federation {
+    pub fn new(class: VmClass, providers: Vec<ProviderOffer>) -> Self {
+        assert!(!providers.is_empty(), "a federation needs at least one provider");
+        let len = providers[0].spot.len();
+        assert!(len > 0, "provider series must be non-empty");
+        for p in &providers {
+            assert_eq!(p.spot.len(), len, "provider '{}' has a mismatched series", p.name);
+            assert!(p.on_demand > 0.0, "provider '{}' has a non-positive λ", p.name);
+        }
+        Self { class, providers }
+    }
+
+    pub fn providers(&self) -> &[ProviderOffer] {
+        &self.providers
+    }
+
+    /// Number of slots covered by every provider.
+    pub fn horizon(&self) -> usize {
+        self.providers[0].spot.len()
+    }
+
+    /// Effective per-slot spot price: the minimum across providers.
+    pub fn effective_spot(&self) -> TimeSeries {
+        let len = self.horizon();
+        let values = (0..len)
+            .map(|t| {
+                self.providers
+                    .iter()
+                    .map(|p| p.spot.values()[t])
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        TimeSeries::new(values)
+    }
+
+    /// Which provider is cheapest at each slot (index into `providers`).
+    pub fn cheapest_provider(&self) -> Vec<usize> {
+        let len = self.horizon();
+        (0..len)
+            .map(|t| {
+                let mut best = 0usize;
+                for (i, p) in self.providers.iter().enumerate() {
+                    if p.spot.values()[t] < self.providers[best].spot.values()[t] {
+                        best = i;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Effective on-demand fallback: the cheapest λ in the coalition.
+    pub fn effective_on_demand(&self) -> f64 {
+        self.providers.iter().map(|p| p.on_demand).fold(f64::INFINITY, f64::min)
+    }
+
+    /// How often each provider wins the slot auction (fractions sum to 1;
+    /// ties go to the earlier provider, matching `cheapest_provider`).
+    pub fn market_shares(&self) -> Vec<f64> {
+        let wins = self.cheapest_provider();
+        let mut shares = vec![0.0f64; self.providers.len()];
+        for w in &wins {
+            shares[*w] += 1.0;
+        }
+        let n = wins.len() as f64;
+        for s in &mut shares {
+            *s /= n;
+        }
+        shares
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn offer(name: &str, prices: Vec<f64>, od: f64) -> ProviderOffer {
+        ProviderOffer { name: name.into(), spot: TimeSeries::new(prices), on_demand: od }
+    }
+
+    #[test]
+    fn effective_spot_is_pointwise_min() {
+        let f = Federation::new(
+            VmClass::C1Medium,
+            vec![
+                offer("a", vec![0.06, 0.05, 0.08], 0.2),
+                offer("b", vec![0.07, 0.04, 0.07], 0.18),
+            ],
+        );
+        assert_eq!(f.effective_spot().values(), &[0.06, 0.04, 0.07]);
+        assert_eq!(f.cheapest_provider(), vec![0, 1, 1]);
+        assert_eq!(f.effective_on_demand(), 0.18);
+    }
+
+    #[test]
+    fn single_provider_is_identity() {
+        let f = Federation::new(
+            VmClass::M1Large,
+            vec![offer("solo", vec![0.1, 0.2], 0.4)],
+        );
+        assert_eq!(f.effective_spot().values(), &[0.1, 0.2]);
+        assert_eq!(f.market_shares(), vec![1.0]);
+    }
+
+    #[test]
+    fn market_shares_sum_to_one() {
+        let f = Federation::new(
+            VmClass::C1Medium,
+            vec![
+                offer("a", vec![0.05, 0.09, 0.05, 0.09], 0.2),
+                offer("b", vec![0.09, 0.05, 0.09, 0.05], 0.2),
+            ],
+        );
+        let s = f.market_shares();
+        assert_eq!(s, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn federation_never_worse_than_any_member() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let n = 48;
+        let mk = |rng: &mut rand::rngs::StdRng| -> Vec<f64> {
+            (0..n).map(|_| rng.gen_range(0.04..0.10)).collect()
+        };
+        let a = mk(&mut rng);
+        let b = mk(&mut rng);
+        let c = mk(&mut rng);
+        let f = Federation::new(
+            VmClass::C1Medium,
+            vec![
+                offer("a", a.clone(), 0.2),
+                offer("b", b.clone(), 0.19),
+                offer("c", c.clone(), 0.21),
+            ],
+        );
+        let eff = f.effective_spot();
+        for t in 0..n {
+            assert!(eff.values()[t] <= a[t] && eff.values()[t] <= b[t] && eff.values()[t] <= c[t]);
+        }
+        let sum: f64 = f.market_shares().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched")]
+    fn length_mismatch_rejected() {
+        Federation::new(
+            VmClass::C1Medium,
+            vec![offer("a", vec![0.05], 0.2), offer("b", vec![0.05, 0.06], 0.2)],
+        );
+    }
+}

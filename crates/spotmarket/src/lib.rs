@@ -1,0 +1,36 @@
+//! # rrp-spotmarket — cloud spot-market substrate
+//!
+//! The paper evaluates against Amazon EC2's spot market using (a) the EC2
+//! price book of 2011 and (b) the cloudexchange.org spot-price archive
+//! (Feb 1 2010 – Jun 22 2011, linux, us-east-1). The archive is long gone,
+//! so this crate supplies a faithful synthetic replacement plus the market
+//! mechanics the planner needs:
+//!
+//! * [`vmclass`] — the four linux VM classes the paper studies with their
+//!   on-demand prices.
+//! * [`billing`] — the EC2-style linear cost model of §V-A (storage, I/O,
+//!   transfer in/out, instance-hours).
+//! * [`archive`] — a seeded generator reproducing the published statistical
+//!   signature of the spot traces: ~60-70 % discount vs on-demand,
+//!   mean-reverting micro-fluctuations, a weak daily cycle, rare heavy
+//!   spikes (< 3 % outliers, growing with instance size) and an irregular
+//!   update-event process (0–25 updates/day).
+//! * [`auction`] — uniform-price auction semantics: winners pay the spot
+//!   price; an out-of-bid bidder falls back to on-demand capacity (the
+//!   paper's §IV assumption).
+//! * [`distribution`] — empirical discrete price distributions and the
+//!   paper's bid-dependent truncation (Eq. 10).
+
+pub mod archive;
+pub mod auction;
+pub mod billing;
+pub mod distribution;
+pub mod federation;
+pub mod vmclass;
+
+pub use archive::SpotArchive;
+pub use auction::{rental_outcome, RentalOutcome};
+pub use billing::CostRates;
+pub use distribution::EmpiricalDist;
+pub use federation::{Federation, ProviderOffer};
+pub use vmclass::VmClass;

@@ -1,0 +1,88 @@
+//! The linux VM classes studied in the paper and their on-demand prices.
+
+use serde::{Deserialize, Serialize};
+
+/// The four linux VM classes the paper's price study covers (Fig. 3); the
+/// planning evaluation (§V) uses the first three.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VmClass {
+    C1Medium,
+    M1Large,
+    M1Xlarge,
+    C1Xlarge,
+}
+
+impl VmClass {
+    /// All four classes in the paper's Fig. 3 order.
+    pub const ALL: [VmClass; 4] =
+        [VmClass::M1Large, VmClass::M1Xlarge, VmClass::C1Medium, VmClass::C1Xlarge];
+
+    /// The three classes used in the planning evaluation (§V-A), in the
+    /// paper's order with on-demand prices {$0.2, $0.4, $0.8}.
+    pub const EVALUATION: [VmClass; 3] =
+        [VmClass::C1Medium, VmClass::M1Large, VmClass::M1Xlarge];
+
+    /// Hourly on-demand rental price (the paper's §V-A numbers; c1.xlarge —
+    /// only used in the price study — carries its 2011 list price).
+    pub fn on_demand_price(self) -> f64 {
+        match self {
+            VmClass::C1Medium => 0.20,
+            VmClass::M1Large => 0.40,
+            VmClass::M1Xlarge => 0.80,
+            VmClass::C1Xlarge => 0.68,
+        }
+    }
+
+    /// Canonical lowercase EC2 name.
+    pub fn name(self) -> &'static str {
+        match self {
+            VmClass::C1Medium => "c1.medium",
+            VmClass::M1Large => "m1.large",
+            VmClass::M1Xlarge => "m1.xlarge",
+            VmClass::C1Xlarge => "c1.xlarge",
+        }
+    }
+
+    /// A crude relative "power rank" used to scale price dynamics: bigger
+    /// instances showed more outliers in the paper's Fig. 3.
+    pub fn power_rank(self) -> usize {
+        match self {
+            VmClass::C1Medium => 1,
+            VmClass::M1Large => 2,
+            VmClass::C1Xlarge => 3,
+            VmClass::M1Xlarge => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for VmClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluation_prices_match_paper() {
+        let prices: Vec<f64> =
+            VmClass::EVALUATION.iter().map(|c| c.on_demand_price()).collect();
+        assert_eq!(prices, vec![0.2, 0.4, 0.8]);
+    }
+
+    #[test]
+    fn names_are_canonical() {
+        assert_eq!(VmClass::C1Medium.name(), "c1.medium");
+        assert_eq!(format!("{}", VmClass::M1Xlarge), "m1.xlarge");
+    }
+
+    #[test]
+    fn power_ranks_distinct() {
+        let mut ranks: Vec<usize> = VmClass::ALL.iter().map(|c| c.power_rank()).collect();
+        ranks.sort_unstable();
+        ranks.dedup();
+        assert_eq!(ranks.len(), 4);
+    }
+}

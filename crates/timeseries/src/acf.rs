@@ -1,0 +1,155 @@
+//! Autocorrelation and partial autocorrelation (paper Fig. 7).
+
+use crate::stats::mean;
+
+/// Sample autocorrelation function for lags `0..=max_lag`.
+///
+/// Uses the standard biased estimator `r_k = c_k / c_0` with
+/// `c_k = (1/n) Σ (x_t − x̄)(x_{t+k} − x̄)`, matching R's `acf`.
+pub fn acf(xs: &[f64], max_lag: usize) -> Vec<f64> {
+    let n = xs.len();
+    assert!(n > 1, "acf needs at least 2 points");
+    assert!(max_lag < n, "max_lag {max_lag} must be < n {n}");
+    let m = mean(xs);
+    let c0: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / n as f64;
+    let mut out = Vec::with_capacity(max_lag + 1);
+    if c0 <= 0.0 {
+        // constant series: define r_0 = 1, rest 0
+        out.push(1.0);
+        out.extend(std::iter::repeat(0.0).take(max_lag));
+        return out;
+    }
+    for k in 0..=max_lag {
+        let ck: f64 =
+            (0..n - k).map(|t| (xs[t] - m) * (xs[t + k] - m)).sum::<f64>() / n as f64;
+        out.push(ck / c0);
+    }
+    out
+}
+
+/// Partial autocorrelation for lags `1..=max_lag` via the Durbin–Levinson
+/// recursion on the sample ACF.
+pub fn pacf(xs: &[f64], max_lag: usize) -> Vec<f64> {
+    let r = acf(xs, max_lag);
+    pacf_from_acf(&r)
+}
+
+/// Durbin–Levinson: `r` is the ACF including lag 0; returns PACF for lags
+/// `1..r.len()-1`.
+pub fn pacf_from_acf(r: &[f64]) -> Vec<f64> {
+    let max_lag = r.len() - 1;
+    let mut pacf = Vec::with_capacity(max_lag);
+    let mut phi_prev: Vec<f64> = Vec::new(); // φ_{k-1, j}
+    let mut v = 1.0f64; // prediction error variance (normalised)
+    for k in 1..=max_lag {
+        let num = r[k] - phi_prev.iter().enumerate().map(|(j, p)| p * r[k - 1 - j]).sum::<f64>();
+        let phi_kk = if v.abs() < 1e-14 { 0.0 } else { num / v };
+        let mut phi = Vec::with_capacity(k);
+        for j in 0..k - 1 {
+            phi.push(phi_prev[j] - phi_kk * phi_prev[k - 2 - j]);
+        }
+        phi.push(phi_kk);
+        v *= 1.0 - phi_kk * phi_kk;
+        pacf.push(phi_kk);
+        phi_prev = phi;
+    }
+    pacf
+}
+
+/// Two-sided 95 % white-noise confidence band `±1.96/√n` used by the
+/// correlogram plots.
+pub fn confidence_band(n: usize) -> f64 {
+    1.96 / (n as f64).sqrt()
+}
+
+/// Ljung–Box portmanteau statistic for lags `1..=h` (returned with its
+/// degrees of freedom); large values reject "white noise".
+pub fn ljung_box(xs: &[f64], h: usize) -> (f64, usize) {
+    let n = xs.len() as f64;
+    let r = acf(xs, h);
+    let q = n * (n + 2.0) * (1..=h).map(|k| r[k] * r[k] / (n - k as f64)).sum::<f64>();
+    (q, h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn white_noise(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(-1.0..1.0f64)).collect()
+    }
+
+    #[test]
+    fn acf_lag0_is_one() {
+        let xs = white_noise(500, 1);
+        let r = acf(&xs, 10);
+        assert!((r[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn white_noise_acf_within_band() {
+        let xs = white_noise(2000, 2);
+        let r = acf(&xs, 20);
+        let band = confidence_band(xs.len());
+        let violations = r[1..].iter().filter(|v| v.abs() > band).count();
+        // ~5% expected; allow up to 3 of 20
+        assert!(violations <= 3, "{violations} violations: {r:?}");
+    }
+
+    #[test]
+    fn ar1_acf_decays_geometrically() {
+        // x_t = 0.8 x_{t-1} + e_t → r_k ≈ 0.8^k
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut xs = vec![0.0f64];
+        for _ in 1..20_000 {
+            let e: f64 = rng.gen_range(-1.0..1.0);
+            let prev = *xs.last().unwrap();
+            xs.push(0.8 * prev + e);
+        }
+        let r = acf(&xs, 3);
+        assert!((r[1] - 0.8).abs() < 0.03, "r1 = {}", r[1]);
+        assert!((r[2] - 0.64).abs() < 0.04, "r2 = {}", r[2]);
+    }
+
+    #[test]
+    fn ar1_pacf_cuts_off_after_lag1() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut xs = vec![0.0f64];
+        for _ in 1..20_000 {
+            let e: f64 = rng.gen_range(-1.0..1.0);
+            let prev = *xs.last().unwrap();
+            xs.push(0.7 * prev + e);
+        }
+        let p = pacf(&xs, 5);
+        assert!((p[0] - 0.7).abs() < 0.03, "pacf1 = {}", p[0]);
+        for (k, v) in p[1..].iter().enumerate() {
+            assert!(v.abs() < 0.05, "pacf at lag {} = {v}", k + 2);
+        }
+    }
+
+    #[test]
+    fn constant_series_acf_defined() {
+        let xs = vec![3.0; 50];
+        let r = acf(&xs, 5);
+        assert_eq!(r[0], 1.0);
+        assert!(r[1..].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn ljung_box_rejects_ar_process() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut xs = vec![0.0f64];
+        for _ in 1..2000 {
+            let e: f64 = rng.gen_range(-1.0..1.0);
+            let prev = *xs.last().unwrap();
+            xs.push(0.6 * prev + e);
+        }
+        let (q_ar, _) = ljung_box(&xs, 10);
+        let (q_wn, _) = ljung_box(&white_noise(2000, 6), 10);
+        // χ²(10) 95% critical value ≈ 18.3
+        assert!(q_ar > 100.0, "AR process Q = {q_ar}");
+        assert!(q_wn < 30.0, "white noise Q = {q_wn}");
+    }
+}

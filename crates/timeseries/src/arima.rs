@@ -1,0 +1,362 @@
+//! ARMA(p, q) estimation by conditional sum of squares (CSS), simulation and
+//! forecasting.
+//!
+//! Model convention (on the possibly differenced, mean-adjusted series `z`):
+//!
+//! ```text
+//! z_t = Σᵢ ar_i · z_{t−i} + e_t + Σⱼ ma_j · e_{t−j}
+//! ```
+//!
+//! Estimation parametrises the AR and MA sides through partial
+//! autocorrelations squashed by `tanh`, so every optimiser iterate is a
+//! stationary/invertible model (the Monahan (1984) transform); Nelder–Mead
+//! then minimises the CSS.
+
+use crate::optimize::{nelder_mead, NmOptions};
+
+/// ARMA order specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArmaSpec {
+    pub p: usize,
+    pub q: usize,
+    /// Estimate a mean term (usually true for undifferenced series).
+    pub include_mean: bool,
+}
+
+/// A fitted ARMA model.
+#[derive(Debug, Clone)]
+pub struct ArmaFit {
+    pub spec: ArmaSpec,
+    pub ar: Vec<f64>,
+    pub ma: Vec<f64>,
+    pub mean: f64,
+    /// Innovation variance estimate (CSS / effective n).
+    pub sigma2: f64,
+    /// Conditional sum of squares at the optimum.
+    pub css: f64,
+    /// Akaike information criterion.
+    pub aic: f64,
+    /// In-sample residuals (length n, first `p` entries zero by convention).
+    pub residuals: Vec<f64>,
+    /// The data the model was fitted on (needed for forecasting).
+    pub data: Vec<f64>,
+}
+
+/// Map unconstrained reals to partial autocorrelations in (−1, 1), then to
+/// stationary AR (or invertible MA) coefficients via the Durbin–Levinson
+/// step (Monahan 1984).
+pub fn pacf_to_coeffs(raw: &[f64]) -> Vec<f64> {
+    let r: Vec<f64> = raw.iter().map(|v| v.tanh()).collect();
+    let mut phi: Vec<f64> = Vec::with_capacity(r.len());
+    for (k, &rk) in r.iter().enumerate() {
+        let mut next = phi.clone();
+        next.push(rk);
+        for j in 0..k {
+            next[j] = phi[j] - rk * phi[k - 1 - j];
+        }
+        phi = next;
+    }
+    phi
+}
+
+/// Conditional sum of squares of an ARMA recursion with arbitrary (possibly
+/// sparse/expanded) coefficient vectors. Residuals for `t < ar.len()` are
+/// taken as zero. Also fills `residuals` if provided.
+pub fn css(
+    z: &[f64],
+    ar: &[f64],
+    ma: &[f64],
+    mut residuals: Option<&mut Vec<f64>>,
+) -> (f64, usize) {
+    let n = z.len();
+    let p = ar.len();
+    let mut e = vec![0.0f64; n];
+    let mut acc = 0.0;
+    let mut used = 0usize;
+    for t in p..n {
+        let mut pred = 0.0;
+        for (i, &a) in ar.iter().enumerate() {
+            pred += a * z[t - 1 - i];
+        }
+        for (j, &b) in ma.iter().enumerate() {
+            if t >= j + 1 {
+                pred += b * e[t - 1 - j];
+            }
+        }
+        e[t] = z[t] - pred;
+        acc += e[t] * e[t];
+        used += 1;
+    }
+    if let Some(r) = residuals.as_deref_mut() {
+        *r = e;
+    }
+    (acc, used)
+}
+
+impl ArmaSpec {
+    /// Fit by CSS with Nelder–Mead over the transformed parameter space.
+    pub fn fit(&self, xs: &[f64]) -> ArmaFit {
+        let n = xs.len();
+        let min_len = 2 * (self.p + self.q).max(1) + 8;
+        assert!(n >= min_len, "series too short ({n}) for ARMA({},{})", self.p, self.q);
+
+        let sample_mean = crate::stats::mean(xs);
+        let base_mean = if self.include_mean { sample_mean } else { 0.0 };
+
+        let k = self.p + self.q + usize::from(self.include_mean);
+        let mut objective = |params: &[f64]| -> f64 {
+            let ar = pacf_to_coeffs(&params[..self.p]);
+            let ma = pacf_to_coeffs(&params[self.p..self.p + self.q]);
+            let mean = if self.include_mean {
+                base_mean + params[self.p + self.q]
+            } else {
+                0.0
+            };
+            let z: Vec<f64> = xs.iter().map(|x| x - mean).collect();
+            let (s, _) = css(&z, &ar, &ma, None);
+            s
+        };
+        let x0 = vec![0.0f64; k];
+        let r = nelder_mead(
+            &mut objective,
+            &x0,
+            &NmOptions { max_iters: 400 * (k + 1), f_tol: 1e-12, initial_step: 0.2 },
+        );
+
+        let ar = pacf_to_coeffs(&r.x[..self.p]);
+        let ma = pacf_to_coeffs(&r.x[self.p..self.p + self.q]);
+        let mean =
+            if self.include_mean { base_mean + r.x[self.p + self.q] } else { 0.0 };
+        let z: Vec<f64> = xs.iter().map(|x| x - mean).collect();
+        let mut residuals = Vec::new();
+        let (cssv, used) = css(&z, &ar, &ma, Some(&mut residuals));
+        let sigma2 = cssv / used.max(1) as f64;
+        let aic = used as f64 * sigma2.max(1e-300).ln() + 2.0 * (k + 1) as f64;
+        ArmaFit {
+            spec: *self,
+            ar,
+            ma,
+            mean,
+            sigma2,
+            css: cssv,
+            aic,
+            residuals,
+            data: xs.to_vec(),
+        }
+    }
+}
+
+impl ArmaFit {
+    /// h-step-ahead point forecasts from the end of the fitted sample.
+    pub fn forecast(&self, horizon: usize) -> Vec<f64> {
+        forecast_arma(
+            &self.data,
+            &self.residuals,
+            &self.ar,
+            &self.ma,
+            self.mean,
+            horizon,
+        )
+    }
+}
+
+/// Core ARMA forecast recursion shared with the SARIMA layer: forecasts the
+/// series continuing `data` (with in-sample `residuals`), future residuals
+/// set to zero.
+pub fn forecast_arma(
+    data: &[f64],
+    residuals: &[f64],
+    ar: &[f64],
+    ma: &[f64],
+    mean: f64,
+    horizon: usize,
+) -> Vec<f64> {
+    let n = data.len();
+    let mut z: Vec<f64> = data.iter().map(|x| x - mean).collect();
+    let e = residuals.to_vec();
+    debug_assert_eq!(e.len(), n);
+    let mut out = Vec::with_capacity(horizon);
+    for h in 0..horizon {
+        let t = n + h;
+        let mut pred = 0.0;
+        for (i, &a) in ar.iter().enumerate() {
+            if t >= i + 1 {
+                pred += a * z[t - 1 - i];
+            }
+        }
+        for (j, &b) in ma.iter().enumerate() {
+            if t >= j + 1 && t - 1 - j < e.len() {
+                pred += b * e[t - 1 - j];
+            }
+        }
+        z.push(pred);
+        out.push(pred + mean);
+    }
+    out
+}
+
+/// ψ-weights of the MA(∞) representation of an ARMA model:
+/// `ψ₀ = 1, ψ_j = θ_j + Σᵢ φᵢ·ψ_{j−i}` (θ beyond `ma.len()` is zero).
+/// Forecast error variance at lead `h` is `σ²·Σ_{j<h} ψ_j²`.
+pub fn psi_weights(ar: &[f64], ma: &[f64], horizon: usize) -> Vec<f64> {
+    let mut psi = Vec::with_capacity(horizon.max(1));
+    psi.push(1.0);
+    for j in 1..horizon {
+        let mut v = if j <= ma.len() { ma[j - 1] } else { 0.0 };
+        for (i, &a) in ar.iter().enumerate() {
+            if j > i {
+                v += a * psi[j - 1 - i];
+            }
+        }
+        psi.push(v);
+    }
+    psi
+}
+
+/// Simulate an ARMA process with standard-normal innovations scaled by
+/// `sigma`, discarding `burn_in` initial samples.
+pub fn simulate_arma(
+    ar: &[f64],
+    ma: &[f64],
+    mean: f64,
+    sigma: f64,
+    n: usize,
+    burn_in: usize,
+    rng: &mut impl rand::Rng,
+) -> Vec<f64> {
+    use rand_distr::{Distribution, Normal};
+    let normal = Normal::new(0.0, sigma).expect("sigma must be positive");
+    let total = n + burn_in;
+    let mut z = Vec::with_capacity(total);
+    let mut e = Vec::with_capacity(total);
+    for t in 0..total {
+        let et: f64 = normal.sample(rng);
+        let mut v = et;
+        for (i, &a) in ar.iter().enumerate() {
+            if t >= i + 1 {
+                v += a * z[t - 1 - i];
+            }
+        }
+        for (j, &b) in ma.iter().enumerate() {
+            if t >= j + 1 {
+                v += b * e[t - 1 - j];
+            }
+        }
+        z.push(v);
+        e.push(et);
+    }
+    z[burn_in..].iter().map(|v| v + mean).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pacf_transform_is_stationary() {
+        // Any raw input must give a stationary AR: the noise-free recursion
+        // from an arbitrary initial state must stay bounded (and decay).
+        for raw in [vec![2.0, -1.5], vec![0.1], vec![1.5, 1.5, 1.5, 1.5]] {
+            let ar = pacf_to_coeffs(&raw);
+            let p = ar.len();
+            let mut z: Vec<f64> = (0..p).map(|i| 1.0 + i as f64).collect();
+            let mut peak_early = 0.0f64;
+            let mut peak_late = 0.0f64;
+            let steps = 50_000;
+            for t in 0..steps {
+                let mut v = 0.0;
+                for (i, &a) in ar.iter().enumerate() {
+                    v += a * z[z.len() - 1 - i];
+                }
+                z.push(v);
+                if t < steps / 2 {
+                    peak_early = peak_early.max(v.abs());
+                } else {
+                    peak_late = peak_late.max(v.abs());
+                }
+                if z.len() > 2 * p + 2 {
+                    z.remove(0);
+                }
+            }
+            assert!(
+                peak_late <= peak_early.max(1.0) && peak_late.is_finite(),
+                "non-decaying recursion for ar {ar:?}: early {peak_early}, late {peak_late}"
+            );
+        }
+    }
+
+    #[test]
+    fn recovers_ar1_coefficient() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let xs = simulate_arma(&[0.7], &[], 5.0, 1.0, 4000, 200, &mut rng);
+        let fit = ArmaSpec { p: 1, q: 0, include_mean: true }.fit(&xs);
+        assert!((fit.ar[0] - 0.7).abs() < 0.05, "ar = {:?}", fit.ar);
+        assert!((fit.mean - 5.0).abs() < 0.3, "mean = {}", fit.mean);
+        assert!((fit.sigma2 - 1.0).abs() < 0.1, "sigma2 = {}", fit.sigma2);
+    }
+
+    #[test]
+    fn recovers_ma1_coefficient() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(43);
+        let xs = simulate_arma(&[], &[0.6], 0.0, 1.0, 4000, 200, &mut rng);
+        let fit = ArmaSpec { p: 0, q: 1, include_mean: true }.fit(&xs);
+        assert!((fit.ma[0] - 0.6).abs() < 0.06, "ma = {:?}", fit.ma);
+    }
+
+    #[test]
+    fn recovers_arma11() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(44);
+        let xs = simulate_arma(&[0.5], &[0.3], 0.0, 1.0, 8000, 200, &mut rng);
+        let fit = ArmaSpec { p: 1, q: 1, include_mean: false }.fit(&xs);
+        assert!((fit.ar[0] - 0.5).abs() < 0.08, "ar = {:?}", fit.ar);
+        assert!((fit.ma[0] - 0.3).abs() < 0.08, "ma = {:?}", fit.ma);
+    }
+
+    #[test]
+    fn white_noise_prefers_low_order_by_aic() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(45);
+        let xs = simulate_arma(&[], &[], 0.0, 1.0, 2000, 0, &mut rng);
+        let f0 = ArmaSpec { p: 0, q: 0, include_mean: true }.fit(&xs);
+        let f2 = ArmaSpec { p: 2, q: 2, include_mean: true }.fit(&xs);
+        assert!(f0.aic < f2.aic + 2.0, "AIC(0,0) = {} vs AIC(2,2) = {}", f0.aic, f2.aic);
+    }
+
+    #[test]
+    fn ar1_forecast_decays_to_mean() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(46);
+        let xs = simulate_arma(&[0.8], &[], 10.0, 0.5, 3000, 200, &mut rng);
+        let fit = ArmaSpec { p: 1, q: 0, include_mean: true }.fit(&xs);
+        let fc = fit.forecast(50);
+        // long-run forecast converges to the fitted mean
+        assert!((fc[49] - fit.mean).abs() < 0.05 * fit.mean.abs() + 0.1);
+        // geometric approach: |fc[k] - mean| decreasing
+        let d0 = (fc[0] - fit.mean).abs();
+        let d10 = (fc[10] - fit.mean).abs();
+        assert!(d10 <= d0 + 1e-9);
+    }
+
+    #[test]
+    fn mean_only_model() {
+        let xs: Vec<f64> = (0..100).map(|i| 3.0 + ((i % 2) as f64 - 0.5) * 0.01).collect();
+        let fit = ArmaSpec { p: 0, q: 0, include_mean: true }.fit(&xs);
+        assert!((fit.mean - 3.0).abs() < 0.01);
+        let fc = fit.forecast(3);
+        for v in fc {
+            assert!((v - fit.mean).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn css_zero_for_perfect_ar_fit() {
+        // data exactly generated by deterministic AR(1) with no noise from t>=1
+        let mut xs = vec![1.0f64];
+        for _ in 1..50 {
+            let prev = *xs.last().unwrap();
+            xs.push(0.5 * prev);
+        }
+        let (s, used) = css(&xs, &[0.5], &[], None);
+        assert!(s < 1e-20, "css = {s}");
+        assert_eq!(used, 49);
+    }
+}

@@ -1,0 +1,165 @@
+//! Classical additive seasonal decomposition (paper Fig. 6):
+//! `x_t = trend_t + seasonal_t + remainder_t`.
+//!
+//! Matches R's `decompose(..., type = "additive")`: the trend is a centred
+//! moving average of length `period` (a 2×m MA when the period is even), the
+//! seasonal component is the per-season mean of the detrended series
+//! normalised to sum to zero, and the remainder is what is left. Trend
+//! values within half a period of either end are extrapolated by holding the
+//! nearest interior value, so all three components have full length.
+
+/// Decomposition result; all vectors have the input length.
+#[derive(Debug, Clone)]
+pub struct Decomposition {
+    pub trend: Vec<f64>,
+    pub seasonal: Vec<f64>,
+    pub remainder: Vec<f64>,
+    pub period: usize,
+}
+
+/// Decompose `xs` with seasonal `period` (e.g. 24 for hourly data with a
+/// daily cycle). Requires at least two full periods.
+pub fn decompose(xs: &[f64], period: usize) -> Decomposition {
+    let n = xs.len();
+    assert!(period >= 2, "period must be >= 2");
+    assert!(n >= 2 * period, "need at least two full periods ({n} < {})", 2 * period);
+
+    // --- centred moving-average trend ---
+    let half = period / 2;
+    let mut trend = vec![f64::NAN; n];
+    if period % 2 == 0 {
+        // 2×m MA: average of two adjacent m-length windows
+        for t in half..n - half {
+            let mut s = 0.0;
+            s += 0.5 * xs[t - half];
+            s += 0.5 * xs[t + half];
+            for k in t - half + 1..t + half {
+                s += xs[k];
+            }
+            trend[t] = s / period as f64;
+        }
+    } else {
+        for t in half..n - half {
+            let s: f64 = xs[t - half..=t + half].iter().sum();
+            trend[t] = s / period as f64;
+        }
+    }
+    // hold-extrapolate the ends
+    let first = trend[half];
+    let last = trend[n - half - 1];
+    for v in trend.iter_mut().take(half) {
+        *v = first;
+    }
+    for v in trend.iter_mut().skip(n - half) {
+        *v = last;
+    }
+
+    // --- seasonal means of the detrended interior ---
+    let mut sums = vec![0.0f64; period];
+    let mut counts = vec![0usize; period];
+    for t in half..n - half {
+        let d = xs[t] - trend[t];
+        sums[t % period] += d;
+        counts[t % period] += 1;
+    }
+    let mut seasonal_profile: Vec<f64> = sums
+        .iter()
+        .zip(&counts)
+        .map(|(s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
+        .collect();
+    // normalise to mean zero so trend+seasonal is unbiased
+    let m: f64 = seasonal_profile.iter().sum::<f64>() / period as f64;
+    for v in &mut seasonal_profile {
+        *v -= m;
+    }
+
+    let seasonal: Vec<f64> = (0..n).map(|t| seasonal_profile[t % period]).collect();
+    let remainder: Vec<f64> =
+        (0..n).map(|t| xs[t] - trend[t] - seasonal[t]).collect();
+    Decomposition { trend, seasonal, remainder, period }
+}
+
+/// Strength of the seasonal component relative to the remainder, in `[0, 1]`
+/// (Hyndman's `F_s = max(0, 1 − Var(R) / Var(S + R))`).
+pub fn seasonal_strength(d: &Decomposition) -> f64 {
+    let var = |xs: &[f64]| crate::stats::variance(xs);
+    let sr: Vec<f64> = d.seasonal.iter().zip(&d.remainder).map(|(s, r)| s + r).collect();
+    let v_sr = var(&sr);
+    if v_sr <= 0.0 {
+        return 0.0;
+    }
+    (1.0 - var(&d.remainder) / v_sr).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_seasonal_signal_recovered() {
+        let period = 24;
+        let n = 24 * 10;
+        let xs: Vec<f64> = (0..n)
+            .map(|t| 5.0 + (2.0 * std::f64::consts::PI * (t % period) as f64 / period as f64).sin())
+            .collect();
+        let d = decompose(&xs, period);
+        // trend ≈ 5 in the interior
+        for t in period..n - period {
+            assert!((d.trend[t] - 5.0).abs() < 1e-9, "trend[{t}] = {}", d.trend[t]);
+        }
+        // seasonal ≈ the sine profile
+        for t in period..n - period {
+            let expect = (2.0 * std::f64::consts::PI * (t % period) as f64 / period as f64).sin();
+            assert!((d.seasonal[t] - expect).abs() < 1e-6);
+            assert!(d.remainder[t].abs() < 1e-6);
+        }
+        assert!(seasonal_strength(&d) > 0.999);
+    }
+
+    #[test]
+    fn linear_trend_recovered() {
+        let period = 12;
+        let n = 120;
+        let xs: Vec<f64> = (0..n).map(|t| 0.5 * t as f64).collect();
+        let d = decompose(&xs, period);
+        for t in period..n - period {
+            assert!((d.trend[t] - 0.5 * t as f64).abs() < 1e-9);
+            assert!(d.seasonal[t].abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn components_sum_to_signal() {
+        let period = 7;
+        let xs: Vec<f64> = (0..70)
+            .map(|t| 1.0 + 0.1 * t as f64 + ((t % 7) as f64 - 3.0) * 0.2 + ((t * 37) % 11) as f64 * 0.01)
+            .collect();
+        let d = decompose(&xs, period);
+        for t in 0..xs.len() {
+            assert!((d.trend[t] + d.seasonal[t] + d.remainder[t] - xs[t]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn seasonal_profile_sums_to_zero() {
+        let xs: Vec<f64> = (0..96).map(|t| ((t % 24) as f64).powi(2) * 0.01 + t as f64 * 0.05).collect();
+        let d = decompose(&xs, 24);
+        let s: f64 = d.seasonal[..24].iter().sum();
+        assert!(s.abs() < 1e-9, "profile sum {s}");
+    }
+
+    #[test]
+    fn white_noise_has_weak_seasonality() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let xs: Vec<f64> = (0..24 * 30).map(|_| rng.gen_range(-1.0..1.0f64)).collect();
+        let d = decompose(&xs, 24);
+        assert!(seasonal_strength(&d) < 0.35, "{}", seasonal_strength(&d));
+    }
+
+    #[test]
+    #[should_panic(expected = "two full periods")]
+    fn too_short_panics() {
+        decompose(&[1.0; 30], 24);
+    }
+}

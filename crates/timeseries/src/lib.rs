@@ -1,0 +1,45 @@
+//! # rrp-timeseries — time-series substrate
+//!
+//! Everything the paper's spot-price predictability study (§IV-A) needs,
+//! re-implemented from scratch: the R stack the authors used (`forecast`,
+//! `auto.arima`, `stl`, `shapiro.test`) is replaced by:
+//!
+//! * [`series`] — regularly spaced series plus regularisation of the
+//!   irregular spot-price update events into hourly data (the paper's
+//!   "most recent update in the last hour" rule).
+//! * [`stats`] — moments, quantiles, histograms.
+//! * [`outlier`] — box-and-whisker five-number summaries and 1.5·IQR
+//!   outlier detection (Fig. 3).
+//! * [`acf`] — autocorrelation and partial autocorrelation with confidence
+//!   bands (Fig. 7).
+//! * [`decompose`] — classical additive seasonal decomposition (Fig. 6).
+//! * [`normality`] — Shapiro–Wilk (Royston AS R94) and Jarque–Bera tests
+//!   (Fig. 5).
+//! * [`arima`] / [`sarima`] — conditional-sum-of-squares ARMA/SARIMA
+//!   estimation, simulation and forecasting (Fig. 8).
+//! * [`select`] — AIC-driven automatic SARIMA order selection, the
+//!   `auto.arima` equivalent.
+//! * [`optimize`] — the Nelder–Mead optimiser backing model fitting.
+//! * [`metrics`] — MSPE/MAE/RMSE forecast-accuracy metrics.
+
+pub mod acf;
+pub mod arima;
+pub mod backtest;
+pub mod decompose;
+pub mod dist;
+pub mod metrics;
+pub mod normality;
+pub mod optimize;
+pub mod outlier;
+pub mod regression;
+pub mod sarima;
+pub mod select;
+pub mod series;
+pub mod smoothing;
+pub mod spectrum;
+pub mod stats;
+pub mod unitroot;
+
+pub use arima::{ArmaFit, ArmaSpec};
+pub use sarima::{SarimaFit, SarimaSpec};
+pub use series::{EventSeries, TimeSeries};

@@ -1,0 +1,73 @@
+//! Forecast-accuracy metrics.
+
+/// Mean squared prediction error — the paper's headline accuracy measure.
+pub fn mspe(actual: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(actual.len(), predicted.len());
+    assert!(!actual.is_empty());
+    actual
+        .iter()
+        .zip(predicted)
+        .map(|(a, p)| (a - p) * (a - p))
+        .sum::<f64>()
+        / actual.len() as f64
+}
+
+/// Root mean squared error.
+pub fn rmse(actual: &[f64], predicted: &[f64]) -> f64 {
+    mspe(actual, predicted).sqrt()
+}
+
+/// Mean absolute error.
+pub fn mae(actual: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(actual.len(), predicted.len());
+    assert!(!actual.is_empty());
+    actual.iter().zip(predicted).map(|(a, p)| (a - p).abs()).sum::<f64>() / actual.len() as f64
+}
+
+/// Mean absolute percentage error (skips zero actuals).
+pub fn mape(actual: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(actual.len(), predicted.len());
+    let mut acc = 0.0;
+    let mut n = 0usize;
+    for (a, p) in actual.iter().zip(predicted) {
+        if a.abs() > 1e-12 {
+            acc += ((a - p) / a).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        acc / n as f64 * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_zero_error() {
+        let a = [1.0, 2.0, 3.0];
+        assert_eq!(mspe(&a, &a), 0.0);
+        assert_eq!(mae(&a, &a), 0.0);
+        assert_eq!(rmse(&a, &a), 0.0);
+        assert_eq!(mape(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let a = [1.0, 2.0];
+        let p = [2.0, 4.0];
+        assert!((mspe(&a, &p) - 2.5).abs() < 1e-12);
+        assert!((mae(&a, &p) - 1.5).abs() < 1e-12);
+        assert!((mape(&a, &p) - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_skips_zero_actuals() {
+        let a = [0.0, 2.0];
+        let p = [5.0, 3.0];
+        assert!((mape(&a, &p) - 50.0).abs() < 1e-12);
+    }
+}

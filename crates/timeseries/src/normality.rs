@@ -1,0 +1,166 @@
+//! Normality tests: Shapiro–Wilk (Royston's AS R94 approximation, the test
+//! the paper applies to the spot-price histogram in Fig. 5) and Jarque–Bera.
+
+use crate::dist::{chi2_sf_2df, norm_cdf, norm_quantile};
+use crate::stats::{excess_kurtosis, mean, skewness};
+
+/// Result of a normality test.
+#[derive(Debug, Clone, Copy)]
+pub struct TestResult {
+    /// Test statistic (W for Shapiro–Wilk, JB for Jarque–Bera).
+    pub statistic: f64,
+    /// Approximate p-value for H₀: "data are normal".
+    pub p_value: f64,
+}
+
+impl TestResult {
+    /// Reject normality at the given significance level.
+    pub fn rejects_normality(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Shapiro–Wilk W test following Royston (1995), Algorithm AS R94.
+/// Valid for `12 <= n <= 5000`; panics outside that range (use
+/// [`jarque_bera`] for other sizes).
+pub fn shapiro_wilk(xs: &[f64]) -> TestResult {
+    let n = xs.len();
+    assert!((12..=5000).contains(&n), "Shapiro–Wilk supports 12..=5000 samples, got {n}");
+    let mut x = xs.to_vec();
+    x.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+    // Expected normal order statistics (Blom approximation).
+    let nf = n as f64;
+    let mut m: Vec<f64> = (1..=n)
+        .map(|i| norm_quantile((i as f64 - 0.375) / (nf + 0.25)))
+        .collect();
+    let ssq_m: f64 = m.iter().map(|v| v * v).sum();
+    let rsn = 1.0 / nf.sqrt();
+
+    // Royston's polynomial-corrected weights for the two extreme entries.
+    let c: Vec<f64> = m.iter().map(|v| v / ssq_m.sqrt()).collect();
+    let u = rsn;
+    let a_n = -2.706056 * u.powi(5) + 4.434685 * u.powi(4) - 2.071190 * u.powi(3)
+        - 0.147981 * u.powi(2)
+        + 0.221157 * u
+        + c[n - 1];
+    let a_n1 = -3.582633 * u.powi(5) + 5.682633 * u.powi(4) - 1.752461 * u.powi(3)
+        - 0.293762 * u.powi(2)
+        + 0.042981 * u
+        + c[n - 2];
+    let phi = (ssq_m - 2.0 * m[n - 1] * m[n - 1] - 2.0 * m[n - 2] * m[n - 2])
+        / (1.0 - 2.0 * a_n * a_n - 2.0 * a_n1 * a_n1);
+    let sqrt_phi = phi.sqrt();
+    let mut a = vec![0.0f64; n];
+    a[n - 1] = a_n;
+    a[n - 2] = a_n1;
+    a[0] = -a_n;
+    a[1] = -a_n1;
+    for i in 2..n - 2 {
+        a[i] = m[i] / sqrt_phi;
+    }
+    // m no longer needed beyond this point
+    m.clear();
+
+    let xbar = mean(&x);
+    let num: f64 = a.iter().zip(&x).map(|(ai, xi)| ai * xi).sum();
+    let den: f64 = x.iter().map(|xi| (xi - xbar) * (xi - xbar)).sum();
+    let w = if den <= 0.0 { 1.0 } else { (num * num / den).min(1.0) };
+
+    // Normalising transformation of ln(1 − W), Royston (1995), n >= 12.
+    let ln_n = nf.ln();
+    let mu = 0.0038915 * ln_n.powi(3) - 0.083751 * ln_n.powi(2) - 0.31082 * ln_n - 1.5861;
+    let sigma = (0.0030302 * ln_n.powi(2) - 0.082676 * ln_n - 0.4803).exp();
+    let z = ((1.0 - w).ln() - mu) / sigma;
+    let p = 1.0 - norm_cdf(z);
+    TestResult { statistic: w, p_value: p.clamp(0.0, 1.0) }
+}
+
+/// Jarque–Bera test: `JB = n/6 (S² + K²/4)` against χ²(2).
+pub fn jarque_bera(xs: &[f64]) -> TestResult {
+    let n = xs.len() as f64;
+    assert!(xs.len() >= 8, "Jarque–Bera needs at least 8 samples");
+    let s = skewness(xs);
+    let k = excess_kurtosis(xs);
+    let jb = n / 6.0 * (s * s + k * k / 4.0);
+    TestResult { statistic: jb, p_value: chi2_sf_2df(jb).clamp(0.0, 1.0) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn normal_sample(n: usize, seed: u64) -> Vec<f64> {
+        // Box–Muller
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let u1: f64 = rng.gen_range(1e-12..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+            })
+            .collect()
+    }
+
+    fn exponential_sample(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n).map(|_| -rng.gen_range(1e-12..1.0f64).ln()).collect()
+    }
+
+    #[test]
+    fn sw_accepts_normal_data() {
+        let mut accepted = 0;
+        for seed in 0..10 {
+            let xs = normal_sample(200, seed);
+            let r = shapiro_wilk(&xs);
+            assert!(r.statistic > 0.95, "W = {}", r.statistic);
+            if !r.rejects_normality(0.05) {
+                accepted += 1;
+            }
+        }
+        assert!(accepted >= 8, "only {accepted}/10 normal samples accepted");
+    }
+
+    #[test]
+    fn sw_rejects_exponential_data() {
+        for seed in 0..5 {
+            let xs = exponential_sample(200, 100 + seed);
+            let r = shapiro_wilk(&xs);
+            assert!(r.rejects_normality(0.01), "p = {} W = {}", r.p_value, r.statistic);
+        }
+    }
+
+    #[test]
+    fn sw_rejects_bimodal_data() {
+        let mut xs = normal_sample(100, 7);
+        xs.extend(normal_sample(100, 8).iter().map(|v| v + 8.0));
+        let r = shapiro_wilk(&xs);
+        assert!(r.rejects_normality(0.01), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn sw_statistic_near_one_for_perfect_data() {
+        // exact normal quantiles score W ≈ 1
+        let n = 100;
+        let xs: Vec<f64> = (1..=n)
+            .map(|i| crate::dist::norm_quantile(i as f64 / (n as f64 + 1.0)))
+            .collect();
+        let r = shapiro_wilk(&xs);
+        assert!(r.statistic > 0.995, "W = {}", r.statistic);
+    }
+
+    #[test]
+    #[should_panic(expected = "12..=5000")]
+    fn sw_rejects_tiny_sample() {
+        shapiro_wilk(&[1.0; 5]);
+    }
+
+    #[test]
+    fn jb_accepts_normal_rejects_exponential() {
+        let n_ok = jarque_bera(&normal_sample(2000, 21));
+        assert!(n_ok.p_value > 0.01, "JB p = {}", n_ok.p_value);
+        let n_bad = jarque_bera(&exponential_sample(2000, 22));
+        assert!(n_bad.rejects_normality(0.01));
+    }
+}

@@ -1,0 +1,174 @@
+//! Nelder–Mead simplex minimisation — the derivative-free optimiser behind
+//! ARMA/SARIMA conditional-sum-of-squares fitting.
+
+/// Options for [`nelder_mead`].
+#[derive(Debug, Clone)]
+pub struct NmOptions {
+    pub max_iters: usize,
+    /// Convergence: stop when the simplex's objective spread falls below
+    /// `f_tol` (absolute).
+    pub f_tol: f64,
+    /// Initial simplex step per coordinate.
+    pub initial_step: f64,
+}
+
+impl Default for NmOptions {
+    fn default() -> Self {
+        Self { max_iters: 2000, f_tol: 1e-10, initial_step: 0.25 }
+    }
+}
+
+/// Result of a Nelder–Mead run.
+#[derive(Debug, Clone)]
+pub struct NmResult {
+    pub x: Vec<f64>,
+    pub fx: f64,
+    pub iterations: usize,
+    pub converged: bool,
+}
+
+/// Minimise `f` starting from `x0` using the standard Nelder–Mead moves
+/// (reflection 1, expansion 2, contraction 0.5, shrink 0.5).
+pub fn nelder_mead(
+    f: &mut dyn FnMut(&[f64]) -> f64,
+    x0: &[f64],
+    opts: &NmOptions,
+) -> NmResult {
+    let n = x0.len();
+    if n == 0 {
+        return NmResult { x: Vec::new(), fx: f(&[]), iterations: 0, converged: true };
+    }
+    // initial simplex: x0 plus a step along each axis
+    let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
+    simplex.push((x0.to_vec(), f(x0)));
+    for i in 0..n {
+        let mut p = x0.to_vec();
+        p[i] += if p[i].abs() > 1e-8 { opts.initial_step * p[i].abs() } else { opts.initial_step };
+        let fp = f(&p);
+        simplex.push((p, fp));
+    }
+
+    let mut iterations = 0;
+    let mut converged = false;
+    while iterations < opts.max_iters {
+        iterations += 1;
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        let spread = simplex[n].1 - simplex[0].1;
+        if spread.abs() < opts.f_tol {
+            converged = true;
+            break;
+        }
+        // centroid of all but worst
+        let mut centroid = vec![0.0f64; n];
+        for (p, _) in &simplex[..n] {
+            for (c, v) in centroid.iter_mut().zip(p) {
+                *c += v;
+            }
+        }
+        for c in &mut centroid {
+            *c /= n as f64;
+        }
+        let worst = simplex[n].clone();
+
+        let lerp = |alpha: f64| -> Vec<f64> {
+            centroid
+                .iter()
+                .zip(&worst.0)
+                .map(|(c, w)| c + alpha * (c - w))
+                .collect()
+        };
+
+        let xr = lerp(1.0);
+        let fr = f(&xr);
+        if fr < simplex[0].1 {
+            // try expansion
+            let xe = lerp(2.0);
+            let fe = f(&xe);
+            simplex[n] = if fe < fr { (xe, fe) } else { (xr, fr) };
+        } else if fr < simplex[n - 1].1 {
+            simplex[n] = (xr, fr);
+        } else {
+            // contraction
+            let (xc, fc) = if fr < worst.1 {
+                let x = lerp(0.5);
+                let fx = f(&x);
+                (x, fx)
+            } else {
+                let x = lerp(-0.5);
+                let fx = f(&x);
+                (x, fx)
+            };
+            if fc < worst.1.min(fr) {
+                simplex[n] = (xc, fc);
+            } else {
+                // shrink towards the best point
+                let best = simplex[0].0.clone();
+                for entry in simplex.iter_mut().skip(1) {
+                    for (p, b) in entry.0.iter_mut().zip(&best) {
+                        *p = b + 0.5 * (*p - b);
+                    }
+                    entry.1 = f(&entry.0);
+                }
+            }
+        }
+    }
+    simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    let (x, fx) = simplex.swap_remove(0);
+    NmResult { x, fx, iterations, converged }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimises_quadratic() {
+        let mut f = |x: &[f64]| (x[0] - 3.0).powi(2) + (x[1] + 1.0).powi(2);
+        let r = nelder_mead(&mut f, &[0.0, 0.0], &NmOptions::default());
+        assert!(r.converged);
+        assert!((r.x[0] - 3.0).abs() < 1e-4, "{:?}", r.x);
+        assert!((r.x[1] + 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn minimises_rosenbrock() {
+        let mut f =
+            |x: &[f64]| 100.0 * (x[1] - x[0] * x[0]).powi(2) + (1.0 - x[0]).powi(2);
+        let r = nelder_mead(
+            &mut f,
+            &[-1.2, 1.0],
+            &NmOptions { max_iters: 5000, ..Default::default() },
+        );
+        assert!(r.fx < 1e-6, "f = {}", r.fx);
+        assert!((r.x[0] - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn handles_1d() {
+        let mut f = |x: &[f64]| (x[0] - 0.5).powi(2) + 2.0;
+        let r = nelder_mead(&mut f, &[10.0], &NmOptions::default());
+        assert!((r.x[0] - 0.5).abs() < 1e-4);
+        assert!((r.fx - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn zero_dim_is_noop() {
+        let mut f = |_: &[f64]| 42.0;
+        let r = nelder_mead(&mut f, &[], &NmOptions::default());
+        assert_eq!(r.fx, 42.0);
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn respects_iteration_limit() {
+        let mut f =
+            |x: &[f64]| 100.0 * (x[1] - x[0] * x[0]).powi(2) + (1.0 - x[0]).powi(2);
+        let r = nelder_mead(
+            &mut f,
+            &[-1.2, 1.0],
+            &NmOptions { max_iters: 3, ..Default::default() },
+        );
+        assert_eq!(r.iterations, 3);
+        assert!(!r.converged);
+    }
+}

@@ -1,0 +1,113 @@
+//! Box-and-whisker summaries and IQR outlier detection (paper Fig. 3).
+
+use crate::stats::quantile_sorted;
+
+/// Five-number summary plus whiskers and outliers, following the standard
+/// Tukey convention the paper uses: whiskers extend to the most extreme data
+/// point within `1.5·IQR` of the quartiles; anything beyond is an outlier.
+#[derive(Debug, Clone)]
+pub struct BoxWhisker {
+    pub min: f64,
+    pub q1: f64,
+    pub median: f64,
+    pub q3: f64,
+    pub max: f64,
+    pub whisker_lo: f64,
+    pub whisker_hi: f64,
+    pub outliers: Vec<f64>,
+}
+
+impl BoxWhisker {
+    pub fn build(xs: &[f64]) -> Self {
+        assert!(!xs.is_empty(), "box-whisker of empty data");
+        let mut s = xs.to_vec();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let q1 = quantile_sorted(&s, 0.25);
+        let median = quantile_sorted(&s, 0.5);
+        let q3 = quantile_sorted(&s, 0.75);
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+        let whisker_lo = s.iter().cloned().find(|&v| v >= lo_fence).unwrap_or(s[0]);
+        let whisker_hi =
+            s.iter().rev().cloned().find(|&v| v <= hi_fence).unwrap_or(s[s.len() - 1]);
+        let outliers: Vec<f64> =
+            s.iter().cloned().filter(|&v| v < lo_fence || v > hi_fence).collect();
+        Self {
+            min: s[0],
+            q1,
+            median,
+            q3,
+            max: s[s.len() - 1],
+            whisker_lo,
+            whisker_hi,
+            outliers,
+        }
+    }
+
+    /// Fraction of points classified as outliers.
+    pub fn outlier_fraction(&self, n: usize) -> f64 {
+        self.outliers.len() as f64 / n as f64
+    }
+}
+
+/// Remove IQR outliers, returning the trimmed data (order preserved) — the
+/// paper's first preprocessing step before time-series analysis.
+pub fn trim_outliers(xs: &[f64]) -> Vec<f64> {
+    let bw = BoxWhisker::build(xs);
+    let iqr = bw.q3 - bw.q1;
+    let lo = bw.q1 - 1.5 * iqr;
+    let hi = bw.q3 + 1.5 * iqr;
+    xs.iter().cloned().filter(|&v| v >= lo && v <= hi).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_outliers_in_uniform_block() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let bw = BoxWhisker::build(&xs);
+        assert!(bw.outliers.is_empty());
+        assert_eq!(bw.whisker_lo, 0.0);
+        assert_eq!(bw.whisker_hi, 99.0);
+        assert!((bw.median - 49.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_extreme_point() {
+        let mut xs: Vec<f64> = (0..99).map(|i| i as f64 / 99.0).collect();
+        xs.push(50.0);
+        let bw = BoxWhisker::build(&xs);
+        assert_eq!(bw.outliers, vec![50.0]);
+        assert!(bw.whisker_hi < 2.0);
+        assert_eq!(bw.max, 50.0);
+    }
+
+    #[test]
+    fn trim_removes_only_outliers() {
+        let mut xs: Vec<f64> = (0..99).map(|i| i as f64 / 99.0).collect();
+        xs.push(-100.0);
+        xs.push(100.0);
+        let trimmed = trim_outliers(&xs);
+        assert_eq!(trimmed.len(), 99);
+        assert!(trimmed.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn order_preserved_after_trim() {
+        let xs = vec![0.3, 0.1, 99.0, 0.2, 0.15, 0.25, 0.18, 0.22, 0.27, 0.12];
+        let t = trim_outliers(&xs);
+        assert_eq!(t[0], 0.3);
+        assert_eq!(t[1], 0.1);
+        assert!(!t.contains(&99.0));
+    }
+
+    #[test]
+    fn single_point() {
+        let bw = BoxWhisker::build(&[5.0]);
+        assert_eq!(bw.median, 5.0);
+        assert!(bw.outliers.is_empty());
+    }
+}

@@ -1,0 +1,171 @@
+//! Small dense ordinary-least-squares helper used by the unit-root tests.
+
+/// Solve `min ‖Xb − y‖²` by normal equations with Gaussian elimination
+/// (partial pivoting). `x` is row-major with `k` columns. Returns the
+/// coefficient vector and the residual variance `s² = RSS/(n−k)`.
+pub fn ols(x: &[f64], n: usize, k: usize, y: &[f64]) -> (Vec<f64>, f64) {
+    assert_eq!(x.len(), n * k);
+    assert_eq!(y.len(), n);
+    assert!(n > k, "need more observations ({n}) than regressors ({k})");
+    // normal equations: A = XᵀX (k×k), c = Xᵀy
+    let mut a = vec![0.0f64; k * k];
+    let mut c = vec![0.0f64; k];
+    for i in 0..n {
+        let row = &x[i * k..(i + 1) * k];
+        for p in 0..k {
+            c[p] += row[p] * y[i];
+            for q in p..k {
+                a[p * k + q] += row[p] * row[q];
+            }
+        }
+    }
+    for p in 0..k {
+        for q in 0..p {
+            a[p * k + q] = a[q * k + p];
+        }
+    }
+    // solve A b = c
+    let mut b = c;
+    for col in 0..k {
+        let mut piv = col;
+        for r in col + 1..k {
+            if a[r * k + col].abs() > a[piv * k + col].abs() {
+                piv = r;
+            }
+        }
+        assert!(a[piv * k + col].abs() > 1e-12, "singular design matrix");
+        if piv != col {
+            for q in 0..k {
+                a.swap(col * k + q, piv * k + q);
+            }
+            b.swap(col, piv);
+        }
+        let d = a[col * k + col];
+        for r in 0..k {
+            if r != col {
+                let f = a[r * k + col] / d;
+                if f != 0.0 {
+                    for q in col..k {
+                        a[r * k + q] -= f * a[col * k + q];
+                    }
+                    b[r] -= f * b[col];
+                }
+            }
+        }
+    }
+    for col in 0..k {
+        b[col] /= a[col * k + col];
+    }
+    // residual variance
+    let mut rss = 0.0;
+    for i in 0..n {
+        let row = &x[i * k..(i + 1) * k];
+        let fit: f64 = row.iter().zip(&b).map(|(xr, br)| xr * br).sum();
+        rss += (y[i] - fit) * (y[i] - fit);
+    }
+    (b, rss / (n - k) as f64)
+}
+
+/// Standard error of coefficient `j` (needs `(XᵀX)⁻¹_{jj}`; recomputed here
+/// for the small `k` this crate uses).
+pub fn coef_std_error(x: &[f64], n: usize, k: usize, s2: f64, j: usize) -> f64 {
+    // invert XᵀX by solving k unit systems (k is tiny)
+    let mut a = vec![0.0f64; k * k];
+    for i in 0..n {
+        let row = &x[i * k..(i + 1) * k];
+        for p in 0..k {
+            for q in 0..k {
+                a[p * k + q] += row[p] * row[q];
+            }
+        }
+    }
+    // Gauss-Jordan inversion
+    let mut inv = vec![0.0f64; k * k];
+    for d in 0..k {
+        inv[d * k + d] = 1.0;
+    }
+    for col in 0..k {
+        let mut piv = col;
+        for r in col + 1..k {
+            if a[r * k + col].abs() > a[piv * k + col].abs() {
+                piv = r;
+            }
+        }
+        assert!(a[piv * k + col].abs() > 1e-12, "singular design matrix");
+        if piv != col {
+            for q in 0..k {
+                a.swap(col * k + q, piv * k + q);
+                inv.swap(col * k + q, piv * k + q);
+            }
+        }
+        let d = a[col * k + col];
+        for q in 0..k {
+            a[col * k + q] /= d;
+            inv[col * k + q] /= d;
+        }
+        for r in 0..k {
+            if r != col {
+                let f = a[r * k + col];
+                if f != 0.0 {
+                    for q in 0..k {
+                        a[r * k + q] -= f * a[col * k + q];
+                        inv[r * k + q] -= f * inv[col * k + q];
+                    }
+                }
+            }
+        }
+    }
+    (s2 * inv[j * k + j]).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_fit() {
+        // y = 2 + 3t, no noise
+        let n = 10;
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for t in 0..n {
+            x.push(1.0);
+            x.push(t as f64);
+            y.push(2.0 + 3.0 * t as f64);
+        }
+        let (b, s2) = ols(&x, n, 2, &y);
+        assert!((b[0] - 2.0).abs() < 1e-9);
+        assert!((b[1] - 3.0).abs() < 1e-9);
+        assert!(s2 < 1e-18);
+    }
+
+    #[test]
+    fn noisy_fit_recovers_slope() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let n = 4000;
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for t in 0..n {
+            let tv = t as f64 / n as f64;
+            x.push(1.0);
+            x.push(tv);
+            y.push(1.0 - 2.0 * tv + rng.gen_range(-0.1..0.1));
+        }
+        let (b, s2) = ols(&x, n, 2, &y);
+        assert!((b[0] - 1.0).abs() < 0.02, "{b:?}");
+        assert!((b[1] + 2.0).abs() < 0.03, "{b:?}");
+        assert!(s2 < 0.005);
+        let se = coef_std_error(&x, n, 2, s2, 1);
+        assert!(se > 0.0 && se < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn collinear_design_panics() {
+        // two identical columns
+        let x = vec![1.0, 1.0, 2.0, 2.0, 3.0, 3.0];
+        let y = vec![1.0, 2.0, 3.0];
+        ols(&x, 3, 2, &y);
+    }
+}

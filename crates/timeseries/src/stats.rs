@@ -1,0 +1,169 @@
+//! Descriptive statistics: moments, quantiles, histograms.
+
+/// Arithmetic mean. Returns 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample variance (n−1 denominator). Returns 0 for n < 2.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Sample skewness (biased, moment estimator `m3 / m2^{3/2}`).
+pub fn skewness(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    if n < 3 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let m2 = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / n as f64;
+    let m3 = xs.iter().map(|x| (x - m).powi(3)).sum::<f64>() / n as f64;
+    if m2 <= 0.0 {
+        return 0.0;
+    }
+    m3 / m2.powf(1.5)
+}
+
+/// Sample excess kurtosis (`m4 / m2² − 3`).
+pub fn excess_kurtosis(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    if n < 4 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let m2 = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / n as f64;
+    let m4 = xs.iter().map(|x| (x - m).powi(4)).sum::<f64>() / n as f64;
+    if m2 <= 0.0 {
+        return 0.0;
+    }
+    m4 / (m2 * m2) - 3.0
+}
+
+/// Linear-interpolation quantile (R type 7, the R default). `q ∈ [0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile level {q} outside [0,1]");
+    assert!(!xs.is_empty(), "quantile of empty slice");
+    let mut s = xs.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    quantile_sorted(&s, q)
+}
+
+/// Quantile of an already ascending-sorted slice (R type 7).
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let h = (n as f64 - 1.0) * q;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
+    }
+}
+
+/// A histogram over equal-width bins spanning `[min, max]`.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    pub min: f64,
+    pub max: f64,
+    pub counts: Vec<usize>,
+}
+
+impl Histogram {
+    pub fn build(xs: &[f64], bins: usize) -> Self {
+        assert!(bins > 0 && !xs.is_empty());
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut counts = vec![0usize; bins];
+        let width = (max - min).max(f64::MIN_POSITIVE);
+        for &x in xs {
+            let b = (((x - min) / width) * bins as f64) as usize;
+            counts[b.min(bins - 1)] += 1;
+        }
+        Self { min, max, counts }
+    }
+
+    pub fn bin_width(&self) -> f64 {
+        (self.max - self.min) / self.counts.len() as f64
+    }
+
+    /// Midpoint of bin `i`.
+    pub fn bin_mid(&self, i: usize) -> f64 {
+        self.min + (i as f64 + 0.5) * self.bin_width()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        // population variance 4 → sample variance 4*8/7
+        assert!((variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_match_r_type7() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert!((quantile(&xs, 0.5) - 2.5).abs() < 1e-12);
+        assert!((quantile(&xs, 0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_single_element() {
+        assert_eq!(quantile(&[7.0], 0.3), 7.0);
+    }
+
+    #[test]
+    fn skewness_of_symmetric_is_zero() {
+        let xs = [-2.0, -1.0, 0.0, 1.0, 2.0];
+        assert!(skewness(&xs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewness_sign() {
+        // right-skewed data
+        let xs = [1.0, 1.0, 1.0, 1.0, 10.0];
+        assert!(skewness(&xs) > 0.5);
+    }
+
+    #[test]
+    fn kurtosis_of_normal_like_near_zero() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        // sum of 12 uniforms ≈ normal
+        let xs: Vec<f64> =
+            (0..20_000).map(|_| (0..12).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() - 6.0).collect();
+        assert!(excess_kurtosis(&xs).abs() < 0.15, "{}", excess_kurtosis(&xs));
+    }
+
+    #[test]
+    fn histogram_counts_sum() {
+        let xs = [0.0, 0.1, 0.5, 0.9, 1.0];
+        let h = Histogram::build(&xs, 4);
+        assert_eq!(h.counts.iter().sum::<usize>(), xs.len());
+        assert_eq!(h.counts[0], 2); // 0.0 and 0.1
+        assert_eq!(h.counts[3], 2); // 0.9 and 1.0 (max lands in last bin)
+    }
+}

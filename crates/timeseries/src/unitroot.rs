@@ -1,0 +1,105 @@
+//! Augmented Dickey–Fuller unit-root test, the standard stationarity check
+//! behind the paper's "we verify that our test series is statistically
+//! stationary and does not require further differencing".
+
+use crate::regression::{coef_std_error, ols};
+
+/// ADF test outcome. H₀: the series has a unit root (non-stationary).
+#[derive(Debug, Clone, Copy)]
+pub struct AdfResult {
+    /// The t-statistic of the lagged-level coefficient.
+    pub statistic: f64,
+    /// Number of augmenting lag differences used.
+    pub lags: usize,
+    /// Critical values (1 %, 5 %, 10 %) for the constant-only regression
+    /// (Dickey–Fuller large-sample values).
+    pub critical: (f64, f64, f64),
+}
+
+impl AdfResult {
+    /// Reject the unit root (declare stationarity) at the 5 % level.
+    pub fn is_stationary(&self) -> bool {
+        self.statistic < self.critical.1
+    }
+}
+
+/// Run the ADF regression `Δy_t = c + ρ·y_{t−1} + Σᵢ γᵢ·Δy_{t−i} + e_t`
+/// with `lags` augmenting terms and a constant.
+pub fn adf(xs: &[f64], lags: usize) -> AdfResult {
+    let n = xs.len();
+    assert!(n > lags + 10, "series too short for ADF with {lags} lags");
+    let dy: Vec<f64> = xs.windows(2).map(|w| w[1] - w[0]).collect();
+    // rows: t from (lags+1)..n-1 over dy index space
+    let k = 2 + lags; // constant, level, lag diffs
+    let mut design = Vec::new();
+    let mut y = Vec::new();
+    for t in lags..dy.len() {
+        design.push(1.0);
+        design.push(xs[t]); // y_{t-1} in level terms (dy[t] = y[t+1]-y[t])
+        for i in 1..=lags {
+            design.push(dy[t - i]);
+        }
+        y.push(dy[t]);
+    }
+    let rows = y.len();
+    let (b, s2) = ols(&design, rows, k, &y);
+    let se = coef_std_error(&design, rows, k, s2, 1);
+    let t_stat = b[1] / se;
+    AdfResult { statistic: t_stat, lags, critical: (-3.43, -2.86, -2.57) }
+}
+
+/// ADF with the Schwert rule-of-thumb lag length `⌊12·(n/100)^{1/4}⌋`
+/// capped to keep the regression well-posed.
+pub fn adf_auto(xs: &[f64]) -> AdfResult {
+    let n = xs.len() as f64;
+    let lags = (12.0 * (n / 100.0).powf(0.25)).floor() as usize;
+    let lags = lags.min(xs.len() / 10);
+    adf(xs, lags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arima::simulate_arma;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stationary_ar1_rejects_unit_root() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let xs = simulate_arma(&[0.5], &[], 0.0, 1.0, 2000, 100, &mut rng);
+        let r = adf(&xs, 4);
+        assert!(r.is_stationary(), "t = {}", r.statistic);
+        assert!(r.statistic < -10.0, "t = {} should be strongly negative", r.statistic);
+    }
+
+    #[test]
+    fn random_walk_keeps_unit_root() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let steps = simulate_arma(&[], &[], 0.0, 1.0, 2000, 0, &mut rng);
+        let mut walk = vec![0.0f64];
+        for s in steps {
+            let prev = *walk.last().unwrap();
+            walk.push(prev + s);
+        }
+        let r = adf(&walk, 4);
+        assert!(!r.is_stationary(), "t = {} should not reject", r.statistic);
+    }
+
+    #[test]
+    fn near_unit_root_is_borderline() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let xs = simulate_arma(&[0.999], &[], 0.0, 1.0, 500, 100, &mut rng);
+        let r = adf(&xs, 2);
+        // should NOT be strongly stationary
+        assert!(r.statistic > -6.0, "t = {}", r.statistic);
+    }
+
+    #[test]
+    fn auto_lag_selection_reasonable() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(14);
+        let xs = simulate_arma(&[0.4], &[], 0.0, 1.0, 1000, 100, &mut rng);
+        let r = adf_auto(&xs);
+        assert!(r.lags >= 8 && r.lags <= 25, "lags = {}", r.lags);
+        assert!(r.is_stationary());
+    }
+}

@@ -1,0 +1,81 @@
+//! Spot-price predictability walk-through: outlier trimming, decomposition,
+//! ACF/PACF, normality testing and a SARIMA day-ahead forecast — the
+//! pipeline of the paper's §IV-A on the synthetic archive.
+//!
+//! ```sh
+//! cargo run --release -p rrp-core --example forecast_demo
+//! ```
+
+use rrp_spotmarket::{SpotArchive, VmClass};
+use rrp_timeseries::acf::{acf, confidence_band, pacf};
+use rrp_timeseries::decompose::{decompose, seasonal_strength};
+use rrp_timeseries::metrics::mspe;
+use rrp_timeseries::normality::{jarque_bera, shapiro_wilk};
+use rrp_timeseries::outlier::BoxWhisker;
+use rrp_timeseries::select::{auto_sarima, SelectOptions};
+use rrp_timeseries::stats::mean;
+
+fn main() {
+    let class = VmClass::C1Medium;
+    let archive = SpotArchive::canonical(class);
+    let est = archive.estimation_window();
+    let actual = archive.validation_day();
+    println!("{class}: estimation window {} hours, forecasting the next 24\n", est.len());
+
+    // 1. outliers (Fig. 3)
+    let bw = BoxWhisker::build(est.values());
+    println!(
+        "box-whisker: q1 {:.4}  median {:.4}  q3 {:.4}  outliers {:.2}%",
+        bw.q1,
+        bw.median,
+        bw.q3,
+        100.0 * bw.outlier_fraction(est.len())
+    );
+
+    // 2. normality (Fig. 5)
+    let sw = shapiro_wilk(&est.values()[..2048.min(est.len())]);
+    let jb = jarque_bera(est.values());
+    println!(
+        "Shapiro–Wilk W = {:.4} (p = {:.2e}) — normality {}",
+        sw.statistic,
+        sw.p_value,
+        if sw.rejects_normality(0.05) { "REJECTED" } else { "not rejected" }
+    );
+    println!("Jarque–Bera JB = {:.1} (p = {:.2e})", jb.statistic, jb.p_value);
+
+    // 3. decomposition (Fig. 6)
+    let d = decompose(est.values(), 24);
+    println!("seasonal strength (period 24): {:.3}", seasonal_strength(&d));
+
+    // 4. correlograms (Fig. 7)
+    let band = confidence_band(est.len());
+    let r = acf(est.values(), 27);
+    let p = pacf(est.values(), 27);
+    let sig_acf: Vec<usize> =
+        (1..r.len()).filter(|&k| r[k].abs() > band).take(8).collect();
+    let sig_pacf: Vec<usize> =
+        (1..=p.len()).filter(|&k| p[k - 1].abs() > band).take(8).collect();
+    println!("ACF beyond the 95% band at lags {sig_acf:?}; PACF at {sig_pacf:?}");
+
+    // 5. SARIMA selection + day-ahead forecast (Fig. 8)
+    let fit = auto_sarima(
+        est.values(),
+        24,
+        &SelectOptions { max_p: 2, max_q: 1, max_sp: 1, max_sq: 0, d: Some(0), sd: Some(0) },
+    );
+    println!(
+        "\nauto-selected SARIMA({},{},{})×({},{},{})₂₄, AIC = {:.1}",
+        fit.spec.p, fit.spec.d, fit.spec.q, fit.spec.sp, fit.spec.sd, fit.spec.sq, fit.aic
+    );
+    let fc = fit.forecast(24);
+    let naive = vec![mean(est.values()); 24];
+    println!(
+        "day-ahead MSPE: sarima {:.3e} vs mean-predictor {:.3e}",
+        mspe(actual.values(), &fc),
+        mspe(actual.values(), &naive)
+    );
+    println!("\n{:>4} {:>10} {:>10}", "hour", "actual", "forecast");
+    for h in 0..24 {
+        println!("{:>4} {:>10.4} {:>10.4}", h, actual.values()[h], fc[h]);
+    }
+}

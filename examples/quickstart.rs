@@ -1,0 +1,55 @@
+//! Quickstart: plan one day of rentals for a single c1.medium instance with
+//! DRRP and compare against not planning at all.
+//!
+//! ```sh
+//! cargo run --release -p rrp-core --example quickstart
+//! ```
+
+use rrp_core::demand::DemandModel;
+use rrp_core::{CostSchedule, DrrpProblem, PlanningParams};
+use rrp_spotmarket::{CostRates, VmClass};
+
+fn main() {
+    let class = VmClass::C1Medium;
+    let rates = CostRates::ec2_2011();
+    let horizon = 24;
+
+    // Hourly demand ~ N(0.4, 0.2) GB, truncated positive (paper §V-A).
+    let demand = DemandModel::paper_default().sample(horizon, 42);
+
+    // Plan in the on-demand market: fixed hourly price.
+    let schedule = CostSchedule::on_demand(class, demand.clone(), &rates);
+    let problem = DrrpProblem::new(schedule, PlanningParams::default());
+    let plan = problem.solve().expect("feasible planning instance");
+
+    println!(
+        "DRRP 24-hour plan for one {class} instance (on-demand ${:.2}/h)",
+        class.on_demand_price()
+    );
+    println!("{:>4} {:>8} {:>8} {:>8} {:>6}", "slot", "demand", "alpha", "beta", "rent");
+    for t in 0..horizon {
+        println!(
+            "{:>4} {:>8.3} {:>8.3} {:>8.3} {:>6}",
+            t,
+            demand[t],
+            plan.alpha[t],
+            plan.beta[t],
+            if plan.chi[t] { "yes" } else { "-" }
+        );
+    }
+
+    // The no-planning baseline rents every hour.
+    let no_plan_compute: f64 = horizon as f64 * class.on_demand_price();
+    let no_plan_total = no_plan_compute
+        + demand.iter().sum::<f64>()
+            * (rates.transfer_in_per_output_gb() + rates.transfer_out_gb);
+
+    println!();
+    println!("cost breakdown ($/day):");
+    println!("  compute      {:>8.4}", plan.breakdown.compute);
+    println!("  storage+I/O  {:>8.4}", plan.breakdown.inventory);
+    println!("  transfer     {:>8.4}", plan.breakdown.transfer());
+    println!("  total        {:>8.4}", plan.objective);
+    println!("  no-plan      {:>8.4}", no_plan_total);
+    println!("  saving       {:>7.1}%", (1.0 - plan.objective / no_plan_total) * 100.0);
+}

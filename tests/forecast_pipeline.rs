@@ -1,0 +1,113 @@
+//! The §IV-A predictability pipeline on the synthetic archive: the paper's
+//! qualitative conclusions must reproduce end-to-end.
+
+use rrp_spotmarket::{SpotArchive, VmClass};
+use rrp_timeseries::acf::{acf, confidence_band};
+use rrp_timeseries::metrics::mspe;
+use rrp_timeseries::normality::shapiro_wilk;
+use rrp_timeseries::outlier::BoxWhisker;
+use rrp_timeseries::sarima::SarimaSpec;
+use rrp_timeseries::stats::mean;
+
+#[test]
+fn normality_rejected_on_estimation_window() {
+    // Paper Fig. 5: "normal distribution is inadequate to approximate the
+    // selected data set ... supported by the Shapiro-Wilk test".
+    let archive = SpotArchive::canonical(VmClass::C1Medium);
+    let est = archive.estimation_window();
+    let sample = &est.values()[..est.len().min(2000)];
+    let r = shapiro_wilk(sample);
+    assert!(r.rejects_normality(0.05), "W = {} p = {}", r.statistic, r.p_value);
+}
+
+#[test]
+fn autocorrelation_weak_but_present() {
+    // Paper Fig. 7: some lags exceed the 95% band, but correlations are far
+    // from 1 ("not strong enough").
+    let archive = SpotArchive::canonical(VmClass::C1Medium);
+    let est = archive.estimation_window();
+    let r = acf(est.values(), 30);
+    let band = confidence_band(est.len());
+    let beyond = (1..=30).filter(|&k| r[k].abs() > band).count();
+    assert!(beyond >= 1, "no lag beyond the band — series looks like pure noise");
+    let max_corr = (1..=30).map(|k| r[k].abs()).fold(0.0, f64::max);
+    assert!(max_corr < 0.95, "correlation {max_corr} too strong — unlike the paper's data");
+}
+
+#[test]
+fn outliers_bounded_across_classes() {
+    // Paper Fig. 3: outliers < 3% of the data even for the most volatile
+    // class, with more outliers for more powerful classes.
+    for class in VmClass::ALL {
+        let archive = SpotArchive::canonical(class);
+        let bw = BoxWhisker::build(archive.hourly.values());
+        let frac = bw.outlier_fraction(archive.hourly.len());
+        assert!(frac < 0.03, "{class}: {frac}");
+    }
+}
+
+#[test]
+fn sarima_beats_mean_only_marginally() {
+    // Paper Fig. 8 conclusion: the best SARIMA's day-ahead MSPE "is only
+    // slightly better than the simple prediction using the expected mean
+    // value" — i.e. the ratio should be near 1, not a large win.
+    let archive = SpotArchive::canonical(VmClass::C1Medium);
+    let est = archive.estimation_window();
+    let actual = archive.validation_day();
+
+    let fit = SarimaSpec { p: 2, d: 0, q: 1, sp: 2, sd: 0, sq: 0, s: 24 }.fit(est.values());
+    let fc = fit.forecast(24);
+    let sarima_mspe = mspe(actual.values(), &fc);
+
+    let mean_pred = vec![mean(est.values()); 24];
+    let mean_mspe = mspe(actual.values(), &mean_pred);
+
+    // not catastrophically worse, and no dramatic improvement
+    assert!(
+        sarima_mspe < mean_mspe * 3.0,
+        "SARIMA MSPE {sarima_mspe:.3e} ≫ mean-predictor {mean_mspe:.3e}"
+    );
+    assert!(
+        sarima_mspe > mean_mspe * 0.2,
+        "SARIMA MSPE {sarima_mspe:.3e} beats the mean by >5× — spot prices \
+         should not be this predictable (paper §IV-A)"
+    );
+}
+
+#[test]
+fn forecast_stays_in_price_range() {
+    // Fig. 8: "predicted prices are mostly hanging over the average price
+    // line" — forecasts must stay within the observed price band.
+    let archive = SpotArchive::canonical(VmClass::C1Medium);
+    let est = archive.estimation_window();
+    let lo = est.values().iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = est.values().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let fit = SarimaSpec { p: 2, d: 0, q: 1, sp: 1, sd: 0, sq: 0, s: 24 }.fit(est.values());
+    for (h, v) in fit.forecast(24).iter().enumerate() {
+        assert!(
+            (lo * 0.8..=hi * 1.2).contains(v),
+            "forecast[{h}] = {v} escapes the plausible band [{lo}, {hi}]"
+        );
+    }
+}
+
+#[test]
+fn hourly_regularisation_matches_event_feed() {
+    // The hourly series must track the raw feed: at every event hour the
+    // regularised price equals the last event's price in that hour.
+    let archive = SpotArchive::canonical(VmClass::M1Large);
+    let ev = &archive.events;
+    let hourly = archive.hourly.values();
+    // walk events; check the containing hour's value
+    for (i, (&t, &v)) in ev.times.iter().zip(&ev.values).enumerate() {
+        let hour = (t / 3600) as usize;
+        // only check when this is the last event of its hour
+        let last_of_hour = ev
+            .times
+            .get(i + 1)
+            .map_or(true, |&t2| t2 / 3600 != t / 3600);
+        if last_of_hour && hour < hourly.len() {
+            assert_eq!(hourly[hour], v, "hour {hour}");
+        }
+    }
+}

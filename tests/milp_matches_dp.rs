@@ -1,0 +1,89 @@
+//! Cross-crate invariant: the generic branch & bound MILP (the paper's
+//! solution method) and the Wagner–Whitin dynamic program (the lot-sizing
+//! structure the paper identifies) must agree exactly on uncapacitated
+//! DRRP instances.
+
+use rand::{Rng, SeedableRng};
+use rrp_core::demand::DemandModel;
+use rrp_core::{wagner_whitin, CostSchedule, DrrpProblem, PlanningParams};
+use rrp_milp::MilpOptions;
+use rrp_spotmarket::{CostRates, SpotArchive, VmClass};
+
+#[test]
+fn milp_equals_ww_on_random_instances() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
+    let rates = CostRates::ec2_2011();
+    for trial in 0..25 {
+        let t = 2 + rng.gen_range(0..10);
+        let compute: Vec<f64> = (0..t).map(|_| rng.gen_range(0.02..1.0)).collect();
+        let demand: Vec<f64> = (0..t).map(|_| rng.gen_range(0.0..1.2)).collect();
+        let eps = if trial % 3 == 0 { rng.gen_range(0.0..0.8) } else { 0.0 };
+        let schedule = CostSchedule::ec2(compute, demand, &rates);
+        let params = PlanningParams { initial_inventory: eps, capacity: None };
+        let problem = DrrpProblem::new(schedule.clone(), params);
+
+        let ww = wagner_whitin::solve(&schedule, &params);
+        let milp = problem.solve_milp(&MilpOptions::default()).unwrap();
+        assert!(
+            (ww.objective - milp.objective).abs() <= 1e-6 * (1.0 + ww.objective.abs()),
+            "trial {trial}: WW {} vs MILP {}",
+            ww.objective,
+            milp.objective
+        );
+        assert!(ww.is_feasible(&schedule, &params, 1e-7), "WW plan infeasible");
+        assert!(milp.is_feasible(&schedule, &params, 1e-5), "MILP plan infeasible");
+    }
+}
+
+#[test]
+fn milp_equals_ww_on_archive_prices() {
+    // A realistic instance: 24 h of realised c1.medium spot prices as the
+    // compute schedule (the oracle planner's problem).
+    let archive = SpotArchive::canonical(VmClass::C1Medium);
+    let prices = archive.validation_day();
+    let demand = DemandModel::paper_default().sample(24, 5);
+    let schedule = CostSchedule::ec2(prices.values().to_vec(), demand, &CostRates::ec2_2011());
+    let problem = DrrpProblem::new(schedule.clone(), PlanningParams::default());
+
+    let ww = wagner_whitin::solve(&schedule, &PlanningParams::default());
+    let milp = problem.solve_milp(&MilpOptions::default()).unwrap();
+    assert!(
+        (ww.objective - milp.objective).abs() < 1e-6,
+        "WW {} vs MILP {}",
+        ww.objective,
+        milp.objective
+    );
+}
+
+#[test]
+fn capacitated_milp_never_beats_uncapacitated_ww() {
+    let rates = CostRates::ec2_2011();
+    let demand = vec![0.9, 1.1, 0.8, 1.0];
+    let schedule = CostSchedule::ec2(vec![0.3; 4], demand, &rates);
+    let unconstrained = wagner_whitin::solve(&schedule, &PlanningParams::default());
+    for cap in [1.2, 1.5, 2.0, 5.0] {
+        let p = DrrpProblem::new(
+            schedule.clone(),
+            PlanningParams { initial_inventory: 0.0, capacity: Some(cap) },
+        );
+        let sol = p.solve_milp(&MilpOptions::default()).unwrap();
+        assert!(
+            sol.objective >= unconstrained.objective - 1e-7,
+            "cap {cap}: capacitated {} beat unconstrained {}",
+            sol.objective,
+            unconstrained.objective
+        );
+    }
+}
+
+#[test]
+fn ww_scales_to_long_horizons() {
+    // The DP must handle a week of hourly slots instantly and stay
+    // consistent with the MILP on a spot-check prefix.
+    let demand = DemandModel::paper_default().sample(168, 9);
+    let compute: Vec<f64> = (0..168).map(|t| 0.2 + 0.05 * ((t % 24) as f64 / 24.0)).collect();
+    let schedule = CostSchedule::ec2(compute, demand, &CostRates::ec2_2011());
+    let plan = wagner_whitin::solve(&schedule, &PlanningParams::default());
+    assert!(plan.is_feasible(&schedule, &PlanningParams::default(), 1e-7));
+    assert!(plan.objective > 0.0);
+}
