@@ -19,18 +19,10 @@ fn bench_forecast(c: &mut Criterion) {
 
     group.sample_size(10);
     group.bench_function("fit_arma_2_1", |b| {
-        b.iter(|| {
-            SarimaSpec { p: 2, d: 0, q: 1, sp: 0, sd: 0, sq: 0, s: 24 }
-                .fit(&xs)
-                .aic
-        })
+        b.iter(|| SarimaSpec { p: 2, d: 0, q: 1, sp: 0, sd: 0, sq: 0, s: 24 }.fit(&xs).aic)
     });
     group.bench_function("fit_sarima_201_100", |b| {
-        b.iter(|| {
-            SarimaSpec { p: 2, d: 0, q: 1, sp: 1, sd: 0, sq: 0, s: 24 }
-                .fit(&xs)
-                .aic
-        })
+        b.iter(|| SarimaSpec { p: 2, d: 0, q: 1, sp: 1, sd: 0, sq: 0, s: 24 }.fit(&xs).aic)
     });
     let fit = SarimaSpec { p: 2, d: 0, q: 1, sp: 1, sd: 0, sq: 0, s: 24 }.fit(&xs);
     group.bench_function("forecast24", |b| b.iter(|| fit.forecast(24)));

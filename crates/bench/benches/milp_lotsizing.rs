@@ -10,8 +10,7 @@ use rrp_spotmarket::CostRates;
 
 fn instance(horizon: usize) -> CostSchedule {
     let demand = DemandModel::paper_default().sample(horizon, horizon as u64);
-    let compute: Vec<f64> =
-        (0..horizon).map(|t| 0.2 + 0.1 * ((t % 24) as f64 / 24.0)).collect();
+    let compute: Vec<f64> = (0..horizon).map(|t| 0.2 + 0.1 * ((t % 24) as f64 / 24.0)).collect();
     CostSchedule::ec2(compute, demand, &CostRates::ec2_2011())
 }
 

@@ -38,12 +38,9 @@ fn bench_srrp(c: &mut Criterion) {
         if horizon <= 4 {
             group.bench_with_input(BenchmarkId::new("bigm", nodes), &p, |b, p| {
                 b.iter(|| {
-                    p.solve_milp_bigm(&MilpOptions {
-                        node_limit: 100_000,
-                        ..Default::default()
-                    })
-                    .unwrap()
-                    .expected_cost
+                    p.solve_milp_bigm(&MilpOptions { node_limit: 100_000, ..Default::default() })
+                        .unwrap()
+                        .expected_cost
                 })
             });
         }

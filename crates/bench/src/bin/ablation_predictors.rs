@@ -42,9 +42,7 @@ impl Forecaster for SarimaForecaster {
         "sarima(2,0,1)(1,0,0)24"
     }
     fn forecast(&self, train: &[f64], horizon: usize) -> Vec<f64> {
-        SarimaSpec { p: 2, d: 0, q: 1, sp: 1, sd: 0, sq: 0, s: 24 }
-            .fit(train)
-            .forecast(horizon)
+        SarimaSpec { p: 2, d: 0, q: 1, sp: 1, sd: 0, sq: 0, s: 24 }.fit(train).forecast(horizon)
     }
 }
 
@@ -73,12 +71,7 @@ fn main() {
     println!("{} folds of 24-hour forecasts\n", reports[0].fold_mspe.len());
     println!("{:<24} {:>12} {:>12}", "predictor", "MSPE", "vs mean");
     for r in &reports {
-        println!(
-            "{:<24} {:>12.3e} {:>11.2}x",
-            r.name,
-            r.mean_mspe(),
-            r.mean_mspe() / mean_ref
-        );
+        println!("{:<24} {:>12.3e} {:>11.2}x", r.name, r.mean_mspe(), r.mean_mspe() / mean_ref);
     }
     println!();
     println!("paper: the best SARIMA 'is only slightly better than the simple");

@@ -46,19 +46,16 @@ fn main() {
     let days = 10;
     let class = VmClass::C1Medium;
     println!("{class}, {days} evaluation days, det-exp-mean vs sto-exp-mean\n");
-    println!("{:<18} {:>14} {:>14} {:>12}", "protocol", "det-exp-mean $", "sto-exp-mean $", "sto gain");
+    println!(
+        "{:<18} {:>14} {:>14} {:>12}",
+        "protocol", "det-exp-mean $", "sto-exp-mean $", "sto gain"
+    );
     for (name, mode) in
         [("per-horizon", ReplanMode::PerHorizon), ("every-slot", ReplanMode::EverySlot)]
     {
         let det = run(class, Policy::DetExpMean, mode, days);
         let sto = run(class, Policy::StoExpMean, mode, days);
-        println!(
-            "{:<18} {:>14.3} {:>14.3} {:>11.2}%",
-            name,
-            det,
-            sto,
-            (1.0 - sto / det) * 100.0
-        );
+        println!("{:<18} {:>14.3} {:>14.3} {:>11.2}%", name, det, sto, (1.0 - sto / det) * 100.0);
     }
     println!();
     println!("expected: the stochastic model's edge is largest when plans commit;");

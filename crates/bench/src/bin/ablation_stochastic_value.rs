@@ -31,16 +31,13 @@ fn main() {
             ("mean", base.mean()),
             ("p90", rrp_timeseries::stats::quantile(history.values(), 0.90)),
         ] {
-            let dists = stage_distributions(&base, &vec![bid; 6], class.on_demand_price());
+            let dists = stage_distributions(&base, &[bid; 6], class.on_demand_price());
             let tree = ScenarioTree::from_stage_distributions(&dists, 500_000);
-            let schedule =
-                CostSchedule::ec2(vec![0.0; 6], demand.clone(), &CostRates::ec2_2011());
+            let schedule = CostSchedule::ec2(vec![0.0; 6], demand.clone(), &CostRates::ec2_2011());
             let srrp = SrrpProblem::new(schedule, PlanningParams::default(), tree);
-            let v = stochastic_value(
-                &srrp,
-                &MilpOptions { node_limit: 100_000, ..Default::default() },
-            )
-            .expect("solvable");
+            let v =
+                stochastic_value(&srrp, &MilpOptions { node_limit: 100_000, ..Default::default() })
+                    .expect("solvable");
             println!(
                 "{:<12} {:>6} {:>10.4} {:>10.4} {:>10.4} {:>8.4} {:>8.4}",
                 class.name(),

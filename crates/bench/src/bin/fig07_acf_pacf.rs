@@ -17,7 +17,7 @@ fn correlogram(name: &str, values: &[f64], band: f64, lag0: bool) {
     for (i, &v) in values.iter().enumerate() {
         let lag = if lag0 { i } else { i + 1 };
         let pos = ((v + 1.0) / 2.0 * 36.0).round() as usize;
-        let mut row = vec![' '; 37];
+        let mut row = [' '; 37];
         row[18] = '|';
         let lo = ((1.0 - band) / 2.0 * 36.0).round() as usize;
         let hi = ((1.0 + band) / 2.0 * 36.0).round() as usize;

@@ -28,24 +28,25 @@ fn main() {
     );
     println!(
         "AIC-best model: SARIMA({},{},{})×({},{},{})₂₄   AIC = {:.1}  σ² = {:.3e}",
-        fit.spec.p, fit.spec.d, fit.spec.q, fit.spec.sp, fit.spec.sd, fit.spec.sq, fit.aic, fit.sigma2
+        fit.spec.p,
+        fit.spec.d,
+        fit.spec.q,
+        fit.spec.sp,
+        fit.spec.sd,
+        fit.spec.sq,
+        fit.aic,
+        fit.sigma2
     );
 
     let fc = fit.forecast(24);
     let avg = mean(est.values());
     println!("\n{:>4} {:>10} {:>10} {:>10}", "hour", "actual", "sarima", "mean-line");
     for h in 0..24 {
-        println!(
-            "{:>4} {:>10.4} {:>10.4} {:>10.4}",
-            h,
-            actual.values()[h],
-            fc[h],
-            avg
-        );
+        println!("{:>4} {:>10.4} {:>10.4} {:>10.4}", h, actual.values()[h], fc[h], avg);
     }
 
     let sarima_mspe = mspe(actual.values(), &fc);
-    let mean_mspe = mspe(actual.values(), &vec![avg; 24]);
+    let mean_mspe = mspe(actual.values(), &[avg; 24]);
     println!("\nMSPE: sarima = {sarima_mspe:.4e}   mean-predictor = {mean_mspe:.4e}");
     println!(
         "ratio sarima/mean = {:.3} (paper: 'only slightly better than the simple\n\

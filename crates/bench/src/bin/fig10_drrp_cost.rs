@@ -29,8 +29,7 @@ fn main() {
         let mut drrp_total = 0.0;
         let mut breakdown = rrp_core::CostBreakdown::default();
         for day in 0..days {
-            let demand =
-                DemandModel::paper_default().sample(24, DEMAND_SEED + day as u64);
+            let demand = DemandModel::paper_default().sample(24, DEMAND_SEED + day as u64);
             // the on-demand market is deterministic: history/realized are
             // the flat on-demand price, no bidding
             let flat = vec![class.on_demand_price(); 24];

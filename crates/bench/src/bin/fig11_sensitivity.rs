@@ -29,9 +29,7 @@ fn cost_ratio(compute_price: f64, io_scale: f64, demand_mean: f64, days: usize) 
         let noplan: f64 = demand
             .iter()
             .map(|d| {
-                compute_price
-                    + rates.transfer_in_per_output_gb() * d
-                    + rates.transfer_out_gb * d
+                compute_price + rates.transfer_in_per_output_gb() * d + rates.transfer_out_gb * d
             })
             .sum();
         noplan_sum += noplan;
@@ -43,7 +41,10 @@ fn main() {
     header("Fig. 11 — DRRP sensitivity (cost ratio = DRRP / no-plan)");
     let base_cpu = VmClass::M1Large.on_demand_price();
     let base = cost_ratio(base_cpu, 1.0, 0.4, 10);
-    println!("base point: m1.large, demand mean 0.4 → cost ratio {:.3} (paper base ≈ 0.67)\n", base);
+    println!(
+        "base point: m1.large, demand mean 0.4 → cost ratio {:.3} (paper base ≈ 0.67)\n",
+        base
+    );
 
     println!("left panel — weight sweep in steps of 0.1 from the base:");
     println!("{:>22} {:>8}  profile", "setting", "ratio");

@@ -43,8 +43,8 @@ fn main() {
             .map(|day| {
                 let d = EvalDay::new(class, day, 0.4, DEMAND_SEED + day as u64);
                 // day-ahead SARIMA forecast as the *-predict bid source
-                let fit = SarimaSpec { p: 2, d: 0, q: 1, sp: 1, sd: 0, sq: 0, s: 24 }
-                    .fit(&d.history);
+                let fit =
+                    SarimaSpec { p: 2, d: 0, q: 1, sp: 1, sd: 0, sq: 0, s: 24 }.fit(&d.history);
                 let predictions = fit.forecast(d.realized.len());
                 let env = MarketEnv {
                     realized: &d.realized,
@@ -54,8 +54,7 @@ fn main() {
                     demand: &d.demand,
                     rates: CostRates::ec2_2011(),
                 };
-                let oracle =
-                    simulate(Policy::Oracle, &env, &config(Policy::Oracle)).cost.total();
+                let oracle = simulate(Policy::Oracle, &env, &config(Policy::Oracle)).cost.total();
                 let mut costs = [0.0f64; 5];
                 for (i, policy) in Policy::FIG12A.iter().enumerate() {
                     costs[i] = simulate(*policy, &env, &config(*policy)).cost.total();

@@ -65,8 +65,7 @@ fn main() {
     let mut sarima_mspe = 0.0;
     let mut sarima_cost = 0.0;
     for d in &evals {
-        let fit =
-            SarimaSpec { p: 2, d: 0, q: 1, sp: 1, sd: 0, sq: 0, s: 24 }.fit(&d.history);
+        let fit = SarimaSpec { p: 2, d: 0, q: 1, sp: 1, sd: 0, sq: 0, s: 24 }.fit(&d.history);
         let predictions = fit.forecast(d.realized.len());
         sarima_mspe += mspe(&d.realized, &predictions);
         sarima_cost += run_with_bids(d, class, &predictions);

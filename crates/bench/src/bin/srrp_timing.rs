@@ -18,9 +18,8 @@ fn main() {
         let schedule = CostSchedule::ec2(vec![0.0; horizon], demand, &CostRates::ec2_2011());
         let srrp = SrrpProblem::new(schedule, PlanningParams::default(), tree.clone());
         let t0 = std::time::Instant::now();
-        let plan = srrp
-            .solve_milp(&MilpOptions { node_limit: 50_000, ..Default::default() })
-            .unwrap();
+        let plan =
+            srrp.solve_milp(&MilpOptions { node_limit: 50_000, ..Default::default() }).unwrap();
         println!(
             "FL   H={horizon} treenodes={} cost={:.4} gap={:.2e} time={:?}",
             tree.len(),

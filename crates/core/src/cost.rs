@@ -53,13 +53,7 @@ impl CostSchedule {
         assert_eq!(self.gen.len(), t);
         assert_eq!(self.out.len(), t);
         assert_eq!(self.demand.len(), t);
-        for v in self
-            .compute
-            .iter()
-            .chain(&self.inventory)
-            .chain(&self.gen)
-            .chain(&self.out)
-        {
+        for v in self.compute.iter().chain(&self.inventory).chain(&self.gen).chain(&self.out) {
             assert!(v.is_finite() && *v >= 0.0, "cost parameters must be finite and >= 0");
         }
         for d in &self.demand {
@@ -112,10 +106,7 @@ pub fn validate(schedule: &CostSchedule, params: &PlanningParams) {
     if let Some(cap) = params.capacity {
         // with a capacity the horizon must be able to cover demand at all
         let max_need = schedule.demand.iter().cloned().fold(0.0, f64::max);
-        assert!(
-            cap + 1e-12 >= 0.0 && max_need.is_finite(),
-            "invalid capacity setup"
-        );
+        assert!(cap + 1e-12 >= 0.0 && max_need.is_finite(), "invalid capacity setup");
     }
 }
 
@@ -154,9 +145,6 @@ mod tests {
     fn rejects_zero_capacity() {
         let rates = CostRates::ec2_2011();
         let s = CostSchedule::ec2(vec![0.06; 2], vec![0.4; 2], &rates);
-        validate(
-            &s,
-            &PlanningParams { initial_inventory: 0.0, capacity: Some(0.0) },
-        );
+        validate(&s, &PlanningParams { initial_inventory: 0.0, capacity: Some(0.0) });
     }
 }

@@ -17,8 +17,9 @@
 //! capacity when present.
 
 use rrp_lp::{Cmp, Model, Sense};
-use rrp_milp::{MilpOptions, MilpProblem, MilpStatus};
+use rrp_milp::{MilpOptions, MilpProblem, MilpStatus, SolveBudget, SolveStatus};
 
+use crate::budgeted::PlanOutcome;
 use crate::cost::{validate, CostSchedule, PlanningParams};
 use crate::eval::CostBreakdown;
 
@@ -82,10 +83,7 @@ impl DrrpProblem {
         }
 
         for t in 0..t_max {
-            let ub = match self.params.capacity {
-                Some(c) => c,
-                None => f64::INFINITY,
-            };
+            let ub = self.params.capacity.unwrap_or(f64::INFINITY);
             m.add_var(0.0, ub, s.gen[t], &format!("alpha[{t}]"));
         }
         for t in 0..t_max {
@@ -158,6 +156,27 @@ impl DrrpProblem {
         Ok(self.extract(&sol.values, &vars))
     }
 
+    /// MILP solve under a cooperative [`SolveBudget`] (wall-clock and/or
+    /// node limits). Budget hits yield [`PlanOutcome::Terminated`] carrying
+    /// the best incumbent plan found so far, never a panic or an unbounded
+    /// run — the hook the planning engine's deadline enforcement uses.
+    pub fn solve_milp_budgeted(
+        &self,
+        opts: &MilpOptions,
+        budget: &SolveBudget,
+    ) -> PlanOutcome<RentalPlan> {
+        let (milp, vars) = self.to_milp();
+        match milp.solve_budgeted(opts, budget) {
+            SolveStatus::Optimal(sol) => PlanOutcome::Optimal(self.extract(&sol.values, &vars)),
+            SolveStatus::Terminated { best_incumbent, bound, reason } => PlanOutcome::Terminated {
+                plan: best_incumbent.map(|sol| self.extract(&sol.values, &vars)),
+                bound,
+                reason,
+            },
+            SolveStatus::Failed(e) => PlanOutcome::Failed(e),
+        }
+    }
+
     /// Assemble a [`RentalPlan`] from a MILP solution vector.
     pub fn extract(&self, values: &[f64], vars: &DrrpVars) -> RentalPlan {
         let s = &self.schedule;
@@ -171,13 +190,8 @@ impl DrrpProblem {
     /// Objective (including constants) of an arbitrary feasible plan —
     /// useful to evaluate plans at other prices.
     pub fn cost_of(&self, plan: &RentalPlan) -> f64 {
-        plan_from_decisions(
-            &self.schedule,
-            plan.alpha.clone(),
-            plan.beta.clone(),
-            plan.chi.clone(),
-        )
-        .objective
+        plan_from_decisions(&self.schedule, plan.alpha.clone(), plan.beta.clone(), plan.chi.clone())
+            .objective
     }
 }
 
@@ -201,6 +215,18 @@ pub(crate) fn plan_from_decisions(
 }
 
 impl RentalPlan {
+    /// Price a complete decision set under a schedule — the public face of
+    /// [`plan_from_decisions`] for other crates (the planning engine builds
+    /// committed plans from SRRP tree paths and fallback constructions).
+    pub fn from_decisions(
+        s: &CostSchedule,
+        alpha: Vec<f64>,
+        beta: Vec<f64>,
+        chi: Vec<bool>,
+    ) -> Self {
+        plan_from_decisions(s, alpha, beta, chi)
+    }
+
     /// Check inventory-balance feasibility against a schedule.
     pub fn is_feasible(&self, s: &CostSchedule, params: &PlanningParams, tol: f64) -> bool {
         let mut inv = params.initial_inventory;
@@ -247,10 +273,7 @@ mod tests {
     #[test]
     fn expensive_compute_consolidates_production() {
         // Very expensive instance: produce everything in slot 0 and hold.
-        let p = DrrpProblem::new(
-            schedule(vec![10.0; 4], vec![0.5; 4]),
-            PlanningParams::default(),
-        );
+        let p = DrrpProblem::new(schedule(vec![10.0; 4], vec![0.5; 4]), PlanningParams::default());
         let plan = p.solve_milp(&MilpOptions::default()).unwrap();
         let rentals = plan.chi.iter().filter(|&&c| c).count();
         assert_eq!(rentals, 1, "plan {:?}", plan.chi);

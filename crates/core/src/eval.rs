@@ -29,11 +29,7 @@ impl CostBreakdown {
         if t <= 0.0 {
             return (0.0, 0.0, 0.0);
         }
-        (
-            self.compute / t * 100.0,
-            self.inventory / t * 100.0,
-            self.transfer() / t * 100.0,
-        )
+        (self.compute / t * 100.0, self.inventory / t * 100.0, self.transfer() / t * 100.0)
     }
 
     pub fn add(&mut self, other: &CostBreakdown) {

@@ -24,10 +24,13 @@
 //!   against realised spot prices with out-of-bid fallback to on-demand,
 //!   plus full cost accounting ([`eval`]).
 
+pub mod budgeted;
 pub mod cost;
 pub mod demand;
 pub mod drrp;
 pub mod eval;
+pub mod fallback;
+pub mod fingerprint;
 pub mod policy;
 pub mod portfolio;
 pub mod rolling;
@@ -37,8 +40,11 @@ pub mod srrp;
 pub mod stochastics;
 pub mod wagner_whitin;
 
+pub use budgeted::PlanOutcome;
 pub use cost::{CostSchedule, PlanningParams};
 pub use drrp::{DrrpProblem, RentalPlan};
 pub use eval::CostBreakdown;
+pub use fallback::on_demand_plan;
+pub use fingerprint::fingerprint_instance;
 pub use scenario::ScenarioTree;
 pub use srrp::SrrpProblem;

@@ -86,14 +86,8 @@ mod tests {
                 demand,
                 rates,
             };
-            let pos = Position {
-                class: VmClass::C1Medium,
-                instances,
-                total_demand_gb: 1.2,
-            };
-            evaluate(Policy::DetExpMean, &[pos], &[env], &RollingConfig::default())
-                .total
-                .total()
+            let pos = Position { class: VmClass::C1Medium, instances, total_demand_gb: 1.2 };
+            evaluate(Policy::DetExpMean, &[pos], &[env], &RollingConfig::default()).total.total()
         };
         let d3 = per_instance_demand(&total_demand, 3);
         let c3 = build(3, &d3);
@@ -116,7 +110,7 @@ mod tests {
         let one = evaluate(
             Policy::DetExpMean,
             &[Position { class: VmClass::C1Medium, instances: 1, total_demand_gb: 0.4 }],
-            &[env_share.clone()],
+            std::slice::from_ref(&env_share),
             &RollingConfig::default(),
         )
         .total

@@ -191,14 +191,13 @@ pub fn simulate(policy: Policy, env: &MarketEnv<'_>, cfg: &RollingConfig) -> Run
     let base_dist = EmpiricalDist::from_history(env.history, cfg.max_states);
     let hist_mean = base_dist.mean();
 
-    let mut ledger =
-        Ledger {
-            inv: 0.0,
-            cost: CostBreakdown::default(),
-            out_of_bid: 0,
-            rentals: 0,
-            trace: Vec::with_capacity(t_total),
-        };
+    let mut ledger = Ledger {
+        inv: 0.0,
+        cost: CostBreakdown::default(),
+        out_of_bid: 0,
+        rentals: 0,
+        trace: Vec::with_capacity(t_total),
+    };
     let mut plans_solved = 0usize;
 
     let mut t = 0usize;
@@ -235,8 +234,7 @@ pub fn simulate(policy: Policy, env: &MarketEnv<'_>, cfg: &RollingConfig) -> Run
             Policy::StoPredict | Policy::StoExpMean => {
                 let dists = stage_distributions(&base_dist, &bids, env.on_demand);
                 let tree = ScenarioTree::from_stage_distributions(&dists, cfg.max_tree_nodes);
-                let schedule =
-                    CostSchedule::ec2(vec![0.0; end - t], demand_w.clone(), &env.rates);
+                let schedule = CostSchedule::ec2(vec![0.0; end - t], demand_w.clone(), &env.rates);
                 let srrp = SrrpProblem::new(schedule, params, tree.clone());
                 plans_solved += 1;
                 match srrp.solve_milp(&cfg.milp) {
@@ -244,13 +242,8 @@ pub fn simulate(policy: Policy, env: &MarketEnv<'_>, cfg: &RollingConfig) -> Run
                         // walk the tree along the realised price path
                         let mut v = 0usize;
                         for k in 0..commit {
-                            let (alpha, chi, child) = descend(
-                                &tree,
-                                &plan,
-                                v,
-                                env.realized[t + k],
-                                bids[k],
-                            );
+                            let (alpha, chi, child) =
+                                descend(&tree, &plan, v, env.realized[t + k], bids[k]);
                             ledger.execute(env, policy, t + k, alpha, chi, bids[k]);
                             v = child;
                         }
@@ -275,14 +268,7 @@ pub fn simulate(policy: Policy, env: &MarketEnv<'_>, cfg: &RollingConfig) -> Run
                 match drrp.solve() {
                     Ok(plan) => {
                         for k in 0..commit {
-                            ledger.execute(
-                                env,
-                                policy,
-                                t + k,
-                                plan.alpha[k],
-                                plan.chi[k],
-                                bids[k],
-                            );
+                            ledger.execute(env, policy, t + k, plan.alpha[k], plan.chi[k], bids[k]);
                         }
                     }
                     Err(_) => {
@@ -429,8 +415,7 @@ mod tests {
     #[test]
     fn stochastic_policy_walks_tree_and_meets_demand() {
         let realized = vec![0.055, 0.065, 0.05, 0.07, 0.06, 0.058];
-        let history: Vec<f64> =
-            (0..200).map(|i| 0.05 + 0.02 * ((i % 5) as f64) / 4.0).collect();
+        let history: Vec<f64> = (0..200).map(|i| 0.05 + 0.02 * ((i % 5) as f64) / 4.0).collect();
         let demand = vec![0.4; 6];
         let e = env(&realized, &history, &demand, None);
         let cfg = RollingConfig { horizon: 6, max_states: 3, ..Default::default() };
@@ -493,7 +478,11 @@ mod tests {
             let a = simulate(
                 Policy::OnDemandPlanned,
                 &e,
-                &RollingConfig { horizon: 24, replan: ReplanMode::PerHorizon, ..Default::default() },
+                &RollingConfig {
+                    horizon: 24,
+                    replan: ReplanMode::PerHorizon,
+                    ..Default::default()
+                },
             );
             let b = simulate(
                 Policy::OnDemandPlanned,
@@ -536,16 +525,13 @@ mod tests {
     fn recourse_adapts_to_price_path() {
         // Two very different price paths, same plan inputs: the SRRP
         // execution must pay less on the cheap path than the expensive one.
-        let history: Vec<f64> =
-            (0..300).map(|i| 0.05 + 0.03 * ((i % 7) as f64) / 6.0).collect();
+        let history: Vec<f64> = (0..300).map(|i| 0.05 + 0.03 * ((i % 7) as f64) / 6.0).collect();
         let demand = vec![0.4; 6];
         let cheap = vec![0.05; 6];
         let pricey = vec![0.30; 6]; // all above any bid → out-of-bid path
         let cfg = RollingConfig { horizon: 6, ..Default::default() };
-        let r_cheap =
-            simulate(Policy::StoExpMean, &env(&cheap, &history, &demand, None), &cfg);
-        let r_pricey =
-            simulate(Policy::StoExpMean, &env(&pricey, &history, &demand, None), &cfg);
+        let r_cheap = simulate(Policy::StoExpMean, &env(&cheap, &history, &demand, None), &cfg);
+        let r_pricey = simulate(Policy::StoExpMean, &env(&pricey, &history, &demand, None), &cfg);
         assert!(r_cheap.cost.total() < r_pricey.cost.total());
         assert!(r_pricey.out_of_bid_events > 0);
         assert_eq!(r_cheap.out_of_bid_events, 0);

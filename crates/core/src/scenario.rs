@@ -45,10 +45,8 @@ impl ScenarioTree {
         // projected size check
         let mut size: usize = 1;
         for d in dists {
-            size = size
-                .checked_mul(d.states())
-                .and_then(|s| s.checked_add(1))
-                .unwrap_or(usize::MAX);
+            size =
+                size.checked_mul(d.states()).and_then(|s| s.checked_add(1)).unwrap_or(usize::MAX);
             // (loose upper bound on running total; exact check below)
         }
         let mut nodes = vec![TreeNode {
@@ -94,10 +92,7 @@ impl ScenarioTree {
     /// time-varying workloads"). `stages[t]` lists the states of slot
     /// `t+1` as `(price, demand, probability)`; probabilities must sum to 1
     /// per stage.
-    pub fn from_joint_stage_states(
-        stages: &[Vec<(f64, f64, f64)>],
-        max_nodes: usize,
-    ) -> Self {
+    pub fn from_joint_stage_states(stages: &[Vec<(f64, f64, f64)>], max_nodes: usize) -> Self {
         let mut nodes = vec![TreeNode {
             parent: None,
             stage: 0,

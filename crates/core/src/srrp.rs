@@ -8,9 +8,11 @@
 //! price uncertainty only), so the inventory balance uses `D(τ(v))`.
 
 use rrp_lp::{Cmp, Model, Sense};
-use rrp_milp::{MilpOptions, MilpProblem, MilpStatus};
+use rrp_milp::{MilpOptions, MilpProblem, MilpStatus, SolveBudget, SolveStatus};
 
+use crate::budgeted::PlanOutcome;
 use crate::cost::{validate, CostSchedule, PlanningParams};
+use crate::drrp::{plan_from_decisions, RentalPlan};
 use crate::scenario::ScenarioTree;
 
 /// A stochastic rental-planning instance. `schedule.compute` is ignored —
@@ -35,6 +37,21 @@ pub struct SrrpPlan {
     pub expected_cost: f64,
     /// Relative MIP gap reported by the solver.
     pub gap: f64,
+}
+
+/// The FL MILP together with the column maps needed to read a solution
+/// vector back into vertex decisions (see [`SrrpProblem::solve_milp_fl`]).
+struct FlModel {
+    milp: MilpProblem,
+    /// `ycol[v][u - τ(v)]` — column of `y[v,u]`, `usize::MAX` when stage `u`
+    /// has no net demand (no variable).
+    ycol: Vec<Vec<usize>>,
+    /// `chi_cols[v]` — column of `χ_v` (`usize::MAX` for the root).
+    chi_cols: Vec<usize>,
+    /// Per-stage net demand after initial-inventory netting.
+    net: Vec<f64>,
+    /// Constant holding cost induced by the initial inventory ε.
+    eps_cost: f64,
 }
 
 impl SrrpProblem {
@@ -166,10 +183,8 @@ impl SrrpProblem {
                     if u != 0 {
                         let demand_u = self.demand_at(u);
                         if demand_u + demand_v > 0.0 {
-                            let mut terms = vec![
-                                (chi_col(u), demand_u + demand_v),
-                                (chi_col(v), demand_v),
-                            ];
+                            let mut terms =
+                                vec![(chi_col(u), demand_u + demand_v), (chi_col(v), demand_v)];
                             let mut rhs = demand_u + demand_v;
                             match tree.node(u).parent {
                                 Some(0) | None => rhs -= self.params.initial_inventory,
@@ -253,6 +268,66 @@ impl SrrpProblem {
     /// is near integral, so branch & bound typically proves optimality at
     /// the root.
     pub fn solve_milp_fl(&self, opts: &MilpOptions) -> Result<SrrpPlan, MilpStatus> {
+        let fl = self.build_fl();
+        let sol = fl.milp.solve(opts)?;
+        let plan = self.extract_fl(&fl, &sol.values, sol.gap);
+        debug_assert!(
+            (plan.expected_cost
+                - (sol.objective + fl.eps_cost + self.schedule.transfer_out_constant()))
+            .abs()
+                < 1e-5 * (1.0 + plan.expected_cost.abs()),
+            "FL objective mismatch: balance {} vs FL {}",
+            plan.expected_cost,
+            sol.objective + fl.eps_cost + self.schedule.transfer_out_constant()
+        );
+        Ok(plan)
+    }
+
+    /// Budgeted counterpart of [`Self::solve_milp`]: routes to the FL or
+    /// big-M formulation exactly as the unbudgeted path, but enforces the
+    /// budget cooperatively inside branch & bound. Limit hits come back as
+    /// [`PlanOutcome::Terminated`] with the best incumbent plan (if any).
+    pub fn solve_milp_budgeted(
+        &self,
+        opts: &MilpOptions,
+        budget: &SolveBudget,
+    ) -> PlanOutcome<SrrpPlan> {
+        if self.params.capacity.is_none() && !self.tree.has_stochastic_demand() {
+            let fl = self.build_fl();
+            match fl.milp.solve_budgeted(opts, budget) {
+                SolveStatus::Optimal(sol) => {
+                    PlanOutcome::Optimal(self.extract_fl(&fl, &sol.values, sol.gap))
+                }
+                SolveStatus::Terminated { best_incumbent, bound, reason } => {
+                    PlanOutcome::Terminated {
+                        plan: best_incumbent.map(|sol| self.extract_fl(&fl, &sol.values, sol.gap)),
+                        bound,
+                        reason,
+                    }
+                }
+                SolveStatus::Failed(e) => PlanOutcome::Failed(e),
+            }
+        } else {
+            let milp = self.to_milp();
+            match milp.solve_budgeted(opts, budget) {
+                SolveStatus::Optimal(sol) => {
+                    PlanOutcome::Optimal(self.extract(&sol.values, sol.gap))
+                }
+                SolveStatus::Terminated { best_incumbent, bound, reason } => {
+                    PlanOutcome::Terminated {
+                        plan: best_incumbent.map(|sol| self.extract(&sol.values, sol.gap)),
+                        bound,
+                        reason,
+                    }
+                }
+                SolveStatus::Failed(e) => PlanOutcome::Failed(e),
+            }
+        }
+    }
+
+    /// Build the FL model plus the column maps needed to read a solution
+    /// back out (shared by the plain and budgeted FL solves).
+    fn build_fl(&self) -> FlModel {
         assert!(self.params.capacity.is_none(), "FL reformulation is uncapacitated-only");
         assert!(
             !self.tree.has_stochastic_demand(),
@@ -328,21 +403,27 @@ impl SrrpProblem {
             }
         }
 
-        let milp = MilpProblem::new(m, integers);
-        let sol = milp.solve(opts)?;
+        FlModel { milp: MilpProblem::new(m, integers), ycol, chi_cols, net, eps_cost }
+    }
 
-        // map back: α_v = Σ_u D'_u·y_{v,u}; β from the balance equation
+    /// Read an FL solution vector back into vertex decisions:
+    /// α_v = Σ_u D'_u·y_{v,u}; β from the balance equation.
+    fn extract_fl(&self, fl: &FlModel, values: &[f64], gap: f64) -> SrrpPlan {
+        let s = &self.schedule;
+        let tree = &self.tree;
+        let n = tree.len();
+        let t_max = s.horizon();
         let mut alpha = vec![0.0f64; n];
         let mut chi = vec![false; n];
         for v in 1..n {
             let t = tree.node(v).stage;
             for u in t..=t_max {
-                let col = ycol[v][u - t];
+                let col = fl.ycol[v][u - t];
                 if col != usize::MAX {
-                    alpha[v] += net[u - 1] * sol.values[col].clamp(0.0, 1.0);
+                    alpha[v] += fl.net[u - 1] * values[col].clamp(0.0, 1.0);
                 }
             }
-            chi[v] = sol.values[chi_cols[v]] > 0.5;
+            chi[v] = values[fl.chi_cols[v]] > 0.5;
             if alpha[v] > 1e-9 {
                 chi[v] = true; // guard against a χ the LP left at a tie
             }
@@ -357,16 +438,7 @@ impl SrrpProblem {
             beta[v] = (parent_beta + alpha[v] - s.demand[node.stage - 1]).max(0.0);
         }
         let expected_cost = self.expected_cost(&alpha, &beta, &chi);
-        debug_assert!(
-            (expected_cost
-                - (sol.objective + eps_cost + s.transfer_out_constant()))
-            .abs()
-                < 1e-5 * (1.0 + expected_cost.abs()),
-            "FL objective mismatch: balance {} vs FL {}",
-            expected_cost,
-            sol.objective + eps_cost + s.transfer_out_constant()
-        );
-        Ok(SrrpPlan { alpha, beta, chi, expected_cost, gap: sol.gap })
+        SrrpPlan { alpha, beta, chi, expected_cost, gap }
     }
 
     fn extract(&self, values: &[f64], gap: f64) -> SrrpPlan {
@@ -441,9 +513,7 @@ impl SrrpPlan {
         let v = if realized > bid {
             *stage1
                 .iter()
-                .max_by(|&&a, &&b| {
-                    tree.node(a).price.partial_cmp(&tree.node(b).price).unwrap()
-                })
+                .max_by(|&&a, &&b| tree.node(a).price.partial_cmp(&tree.node(b).price).unwrap())
                 .unwrap()
         } else {
             *stage1
@@ -456,6 +526,42 @@ impl SrrpPlan {
                 .unwrap()
         };
         (self.alpha[v], self.chi[v], v)
+    }
+
+    /// Commit the most-probable root→leaf path of the tree into a concrete
+    /// per-slot [`RentalPlan`] against `schedule`'s prices. Ties between
+    /// branch probabilities break to the lower vertex index, so the result
+    /// is deterministic for a given tree.
+    ///
+    /// With stage-deterministic demand the vertex balance (Eq. 14) holds
+    /// along every root→leaf path, so the committed plan is always
+    /// demand-feasible; the engine's degradation ladder relies on that to
+    /// turn an SRRP recourse policy into a single dispatchable plan. With
+    /// stochastic demand the committed path is only feasible for its own
+    /// demand realisation.
+    pub fn commit_path(&self, tree: &ScenarioTree, schedule: &CostSchedule) -> RentalPlan {
+        let t_max = schedule.horizon();
+        assert_eq!(tree.stages(), t_max, "tree stages must equal the schedule horizon");
+        let mut alpha = vec![0.0f64; t_max];
+        let mut beta = vec![0.0f64; t_max];
+        let mut chi = vec![false; t_max];
+        let mut v = 0usize; // root
+        for t in 0..t_max {
+            let kids = tree.children(v);
+            assert!(!kids.is_empty(), "tree truncated before stage {}", t + 1);
+            let mut best = kids[0];
+            for &k in &kids[1..] {
+                // strict > keeps the first (lowest-index) child on ties
+                if tree.node(k).branch_prob > tree.node(best).branch_prob {
+                    best = k;
+                }
+            }
+            v = best;
+            alpha[t] = self.alpha[v].max(0.0);
+            beta[t] = self.beta[v].max(0.0);
+            chi[t] = self.chi[v] || alpha[t] > 1e-9;
+        }
+        plan_from_decisions(schedule, alpha, beta, chi)
     }
 }
 
@@ -508,9 +614,7 @@ mod tests {
         assert!(srrp.is_feasible(&plan, 1e-6));
         // expected compute price is 0.125/slot; naive rent-every-slot is
         // 3·0.125 + gen + out; SRRP must not exceed it
-        let naive = 3.0 * 0.125
-            + s.gen[0] * 1.5
-            + s.transfer_out_constant();
+        let naive = 3.0 * 0.125 + s.gen[0] * 1.5 + s.transfer_out_constant();
         assert!(
             plan.expected_cost <= naive + 1e-6,
             "srrp {} vs naive {}",
@@ -607,10 +711,8 @@ mod tests {
         // One stage, two joint states: (price .05, demand .4, p .5) and
         // (price .05, demand 1.0, p .5). Both must rent; expected cost =
         // price + gen·E[D] + out·E[D].
-        let tr = ScenarioTree::from_joint_stage_states(
-            &[vec![(0.05, 0.4, 0.5), (0.05, 1.0, 0.5)]],
-            100,
-        );
+        let tr =
+            ScenarioTree::from_joint_stage_states(&[vec![(0.05, 0.4, 0.5), (0.05, 1.0, 0.5)]], 100);
         let s = schedule(1, 999.0); // schedule demand must be overridden per vertex
         let srrp = SrrpProblem::new(s.clone(), PlanningParams::default(), tr);
         let plan = srrp.solve_milp(&MilpOptions::default()).unwrap();
@@ -681,11 +783,8 @@ mod tests {
         let t = 2;
         let s = schedule(t, 1.0);
         let tr = tree(t, &[0.05, 0.10], &[0.5, 0.5]);
-        let srrp = SrrpProblem::new(
-            s,
-            PlanningParams { initial_inventory: 0.0, capacity: Some(1.2) },
-            tr,
-        );
+        let srrp =
+            SrrpProblem::new(s, PlanningParams { initial_inventory: 0.0, capacity: Some(1.2) }, tr);
         let plan = srrp.solve_milp(&MilpOptions::default()).unwrap();
         for v in 1..plan.alpha.len() {
             assert!(plan.alpha[v] <= 1.2 + 1e-6);

@@ -47,13 +47,7 @@ pub fn stochastic_value(
     let srrp = problem.solve_milp(opts)?.expected_cost;
     let ws = wait_and_see(problem);
     let eev = expected_cost_of_mean_value_plan(problem);
-    Ok(StochasticValue {
-        srrp,
-        wait_and_see: ws,
-        eev,
-        evpi: srrp - ws,
-        vss: eev - srrp,
-    })
+    Ok(StochasticValue { srrp, wait_and_see: ws, eev, evpi: srrp - ws, vss: eev - srrp })
 }
 
 /// Wait-and-see: for every scenario (root-to-leaf price path) solve the
@@ -104,11 +98,7 @@ pub fn expected_cost_of_mean_value_plan(problem: &SrrpProblem) -> f64 {
 
 /// Expected cost of an arbitrary committed `(alpha, chi)` slot schedule
 /// under the tree's price distribution (helper for ablations).
-pub fn expected_cost_of_committed_plan(
-    problem: &SrrpProblem,
-    alpha: &[f64],
-    chi: &[bool],
-) -> f64 {
+pub fn expected_cost_of_committed_plan(problem: &SrrpProblem, alpha: &[f64], chi: &[bool]) -> f64 {
     let tree = &problem.tree;
     let s = &problem.schedule;
     let t_max = s.horizon();
@@ -149,8 +139,7 @@ mod tests {
 
     fn problem(stages: usize, values: &[f64], probs: &[f64], demand: f64) -> SrrpProblem {
         let d = EmpiricalDist::from_parts(values.to_vec(), probs.to_vec());
-        let tree =
-            ScenarioTree::from_stage_distributions(&vec![d; stages], 100_000);
+        let tree = ScenarioTree::from_stage_distributions(&vec![d; stages], 100_000);
         let schedule =
             CostSchedule::ec2(vec![0.0; stages], vec![demand; stages], &CostRates::ec2_2011());
         SrrpProblem::new(schedule, PlanningParams::default(), tree)
@@ -160,12 +149,7 @@ mod tests {
     fn inequality_chain_holds() {
         let p = problem(4, &[0.05, 0.20], &[0.6, 0.4], 0.5);
         let v = stochastic_value(&p, &MilpOptions::default()).unwrap();
-        assert!(
-            v.wait_and_see <= v.srrp + 1e-7,
-            "WS {} > SRRP {}",
-            v.wait_and_see,
-            v.srrp
-        );
+        assert!(v.wait_and_see <= v.srrp + 1e-7, "WS {} > SRRP {}", v.wait_and_see, v.srrp);
         assert!(v.srrp <= v.eev + 1e-7, "SRRP {} > EEV {}", v.srrp, v.eev);
         assert!(v.evpi >= -1e-7);
         assert!(v.vss >= -1e-7);

@@ -19,10 +19,7 @@ use crate::drrp::{plan_from_decisions, RentalPlan};
 /// Solve the uncapacitated DRRP exactly. Panics if `params.capacity` is
 /// set — use the MILP path for capacitated instances.
 pub fn solve(s: &CostSchedule, params: &PlanningParams) -> RentalPlan {
-    assert!(
-        params.capacity.is_none(),
-        "Wagner–Whitin handles only the uncapacitated model"
-    );
+    assert!(params.capacity.is_none(), "Wagner–Whitin handles only the uncapacitated model");
     validate(s, params);
     let t_max = s.horizon();
 
@@ -168,10 +165,13 @@ mod tests {
     #[test]
     fn epsilon_covers_prefix() {
         let s = schedule(vec![0.2; 4], vec![0.5; 4]);
-        let plan =
-            solve(&s, &PlanningParams { initial_inventory: 1.2, capacity: None });
+        let plan = solve(&s, &PlanningParams { initial_inventory: 1.2, capacity: None });
         assert!(!plan.chi[0] && !plan.chi[1]);
-        assert!(plan.is_feasible(&s, &PlanningParams { initial_inventory: 1.2, capacity: None }, 1e-9));
+        assert!(plan.is_feasible(
+            &s,
+            &PlanningParams { initial_inventory: 1.2, capacity: None },
+            1e-9
+        ));
         // slot 2 still has 0.2 of ε left: net demand 0.3 there
         let total_alpha: f64 = plan.alpha.iter().sum();
         assert!((total_alpha - (2.0 - 1.2)).abs() < 1e-9);

@@ -1,0 +1,76 @@
+//! Warm-start/result cache keyed by canonical problem fingerprint.
+//!
+//! Only fully-solved answers are inserted (see
+//! [`crate::ladder::LadderResult::fully_solved`]): caching a
+//! deadline-degraded plan would hand later, less-pressed requests a worse
+//! answer than they could afford to compute.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use rrp_core::RentalPlan;
+
+use crate::request::DegradationLevel;
+
+/// A cached answer: the committed plan and the rung it came from.
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    pub plan: RentalPlan,
+    pub degradation: DegradationLevel,
+}
+
+/// Thread-safe plan cache with hit/miss counters.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    map: Mutex<HashMap<u64, CacheEntry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Look a fingerprint up, counting the access as a hit or miss.
+    pub fn lookup(&self, key: u64) -> Option<CacheEntry> {
+        let entry = self.map.lock().get(&key).cloned();
+        match entry {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        entry
+    }
+
+    pub fn insert(&self, key: u64, entry: CacheEntry) {
+        self.map.lock().insert(key, entry);
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Hits over total lookups; 0 when nothing has been looked up yet.
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.hits() as f64;
+        let m = self.misses() as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! The graceful-degradation ladder: SRRP deterministic equivalent → DRRP →
+//! Wagner–Whitin → on-demand-only. Every rung either answers with a
+//! demand-feasible plan or records why it fell through; the bottom rung is
+//! a closed-form construction, so the ladder is total on feasible
+//! instances.
+
+use std::time::Instant;
+
+use rrp_core::{on_demand_plan, wagner_whitin, DrrpProblem, PlanOutcome, RentalPlan, SrrpProblem};
+use rrp_milp::{MilpOptions, SolveBudget};
+
+use crate::request::{DegradationLevel, PlanRequest, RungOutcome, TraceEntry};
+
+/// Feasibility tolerance for committed plans.
+const FEAS_TOL: f64 = 1e-6;
+
+/// Outcome of the full ladder run.
+#[derive(Debug, Clone)]
+pub struct LadderResult {
+    pub plan: RentalPlan,
+    pub level: DegradationLevel,
+    pub trace: Vec<TraceEntry>,
+    /// True when the answer is the *requested* rung solved to optimality —
+    /// the only results worth caching (a degraded or incumbent answer would
+    /// poison the cache for later, less-pressed requests).
+    pub fully_solved: bool,
+}
+
+enum Attempt {
+    Answer(RentalPlan, RungOutcome),
+    Miss(RungOutcome),
+}
+
+/// Run the ladder from the request's policy rung downwards under a shared
+/// wall-clock/node budget. The MILP rungs check the budget cooperatively
+/// inside branch & bound; the DP and on-demand rungs are O(T²)/O(T) and
+/// run unconditionally, so a feasible plan always comes back.
+pub fn run_ladder(req: &PlanRequest, opts: &MilpOptions, budget: &SolveBudget) -> LadderResult {
+    let start_level = req.policy.start_level();
+    let mut trace = Vec::new();
+    for level in DegradationLevel::ALL {
+        if level < start_level {
+            continue;
+        }
+        let t0 = Instant::now();
+        let attempt = attempt_level(req, level, opts, budget);
+        let elapsed = t0.elapsed();
+        match attempt {
+            Attempt::Answer(plan, outcome) => {
+                let fully_solved = level == start_level && outcome == RungOutcome::Solved;
+                trace.push(TraceEntry { level, outcome, elapsed });
+                return LadderResult { plan, level, trace, fully_solved };
+            }
+            Attempt::Miss(outcome) => {
+                trace.push(TraceEntry { level, outcome, elapsed });
+            }
+        }
+    }
+    unreachable!("on-demand rung cannot miss");
+}
+
+fn attempt_level(
+    req: &PlanRequest,
+    level: DegradationLevel,
+    opts: &MilpOptions,
+    budget: &SolveBudget,
+) -> Attempt {
+    match level {
+        DegradationLevel::Full => {
+            let Some(tree) = &req.tree else {
+                return Attempt::Miss(RungOutcome::Skipped("no scenario tree in request"));
+            };
+            let srrp = SrrpProblem::new(req.schedule.clone(), req.params, tree.clone());
+            let outcome = srrp.solve_milp_budgeted(opts, budget);
+            commit_srrp(&srrp, req, outcome)
+        }
+        DegradationLevel::Deterministic => {
+            let drrp = DrrpProblem::new(req.schedule.clone(), req.params);
+            match drrp.solve_milp_budgeted(opts, budget) {
+                PlanOutcome::Optimal(plan) => Attempt::Answer(plan, RungOutcome::Solved),
+                PlanOutcome::Terminated { plan: Some(plan), reason, .. } => {
+                    Attempt::Answer(plan, RungOutcome::Incumbent(reason))
+                }
+                PlanOutcome::Terminated { plan: None, reason, .. } => {
+                    Attempt::Miss(RungOutcome::Exhausted(reason))
+                }
+                PlanOutcome::Failed(e) => Attempt::Miss(RungOutcome::Failed(format!("{e:?}"))),
+            }
+        }
+        DegradationLevel::DynamicProgram => {
+            if req.params.capacity.is_some() {
+                return Attempt::Miss(RungOutcome::Skipped(
+                    "Wagner-Whitin DP is uncapacitated-only",
+                ));
+            }
+            let plan = wagner_whitin::solve(&req.schedule, &req.params);
+            Attempt::Answer(plan, RungOutcome::Solved)
+        }
+        DegradationLevel::OnDemandOnly => {
+            let plan = on_demand_plan(&req.schedule, &req.params);
+            Attempt::Answer(plan, RungOutcome::Solved)
+        }
+    }
+}
+
+/// Turn an SRRP outcome into a committed per-slot plan. The recourse
+/// solution is committed along the most-probable path; the committed plan
+/// is re-checked against the deterministic schedule (a stochastic-demand
+/// tree can make the path infeasible for the schedule demand, in which
+/// case the rung falls through rather than return an infeasible plan).
+fn commit_srrp(
+    srrp: &SrrpProblem,
+    req: &PlanRequest,
+    outcome: PlanOutcome<rrp_core::srrp::SrrpPlan>,
+) -> Attempt {
+    let (srrp_plan, rung) = match outcome {
+        PlanOutcome::Optimal(p) => (p, RungOutcome::Solved),
+        PlanOutcome::Terminated { plan: Some(p), reason, .. } => {
+            (p, RungOutcome::Incumbent(reason))
+        }
+        PlanOutcome::Terminated { plan: None, reason, .. } => {
+            return Attempt::Miss(RungOutcome::Exhausted(reason));
+        }
+        PlanOutcome::Failed(e) => return Attempt::Miss(RungOutcome::Failed(format!("{e:?}"))),
+    };
+    let plan = srrp_plan.commit_path(&srrp.tree, &req.schedule);
+    if !plan.is_feasible(&req.schedule, &req.params, FEAS_TOL) {
+        return Attempt::Miss(RungOutcome::Failed(
+            "committed SRRP path infeasible for schedule demand".to_string(),
+        ));
+    }
+    Attempt::Answer(plan, rung)
+}

@@ -1,0 +1,61 @@
+//! # rrp-engine — concurrent multi-tenant planning service
+//!
+//! Wraps the planners of [`rrp_core`] (SRRP, DRRP, Wagner–Whitin, the
+//! on-demand baseline) into a deadline-aware service:
+//!
+//! * **Thread-pool execution** ([`service`]) — N OS workers drain a shared
+//!   crossbeam queue of [`PlanRequest`]s; no async runtime, the work is
+//!   CPU-bound branch & bound.
+//! * **Deadline enforcement** — each request's wall-clock budget becomes an
+//!   [`rrp_milp::SolveBudget`] checked cooperatively inside branch & bound,
+//!   so a MILP rung stops mid-search instead of blowing the deadline.
+//! * **Graceful degradation** ([`ladder`]) — when a rung runs out of
+//!   budget the request falls down the ladder SRRP → DRRP → Wagner–Whitin
+//!   DP → on-demand-only; the bottom rung is closed-form, so every request
+//!   gets a demand-feasible plan, tagged with its [`DegradationLevel`].
+//! * **Warm-start caching** ([`cache`]) — answers are keyed by a canonical
+//!   problem fingerprint (schedule + demand + tree shape); identical
+//!   problems, even from different tenants, hit.
+//! * **Metrics** ([`metrics`]) — per-level counts, queue depth, cache hit
+//!   rate, p50/p99 latency as a serialisable snapshot.
+//!
+//! ```
+//! use std::time::Duration;
+//! use rrp_core::{CostSchedule, PlanningParams};
+//! use rrp_engine::{Engine, PlanRequest, PolicyKind};
+//! use rrp_spotmarket::CostRates;
+//!
+//! let engine = Engine::new(4);
+//! let schedule = CostSchedule::ec2(
+//!     vec![0.06; 6],
+//!     vec![0.4, 0.8, 0.2, 0.6, 0.5, 0.3],
+//!     &CostRates::ec2_2011(),
+//! );
+//! let resp = engine
+//!     .submit(PlanRequest {
+//!         app_id: "tenant-a".into(),
+//!         vm_class: "m1.small".into(),
+//!         schedule,
+//!         params: PlanningParams::default(),
+//!         tree: None,
+//!         policy: PolicyKind::Deterministic,
+//!         deadline: Duration::from_millis(250),
+//!         seed: 7,
+//!     })
+//!     .wait();
+//! assert!(resp.deadline_met);
+//! ```
+
+pub mod cache;
+pub mod ladder;
+pub mod metrics;
+pub mod request;
+pub mod service;
+
+pub use cache::{CacheEntry, PlanCache};
+pub use ladder::{run_ladder, LadderResult};
+pub use metrics::MetricsSnapshot;
+pub use request::{
+    DegradationLevel, PlanRequest, PlanResponse, PolicyKind, RungOutcome, TraceEntry,
+};
+pub use service::{Engine, Ticket};

@@ -1,0 +1,128 @@
+//! Engine observability: lock-light counters updated on the worker hot
+//! path, exported as a serialisable point-in-time snapshot.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use serde::Serialize;
+
+use crate::cache::PlanCache;
+use crate::request::DegradationLevel;
+
+/// Point-in-time view of the engine's counters. Serialisable so it can be
+/// scraped/shipped as JSON.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MetricsSnapshot {
+    /// Responses produced (cache hits included).
+    pub completed: u64,
+    /// Requests submitted but not yet picked up by a worker.
+    pub queue_depth: usize,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    /// Hits over total lookups; 0 before any lookup.
+    pub cache_hit_rate: f64,
+    /// Answers served from the full (requested-policy) rung.
+    pub level_full: u64,
+    pub level_deterministic: u64,
+    pub level_dynamic_program: u64,
+    pub level_on_demand_only: u64,
+    /// Responses whose latency exceeded the request deadline.
+    pub deadline_misses: u64,
+    pub p50_latency_ms: f64,
+    pub p99_latency_ms: f64,
+}
+
+/// Internal mutable counters. Everything on the per-response path is an
+/// atomic except the latency reservoir, which takes one short lock.
+#[derive(Debug, Default)]
+pub(crate) struct Metrics {
+    completed: AtomicU64,
+    queue_depth: AtomicUsize,
+    level_counts: [AtomicU64; 4],
+    deadline_misses: AtomicU64,
+    latencies: Mutex<Vec<Duration>>,
+}
+
+impl Metrics {
+    pub fn enqueue(&self) {
+        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn dequeue(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub fn record(&self, level: DegradationLevel, latency: Duration, deadline_met: bool) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        let idx = DegradationLevel::ALL.iter().position(|&l| l == level).unwrap();
+        self.level_counts[idx].fetch_add(1, Ordering::Relaxed);
+        if !deadline_met {
+            self.deadline_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        self.latencies.lock().push(latency);
+    }
+
+    pub fn snapshot(&self, cache: &PlanCache) -> MetricsSnapshot {
+        let (p50, p99) = {
+            let lats = self.latencies.lock();
+            let mut ms: Vec<f64> = lats.iter().map(|d| d.as_secs_f64() * 1e3).collect();
+            drop(lats);
+            ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            (percentile(&ms, 0.50), percentile(&ms, 0.99))
+        };
+        MetricsSnapshot {
+            completed: self.completed.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            cache_hits: cache.hits(),
+            cache_misses: cache.misses(),
+            cache_hit_rate: cache.hit_rate(),
+            level_full: self.level_counts[0].load(Ordering::Relaxed),
+            level_deterministic: self.level_counts[1].load(Ordering::Relaxed),
+            level_dynamic_program: self.level_counts[2].load(Ordering::Relaxed),
+            level_on_demand_only: self.level_counts[3].load(Ordering::Relaxed),
+            deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
+            p50_latency_ms: p50,
+            p99_latency_ms: p99,
+        }
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice; 0 when empty.
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * q).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 0.50), 51.0); // round(99·0.5)=50 → v[50]
+        assert_eq!(percentile(&v, 0.99), 99.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    fn snapshot_serialises_to_json() {
+        let m = Metrics::default();
+        let cache = PlanCache::new();
+        m.record(DegradationLevel::Full, Duration::from_millis(3), true);
+        m.record(DegradationLevel::OnDemandOnly, Duration::from_millis(9), false);
+        let snap = m.snapshot(&cache);
+        assert_eq!(snap.completed, 2);
+        assert_eq!(snap.level_full, 1);
+        assert_eq!(snap.level_on_demand_only, 1);
+        assert_eq!(snap.deadline_misses, 1);
+        let json = serde_json::to_string(&snap).unwrap();
+        assert!(json.contains("\"completed\""), "json: {json}");
+        assert!(json.contains("\"p99_latency_ms\""), "json: {json}");
+    }
+}

@@ -1,0 +1,159 @@
+//! Request/response types of the planning service.
+
+use std::time::Duration;
+
+use rrp_core::fingerprint::Fnv64;
+use rrp_core::{fingerprint_instance, CostSchedule, PlanningParams, RentalPlan, ScenarioTree};
+use rrp_milp::StopReason;
+
+/// Which planner a tenant asks for. This is the *top* of the degradation
+/// ladder — under deadline pressure the engine may answer from a rung below
+/// (see [`DegradationLevel`]), but never from a rung above.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// SRRP: multistage recourse over the request's scenario tree.
+    Stochastic,
+    /// DRRP: deterministic MILP at the schedule's compute prices.
+    Deterministic,
+    /// Wagner–Whitin dynamic program (exact, uncapacitated only).
+    DynamicProgram,
+    /// No optimisation: rent in every producing slot.
+    OnDemand,
+}
+
+impl PolicyKind {
+    /// The ladder rung this policy starts at.
+    pub fn start_level(self) -> DegradationLevel {
+        match self {
+            PolicyKind::Stochastic => DegradationLevel::Full,
+            PolicyKind::Deterministic => DegradationLevel::Deterministic,
+            PolicyKind::DynamicProgram => DegradationLevel::DynamicProgram,
+            PolicyKind::OnDemand => DegradationLevel::OnDemandOnly,
+        }
+    }
+
+    fn tag(self) -> u8 {
+        match self {
+            PolicyKind::Stochastic => 0,
+            PolicyKind::Deterministic => 1,
+            PolicyKind::DynamicProgram => 2,
+            PolicyKind::OnDemand => 3,
+        }
+    }
+}
+
+/// How far down the fallback ladder the answer came from. Ordered:
+/// `Full < Deterministic < DynamicProgram < OnDemandOnly` — a larger level
+/// means more degradation (and never a *better* plan).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DegradationLevel {
+    /// The requested stochastic model solved to (budgeted) optimality.
+    Full,
+    /// Deterministic MILP at the schedule prices.
+    Deterministic,
+    /// Wagner–Whitin dynamic program.
+    DynamicProgram,
+    /// The always-feasible on-demand construction.
+    OnDemandOnly,
+}
+
+impl DegradationLevel {
+    pub const ALL: [DegradationLevel; 4] = [
+        DegradationLevel::Full,
+        DegradationLevel::Deterministic,
+        DegradationLevel::DynamicProgram,
+        DegradationLevel::OnDemandOnly,
+    ];
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DegradationLevel::Full => "full",
+            DegradationLevel::Deterministic => "deterministic",
+            DegradationLevel::DynamicProgram => "dynamic-program",
+            DegradationLevel::OnDemandOnly => "on-demand-only",
+        }
+    }
+}
+
+/// One tenant's planning request: the full problem instance plus service
+/// metadata (identity, deadline, seed).
+#[derive(Debug, Clone)]
+pub struct PlanRequest {
+    /// Tenant/application identity — reporting only, not part of the cache
+    /// key (two tenants with identical problems share a cache entry).
+    pub app_id: String,
+    /// VM class label (e.g. `"m1.small"`) — reporting only.
+    pub vm_class: String,
+    /// Per-slot prices and demand; `schedule.horizon()` is the plan length.
+    pub schedule: CostSchedule,
+    pub params: PlanningParams,
+    /// Price scenario tree; required for [`PolicyKind::Stochastic`], unused
+    /// below it.
+    pub tree: Option<ScenarioTree>,
+    pub policy: PolicyKind,
+    /// Wall-clock budget for the whole solve, measured from the moment a
+    /// worker picks the request up.
+    pub deadline: Duration,
+    /// Request seed — reporting/reproducibility metadata. The solve itself
+    /// is deterministic in the problem, so the seed does not feed the
+    /// cache key.
+    pub seed: u64,
+}
+
+impl PlanRequest {
+    pub fn horizon(&self) -> usize {
+        self.schedule.horizon()
+    }
+
+    /// Canonical problem fingerprint: schedule + params + tree
+    /// ([`fingerprint_instance`]) mixed with the policy kind. Identity
+    /// fields (`app_id`, `seed`) and the deadline are deliberately
+    /// excluded — they do not change the optimal plan.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_u64(fingerprint_instance(&self.schedule, &self.params, self.tree.as_ref()));
+        h.write_u8(self.policy.tag());
+        h.finish()
+    }
+}
+
+/// What happened on one rung of the ladder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RungOutcome {
+    /// Solved to (budgeted) optimality; the answer comes from this rung.
+    Solved,
+    /// The budget ran out but the rung had a feasible incumbent, which is
+    /// the answer.
+    Incumbent(StopReason),
+    /// The budget ran out with nothing usable; fell through.
+    Exhausted(StopReason),
+    /// The rung does not apply to this request (reason attached).
+    Skipped(&'static str),
+    /// The rung's solver failed independent of the budget.
+    Failed(String),
+}
+
+/// One ladder rung's record in the solve trace.
+#[derive(Debug, Clone)]
+pub struct TraceEntry {
+    pub level: DegradationLevel,
+    pub outcome: RungOutcome,
+    pub elapsed: Duration,
+}
+
+/// The service's answer: always a demand-feasible [`RentalPlan`], plus
+/// where on the ladder it came from and how the solve went.
+#[derive(Debug, Clone)]
+pub struct PlanResponse {
+    pub app_id: String,
+    /// Cache key the request hashed to.
+    pub fingerprint: u64,
+    pub plan: RentalPlan,
+    pub degradation: DegradationLevel,
+    /// Per-rung solve trace (empty on a cache hit).
+    pub trace: Vec<TraceEntry>,
+    pub cache_hit: bool,
+    /// Wall-clock time from worker pickup to response.
+    pub latency: Duration,
+    pub deadline_met: bool,
+}

@@ -1,0 +1,172 @@
+//! The engine itself: a fixed pool of OS worker threads draining a shared
+//! crossbeam job queue. No async runtime — each request is CPU-bound MILP
+//! work, so plain threads with a blocking channel are the right shape.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use rrp_milp::{MilpOptions, SolveBudget};
+
+use crate::cache::{CacheEntry, PlanCache};
+use crate::ladder::run_ladder;
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::request::{PlanRequest, PlanResponse};
+
+struct Job {
+    req: PlanRequest,
+    reply: Sender<PlanResponse>,
+}
+
+struct Shared {
+    cache: PlanCache,
+    metrics: Metrics,
+    opts: MilpOptions,
+}
+
+/// Handle to one submitted request; [`Ticket::wait`] blocks for the
+/// response.
+pub struct Ticket {
+    rx: Receiver<PlanResponse>,
+}
+
+impl Ticket {
+    /// Block until the response arrives. Panics if the worker processing
+    /// the request panicked (e.g. a malformed or infeasible instance) —
+    /// the panic message is on that worker's stderr.
+    pub fn wait(self) -> PlanResponse {
+        self.rx.recv().expect("planning worker dropped the request (it panicked — see stderr)")
+    }
+}
+
+/// A concurrent multi-tenant planning service. Submit [`PlanRequest`]s
+/// from any thread; `workers` OS threads drain the queue, each running the
+/// degradation ladder under the request's deadline.
+pub struct Engine {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    shared: Arc<Shared>,
+}
+
+impl Engine {
+    /// An engine with `workers` threads and default MILP options.
+    pub fn new(workers: usize) -> Self {
+        Self::with_options(workers, MilpOptions::default())
+    }
+
+    /// An engine whose MILP rungs run with `opts` (gap, node limit,
+    /// branching rule …).
+    pub fn with_options(workers: usize, opts: MilpOptions) -> Self {
+        assert!(workers > 0, "engine needs at least one worker");
+        let (tx, rx) = unbounded::<Job>();
+        let shared =
+            Arc::new(Shared { cache: PlanCache::new(), metrics: Metrics::default(), opts });
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = rx.clone();
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("rrp-engine-{i}"))
+                    .spawn(move || worker_loop(&rx, &shared))
+                    .expect("spawn engine worker")
+            })
+            .collect();
+        Self { tx: Some(tx), workers: handles, shared }
+    }
+
+    /// Enqueue a request; returns immediately with a [`Ticket`].
+    pub fn submit(&self, req: PlanRequest) -> Ticket {
+        let (reply, rx) = unbounded();
+        self.shared.metrics.enqueue();
+        if self.tx.as_ref().expect("engine already shut down").send(Job { req, reply }).is_err() {
+            panic!("engine workers are gone");
+        }
+        Ticket { rx }
+    }
+
+    /// Submit a batch and wait for all responses, preserving input order.
+    pub fn run_batch(&self, reqs: Vec<PlanRequest>) -> Vec<PlanResponse> {
+        let tickets: Vec<Ticket> = reqs.into_iter().map(|r| self.submit(r)).collect();
+        tickets.into_iter().map(Ticket::wait).collect()
+    }
+
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Point-in-time metrics snapshot.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot(&self.shared.cache)
+    }
+
+    /// Number of distinct fingerprints currently cached.
+    pub fn cache_len(&self) -> usize {
+        self.shared.cache.len()
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        // closing the queue ends every worker's recv loop
+        self.tx.take();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(rx: &Receiver<Job>, shared: &Shared) {
+    while let Ok(job) = rx.recv() {
+        shared.metrics.dequeue();
+        // a panicking request (malformed instance) must not kill the
+        // worker; its reply sender unwinds away and the Ticket reports it
+        let _ = catch_unwind(AssertUnwindSafe(|| process(shared, job)));
+    }
+}
+
+fn process(shared: &Shared, job: Job) {
+    let Job { req, reply } = job;
+    let start = Instant::now();
+    let key = req.fingerprint();
+
+    if let Some(entry) = shared.cache.lookup(key) {
+        let latency = start.elapsed();
+        let deadline_met = latency <= req.deadline;
+        shared.metrics.record(entry.degradation, latency, deadline_met);
+        let _ = reply.send(PlanResponse {
+            app_id: req.app_id,
+            fingerprint: key,
+            plan: entry.plan,
+            degradation: entry.degradation,
+            trace: Vec::new(),
+            cache_hit: true,
+            latency,
+            deadline_met,
+        });
+        return;
+    }
+
+    let budget =
+        SolveBudget::with_deadline(start + req.deadline).and_node_limit(shared.opts.node_limit);
+    let result = run_ladder(&req, &shared.opts, &budget);
+    if result.fully_solved {
+        shared
+            .cache
+            .insert(key, CacheEntry { plan: result.plan.clone(), degradation: result.level });
+    }
+    let latency = start.elapsed();
+    let deadline_met = latency <= req.deadline;
+    shared.metrics.record(result.level, latency, deadline_met);
+    let _ = reply.send(PlanResponse {
+        app_id: req.app_id,
+        fingerprint: key,
+        plan: result.plan,
+        degradation: result.level,
+        trace: result.trace,
+        cache_hit: false,
+        latency,
+        deadline_met,
+    });
+}

@@ -211,17 +211,7 @@ impl LuFactors {
             sort_column(&mut u_rows, &mut u_vals, u_colptr[k], u_colptr[k + 1]);
         }
 
-        Ok(LuFactors {
-            m,
-            l_colptr,
-            l_rows,
-            l_vals,
-            u_colptr,
-            u_rows,
-            u_vals,
-            u_diag,
-            pinv,
-        })
+        Ok(LuFactors { m, l_colptr, l_rows, l_vals, u_colptr, u_rows, u_vals, u_diag, pinv })
     }
 
     /// Solve `B x = b`; `b` is overwritten with `x` (indexed by basis

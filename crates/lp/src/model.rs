@@ -151,15 +151,7 @@ impl Model {
             c.push(0.0);
             b.push(con.rhs);
         }
-        StandardLp {
-            a: builder.build(),
-            b,
-            c,
-            lower,
-            upper,
-            nstruct: n,
-            obj_scale,
-        }
+        StandardLp { a: builder.build(), b, c, lower, upper, nstruct: n, obj_scale }
     }
 
     /// Solve with the sparse engine (the default production path).
@@ -214,11 +206,8 @@ impl StandardLp {
                 let duals = raw.y.iter().map(|d| d * self.obj_scale).collect();
                 let reduced_costs =
                     raw.d[..self.nstruct].iter().map(|d| d * self.obj_scale).collect();
-                let objective: f64 = values
-                    .iter()
-                    .enumerate()
-                    .map(|(j, x)| model.var_obj(j) * x)
-                    .sum();
+                let objective: f64 =
+                    values.iter().enumerate().map(|(j, x)| model.var_obj(j) * x).sum();
                 Ok(Solution { objective, values, duals, reduced_costs, iterations: raw.iterations })
             }
             s => Err(s),

@@ -146,9 +146,7 @@ mod tests {
         let scaled = solve_scaled(&lp);
         assert_eq!(direct.status, Status::Optimal);
         assert_eq!(scaled.status, Status::Optimal);
-        let obj = |r: &RawResult| -> f64 {
-            r.x.iter().zip(&lp.c).map(|(x, c)| x * c).sum()
-        };
+        let obj = |r: &RawResult| -> f64 { r.x.iter().zip(&lp.c).map(|(x, c)| x * c).sum() };
         let (a, b) = (obj(&direct), obj(&scaled));
         assert!((a - b).abs() <= 1e-6 * (1.0 + a.abs()), "{a} vs {b}");
     }

@@ -399,8 +399,8 @@ impl<'a, E: BasisEngine> Simplex<'a, E> {
                 continue;
             };
             let t_block = t_block.max(0.0);
-            let better = t_block < t_best - TIE
-                || (t_block <= t_best + TIE && dr.abs() > best_pivot_mag);
+            let better =
+                t_block < t_best - TIE || (t_block <= t_best + TIE && dr.abs() > best_pivot_mag);
             if better {
                 t_best = t_block;
                 best_pivot_mag = dr.abs();

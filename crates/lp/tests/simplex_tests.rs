@@ -202,7 +202,9 @@ fn larger_random_cross_check() {
         let mrows = 2 + rng.gen_range(0..8);
         let mut m = Model::new(Sense::Minimize);
         let vars: Vec<_> = (0..n)
-            .map(|j| m.add_var(0.0, rng.gen_range(1.0..10.0), rng.gen_range(-5.0..5.0), &format!("v{j}")))
+            .map(|j| {
+                m.add_var(0.0, rng.gen_range(1.0..10.0), rng.gen_range(-5.0..5.0), &format!("v{j}"))
+            })
             .collect();
         for _ in 0..mrows {
             let mut terms = Vec::new();

@@ -85,8 +85,7 @@ mod tests {
         let relax = simplex::solve_sparse(&std);
         assert_eq!(relax.status, Status::Optimal);
         // Fix only x (treat y as continuous) so the repair step has slack.
-        let got =
-            round_and_fix(&std, &std.lower, &std.upper, &[0], &relax.x, RoundMode::Nearest);
+        let got = round_and_fix(&std, &std.lower, &std.upper, &[0], &relax.x, RoundMode::Nearest);
         if let Some((xs, obj)) = got {
             assert!((xs[0] - xs[0].round()).abs() < 1e-9);
             assert!(xs[0] + xs[1] >= 2.5 - 1e-7);
@@ -101,17 +100,10 @@ mod tests {
         let _x = m.add_var(0.2, 0.8, 1.0, "x");
         let std = m.to_standard();
         let relax = simplex::solve_sparse(&std);
-        let got =
-            round_and_fix(&std, &std.lower, &std.upper, &[0], &relax.x, RoundMode::Nearest);
+        let got = round_and_fix(&std, &std.lower, &std.upper, &[0], &relax.x, RoundMode::Nearest);
         assert!(got.is_none());
-        let got_up = round_and_fix(
-            &std,
-            &std.lower,
-            &std.upper,
-            &[0],
-            &relax.x,
-            RoundMode::CeilPositive,
-        );
+        let got_up =
+            round_and_fix(&std, &std.lower, &std.upper, &[0], &relax.x, RoundMode::CeilPositive);
         assert!(got_up.is_none());
     }
 }

@@ -30,11 +30,13 @@
 //! ```
 
 mod branch;
+mod budget;
 mod heuristics;
 mod solver;
 
 pub use branch::Branching;
-pub use solver::{solve_parallel, MilpOptions, MilpSolution, MilpStatus};
+pub use budget::{SolveBudget, SolveStatus, StopReason};
+pub use solver::{solve_budgeted, solve_parallel, MilpOptions, MilpSolution, MilpStatus};
 
 use rrp_lp::{Model, VarId};
 
@@ -57,5 +59,12 @@ impl MilpProblem {
     /// Solve sequentially with the given options.
     pub fn solve(&self, opts: &MilpOptions) -> Result<MilpSolution, MilpStatus> {
         solver::solve(self, opts)
+    }
+
+    /// Solve under a cooperative [`SolveBudget`]. Limit hits are reported as
+    /// [`SolveStatus::Terminated`] (carrying the best incumbent and dual
+    /// bound) instead of an error.
+    pub fn solve_budgeted(&self, opts: &MilpOptions, budget: &SolveBudget) -> SolveStatus {
+        solver::solve_budgeted(self, opts, budget)
     }
 }

@@ -9,6 +9,7 @@ use rrp_lp::simplex;
 use rrp_lp::Status;
 
 use crate::branch::{self, Branching, PseudoCosts};
+use crate::budget::{SolveBudget, SolveStatus, StopReason};
 use crate::heuristics;
 use crate::MilpProblem;
 
@@ -106,11 +107,7 @@ impl Ord for Node {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap: invert so the SMALLEST bound pops first;
         // ties broken newest-first (dive towards incumbents).
-        other
-            .bound
-            .partial_cmp(&self.bound)
-            .unwrap_or(Ordering::Equal)
-            .then(self.id.cmp(&other.id))
+        other.bound.partial_cmp(&self.bound).unwrap_or(Ordering::Equal).then(self.id.cmp(&other.id))
     }
 }
 impl PartialOrd for Node {
@@ -210,15 +207,17 @@ impl<'a> Searcher<'a> {
         let heuristic = if run_heuristic {
             // try nearest-rounding and ceil-positive (fixed-charge friendly)
             // and keep the better feasible point
-            let tries = [
-                heuristics::RoundMode::Nearest,
-                heuristics::RoundMode::CeilPositive,
-            ];
+            let tries = [heuristics::RoundMode::Nearest, heuristics::RoundMode::CeilPositive];
             tries
                 .iter()
                 .filter_map(|&mode| {
                     heuristics::round_and_fix(
-                        self.base, &lp.lower, &lp.upper, self.integers, &raw.x, mode,
+                        self.base,
+                        &lp.lower,
+                        &lp.upper,
+                        self.integers,
+                        &raw.x,
+                        mode,
                     )
                 })
                 .filter(|&(_, hz)| hz < cutoff - self.gap_slack(cutoff))
@@ -235,8 +234,18 @@ impl<'a> Searcher<'a> {
         let mut up = node.overrides.clone();
         up.push((col, v.ceil(), f64::INFINITY));
         let children = [
-            Node { bound: z, overrides: down, branch: Some((col, false, frac, z)), id: self.fresh_id() },
-            Node { bound: z, overrides: up, branch: Some((col, true, frac, z)), id: self.fresh_id() },
+            Node {
+                bound: z,
+                overrides: down,
+                branch: Some((col, false, frac, z)),
+                id: self.fresh_id(),
+            },
+            Node {
+                bound: z,
+                overrides: up,
+                branch: Some((col, true, frac, z)),
+                id: self.fresh_id(),
+            },
         ];
         Expansion::Branched { children, heuristic }
     }
@@ -253,6 +262,31 @@ impl<'a> Searcher<'a> {
 /// Sequential best-first branch & bound.
 pub fn solve(problem: &MilpProblem, opts: &MilpOptions) -> Result<MilpSolution, MilpStatus> {
     drive(problem, opts, 1)
+}
+
+/// Branch & bound under a cooperative [`SolveBudget`]: wall-clock and
+/// node-count limits are checked once per batch inside the search loop.
+/// Never panics and never runs unbounded — when the budget runs out the
+/// search stops and reports [`SolveStatus::Terminated`] with the best
+/// incumbent found so far and the tightest dual bound.
+pub fn solve_budgeted(
+    problem: &MilpProblem,
+    opts: &MilpOptions,
+    budget: &SolveBudget,
+) -> SolveStatus {
+    let (result, stopped, bound) = drive_with(problem, opts, 1, Some(budget));
+    match stopped {
+        // A budget stop that nevertheless proved optimality (the frontier
+        // bound already met the gap criterion) is still reported as optimal.
+        Some(_) if result.as_ref().is_ok_and(|s| s.proven_optimal) => {
+            SolveStatus::Optimal(result.unwrap())
+        }
+        Some(reason) => SolveStatus::Terminated { best_incumbent: result.ok(), bound, reason },
+        None => match result {
+            Ok(sol) => SolveStatus::Optimal(sol),
+            Err(e) => SolveStatus::Failed(e),
+        },
+    }
 }
 
 /// Parallel branch & bound: expands batches of frontier nodes concurrently
@@ -275,6 +309,18 @@ fn drive(
     opts: &MilpOptions,
     batch_width: usize,
 ) -> Result<MilpSolution, MilpStatus> {
+    drive_with(problem, opts, batch_width, None).0
+}
+
+/// Core search loop. Returns the legacy result, the budget stop reason (if
+/// the search was cut short by `budget`), and the best dual bound in the
+/// model's original sense — the latter two feed [`solve_budgeted`].
+fn drive_with(
+    problem: &MilpProblem,
+    opts: &MilpOptions,
+    batch_width: usize,
+    budget: Option<&SolveBudget>,
+) -> (Result<MilpSolution, MilpStatus>, Option<StopReason>, f64) {
     let base = problem.model.to_standard();
     let searcher = Searcher::new(&base, &problem.integers, opts);
 
@@ -285,10 +331,17 @@ fn drive(
     let mut nodes = 0usize;
     let mut seen_numerical = false;
     let mut root = true;
+    let mut stopped: Option<StopReason> = None;
 
     while let Some(top_bound) = heap.peek().map(|n| n.bound) {
         if nodes >= opts.node_limit {
             break;
+        }
+        if let Some(b) = budget {
+            if let Some(reason) = b.exceeded(nodes) {
+                stopped = Some(reason);
+                break;
+            }
         }
         // gap-based stop
         if let Some((inc, _)) = &incumbent {
@@ -317,10 +370,7 @@ fn drive(
         let results: Vec<Expansion> = if batch.len() == 1 {
             vec![searcher.expand(&batch[0], cutoff, run_h)]
         } else {
-            batch
-                .par_iter()
-                .map(|n| searcher.expand(n, cutoff, run_h))
-                .collect()
+            batch.par_iter().map(|n| searcher.expand(n, cutoff, run_h)).collect()
         };
 
         for exp in results {
@@ -328,7 +378,7 @@ fn drive(
                 Expansion::Pruned | Expansion::Infeasible => {}
                 Expansion::Unbounded => {
                     if root {
-                        return Err(MilpStatus::Unbounded);
+                        return (Err(MilpStatus::Unbounded), None, f64::NEG_INFINITY);
                     }
                     // A child LP cannot be unbounded if the root was bounded;
                     // treat as numerical trouble.
@@ -336,13 +386,13 @@ fn drive(
                 }
                 Expansion::Numerical => seen_numerical = true,
                 Expansion::Incumbent(z, x) => {
-                    if incumbent.as_ref().map_or(true, |(best, _)| z < *best) {
+                    if incumbent.as_ref().is_none_or(|(best, _)| z < *best) {
                         incumbent = Some((z, x));
                     }
                 }
                 Expansion::Branched { children, heuristic } => {
                     if let Some((hz, hx)) = heuristic {
-                        if incumbent.as_ref().map_or(true, |(best, _)| hz < *best) {
+                        if incumbent.as_ref().is_none_or(|(best, _)| hz < *best) {
                             // validate integrality of the heuristic point
                             let ok = problem
                                 .integers
@@ -363,6 +413,7 @@ fn drive(
     }
 
     let best_frontier = heap.peek().map(|n| n.bound).unwrap_or(f64::INFINITY);
+    let scale = base.obj_scale;
     match incumbent {
         Some((z, x)) => {
             let bound_min = best_frontier.min(z);
@@ -373,28 +424,35 @@ fn drive(
             };
             let slack = opts.abs_gap.max(opts.rel_gap * z.abs());
             let proven = best_frontier >= z - slack;
-            let scale = base.obj_scale;
             let mut values: Vec<f64> = x[..base.nstruct].to_vec();
             for &j in &problem.integers {
                 values[j] = values[j].round();
             }
-            Ok(MilpSolution {
+            let sol = MilpSolution {
                 objective: z * scale,
                 values,
                 best_bound: bound_min * scale,
                 gap,
                 nodes,
                 proven_optimal: proven,
-            })
+            };
+            let bound = sol.best_bound;
+            (Ok(sol), stopped, bound)
         }
         None => {
-            if seen_numerical {
-                Err(MilpStatus::Numerical)
-            } else if nodes >= opts.node_limit {
-                Err(MilpStatus::NodeLimit)
+            let err = if seen_numerical {
+                MilpStatus::Numerical
+            } else if nodes >= opts.node_limit || stopped.is_some() {
+                MilpStatus::NodeLimit
             } else {
-                Err(MilpStatus::Infeasible)
-            }
+                MilpStatus::Infeasible
+            };
+            let bound = if best_frontier.is_finite() {
+                best_frontier * scale
+            } else {
+                f64::NEG_INFINITY * scale.signum()
+            };
+            (Err(err), stopped, bound)
         }
     }
 }

@@ -1,0 +1,115 @@
+//! Budgeted solves: limit hits surface as `SolveStatus::Terminated` with
+//! the best incumbent + bound, never as panics or unbounded loops.
+
+use std::time::{Duration, Instant};
+
+use rrp_lp::{Cmp, Model, Sense};
+use rrp_milp::{MilpOptions, MilpProblem, MilpStatus, SolveBudget, SolveStatus, StopReason};
+
+/// 0/1 knapsack whose LP relaxation is fractional, so B&B must branch.
+fn knapsack() -> MilpProblem {
+    let values = [10.0, 9.0, 8.0, 7.0, 6.0, 5.0, 4.0, 3.0];
+    let weights = [6.0, 5.0, 4.0, 3.0, 2.0, 1.0, 7.0, 8.0];
+    let mut m = Model::new(Sense::Maximize);
+    let vars: Vec<_> =
+        values.iter().enumerate().map(|(j, &v)| m.add_var(0.0, 1.0, v, &format!("x{j}"))).collect();
+    let terms: Vec<_> = vars.iter().zip(weights).map(|(&v, w)| (v, w)).collect();
+    m.add_con(&terms, Cmp::Le, 11.0);
+    MilpProblem::new(m, vars)
+}
+
+fn infeasible_bip() -> MilpProblem {
+    let mut m = Model::new(Sense::Minimize);
+    let x = m.add_var(0.0, 1.0, 1.0, "x");
+    m.add_con(&[(x, 1.0)], Cmp::Ge, 2.0);
+    MilpProblem::new(m, vec![x])
+}
+
+#[test]
+fn unlimited_budget_matches_plain_solve() {
+    let p = knapsack();
+    let opts = MilpOptions::default();
+    let plain = p.solve(&opts).expect("feasible");
+    match p.solve_budgeted(&opts, &SolveBudget::unlimited()) {
+        SolveStatus::Optimal(sol) => {
+            assert!((sol.objective - plain.objective).abs() <= 1e-9);
+            assert!(sol.proven_optimal);
+        }
+        other => panic!("expected Optimal, got {other:?}"),
+    }
+}
+
+#[test]
+fn zero_node_budget_terminates_immediately() {
+    let p = knapsack();
+    let opts = MilpOptions::default();
+    match p.solve_budgeted(&opts, &SolveBudget::with_node_limit(0)) {
+        SolveStatus::Terminated { best_incumbent, reason, .. } => {
+            assert_eq!(reason, StopReason::NodeLimit);
+            assert!(best_incumbent.is_none(), "no node was expanded");
+        }
+        other => panic!("expected Terminated, got {other:?}"),
+    }
+}
+
+#[test]
+fn expired_deadline_terminates_with_deadline_reason() {
+    let p = knapsack();
+    let opts = MilpOptions::default();
+    let budget = SolveBudget::with_deadline(Instant::now() - Duration::from_millis(1));
+    match p.solve_budgeted(&opts, &budget) {
+        SolveStatus::Terminated { reason, .. } => assert_eq!(reason, StopReason::Deadline),
+        other => panic!("expected Terminated, got {other:?}"),
+    }
+}
+
+#[test]
+fn tight_node_budget_carries_incumbent_and_bound() {
+    let p = knapsack();
+    // disable the rounding heuristic so the search genuinely has to branch
+    let opts = MilpOptions { heuristic_period: 0, ..MilpOptions::default() };
+    let full = p.solve(&opts).expect("feasible");
+    assert!(full.nodes > 1, "instance should need branching, took {} nodes", full.nodes);
+
+    // re-run with the heuristic on (incumbents appear early) but fewer nodes
+    let opts_h = MilpOptions::default();
+    let budget = SolveBudget::with_node_limit(full.nodes.saturating_sub(1).max(1));
+    match p.solve_budgeted(&opts_h, &budget) {
+        SolveStatus::Terminated { best_incumbent, bound, reason } => {
+            assert_eq!(reason, StopReason::NodeLimit);
+            let inc = best_incumbent.expect("heuristic should have found an incumbent");
+            // maximization: incumbent ≤ optimum ≤ dual bound
+            assert!(inc.objective <= full.objective + 1e-9);
+            assert!(bound >= inc.objective - 1e-9, "bound {bound} < incumbent {}", inc.objective);
+            for v in &inc.values {
+                assert!((*v - v.round()).abs() <= 1e-9, "incumbent not integral");
+            }
+        }
+        // the budget may coincide with a completed proof — also acceptable
+        SolveStatus::Optimal(sol) => {
+            assert!((sol.objective - full.objective).abs() <= 1e-9);
+        }
+        other => panic!("expected Terminated or Optimal, got {other:?}"),
+    }
+}
+
+#[test]
+fn infeasible_instance_fails_even_with_budget() {
+    let p = infeasible_bip();
+    let opts = MilpOptions::default();
+    match p.solve_budgeted(&opts, &SolveBudget::with_timeout(Duration::from_secs(5))) {
+        SolveStatus::Failed(MilpStatus::Infeasible) => {}
+        other => panic!("expected Failed(Infeasible), got {other:?}"),
+    }
+}
+
+#[test]
+fn solve_status_incumbent_accessor() {
+    let p = knapsack();
+    let opts = MilpOptions::default();
+    let st = p.solve_budgeted(&opts, &SolveBudget::unlimited());
+    assert!(st.is_optimal());
+    assert!(st.incumbent().is_some());
+    let failed = SolveStatus::Failed(MilpStatus::Infeasible);
+    assert!(failed.incumbent().is_none());
+}

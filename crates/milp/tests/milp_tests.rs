@@ -121,19 +121,15 @@ fn branching_rules_agree() {
     let cap = 17.0;
     let build = || {
         let mut m = Model::new(Sense::Maximize);
-        let vars: Vec<_> = (0..8)
-            .map(|i| m.add_var(0.0, 1.0, values[i], &format!("x{i}")))
-            .collect();
+        let vars: Vec<_> =
+            (0..8).map(|i| m.add_var(0.0, 1.0, values[i], &format!("x{i}"))).collect();
         let terms: Vec<_> = vars.iter().enumerate().map(|(i, &v)| (v, weights[i])).collect();
         m.add_con(&terms, Cmp::Le, cap);
         MilpProblem::new(m, vars)
     };
-    let s1 = build()
-        .solve(&MilpOptions { branching: Branching::MostFractional, ..opts() })
-        .unwrap();
-    let s2 = build()
-        .solve(&MilpOptions { branching: Branching::PseudoCost, ..opts() })
-        .unwrap();
+    let s1 =
+        build().solve(&MilpOptions { branching: Branching::MostFractional, ..opts() }).unwrap();
+    let s2 = build().solve(&MilpOptions { branching: Branching::PseudoCost, ..opts() }).unwrap();
     assert!((s1.objective - s2.objective).abs() < 1e-6);
     // brute-force optimum
     let mut best = 0.0f64;
@@ -159,9 +155,8 @@ fn parallel_matches_sequential() {
     let cap = 21.0;
     let build = || {
         let mut m = Model::new(Sense::Maximize);
-        let vars: Vec<_> = (0..10)
-            .map(|i| m.add_var(0.0, 1.0, values[i], &format!("x{i}")))
-            .collect();
+        let vars: Vec<_> =
+            (0..10).map(|i| m.add_var(0.0, 1.0, values[i], &format!("x{i}"))).collect();
         let terms: Vec<_> = vars.iter().enumerate().map(|(i, &v)| (v, weights[i])).collect();
         m.add_con(&terms, Cmp::Le, cap);
         MilpProblem::new(m, vars)
@@ -181,7 +176,8 @@ fn node_limit_respected() {
     // A knapsack with an awkward LP bound; node_limit 1 still yields the
     // heuristic/incumbent or errs with NodeLimit — never hangs.
     let mut m = Model::new(Sense::Maximize);
-    let vars: Vec<_> = (0..12).map(|i| m.add_var(0.0, 1.0, (i + 1) as f64, &format!("x{i}"))).collect();
+    let vars: Vec<_> =
+        (0..12).map(|i| m.add_var(0.0, 1.0, (i + 1) as f64, &format!("x{i}"))).collect();
     let terms: Vec<_> = vars.iter().enumerate().map(|(i, &v)| (v, (13 - i) as f64)).collect();
     m.add_con(&terms, Cmp::Le, 20.0);
     let p = MilpProblem::new(m, vars);
@@ -207,7 +203,8 @@ fn minimization_with_negative_objective() {
 #[test]
 fn best_bound_brackets_objective() {
     let mut m = Model::new(Sense::Maximize);
-    let vars: Vec<_> = (0..6).map(|i| m.add_var(0.0, 1.0, (2 * i + 1) as f64, &format!("x{i}"))).collect();
+    let vars: Vec<_> =
+        (0..6).map(|i| m.add_var(0.0, 1.0, (2 * i + 1) as f64, &format!("x{i}"))).collect();
     let terms: Vec<_> = vars.iter().map(|&v| (v, 2.0)).collect();
     m.add_con(&terms, Cmp::Le, 7.0);
     let sol = MilpProblem::new(m, vars).solve(&opts()).unwrap();

@@ -21,8 +21,7 @@ fn random_bip() -> impl Strategy<Value = RandomBip> {
             let costs: Vec<f64> = (0..nvars).map(|_| rng.gen_range(-6.0..6.0f64)).collect();
             let mut cons = Vec::new();
             for _ in 0..ncons {
-                let coeffs: Vec<f64> =
-                    (0..nvars).map(|_| rng.gen_range(-4.0..4.0f64)).collect();
+                let coeffs: Vec<f64> = (0..nvars).map(|_| rng.gen_range(-4.0..4.0f64)).collect();
                 let cmp = if rng.gen_bool(0.5) { Cmp::Le } else { Cmp::Ge };
                 let rhs = rng.gen_range(-4.0..6.0f64);
                 cons.push((coeffs, cmp, rhs));

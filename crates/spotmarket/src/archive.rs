@@ -126,8 +126,7 @@ impl SpotArchive {
             for t in secs {
                 x = p.persistence * x + p.rel_vol * normal.sample(&mut rng);
                 let hour_of_day = (t % 86_400) as f64 / 3600.0;
-                let seas = p.seasonal_amp
-                    * (2.0 * std::f64::consts::PI * hour_of_day / 24.0).sin();
+                let seas = p.seasonal_amp * (2.0 * std::f64::consts::PI * hour_of_day / 24.0).sin();
                 let spike = if rng.gen_bool(p.spike_prob) {
                     rng.gen_range(p.spike_range.0..p.spike_range.1)
                 } else {

@@ -123,12 +123,7 @@ impl EmpiricalDist {
     /// Probability that the realised price exceeds the bid (the out-of-bid
     /// risk the deterministic model ignores).
     pub fn out_of_bid_probability(&self, bid: f64) -> f64 {
-        self.values
-            .iter()
-            .zip(&self.probs)
-            .filter(|(&v, _)| v > bid)
-            .map(|(_, &p)| p)
-            .sum()
+        self.values.iter().zip(&self.probs).filter(|(&v, _)| v > bid).map(|(_, &p)| p).sum()
     }
 }
 
@@ -157,10 +152,7 @@ mod tests {
 
     #[test]
     fn truncation_folds_out_of_bid_mass() {
-        let d = EmpiricalDist::from_parts(
-            vec![0.05, 0.06, 0.08],
-            vec![0.5, 0.3, 0.2],
-        );
+        let d = EmpiricalDist::from_parts(vec![0.05, 0.06, 0.08], vec![0.5, 0.3, 0.2]);
         let t = d.truncate_at_bid(0.06, 0.20);
         assert_eq!(t.values(), &[0.05, 0.06, 0.20]);
         for (got, want) in t.probs().iter().zip([0.5, 0.3, 0.2]) {
@@ -186,10 +178,7 @@ mod tests {
 
     #[test]
     fn out_of_bid_probability_matches_tail() {
-        let d = EmpiricalDist::from_parts(
-            vec![0.05, 0.06, 0.08],
-            vec![0.5, 0.3, 0.2],
-        );
+        let d = EmpiricalDist::from_parts(vec![0.05, 0.06, 0.08], vec![0.5, 0.3, 0.2]);
         assert!((d.out_of_bid_probability(0.055) - 0.5).abs() < 1e-12);
         assert!((d.out_of_bid_probability(0.07) - 0.2).abs() < 1e-12);
         assert_eq!(d.out_of_bid_probability(0.5), 0.0);

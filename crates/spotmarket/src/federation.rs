@@ -57,10 +57,7 @@ impl Federation {
         let len = self.horizon();
         let values = (0..len)
             .map(|t| {
-                self.providers
-                    .iter()
-                    .map(|p| p.spot.values()[t])
-                    .fold(f64::INFINITY, f64::min)
+                self.providers.iter().map(|p| p.spot.values()[t]).fold(f64::INFINITY, f64::min)
             })
             .collect();
         TimeSeries::new(values)
@@ -115,10 +112,7 @@ mod tests {
     fn effective_spot_is_pointwise_min() {
         let f = Federation::new(
             VmClass::C1Medium,
-            vec![
-                offer("a", vec![0.06, 0.05, 0.08], 0.2),
-                offer("b", vec![0.07, 0.04, 0.07], 0.18),
-            ],
+            vec![offer("a", vec![0.06, 0.05, 0.08], 0.2), offer("b", vec![0.07, 0.04, 0.07], 0.18)],
         );
         assert_eq!(f.effective_spot().values(), &[0.06, 0.04, 0.07]);
         assert_eq!(f.cheapest_provider(), vec![0, 1, 1]);
@@ -127,10 +121,7 @@ mod tests {
 
     #[test]
     fn single_provider_is_identity() {
-        let f = Federation::new(
-            VmClass::M1Large,
-            vec![offer("solo", vec![0.1, 0.2], 0.4)],
-        );
+        let f = Federation::new(VmClass::M1Large, vec![offer("solo", vec![0.1, 0.2], 0.4)]);
         assert_eq!(f.effective_spot().values(), &[0.1, 0.2]);
         assert_eq!(f.market_shares(), vec![1.0]);
     }

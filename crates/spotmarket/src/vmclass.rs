@@ -19,8 +19,7 @@ impl VmClass {
 
     /// The three classes used in the planning evaluation (§V-A), in the
     /// paper's order with on-demand prices {$0.2, $0.4, $0.8}.
-    pub const EVALUATION: [VmClass; 3] =
-        [VmClass::C1Medium, VmClass::M1Large, VmClass::M1Xlarge];
+    pub const EVALUATION: [VmClass; 3] = [VmClass::C1Medium, VmClass::M1Large, VmClass::M1Xlarge];
 
     /// Hourly on-demand rental price (the paper's §V-A numbers; c1.xlarge —
     /// only used in the price study — carries its 2011 list price).
@@ -67,8 +66,7 @@ mod tests {
 
     #[test]
     fn evaluation_prices_match_paper() {
-        let prices: Vec<f64> =
-            VmClass::EVALUATION.iter().map(|c| c.on_demand_price()).collect();
+        let prices: Vec<f64> = VmClass::EVALUATION.iter().map(|c| c.on_demand_price()).collect();
         assert_eq!(prices, vec![0.2, 0.4, 0.8]);
     }
 

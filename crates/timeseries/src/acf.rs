@@ -16,12 +16,11 @@ pub fn acf(xs: &[f64], max_lag: usize) -> Vec<f64> {
     if c0 <= 0.0 {
         // constant series: define r_0 = 1, rest 0
         out.push(1.0);
-        out.extend(std::iter::repeat(0.0).take(max_lag));
+        out.extend(std::iter::repeat_n(0.0, max_lag));
         return out;
     }
     for k in 0..=max_lag {
-        let ck: f64 =
-            (0..n - k).map(|t| (xs[t] - m) * (xs[t + k] - m)).sum::<f64>() / n as f64;
+        let ck: f64 = (0..n - k).map(|t| (xs[t] - m) * (xs[t + k] - m)).sum::<f64>() / n as f64;
         out.push(ck / c0);
     }
     out

@@ -62,12 +62,7 @@ pub fn pacf_to_coeffs(raw: &[f64]) -> Vec<f64> {
 /// Conditional sum of squares of an ARMA recursion with arbitrary (possibly
 /// sparse/expanded) coefficient vectors. Residuals for `t < ar.len()` are
 /// taken as zero. Also fills `residuals` if provided.
-pub fn css(
-    z: &[f64],
-    ar: &[f64],
-    ma: &[f64],
-    mut residuals: Option<&mut Vec<f64>>,
-) -> (f64, usize) {
+pub fn css(z: &[f64], ar: &[f64], ma: &[f64], residuals: Option<&mut Vec<f64>>) -> (f64, usize) {
     let n = z.len();
     let p = ar.len();
     let mut e = vec![0.0f64; n];
@@ -87,7 +82,7 @@ pub fn css(
         acc += e[t] * e[t];
         used += 1;
     }
-    if let Some(r) = residuals.as_deref_mut() {
+    if let Some(r) = residuals {
         *r = e;
     }
     (acc, used)
@@ -107,11 +102,7 @@ impl ArmaSpec {
         let mut objective = |params: &[f64]| -> f64 {
             let ar = pacf_to_coeffs(&params[..self.p]);
             let ma = pacf_to_coeffs(&params[self.p..self.p + self.q]);
-            let mean = if self.include_mean {
-                base_mean + params[self.p + self.q]
-            } else {
-                0.0
-            };
+            let mean = if self.include_mean { base_mean + params[self.p + self.q] } else { 0.0 };
             let z: Vec<f64> = xs.iter().map(|x| x - mean).collect();
             let (s, _) = css(&z, &ar, &ma, None);
             s
@@ -125,38 +116,20 @@ impl ArmaSpec {
 
         let ar = pacf_to_coeffs(&r.x[..self.p]);
         let ma = pacf_to_coeffs(&r.x[self.p..self.p + self.q]);
-        let mean =
-            if self.include_mean { base_mean + r.x[self.p + self.q] } else { 0.0 };
+        let mean = if self.include_mean { base_mean + r.x[self.p + self.q] } else { 0.0 };
         let z: Vec<f64> = xs.iter().map(|x| x - mean).collect();
         let mut residuals = Vec::new();
         let (cssv, used) = css(&z, &ar, &ma, Some(&mut residuals));
         let sigma2 = cssv / used.max(1) as f64;
         let aic = used as f64 * sigma2.max(1e-300).ln() + 2.0 * (k + 1) as f64;
-        ArmaFit {
-            spec: *self,
-            ar,
-            ma,
-            mean,
-            sigma2,
-            css: cssv,
-            aic,
-            residuals,
-            data: xs.to_vec(),
-        }
+        ArmaFit { spec: *self, ar, ma, mean, sigma2, css: cssv, aic, residuals, data: xs.to_vec() }
     }
 }
 
 impl ArmaFit {
     /// h-step-ahead point forecasts from the end of the fitted sample.
     pub fn forecast(&self, horizon: usize) -> Vec<f64> {
-        forecast_arma(
-            &self.data,
-            &self.residuals,
-            &self.ar,
-            &self.ma,
-            self.mean,
-            horizon,
-        )
+        forecast_arma(&self.data, &self.residuals, &self.ar, &self.ma, self.mean, horizon)
     }
 }
 

@@ -111,8 +111,7 @@ mod tests {
     #[test]
     fn seasonal_naive_wins_on_pure_cycle() {
         let period = 12;
-        let xs: Vec<f64> =
-            (0..period * 30).map(|t| ((t % period) as f64 - 5.0).abs()).collect();
+        let xs: Vec<f64> = (0..period * 30).map(|t| ((t % period) as f64 - 5.0).abs()).collect();
         let sn = SeasonalNaiveForecaster { period };
         let r = rolling_origin(&xs, &[&sn, &MeanForecaster], period * 20, period, period);
         assert!(r[0].mean_mspe() < 1e-18);

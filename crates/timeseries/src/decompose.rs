@@ -27,7 +27,7 @@ pub fn decompose(xs: &[f64], period: usize) -> Decomposition {
     // --- centred moving-average trend ---
     let half = period / 2;
     let mut trend = vec![f64::NAN; n];
-    if period % 2 == 0 {
+    if period.is_multiple_of(2) {
         // 2×m MA: average of two adjacent m-length windows
         for t in half..n - half {
             let mut s = 0.0;
@@ -62,11 +62,8 @@ pub fn decompose(xs: &[f64], period: usize) -> Decomposition {
         sums[t % period] += d;
         counts[t % period] += 1;
     }
-    let mut seasonal_profile: Vec<f64> = sums
-        .iter()
-        .zip(&counts)
-        .map(|(s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
-        .collect();
+    let mut seasonal_profile: Vec<f64> =
+        sums.iter().zip(&counts).map(|(s, &c)| if c > 0 { s / c as f64 } else { 0.0 }).collect();
     // normalise to mean zero so trend+seasonal is unbiased
     let m: f64 = seasonal_profile.iter().sum::<f64>() / period as f64;
     for v in &mut seasonal_profile {
@@ -74,8 +71,7 @@ pub fn decompose(xs: &[f64], period: usize) -> Decomposition {
     }
 
     let seasonal: Vec<f64> = (0..n).map(|t| seasonal_profile[t % period]).collect();
-    let remainder: Vec<f64> =
-        (0..n).map(|t| xs[t] - trend[t] - seasonal[t]).collect();
+    let remainder: Vec<f64> = (0..n).map(|t| xs[t] - trend[t] - seasonal[t]).collect();
     Decomposition { trend, seasonal, remainder, period }
 }
 
@@ -132,7 +128,9 @@ mod tests {
     fn components_sum_to_signal() {
         let period = 7;
         let xs: Vec<f64> = (0..70)
-            .map(|t| 1.0 + 0.1 * t as f64 + ((t % 7) as f64 - 3.0) * 0.2 + ((t * 37) % 11) as f64 * 0.01)
+            .map(|t| {
+                1.0 + 0.1 * t as f64 + ((t % 7) as f64 - 3.0) * 0.2 + ((t * 37) % 11) as f64 * 0.01
+            })
             .collect();
         let d = decompose(&xs, period);
         for t in 0..xs.len() {
@@ -142,7 +140,8 @@ mod tests {
 
     #[test]
     fn seasonal_profile_sums_to_zero() {
-        let xs: Vec<f64> = (0..96).map(|t| ((t % 24) as f64).powi(2) * 0.01 + t as f64 * 0.05).collect();
+        let xs: Vec<f64> =
+            (0..96).map(|t| ((t % 24) as f64).powi(2) * 0.01 + t as f64 * 0.05).collect();
         let d = decompose(&xs, 24);
         let s: f64 = d.seasonal[..24].iter().sum();
         assert!(s.abs() < 1e-9, "profile sum {s}");

@@ -4,12 +4,7 @@
 pub fn mspe(actual: &[f64], predicted: &[f64]) -> f64 {
     assert_eq!(actual.len(), predicted.len());
     assert!(!actual.is_empty());
-    actual
-        .iter()
-        .zip(predicted)
-        .map(|(a, p)| (a - p) * (a - p))
-        .sum::<f64>()
-        / actual.len() as f64
+    actual.iter().zip(predicted).map(|(a, p)| (a - p) * (a - p)).sum::<f64>() / actual.len() as f64
 }
 
 /// Root mean squared error.

@@ -31,23 +31,22 @@ pub fn shapiro_wilk(xs: &[f64]) -> TestResult {
 
     // Expected normal order statistics (Blom approximation).
     let nf = n as f64;
-    let mut m: Vec<f64> = (1..=n)
-        .map(|i| norm_quantile((i as f64 - 0.375) / (nf + 0.25)))
-        .collect();
+    let mut m: Vec<f64> =
+        (1..=n).map(|i| norm_quantile((i as f64 - 0.375) / (nf + 0.25))).collect();
     let ssq_m: f64 = m.iter().map(|v| v * v).sum();
     let rsn = 1.0 / nf.sqrt();
 
     // Royston's polynomial-corrected weights for the two extreme entries.
     let c: Vec<f64> = m.iter().map(|v| v / ssq_m.sqrt()).collect();
     let u = rsn;
-    let a_n = -2.706056 * u.powi(5) + 4.434685 * u.powi(4) - 2.071190 * u.powi(3)
-        - 0.147981 * u.powi(2)
-        + 0.221157 * u
-        + c[n - 1];
-    let a_n1 = -3.582633 * u.powi(5) + 5.682633 * u.powi(4) - 1.752461 * u.powi(3)
-        - 0.293762 * u.powi(2)
-        + 0.042981 * u
-        + c[n - 2];
+    let a_n =
+        -2.706056 * u.powi(5) + 4.434685 * u.powi(4) - 2.071190 * u.powi(3) - 0.147981 * u.powi(2)
+            + 0.221157 * u
+            + c[n - 1];
+    let a_n1 =
+        -3.582633 * u.powi(5) + 5.682633 * u.powi(4) - 1.752461 * u.powi(3) - 0.293762 * u.powi(2)
+            + 0.042981 * u
+            + c[n - 2];
     let phi = (ssq_m - 2.0 * m[n - 1] * m[n - 1] - 2.0 * m[n - 2] * m[n - 2])
         / (1.0 - 2.0 * a_n * a_n - 2.0 * a_n1 * a_n1);
     let sqrt_phi = phi.sqrt();
@@ -143,9 +142,8 @@ mod tests {
     fn sw_statistic_near_one_for_perfect_data() {
         // exact normal quantiles score W ≈ 1
         let n = 100;
-        let xs: Vec<f64> = (1..=n)
-            .map(|i| crate::dist::norm_quantile(i as f64 / (n as f64 + 1.0)))
-            .collect();
+        let xs: Vec<f64> =
+            (1..=n).map(|i| crate::dist::norm_quantile(i as f64 / (n as f64 + 1.0))).collect();
         let r = shapiro_wilk(&xs);
         assert!(r.statistic > 0.995, "W = {}", r.statistic);
     }

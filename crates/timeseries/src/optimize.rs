@@ -29,11 +29,7 @@ pub struct NmResult {
 
 /// Minimise `f` starting from `x0` using the standard Nelder–Mead moves
 /// (reflection 1, expansion 2, contraction 0.5, shrink 0.5).
-pub fn nelder_mead(
-    f: &mut dyn FnMut(&[f64]) -> f64,
-    x0: &[f64],
-    opts: &NmOptions,
-) -> NmResult {
+pub fn nelder_mead(f: &mut dyn FnMut(&[f64]) -> f64, x0: &[f64], opts: &NmOptions) -> NmResult {
     let n = x0.len();
     if n == 0 {
         return NmResult { x: Vec::new(), fx: f(&[]), iterations: 0, converged: true };
@@ -71,11 +67,7 @@ pub fn nelder_mead(
         let worst = simplex[n].clone();
 
         let lerp = |alpha: f64| -> Vec<f64> {
-            centroid
-                .iter()
-                .zip(&worst.0)
-                .map(|(c, w)| c + alpha * (c - w))
-                .collect()
+            centroid.iter().zip(&worst.0).map(|(c, w)| c + alpha * (c - w)).collect()
         };
 
         let xr = lerp(1.0);
@@ -132,13 +124,9 @@ mod tests {
 
     #[test]
     fn minimises_rosenbrock() {
-        let mut f =
-            |x: &[f64]| 100.0 * (x[1] - x[0] * x[0]).powi(2) + (1.0 - x[0]).powi(2);
-        let r = nelder_mead(
-            &mut f,
-            &[-1.2, 1.0],
-            &NmOptions { max_iters: 5000, ..Default::default() },
-        );
+        let mut f = |x: &[f64]| 100.0 * (x[1] - x[0] * x[0]).powi(2) + (1.0 - x[0]).powi(2);
+        let r =
+            nelder_mead(&mut f, &[-1.2, 1.0], &NmOptions { max_iters: 5000, ..Default::default() });
         assert!(r.fx < 1e-6, "f = {}", r.fx);
         assert!((r.x[0] - 1.0).abs() < 1e-2);
     }
@@ -161,13 +149,9 @@ mod tests {
 
     #[test]
     fn respects_iteration_limit() {
-        let mut f =
-            |x: &[f64]| 100.0 * (x[1] - x[0] * x[0]).powi(2) + (1.0 - x[0]).powi(2);
-        let r = nelder_mead(
-            &mut f,
-            &[-1.2, 1.0],
-            &NmOptions { max_iters: 3, ..Default::default() },
-        );
+        let mut f = |x: &[f64]| 100.0 * (x[1] - x[0] * x[0]).powi(2) + (1.0 - x[0]).powi(2);
+        let r =
+            nelder_mead(&mut f, &[-1.2, 1.0], &NmOptions { max_iters: 3, ..Default::default() });
         assert_eq!(r.iterations, 3);
         assert!(!r.converged);
     }

@@ -29,20 +29,10 @@ impl BoxWhisker {
         let lo_fence = q1 - 1.5 * iqr;
         let hi_fence = q3 + 1.5 * iqr;
         let whisker_lo = s.iter().cloned().find(|&v| v >= lo_fence).unwrap_or(s[0]);
-        let whisker_hi =
-            s.iter().rev().cloned().find(|&v| v <= hi_fence).unwrap_or(s[s.len() - 1]);
+        let whisker_hi = s.iter().rev().cloned().find(|&v| v <= hi_fence).unwrap_or(s[s.len() - 1]);
         let outliers: Vec<f64> =
             s.iter().cloned().filter(|&v| v < lo_fence || v > hi_fence).collect();
-        Self {
-            min: s[0],
-            q1,
-            median,
-            q3,
-            max: s[s.len() - 1],
-            whisker_lo,
-            whisker_hi,
-            outliers,
-        }
+        Self { min: s[0], q1, median, q3, max: s[s.len() - 1], whisker_lo, whisker_hi, outliers }
     }
 
     /// Fraction of points classified as outliers.

@@ -149,8 +149,7 @@ impl SarimaSpec {
             let sar = pacf_to_coeffs(&params[p..p + sp]);
             let ma = pacf_to_coeffs(&params[p + sp..p + sp + q]);
             let sma = pacf_to_coeffs(&params[p + sp + q..p + sp + q + sq]);
-            let mean =
-                if include_mean { base_mean + params[p + sp + q + sq] } else { 0.0 };
+            let mean = if include_mean { base_mean + params[p + sp + q + sq] } else { 0.0 };
             let ear = expand_seasonal(&ar, &sar, s, -1.0);
             let ema = expand_seasonal(&ma, &sma, s, 1.0);
             let z: Vec<f64> = w.iter().map(|x| x - mean).collect();
@@ -310,7 +309,8 @@ mod tests {
 
     #[test]
     fn integrate_inverts_difference_exactly() {
-        let xs: Vec<f64> = (0..80).map(|t| ((t * 13) % 17) as f64 * 0.1 + t as f64 * 0.02).collect();
+        let xs: Vec<f64> =
+            (0..80).map(|t| ((t * 13) % 17) as f64 * 0.1 + t as f64 * 0.02).collect();
         let split = 60;
         let (w_all, _) = difference(&xs, 1, 1, 12);
         let (_, stages_head) = difference(&xs[..split], 1, 1, 12);
@@ -401,7 +401,8 @@ mod tests {
     #[test]
     fn random_walk_intervals_grow_like_sqrt_h() {
         // d=1, no ARMA terms: ψ_j = 1 ∀j → width ∝ √h
-        let xs: Vec<f64> = (0..200).map(|t| (t as f64 * 0.71).sin() * 0.1 + t as f64 * 0.01).collect();
+        let xs: Vec<f64> =
+            (0..200).map(|t| (t as f64 * 0.71).sin() * 0.1 + t as f64 * 0.01).collect();
         let fit = SarimaSpec { p: 0, d: 1, q: 0, sp: 0, sd: 0, sq: 0, s: 1 }.fit(&xs);
         let iv = fit.forecast_intervals(9, 1.0);
         let w1 = iv[0].2 - iv[0].0;

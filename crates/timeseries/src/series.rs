@@ -147,10 +147,7 @@ mod tests {
     #[test]
     fn daily_counts() {
         let day = 86_400u64;
-        let ev = EventSeries::new(
-            vec![1, 2, 3, day + 5, 2 * day + 1, 2 * day + 2],
-            vec![0.0; 6],
-        );
+        let ev = EventSeries::new(vec![1, 2, 3, day + 5, 2 * day + 1, 2 * day + 2], vec![0.0; 6]);
         assert_eq!(ev.daily_update_counts(3), vec![3, 1, 2]);
     }
 

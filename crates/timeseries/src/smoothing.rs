@@ -165,8 +165,7 @@ mod tests {
     fn hw_trend_plus_season() {
         let period = 4;
         let profile = [1.0, -1.0, 0.5, -0.5];
-        let xs: Vec<f64> =
-            (0..period * 15).map(|t| 0.2 * t as f64 + profile[t % period]).collect();
+        let xs: Vec<f64> = (0..period * 15).map(|t| 0.2 * t as f64 + profile[t % period]).collect();
         let f = HoltWinters::fit(&xs, period);
         assert!((f.trend - 0.2).abs() < 0.02, "trend {}", f.trend);
         let fc = f.forecast(4);

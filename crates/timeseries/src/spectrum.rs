@@ -55,16 +55,12 @@ mod tests {
     fn pure_sine_concentrates_power() {
         let n = 240;
         let period = 24;
-        let xs: Vec<f64> =
-            (0..n).map(|t| (2.0 * PI * t as f64 / period as f64).sin()).collect();
+        let xs: Vec<f64> = (0..n).map(|t| (2.0 * PI * t as f64 / period as f64).sin()).collect();
         let k_signal = n / period; // 10
         let p_signal = periodogram_at(&xs, k_signal);
         for k in 1..=n / 2 {
             if k != k_signal {
-                assert!(
-                    periodogram_at(&xs, k) < p_signal * 0.05,
-                    "leakage at k={k}"
-                );
+                assert!(periodogram_at(&xs, k) < p_signal * 0.05, "leakage at k={k}");
             }
         }
     }
@@ -75,9 +71,7 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(8);
         let n = 24 * 40;
         let xs: Vec<f64> = (0..n)
-            .map(|t| {
-                (2.0 * PI * t as f64 / 24.0).sin() * 1.0 + rng.gen_range(-1.0..1.0)
-            })
+            .map(|t| (2.0 * PI * t as f64 / 24.0).sin() * 1.0 + rng.gen_range(-1.0..1.0))
             .collect();
         assert_eq!(dominant_period(&xs, 60), 24);
     }

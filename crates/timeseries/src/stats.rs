@@ -153,8 +153,9 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(9);
         // sum of 12 uniforms ≈ normal
-        let xs: Vec<f64> =
-            (0..20_000).map(|_| (0..12).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() - 6.0).collect();
+        let xs: Vec<f64> = (0..20_000)
+            .map(|_| (0..12).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() - 6.0)
+            .collect();
         assert!(excess_kurtosis(&xs).abs() < 0.15, "{}", excess_kurtosis(&xs));
     }
 

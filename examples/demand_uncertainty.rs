@@ -25,13 +25,12 @@ fn main() {
     // Joint states per slot: cheap/expensive price × low/high demand.
     let spot = 0.06;
     let states = vec![
-        (spot, 0.2, 0.35),                          // cheap price, quiet hour
-        (spot, 0.9, 0.35),                          // cheap price, busy hour
-        (class.on_demand_price(), 0.2, 0.15),       // out-of-bid, quiet
-        (class.on_demand_price(), 0.9, 0.15),       // out-of-bid, busy
+        (spot, 0.2, 0.35),                    // cheap price, quiet hour
+        (spot, 0.9, 0.35),                    // cheap price, busy hour
+        (class.on_demand_price(), 0.2, 0.15), // out-of-bid, quiet
+        (class.on_demand_price(), 0.9, 0.15), // out-of-bid, busy
     ];
-    let tree =
-        ScenarioTree::from_joint_stage_states(&vec![states.clone(); horizon], 100_000);
+    let tree = ScenarioTree::from_joint_stage_states(&vec![states.clone(); horizon], 100_000);
     println!(
         "joint (price, demand) tree: {} vertices, {} scenarios over {horizon} slots",
         tree.len(),

@@ -51,10 +51,8 @@ fn main() {
     let band = confidence_band(est.len());
     let r = acf(est.values(), 27);
     let p = pacf(est.values(), 27);
-    let sig_acf: Vec<usize> =
-        (1..r.len()).filter(|&k| r[k].abs() > band).take(8).collect();
-    let sig_pacf: Vec<usize> =
-        (1..=p.len()).filter(|&k| p[k - 1].abs() > band).take(8).collect();
+    let sig_acf: Vec<usize> = (1..r.len()).filter(|&k| r[k].abs() > band).take(8).collect();
+    let sig_pacf: Vec<usize> = (1..=p.len()).filter(|&k| p[k - 1].abs() > band).take(8).collect();
     println!("ACF beyond the 95% band at lags {sig_acf:?}; PACF at {sig_pacf:?}");
 
     // 5. SARIMA selection + day-ahead forecast (Fig. 8)

@@ -26,8 +26,7 @@ fn main() {
     ];
 
     // per-class markets from the canonical archive
-    let archives: Vec<_> =
-        positions.iter().map(|p| SpotArchive::canonical(p.class)).collect();
+    let archives: Vec<_> = positions.iter().map(|p| SpotArchive::canonical(p.class)).collect();
     let histories: Vec<Vec<f64>> =
         archives.iter().map(|a| a.estimation_window().into_values()).collect();
     let realized: Vec<Vec<f64>> =
@@ -55,7 +54,8 @@ fn main() {
 
     println!("portfolio: 4×c1.medium + 2×m1.large + 1×m1.xlarge, one day\n");
     println!("{:<14} {:>12} {:>12} {:>12}", "policy", "compute $", "inventory $", "total $");
-    for policy in [Policy::NoPlan, Policy::OnDemandPlanned, Policy::DetExpMean, Policy::StoExpMean] {
+    for policy in [Policy::NoPlan, Policy::OnDemandPlanned, Policy::DetExpMean, Policy::StoExpMean]
+    {
         let cfg = RollingConfig {
             horizon: if policy.is_stochastic() { 6 } else { 24 },
             ..Default::default()
@@ -73,8 +73,7 @@ fn main() {
     // quality of the stochastic model on the c1.medium instance
     let base = EmpiricalDist::from_history(&histories[0], 3);
     let bid = base.mean();
-    let dists =
-        stage_distributions(&base, &vec![bid; 6], positions[0].class.on_demand_price());
+    let dists = stage_distributions(&base, &[bid; 6], positions[0].class.on_demand_price());
     let tree = ScenarioTree::from_stage_distributions(&dists, 500_000);
     let schedule = CostSchedule::ec2(vec![0.0; 6], demands[0][..6].to_vec(), &rates);
     let srrp = SrrpProblem::new(schedule, PlanningParams::default(), tree);

@@ -41,8 +41,7 @@ fn main() {
     // The no-planning baseline rents every hour.
     let no_plan_compute: f64 = horizon as f64 * class.on_demand_price();
     let no_plan_total = no_plan_compute
-        + demand.iter().sum::<f64>()
-            * (rates.transfer_in_per_output_gb() + rates.transfer_out_gb);
+        + demand.iter().sum::<f64>() * (rates.transfer_in_per_output_gb() + rates.transfer_out_gb);
 
     println!();
     println!("cost breakdown ($/day):");

@@ -59,7 +59,5 @@ fn main() {
         );
     }
     let (alpha, chi, v) = plan.stage1_decision(&tree, 0.055, bid);
-    println!(
-        "\nrealised price 0.055 maps to vertex {v}: rent = {chi}, alpha = {alpha:.3} GB"
-    );
+    println!("\nrealised price 0.055 maps to vertex {v}: rent = {chi}, alpha = {alpha:.3} GB");
 }

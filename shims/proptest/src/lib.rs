@@ -1,0 +1,302 @@
+//! Offline stand-in for `proptest`: the [`Strategy`] trait, `any`, range and
+//! tuple strategies, `prop_map`, and the `proptest!`/`prop_assert!` macros.
+//!
+//! Differences from the real crate: cases are drawn from a fixed-seed RNG
+//! (fully deterministic across runs) and failing inputs are reported but not
+//! shrunk. The surface is exactly what this workspace's property tests use.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Runner configuration. Only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+pub mod test_runner {
+    pub use super::ProptestConfig;
+    use rand::{RngCore, SeedableRng};
+
+    /// Deterministic case-generation RNG (xoshiro via the rand shim).
+    pub struct TestRng(rand::rngs::StdRng);
+
+    impl TestRng {
+        /// Fixed seed: every `cargo test` run explores the same cases.
+        pub fn deterministic() -> Self {
+            Self(rand::rngs::StdRng::seed_from_u64(0x5EED_CAFE_F00D_D00D))
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+
+        pub fn next_f64(&mut self) -> f64 {
+            self.0.next_f64()
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A generator of random values of type `Value`.
+pub trait Strategy {
+    type Value: Debug;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Types with a canonical "anything" strategy, used via [`any`].
+pub trait Arbitrary: Sized + Debug {
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+pub struct Any<A>(PhantomData<A>);
+
+impl<A> Debug for Any<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Any")
+    }
+}
+
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(PhantomData)
+}
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+    fn generate(&self, rng: &mut TestRng) -> A {
+        A::arbitrary_value(rng)
+    }
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+macro_rules! range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+range_strategy_int!(usize, u64, u32, u8);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + (self.end - self.start) * rng.next_f64()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+
+/// Everything the workspace's tests import.
+pub mod prelude {
+    pub use crate::test_runner::TestRng;
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest};
+    pub use crate::{Arbitrary, ProptestConfig, Strategy};
+}
+
+/// Run each `fn name(pat in strategy) { .. }` body over `cases` generated
+/// inputs. The body executes inside a closure returning
+/// `Result<(), String>` so `prop_assert!` can abort the case with a message.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($arg:pat in $strat:expr) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let strat = $strat;
+                let mut rng = $crate::test_runner::TestRng::deterministic();
+                for case in 0..cfg.cases {
+                    let input = $crate::Strategy::generate(&strat, &mut rng);
+                    let shown = format!("{:?}", input);
+                    let outcome: ::std::result::Result<(), ::std::string::String> =
+                        (|$arg| -> ::std::result::Result<(), ::std::string::String> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })(input);
+                    if let ::std::result::Result::Err(msg) = outcome {
+                        panic!(
+                            "proptest case {}/{} failed: {}\n  input: {}",
+                            case + 1, cfg.cases, msg, shown
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($arg:pat in $strat:expr) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($arg in $strat) $body
+            )*
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)*));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let lhs = $lhs;
+        let rhs = $rhs;
+        if !(lhs == rhs) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                lhs, rhs
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::deterministic();
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(2usize..8), &mut rng);
+            assert!((2..8).contains(&v));
+            let f = Strategy::generate(&(-1.0..1.0f64), &mut rng);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn prop_map_composes() {
+        let strat = (1usize..4, 1usize..4).prop_map(|(a, b)| a * 10 + b);
+        let mut rng = TestRng::deterministic();
+        for _ in 0..100 {
+            let v = Strategy::generate(&strat, &mut rng);
+            assert!((11..=33).contains(&v));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runners() {
+        let mut a = TestRng::deterministic();
+        let mut b = TestRng::deterministic();
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_runs_cases((x, flag) in (0u64..100, any::<bool>())) {
+            prop_assert!(x < 100, "x out of range: {}", x);
+            if flag {
+                prop_assert_eq!(x, x);
+            }
+        }
+    }
+}

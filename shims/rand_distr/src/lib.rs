@@ -1,0 +1,133 @@
+//! Offline stand-in for `rand_distr`: the [`Distribution`] trait plus the
+//! [`Normal`] and [`Poisson`] distributions used by the demand model, the
+//! ARIMA simulator and the synthetic spot-price archive.
+
+use rand::RngCore;
+
+/// Types that can draw samples of `T` from an RNG.
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error from invalid distribution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+pub type NormalError = ParamError;
+pub type PoissonError = ParamError;
+
+/// Gaussian via the Box–Muller transform (two uniforms per draw; the
+/// second variate is discarded to keep the type stateless).
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, NormalError> {
+        if std_dev.is_nan() || std_dev < 0.0 || !mean.is_finite() {
+            return Err(ParamError("Normal requires finite mean and std_dev >= 0"));
+        }
+        Ok(Self { mean, std_dev })
+    }
+
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // u1 in (0, 1] so the log never sees zero
+        let u1 = 1.0 - rng.next_f64();
+        let u2 = rng.next_f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+/// Poisson: Knuth multiplication for small rates, normal approximation for
+/// large ones (where exp(-λ) would underflow).
+#[derive(Debug, Clone, Copy)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    pub fn new(lambda: f64) -> Result<Self, PoissonError> {
+        if lambda <= 0.0 || !lambda.is_finite() {
+            return Err(ParamError("Poisson requires a finite rate > 0"));
+        }
+        Ok(Self { lambda })
+    }
+}
+
+impl Distribution<f64> for Poisson {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.lambda < 30.0 {
+            let l = (-self.lambda).exp();
+            let mut k = 0u64;
+            let mut p = 1.0;
+            loop {
+                p *= rng.next_f64();
+                if p <= l {
+                    return k as f64;
+                }
+                k += 1;
+            }
+        }
+        // normal approximation with continuity correction
+        let n = Normal { mean: self.lambda, std_dev: self.lambda.sqrt() };
+        (n.sample(rng) + 0.5).floor().max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let d = Normal::new(2.0, 0.5).unwrap();
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.01, "mean {mean}");
+        assert!((var - 0.25).abs() < 0.01, "var {var}");
+    }
+
+    #[test]
+    fn poisson_mean_small_and_large() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for lambda in [0.5, 4.0, 80.0] {
+            let d = Poisson::new(lambda).unwrap();
+            let n = 50_000;
+            let mean = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+            assert!((mean - lambda).abs() < 0.05 * lambda.max(1.0), "lambda {lambda}: mean {mean}");
+        }
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Poisson::new(0.0).is_err());
+    }
+}

@@ -1,0 +1,184 @@
+//! Offline stand-in for `rayon`, covering the subset this workspace uses:
+//! `par_iter()` / `into_par_iter()` followed by `map(..)` and a terminal
+//! `collect()` / `sum()`, plus [`current_num_threads`].
+//!
+//! Unlike a sequential mock, this actually fans work out across OS threads
+//! with `std::thread::scope`, chunking items evenly. There is no work
+//! stealing: each thread owns a contiguous chunk, and results are stitched
+//! back in input order, so outputs are deterministic.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads a parallel call will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Run `f` over `items`, in parallel when the batch is big enough, and
+/// return the results in input order.
+fn parallel_map<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // split into `threads` contiguous chunks, each owned by one worker
+    let chunk = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items.into_iter();
+    loop {
+        let c: Vec<T> = items.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let mut out: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("rayon-shim worker panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+/// A materialised "parallel iterator": items are collected eagerly and the
+/// pipeline is replayed at the terminal operation.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// `map` stage over a [`ParIter`].
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send> ParIter<T> {
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        F: Fn(T) -> R + Sync,
+        R: Send,
+    {
+        ParMap { items: self.items, f }
+    }
+
+    pub fn collect<C: From<Vec<T>>>(self) -> C {
+        C::from(self.items)
+    }
+
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+}
+
+impl<T, R, F> ParMap<T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        C::from(parallel_map(self.items, &self.f))
+    }
+
+    pub fn sum<S: std::iter::Sum<R>>(self) -> S {
+        parallel_map(self.items, &self.f).into_iter().sum()
+    }
+}
+
+/// By-value conversion (`into_par_iter`).
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// Integer types usable as `Range` endpoints in `into_par_iter`. A single
+/// blanket impl over this trait (instead of one impl per concrete range)
+/// keeps integer-literal inference working: `(0..n).into_par_iter()` unifies
+/// the literal with the item type demanded downstream.
+pub trait RangeParItem: Send + Copy {
+    fn collect_range(range: std::ops::Range<Self>) -> Vec<Self>;
+}
+
+macro_rules! range_par_item {
+    ($($t:ty),*) => {$(
+        impl RangeParItem for $t {
+            fn collect_range(range: std::ops::Range<Self>) -> Vec<Self> {
+                range.collect()
+            }
+        }
+    )*};
+}
+range_par_item!(usize, u8, u16, u32, u64, i32, i64);
+
+impl<T: RangeParItem> IntoParallelIterator for std::ops::Range<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: T::collect_range(self) }
+    }
+}
+
+/// By-shared-reference conversion (`par_iter`).
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send + 'a;
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_by_ref() {
+        let data = vec![1.0f64, 2.0, 3.0, 4.0];
+        let s: f64 = data.par_iter().map(|x| x * x).sum();
+        assert_eq!(s, 30.0);
+    }
+
+    #[test]
+    fn sum_over_range() {
+        let s: u64 = (0u64..100).into_par_iter().map(|x| x).sum();
+        assert_eq!(s, 4950);
+    }
+}

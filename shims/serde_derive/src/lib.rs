@@ -1,0 +1,179 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! workspace's serde shim — no syn/quote, just token walking. Supports the
+//! shapes the workspace uses: structs with named fields and enums with
+//! unit variants (externally tagged, i.e. serialised as the variant name).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Struct with named fields, in declaration order.
+    Struct { name: String, fields: Vec<String> },
+    /// Enum of unit variants, in declaration order.
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Walk the item's tokens and extract its name and field/variant list.
+fn parse(input: TokenStream) -> Shape {
+    let mut iter = input.into_iter().peekable();
+    let mut kind: Option<String> = None;
+    let mut name: Option<String> = None;
+    let mut body: Option<TokenStream> = None;
+
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // attribute: swallow the following [...] group
+                let _ = iter.next();
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                match (s.as_str(), &kind) {
+                    ("pub" | "crate", _) => {}
+                    ("struct" | "enum", None) => kind = Some(s),
+                    (_, Some(_)) if name.is_none() => name = Some(s),
+                    _ => {}
+                }
+            }
+            TokenTree::Group(g)
+                if g.delimiter() == Delimiter::Brace && name.is_some() && body.is_none() =>
+            {
+                body = Some(g.stream());
+            }
+            _ => {}
+        }
+    }
+
+    let kind = kind.expect("derive target must be a struct or enum");
+    let name = name.expect("derive target has no name");
+    let body = body.expect("derive shim supports brace-bodied structs/enums only");
+
+    if kind == "struct" {
+        Shape::Struct { name, fields: named_fields(body) }
+    } else {
+        Shape::Enum { name, variants: unit_variants(body) }
+    }
+}
+
+/// Extract field names from `{ attr* vis? name: Type, ... }`.
+fn named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // skip attributes and visibility before the field name
+        let mut field: Option<String> = None;
+        while let Some(tt) = iter.next() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '#' => {
+                    let _ = iter.next();
+                }
+                TokenTree::Ident(id) => {
+                    let s = id.to_string();
+                    if s == "pub" {
+                        // optional pub(...) restriction group
+                        if let Some(TokenTree::Group(g)) = iter.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                let _ = iter.next();
+                            }
+                        }
+                        continue;
+                    }
+                    field = Some(s);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let Some(field) = field else { break };
+        // expect ':' then the type — consume to the next top-level comma
+        let mut depth = 0i32;
+        for tt in iter.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth <= 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(field);
+    }
+    fields
+}
+
+/// Extract variant names from `{ attr* Name, Name, ... }`; data-carrying
+/// variants are rejected (the shim never needs them).
+fn unit_variants(body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let _ = iter.next();
+            }
+            TokenTree::Ident(id) => {
+                variants.push(id.to_string());
+                match iter.peek() {
+                    None => {}
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                        let _ = iter.next();
+                    }
+                    Some(other) => {
+                        panic!("serde shim derive supports unit enum variants only, found {other}")
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    variants
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse(input) {
+        Shape::Struct { name, fields } => {
+            let mut writes = String::new();
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    writes.push_str("out.push(',');");
+                }
+                writes.push_str(&format!(
+                    "out.push_str(\"\\\"{f}\\\":\");\
+                     serde::Serialize::serialize_json(&self.{f}, out);"
+                ));
+            }
+            format!(
+                "impl serde::Serialize for {name} {{\
+                     fn serialize_json(&self, out: &mut String) {{\
+                         out.push('{{');\
+                         {writes}\
+                         out.push('}}');\
+                     }}\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => out.push_str(\"\\\"{v}\\\"\"),"))
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\
+                     fn serialize_json(&self, out: &mut String) {{\
+                         match self {{ {arms} }}\
+                     }}\
+                 }}"
+            )
+        }
+    };
+    out.parse().expect("serde shim derive generated invalid Rust")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = match parse(input) {
+        Shape::Struct { name, .. } | Shape::Enum { name, .. } => name,
+    };
+    format!("impl serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("serde shim derive generated invalid Rust")
+}

@@ -1,0 +1,43 @@
+//! Offline stand-in for `serde_json`, driving the serde shim's
+//! JSON-writing [`serde::Serialize`] trait.
+
+/// Serialisation error. The shim's writer is infallible, so this is only
+/// here to keep `to_string(..)?`-style call sites compiling.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialise a value to compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Pretty variant — the shim emits compact JSON either way.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    to_string(value)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn primitives_and_containers() {
+        assert_eq!(super::to_string(&1usize).unwrap(), "1");
+        assert_eq!(super::to_string(&true).unwrap(), "true");
+        assert_eq!(super::to_string(&0.5f64).unwrap(), "0.5");
+        assert_eq!(super::to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(super::to_string(&vec![1u32, 2, 3]).unwrap(), "[1,2,3]");
+        assert_eq!(super::to_string("a\"b").unwrap(), "\"a\\\"b\"");
+        assert_eq!(super::to_string(&Option::<u32>::None).unwrap(), "null");
+    }
+}

@@ -87,10 +87,7 @@ fn oracle_is_cheapest() {
     let oracle = simulate(Policy::Oracle, &env, &cfg).cost.total();
     for policy in Policy::FIG12A {
         let c = simulate(policy, &env, &cfg).cost.total();
-        assert!(
-            c >= oracle - 1e-6,
-            "{policy} ({c}) beat the oracle ({oracle})"
-        );
+        assert!(c >= oracle - 1e-6, "{policy} ({c}) beat the oracle ({oracle})");
     }
 }
 

@@ -1,0 +1,148 @@
+//! Integration test of the planning service: a 4-worker engine under a
+//! 64-request mixed-policy load, plus a tight-deadline run that must fall
+//! down the degradation ladder instead of blowing the budget.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rrp_core::{CostSchedule, PlanningParams, ScenarioTree};
+use rrp_engine::{DegradationLevel, Engine, PlanRequest, PolicyKind};
+use rrp_spotmarket::{CostRates, EmpiricalDist};
+
+fn schedule(horizon: usize, seed: u64) -> CostSchedule {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let demand: Vec<f64> = (0..horizon).map(|_| rng.gen_range(0.1..1.0)).collect();
+    CostSchedule::ec2(vec![0.06; horizon], demand, &CostRates::ec2_2011())
+}
+
+fn two_state_tree(horizon: usize) -> ScenarioTree {
+    let d = EmpiricalDist::from_parts(vec![0.04, 0.12], vec![0.6, 0.4]);
+    ScenarioTree::from_stage_distributions(&vec![d; horizon], 100_000)
+}
+
+fn request(i: usize, policy: PolicyKind, deadline: Duration) -> PlanRequest {
+    let horizon = 4 + i % 3; // 4..=6
+    let tree = matches!(policy, PolicyKind::Stochastic).then(|| two_state_tree(horizon));
+    PlanRequest {
+        app_id: format!("tenant-{i}"),
+        vm_class: "m1.small".into(),
+        schedule: schedule(horizon, 1000 + i as u64),
+        params: PlanningParams::default(),
+        tree,
+        policy,
+        deadline,
+        seed: i as u64,
+    }
+}
+
+const POLICIES: [PolicyKind; 4] = [
+    PolicyKind::Stochastic,
+    PolicyKind::Deterministic,
+    PolicyKind::DynamicProgram,
+    PolicyKind::OnDemand,
+];
+
+#[test]
+fn sixty_four_concurrent_requests_meet_deadlines() {
+    let engine = Engine::new(4);
+    let deadline = Duration::from_secs(30);
+    let reqs: Vec<PlanRequest> =
+        (0..64).map(|i| request(i, POLICIES[i % POLICIES.len()], deadline)).collect();
+    let checks: Vec<(CostSchedule, PlanningParams, PolicyKind)> =
+        reqs.iter().map(|r| (r.schedule.clone(), r.params, r.policy)).collect();
+
+    let resps = engine.run_batch(reqs);
+    assert_eq!(resps.len(), 64);
+
+    for (resp, (s, params, policy)) in resps.iter().zip(&checks) {
+        assert!(
+            resp.plan.is_feasible(s, params, 1e-6),
+            "{}: infeasible plan at level {:?}",
+            resp.app_id,
+            resp.degradation
+        );
+        assert!(resp.deadline_met, "{}: blew a 30 s deadline", resp.app_id);
+        assert_eq!(
+            resp.degradation,
+            policy.start_level(),
+            "{}: degraded under a generous deadline (trace: {:?})",
+            resp.app_id,
+            resp.trace
+        );
+        if !resp.cache_hit {
+            assert!(!resp.trace.is_empty(), "{}: solve without a trace", resp.app_id);
+        }
+    }
+
+    let m = engine.metrics();
+    assert_eq!(m.completed, 64);
+    assert_eq!(m.queue_depth, 0);
+    assert_eq!(m.deadline_misses, 0);
+    assert_eq!(
+        m.level_full + m.level_deterministic + m.level_dynamic_program + m.level_on_demand_only,
+        64
+    );
+    assert!(m.p50_latency_ms <= m.p99_latency_ms);
+}
+
+#[test]
+fn tight_deadline_falls_down_the_ladder() {
+    let engine = Engine::new(2);
+    // an already-expired budget: both MILP rungs must stop at node zero
+    // and the DP floor answers
+    let mut req = request(0, PolicyKind::Stochastic, Duration::ZERO);
+    req.app_id = "hurried".into();
+    let s = req.schedule.clone();
+    let params = req.params;
+
+    let resp = engine.submit(req).wait();
+    assert!(
+        resp.degradation > DegradationLevel::Full,
+        "expected a fallback below SRRP, got {:?}",
+        resp.degradation
+    );
+    assert_eq!(resp.degradation, DegradationLevel::DynamicProgram, "trace: {:?}", resp.trace);
+    assert!(resp.plan.is_feasible(&s, &params, 1e-6));
+    // the trace records the rungs that ran out of budget above the answer
+    assert_eq!(resp.trace.len(), 3, "trace: {:?}", resp.trace);
+    assert_eq!(resp.trace[0].level, DegradationLevel::Full);
+    assert_eq!(resp.trace[1].level, DegradationLevel::Deterministic);
+
+    let m = engine.metrics();
+    assert_eq!(m.level_dynamic_program, 1);
+    assert_eq!(m.deadline_misses, 1);
+}
+
+#[test]
+fn degraded_answers_are_not_cached() {
+    let engine = Engine::new(1);
+    let hurried = request(3, PolicyKind::Stochastic, Duration::ZERO);
+    let relaxed = PlanRequest { deadline: Duration::from_secs(30), ..hurried.clone() };
+
+    let first = engine.submit(hurried).wait();
+    assert!(first.degradation > DegradationLevel::Full);
+
+    // the same problem with time to spare must be solved fresh, not served
+    // the degraded plan
+    let second = engine.submit(relaxed).wait();
+    assert!(!second.cache_hit, "degraded answer leaked into the cache");
+    assert_eq!(second.degradation, DegradationLevel::Full);
+}
+
+#[test]
+fn worker_survives_a_panicking_request() {
+    let engine = Engine::new(1);
+    // capacity below per-slot demand ⇒ no feasible plan exists; the ladder
+    // panics on the floor rung and the worker must survive it
+    let mut bad = request(7, PolicyKind::OnDemand, Duration::from_secs(5));
+    bad.params.capacity = Some(1e-3);
+    let bad_ticket = engine.submit(bad);
+    let good = request(8, PolicyKind::Deterministic, Duration::from_secs(30));
+    let good_resp = engine.submit(good).wait();
+    assert_eq!(good_resp.degradation, DegradationLevel::Deterministic);
+
+    let bad_result =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || bad_ticket.wait()));
+    assert!(bad_result.is_err(), "infeasible request must not produce a plan");
+}

@@ -102,10 +102,7 @@ fn hourly_regularisation_matches_event_feed() {
     for (i, (&t, &v)) in ev.times.iter().zip(&ev.values).enumerate() {
         let hour = (t / 3600) as usize;
         // only check when this is the last event of its hour
-        let last_of_hour = ev
-            .times
-            .get(i + 1)
-            .map_or(true, |&t2| t2 / 3600 != t / 3600);
+        let last_of_hour = ev.times.get(i + 1).is_none_or(|&t2| t2 / 3600 != t / 3600);
         if last_of_hour && hour < hourly.len() {
             assert_eq!(hourly[hour], v, "hour {hour}");
         }

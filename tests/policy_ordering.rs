@@ -50,10 +50,7 @@ fn planning_beats_no_planning() {
     for class in [VmClass::C1Medium, VmClass::M1Xlarge] {
         let noplan = average_cost(Policy::NoPlan, class, 3);
         let planned = average_cost(Policy::OnDemandPlanned, class, 3);
-        assert!(
-            planned <= noplan + 1e-9,
-            "{class}: planned {planned} vs no-plan {noplan}"
-        );
+        assert!(planned <= noplan + 1e-9, "{class}: planned {planned} vs no-plan {noplan}");
     }
 }
 

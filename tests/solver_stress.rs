@@ -4,7 +4,9 @@
 use rand::{Rng, SeedableRng};
 use rrp_core::demand::DemandModel;
 use rrp_core::sampling::stage_distributions;
-use rrp_core::{wagner_whitin, CostSchedule, DrrpProblem, PlanningParams, ScenarioTree, SrrpProblem};
+use rrp_core::{
+    wagner_whitin, CostSchedule, DrrpProblem, PlanningParams, ScenarioTree, SrrpProblem,
+};
 use rrp_lp::{Cmp, Model, Sense, Status};
 use rrp_milp::{MilpOptions, MilpProblem};
 use rrp_spotmarket::{CostRates, EmpiricalDist};
@@ -44,11 +46,8 @@ fn week_long_drrp_solves_and_verifies() {
     let plan = wagner_whitin::solve(&schedule, &params);
     assert!(plan.is_feasible(&schedule, &params, 1e-7));
     // spot check against MILP on the first day
-    let day = CostSchedule::ec2(
-        schedule.compute[..24].to_vec(),
-        schedule.demand[..24].to_vec(),
-        &rates,
-    );
+    let day =
+        CostSchedule::ec2(schedule.compute[..24].to_vec(), schedule.demand[..24].to_vec(), &rates);
     let p = DrrpProblem::new(day.clone(), params);
     let milp = p.solve_milp(&MilpOptions::default()).unwrap();
     let ww = wagner_whitin::solve(&day, &params);
