@@ -1,0 +1,202 @@
+//! Big-M forcing-constraint check.
+//!
+//! The DRRP/SRRP formulations (paper Eq. 4 and Eq. 16) link the continuous
+//! reservation quantity `α_t` to the 0/1 reservation indicator `χ_t`
+//! through a forcing row `α_t − M·χ_t ≤ 0`. Any `M` at least as large as
+//! the biggest useful `α_t` is *correct*, but a loose `M` makes the LP
+//! relaxation admit fractional `χ_t = α_t / M` nearly free of charge, so
+//! branch & bound has to enumerate what a tight relaxation would have
+//! priced out. The check finds every forcing row, computes the tightest
+//! valid `M` — the best implied upper bound of the forced variable from
+//! interval propagation and caller-supplied demand/capacity hints — and
+//! flags rows whose `M` is looser than that.
+
+use rrp_lp::{Cmp, Model, VarId};
+
+use crate::TOL;
+
+/// A caller-asserted upper bound on a variable, used to tighten `M`
+/// beyond what bound propagation alone can prove. The planning layer
+/// supplies these from domain knowledge (remaining demand, cluster
+/// capacity) that is not visible in the constraint matrix.
+#[derive(Debug, Clone)]
+pub struct UpperBoundHint {
+    pub var: VarId,
+    pub upper: f64,
+    /// Where the bound comes from, e.g. `"remaining demand"`. Quoted in
+    /// the finding so the report stays auditable.
+    pub why: String,
+}
+
+/// A forcing row `a·x − m·χ ≤ 0` whose effective big-M (`m/a`) exceeds
+/// the tightest implied upper bound of `x`.
+#[derive(Debug, Clone)]
+pub struct BigMFinding {
+    pub row: usize,
+    /// The forced continuous variable `x`.
+    pub forced: VarId,
+    pub forced_name: String,
+    /// The 0/1 indicator `χ`.
+    pub indicator: VarId,
+    pub indicator_name: String,
+    /// Current `m/a`: the value `x` may take when `χ = 1`.
+    pub effective_m: f64,
+    /// Tightest valid replacement for `effective_m`.
+    pub tightest_m: f64,
+    /// Justification for `tightest_m` (bound propagation or a hint's
+    /// `why`).
+    pub source: String,
+    /// Coefficient of `χ` in the row as modelled (`−m`).
+    pub old_coeff: f64,
+    /// Sound replacement coefficient for `χ` (`−tightest_m · a`).
+    pub new_coeff: f64,
+}
+
+/// True when the variable's bounds confine it to `{0, 1}` (an indicator
+/// once integrality is imposed).
+fn is_binary(model: &Model, v: VarId) -> bool {
+    let (l, u) = model.var_bounds(v);
+    l >= -TOL && u <= 1.0 + TOL
+}
+
+/// Scan `model` for loose forcing rows. `integers` marks the indicator
+/// candidates, `upper` holds per-variable upper bounds (typically the
+/// propagated bounds from [`crate::bounds::propagate`]), and `hints`
+/// contribute domain bounds the matrix cannot express.
+pub fn loose_big_m(
+    model: &Model,
+    integers: &[VarId],
+    upper: &[f64],
+    hints: &[UpperBoundHint],
+) -> Vec<BigMFinding> {
+    let is_int = {
+        let mut mask = vec![false; model.num_vars()];
+        for &v in integers {
+            mask[v] = true;
+        }
+        mask
+    };
+    let mut findings = Vec::new();
+    for row in 0..model.num_cons() {
+        let (terms, cmp, rhs) = model.con(row);
+        if cmp != Cmp::Le || rhs.abs() > TOL || terms.len() != 2 {
+            continue;
+        }
+        // Identify the (x, χ) split: χ is the marked-integer binary with a
+        // negative coefficient, x the continuous one with a positive
+        // coefficient.
+        let (&(va, ca), &(vb, cb)) = (&terms[0], &terms[1]);
+        let (forced, a, indicator, neg_m) = if ca > 0.0 && cb < 0.0 {
+            (va, ca, vb, cb)
+        } else if cb > 0.0 && ca < 0.0 {
+            (vb, cb, va, ca)
+        } else {
+            continue;
+        };
+        if !is_int[indicator] || !is_binary(model, indicator) || is_int[forced] {
+            continue;
+        }
+        let effective_m = -neg_m / a;
+        // Tightest valid M: propagated upper bound ∧ hints for the forced
+        // variable. Anything that upper-bounds x in every feasible
+        // solution is a sound replacement.
+        let mut tightest = upper[forced];
+        let mut source = format!("implied upper bound of '{}'", model.var_name(forced));
+        for h in hints.iter().filter(|h| h.var == forced) {
+            if h.upper < tightest {
+                tightest = h.upper;
+                source.clone_from(&h.why);
+            }
+        }
+        if !tightest.is_finite() || tightest <= TOL {
+            // No finite positive bound to compare against: either the
+            // model is unbounded in x (nothing to suggest) or x is forced
+            // to ~0 (propagation handles that on its own).
+            continue;
+        }
+        if effective_m > tightest + TOL * (1.0 + tightest.abs()) {
+            findings.push(BigMFinding {
+                row,
+                forced,
+                forced_name: model.var_name(forced).to_string(),
+                indicator,
+                indicator_name: model.var_name(indicator).to_string(),
+                effective_m,
+                tightest_m: tightest,
+                source,
+                old_coeff: neg_m,
+                new_coeff: -(tightest * a),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrp_lp::{Model, Sense};
+
+    fn forcing_model(m_val: f64) -> (Model, VarId, VarId) {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var(0.0, 5.0, 1.0, "alpha[0]");
+        let chi = m.add_var(0.0, 1.0, 10.0, "chi[0]");
+        m.add_con(&[(x, 1.0), (chi, -m_val)], Cmp::Le, 0.0);
+        (m, x, chi)
+    }
+
+    #[test]
+    fn loose_m_flagged_with_variable_bound() {
+        let (m, x, chi) = forcing_model(1e6);
+        let upper = vec![5.0, 1.0];
+        let f = loose_big_m(&m, &[chi], &upper, &[]);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].forced, x);
+        assert_eq!(f[0].indicator, chi);
+        assert!((f[0].effective_m - 1e6).abs() < 1e-6);
+        assert!((f[0].tightest_m - 5.0).abs() < 1e-12);
+        assert!((f[0].new_coeff + 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hint_beats_propagated_bound() {
+        let (m, _, chi) = forcing_model(1e6);
+        let upper = vec![5.0, 1.0];
+        let hints = vec![UpperBoundHint { var: 0, upper: 3.0, why: "remaining demand 3.0".into() }];
+        let f = loose_big_m(&m, &[chi], &upper, &hints);
+        assert_eq!(f.len(), 1);
+        assert!((f[0].tightest_m - 3.0).abs() < 1e-12);
+        assert_eq!(f[0].source, "remaining demand 3.0");
+    }
+
+    #[test]
+    fn tight_m_not_flagged() {
+        let (m, _, chi) = forcing_model(5.0);
+        let upper = vec![5.0, 1.0];
+        assert!(loose_big_m(&m, &[chi], &upper, &[]).is_empty());
+    }
+
+    #[test]
+    fn non_forcing_rows_ignored() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var(0.0, 5.0, 1.0, "x");
+        let chi = m.add_var(0.0, 1.0, 1.0, "chi");
+        let y = m.add_var(0.0, 9.0, 1.0, "y");
+        m.add_con(&[(x, 1.0), (chi, -1e6)], Cmp::Le, 2.0); // rhs ≠ 0
+        m.add_con(&[(x, 1.0), (chi, -1e6), (y, 1.0)], Cmp::Le, 0.0); // 3 terms
+        m.add_con(&[(x, 1.0), (y, -1e6)], Cmp::Le, 0.0); // y not integer
+        m.add_con(&[(x, 1.0), (chi, -1e6)], Cmp::Ge, 0.0); // wrong relation
+        let upper = vec![5.0, 1.0, 9.0];
+        assert!(loose_big_m(&m, &[chi], &upper, &[]).is_empty());
+    }
+
+    #[test]
+    fn unbounded_forced_variable_skipped() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var(0.0, f64::INFINITY, 1.0, "x");
+        let chi = m.add_var(0.0, 1.0, 1.0, "chi");
+        m.add_con(&[(x, 1.0), (chi, -1e6)], Cmp::Le, 0.0);
+        let upper = vec![f64::INFINITY, 1.0];
+        assert!(loose_big_m(&m, &[chi], &upper, &[]).is_empty());
+    }
+}

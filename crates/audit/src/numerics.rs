@@ -1,0 +1,219 @@
+//! Numerics report: coefficient-magnitude histogram and row/column
+//! dynamic range.
+//!
+//! A constraint matrix whose nonzeros span many orders of magnitude makes
+//! the simplex basis factorisation ill-conditioned and the `1e-7`-style
+//! feasibility tolerances meaningless. The report quantifies the spread
+//! and recommends running [`rrp_lp::scaling`] (geometric-mean
+//! equilibration) when the matrix-wide dynamic range exceeds
+//! [`SCALING_THRESHOLD`].
+
+use std::fmt;
+
+use rrp_lp::{Model, StandardLp};
+
+/// Matrix-wide dynamic range (`max|a| / min|a|` over nonzeros) above which
+/// the report recommends scaling. Geometric-mean scaling reliably pulls
+/// ranges of 1e6+ down to near 1; below that it is rarely worth a pass.
+pub const SCALING_THRESHOLD: f64 = 1e6;
+
+/// Summary of the nonzero-coefficient magnitudes of a constraint matrix.
+#[derive(Debug, Clone)]
+pub struct NumericsReport {
+    /// Number of structural nonzeros inspected.
+    pub nonzeros: usize,
+    /// Histogram of `log10(|a|)` by decade: `decades[i]` counts nonzeros
+    /// with `floor(log10(|a|)) == decade_min + i`.
+    pub decades: Vec<usize>,
+    /// Decade of the smallest-magnitude nonzero (`floor(log10(min|a|))`).
+    pub decade_min: i32,
+    /// Smallest and largest nonzero magnitude in the whole matrix.
+    pub coeff_range: (f64, f64),
+    /// Largest per-row dynamic range `max|a_ij|/min|a_ij|`, with the row.
+    pub worst_row: (usize, f64),
+    /// Largest per-column dynamic range, with the column.
+    pub worst_col: (usize, f64),
+    /// True when `coeff_range.1 / coeff_range.0 > SCALING_THRESHOLD`.
+    pub recommend_scaling: bool,
+}
+
+impl NumericsReport {
+    /// Matrix-wide dynamic range `max|a| / min|a|` (1.0 for an empty or
+    /// single-magnitude matrix).
+    pub fn dynamic_range(&self) -> f64 {
+        if self.nonzeros == 0 {
+            1.0
+        } else {
+            self.coeff_range.1 / self.coeff_range.0
+        }
+    }
+}
+
+/// Build a report from an explicit nonzero stream. `nrows`/`ncols` size
+/// the per-row/per-column range tracking.
+fn from_nonzeros(
+    nrows: usize,
+    ncols: usize,
+    nz: impl Iterator<Item = (usize, usize, f64)>,
+) -> NumericsReport {
+    let mut row_range = vec![(f64::INFINITY, 0.0_f64); nrows];
+    let mut col_range = vec![(f64::INFINITY, 0.0_f64); ncols];
+    let mut global = (f64::INFINITY, 0.0_f64);
+    let mut mags: Vec<f64> = Vec::new();
+    for (i, j, a) in nz {
+        let m = a.abs();
+        if m > 0.0 {
+            mags.push(m);
+            let update = |r: &mut (f64, f64)| {
+                r.0 = r.0.min(m);
+                r.1 = r.1.max(m);
+            };
+            update(&mut row_range[i]);
+            update(&mut col_range[j]);
+            update(&mut global);
+        }
+    }
+    if mags.is_empty() {
+        return NumericsReport {
+            nonzeros: 0,
+            decades: Vec::new(),
+            decade_min: 0,
+            coeff_range: (1.0, 1.0),
+            worst_row: (0, 1.0),
+            worst_col: (0, 1.0),
+            recommend_scaling: false,
+        };
+    }
+    let decade_min = global.0.log10().floor() as i32;
+    let decade_max = global.1.log10().floor() as i32;
+    let mut decades = vec![0usize; (decade_max - decade_min + 1) as usize];
+    for &m in &mags {
+        let d = (m.log10().floor() as i32).clamp(decade_min, decade_max);
+        decades[(d - decade_min) as usize] += 1;
+    }
+    let worst = |ranges: &[(f64, f64)]| -> (usize, f64) {
+        let mut best = (0usize, 1.0_f64);
+        for (idx, &(lo, hi)) in ranges.iter().enumerate() {
+            if lo.is_finite() && hi > 0.0 {
+                let r = hi / lo;
+                if r > best.1 {
+                    best = (idx, r);
+                }
+            }
+        }
+        best
+    };
+    let range = global.1 / global.0;
+    NumericsReport {
+        nonzeros: mags.len(),
+        decades,
+        decade_min,
+        coeff_range: global,
+        worst_row: worst(&row_range),
+        worst_col: worst(&col_range),
+        recommend_scaling: range > SCALING_THRESHOLD,
+    }
+}
+
+/// Numerics report over a [`Model`]'s constraint coefficients.
+pub fn numerics_of_model(model: &Model) -> NumericsReport {
+    let nz = (0..model.num_cons()).flat_map(|i| {
+        let (terms, _, _) = model.con(i);
+        terms.iter().map(move |&(v, a)| (i, v, a))
+    });
+    from_nonzeros(model.num_cons(), model.num_vars(), nz)
+}
+
+/// Numerics report over a [`StandardLp`]'s matrix (structural columns
+/// only, so a scaled instance can be compared against its source model
+/// without slack-column noise).
+pub fn numerics_of_standard(lp: &StandardLp) -> NumericsReport {
+    let nz = (0..lp.nstruct).flat_map(|j| lp.a.col_iter(j).map(move |(i, a)| (i, j, a)));
+    from_nonzeros(lp.b.len(), lp.nstruct, nz)
+}
+
+impl fmt::Display for NumericsReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.nonzeros == 0 {
+            return writeln!(f, "numerics: empty matrix");
+        }
+        writeln!(
+            f,
+            "numerics: {} nonzeros, |a| in [{:.3e}, {:.3e}] (range {:.1e})",
+            self.nonzeros,
+            self.coeff_range.0,
+            self.coeff_range.1,
+            self.dynamic_range()
+        )?;
+        for (i, &count) in self.decades.iter().enumerate() {
+            if count > 0 {
+                let d = self.decade_min + i as i32;
+                writeln!(f, "  1e{d:+03}..1e{:+03}: {count}", d + 1)?;
+            }
+        }
+        writeln!(f, "  worst row {} range {:.1e}", self.worst_row.0, self.worst_row.1)?;
+        writeln!(f, "  worst col {} range {:.1e}", self.worst_col.0, self.worst_col.1)?;
+        if self.recommend_scaling {
+            writeln!(
+                f,
+                "  recommendation: dynamic range exceeds {SCALING_THRESHOLD:.0e}; run lp::scaling before solving"
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrp_lp::{Cmp, Sense};
+
+    fn wild_model() -> Model {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var(0.0, 1.0, 1.0, "x");
+        let y = m.add_var(0.0, 1.0, 1.0, "y");
+        m.add_con(&[(x, 1e-4), (y, 2.0)], Cmp::Le, 1.0);
+        m.add_con(&[(x, 5e5), (y, 0.5)], Cmp::Ge, 0.1);
+        m
+    }
+
+    #[test]
+    fn histogram_and_ranges() {
+        let r = numerics_of_model(&wild_model());
+        assert_eq!(r.nonzeros, 4);
+        assert!((r.coeff_range.0 - 1e-4).abs() < 1e-16);
+        assert!((r.coeff_range.1 - 5e5).abs() < 1e-6);
+        assert_eq!(r.decade_min, -4);
+        assert_eq!(r.decades.iter().sum::<usize>(), 4);
+        // col x spans 1e-4..5e5 → worst column
+        assert_eq!(r.worst_col.0, 0);
+        assert!(r.worst_col.1 > 1e9);
+        assert!(r.recommend_scaling);
+    }
+
+    #[test]
+    fn well_scaled_matrix_not_flagged() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var(0.0, 1.0, 1.0, "x");
+        m.add_con(&[(x, 1.0)], Cmp::Le, 1.0);
+        m.add_con(&[(x, 2.0)], Cmp::Ge, 0.5);
+        let r = numerics_of_model(&m);
+        assert!(!r.recommend_scaling);
+        assert!((r.dynamic_range() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_shrinks_dynamic_range() {
+        let m = wild_model();
+        let lp = m.to_standard();
+        let before = numerics_of_standard(&lp);
+        let (scaled, _) = rrp_lp::scaling::scale(&lp, 10);
+        let after = numerics_of_standard(&scaled);
+        assert!(
+            after.dynamic_range() < before.dynamic_range() / 100.0,
+            "before {:.3e}, after {:.3e}",
+            before.dynamic_range(),
+            after.dynamic_range()
+        );
+    }
+}

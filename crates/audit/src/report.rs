@@ -1,0 +1,239 @@
+//! Aggregated audit report: runs every analysis over a model and renders
+//! a deterministic, human-readable summary (pinned by golden tests).
+
+use std::fmt;
+
+use rrp_lp::{Model, VarId};
+use rrp_milp::MilpProblem;
+
+use crate::bigm::{loose_big_m, BigMFinding, UpperBoundHint};
+use crate::bounds::{propagate, BoundTightening, InfeasibilityProof};
+use crate::numerics::{numerics_of_model, NumericsReport};
+use crate::structure::{dangling_columns, parallel_rows, DanglingColumn, ParallelRows};
+
+/// Knobs for [`audit_milp_with`].
+#[derive(Debug, Clone)]
+pub struct AuditOptions {
+    /// Maximum interval-propagation sweeps (each sweep visits every row).
+    pub max_passes: usize,
+    /// Domain upper bounds for the big-M check (see [`UpperBoundHint`]).
+    pub hints: Vec<UpperBoundHint>,
+    /// Run the parallel-row / dangling-column scan.
+    pub structure: bool,
+    /// Build the coefficient-magnitude report.
+    pub numerics: bool,
+}
+
+impl Default for AuditOptions {
+    fn default() -> Self {
+        Self { max_passes: 16, hints: Vec::new(), structure: true, numerics: true }
+    }
+}
+
+/// Everything the static analyses proved or flagged about one instance.
+#[derive(Debug)]
+pub struct AuditReport {
+    /// A static infeasibility proof, when one was found. All other fields
+    /// reflect the state at the point the contradiction surfaced.
+    pub infeasibility: Option<InfeasibilityProof>,
+    /// Individual propagation steps, oldest first.
+    pub tightenings: Vec<BoundTightening>,
+    /// Final proven bounds per tightened variable: `(var, lower, upper)`.
+    /// This is what [`AuditReport::apply`] feeds into
+    /// [`MilpProblem::tighten_bounds`].
+    pub tightened_bounds: Vec<(VarId, f64, f64)>,
+    pub parallel_rows: Vec<ParallelRows>,
+    pub dangling_columns: Vec<DanglingColumn>,
+    pub numerics: Option<NumericsReport>,
+    pub big_m: Vec<BigMFinding>,
+}
+
+impl AuditReport {
+    /// True when the audit statically proved the instance infeasible.
+    pub fn proven_infeasible(&self) -> bool {
+        self.infeasibility.is_some()
+    }
+
+    /// True when nothing was flagged at all.
+    pub fn is_clean(&self) -> bool {
+        self.infeasibility.is_none()
+            && self.tightenings.is_empty()
+            && self.parallel_rows.is_empty()
+            && self.dangling_columns.is_empty()
+            && self.big_m.is_empty()
+            && !self.numerics.as_ref().is_some_and(|n| n.recommend_scaling)
+    }
+
+    /// Apply every sound strengthening to `problem`: proven variable
+    /// bounds via [`MilpProblem::tighten_bounds`] and tightest-M forcing
+    /// coefficients via [`Model::set_con_coeff`]. Returns the number of
+    /// modifications. Must be called on the instance that was audited
+    /// (row/column indices are positional).
+    pub fn apply(&self, problem: &mut MilpProblem) -> usize {
+        problem.tighten_bounds(&self.tightened_bounds);
+        for f in &self.big_m {
+            problem.model.set_con_coeff(f.row, f.indicator, f.new_coeff);
+        }
+        self.tightened_bounds.len() + self.big_m.len()
+    }
+}
+
+fn audit_inner(model: &Model, integers: &[VarId], opts: &AuditOptions) -> AuditReport {
+    let prop = propagate(model, opts.max_passes);
+    // Collapse the step log to one final proven bound per variable.
+    let mut touched: Vec<VarId> = prop.tightenings.iter().map(|t| t.var).collect();
+    touched.sort_unstable();
+    touched.dedup();
+    let tightened_bounds: Vec<(VarId, f64, f64)> =
+        touched.into_iter().map(|v| (v, prop.lower[v], prop.upper[v])).collect();
+    let (parallel, dangling) = if opts.structure {
+        (parallel_rows(model), dangling_columns(model))
+    } else {
+        (Vec::new(), Vec::new())
+    };
+    let numerics = opts.numerics.then(|| numerics_of_model(model));
+    let big_m = if integers.is_empty() || prop.infeasibility.is_some() {
+        Vec::new()
+    } else {
+        loose_big_m(model, integers, &prop.upper, &opts.hints)
+    };
+    AuditReport {
+        infeasibility: prop.infeasibility,
+        tightenings: prop.tightenings,
+        tightened_bounds,
+        parallel_rows: parallel,
+        dangling_columns: dangling,
+        numerics,
+        big_m,
+    }
+}
+
+/// Audit a plain LP model (no integrality, so no big-M check).
+pub fn audit_model(model: &Model) -> AuditReport {
+    audit_inner(model, &[], &AuditOptions::default())
+}
+
+/// Audit a MILP instance with default options.
+pub fn audit_milp(problem: &MilpProblem) -> AuditReport {
+    audit_milp_with(problem, &AuditOptions::default())
+}
+
+/// Audit a MILP instance with explicit options (propagation depth, big-M
+/// hints, which analyses to run).
+pub fn audit_milp_with(problem: &MilpProblem, opts: &AuditOptions) -> AuditReport {
+    audit_inner(&problem.model, &problem.integers, opts)
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== audit report ===")?;
+        match &self.infeasibility {
+            Some(proof) => {
+                writeln!(f, "status: proven infeasible")?;
+                for line in proof.to_string().lines() {
+                    writeln!(f, "  {line}")?;
+                }
+            }
+            None => writeln!(f, "status: no infeasibility detected")?,
+        }
+        writeln!(f, "bound tightenings: {}", self.tightenings.len())?;
+        for t in &self.tightenings {
+            writeln!(
+                f,
+                "  row {}: '{}' [{}, {}] -> [{}, {}]",
+                t.row, t.name, t.old.0, t.old.1, t.new.0, t.new.1
+            )?;
+        }
+        writeln!(f, "parallel rows: {}", self.parallel_rows.len())?;
+        for p in &self.parallel_rows {
+            writeln!(
+                f,
+                "  rows ({}, {}): factor {}, {}",
+                p.a,
+                p.b,
+                p.factor,
+                if p.redundant { "redundant" } else { "conflicting" }
+            )?;
+        }
+        writeln!(f, "dangling columns: {}", self.dangling_columns.len())?;
+        for d in &self.dangling_columns {
+            writeln!(
+                f,
+                "  '{}' (obj {}){}",
+                d.name,
+                d.obj,
+                if d.unbounded_direction { ", unbounded direction" } else { "" }
+            )?;
+        }
+        writeln!(f, "big-M findings: {}", self.big_m.len())?;
+        for b in &self.big_m {
+            writeln!(
+                f,
+                "  row {}: '{}' forces '{}' with M={:e}, tightest M={} ({})",
+                b.row, b.indicator_name, b.forced_name, b.effective_m, b.tightest_m, b.source
+            )?;
+        }
+        if let Some(n) = &self.numerics {
+            write!(f, "{n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrp_lp::{Cmp, Sense};
+
+    #[test]
+    fn infeasible_model_reported() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var(0.0, 10.0, 1.0, "x");
+        m.add_con(&[(x, 1.0)], Cmp::Ge, 8.0);
+        m.add_con(&[(x, 1.0)], Cmp::Le, 3.0);
+        let r = audit_model(&m);
+        assert!(r.proven_infeasible());
+        assert!(!r.is_clean());
+        let text = r.to_string();
+        assert!(text.contains("proven infeasible"), "{text}");
+        assert!(text.contains("'x'"), "{text}");
+    }
+
+    #[test]
+    fn apply_tightens_bounds_and_big_m() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var(0.0, f64::INFINITY, 1.0, "alpha");
+        let chi = m.add_var(0.0, 1.0, 10.0, "chi");
+        // demand row caps alpha at 4; forcing row uses a hopelessly loose M.
+        m.add_con(&[(x, 1.0)], Cmp::Le, 4.0);
+        m.add_con(&[(x, 1.0), (chi, -1e6)], Cmp::Le, 0.0);
+        let mut p = MilpProblem::new(m, vec![chi]);
+        let r = audit_milp(&p);
+        assert!(!r.proven_infeasible());
+        assert_eq!(r.big_m.len(), 1);
+        assert!((r.big_m[0].tightest_m - 4.0).abs() < 1e-9);
+        let applied = r.apply(&mut p);
+        assert!(applied >= 2, "applied {applied}");
+        assert!((p.model.var_bounds(x).1 - 4.0).abs() < 1e-9);
+        let (terms, _, _) = p.model.con(1);
+        let chi_coeff = terms
+            .iter()
+            .find(|&&(v, _)| v == chi)
+            .map(|&(_, c)| c)
+            .expect("chi stays in forcing row");
+        assert!((chi_coeff + 4.0).abs() < 1e-9, "chi coeff {chi_coeff}");
+        // a second audit of the repaired instance is quiet on big-M
+        let r2 = audit_milp(&p);
+        assert!(r2.big_m.is_empty());
+        assert!(!r2.proven_infeasible());
+    }
+
+    #[test]
+    fn clean_model_is_clean() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var(1.0, 4.0, 1.0, "x");
+        m.add_con(&[(x, 1.0)], Cmp::Ge, 1.0); // already implied by the bounds
+        let r = audit_model(&m);
+        assert!(r.is_clean(), "{r}");
+    }
+}

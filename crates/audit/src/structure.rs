@@ -1,0 +1,173 @@
+//! Structural checks: duplicate/parallel constraint rows and dangling
+//! columns.
+//!
+//! Parallel rows (`row_b = λ·row_a`) at best waste simplex work and at
+//! worst hide a contradiction behind numerics; dangling columns (variables
+//! appearing in no constraint) are either dead weight or — when their
+//! objective pushes towards an infinite bound — an unboundedness trap.
+
+use std::collections::HashMap;
+
+use rrp_lp::{Cmp, Model, VarId};
+
+use crate::TOL;
+
+/// Two constraint rows with proportional coefficient vectors.
+#[derive(Debug, Clone)]
+pub struct ParallelRows {
+    pub a: usize,
+    pub b: usize,
+    /// `row_b = factor · row_a` on the coefficients.
+    pub factor: f64,
+    /// True when the rows also agree on relation and right-hand side (one
+    /// is plain redundant); false means they constrain the same direction
+    /// differently and deserve a look.
+    pub redundant: bool,
+}
+
+/// A variable that appears in no constraint.
+#[derive(Debug, Clone)]
+pub struct DanglingColumn {
+    pub var: VarId,
+    pub name: String,
+    /// Objective coefficient; nonzero means the variable still moves the
+    /// objective and will sit at a bound (or prove unboundedness).
+    pub obj: f64,
+    /// True when the objective pushes the variable towards an infinite
+    /// bound — the model is unbounded unless something else caps it.
+    pub unbounded_direction: bool,
+}
+
+/// Canonical form of a row: sorted terms scaled so the first coefficient
+/// is `1`, plus the scale that achieved it.
+fn canonical(terms: &[(VarId, f64)]) -> (Vec<VarId>, Vec<f64>, f64) {
+    let mut sorted: Vec<(VarId, f64)> = terms.to_vec();
+    sorted.sort_by_key(|&(v, _)| v);
+    sorted.retain(|&(_, c)| c.abs() > 0.0);
+    let scale = if sorted.is_empty() { 1.0 } else { sorted[0].1 };
+    let vars: Vec<VarId> = sorted.iter().map(|&(v, _)| v).collect();
+    let coeffs: Vec<f64> = sorted.iter().map(|&(_, c)| c / scale).collect();
+    (vars, coeffs, scale)
+}
+
+/// Find all pairs of parallel rows. Rows are bucketed by their variable
+/// support, so the scan is near linear for the block-structured planning
+/// models of this workspace.
+pub fn parallel_rows(model: &Model) -> Vec<ParallelRows> {
+    let mut buckets: HashMap<Vec<VarId>, Vec<(usize, Vec<f64>, f64, Cmp, f64)>> = HashMap::new();
+    let mut found = Vec::new();
+    for i in 0..model.num_cons() {
+        let (terms, cmp, rhs) = model.con(i);
+        let (vars, coeffs, scale) = canonical(terms);
+        if vars.is_empty() {
+            continue;
+        }
+        let bucket = buckets.entry(vars).or_default();
+        for (prev_i, prev_coeffs, prev_scale, prev_cmp, prev_rhs) in bucket.iter() {
+            let same = prev_coeffs
+                .iter()
+                .zip(&coeffs)
+                .all(|(a, b)| (a - b).abs() <= TOL * (1.0 + a.abs().max(b.abs())));
+            if !same {
+                continue;
+            }
+            // row_i = (scale / prev_scale) · row_prev on coefficients
+            let factor = scale / prev_scale;
+            let redundant = *prev_cmp == cmp
+                && ((prev_rhs * factor) - rhs).abs() <= TOL * (1.0 + rhs.abs())
+                && factor > 0.0;
+            found.push(ParallelRows { a: *prev_i, b: i, factor, redundant });
+        }
+        bucket.push((i, coeffs, scale, cmp, rhs));
+    }
+    found
+}
+
+/// Find all variables that appear in no constraint.
+pub fn dangling_columns(model: &Model) -> Vec<DanglingColumn> {
+    let n = model.num_vars();
+    let mut used = vec![false; n];
+    for i in 0..model.num_cons() {
+        let (terms, _, _) = model.con(i);
+        for &(v, c) in terms {
+            if c.abs() > 0.0 {
+                used[v] = true;
+            }
+        }
+    }
+    let minimize = matches!(model.sense(), rrp_lp::Sense::Minimize);
+    (0..n)
+        .filter(|&v| !used[v])
+        .map(|v| {
+            let obj = model.var_obj(v);
+            let (l, u) = model.var_bounds(v);
+            // which bound does the objective push towards?
+            let improving_towards = if minimize == (obj > 0.0) { l } else { u };
+            let unbounded_direction = obj.abs() > 0.0 && improving_towards.is_infinite();
+            DanglingColumn { var: v, name: model.var_name(v).to_string(), obj, unbounded_direction }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrp_lp::Sense;
+
+    #[test]
+    fn detects_exact_duplicate_and_scaled_parallel() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var(0.0, 10.0, 1.0, "x");
+        let y = m.add_var(0.0, 10.0, 1.0, "y");
+        m.add_con(&[(x, 1.0), (y, 2.0)], Cmp::Le, 4.0);
+        m.add_con(&[(x, 1.0), (y, 2.0)], Cmp::Le, 4.0); // duplicate
+        m.add_con(&[(x, 3.0), (y, 6.0)], Cmp::Le, 12.0); // 3× scaled, same rhs ratio
+        m.add_con(&[(x, 1.0), (y, 3.0)], Cmp::Le, 4.0); // not parallel
+        let pairs = parallel_rows(&m);
+        assert_eq!(pairs.len(), 3, "pairs: {pairs:?}"); // (0,1), (0,2), (1,2)
+        assert!(pairs.iter().all(|p| p.redundant), "pairs: {pairs:?}");
+        let p01 = pairs.iter().find(|p| p.a == 0 && p.b == 1).expect("(0,1) pair");
+        assert!((p01.factor - 1.0).abs() < 1e-12);
+        let p02 = pairs.iter().find(|p| p.a == 0 && p.b == 2).expect("(0,2) pair");
+        assert!((p02.factor - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conflicting_parallel_rows_not_marked_redundant() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var(0.0, 10.0, 1.0, "x");
+        m.add_con(&[(x, 1.0)], Cmp::Le, 4.0);
+        m.add_con(&[(x, 2.0)], Cmp::Le, 2.0); // x ≤ 1: parallel, different bound
+        let pairs = parallel_rows(&m);
+        assert_eq!(pairs.len(), 1);
+        assert!(!pairs[0].redundant);
+    }
+
+    #[test]
+    fn negative_factor_flip_is_not_redundant() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var(0.0, 10.0, 1.0, "x");
+        let y = m.add_var(0.0, 10.0, 1.0, "y");
+        m.add_con(&[(x, 1.0), (y, 1.0)], Cmp::Le, 4.0);
+        m.add_con(&[(x, -1.0), (y, -1.0)], Cmp::Le, -4.0); // together: equality
+        let pairs = parallel_rows(&m);
+        assert_eq!(pairs.len(), 1);
+        assert!((pairs[0].factor + 1.0).abs() < 1e-12);
+        assert!(!pairs[0].redundant);
+    }
+
+    #[test]
+    fn dangling_column_classification() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var(0.0, 10.0, 1.0, "x");
+        let free_rider = m.add_var(0.0, 5.0, 0.0, "free");
+        let runaway = m.add_var(f64::NEG_INFINITY, 0.0, 1.0, "runaway");
+        m.add_con(&[(x, 1.0)], Cmp::Ge, 1.0);
+        let d = dangling_columns(&m);
+        assert_eq!(d.len(), 2);
+        let f = d.iter().find(|c| c.var == free_rider).expect("free column");
+        assert!(!f.unbounded_direction);
+        let r = d.iter().find(|c| c.var == runaway).expect("runaway column");
+        assert!(r.unbounded_direction, "minimising obj 1·x with lower bound −∞");
+    }
+}

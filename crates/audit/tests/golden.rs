@@ -1,0 +1,146 @@
+//! Golden-output tests: the audit report for pinned DRRP and SRRP
+//! instances is part of the crate's contract — operators grep these
+//! reports, so accidental format or content drift must show up in review.
+
+use rrp_audit::{audit_milp_with, AuditOptions, UpperBoundHint};
+use rrp_core::{CostSchedule, DrrpProblem, PlanningParams, ScenarioTree, SrrpProblem};
+use rrp_spotmarket::{CostRates, EmpiricalDist};
+
+fn hints_of(bounds: Vec<(usize, f64)>) -> Vec<UpperBoundHint> {
+    bounds
+        .into_iter()
+        .map(|(col, upper)| UpperBoundHint {
+            var: col,
+            upper,
+            why: "remaining demand / capacity".to_string(),
+        })
+        .collect()
+}
+
+#[test]
+fn drrp_report_is_stable() {
+    let schedule =
+        CostSchedule::ec2(vec![0.04, 0.08, 0.06], vec![0.5, 0.25, 0.75], &CostRates::ec2_2011());
+    let params = PlanningParams { capacity: Some(1.0), ..Default::default() };
+    let problem = DrrpProblem::new(schedule, params);
+    let (milp, _) = problem.to_milp();
+    let opts =
+        AuditOptions { hints: hints_of(problem.implied_alpha_bounds()), ..Default::default() };
+    let report = audit_milp_with(&milp, &opts);
+    assert_eq!(format!("{report}"), DRRP_GOLDEN, "report drifted:\n{report}");
+}
+
+#[test]
+fn srrp_report_is_stable() {
+    let d = EmpiricalDist::from_parts(vec![0.04, 0.12], vec![0.6, 0.4]);
+    let tree = ScenarioTree::from_stage_distributions(&vec![d; 3], 100_000);
+    let schedule =
+        CostSchedule::ec2(vec![0.06, 0.06, 0.06], vec![0.5, 0.25, 0.75], &CostRates::ec2_2011());
+    let params = PlanningParams { capacity: Some(1.0), ..Default::default() };
+    let problem = SrrpProblem::new(schedule, params, tree);
+    let milp = problem.to_milp();
+    let opts =
+        AuditOptions { hints: hints_of(problem.implied_alpha_bounds()), ..Default::default() };
+    let report = audit_milp_with(&milp, &opts);
+    assert_eq!(format!("{report}"), SRRP_GOLDEN, "report drifted:\n{report}");
+}
+
+#[test]
+fn infeasible_drrp_proof_is_stable() {
+    // capacity below every slot's demand: provably infeasible
+    let schedule =
+        CostSchedule::ec2(vec![0.04, 0.08, 0.06], vec![0.5, 0.25, 0.75], &CostRates::ec2_2011());
+    let params = PlanningParams { capacity: Some(0.1), ..Default::default() };
+    let problem = DrrpProblem::new(schedule, params);
+    let (milp, _) = problem.to_milp();
+    let opts =
+        AuditOptions { hints: hints_of(problem.implied_alpha_bounds()), ..Default::default() };
+    let report = audit_milp_with(&milp, &opts);
+    assert!(report.proven_infeasible());
+    assert_eq!(format!("{report}"), INFEASIBLE_GOLDEN, "proof drifted:\n{report}");
+}
+
+const DRRP_GOLDEN: &str = "\
+=== audit report ===
+status: no infeasibility detected
+bound tightenings: 7
+  row 0: 'alpha[0]' [0, 1] -> [0.5, 1]
+  row 0: 'beta[0]' [0, inf] -> [0, 0.5]
+  row 1: 'beta[1]' [0, inf] -> [0, 1.25]
+  row 2: 'beta[2]' [0, inf] -> [0, 1.5]
+  row 3: 'chi[0]' [0, 1] -> [0.5, 1]
+  row 5: 'alpha[2]' [0, 1] -> [0, 0.75]
+  row 2: 'beta[2]' [0, 1.5] -> [0, 1.25]
+parallel rows: 0
+dangling columns: 0
+big-M findings: 0
+numerics: 14 nonzeros, |a| in [7.500e-1, 1.000e0] (range 1.3e0)
+  1e-01..1e+00: 1
+  1e+00..1e+01: 13
+  worst row 5 range 1.3e0
+  worst col 0 range 1.0e0
+";
+
+const SRRP_GOLDEN: &str = "\
+=== audit report ===
+status: no infeasibility detected
+bound tightenings: 34
+  row 0: 'alpha[1]' [0, 1] -> [0.5, 1]
+  row 0: 'beta[1]' [0, inf] -> [0, 0.5]
+  row 1: 'chi[1]' [0, 1] -> [0.5, 1]
+  row 2: 'alpha[2]' [0, 1] -> [0.5, 1]
+  row 2: 'beta[2]' [0, inf] -> [0, 0.5]
+  row 3: 'chi[2]' [0, 1] -> [0.5, 1]
+  row 4: 'beta[3]' [0, inf] -> [0, 1.25]
+  row 6: 'beta[4]' [0, inf] -> [0, 1.25]
+  row 8: 'beta[5]' [0, inf] -> [0, 1.25]
+  row 10: 'beta[6]' [0, inf] -> [0, 1.25]
+  row 12: 'beta[7]' [0, inf] -> [0, 1.5]
+  row 13: 'alpha[7]' [0, 1] -> [0, 0.75]
+  row 14: 'beta[8]' [0, inf] -> [0, 1.5]
+  row 15: 'alpha[8]' [0, 1] -> [0, 0.75]
+  row 16: 'beta[9]' [0, inf] -> [0, 1.5]
+  row 17: 'alpha[9]' [0, 1] -> [0, 0.75]
+  row 18: 'beta[10]' [0, inf] -> [0, 1.5]
+  row 19: 'alpha[10]' [0, 1] -> [0, 0.75]
+  row 20: 'beta[11]' [0, inf] -> [0, 1.5]
+  row 21: 'alpha[11]' [0, 1] -> [0, 0.75]
+  row 22: 'beta[12]' [0, inf] -> [0, 1.5]
+  row 23: 'alpha[12]' [0, 1] -> [0, 0.75]
+  row 24: 'beta[13]' [0, inf] -> [0, 1.5]
+  row 25: 'alpha[13]' [0, 1] -> [0, 0.75]
+  row 26: 'beta[14]' [0, inf] -> [0, 1.5]
+  row 27: 'alpha[14]' [0, 1] -> [0, 0.75]
+  row 12: 'beta[7]' [0, 1.5] -> [0, 1.25]
+  row 14: 'beta[8]' [0, 1.5] -> [0, 1.25]
+  row 16: 'beta[9]' [0, 1.5] -> [0, 1.25]
+  row 18: 'beta[10]' [0, 1.5] -> [0, 1.25]
+  row 20: 'beta[11]' [0, 1.5] -> [0, 1.25]
+  row 22: 'beta[12]' [0, 1.5] -> [0, 1.25]
+  row 24: 'beta[13]' [0, 1.5] -> [0, 1.25]
+  row 26: 'beta[14]' [0, 1.5] -> [0, 1.25]
+parallel rows: 0
+dangling columns: 0
+big-M findings: 0
+numerics: 68 nonzeros, |a| in [7.500e-1, 1.000e0] (range 1.3e0)
+  1e-01..1e+00: 8
+  1e+00..1e+01: 60
+  worst row 13 range 1.3e0
+  worst col 0 range 1.0e0
+";
+
+const INFEASIBLE_GOLDEN: &str = "\
+=== audit report ===
+status: proven infeasible
+  proven infeasible at row 0: maximum activity 0.1 < rhs 0.5 on a Eq row
+    row 0: maximum activity 0.1 falls short of rhs 0.5 (Eq)
+bound tightenings: 0
+parallel rows: 0
+dangling columns: 0
+big-M findings: 0
+numerics: 14 nonzeros, |a| in [1.000e-1, 1.000e0] (range 1.0e1)
+  1e-01..1e+00: 3
+  1e+00..1e+01: 11
+  worst row 3 range 1.0e1
+  worst col 0 range 1.0e0
+";

@@ -1,0 +1,78 @@
+//! Soundness of the audit pass: on DRRP instances that are feasible by
+//! construction, the audit must never prove infeasibility, and applying its
+//! bound/big-M tightenings must not move the integer optimum.
+
+use proptest::prelude::*;
+use rrp_audit::{audit_milp_with, AuditOptions, UpperBoundHint};
+use rrp_core::{CostSchedule, DrrpProblem, PlanningParams};
+use rrp_milp::MilpOptions;
+use rrp_spotmarket::CostRates;
+
+#[derive(Debug, Clone)]
+struct Instance {
+    demand: Vec<f64>,
+    spot: Vec<f64>,
+    capacity: Option<f64>,
+}
+
+fn instance() -> impl Strategy<Value = Instance> {
+    (3usize..7, any::<u64>()).prop_map(|(horizon, seed)| {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let demand: Vec<f64> = (0..horizon).map(|_| rng.gen_range(0.1..1.0)).collect();
+        let spot: Vec<f64> = (0..horizon).map(|_| rng.gen_range(0.02..0.12)).collect();
+        // always at least the peak demand, so the instance stays feasible
+        let peak = demand.iter().fold(0.0f64, |m, &d| m.max(d));
+        let capacity = rng.gen_bool(0.5).then(|| peak + rng.gen_range(0.0..1.0));
+        Instance { demand, spot, capacity }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// No feasible instance may be flagged, and tightening preserves the
+    /// optimum.
+    #[test]
+    fn feasible_instances_are_never_rejected(inst in instance()) {
+        let inst: Instance = inst;
+        let schedule =
+            CostSchedule::ec2(inst.spot.clone(), inst.demand.clone(), &CostRates::ec2_2011());
+        let params = PlanningParams { capacity: inst.capacity, ..Default::default() };
+        let problem = DrrpProblem::new(schedule, params);
+        let (milp, _vars) = problem.to_milp();
+
+        let hints: Vec<UpperBoundHint> = problem
+            .implied_alpha_bounds()
+            .into_iter()
+            .map(|(col, upper)| UpperBoundHint {
+                var: col,
+                upper,
+                why: "remaining demand / capacity".to_string(),
+            })
+            .collect();
+        let opts = AuditOptions { hints, ..Default::default() };
+        let report = audit_milp_with(&milp, &opts);
+
+        prop_assert!(
+            !report.proven_infeasible(),
+            "audit rejected a feasible instance:\n{}", report
+        );
+
+        let base = milp.solve(&MilpOptions::default());
+        let mut strengthened = milp.clone();
+        report.apply(&mut strengthened);
+        let tightened = strengthened.solve(&MilpOptions::default());
+        match (base, tightened) {
+            (Ok(a), Ok(b)) => prop_assert!(
+                (a.objective - b.objective).abs() <= 1e-6 * (1.0 + a.objective.abs()),
+                "tightening moved the optimum: {} vs {}", a.objective, b.objective
+            ),
+            (a, b) => prop_assert!(
+                false,
+                "solve status diverged after tightening: {:?} vs {:?}",
+                a.map(|s| s.objective), b.map(|s| s.objective)
+            ),
+        }
+    }
+}

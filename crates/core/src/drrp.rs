@@ -139,6 +139,33 @@ impl DrrpProblem {
         (MilpProblem::new(m, integers), vars)
     }
 
+    /// Domain upper bounds on the `alpha[t]` columns of [`Self::to_milp`]:
+    /// no optimal plan generates beyond the demand it can still serve
+    /// (`Σ_{u ≥ t} D_u`), intersected with the capacity when modelled.
+    /// Returns `(column, bound)` pairs; callers can feed them to the
+    /// `rrp-audit` big-M check as [`UpperBoundHint`]s without this crate
+    /// depending on the audit pass.
+    ///
+    /// [`UpperBoundHint`]: https://docs.rs/rrp-audit
+    pub fn implied_alpha_bounds(&self) -> Vec<(usize, f64)> {
+        let s = &self.schedule;
+        let t_max = s.horizon();
+        let vars = DrrpVars { horizon: t_max };
+        let mut remaining = vec![0.0f64; t_max + 1];
+        for t in (0..t_max).rev() {
+            remaining[t] = remaining[t + 1] + s.demand[t];
+        }
+        (0..t_max)
+            .map(|t| {
+                let b = match self.params.capacity {
+                    Some(c) => remaining[t].min(c),
+                    None => remaining[t],
+                };
+                (vars.alpha(t), b)
+            })
+            .collect()
+    }
+
     /// Solve via branch & bound. Uses Wagner–Whitin automatically when the
     /// capacity constraint is absent ([`crate::wagner_whitin`] is exact and
     /// orders of magnitude faster); pass `force_milp` to bypass that.
@@ -263,7 +290,9 @@ mod tests {
     #[test]
     fn single_slot_must_rent() {
         let p = DrrpProblem::new(schedule(vec![0.2], vec![1.0]), PlanningParams::default());
-        let plan = p.solve_milp(&MilpOptions::default()).unwrap();
+        let plan = p
+            .solve_milp(&MilpOptions::default())
+            .expect("small DRRP test instance solves to optimality");
         assert_eq!(plan.chi, vec![true]);
         assert!((plan.alpha[0] - 1.0).abs() < 1e-6);
         assert!(plan.beta[0].abs() < 1e-6);
@@ -274,7 +303,9 @@ mod tests {
     fn expensive_compute_consolidates_production() {
         // Very expensive instance: produce everything in slot 0 and hold.
         let p = DrrpProblem::new(schedule(vec![10.0; 4], vec![0.5; 4]), PlanningParams::default());
-        let plan = p.solve_milp(&MilpOptions::default()).unwrap();
+        let plan = p
+            .solve_milp(&MilpOptions::default())
+            .expect("small DRRP test instance solves to optimality");
         let rentals = plan.chi.iter().filter(|&&c| c).count();
         assert_eq!(rentals, 1, "plan {:?}", plan.chi);
         assert!((plan.alpha[0] - 2.0).abs() < 1e-6);
@@ -287,7 +318,9 @@ mod tests {
         let mut s = schedule(vec![0.001; 4], vec![0.5; 4]);
         s.inventory = vec![100.0; 4];
         let p = DrrpProblem::new(s, PlanningParams::default());
-        let plan = p.solve_milp(&MilpOptions::default()).unwrap();
+        let plan = p
+            .solve_milp(&MilpOptions::default())
+            .expect("small DRRP test instance solves to optimality");
         assert_eq!(plan.chi, vec![true; 4]);
         for b in &plan.beta {
             assert!(b.abs() < 1e-6);
@@ -300,7 +333,9 @@ mod tests {
             schedule(vec![0.2; 3], vec![0.5; 3]),
             PlanningParams { initial_inventory: 1.0, capacity: None },
         );
-        let plan = p.solve_milp(&MilpOptions::default()).unwrap();
+        let plan = p
+            .solve_milp(&MilpOptions::default())
+            .expect("small DRRP test instance solves to optimality");
         // ε = 1.0 covers slots 0 and 1; only slot 2 requires production.
         assert!(!plan.chi[0] && !plan.chi[1] && plan.chi[2], "{:?}", plan.chi);
         assert!((plan.alpha[2] - 0.5).abs() < 1e-6);
@@ -312,7 +347,9 @@ mod tests {
             schedule(vec![5.0; 3], vec![1.0; 3]),
             PlanningParams { initial_inventory: 0.0, capacity: Some(1.5) },
         );
-        let plan = p.solve_milp(&MilpOptions::default()).unwrap();
+        let plan = p
+            .solve_milp(&MilpOptions::default())
+            .expect("small DRRP test instance solves to optimality");
         // total demand 3.0 but at most 1.5 per slot: at least 2 rentals
         let rentals = plan.chi.iter().filter(|&&c| c).count();
         assert!(rentals >= 2, "{:?}", plan.chi);
@@ -325,7 +362,9 @@ mod tests {
     #[test]
     fn objective_includes_transfer_out_constant() {
         let p = DrrpProblem::new(schedule(vec![0.2], vec![1.0]), PlanningParams::default());
-        let plan = p.solve_milp(&MilpOptions::default()).unwrap();
+        let plan = p
+            .solve_milp(&MilpOptions::default())
+            .expect("small DRRP test instance solves to optimality");
         // objective = cp + gen·1 + out·1 = 0.2 + 0.05 + 0.17
         assert!((plan.objective - 0.42).abs() < 1e-6, "{}", plan.objective);
         assert!((plan.breakdown.transfer_out - 0.17).abs() < 1e-12);
@@ -337,8 +376,10 @@ mod tests {
             schedule(vec![0.4, 0.3, 0.5, 0.2], vec![0.3, 0.7, 0.2, 0.9]),
             PlanningParams::default(),
         );
-        let ww = p.solve().unwrap();
-        let milp = p.solve_milp(&MilpOptions::default()).unwrap();
+        let ww = p.solve().expect("uncapacitated instance solves via Wagner-Whitin");
+        let milp = p
+            .solve_milp(&MilpOptions::default())
+            .expect("small DRRP test instance solves to optimality");
         assert!(
             (ww.objective - milp.objective).abs() < 1e-6,
             "ww {} vs milp {}",
@@ -350,7 +391,9 @@ mod tests {
     #[test]
     fn zero_demand_rents_nothing() {
         let p = DrrpProblem::new(schedule(vec![0.2; 5], vec![0.0; 5]), PlanningParams::default());
-        let plan = p.solve_milp(&MilpOptions::default()).unwrap();
+        let plan = p
+            .solve_milp(&MilpOptions::default())
+            .expect("small DRRP test instance solves to optimality");
         assert_eq!(plan.chi, vec![false; 5]);
         assert!(plan.objective.abs() < 1e-9);
     }

@@ -305,21 +305,23 @@ fn descend(
 ) -> (f64, bool, usize) {
     let children = tree.children(v);
     assert!(!children.is_empty(), "descended past a leaf");
-    let chosen = if realized > bid {
-        *children
-            .iter()
-            .max_by(|&&a, &&b| tree.node(a).price.partial_cmp(&tree.node(b).price).unwrap())
-            .unwrap()
+    let mut chosen = children[0];
+    if realized > bid {
+        // highest-price child; ties keep the last, like Iterator::max_by
+        for &c in &children[1..] {
+            if tree.node(c).price >= tree.node(chosen).price {
+                chosen = c;
+            }
+        }
     } else {
-        *children
-            .iter()
-            .min_by(|&&a, &&b| {
-                let da = (tree.node(a).price - realized).abs();
-                let db = (tree.node(b).price - realized).abs();
-                da.partial_cmp(&db).unwrap()
-            })
-            .unwrap()
-    };
+        // child closest to the realised price; ties keep the first
+        for &c in &children[1..] {
+            let dc = (tree.node(c).price - realized).abs();
+            if dc < (tree.node(chosen).price - realized).abs() {
+                chosen = c;
+            }
+        }
+    }
     (plan.alpha[chosen], plan.chi[chosen], chosen)
 }
 

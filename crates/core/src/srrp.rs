@@ -202,6 +202,38 @@ impl SrrpProblem {
         MilpProblem::new(m, integers)
     }
 
+    /// Domain upper bounds on the `alpha[v]` columns of [`Self::to_milp`]:
+    /// the per-stage maximum of the remaining demand (valid on every path),
+    /// intersected with the capacity when modelled. Returns
+    /// `(column, bound)` pairs for the `rrp-audit` big-M check, mirroring
+    /// [`crate::drrp::DrrpProblem::implied_alpha_bounds`].
+    pub fn implied_alpha_bounds(&self) -> Vec<(usize, f64)> {
+        let tree = &self.tree;
+        let n = tree.len();
+        let t_max = self.schedule.horizon();
+        let mut stage_max = vec![0.0f64; t_max];
+        for v in 1..n {
+            let node = tree.node(v);
+            let d = self.demand_at(v);
+            let e = &mut stage_max[node.stage - 1];
+            *e = e.max(d);
+        }
+        let mut remaining = vec![0.0f64; t_max + 2];
+        for t in (1..=t_max).rev() {
+            remaining[t] = remaining[t + 1] + stage_max[t - 1];
+        }
+        (1..n)
+            .map(|v| {
+                let t = tree.node(v).stage;
+                let b = match self.params.capacity {
+                    Some(c) => remaining[t].min(c),
+                    None => remaining[t],
+                };
+                (v - 1, b) // alpha column of vertex v
+            })
+            .collect()
+    }
+
     /// Solve the deterministic equivalent by branch & bound. Uncapacitated
     /// instances (the paper's evaluation setting) go through the
     /// facility-location reformulation, whose LP relaxation is near
@@ -510,21 +542,22 @@ impl SrrpPlan {
     ) -> (f64, bool, usize) {
         let stage1 = tree.children(0);
         assert!(!stage1.is_empty(), "tree has no decision stage");
-        let v = if realized > bid {
-            *stage1
-                .iter()
-                .max_by(|&&a, &&b| tree.node(a).price.partial_cmp(&tree.node(b).price).unwrap())
-                .unwrap()
+        // manual scans instead of max_by/min_by: no Option to unwrap and no
+        // partial_cmp to trip over, ties keep the lowest vertex index
+        let mut v = stage1[0];
+        if realized > bid {
+            for &k in &stage1[1..] {
+                if tree.node(k).price > tree.node(v).price {
+                    v = k;
+                }
+            }
         } else {
-            *stage1
-                .iter()
-                .min_by(|&&a, &&b| {
-                    let da = (tree.node(a).price - realized).abs();
-                    let db = (tree.node(b).price - realized).abs();
-                    da.partial_cmp(&db).unwrap()
-                })
-                .unwrap()
-        };
+            for &k in &stage1[1..] {
+                if (tree.node(k).price - realized).abs() < (tree.node(v).price - realized).abs() {
+                    v = k;
+                }
+            }
+        }
         (self.alpha[v], self.chi[v], v)
     }
 
@@ -586,12 +619,14 @@ mod tests {
         let s = schedule(t, 0.4);
         let tr = tree(t, &[0.06], &[1.0]);
         let srrp = SrrpProblem::new(s.clone(), PlanningParams::default(), tr);
-        let plan = srrp.solve_milp(&MilpOptions::default()).unwrap();
+        let plan = srrp
+            .solve_milp(&MilpOptions::default())
+            .expect("small SRRP test instance solves to optimality");
 
         let mut ds = s.clone();
         ds.compute = vec![0.06; t];
         let drrp = crate::drrp::DrrpProblem::new(ds, PlanningParams::default());
-        let dplan = drrp.solve().unwrap();
+        let dplan = drrp.solve().expect("uncapacitated instance solves via Wagner-Whitin");
         assert!(
             (plan.expected_cost - dplan.objective).abs() < 1e-6,
             "srrp {} vs drrp {}",
@@ -610,7 +645,9 @@ mod tests {
         let s = schedule(t, 0.5);
         let tr = tree(t, &[0.05, 0.20], &[0.5, 0.5]);
         let srrp = SrrpProblem::new(s.clone(), PlanningParams::default(), tr);
-        let plan = srrp.solve_milp(&MilpOptions::default()).unwrap();
+        let plan = srrp
+            .solve_milp(&MilpOptions::default())
+            .expect("small SRRP test instance solves to optimality");
         assert!(srrp.is_feasible(&plan, 1e-6));
         // expected compute price is 0.125/slot; naive rent-every-slot is
         // 3·0.125 + gen + out; SRRP must not exceed it
@@ -630,7 +667,9 @@ mod tests {
         let s = schedule(t, 0.6);
         let tr = tree(t, &[0.04, 0.15], &[0.7, 0.3]);
         let srrp = SrrpProblem::new(s.clone(), PlanningParams::default(), tr.clone());
-        let plan = srrp.solve_milp(&MilpOptions::default()).unwrap();
+        let plan = srrp
+            .solve_milp(&MilpOptions::default())
+            .expect("small SRRP test instance solves to optimality");
 
         // brute force: enumerate rental patterns; given χ, greedy: any
         // vertex with χ=1 produces as late as possible → LP would be needed
@@ -667,7 +706,9 @@ mod tests {
         // states: two spot prices + the on-demand λ = 0.20 out-of-bid state
         let tr = tree(t, &[0.05, 0.06, 0.20], &[0.4, 0.4, 0.2]);
         let srrp = SrrpProblem::new(s, PlanningParams::default(), tr.clone());
-        let plan = srrp.solve_milp(&MilpOptions::default()).unwrap();
+        let plan = srrp
+            .solve_milp(&MilpOptions::default())
+            .expect("small SRRP test instance solves to optimality");
         // realised above bid → the λ vertex
         let (_, _, v) = plan.stage1_decision(&tr, 0.09, 0.06);
         assert_eq!(tr.node(v).price, 0.20);
@@ -693,8 +734,12 @@ mod tests {
             let tr = tree(t, &[lo, hi], &[p, 1.0 - p]);
             let params = PlanningParams { initial_inventory: eps, capacity: None };
             let srrp = SrrpProblem::new(s, params, tr);
-            let fl = srrp.solve_milp_fl(&MilpOptions::default()).unwrap();
-            let bigm = srrp.solve_milp_bigm(&MilpOptions::default()).unwrap();
+            let fl = srrp
+                .solve_milp_fl(&MilpOptions::default())
+                .expect("FL reformulation solves the uncapacitated instance");
+            let bigm = srrp
+                .solve_milp_bigm(&MilpOptions::default())
+                .expect("big-M formulation solves the same instance");
             assert!(
                 (fl.expected_cost - bigm.expected_cost).abs()
                     <= 1e-6 * (1.0 + fl.expected_cost.abs()),
@@ -715,7 +760,9 @@ mod tests {
             ScenarioTree::from_joint_stage_states(&[vec![(0.05, 0.4, 0.5), (0.05, 1.0, 0.5)]], 100);
         let s = schedule(1, 999.0); // schedule demand must be overridden per vertex
         let srrp = SrrpProblem::new(s.clone(), PlanningParams::default(), tr);
-        let plan = srrp.solve_milp(&MilpOptions::default()).unwrap();
+        let plan = srrp
+            .solve_milp(&MilpOptions::default())
+            .expect("small SRRP test instance solves to optimality");
         assert!(srrp.is_feasible(&plan, 1e-6));
         let e_d = 0.7;
         let expect = 0.05 + s.gen[0] * e_d + s.out[0] * e_d;
@@ -740,10 +787,10 @@ mod tests {
         let plain = tree(t, &[0.04, 0.15], &[0.7, 0.3]);
         let a = SrrpProblem::new(s.clone(), PlanningParams::default(), joint)
             .solve_milp(&MilpOptions::default())
-            .unwrap();
+            .expect("joint-demand SRRP instance solves to optimality");
         let b = SrrpProblem::new(s, PlanningParams::default(), plain)
             .solve_milp(&MilpOptions::default())
-            .unwrap();
+            .expect("plain SRRP instance solves to optimality");
         assert!(
             (a.expected_cost - b.expected_cost).abs() < 1e-6,
             "joint {} vs plain {}",
@@ -765,11 +812,11 @@ mod tests {
         let s_mean = schedule(t, 0.6);
         let stoch = SrrpProblem::new(s_mean.clone(), PlanningParams::default(), joint)
             .solve_milp(&MilpOptions::default())
-            .unwrap();
+            .expect("stochastic-demand SRRP instance solves to optimality");
         let det_tree = tree(t, &[0.06], &[1.0]);
         let det = SrrpProblem::new(s_mean, PlanningParams::default(), det_tree)
             .solve_milp(&MilpOptions::default())
-            .unwrap();
+            .expect("mean-demand SRRP instance solves to optimality");
         assert!(
             stoch.expected_cost >= det.expected_cost - 1e-7,
             "stochastic-demand cost {} below mean-demand cost {}",
@@ -785,7 +832,9 @@ mod tests {
         let tr = tree(t, &[0.05, 0.10], &[0.5, 0.5]);
         let srrp =
             SrrpProblem::new(s, PlanningParams { initial_inventory: 0.0, capacity: Some(1.2) }, tr);
-        let plan = srrp.solve_milp(&MilpOptions::default()).unwrap();
+        let plan = srrp
+            .solve_milp(&MilpOptions::default())
+            .expect("small SRRP test instance solves to optimality");
         for v in 1..plan.alpha.len() {
             assert!(plan.alpha[v] <= 1.2 + 1e-6);
         }

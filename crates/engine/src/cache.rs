@@ -66,11 +66,11 @@ impl PlanCache {
     /// Hits over total lookups; 0 when nothing has been looked up yet.
     pub fn hit_rate(&self) -> f64 {
         let h = self.hits() as f64;
-        let m = self.misses() as f64;
-        if h + m == 0.0 {
-            0.0
+        let total = h + self.misses() as f64;
+        if total > 0.0 {
+            h / total
         } else {
-            h / (h + m)
+            0.0
         }
     }
 }

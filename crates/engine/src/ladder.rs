@@ -6,13 +6,35 @@
 
 use std::time::Instant;
 
+use rrp_core::drrp::DrrpVars;
 use rrp_core::{on_demand_plan, wagner_whitin, DrrpProblem, PlanOutcome, RentalPlan, SrrpProblem};
-use rrp_milp::{MilpOptions, SolveBudget};
+use rrp_milp::{MilpOptions, MilpProblem, SolveBudget, SolveStatus};
 
 use crate::request::{DegradationLevel, PlanRequest, RungOutcome, TraceEntry};
 
 /// Feasibility tolerance for committed plans.
 const FEAS_TOL: f64 = 1e-6;
+
+/// A DRRP MILP built (and possibly strengthened) ahead of the ladder run —
+/// the audit gate constructs the instance to prove feasibility, applies its
+/// bound/big-M tightenings, and hands it here so the Deterministic rung
+/// solves the strengthened model instead of rebuilding from scratch.
+#[derive(Debug, Clone)]
+pub struct PreparedDrrp {
+    pub problem: DrrpProblem,
+    pub milp: MilpProblem,
+    pub vars: DrrpVars,
+}
+
+impl PreparedDrrp {
+    /// Build (unstrengthened) from a request. The audit gate calls this,
+    /// then mutates `milp` with its tightenings.
+    pub fn from_request(req: &PlanRequest) -> Self {
+        let problem = DrrpProblem::new(req.schedule.clone(), req.params);
+        let (milp, vars) = problem.to_milp();
+        Self { problem, milp, vars }
+    }
+}
 
 /// Outcome of the full ladder run.
 #[derive(Debug, Clone)]
@@ -36,6 +58,17 @@ enum Attempt {
 /// inside branch & bound; the DP and on-demand rungs are O(T²)/O(T) and
 /// run unconditionally, so a feasible plan always comes back.
 pub fn run_ladder(req: &PlanRequest, opts: &MilpOptions, budget: &SolveBudget) -> LadderResult {
+    run_ladder_prepared(req, opts, budget, None)
+}
+
+/// [`run_ladder`] with an optional pre-built (audit-strengthened) DRRP
+/// instance for the Deterministic rung.
+pub fn run_ladder_prepared(
+    req: &PlanRequest,
+    opts: &MilpOptions,
+    budget: &SolveBudget,
+    prepared: Option<&PreparedDrrp>,
+) -> LadderResult {
     let start_level = req.policy.start_level();
     let mut trace = Vec::new();
     for level in DegradationLevel::ALL {
@@ -43,7 +76,7 @@ pub fn run_ladder(req: &PlanRequest, opts: &MilpOptions, budget: &SolveBudget) -
             continue;
         }
         let t0 = Instant::now();
-        let attempt = attempt_level(req, level, opts, budget);
+        let attempt = attempt_level(req, level, opts, budget, prepared);
         let elapsed = t0.elapsed();
         match attempt {
             Attempt::Answer(plan, outcome) => {
@@ -64,6 +97,7 @@ fn attempt_level(
     level: DegradationLevel,
     opts: &MilpOptions,
     budget: &SolveBudget,
+    prepared: Option<&PreparedDrrp>,
 ) -> Attempt {
     match level {
         DegradationLevel::Full => {
@@ -75,6 +109,25 @@ fn attempt_level(
             commit_srrp(&srrp, req, outcome)
         }
         DegradationLevel::Deterministic => {
+            // reuse the audit gate's (strengthened) instance when present
+            if let Some(prep) = prepared {
+                return match prep.milp.solve_budgeted(opts, budget) {
+                    SolveStatus::Optimal(sol) => Attempt::Answer(
+                        prep.problem.extract(&sol.values, &prep.vars),
+                        RungOutcome::Solved,
+                    ),
+                    SolveStatus::Terminated { best_incumbent: Some(sol), reason, .. } => {
+                        Attempt::Answer(
+                            prep.problem.extract(&sol.values, &prep.vars),
+                            RungOutcome::Incumbent(reason),
+                        )
+                    }
+                    SolveStatus::Terminated { best_incumbent: None, reason, .. } => {
+                        Attempt::Miss(RungOutcome::Exhausted(reason))
+                    }
+                    SolveStatus::Failed(e) => Attempt::Miss(RungOutcome::Failed(format!("{e:?}"))),
+                };
+            }
             let drrp = DrrpProblem::new(req.schedule.clone(), req.params);
             match drrp.solve_milp_budgeted(opts, budget) {
                 PlanOutcome::Optimal(plan) => Attempt::Answer(plan, RungOutcome::Solved),

@@ -16,8 +16,15 @@
 //! * **Warm-start caching** ([`cache`]) — answers are keyed by a canonical
 //!   problem fingerprint (schedule + demand + tree shape); identical
 //!   problems, even from different tenants, hit.
+//! * **Pre-solve audit gate** — every cache-missing request's DRRP
+//!   instance runs through the [`rrp_audit`] static analysis first:
+//!   provably infeasible requests are *rejected* with an
+//!   [`InfeasibilityProof`] (no branch & bound, no worker panic), and the
+//!   audit's bound/big-M tightenings strengthen the instance the
+//!   Deterministic rung solves.
 //! * **Metrics** ([`metrics`]) — per-level counts, queue depth, cache hit
-//!   rate, p50/p99 latency as a serialisable snapshot.
+//!   rate, audit/rejection counts, p50/p99 latency as a serialisable
+//!   snapshot.
 //!
 //! ```
 //! use std::time::Duration;
@@ -35,7 +42,7 @@
 //!     .submit(PlanRequest {
 //!         app_id: "tenant-a".into(),
 //!         vm_class: "m1.small".into(),
-//!         schedule,
+//!         schedule: schedule.clone(),
 //!         params: PlanningParams::default(),
 //!         tree: None,
 //!         policy: PolicyKind::Deterministic,
@@ -44,6 +51,8 @@
 //!     })
 //!     .wait();
 //! assert!(resp.deadline_met);
+//! assert!(resp.rejection.is_none(), "feasible request must not be rejected");
+//! assert!(resp.expect_plan().is_feasible(&schedule, &PlanningParams::default(), 1e-6));
 //! ```
 
 pub mod cache;
@@ -53,9 +62,10 @@ pub mod request;
 pub mod service;
 
 pub use cache::{CacheEntry, PlanCache};
-pub use ladder::{run_ladder, LadderResult};
+pub use ladder::{run_ladder, run_ladder_prepared, LadderResult, PreparedDrrp};
 pub use metrics::MetricsSnapshot;
 pub use request::{
     DegradationLevel, PlanRequest, PlanResponse, PolicyKind, RungOutcome, TraceEntry,
 };
+pub use rrp_audit::InfeasibilityProof;
 pub use service::{Engine, Ticket};

@@ -29,6 +29,11 @@ pub struct MetricsSnapshot {
     pub level_on_demand_only: u64,
     /// Responses whose latency exceeded the request deadline.
     pub deadline_misses: u64,
+    /// Pre-solve audit-gate runs (one per cache-missing request).
+    pub audits: u64,
+    /// Requests rejected by the audit gate with a static infeasibility
+    /// proof (counted in `completed`, but in no ladder level).
+    pub audit_rejections: u64,
     pub p50_latency_ms: f64,
     pub p99_latency_ms: f64,
 }
@@ -41,6 +46,8 @@ pub(crate) struct Metrics {
     queue_depth: AtomicUsize,
     level_counts: [AtomicU64; 4],
     deadline_misses: AtomicU64,
+    audits: AtomicU64,
+    audit_rejections: AtomicU64,
     latencies: Mutex<Vec<Duration>>,
 }
 
@@ -55,8 +62,25 @@ impl Metrics {
 
     pub fn record(&self, level: DegradationLevel, latency: Duration, deadline_met: bool) {
         self.completed.fetch_add(1, Ordering::Relaxed);
-        let idx = DegradationLevel::ALL.iter().position(|&l| l == level).unwrap();
+        let idx = level_index(level);
         self.level_counts[idx].fetch_add(1, Ordering::Relaxed);
+        if !deadline_met {
+            self.deadline_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        self.latencies.lock().push(latency);
+    }
+
+    /// One pre-solve audit-gate run.
+    pub fn record_audit(&self) {
+        self.audits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request the audit gate rejected as provably infeasible: the
+    /// response counts as completed, but no ladder level served it (the
+    /// snapshot invariant is `Σ level_* == completed − audit_rejections`).
+    pub fn record_rejection(&self, latency: Duration, deadline_met: bool) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.audit_rejections.fetch_add(1, Ordering::Relaxed);
         if !deadline_met {
             self.deadline_misses.fetch_add(1, Ordering::Relaxed);
         }
@@ -68,7 +92,7 @@ impl Metrics {
             let lats = self.latencies.lock();
             let mut ms: Vec<f64> = lats.iter().map(|d| d.as_secs_f64() * 1e3).collect();
             drop(lats);
-            ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            ms.sort_by(f64::total_cmp);
             (percentile(&ms, 0.50), percentile(&ms, 0.99))
         };
         MetricsSnapshot {
@@ -82,9 +106,22 @@ impl Metrics {
             level_dynamic_program: self.level_counts[2].load(Ordering::Relaxed),
             level_on_demand_only: self.level_counts[3].load(Ordering::Relaxed),
             deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
+            audits: self.audits.load(Ordering::Relaxed),
+            audit_rejections: self.audit_rejections.load(Ordering::Relaxed),
             p50_latency_ms: p50,
             p99_latency_ms: p99,
         }
+    }
+}
+
+/// Index of a level in `level_counts` (the order of
+/// [`DegradationLevel::ALL`]); a total match, so no lookup can fail.
+fn level_index(level: DegradationLevel) -> usize {
+    match level {
+        DegradationLevel::Full => 0,
+        DegradationLevel::Deterministic => 1,
+        DegradationLevel::DynamicProgram => 2,
+        DegradationLevel::OnDemandOnly => 3,
     }
 }
 
@@ -121,8 +158,28 @@ mod tests {
         assert_eq!(snap.level_full, 1);
         assert_eq!(snap.level_on_demand_only, 1);
         assert_eq!(snap.deadline_misses, 1);
-        let json = serde_json::to_string(&snap).unwrap();
+        let json = serde_json::to_string(&snap).expect("snapshot serialises");
         assert!(json.contains("\"completed\""), "json: {json}");
         assert!(json.contains("\"p99_latency_ms\""), "json: {json}");
+        assert!(json.contains("\"audit_rejections\""), "json: {json}");
+    }
+
+    #[test]
+    fn rejections_complete_without_a_level() {
+        let m = Metrics::default();
+        let cache = PlanCache::new();
+        m.record_audit();
+        m.record(DegradationLevel::Deterministic, Duration::from_millis(2), true);
+        m.record_audit();
+        m.record_rejection(Duration::from_micros(40), true);
+        let snap = m.snapshot(&cache);
+        assert_eq!(snap.audits, 2);
+        assert_eq!(snap.audit_rejections, 1);
+        assert_eq!(snap.completed, 2);
+        let levels = snap.level_full
+            + snap.level_deterministic
+            + snap.level_dynamic_program
+            + snap.level_on_demand_only;
+        assert_eq!(levels, snap.completed - snap.audit_rejections);
     }
 }

@@ -2,6 +2,7 @@
 
 use std::time::Duration;
 
+use rrp_audit::InfeasibilityProof;
 use rrp_core::fingerprint::Fnv64;
 use rrp_core::{fingerprint_instance, CostSchedule, PlanningParams, RentalPlan, ScenarioTree};
 use rrp_milp::StopReason;
@@ -141,19 +142,41 @@ pub struct TraceEntry {
     pub elapsed: Duration,
 }
 
-/// The service's answer: always a demand-feasible [`RentalPlan`], plus
-/// where on the ladder it came from and how the solve went.
+/// The service's answer: a demand-feasible [`RentalPlan`] plus where on
+/// the ladder it came from — or, when the pre-solve audit gate statically
+/// proved the instance infeasible, `plan: None` with the
+/// [`InfeasibilityProof`] in `rejection`. Exactly one of `plan` and
+/// `rejection` is `Some`.
 #[derive(Debug, Clone)]
 pub struct PlanResponse {
     pub app_id: String,
     /// Cache key the request hashed to.
     pub fingerprint: u64,
-    pub plan: RentalPlan,
+    /// The plan; `None` when the request was rejected by the audit gate.
+    pub plan: Option<RentalPlan>,
+    /// Static infeasibility proof when the audit gate rejected the
+    /// request (no solve was attempted).
+    pub rejection: Option<InfeasibilityProof>,
+    /// Ladder rung the answer came from; for a rejected request this is
+    /// the rung the request *would* have started at.
     pub degradation: DegradationLevel,
-    /// Per-rung solve trace (empty on a cache hit).
+    /// Per-rung solve trace (empty on a cache hit or a rejection).
     pub trace: Vec<TraceEntry>,
     pub cache_hit: bool,
     /// Wall-clock time from worker pickup to response.
     pub latency: Duration,
     pub deadline_met: bool,
+}
+
+impl PlanResponse {
+    /// The plan, panicking with the audit proof when the request was
+    /// rejected — the ergonomic accessor for callers that know their
+    /// instance is feasible.
+    pub fn expect_plan(&self) -> &RentalPlan {
+        match (&self.plan, &self.rejection) {
+            (Some(p), _) => p,
+            (None, Some(proof)) => panic!("request was rejected as infeasible: {proof}"),
+            (None, None) => panic!("response carries neither plan nor rejection"),
+        }
+    }
 }

@@ -8,10 +8,11 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use rrp_audit::{audit_milp_with, AuditOptions, UpperBoundHint};
 use rrp_milp::{MilpOptions, SolveBudget};
 
 use crate::cache::{CacheEntry, PlanCache};
-use crate::ladder::run_ladder;
+use crate::ladder::{run_ladder_prepared, PreparedDrrp};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::request::{PlanRequest, PlanResponse};
 
@@ -33,9 +34,10 @@ pub struct Ticket {
 }
 
 impl Ticket {
-    /// Block until the response arrives. Panics if the worker processing
-    /// the request panicked (e.g. a malformed or infeasible instance) —
-    /// the panic message is on that worker's stderr.
+    /// Block until the response arrives. Provably infeasible requests come
+    /// back as audit rejections (`plan: None`), not panics; this only
+    /// panics if the worker itself panicked (e.g. a malformed schedule
+    /// failing validation) — the panic message is on that worker's stderr.
     pub fn wait(self) -> PlanResponse {
         self.rx.recv().expect("planning worker dropped the request (it panicked — see stderr)")
     }
@@ -138,7 +140,8 @@ fn process(shared: &Shared, job: Job) {
         let _ = reply.send(PlanResponse {
             app_id: req.app_id,
             fingerprint: key,
-            plan: entry.plan,
+            plan: Some(entry.plan),
+            rejection: None,
             degradation: entry.degradation,
             trace: Vec::new(),
             cache_hit: true,
@@ -148,9 +151,50 @@ fn process(shared: &Shared, job: Job) {
         return;
     }
 
+    // Pre-solve audit gate. Every ladder answer must satisfy the schedule's
+    // demand balance under the capacity, which is exactly the DRRP
+    // constraint system — so the gate audits the DRRP instance regardless
+    // of the requested policy. A provably infeasible request is rejected
+    // for the cost of a propagation pass (no branch & bound, no panic on
+    // the on-demand floor); otherwise the audit's bound/big-M tightenings
+    // are kept and the strengthened instance feeds the Deterministic rung.
+    let mut prepared = PreparedDrrp::from_request(&req);
+    let hints: Vec<UpperBoundHint> = prepared
+        .problem
+        .implied_alpha_bounds()
+        .into_iter()
+        .map(|(col, upper)| UpperBoundHint {
+            var: col,
+            upper,
+            why: "remaining demand / capacity".to_string(),
+        })
+        .collect();
+    let audit_opts =
+        AuditOptions { hints, structure: false, numerics: false, ..Default::default() };
+    let audit = audit_milp_with(&prepared.milp, &audit_opts);
+    shared.metrics.record_audit();
+    if let Some(proof) = audit.infeasibility {
+        let latency = start.elapsed();
+        let deadline_met = latency <= req.deadline;
+        shared.metrics.record_rejection(latency, deadline_met);
+        let _ = reply.send(PlanResponse {
+            app_id: req.app_id,
+            fingerprint: key,
+            plan: None,
+            rejection: Some(proof),
+            degradation: req.policy.start_level(),
+            trace: Vec::new(),
+            cache_hit: false,
+            latency,
+            deadline_met,
+        });
+        return;
+    }
+    audit.apply(&mut prepared.milp);
+
     let budget =
         SolveBudget::with_deadline(start + req.deadline).and_node_limit(shared.opts.node_limit);
-    let result = run_ladder(&req, &shared.opts, &budget);
+    let result = run_ladder_prepared(&req, &shared.opts, &budget, Some(&prepared));
     if result.fully_solved {
         shared
             .cache
@@ -162,7 +206,8 @@ fn process(shared: &Shared, job: Job) {
     let _ = reply.send(PlanResponse {
         app_id: req.app_id,
         fingerprint: key,
-        plan: result.plan,
+        plan: Some(result.plan),
+        rejection: None,
         degradation: result.level,
         trace: result.trace,
         cache_hit: false,

@@ -38,7 +38,7 @@ pub mod simplex;
 pub mod solution;
 
 pub use model::{Cmp, Model, Sense, StandardLp, VarId};
-pub use presolve::{presolve, PresolveOutcome, Presolved};
+pub use presolve::{presolve, InfeasibleRow, PresolveOutcome, Presolved};
 pub use solution::{Solution, Status};
 
 /// Feasibility tolerance used throughout the solver.
@@ -47,3 +47,7 @@ pub const FEAS_TOL: f64 = 1e-7;
 pub const OPT_TOL: f64 = 1e-9;
 /// Pivot magnitude below which a candidate pivot is rejected as unstable.
 pub const PIVOT_TOL: f64 = 1e-10;
+/// Tolerance for comparing variable bounds (crossing detection and
+/// tightening). Shared by [`presolve`] and the `rrp-audit` static analysis
+/// pass so the two agree on what counts as proven infeasibility.
+pub const BOUND_TOL: f64 = 1e-9;

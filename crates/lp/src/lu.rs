@@ -108,7 +108,9 @@ impl LuFactors {
                         off += 1;
                         if !marked[child] {
                             marked[child] = true;
-                            dfs_stack.last_mut().unwrap().1 = off;
+                            if let Some(frame) = dfs_stack.last_mut() {
+                                frame.1 = off;
+                            }
                             dfs_stack.push((child, 0));
                             descended = true;
                             break;

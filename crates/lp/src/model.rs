@@ -110,6 +110,20 @@ impl Model {
         self.vars[v].upper = upper;
     }
 
+    /// Replace the coefficient of `v` in constraint `row` (used by the
+    /// audit pass to tighten loose big-M forcing coefficients). The variable
+    /// must already appear in the row — silently adding terms would change
+    /// the model's sparsity pattern behind the builder's back.
+    pub fn set_con_coeff(&mut self, row: usize, v: VarId, coeff: f64) {
+        assert!(coeff.is_finite());
+        let con = &mut self.cons[row];
+        let pos = con.terms.iter().position(|&(var, _)| var == v);
+        assert!(pos.is_some(), "set_con_coeff: variable {v} not in constraint {row}");
+        if let Some(p) = pos {
+            con.terms[p].1 = coeff;
+        }
+    }
+
     /// Convert to the computational form `min cᵀx, Ax = b, l ≤ x ≤ u`.
     ///
     /// One slack column is appended per row: `Σ a·x + s = rhs` with slack

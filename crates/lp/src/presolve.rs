@@ -15,7 +15,7 @@
 //! free or folded into bound multipliers, which the reduced solve reports
 //! as reduced costs).
 
-use crate::model::{Cmp, Model};
+use crate::model::{Cmp, Model, VarId};
 use crate::solution::{Solution, Status};
 
 /// Outcome of presolving.
@@ -23,8 +23,26 @@ use crate::solution::{Solution, Status};
 pub enum PresolveOutcome {
     /// The model was reduced (possibly to nothing).
     Reduced(Presolved),
-    /// Presolve proved infeasibility outright.
-    Infeasible,
+    /// Presolve proved infeasibility outright; the proof names the row (and
+    /// variable, for crossing bounds) that established it.
+    Infeasible(InfeasibleRow),
+}
+
+/// Which reduction proved infeasibility, and where.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InfeasibleRow {
+    /// Original index of the constraint that proved infeasibility.
+    pub row: usize,
+    /// The variable whose bounds crossed (singleton-row reductions only).
+    pub var: Option<VarId>,
+    /// Human-readable explanation of the proof.
+    pub reason: String,
+}
+
+impl std::fmt::Display for InfeasibleRow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "row {}: {}", self.row, self.reason)
+    }
 }
 
 /// A reduced model plus the mapping back to the original space.
@@ -46,7 +64,9 @@ pub struct Presolved {
 
 /// Run the reductions on `model`.
 pub fn presolve(model: &Model) -> PresolveOutcome {
-    const TOL: f64 = 1e-9;
+    // The same bound-comparison tolerance as the rrp-audit propagation pass,
+    // so presolve and audit agree on what counts as a crossing bound.
+    const TOL: f64 = crate::BOUND_TOL;
     let n = model.num_vars();
     let m_rows = model.num_cons();
 
@@ -69,7 +89,7 @@ pub fn presolve(model: &Model) -> PresolveOutcome {
     while changed {
         changed = false;
         // singleton + empty rows
-        for slot in rows.iter_mut() {
+        for (row_idx, slot) in rows.iter_mut().enumerate() {
             let Some((terms, cmp, rhs)) = slot.as_mut() else { continue };
             // drop terms on variables already squeezed to a point
             // (treat as fixed at that point)
@@ -95,14 +115,21 @@ pub fn presolve(model: &Model) -> PresolveOutcome {
                         Cmp::Eq => rhs_eff.abs() <= TOL,
                     };
                     if !ok {
-                        return PresolveOutcome::Infeasible;
+                        return PresolveOutcome::Infeasible(InfeasibleRow {
+                            row: row_idx,
+                            var: None,
+                            reason: format!(
+                                "row reduced to empty but requires {cmp:?} {rhs_eff} \
+                                 after substituting fixed variables"
+                            ),
+                        });
                     }
                     *slot = None;
                     changed = true;
                 }
                 1 => {
                     let (j, c) = terms[0];
-                    debug_assert!(c != 0.0);
+                    debug_assert!(c.abs() > 0.0);
                     let bound = rhs_eff / c;
                     let (new_l, new_u) = match (cmp, c > 0.0) {
                         (Cmp::Le, true) | (Cmp::Ge, false) => (f64::NEG_INFINITY, bound),
@@ -116,7 +143,17 @@ pub fn presolve(model: &Model) -> PresolveOutcome {
                         upper[j] = new_u;
                     }
                     if lower[j] > upper[j] + TOL {
-                        return PresolveOutcome::Infeasible;
+                        return PresolveOutcome::Infeasible(InfeasibleRow {
+                            row: row_idx,
+                            var: Some(j),
+                            reason: format!(
+                                "singleton row tightened '{}' to crossing bounds \
+                                 [{}, {}]",
+                                model.var_name(j),
+                                lower[j],
+                                upper[j]
+                            ),
+                        });
                     }
                     // snap tiny crossings
                     if lower[j] > upper[j] {
@@ -165,7 +202,11 @@ pub fn presolve(model: &Model) -> PresolveOutcome {
                 Cmp::Eq => rhs_eff.abs() <= TOL,
             };
             if !ok {
-                return PresolveOutcome::Infeasible;
+                return PresolveOutcome::Infeasible(InfeasibleRow {
+                    row: i,
+                    var: None,
+                    reason: format!("all variables fixed, residual requires {cmp:?} {rhs_eff}"),
+                });
             }
             continue;
         }
@@ -289,7 +330,13 @@ mod tests {
         let x = m.add_var(0.0, 10.0, 1.0, "x");
         m.add_con(&[(x, 1.0)], Cmp::Ge, 8.0);
         m.add_con(&[(x, 1.0)], Cmp::Le, 3.0);
-        assert!(matches!(presolve(&m), PresolveOutcome::Infeasible));
+        let PresolveOutcome::Infeasible(proof) = presolve(&m) else {
+            panic!("crossing singleton bounds must prove infeasibility")
+        };
+        // the ≤ row (index 1) is the one that crosses the ≥ 8 bound on x
+        assert_eq!(proof.row, 1, "proof: {proof}");
+        assert_eq!(proof.var, Some(x));
+        assert!(proof.reason.contains("'x'"), "proof: {proof}");
     }
 
     #[test]
@@ -297,7 +344,10 @@ mod tests {
         let mut m = Model::new(Sense::Minimize);
         let x = m.add_var(1.0, 1.0, 0.0, "x");
         m.add_con(&[(x, 1.0)], Cmp::Eq, 2.0);
-        assert!(matches!(presolve(&m), PresolveOutcome::Infeasible));
+        let PresolveOutcome::Infeasible(proof) = presolve(&m) else {
+            panic!("inconsistent fixed row must prove infeasibility")
+        };
+        assert_eq!(proof.row, 0, "proof: {proof}");
     }
 
     #[test]
@@ -373,7 +423,7 @@ mod tests {
             let direct = m.solve();
             let pres = match presolve(&m) {
                 PresolveOutcome::Reduced(p) => p.solve(),
-                PresolveOutcome::Infeasible => Err(Status::Infeasible),
+                PresolveOutcome::Infeasible(_) => Err(Status::Infeasible),
             };
             match (direct, pres) {
                 (Ok(a), Ok(b)) => assert!(

@@ -35,8 +35,10 @@ impl Scaling {
         for (y, rw) in r.y.iter_mut().zip(&self.row) {
             *y *= rw;
         }
+        // d' = c' − A'ᵀy' = C·(c − Aᵀ·R·y'), so the original reduced cost
+        // is d'/C — division, unlike the primal values
         for (d, c) in r.d.iter_mut().zip(&self.col) {
-            *d *= c;
+            *d /= c;
         }
         r
     }

@@ -1,0 +1,136 @@
+//! Property tests for geometric-mean equilibration: on random feasible LPs
+//! with deliberately wild coefficient magnitudes, solving the scaled
+//! problem and mapping back through [`rrp_lp::scaling::Scaling::unscale`]
+//! must reproduce a certificate of the *original* problem — primal
+//! feasibility, the optimal value, and the dual identities all hold in the
+//! unscaled space.
+
+use proptest::prelude::*;
+use rrp_lp::scaling::scale;
+use rrp_lp::simplex::solve_sparse;
+use rrp_lp::{Cmp, Model, Sense, StandardLp, Status};
+
+/// A random LP, feasible by construction (RHS set around a witness point),
+/// whose coefficients span up to eight orders of magnitude.
+#[derive(Debug, Clone)]
+struct WildLp {
+    nvars: usize,
+    bounds: Vec<(f64, f64)>,
+    costs: Vec<f64>,
+    cons: Vec<(Vec<(usize, f64)>, Cmp, f64)>,
+}
+
+fn wild_lp() -> impl Strategy<Value = WildLp> {
+    (2usize..7, 1usize..7, any::<u64>()).prop_map(|(nvars, ncons, seed)| {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut bounds = Vec::new();
+        let mut witness = Vec::new();
+        let mut costs = Vec::new();
+        for _ in 0..nvars {
+            let l = rng.gen_range(-5.0..0.0);
+            let u = l + rng.gen_range(0.5..10.0);
+            bounds.push((l, u));
+            witness.push(rng.gen_range(l..u));
+            costs.push(rng.gen_range(-4.0..4.0));
+        }
+        let mut cons = Vec::new();
+        for _ in 0..ncons {
+            // each row lives at its own magnitude decade, so the raw matrix
+            // is badly scaled on purpose
+            let decade = 10f64.powi(rng.gen_range(-4..=4));
+            let mut terms = Vec::new();
+            for j in 0..nvars {
+                if rng.gen_bool(0.7) {
+                    terms.push((j, decade * rng.gen_range(0.5..3.0)));
+                }
+            }
+            if terms.is_empty() {
+                continue;
+            }
+            let lhs: f64 = terms.iter().map(|&(j, c)| c * witness[j]).sum();
+            let (cmp, rhs) = match rng.gen_range(0..3) {
+                0 => (Cmp::Le, lhs + decade * rng.gen_range(0.0..2.0)),
+                1 => (Cmp::Ge, lhs - decade * rng.gen_range(0.0..2.0)),
+                _ => (Cmp::Eq, lhs),
+            };
+            cons.push((terms, cmp, rhs));
+        }
+        WildLp { nvars, bounds, costs, cons }
+    })
+}
+
+fn build(lp: &WildLp) -> Model {
+    let mut m = Model::new(Sense::Minimize);
+    for j in 0..lp.nvars {
+        m.add_var(lp.bounds[j].0, lp.bounds[j].1, lp.costs[j], &format!("x{j}"));
+    }
+    for (terms, cmp, rhs) in &lp.cons {
+        m.add_con(terms, *cmp, *rhs);
+    }
+    m
+}
+
+/// max |A·x − b| over the rows of a standard-form LP.
+fn primal_residual(std: &StandardLp, x: &[f64]) -> f64 {
+    let mut ax = vec![0.0; std.nrows()];
+    for j in 0..std.ncols() {
+        for (i, v) in std.a.col_iter(j) {
+            ax[i] += v * x[j];
+        }
+    }
+    ax.iter().zip(&std.b).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Solving scaled and unscaling yields an optimal certificate of the
+    /// original standard-form problem.
+    #[test]
+    fn scale_solve_unscale_round_trips(lp in wild_lp()) {
+        let std = build(&lp).to_standard();
+        let direct = solve_sparse(&std);
+        if !matches!(direct.status, Status::Optimal) {
+            // infeasible/unbounded draws carry no certificate to compare
+            return Ok(());
+        }
+
+        let (scaled, scaling) = scale(&std, 2);
+        let raw = solve_sparse(&scaled);
+        prop_assert!(matches!(raw.status, Status::Optimal), "scaled solve must stay optimal");
+        let back = scaling.unscale(raw);
+
+        // primal feasibility of the unscaled point in the ORIGINAL problem
+        let scale_mag = std.b.iter().fold(1.0f64, |m, b| m.max(b.abs()));
+        prop_assert!(
+            primal_residual(&std, &back.x) <= 1e-6 * scale_mag,
+            "unscaled point violates A x = b (residual {})",
+            primal_residual(&std, &back.x)
+        );
+        for (j, &xj) in back.x.iter().enumerate() {
+            prop_assert!(
+                xj >= std.lower[j] - 1e-7 && xj <= std.upper[j] + 1e-7,
+                "col {} out of bounds after unscale", j
+            );
+        }
+
+        // optimal value is unique even when the optimal point is not
+        let obj_direct: f64 = std.c.iter().zip(&direct.x).map(|(c, x)| c * x).sum();
+        let obj_scaled: f64 = std.c.iter().zip(&back.x).map(|(c, x)| c * x).sum();
+        prop_assert!(
+            (obj_direct - obj_scaled).abs() <= 1e-6 * (1.0 + obj_direct.abs()),
+            "objective drifted through scaling: {} vs {}", obj_direct, obj_scaled
+        );
+
+        // dual identity d = c − Aᵀ y must hold in the unscaled space
+        for j in 0..std.ncols() {
+            let aty: f64 = std.a.col_iter(j).map(|(i, v)| v * back.y[i]).sum();
+            let resid = (std.c[j] - aty - back.d[j]).abs();
+            prop_assert!(
+                resid <= 1e-6 * (1.0 + std.c[j].abs() + aty.abs()),
+                "reduced-cost identity broken at col {} (residual {})", j, resid
+            );
+        }
+    }
+}

@@ -56,6 +56,22 @@ impl MilpProblem {
         Self { model, integers }
     }
 
+    /// Intersect variable bounds with externally proven ones (e.g. from the
+    /// `rrp-audit` interval propagation pass). Each entry is
+    /// `(var, lower, upper)`; a bound that is weaker than the current one is
+    /// ignored, so applying a sound tightening can only shrink the feasible
+    /// box and never changes the integer optimum.
+    pub fn tighten_bounds(&mut self, tightened: &[(VarId, f64, f64)]) {
+        for &(v, lo, hi) in tightened {
+            let (cur_lo, cur_hi) = self.model.var_bounds(v);
+            let new_lo = cur_lo.max(lo);
+            let new_hi = cur_hi.min(hi);
+            if new_lo > cur_lo || new_hi < cur_hi {
+                self.model.set_var_bounds(v, new_lo, new_hi);
+            }
+        }
+    }
+
     /// Solve sequentially with the given options.
     pub fn solve(&self, opts: &MilpOptions) -> Result<MilpSolution, MilpStatus> {
         solver::solve(self, opts)

@@ -275,17 +275,15 @@ pub fn solve_budgeted(
     budget: &SolveBudget,
 ) -> SolveStatus {
     let (result, stopped, bound) = drive_with(problem, opts, 1, Some(budget));
-    match stopped {
+    match (stopped, result) {
         // A budget stop that nevertheless proved optimality (the frontier
         // bound already met the gap criterion) is still reported as optimal.
-        Some(_) if result.as_ref().is_ok_and(|s| s.proven_optimal) => {
-            SolveStatus::Optimal(result.unwrap())
+        (Some(_), Ok(sol)) if sol.proven_optimal => SolveStatus::Optimal(sol),
+        (Some(reason), result) => {
+            SolveStatus::Terminated { best_incumbent: result.ok(), bound, reason }
         }
-        Some(reason) => SolveStatus::Terminated { best_incumbent: result.ok(), bound, reason },
-        None => match result {
-            Ok(sol) => SolveStatus::Optimal(sol),
-            Err(e) => SolveStatus::Failed(e),
-        },
+        (None, Ok(sol)) => SolveStatus::Optimal(sol),
+        (None, Err(e)) => SolveStatus::Failed(e),
     }
 }
 

@@ -17,7 +17,7 @@ impl EmpiricalDist {
         assert!(!history.is_empty(), "empty price history");
         assert!(max_states >= 1);
         let mut sorted = history.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(f64::total_cmp);
         let n = sorted.len();
         let mut distinct = sorted.clone();
         distinct.dedup();
@@ -53,14 +53,15 @@ impl EmpiricalDist {
         let mut mv = Vec::new();
         let mut mp = Vec::new();
         for (v, p) in values.into_iter().zip(probs) {
-            match mv.last() {
-                Some(&last) if (last - v) == 0.0 => {
-                    *mp.last_mut().unwrap() += p;
+            // bins are means of sorted slices, so collapsed bins repeat the
+            // identical bit pattern — an exact compare is the right merge key
+            if mv.last().is_some_and(|&last: &f64| last.to_bits() == v.to_bits()) {
+                if let Some(mass) = mp.last_mut() {
+                    *mass += p;
                 }
-                _ => {
-                    mv.push(v);
-                    mp.push(p);
-                }
+            } else {
+                mv.push(v);
+                mp.push(p);
             }
         }
         Self { values: mv, probs: mp }

@@ -27,7 +27,7 @@ pub fn shapiro_wilk(xs: &[f64]) -> TestResult {
     let n = xs.len();
     assert!((12..=5000).contains(&n), "Shapiro–Wilk supports 12..=5000 samples, got {n}");
     let mut x = xs.to_vec();
-    x.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    x.sort_by(f64::total_cmp);
 
     // Expected normal order statistics (Blom approximation).
     let nf = n as f64;

@@ -21,7 +21,7 @@ impl BoxWhisker {
     pub fn build(xs: &[f64]) -> Self {
         assert!(!xs.is_empty(), "box-whisker of empty data");
         let mut s = xs.to_vec();
-        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        s.sort_by(f64::total_cmp);
         let q1 = quantile_sorted(&s, 0.25);
         let median = quantile_sorted(&s, 0.5);
         let q3 = quantile_sorted(&s, 0.75);

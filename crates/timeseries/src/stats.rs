@@ -57,7 +57,7 @@ pub fn quantile(xs: &[f64], q: f64) -> f64 {
     assert!((0.0..=1.0).contains(&q), "quantile level {q} outside [0,1]");
     assert!(!xs.is_empty(), "quantile of empty slice");
     let mut s = xs.to_vec();
-    s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    s.sort_by(f64::total_cmp);
     quantile_sorted(&s, q)
 }
 

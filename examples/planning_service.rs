@@ -49,7 +49,7 @@ fn main() {
             "{:>9}  level={:<14} cost={:>8.4}  cache={}  {:?}",
             resp.app_id,
             resp.degradation.as_str(),
-            resp.plan.objective,
+            resp.expect_plan().objective,
             resp.cache_hit,
             resp.latency
         );
@@ -70,6 +70,21 @@ fn main() {
         println!("  rung {:<14} {:?} ({:?})", entry.level.as_str(), entry.outcome, entry.elapsed);
     }
 
+    println!("\n== provably infeasible request (audit gate) ==");
+    // capacity below every slot's demand: the pre-solve audit proves the
+    // instance infeasible and rejects it with a bound-propagation trace,
+    // instead of burning branch-and-bound time on it
+    let mut impossible = request(3, PolicyKind::Deterministic, Duration::from_secs(10));
+    impossible.params.capacity = Some(0.01);
+    let rejected = engine.submit(impossible).wait();
+    match &rejected.rejection {
+        Some(proof) => println!("rejected: {proof}"),
+        None => println!("unexpectedly planned"),
+    }
+
     let snapshot = engine.metrics();
-    println!("\n== metrics ==\n{}", serde_json::to_string_pretty(&snapshot).unwrap());
+    println!(
+        "\n== metrics ==\n{}",
+        serde_json::to_string_pretty(&snapshot).expect("snapshot serialises")
+    );
 }

@@ -48,8 +48,9 @@ fn identical_requests_hit_the_cache() {
     let second = engine.submit(again).wait();
     assert!(second.cache_hit, "identical problem must hit");
     assert_eq!(second.fingerprint, first.fingerprint);
-    assert_eq!(second.plan.alpha, first.plan.alpha);
-    assert_eq!(second.plan.chi, first.plan.chi);
+    let (fp, sp) = (first.expect_plan(), second.expect_plan());
+    assert_eq!(sp.alpha, fp.alpha);
+    assert_eq!(sp.chi, fp.chi);
     assert_eq!(second.degradation, first.degradation);
 
     let m = engine.metrics();
@@ -97,13 +98,14 @@ fn any_problem_field_perturbation_misses() {
 /// (whether a worker solved or replayed a plan is scheduling-dependent)
 /// and latency.
 fn essence(r: &PlanResponse) -> (String, u64, Vec<u64>, Vec<u64>, Vec<bool>, u64, String) {
+    let plan = r.expect_plan();
     (
         r.app_id.clone(),
         r.fingerprint,
-        r.plan.alpha.iter().map(|v| v.to_bits()).collect(),
-        r.plan.beta.iter().map(|v| v.to_bits()).collect(),
-        r.plan.chi.clone(),
-        r.plan.objective.to_bits(),
+        plan.alpha.iter().map(|v| v.to_bits()).collect(),
+        plan.beta.iter().map(|v| v.to_bits()).collect(),
+        plan.chi.clone(),
+        plan.objective.to_bits(),
         format!("{:?}", r.degradation),
     )
 }

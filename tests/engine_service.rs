@@ -57,7 +57,7 @@ fn sixty_four_concurrent_requests_meet_deadlines() {
 
     for (resp, (s, params, policy)) in resps.iter().zip(&checks) {
         assert!(
-            resp.plan.is_feasible(s, params, 1e-6),
+            resp.expect_plan().is_feasible(s, params, 1e-6),
             "{}: infeasible plan at level {:?}",
             resp.app_id,
             resp.degradation
@@ -83,6 +83,8 @@ fn sixty_four_concurrent_requests_meet_deadlines() {
         m.level_full + m.level_deterministic + m.level_dynamic_program + m.level_on_demand_only,
         64
     );
+    assert_eq!(m.audit_rejections, 0, "no feasible request may be rejected");
+    assert!(m.audits > 0, "cache-missing requests must be audited");
     assert!(m.p50_latency_ms <= m.p99_latency_ms);
 }
 
@@ -103,7 +105,7 @@ fn tight_deadline_falls_down_the_ladder() {
         resp.degradation
     );
     assert_eq!(resp.degradation, DegradationLevel::DynamicProgram, "trace: {:?}", resp.trace);
-    assert!(resp.plan.is_feasible(&s, &params, 1e-6));
+    assert!(resp.expect_plan().is_feasible(&s, &params, 1e-6));
     // the trace records the rungs that ran out of budget above the answer
     assert_eq!(resp.trace.len(), 3, "trace: {:?}", resp.trace);
     assert_eq!(resp.trace[0].level, DegradationLevel::Full);
@@ -131,18 +133,32 @@ fn degraded_answers_are_not_cached() {
 }
 
 #[test]
-fn worker_survives_a_panicking_request() {
+fn infeasible_request_is_rejected_with_a_proof() {
     let engine = Engine::new(1);
-    // capacity below per-slot demand ⇒ no feasible plan exists; the ladder
-    // panics on the floor rung and the worker must survive it
+    // capacity below per-slot demand ⇒ no feasible plan exists; the audit
+    // gate must prove that statically and reject, instead of letting the
+    // ladder panic on the on-demand floor
     let mut bad = request(7, PolicyKind::OnDemand, Duration::from_secs(5));
     bad.params.capacity = Some(1e-3);
-    let bad_ticket = engine.submit(bad);
+    let bad_resp = engine.submit(bad).wait();
+    assert!(bad_resp.plan.is_none(), "infeasible request must not produce a plan");
+    let proof = bad_resp.rejection.as_ref().expect("rejection must carry the proof");
+    assert!(
+        !proof.reason.is_empty() && proof.trace.iter().any(|l| l.contains("row")),
+        "proof must name the contradicting row: {proof}"
+    );
+
+    // the worker is still healthy and serves the next request
     let good = request(8, PolicyKind::Deterministic, Duration::from_secs(30));
     let good_resp = engine.submit(good).wait();
     assert_eq!(good_resp.degradation, DegradationLevel::Deterministic);
+    assert!(good_resp.plan.is_some());
 
-    let bad_result =
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || bad_ticket.wait()));
-    assert!(bad_result.is_err(), "infeasible request must not produce a plan");
+    let m = engine.metrics();
+    assert_eq!(m.audit_rejections, 1);
+    assert_eq!(m.completed, 2);
+    assert_eq!(
+        m.level_full + m.level_deterministic + m.level_dynamic_program + m.level_on_demand_only,
+        m.completed - m.audit_rejections
+    );
 }

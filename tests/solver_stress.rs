@@ -31,7 +31,9 @@ fn lp_presolve_roundtrip_on_planning_models() {
             );
             assert_eq!(via.values.len(), direct.values.len());
         }
-        rrp_lp::PresolveOutcome::Infeasible => panic!("feasible model declared infeasible"),
+        rrp_lp::PresolveOutcome::Infeasible(proof) => {
+            panic!("feasible model declared infeasible: {proof}")
+        }
     }
 }
 
@@ -132,7 +134,7 @@ fn infeasible_lp_from_contradictory_rows_detected_after_presolve() {
         rrp_lp::PresolveOutcome::Reduced(p) => {
             assert_eq!(p.solve().unwrap_err(), Status::Infeasible);
         }
-        rrp_lp::PresolveOutcome::Infeasible => {} // even better
+        rrp_lp::PresolveOutcome::Infeasible(_) => {} // even better
     }
 }
 
