@@ -2,14 +2,19 @@
 //! 1 worker vs 4 workers on a cold cache, plus a cache-warm rerun.
 //!
 //! Run with: `cargo bench --bench engine_throughput`
+//!
+//! Besides the stderr report, the run persists its timings (and one
+//! telemetry-instrumented cold run's node count / total objective) to
+//! `results/BENCH_engine.json` so later PRs can diff engine performance.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rrp_bench::results::{self, Record};
 use rrp_core::{CostSchedule, PlanningParams, ScenarioTree};
-use rrp_engine::{Engine, PlanRequest, PolicyKind};
+use rrp_engine::{Engine, EngineConfig, PlanRequest, PolicyKind};
 use rrp_spotmarket::{CostRates, EmpiricalDist};
 
 const POLICIES: [PolicyKind; 4] = [
@@ -78,6 +83,31 @@ fn engine_throughput(c: &mut Criterion) {
     });
 
     group.finish();
+
+    // Persist the trajectory: the shim's timing records, plus one cold run
+    // with solver-event counting on for search-tree size and objective.
+    let mut records: Vec<Record> = criterion::take_results()
+        .into_iter()
+        .map(|r| Record::timing(r.label, r.mean_ns as f64 / 1e6))
+        .collect();
+    let engine =
+        Engine::with_config(4, EngineConfig { count_solver_events: true, ..Default::default() });
+    let t0 = Instant::now();
+    let responses = engine.run_batch(requests.clone());
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let metrics = engine.metrics();
+    let objective: f64 =
+        responses.iter().filter_map(|r| r.plan.as_ref()).map(|p| p.objective).sum();
+    records.push(Record {
+        instance: "engine_throughput/cold_64req/4+counters".to_string(),
+        wall_ms,
+        nodes: metrics.milp_nodes_total,
+        objective,
+    });
+    match results::write_json("BENCH_engine.json", &records) {
+        Ok(path) => eprintln!("wrote {} ({} records)", path.display(), records.len()),
+        Err(e) => eprintln!("warning: could not write BENCH_engine.json: {e}"),
+    }
 }
 
 criterion_group!(benches, engine_throughput);

@@ -6,8 +6,15 @@
 //! ```sh
 //! cargo run --release -p rrp-bench --bin audit_report
 //! ```
+//!
+//! Besides the printed reports, every solved instance lands as a record
+//! (instance, wall-ms, nodes, objective) in `results/BENCH_audit.json` —
+//! the persisted bench trajectory future PRs diff against.
+
+use std::time::Instant;
 
 use rrp_audit::{audit_milp, audit_milp_with, AuditOptions, UpperBoundHint};
+use rrp_bench::results::{self, Record};
 use rrp_bench::{header, DEMAND_SEED};
 use rrp_core::demand::DemandModel;
 use rrp_core::{CostSchedule, DrrpProblem, PlanningParams, ScenarioTree, SrrpProblem};
@@ -26,8 +33,24 @@ fn hints_of(bounds: Vec<(usize, f64)>) -> Vec<UpperBoundHint> {
         .collect()
 }
 
+/// Solve `milp` with default options and record the measurement.
+fn solve_and_record(records: &mut Vec<Record>, instance: String, milp: &MilpProblem) {
+    let opts = MilpOptions::default();
+    let t0 = Instant::now();
+    match milp.solve(&opts) {
+        Ok(sol) => records.push(Record {
+            instance,
+            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+            nodes: sol.nodes as u64,
+            objective: sol.objective,
+        }),
+        Err(e) => eprintln!("warning: {instance}: solve failed: {e:?}"),
+    }
+}
+
 fn main() {
     header("Static audit of the Fig. 10–12 planning instances");
+    let mut records = Vec::new();
 
     let rates = CostRates::ec2_2011();
     for class in VmClass::EVALUATION {
@@ -35,12 +58,14 @@ fn main() {
         let spot = vec![class.on_demand_price(); 24];
         let schedule = CostSchedule::ec2(spot, demand, &rates);
         let problem = DrrpProblem::new(schedule, PlanningParams::default());
-        let (milp, _) = problem.to_milp();
+        let (mut milp, _) = problem.to_milp();
         let opts =
             AuditOptions { hints: hints_of(problem.implied_alpha_bounds()), ..Default::default() };
         let report = audit_milp_with(&milp, &opts);
         println!("\n--- DRRP 24 h, {class:?} ---");
         print!("{report}");
+        report.apply(&mut milp);
+        solve_and_record(&mut records, format!("audit/drrp24h/{class:?}"), &milp);
     }
 
     println!();
@@ -50,9 +75,12 @@ fn main() {
     let demand = DemandModel::paper_default().sample(4, DEMAND_SEED);
     let schedule = CostSchedule::ec2(vec![0.06; 4], demand, &rates);
     let srrp = SrrpProblem::new(schedule, PlanningParams::default(), tree);
-    let milp = srrp.to_milp();
+    let mut milp = srrp.to_milp();
     let opts = AuditOptions { hints: hints_of(srrp.implied_alpha_bounds()), ..Default::default() };
-    print!("{}", audit_milp_with(&milp, &opts));
+    let report = audit_milp_with(&milp, &opts);
+    print!("{report}");
+    report.apply(&mut milp);
+    solve_and_record(&mut records, "audit/srrp_det_equiv/2state_4stage".to_string(), &milp);
 
     println!();
     header("Big-M tightening pays in branch-and-bound nodes");
@@ -69,6 +97,13 @@ fn main() {
             println!("  tightened: obj {:.4}  nodes {}", b.objective, b.nodes);
         }
         (a, b) => println!("solve failed: {:?} / {:?}", a.err(), b.err()),
+    }
+    solve_and_record(&mut records, "audit/fixed_charge/loose".to_string(), &loose);
+    solve_and_record(&mut records, "audit/fixed_charge/tightened".to_string(), &tightened);
+
+    match results::write_json("BENCH_audit.json", &records) {
+        Ok(path) => println!("\nwrote {} ({} records)", path.display(), records.len()),
+        Err(e) => eprintln!("warning: could not write BENCH_audit.json: {e}"),
     }
 }
 

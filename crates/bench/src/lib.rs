@@ -3,6 +3,8 @@
 //! see DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
 //! paper-vs-measured outcomes.
 
+pub mod results;
+
 use rrp_core::demand::DemandModel;
 use rrp_spotmarket::{SpotArchive, VmClass};
 

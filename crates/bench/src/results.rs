@@ -1,0 +1,128 @@
+//! The persisted bench trajectory: machine-readable measurement records
+//! written to `results/BENCH_*.json` at the workspace root, so future PRs
+//! can diff solver performance instead of eyeballing stderr.
+//!
+//! The format is deliberately minimal — a JSON array of flat records — and
+//! written with std only (the bench binaries must not drag the solver's
+//! serialisation choices along). `xtask`'s `serde_json` shim parses it
+//! back.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One measurement: an instance label, its wall-clock cost, and — when the
+/// run solved something — search-tree size and objective value.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Instance / benchmark label, e.g. `"engine_throughput/cold_64req/4"`.
+    pub instance: String,
+    /// Mean wall-clock per run, milliseconds.
+    pub wall_ms: f64,
+    /// Branch & bound nodes opened (0 for timing-only records).
+    pub nodes: u64,
+    /// Objective value (`NaN` serialises as `null` for timing-only records).
+    pub objective: f64,
+}
+
+impl Record {
+    /// A timing-only record (no solve attached).
+    pub fn timing(instance: impl Into<String>, wall_ms: f64) -> Self {
+        Self { instance: instance.into(), wall_ms, nodes: 0, objective: f64::NAN }
+    }
+}
+
+/// `results/` at the workspace root (created on demand). Benches run with
+/// the package dir as cwd, so the path is anchored at compile time instead.
+pub fn results_dir() -> io::Result<PathBuf> {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let root = manifest
+        .parent()
+        .and_then(Path::parent)
+        .ok_or_else(|| io::Error::other("bench crate has no workspace root"))?;
+    let dir = root.join("results");
+    fs::create_dir_all(&dir)?;
+    Ok(dir)
+}
+
+/// Serialise `records` as a JSON array and write it to
+/// `results/<file_name>` atomically enough for CI (write + rename is
+/// overkill for a report artefact; a plain write suffices).
+pub fn write_json(file_name: &str, records: &[Record]) -> io::Result<PathBuf> {
+    let path = results_dir()?.join(file_name);
+    fs::write(&path, render_json(records))?;
+    Ok(path)
+}
+
+fn render_json(records: &[Record]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str("  {\"instance\":");
+        push_json_str(&mut out, &r.instance);
+        let _ = write!(out, ",\"wall_ms\":");
+        push_json_f64(&mut out, r.wall_ms);
+        let _ = write!(out, ",\"nodes\":{},\"objective\":", r.nodes);
+        push_json_f64(&mut out, r.objective);
+        out.push('}');
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// JSON has no NaN/∞: non-finite values become `null`.
+fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let start = out.len();
+        let _ = write!(out, "{v}");
+        if !out[start..].contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_render_as_valid_flat_json() {
+        let records = [
+            Record { instance: "a/1".into(), wall_ms: 12.5, nodes: 37, objective: 3.75 },
+            Record::timing("b \"q\"", 0.25),
+        ];
+        let json = render_json(&records);
+        assert!(json.starts_with("[\n"), "{json}");
+        assert!(json.contains("\"instance\":\"a/1\",\"wall_ms\":12.5,\"nodes\":37"), "{json}");
+        assert!(json.contains("\"objective\":null"), "{json}");
+        assert!(json.contains("\\\"q\\\""), "{json}");
+    }
+
+    #[test]
+    fn integral_floats_keep_a_decimal_point() {
+        let json =
+            render_json(&[Record { instance: "x".into(), wall_ms: 3.0, nodes: 0, objective: 2.0 }]);
+        assert!(json.contains("\"wall_ms\":3.0"), "{json}");
+        assert!(json.contains("\"objective\":2.0"), "{json}");
+    }
+}

@@ -9,8 +9,31 @@ use std::time::Instant;
 use rrp_core::drrp::DrrpVars;
 use rrp_core::{on_demand_plan, wagner_whitin, DrrpProblem, PlanOutcome, RentalPlan, SrrpProblem};
 use rrp_milp::{MilpOptions, MilpProblem, SolveBudget, SolveStatus};
+use rrp_trace::{EventKind, SpanId, TraceHandle};
 
 use crate::request::{DegradationLevel, PlanRequest, RungOutcome, TraceEntry};
+
+/// Telemetry wiring for a ladder run: each rung attempt gets its own
+/// `rung:*` span under `parent`, closed by a `ladder_step` event recording
+/// level, outcome and elapsed time. The default config is disabled tracing
+/// — the rungs then pay one branch per emission site.
+#[derive(Debug, Clone, Default)]
+pub struct LadderConfig {
+    pub trace: TraceHandle,
+    /// Span the rung spans nest under (usually the engine's per-request
+    /// span; [`SpanId::ROOT`] when the ladder runs standalone).
+    pub parent: SpanId,
+}
+
+/// Static span name per rung (span names avoid allocation on the hot path).
+fn rung_span_name(level: DegradationLevel) -> &'static str {
+    match level {
+        DegradationLevel::Full => "rung:full",
+        DegradationLevel::Deterministic => "rung:deterministic",
+        DegradationLevel::DynamicProgram => "rung:dynamic-program",
+        DegradationLevel::OnDemandOnly => "rung:on-demand-only",
+    }
+}
 
 /// Feasibility tolerance for committed plans.
 const FEAS_TOL: f64 = 1e-6;
@@ -69,22 +92,56 @@ pub fn run_ladder_prepared(
     budget: &SolveBudget,
     prepared: Option<&PreparedDrrp>,
 ) -> LadderResult {
+    run_ladder_with(req, opts, budget, prepared, &LadderConfig::default())
+}
+
+/// [`run_ladder_prepared`] with telemetry: one `rung:*` span per attempt,
+/// each carrying the rung's solver events and a closing `ladder_step`.
+pub fn run_ladder_with(
+    req: &PlanRequest,
+    opts: &MilpOptions,
+    budget: &SolveBudget,
+    prepared: Option<&PreparedDrrp>,
+    cfg: &LadderConfig,
+) -> LadderResult {
     let start_level = req.policy.start_level();
     let mut trace = Vec::new();
     for level in DegradationLevel::ALL {
         if level < start_level {
             continue;
         }
+        let rung = cfg.trace.span(rung_span_name(level), cfg.parent);
+        // Route the MILP rungs' solver events into this rung's span.
+        let rung_opts;
+        let level_opts = if cfg.trace.is_enabled() {
+            rung_opts =
+                MilpOptions { trace: cfg.trace.clone(), trace_span: rung.id(), ..opts.clone() };
+            &rung_opts
+        } else {
+            opts
+        };
         let t0 = Instant::now();
-        let attempt = attempt_level(req, level, opts, budget, prepared);
+        let attempt = attempt_level(req, level, level_opts, budget, prepared);
         let elapsed = t0.elapsed();
-        match attempt {
-            Attempt::Answer(plan, outcome) => {
+        let (plan, outcome) = match attempt {
+            Attempt::Answer(plan, outcome) => (Some(plan), outcome),
+            Attempt::Miss(outcome) => (None, outcome),
+        };
+        if cfg.trace.is_enabled() {
+            rung.emit(EventKind::LadderStep {
+                level: level.as_str(),
+                outcome: outcome.summary(),
+                elapsed_us: elapsed.as_micros() as u64,
+            });
+        }
+        drop(rung);
+        match plan {
+            Some(plan) => {
                 let fully_solved = level == start_level && outcome == RungOutcome::Solved;
                 trace.push(TraceEntry { level, outcome, elapsed });
                 return LadderResult { plan, level, trace, fully_solved };
             }
-            Attempt::Miss(outcome) => {
+            None => {
                 trace.push(TraceEntry { level, outcome, elapsed });
             }
         }

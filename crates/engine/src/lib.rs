@@ -62,10 +62,12 @@ pub mod request;
 pub mod service;
 
 pub use cache::{CacheEntry, PlanCache};
-pub use ladder::{run_ladder, run_ladder_prepared, LadderResult, PreparedDrrp};
+pub use ladder::{
+    run_ladder, run_ladder_prepared, run_ladder_with, LadderConfig, LadderResult, PreparedDrrp,
+};
 pub use metrics::MetricsSnapshot;
 pub use request::{
     DegradationLevel, PlanRequest, PlanResponse, PolicyKind, RungOutcome, TraceEntry,
 };
 pub use rrp_audit::InfeasibilityProof;
-pub use service::{Engine, Ticket};
+pub use service::{Engine, EngineConfig, Ticket};

@@ -1,10 +1,18 @@
 //! Engine observability: lock-light counters updated on the worker hot
 //! path, exported as a serialisable point-in-time snapshot.
+//!
+//! Latencies land in a fixed-size log-scale histogram
+//! ([`rrp_trace::LogHistogram`]): constant memory however long the engine
+//! runs, lock-free recording, and quantile answers whose relative error is
+//! bounded by `2^(1/8) − 1 ≈ 9.05%` (each answer is the geometric midpoint
+//! of a bucket growing by `2^(1/4)` per step). The previous design kept
+//! every latency in a `Mutex<Vec<Duration>>`, which grew without bound and
+//! sorted the whole vector on every snapshot.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use rrp_trace::{CounterSink, LogHistogram};
 use serde::Serialize;
 
 use crate::cache::PlanCache;
@@ -34,12 +42,22 @@ pub struct MetricsSnapshot {
     /// Requests rejected by the audit gate with a static infeasibility
     /// proof (counted in `completed`, but in no ladder level).
     pub audit_rejections: u64,
+    /// Median response latency (log-bucket estimate, ≤ ~9.05% rel. error).
     pub p50_latency_ms: f64,
+    /// Tail response latency (same error bound).
     pub p99_latency_ms: f64,
+    /// Branch & bound nodes opened across all solves — from the engine's
+    /// solver-event counters; 0 when solver telemetry is off.
+    pub milp_nodes_total: u64,
+    /// Simplex iterations across all LP solves (same source and caveat).
+    pub lp_iters_total: u64,
+    /// Median relative gap of solves that stopped on a budget
+    /// (`terminated:*`); 0 when none did or telemetry is off.
+    pub gap_at_timeout_p50: f64,
 }
 
 /// Internal mutable counters. Everything on the per-response path is an
-/// atomic except the latency reservoir, which takes one short lock.
+/// atomic, including the latency histogram buckets.
 #[derive(Debug, Default)]
 pub(crate) struct Metrics {
     completed: AtomicU64,
@@ -48,7 +66,8 @@ pub(crate) struct Metrics {
     deadline_misses: AtomicU64,
     audits: AtomicU64,
     audit_rejections: AtomicU64,
-    latencies: Mutex<Vec<Duration>>,
+    /// Response latencies in milliseconds (fixed-size log buckets).
+    latencies: LogHistogram,
 }
 
 impl Metrics {
@@ -67,7 +86,7 @@ impl Metrics {
         if !deadline_met {
             self.deadline_misses.fetch_add(1, Ordering::Relaxed);
         }
-        self.latencies.lock().push(latency);
+        self.latencies.record(latency.as_secs_f64() * 1e3);
     }
 
     /// One pre-solve audit-gate run.
@@ -84,17 +103,10 @@ impl Metrics {
         if !deadline_met {
             self.deadline_misses.fetch_add(1, Ordering::Relaxed);
         }
-        self.latencies.lock().push(latency);
+        self.latencies.record(latency.as_secs_f64() * 1e3);
     }
 
-    pub fn snapshot(&self, cache: &PlanCache) -> MetricsSnapshot {
-        let (p50, p99) = {
-            let lats = self.latencies.lock();
-            let mut ms: Vec<f64> = lats.iter().map(|d| d.as_secs_f64() * 1e3).collect();
-            drop(lats);
-            ms.sort_by(f64::total_cmp);
-            (percentile(&ms, 0.50), percentile(&ms, 0.99))
-        };
+    pub fn snapshot(&self, cache: &PlanCache, solver: &CounterSink) -> MetricsSnapshot {
         MetricsSnapshot {
             completed: self.completed.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
@@ -108,8 +120,11 @@ impl Metrics {
             deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
             audits: self.audits.load(Ordering::Relaxed),
             audit_rejections: self.audit_rejections.load(Ordering::Relaxed),
-            p50_latency_ms: p50,
-            p99_latency_ms: p99,
+            p50_latency_ms: self.latencies.quantile(0.50),
+            p99_latency_ms: self.latencies.quantile(0.99),
+            milp_nodes_total: solver.milp_nodes.load(Ordering::Relaxed),
+            lp_iters_total: solver.lp_iters.load(Ordering::Relaxed),
+            gap_at_timeout_p50: solver.gap_at_timeout.quantile(0.50),
         }
     }
 }
@@ -125,26 +140,25 @@ fn level_index(level: DegradationLevel) -> usize {
     }
 }
 
-/// Nearest-rank percentile of an ascending-sorted slice; 0 when empty.
-fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
-    if sorted_ms.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted_ms.len() - 1) as f64 * q).round() as usize;
-    sorted_ms[idx.min(sorted_ms.len() - 1)]
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn percentile_nearest_rank() {
-        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
-        assert_eq!(percentile(&v, 0.50), 51.0); // round(99·0.5)=50 → v[50]
-        assert_eq!(percentile(&v, 0.99), 99.0);
-        assert_eq!(percentile(&[], 0.5), 0.0);
-        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+    fn latency_quantiles_have_bounded_error() {
+        let m = Metrics::default();
+        for i in 1..=100 {
+            m.record(DegradationLevel::Full, Duration::from_millis(i), true);
+        }
+        let snap = m.snapshot(&PlanCache::new(), &CounterSink::new());
+        // exact nearest-rank p50 of 1..=100 ms is 51 ms, p99 is 100 ms;
+        // the log-bucket answers must land within the documented 9.05%
+        assert!((snap.p50_latency_ms - 51.0).abs() / 51.0 <= 0.0906, "p50 {}", snap.p50_latency_ms);
+        assert!(
+            (snap.p99_latency_ms - 100.0).abs() / 100.0 <= 0.0906,
+            "p99 {}",
+            snap.p99_latency_ms
+        );
     }
 
     #[test]
@@ -153,7 +167,7 @@ mod tests {
         let cache = PlanCache::new();
         m.record(DegradationLevel::Full, Duration::from_millis(3), true);
         m.record(DegradationLevel::OnDemandOnly, Duration::from_millis(9), false);
-        let snap = m.snapshot(&cache);
+        let snap = m.snapshot(&cache, &CounterSink::new());
         assert_eq!(snap.completed, 2);
         assert_eq!(snap.level_full, 1);
         assert_eq!(snap.level_on_demand_only, 1);
@@ -162,6 +176,8 @@ mod tests {
         assert!(json.contains("\"completed\""), "json: {json}");
         assert!(json.contains("\"p99_latency_ms\""), "json: {json}");
         assert!(json.contains("\"audit_rejections\""), "json: {json}");
+        assert!(json.contains("\"milp_nodes_total\""), "json: {json}");
+        assert!(json.contains("\"gap_at_timeout_p50\""), "json: {json}");
     }
 
     #[test]
@@ -172,7 +188,7 @@ mod tests {
         m.record(DegradationLevel::Deterministic, Duration::from_millis(2), true);
         m.record_audit();
         m.record_rejection(Duration::from_micros(40), true);
-        let snap = m.snapshot(&cache);
+        let snap = m.snapshot(&cache, &CounterSink::new());
         assert_eq!(snap.audits, 2);
         assert_eq!(snap.audit_rejections, 1);
         assert_eq!(snap.completed, 2);
@@ -181,5 +197,24 @@ mod tests {
             + snap.level_dynamic_program
             + snap.level_on_demand_only;
         assert_eq!(levels, snap.completed - snap.audit_rejections);
+    }
+
+    #[test]
+    fn snapshot_reads_solver_counters() {
+        use rrp_trace::{Event, EventKind, Sink, SpanId};
+        let m = Metrics::default();
+        let solver = CounterSink::new();
+        let ev = |kind| Event { t_us: 0, worker: 0, span: SpanId::ROOT, kind };
+        solver.emit(&ev(EventKind::NodeOpened { id: 1, depth: 0, bound: 0.0 }));
+        solver.emit(&ev(EventKind::LpSolved { iters: 17, status: "optimal" }));
+        solver.emit(&ev(EventKind::SolveDone {
+            status: "terminated:deadline",
+            nodes: 1,
+            gap: 0.5,
+        }));
+        let snap = m.snapshot(&PlanCache::new(), &solver);
+        assert_eq!(snap.milp_nodes_total, 1);
+        assert_eq!(snap.lp_iters_total, 17);
+        assert!((snap.gap_at_timeout_p50 - 0.5).abs() / 0.5 <= 0.0906);
     }
 }

@@ -134,6 +134,19 @@ pub enum RungOutcome {
     Failed(String),
 }
 
+impl RungOutcome {
+    /// Compact `kind:detail` string used in `ladder_step` trace events.
+    pub fn summary(&self) -> String {
+        match self {
+            RungOutcome::Solved => "solved".to_string(),
+            RungOutcome::Incumbent(reason) => format!("incumbent:{reason}"),
+            RungOutcome::Exhausted(reason) => format!("exhausted:{reason}"),
+            RungOutcome::Skipped(why) => format!("skipped:{why}"),
+            RungOutcome::Failed(msg) => format!("failed:{msg}"),
+        }
+    }
+}
+
 /// One ladder rung's record in the solve trace.
 #[derive(Debug, Clone)]
 pub struct TraceEntry {

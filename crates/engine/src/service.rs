@@ -10,21 +10,47 @@ use std::time::Instant;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use rrp_audit::{audit_milp_with, AuditOptions, UpperBoundHint};
 use rrp_milp::{MilpOptions, SolveBudget};
+use rrp_trace::{CounterSink, EventKind, Sink, SpanId, TeeSink, TraceHandle};
 
 use crate::cache::{CacheEntry, PlanCache};
-use crate::ladder::{run_ladder_prepared, PreparedDrrp};
+use crate::ladder::{run_ladder_with, LadderConfig, PreparedDrrp};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::request::{PlanRequest, PlanResponse};
+
+/// Engine construction options: MILP solver options plus telemetry wiring.
+///
+/// Telemetry is off by default — workers then pay one branch per emission
+/// site and the solve path is unchanged. Attaching a `sink` (JSONL writer,
+/// ring buffer, …) streams every request/ladder/solver event into it, with
+/// an internal [`CounterSink`] always teed alongside so
+/// [`MetricsSnapshot`] gains solver totals.
+#[derive(Default)]
+pub struct EngineConfig {
+    /// Options every MILP rung runs with.
+    pub milp: MilpOptions,
+    /// External event sink. `None` leaves event streaming off.
+    pub sink: Option<Arc<dyn Sink>>,
+    /// Count solver events (nodes, LP iterations, gap-at-timeout) even
+    /// without an external sink — the cost is one relaxed-atomic counter
+    /// sink behind the full event pipeline.
+    pub count_solver_events: bool,
+}
 
 struct Job {
     req: PlanRequest,
     reply: Sender<PlanResponse>,
+    /// The request's trace span, opened at submission.
+    span: SpanId,
 }
 
 struct Shared {
     cache: PlanCache,
     metrics: Metrics,
     opts: MilpOptions,
+    trace: TraceHandle,
+    /// Aggregates solver events for [`MetricsSnapshot`]; only fed while
+    /// `trace` is enabled.
+    counters: Arc<CounterSink>,
 }
 
 /// Handle to one submitted request; [`Ticket::wait`] blocks for the
@@ -61,17 +87,41 @@ impl Engine {
     /// An engine whose MILP rungs run with `opts` (gap, node limit,
     /// branching rule …).
     pub fn with_options(workers: usize, opts: MilpOptions) -> Self {
+        Self::with_config(workers, EngineConfig { milp: opts, ..Default::default() })
+    }
+
+    /// An engine with full construction options, including telemetry.
+    pub fn with_config(workers: usize, config: EngineConfig) -> Self {
         assert!(workers > 0, "engine needs at least one worker");
+        let EngineConfig { milp: opts, sink, count_solver_events } = config;
+        let counters = Arc::new(CounterSink::new());
+        let trace = match (sink, count_solver_events) {
+            (None, false) => TraceHandle::off(),
+            (None, true) => TraceHandle::new(Arc::clone(&counters) as Arc<dyn Sink>),
+            (Some(external), _) => TraceHandle::new(Arc::new(TeeSink::new(vec![
+                Arc::clone(&counters) as Arc<dyn Sink>,
+                external,
+            ]))),
+        };
         let (tx, rx) = unbounded::<Job>();
-        let shared =
-            Arc::new(Shared { cache: PlanCache::new(), metrics: Metrics::default(), opts });
+        let shared = Arc::new(Shared {
+            cache: PlanCache::new(),
+            metrics: Metrics::default(),
+            opts,
+            trace,
+            counters,
+        });
         let handles = (0..workers)
             .map(|i| {
                 let rx = rx.clone();
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("rrp-engine-{i}"))
-                    .spawn(move || worker_loop(&rx, &shared))
+                    .spawn(move || {
+                        // tag this worker's trace events with its lane
+                        rrp_trace::set_worker(i as u32);
+                        worker_loop(&rx, &shared)
+                    })
                     .expect("spawn engine worker")
             })
             .collect();
@@ -82,7 +132,10 @@ impl Engine {
     pub fn submit(&self, req: PlanRequest) -> Ticket {
         let (reply, rx) = unbounded();
         self.shared.metrics.enqueue();
-        if self.tx.as_ref().expect("engine already shut down").send(Job { req, reply }).is_err() {
+        let span = self.shared.trace.open_span("request", SpanId::ROOT);
+        self.shared.trace.emit(span, EventKind::Enqueued);
+        let job = Job { req, reply, span };
+        if self.tx.as_ref().expect("engine already shut down").send(job).is_err() {
             panic!("engine workers are gone");
         }
         Ticket { rx }
@@ -100,7 +153,13 @@ impl Engine {
 
     /// Point-in-time metrics snapshot.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.shared.metrics.snapshot(&self.shared.cache)
+        self.shared.metrics.snapshot(&self.shared.cache, &self.shared.counters)
+    }
+
+    /// The engine's trace handle (disabled unless the engine was built
+    /// with a sink or `count_solver_events`).
+    pub fn trace(&self) -> &TraceHandle {
+        &self.shared.trace
     }
 
     /// Number of distinct fingerprints currently cached.
@@ -116,6 +175,8 @@ impl Drop for Engine {
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
+        // all workers are done emitting: persist anything buffered
+        self.shared.trace.flush();
     }
 }
 
@@ -129,14 +190,18 @@ fn worker_loop(rx: &Receiver<Job>, shared: &Shared) {
 }
 
 fn process(shared: &Shared, job: Job) {
-    let Job { req, reply } = job;
+    let Job { req, reply, span } = job;
     let start = Instant::now();
     let key = req.fingerprint();
+    shared.trace.emit(span, EventKind::Dequeued);
 
-    if let Some(entry) = shared.cache.lookup(key) {
+    let cached = shared.cache.lookup(key);
+    shared.trace.emit(span, EventKind::CacheLookup { hit: cached.is_some() });
+    if let Some(entry) = cached {
         let latency = start.elapsed();
         let deadline_met = latency <= req.deadline;
         shared.metrics.record(entry.degradation, latency, deadline_met);
+        shared.trace.close_span(span);
         let _ = reply.send(PlanResponse {
             app_id: req.app_id,
             fingerprint: key,
@@ -173,10 +238,18 @@ fn process(shared: &Shared, job: Job) {
         AuditOptions { hints, structure: false, numerics: false, ..Default::default() };
     let audit = audit_milp_with(&prepared.milp, &audit_opts);
     shared.metrics.record_audit();
+    shared.trace.emit(
+        span,
+        EventKind::AuditGate {
+            verdict: if audit.infeasibility.is_some() { "rejected" } else { "pass" },
+            tightenings: audit.tightenings.len(),
+        },
+    );
     if let Some(proof) = audit.infeasibility {
         let latency = start.elapsed();
         let deadline_met = latency <= req.deadline;
         shared.metrics.record_rejection(latency, deadline_met);
+        shared.trace.close_span(span);
         let _ = reply.send(PlanResponse {
             app_id: req.app_id,
             fingerprint: key,
@@ -194,7 +267,8 @@ fn process(shared: &Shared, job: Job) {
 
     let budget =
         SolveBudget::with_deadline(start + req.deadline).and_node_limit(shared.opts.node_limit);
-    let result = run_ladder_prepared(&req, &shared.opts, &budget, Some(&prepared));
+    let ladder_cfg = LadderConfig { trace: shared.trace.clone(), parent: span };
+    let result = run_ladder_with(&req, &shared.opts, &budget, Some(&prepared), &ladder_cfg);
     if result.fully_solved {
         shared
             .cache
@@ -203,6 +277,7 @@ fn process(shared: &Shared, job: Job) {
     let latency = start.elapsed();
     let deadline_met = latency <= req.deadline;
     shared.metrics.record(result.level, latency, deadline_met);
+    shared.trace.close_span(span);
     let _ = reply.send(PlanResponse {
         app_id: req.app_id,
         fingerprint: key,

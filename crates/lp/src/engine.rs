@@ -29,6 +29,10 @@ pub trait BasisEngine {
     fn update(&mut self, r: usize, d: &[f64]) -> Result<(), ()>;
     /// Rank-one updates applied since the last refactorisation.
     fn updates(&self) -> usize;
+    /// Non-zeros in the current factorisation (telemetry; 0 when unknown).
+    fn factor_nnz(&self) -> usize {
+        0
+    }
 }
 
 /// Reference engine holding an explicit dense inverse.
@@ -168,6 +172,10 @@ impl BasisEngine for DenseEngine {
     fn updates(&self) -> usize {
         self.updates
     }
+
+    fn factor_nnz(&self) -> usize {
+        self.binv.len()
+    }
 }
 
 /// One product-form eta: pivot row plus the sparse entries of `d`.
@@ -259,6 +267,10 @@ impl BasisEngine for SparseEngine {
 
     fn updates(&self) -> usize {
         self.etas.len()
+    }
+
+    fn factor_nnz(&self) -> usize {
+        self.lu.as_ref().map_or(0, LuFactors::nnz)
     }
 }
 

@@ -10,10 +10,16 @@
 //! a run of degenerate pivots. Periodic refactorisation recomputes the basic
 //! solution from scratch for numerical hygiene.
 
+use rrp_trace::{EventKind, SpanId, TraceHandle};
+
 use crate::engine::{BasisEngine, DenseEngine, SparseEngine};
 use crate::model::StandardLp;
 use crate::solution::Status;
 use crate::{FEAS_TOL, OPT_TOL};
+
+/// Emit a sampled `simplex_iter` event every this many iterations when a
+/// trace is attached (keeps large solves from flooding the sink).
+const ITER_SAMPLE: usize = 32;
 
 /// Raw solver outcome in standard-form space (includes slack columns).
 #[derive(Debug, Clone)]
@@ -54,6 +60,32 @@ pub fn solve_with<E: BasisEngine>(lp: &StandardLp, engine: E) -> RawResult {
     Simplex::new(lp, engine).run()
 }
 
+/// [`solve_sparse`] with telemetry: sampled `simplex_iter` events,
+/// `refactored` basis events, and a closing `lp_solved` into `span`.
+pub fn solve_sparse_traced(lp: &StandardLp, trace: &TraceHandle, span: SpanId) -> RawResult {
+    solve_with_traced(lp, SparseEngine::new(), trace, span)
+}
+
+/// [`solve_dense`] with telemetry.
+pub fn solve_dense_traced(lp: &StandardLp, trace: &TraceHandle, span: SpanId) -> RawResult {
+    solve_with_traced(lp, DenseEngine::new(), trace, span)
+}
+
+/// [`solve_with`] with telemetry. A disabled handle costs one branch per
+/// emission site — callers without a trace should still prefer the
+/// un-traced entry points for clarity.
+pub fn solve_with_traced<E: BasisEngine>(
+    lp: &StandardLp,
+    engine: E,
+    trace: &TraceHandle,
+    span: SpanId,
+) -> RawResult {
+    let mut s = Simplex::new(lp, engine);
+    s.trace = trace.clone();
+    s.span = span;
+    s.run()
+}
+
 struct Simplex<'a, E: BasisEngine> {
     lp: &'a StandardLp,
     engine: E,
@@ -68,6 +100,8 @@ struct Simplex<'a, E: BasisEngine> {
     max_iters: usize,
     refactor_period: usize,
     since_refactor: usize,
+    trace: TraceHandle,
+    span: SpanId,
 }
 
 impl<'a, E: BasisEngine> Simplex<'a, E> {
@@ -88,6 +122,8 @@ impl<'a, E: BasisEngine> Simplex<'a, E> {
             max_iters: 400 * (m + n) + 20_000,
             refactor_period: 64,
             since_refactor: 0,
+            trace: TraceHandle::off(),
+            span: SpanId::ROOT,
         }
     }
 
@@ -132,8 +168,28 @@ impl<'a, E: BasisEngine> Simplex<'a, E> {
             return Err(Status::Numerical);
         }
         self.since_refactor = 0;
+        self.emit_refactored("initial");
         self.recompute_basic_values();
         Ok(())
+    }
+
+    fn emit_refactored(&self, reason: &'static str) {
+        if self.trace.is_enabled() {
+            self.trace.emit(
+                self.span,
+                EventKind::Refactored {
+                    iter: self.iterations,
+                    nnz: self.engine.factor_nnz(),
+                    reason,
+                },
+            );
+        }
+    }
+
+    /// Objective value of the current point (telemetry only).
+    fn current_objective(&self) -> f64 {
+        let lp = self.lp;
+        (0..self.n).map(|j| lp.c[j] * self.x[j]).sum()
     }
 
     /// x_B = B⁻¹ (b − N x_N)
@@ -193,6 +249,16 @@ impl<'a, E: BasisEngine> Simplex<'a, E> {
             }
             if phase1 && self.total_infeasibility() <= FEAS_TOL {
                 return Ok(());
+            }
+            if self.trace.is_enabled() && self.iterations.is_multiple_of(ITER_SAMPLE) {
+                self.trace.emit(
+                    self.span,
+                    EventKind::SimplexIter {
+                        phase: if phase1 { 1 } else { 2 },
+                        iter: self.iterations,
+                        objective: self.current_objective(),
+                    },
+                );
             }
 
             // y = B⁻ᵀ c_B
@@ -287,13 +353,17 @@ impl<'a, E: BasisEngine> Simplex<'a, E> {
                         nonbasic_value(self.vstat[leaving], lp.lower[leaving], lp.upper[leaving]);
                     self.basis[r] = q;
                     self.vstat[q] = VStat::Basic(r);
-                    if self.engine.update(r, &d).is_err()
-                        || self.since_refactor + 1 >= self.refactor_period
-                    {
+                    let update_rejected = self.engine.update(r, &d).is_err();
+                    if update_rejected || self.since_refactor + 1 >= self.refactor_period {
                         if self.engine.refactor(&lp.a, &self.basis).is_err() {
                             return Err(Status::Numerical);
                         }
                         self.since_refactor = 0;
+                        self.emit_refactored(if update_rejected {
+                            "update_rejected"
+                        } else {
+                            "periodic"
+                        });
                         self.recompute_basic_values();
                     } else {
                         self.since_refactor += 1;
@@ -425,6 +495,12 @@ impl<'a, E: BasisEngine> Simplex<'a, E> {
     }
 
     fn finish(mut self, status: Status) -> RawResult {
+        if self.trace.is_enabled() {
+            self.trace.emit(
+                self.span,
+                EventKind::LpSolved { iters: self.iterations, status: status_tag(status) },
+            );
+        }
         let lp = self.lp;
         // Final duals and reduced costs from the true objective.
         let mut y = vec![0.0f64; self.m];
@@ -441,6 +517,17 @@ impl<'a, E: BasisEngine> Simplex<'a, E> {
             }
         }
         RawResult { status, x: self.x, y, d, iterations: self.iterations }
+    }
+}
+
+/// Snake_case status tag used in trace events.
+fn status_tag(status: Status) -> &'static str {
+    match status {
+        Status::Optimal => "optimal",
+        Status::Infeasible => "infeasible",
+        Status::Unbounded => "unbounded",
+        Status::IterationLimit => "iteration_limit",
+        Status::Numerical => "numerical",
     }
 }
 

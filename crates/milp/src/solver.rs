@@ -7,6 +7,7 @@ use rayon::prelude::*;
 use rrp_lp::model::StandardLp;
 use rrp_lp::simplex;
 use rrp_lp::Status;
+use rrp_trace::{with_worker, EventKind, PruneReason, SpanId, TraceHandle};
 
 use crate::branch::{self, Branching, PseudoCosts};
 use crate::budget::{SolveBudget, SolveStatus, StopReason};
@@ -30,6 +31,11 @@ pub struct MilpOptions {
     pub heuristic_period: usize,
     /// Worker batch size for [`solve_parallel`] (0 = rayon default width).
     pub parallel_batch: usize,
+    /// Telemetry handle. Disabled by default: every emission site is then a
+    /// single branch, so un-instrumented solves pay nothing.
+    pub trace: TraceHandle,
+    /// Parent span the solve's `milp` span is opened under.
+    pub trace_span: SpanId,
 }
 
 impl Default for MilpOptions {
@@ -42,6 +48,8 @@ impl Default for MilpOptions {
             branching: Branching::default(),
             heuristic_period: 16,
             parallel_batch: 0,
+            trace: TraceHandle::off(),
+            trace_span: SpanId::ROOT,
         }
     }
 }
@@ -136,16 +144,46 @@ struct Searcher<'a> {
     opts: &'a MilpOptions,
     pc: PseudoCosts,
     next_id: std::sync::atomic::AtomicU64,
+    /// Span node/LP events land in (the per-solve `milp` span).
+    span: SpanId,
 }
 
 impl<'a> Searcher<'a> {
-    fn new(base: &'a StandardLp, integers: &'a [usize], opts: &'a MilpOptions) -> Self {
+    fn new(
+        base: &'a StandardLp,
+        integers: &'a [usize],
+        opts: &'a MilpOptions,
+        span: SpanId,
+    ) -> Self {
         Self {
             base,
             integers,
             opts,
             pc: PseudoCosts::new(base.ncols()),
             next_id: std::sync::atomic::AtomicU64::new(1),
+            span,
+        }
+    }
+
+    /// Model-sense value of a min-form objective or bound (telemetry).
+    fn model_sense(&self, z: f64) -> f64 {
+        z * self.base.obj_scale
+    }
+
+    fn emit(&self, kind: EventKind) {
+        self.opts.trace.emit(self.span, kind);
+    }
+
+    /// Record a `node_pruned` event and map the reason onto the matching
+    /// [`Expansion`] outcome.
+    fn prune(&self, id: u64, reason: PruneReason) -> Expansion {
+        if self.opts.trace.is_enabled() {
+            self.emit(EventKind::NodePruned { id, reason });
+        }
+        match reason {
+            PruneReason::Bound => Expansion::Pruned,
+            PruneReason::Infeasible => Expansion::Infeasible,
+            PruneReason::Numerical => Expansion::Numerical,
         }
     }
 
@@ -157,27 +195,34 @@ impl<'a> Searcher<'a> {
     /// `cutoff` is the current incumbent objective in min-form (`INFINITY`
     /// when none); `run_heuristic` enables the rounding heuristic.
     fn expand(&self, node: &Node, cutoff: f64, run_heuristic: bool) -> Expansion {
+        if self.opts.trace.is_enabled() {
+            self.emit(EventKind::NodeOpened {
+                id: node.id,
+                depth: node.overrides.len(),
+                bound: self.model_sense(node.bound),
+            });
+        }
         let mut lp = self.base.clone();
         for &(j, l, u) in &node.overrides {
             lp.lower[j] = lp.lower[j].max(l);
             lp.upper[j] = lp.upper[j].min(u);
             if lp.lower[j] > lp.upper[j] {
-                return Expansion::Infeasible;
+                return self.prune(node.id, PruneReason::Infeasible);
             }
         }
-        let raw = simplex::solve_sparse(&lp);
+        let raw = simplex::solve_sparse_traced(&lp, &self.opts.trace, self.span);
         let raw = match raw.status {
             Status::Optimal => raw,
-            Status::Infeasible => return Expansion::Infeasible,
+            Status::Infeasible => return self.prune(node.id, PruneReason::Infeasible),
             Status::Unbounded => return Expansion::Unbounded,
             Status::IterationLimit | Status::Numerical => {
                 // one retry with the dense reference engine
-                let dense = simplex::solve_dense(&lp);
+                let dense = simplex::solve_dense_traced(&lp, &self.opts.trace, self.span);
                 match dense.status {
                     Status::Optimal => dense,
-                    Status::Infeasible => return Expansion::Infeasible,
+                    Status::Infeasible => return self.prune(node.id, PruneReason::Infeasible),
                     Status::Unbounded => return Expansion::Unbounded,
-                    _ => return Expansion::Numerical,
+                    _ => return self.prune(node.id, PruneReason::Numerical),
                 }
             }
         };
@@ -189,7 +234,7 @@ impl<'a> Searcher<'a> {
         }
 
         if z >= cutoff - self.gap_slack(cutoff) {
-            return Expansion::Pruned;
+            return self.prune(node.id, PruneReason::Bound);
         }
 
         // integrality check
@@ -201,6 +246,9 @@ impl<'a> Searcher<'a> {
             }
         }
         if fractional.is_empty() {
+            if self.opts.trace.is_enabled() {
+                self.emit(EventKind::NodeIntegral { id: node.id, objective: self.model_sense(z) });
+            }
             return Expansion::Incumbent(z, raw.x);
         }
 
@@ -320,7 +368,8 @@ fn drive_with(
     budget: Option<&SolveBudget>,
 ) -> (Result<MilpSolution, MilpStatus>, Option<StopReason>, f64) {
     let base = problem.model.to_standard();
-    let searcher = Searcher::new(&base, &problem.integers, opts);
+    let solve_span = opts.trace.span("milp", opts.trace_span);
+    let searcher = Searcher::new(&base, &problem.integers, opts, solve_span.id());
 
     let mut heap: BinaryHeap<Node> = BinaryHeap::new();
     heap.push(Node { bound: f64::NEG_INFINITY, overrides: Vec::new(), branch: None, id: 0 });
@@ -330,8 +379,32 @@ fn drive_with(
     let mut seen_numerical = false;
     let mut root = true;
     let mut stopped: Option<StopReason> = None;
+    // min-form values last reported to the trace (gap timeline)
+    let mut traced_bound = f64::NEG_INFINITY;
+    let mut traced_incumbent = f64::INFINITY;
 
     while let Some(top_bound) = heap.peek().map(|n| n.bound) {
+        if opts.trace.is_enabled() {
+            let inc = incumbent.as_ref().map(|(z, _)| *z).unwrap_or(f64::INFINITY);
+            if top_bound > traced_bound || inc < traced_incumbent {
+                if top_bound > traced_bound && top_bound.is_finite() {
+                    solve_span
+                        .emit(EventKind::BoundImproved { bound: searcher.model_sense(top_bound) });
+                }
+                if inc < traced_incumbent {
+                    solve_span.emit(EventKind::IncumbentImproved {
+                        objective: searcher.model_sense(inc),
+                    });
+                }
+                traced_bound = top_bound;
+                traced_incumbent = inc;
+                solve_span.emit(EventKind::GapSample {
+                    best_bound: searcher.model_sense(top_bound),
+                    incumbent: searcher.model_sense(inc),
+                    gap: relative_gap(inc, top_bound),
+                });
+            }
+        }
         if nodes >= opts.node_limit {
             break;
         }
@@ -368,7 +441,15 @@ fn drive_with(
         let results: Vec<Expansion> = if batch.len() == 1 {
             vec![searcher.expand(&batch[0], cutoff, run_h)]
         } else {
-            batch.par_iter().map(|n| searcher.expand(n, cutoff, run_h)).collect()
+            // Tag each expansion's events with its batch slot so traces can
+            // tell concurrent lanes apart (the rayon shim spawns fresh scoped
+            // threads, so there is no stable pool index to use instead).
+            let slotted: Vec<(u32, &Node)> =
+                batch.iter().enumerate().map(|(s, n)| (s as u32, n)).collect();
+            slotted
+                .into_par_iter()
+                .map(|(slot, n)| with_worker(slot, || searcher.expand(n, cutoff, run_h)))
+                .collect()
         };
 
         for exp in results {
@@ -376,6 +457,13 @@ fn drive_with(
                 Expansion::Pruned | Expansion::Infeasible => {}
                 Expansion::Unbounded => {
                     if root {
+                        if opts.trace.is_enabled() {
+                            solve_span.emit(EventKind::SolveDone {
+                                status: "unbounded",
+                                nodes,
+                                gap: f64::INFINITY,
+                            });
+                        }
                         return (Err(MilpStatus::Unbounded), None, f64::NEG_INFINITY);
                     }
                     // A child LP cannot be unbounded if the root was bounded;
@@ -412,14 +500,10 @@ fn drive_with(
 
     let best_frontier = heap.peek().map(|n| n.bound).unwrap_or(f64::INFINITY);
     let scale = base.obj_scale;
-    match incumbent {
+    let out = match incumbent {
         Some((z, x)) => {
             let bound_min = best_frontier.min(z);
-            let gap = if z.abs() > 0.0 {
-                ((z - bound_min) / z.abs()).max(0.0)
-            } else {
-                (z - bound_min).abs()
-            };
+            let gap = relative_gap(z, bound_min);
             let slack = opts.abs_gap.max(opts.rel_gap * z.abs());
             let proven = best_frontier >= z - slack;
             let mut values: Vec<f64> = x[..base.nstruct].to_vec();
@@ -452,5 +536,46 @@ fn drive_with(
             };
             (Err(err), stopped, bound)
         }
+    };
+    if opts.trace.is_enabled() {
+        let (status, gap) = solve_done_summary(&out);
+        solve_span.emit(EventKind::SolveDone { status, nodes, gap });
     }
+    out
+}
+
+/// Relative gap between a min-form incumbent and dual bound (∞ without an
+/// incumbent — readers see `null` in the JSON form).
+fn relative_gap(incumbent: f64, bound: f64) -> f64 {
+    if !incumbent.is_finite() {
+        return f64::INFINITY;
+    }
+    if incumbent.abs() > 0.0 {
+        ((incumbent - bound) / incumbent.abs()).max(0.0)
+    } else {
+        (incumbent - bound).abs()
+    }
+}
+
+/// Status tag and final gap for the `solve_done` trace event. Budget stops
+/// report `terminated:*` so counter sinks can sample the gap-at-timeout.
+fn solve_done_summary(
+    out: &(Result<MilpSolution, MilpStatus>, Option<StopReason>, f64),
+) -> (&'static str, f64) {
+    let (result, stopped, _) = out;
+    let gap = match result {
+        Ok(sol) => sol.gap,
+        Err(_) => f64::INFINITY,
+    };
+    let status = match (stopped, result) {
+        (_, Ok(sol)) if sol.proven_optimal => "optimal",
+        (Some(StopReason::Deadline), _) => "terminated:deadline",
+        (Some(StopReason::NodeLimit), _) => "terminated:node_limit",
+        (None, Ok(_)) => "terminated:node_limit",
+        (None, Err(MilpStatus::Infeasible)) => "infeasible",
+        (None, Err(MilpStatus::Unbounded)) => "unbounded",
+        (None, Err(MilpStatus::NodeLimit)) => "terminated:node_limit",
+        (None, Err(MilpStatus::Numerical)) => "numerical",
+    };
+    (status, gap)
 }

@@ -1,0 +1,224 @@
+//! The cheap handle instrumented code holds: a shared sink plus the trace
+//! origin. A disabled handle is a `None` — every emit is one branch, no
+//! clock read, no allocation, so un-instrumented callers pay nothing.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::event::{Event, EventKind};
+use crate::sink::Sink;
+
+/// Identity of a span. `ROOT` (0) is the implicit top-level scope: it is
+/// never opened or closed, and events outside any span carry it. `Default`
+/// is `ROOT`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    pub const ROOT: SpanId = SpanId(0);
+
+    pub fn is_root(self) -> bool {
+        self.0 == 0
+    }
+}
+
+struct Inner {
+    sink: Arc<dyn Sink>,
+    origin: Instant,
+    next_span: AtomicU64,
+}
+
+/// Cloneable capability to emit trace events. The default handle is *off*:
+/// `emit` is a single `Option` check. An enabled handle stamps events with
+/// microseconds since its origin (monotonic) and the current worker lane.
+#[derive(Clone, Default)]
+pub struct TraceHandle {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for TraceHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.inner.is_some() { "TraceHandle(on)" } else { "TraceHandle(off)" })
+    }
+}
+
+impl TraceHandle {
+    /// The disabled handle (same as `Default`). ~Zero cost to carry and
+    /// emit against.
+    pub fn off() -> Self {
+        Self { inner: None }
+    }
+
+    /// A handle delivering events to `sink`, with its origin at "now".
+    pub fn new(sink: Arc<dyn Sink>) -> Self {
+        Self {
+            inner: Some(Arc::new(Inner {
+                sink,
+                origin: Instant::now(),
+                next_span: AtomicU64::new(1),
+            })),
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Microseconds since the trace origin (0 when disabled).
+    pub fn now_us(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.origin.elapsed().as_micros() as u64,
+            None => 0,
+        }
+    }
+
+    /// Emit one event into `span`. No-op when disabled.
+    pub fn emit(&self, span: SpanId, kind: EventKind) {
+        if let Some(inner) = &self.inner {
+            let ev = Event {
+                t_us: inner.origin.elapsed().as_micros() as u64,
+                worker: current_worker(),
+                span,
+                kind,
+            };
+            inner.sink.emit(&ev);
+        }
+    }
+
+    /// Open a span under `parent` and return its id ([`SpanId::ROOT`] when
+    /// disabled, which [`TraceHandle::close_span`] then ignores).
+    pub fn open_span(&self, name: &'static str, parent: SpanId) -> SpanId {
+        match &self.inner {
+            Some(inner) => {
+                let id = SpanId(inner.next_span.fetch_add(1, Ordering::Relaxed));
+                self.emit(id, EventKind::SpanOpen { name, parent });
+                id
+            }
+            None => SpanId::ROOT,
+        }
+    }
+
+    /// Close a span previously returned by [`TraceHandle::open_span`].
+    pub fn close_span(&self, span: SpanId) {
+        if !span.is_root() {
+            self.emit(span, EventKind::SpanClose);
+        }
+    }
+
+    /// RAII variant of open/close: the span closes when the guard drops.
+    pub fn span(&self, name: &'static str, parent: SpanId) -> SpanGuard {
+        SpanGuard { handle: self.clone(), id: self.open_span(name, parent) }
+    }
+
+    /// Ask the sink to persist anything buffered (JSONL writers).
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            inner.sink.flush();
+        }
+    }
+}
+
+/// Guard returned by [`TraceHandle::span`]; closes the span on drop.
+pub struct SpanGuard {
+    handle: TraceHandle,
+    id: SpanId,
+}
+
+impl SpanGuard {
+    pub fn id(&self) -> SpanId {
+        self.id
+    }
+
+    /// Emit an event inside this span.
+    pub fn emit(&self, kind: EventKind) {
+        self.handle.emit(self.id, kind);
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.handle.close_span(self.id);
+    }
+}
+
+thread_local! {
+    static WORKER: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Tag the current thread's events with worker lane `id` (engine worker
+/// index, parallel B&B batch slot, …). Defaults to 0.
+pub fn set_worker(id: u32) {
+    WORKER.with(|w| w.set(id));
+}
+
+/// The current thread's worker lane.
+pub fn current_worker() -> u32 {
+    WORKER.with(Cell::get)
+}
+
+/// Run `f` with the worker lane set to `id`, restoring the previous lane
+/// afterwards — the scoped form used around parallel batch expansion.
+pub fn with_worker<R>(id: u32, f: impl FnOnce() -> R) -> R {
+    let prev = current_worker();
+    set_worker(id);
+    let out = f();
+    set_worker(prev);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::RingSink;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let h = TraceHandle::off();
+        assert!(!h.is_enabled());
+        let s = h.open_span("x", SpanId::ROOT);
+        assert!(s.is_root());
+        h.emit(s, EventKind::Enqueued);
+        h.close_span(s);
+        h.flush();
+    }
+
+    #[test]
+    fn spans_are_balanced_and_nested() {
+        let ring = Arc::new(RingSink::new(64));
+        let h = TraceHandle::new(ring.clone());
+        let outer = h.open_span("outer", SpanId::ROOT);
+        {
+            let inner = h.span("inner", outer);
+            inner.emit(EventKind::Dequeued);
+        }
+        h.close_span(outer);
+        let evs = ring.drain();
+        let tags: Vec<&str> = evs.iter().map(|e| e.kind.tag()).collect();
+        assert_eq!(tags, ["span_open", "span_open", "dequeued", "span_close", "span_close"]);
+        // inner's parent is outer
+        match &evs[1].kind {
+            EventKind::SpanOpen { parent, .. } => assert_eq!(*parent, outer),
+            other => panic!("expected span_open, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn worker_lane_is_scoped() {
+        assert_eq!(current_worker(), 0);
+        let seen = with_worker(7, current_worker);
+        assert_eq!(seen, 7);
+        assert_eq!(current_worker(), 0);
+    }
+
+    #[test]
+    fn timestamps_are_monotone() {
+        let ring = Arc::new(RingSink::new(8));
+        let h = TraceHandle::new(ring.clone());
+        h.emit(SpanId::ROOT, EventKind::Enqueued);
+        h.emit(SpanId::ROOT, EventKind::Dequeued);
+        let evs = ring.drain();
+        assert!(evs[0].t_us <= evs[1].t_us);
+    }
+}

@@ -1,15 +1,22 @@
-//! Workspace automation. `cargo run -p xtask -- lint` runs the
-//! solver-safety lint gate: a static scan of every library source file in
-//! `crates/*/src` for patterns that have no place on a solver hot path —
-//! aborts (`unwrap`/`expect`/`panic!`-family macros) and exact floating
-//! point equality. Violations fail the run unless they are recorded in
-//! `lint-allow.txt` (one `path: trimmed-line` entry per line) with a
-//! justification comment.
+//! Workspace automation.
+//!
+//! * `cargo run -p xtask -- lint` runs the solver-safety lint gate: a
+//!   static scan of every library source file in `crates/*/src` for
+//!   patterns that have no place on a solver hot path — aborts
+//!   (`unwrap`/`expect`/`panic!`-family macros) and exact floating point
+//!   equality. Violations fail the run unless they are recorded in
+//!   `lint-allow.txt` (one `path: trimmed-line` entry per line) with a
+//!   justification comment.
+//! * `cargo run -p xtask -- trace <file.jsonl>` renders a report from an
+//!   `rrp-trace` JSONL stream (see [`trace`]); `--assert-gap-closed` is
+//!   the CI assertion mode.
 //!
 //! The scan is line-based and deliberately simple: it skips `//` comments
 //! and `#[cfg(test)] mod` blocks (test code may unwrap freely), and the
 //! allowlist absorbs the rare justified use. It is a tripwire against
 //! *new* debt, not a parser.
+
+mod trace;
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -40,8 +47,11 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(),
+        Some("trace") => trace::run(&args[1..]),
         _ => {
-            eprintln!("usage: cargo run -p xtask -- lint");
+            eprintln!(
+                "usage: cargo run -p xtask -- lint\n       cargo run -p xtask -- trace <file.jsonl> [--assert-gap-closed] [--gap-tol <rel>]"
+            );
             ExitCode::from(2)
         }
     }

@@ -1,0 +1,596 @@
+//! `cargo run -p xtask -- trace <file.jsonl>` — offline analysis of an
+//! `rrp-trace` JSONL stream.
+//!
+//! The tool rebuilds the span tree from `span_open`/`span_close` events and
+//! renders one report per MILP solve (a `"milp"` span): search-tree summary
+//! (nodes by prune reason, depth histogram), the gap-vs-time timeline as an
+//! ASCII sparkline, and a per-rung latency breakdown from `ladder_step`
+//! events. With `--assert-gap-closed` it exits non-zero unless every
+//! `solve_done` in the file reached optimality (or a relative gap within
+//! `--gap-tol`, default 1e-6) — the CI mode that keeps the instrumented
+//! example honest.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::process::ExitCode;
+
+use serde_json::Value;
+
+/// Sparkline glyphs, low to high.
+const BARS: &[char] = &['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+/// Maximum sparkline / histogram width in glyphs.
+const WIDTH: usize = 48;
+
+/// One parsed JSONL line.
+struct Ev {
+    t_us: u64,
+    span: u64,
+    tag: String,
+    v: Value,
+}
+
+/// One reconstructed span.
+struct Span {
+    name: String,
+    parent: u64,
+    opened_us: u64,
+    closed_us: Option<u64>,
+}
+
+/// Per-solve (`"milp"` span) aggregate.
+#[derive(Default)]
+struct Solve {
+    span: u64,
+    rung: String,
+    opened: u64,
+    integral: u64,
+    pruned: BTreeMap<String, u64>,
+    depths: BTreeMap<u64, u64>,
+    lp_solves: u64,
+    lp_iters: u64,
+    /// `(t_us, gap)` timeline; `f64::INFINITY` for a null (no-incumbent) gap.
+    gap_samples: Vec<(u64, f64)>,
+    done: Option<(String, u64, f64)>,
+}
+
+/// Aggregate of the `ladder_step` events for one rung level.
+#[derive(Default)]
+struct RungStat {
+    attempts: u64,
+    total_us: u64,
+    max_us: u64,
+    outcomes: BTreeMap<String, u64>,
+}
+
+pub fn run(args: &[String]) -> ExitCode {
+    let mut path = None;
+    let mut assert_gap_closed = false;
+    let mut gap_tol = 1e-6;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--assert-gap-closed" => assert_gap_closed = true,
+            "--gap-tol" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(t) => gap_tol = t,
+                None => return usage("--gap-tol needs a numeric argument"),
+            },
+            flag if flag.starts_with('-') => return usage(&format!("unknown flag {flag}")),
+            file => {
+                if path.replace(file).is_some() {
+                    return usage("more than one trace file given");
+                }
+            }
+        }
+    }
+    let Some(path) = path else {
+        return usage("no trace file given");
+    };
+    let src = match fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("trace: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let (events, parse_errors) = parse_events(&src);
+    let spans = build_spans(&events);
+    let solves = collect_solves(&events, &spans);
+    let rungs = collect_rung_stats(&events, &spans);
+
+    print!("{}", render_report(path, &events, &spans, &solves, &rungs, parse_errors));
+
+    if assert_gap_closed {
+        return assert_closed(&solves, gap_tol);
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("trace: {msg}");
+    eprintln!(
+        "usage: cargo run -p xtask -- trace <file.jsonl> [--assert-gap-closed] [--gap-tol <rel>]"
+    );
+    ExitCode::from(2)
+}
+
+/// Parse every line; malformed lines are counted, not fatal (a crashed
+/// process may have torn its last line).
+fn parse_events(src: &str) -> (Vec<Ev>, usize) {
+    let mut events = Vec::new();
+    let mut errors = 0;
+    for line in src.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Ok(v) = serde_json::from_str(line) else {
+            errors += 1;
+            continue;
+        };
+        let v: Value = v;
+        let (Some(t_us), Some(span), Some(tag)) = (
+            v.get("t_us").and_then(Value::as_u64),
+            v.get("span").and_then(Value::as_u64),
+            v.get("ev").and_then(Value::as_str),
+        ) else {
+            errors += 1;
+            continue;
+        };
+        events.push(Ev { t_us, span, tag: tag.to_string(), v });
+    }
+    (events, errors)
+}
+
+/// Rebuild the span table from open/close events.
+fn build_spans(events: &[Ev]) -> BTreeMap<u64, Span> {
+    let mut spans = BTreeMap::new();
+    for ev in events {
+        match ev.tag.as_str() {
+            "span_open" => {
+                let name = ev.v.get("name").and_then(Value::as_str).unwrap_or("?").to_string();
+                let parent = ev.v.get("parent").and_then(Value::as_u64).unwrap_or(0);
+                spans.insert(ev.span, Span { name, parent, opened_us: ev.t_us, closed_us: None });
+            }
+            "span_close" => {
+                if let Some(span) = spans.get_mut(&ev.span) {
+                    span.closed_us = Some(ev.t_us);
+                }
+            }
+            _ => {}
+        }
+    }
+    spans
+}
+
+/// The name of the nearest enclosing `rung:*` ancestor, if any.
+fn enclosing_rung(spans: &BTreeMap<u64, Span>, mut id: u64) -> Option<String> {
+    // parent chains are short (request → rung → milp); 64 steps is a
+    // cycle guard against corrupt input, not a real bound
+    for _ in 0..64 {
+        let span = spans.get(&id)?;
+        if span.name.starts_with("rung:") {
+            return Some(span.name.clone());
+        }
+        id = span.parent;
+    }
+    None
+}
+
+/// Group solver events under their `"milp"` spans, in span-open order.
+fn collect_solves(events: &[Ev], spans: &BTreeMap<u64, Span>) -> Vec<Solve> {
+    let mut solves: BTreeMap<u64, Solve> = spans
+        .iter()
+        .filter(|(_, s)| s.name == "milp")
+        .map(|(&id, _)| {
+            let rung = enclosing_rung(spans, id).unwrap_or_else(|| "(standalone)".to_string());
+            (id, Solve { span: id, rung, ..Default::default() })
+        })
+        .collect();
+    for ev in events {
+        let Some(solve) = solves.get_mut(&ev.span) else {
+            continue;
+        };
+        match ev.tag.as_str() {
+            "node_opened" => {
+                solve.opened += 1;
+                let depth = ev.v.get("depth").and_then(Value::as_u64).unwrap_or(0);
+                *solve.depths.entry(depth).or_insert(0) += 1;
+            }
+            "node_pruned" => {
+                let reason = ev.v.get("reason").and_then(Value::as_str).unwrap_or("?").to_string();
+                *solve.pruned.entry(reason).or_insert(0) += 1;
+            }
+            "node_integral" => solve.integral += 1,
+            "lp_solved" => {
+                solve.lp_solves += 1;
+                solve.lp_iters += ev.v.get("iters").and_then(Value::as_u64).unwrap_or(0);
+            }
+            "gap_sample" => {
+                // a null gap serialises the no-incumbent state: ∞
+                let gap = ev.v.get("gap").and_then(Value::as_f64).unwrap_or(f64::INFINITY);
+                solve.gap_samples.push((ev.t_us, gap));
+            }
+            "solve_done" => {
+                let status = ev.v.get("status").and_then(Value::as_str).unwrap_or("?").to_string();
+                let nodes = ev.v.get("nodes").and_then(Value::as_u64).unwrap_or(0);
+                let gap = ev.v.get("gap").and_then(Value::as_f64).unwrap_or(f64::INFINITY);
+                solve.done = Some((status, nodes, gap));
+            }
+            _ => {}
+        }
+    }
+    let mut out: Vec<Solve> = solves.into_values().collect();
+    out.sort_by_key(|s| spans.get(&s.span).map_or(0, |sp| sp.opened_us));
+    out
+}
+
+/// Aggregate `ladder_step` events per rung level.
+fn collect_rung_stats(events: &[Ev], spans: &BTreeMap<u64, Span>) -> BTreeMap<String, RungStat> {
+    let mut rungs: BTreeMap<String, RungStat> = BTreeMap::new();
+    for ev in events {
+        if ev.tag != "ladder_step" {
+            continue;
+        }
+        let level =
+            ev.v.get("level")
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .or_else(|| spans.get(&ev.span).map(|s| s.name.clone()))
+                .unwrap_or_else(|| "?".to_string());
+        let outcome = ev.v.get("outcome").and_then(Value::as_str).unwrap_or("?");
+        // `kind:detail` outcome strings aggregate by kind
+        let kind = outcome.split(':').next().unwrap_or("?").to_string();
+        let us = ev.v.get("elapsed_us").and_then(Value::as_u64).unwrap_or(0);
+        let stat = rungs.entry(level).or_default();
+        stat.attempts += 1;
+        stat.total_us += us;
+        stat.max_us = stat.max_us.max(us);
+        *stat.outcomes.entry(kind).or_insert(0) += 1;
+    }
+    rungs
+}
+
+fn render_report(
+    path: &str,
+    events: &[Ev],
+    spans: &BTreeMap<u64, Span>,
+    solves: &[Solve],
+    rungs: &BTreeMap<String, RungStat>,
+    parse_errors: usize,
+) -> String {
+    let mut out = String::new();
+    let requests = spans.values().filter(|s| s.name == "request").count();
+    let unbalanced = spans.values().filter(|s| s.closed_us.is_none()).count();
+    let _ = writeln!(
+        out,
+        "trace {path}: {} events, {} spans ({requests} requests, {} solves)",
+        events.len(),
+        spans.len(),
+        solves.len(),
+    );
+    if parse_errors > 0 {
+        let _ = writeln!(out, "  warning: {parse_errors} unparseable line(s) skipped");
+    }
+    if unbalanced > 0 {
+        let _ = writeln!(out, "  warning: {unbalanced} span(s) opened but never closed");
+    }
+
+    for (i, solve) in solves.iter().enumerate() {
+        out.push('\n');
+        let _ = writeln!(out, "solve #{} (span {}, {})", i + 1, solve.span, solve.rung);
+        match &solve.done {
+            Some((status, nodes, gap)) => {
+                let _ = writeln!(
+                    out,
+                    "  status {status}   nodes {nodes}   gap {}   lp {} solves / {} iters",
+                    fmt_gap(*gap),
+                    solve.lp_solves,
+                    solve.lp_iters
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "  status (no solve_done — span torn?)   lp {} solves / {} iters",
+                    solve.lp_solves, solve.lp_iters
+                );
+            }
+        }
+        let pruned: u64 = solve.pruned.values().sum();
+        let branched = solve.opened.saturating_sub(pruned + solve.integral);
+        let mut reasons = String::new();
+        for (reason, n) in &solve.pruned {
+            let _ = write!(reasons, " {reason} {n},");
+        }
+        let reasons = reasons.trim_end_matches(',');
+        let _ = writeln!(
+            out,
+            "  nodes: opened {} | integral {} | pruned{} | branched {branched}",
+            solve.opened,
+            solve.integral,
+            if pruned == 0 { " none".to_string() } else { reasons.to_string() },
+        );
+        render_depth_histogram(&mut out, &solve.depths);
+        render_gap_sparkline(&mut out, &solve.gap_samples, spans.get(&solve.span));
+    }
+
+    if !rungs.is_empty() {
+        out.push('\n');
+        let _ = writeln!(out, "rung latency:");
+        for (level, stat) in rungs {
+            let mean = stat.total_us as f64 / stat.attempts as f64;
+            let mut outcomes = String::new();
+            for (kind, n) in &stat.outcomes {
+                let _ = write!(outcomes, "{kind} ×{n}, ");
+            }
+            let outcomes = outcomes.trim_end_matches(", ");
+            let _ = writeln!(
+                out,
+                "  {level:<16} {:>3} attempt(s)   mean {:>10}   max {:>10}   [{outcomes}]",
+                stat.attempts,
+                fmt_us(mean),
+                fmt_us(stat.max_us as f64),
+            );
+        }
+    }
+    out
+}
+
+/// `  depth:  0 ████████ 12` rows, bars scaled to the deepest count.
+fn render_depth_histogram(out: &mut String, depths: &BTreeMap<u64, u64>) {
+    let Some(max) = depths.values().copied().max().filter(|&m| m > 0) else {
+        return;
+    };
+    let _ = writeln!(out, "  depth histogram (nodes opened per depth):");
+    for (&depth, &n) in depths {
+        let width = ((n as f64 / max as f64) * WIDTH as f64).ceil() as usize;
+        let bar = "█".repeat(width.max(1));
+        let _ = writeln!(out, "    {depth:>3} {bar} {n}");
+    }
+}
+
+/// One sparkline row: relative gap over time, high (left axis label) to
+/// closed. Infinite gaps (no incumbent yet) render as the top glyph.
+fn render_gap_sparkline(out: &mut String, samples: &[(u64, f64)], span: Option<&Span>) {
+    if samples.is_empty() {
+        return;
+    }
+    let finite_max =
+        samples.iter().map(|&(_, g)| g).filter(|g| g.is_finite()).fold(0.0_f64, f64::max);
+    let scale = if finite_max > 0.0 { finite_max } else { 1.0 };
+    let line: String = time_buckets(samples, WIDTH)
+        .into_iter()
+        .map(|gap| match gap {
+            None => ' ',
+            Some(g) if !g.is_finite() => '∞',
+            Some(g) => {
+                let idx = ((g / scale) * (BARS.len() - 1) as f64).round() as usize;
+                BARS[idx.min(BARS.len() - 1)]
+            }
+        })
+        .collect();
+    let last = samples.last().map_or(f64::INFINITY, |&(_, g)| g);
+    let window_ms = span
+        .and_then(|s| s.closed_us.map(|c| (c.saturating_sub(s.opened_us)) as f64 / 1e3))
+        .unwrap_or_else(|| {
+            let t0 = samples.first().map_or(0, |&(t, _)| t);
+            let t1 = samples.last().map_or(t0, |&(t, _)| t);
+            (t1 - t0) as f64 / 1e3
+        });
+    let _ = writeln!(
+        out,
+        "  gap [{}] {line} [{}]  ({} samples over {window_ms:.1} ms)",
+        fmt_gap(scale),
+        fmt_gap(last),
+        samples.len(),
+    );
+}
+
+/// Bucket `(t, gap)` samples into `width` equal time slices; each slice
+/// keeps its last sample (the state at the end of the slice). Empty slices
+/// are `None` (rendered as blanks — time passing without movement).
+fn time_buckets(samples: &[(u64, f64)], width: usize) -> Vec<Option<f64>> {
+    let t0 = samples.first().map_or(0, |&(t, _)| t);
+    let t1 = samples.last().map_or(t0, |&(t, _)| t);
+    let range = (t1 - t0).max(1) as f64;
+    let n = width.min(samples.len().max(1));
+    let mut buckets = vec![None; n];
+    for &(t, gap) in samples {
+        let frac = (t - t0) as f64 / range;
+        let idx = ((frac * n as f64) as usize).min(n - 1);
+        buckets[idx] = Some(gap);
+    }
+    buckets
+}
+
+fn fmt_gap(gap: f64) -> String {
+    if !gap.is_finite() {
+        "∞".to_string()
+    } else if gap == 0.0 {
+        "0".to_string()
+    } else if gap >= 0.0995 {
+        format!("{:.0}%", gap * 100.0)
+    } else {
+        format!("{gap:.1e}")
+    }
+}
+
+fn fmt_us(us: f64) -> String {
+    if us >= 1e6 {
+        format!("{:.2} s", us / 1e6)
+    } else if us >= 1e3 {
+        format!("{:.2} ms", us / 1e3)
+    } else {
+        format!("{us:.0} µs")
+    }
+}
+
+/// `--assert-gap-closed`: every solve must have finished with status
+/// `optimal` or a final gap within `tol`; a file with no solves at all
+/// also fails (the instrumented run produced nothing to check). A
+/// budget-terminated solve with zero nodes never *started* searching (the
+/// deadline expired before the root expansion — the degradation ladder's
+/// intended behaviour under a starved budget) and is reported but not
+/// counted as an open gap.
+fn assert_closed(solves: &[Solve], tol: f64) -> ExitCode {
+    if solves.is_empty() {
+        eprintln!("trace: --assert-gap-closed: no MILP solves in trace");
+        return ExitCode::FAILURE;
+    }
+    let mut open = 0;
+    let mut never_started = 0;
+    for (i, solve) in solves.iter().enumerate() {
+        match &solve.done {
+            Some((status, _, gap)) if status == "optimal" || *gap <= tol => {}
+            Some((status, nodes, _)) if *nodes == 0 && status.starts_with("terminated") => {
+                never_started += 1;
+            }
+            Some((status, _, gap)) => {
+                eprintln!(
+                    "trace: solve #{} (span {}) not closed: status {status}, gap {}",
+                    i + 1,
+                    solve.span,
+                    fmt_gap(*gap)
+                );
+                open += 1;
+            }
+            None => {
+                eprintln!("trace: solve #{} (span {}) has no solve_done event", i + 1, solve.span);
+                open += 1;
+            }
+        }
+    }
+    if open > 0 {
+        eprintln!("trace: --assert-gap-closed: {open} solve(s) with an open gap");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "trace: --assert-gap-closed: all {} solve(s) closed ({never_started} never started)",
+        solves.len() - never_started,
+    );
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A hand-written two-solve trace: one optimal, one deadline-terminated.
+    const SAMPLE: &str = r#"
+{"t_us":1,"worker":0,"span":1,"ev":"span_open","name":"request","parent":0}
+{"t_us":2,"worker":0,"span":1,"ev":"enqueued"}
+{"t_us":3,"worker":1,"span":1,"ev":"dequeued"}
+{"t_us":4,"worker":1,"span":1,"ev":"cache_lookup","hit":false}
+{"t_us":5,"worker":1,"span":1,"ev":"audit_gate","verdict":"pass","tightenings":3}
+{"t_us":6,"worker":1,"span":2,"ev":"span_open","name":"rung:deterministic","parent":1}
+{"t_us":7,"worker":1,"span":3,"ev":"span_open","name":"milp","parent":2}
+{"t_us":8,"worker":1,"span":3,"ev":"node_opened","id":0,"depth":0,"bound":10.0}
+{"t_us":9,"worker":1,"span":3,"ev":"lp_solved","iters":12,"status":"optimal"}
+{"t_us":10,"worker":1,"span":3,"ev":"gap_sample","best_bound":10.0,"incumbent":null,"gap":null}
+{"t_us":11,"worker":1,"span":3,"ev":"node_opened","id":1,"depth":1,"bound":10.5}
+{"t_us":12,"worker":1,"span":3,"ev":"node_integral","id":1,"objective":11.0}
+{"t_us":13,"worker":1,"span":3,"ev":"incumbent_improved","objective":11.0}
+{"t_us":14,"worker":1,"span":3,"ev":"gap_sample","best_bound":10.0,"incumbent":11.0,"gap":0.1}
+{"t_us":15,"worker":1,"span":3,"ev":"node_opened","id":2,"depth":1,"bound":10.2}
+{"t_us":16,"worker":1,"span":3,"ev":"node_pruned","id":2,"reason":"bound"}
+{"t_us":17,"worker":1,"span":3,"ev":"gap_sample","best_bound":11.0,"incumbent":11.0,"gap":0.0}
+{"t_us":18,"worker":1,"span":3,"ev":"solve_done","status":"optimal","nodes":3,"gap":0.0}
+{"t_us":19,"worker":1,"span":3,"ev":"span_close"}
+{"t_us":20,"worker":1,"span":2,"ev":"ladder_step","level":"deterministic","outcome":"solved","elapsed_us":14}
+{"t_us":21,"worker":1,"span":2,"ev":"span_close"}
+{"t_us":22,"worker":1,"span":1,"ev":"span_close"}
+{"t_us":30,"worker":0,"span":4,"ev":"span_open","name":"milp","parent":0}
+{"t_us":31,"worker":0,"span":4,"ev":"node_opened","id":0,"depth":0,"bound":5.0}
+{"t_us":32,"worker":0,"span":4,"ev":"node_pruned","id":0,"reason":"infeasible"}
+{"t_us":33,"worker":0,"span":4,"ev":"solve_done","status":"terminated:deadline","nodes":1,"gap":0.4}
+{"t_us":34,"worker":0,"span":4,"ev":"span_close"}
+"#;
+
+    fn parsed() -> (Vec<Ev>, BTreeMap<u64, Span>) {
+        let (events, errors) = parse_events(SAMPLE);
+        assert_eq!(errors, 0);
+        let spans = build_spans(&events);
+        (events, spans)
+    }
+
+    #[test]
+    fn solves_are_grouped_and_attributed() {
+        let (events, spans) = parsed();
+        let solves = collect_solves(&events, &spans);
+        assert_eq!(solves.len(), 2);
+        assert_eq!(solves[0].rung, "rung:deterministic");
+        assert_eq!(solves[0].opened, 3);
+        assert_eq!(solves[0].integral, 1);
+        assert_eq!(solves[0].pruned.get("bound"), Some(&1));
+        assert_eq!(solves[0].gap_samples.len(), 3);
+        assert!(solves[0].gap_samples[0].1.is_infinite(), "null gap is ∞");
+        assert_eq!(solves[0].done.as_ref().map(|d| d.0.as_str()), Some("optimal"));
+        assert_eq!(solves[1].rung, "(standalone)");
+        assert_eq!(solves[1].pruned.get("infeasible"), Some(&1));
+    }
+
+    #[test]
+    fn rung_stats_aggregate_ladder_steps() {
+        let (events, spans) = parsed();
+        let rungs = collect_rung_stats(&events, &spans);
+        let det = rungs.get("deterministic").expect("deterministic rung present");
+        assert_eq!(det.attempts, 1);
+        assert_eq!(det.total_us, 14);
+        assert_eq!(det.outcomes.get("solved"), Some(&1));
+    }
+
+    #[test]
+    fn report_renders_all_sections() {
+        let (events, spans) = parsed();
+        let solves = collect_solves(&events, &spans);
+        let rungs = collect_rung_stats(&events, &spans);
+        let report = render_report("t.jsonl", &events, &spans, &solves, &rungs, 0);
+        assert!(report.contains("solve #1"), "{report}");
+        assert!(report.contains("rung:deterministic"), "{report}");
+        assert!(report.contains("depth histogram"), "{report}");
+        assert!(report.contains("gap ["), "{report}");
+        assert!(report.contains("rung latency:"), "{report}");
+        assert!(report.contains("terminated:deadline"), "{report}");
+    }
+
+    #[test]
+    fn assert_gap_closed_flags_open_solves() {
+        let (events, spans) = parsed();
+        let solves = collect_solves(&events, &spans);
+        // solve #2 terminated on deadline with gap 0.4 > tol after real work
+        assert_eq!(assert_closed(&solves, 1e-6), ExitCode::FAILURE);
+        // a generous tolerance admits it
+        assert_eq!(assert_closed(&solves, 0.5), ExitCode::SUCCESS);
+        // and no solves at all is a failure, not a vacuous pass
+        assert_eq!(assert_closed(&[], 1e-6), ExitCode::FAILURE);
+    }
+
+    #[test]
+    fn starved_solves_that_never_started_do_not_fail_the_gate() {
+        let solve = Solve {
+            span: 9,
+            done: Some(("terminated:deadline".to_string(), 0, f64::INFINITY)),
+            ..Default::default()
+        };
+        assert_eq!(assert_closed(&[solve], 1e-6), ExitCode::SUCCESS);
+    }
+
+    #[test]
+    fn time_buckets_keep_last_sample_per_slice() {
+        let samples = [(0, 1.0), (50, 0.5), (51, 0.4), (100, 0.0)];
+        let buckets = time_buckets(&samples, 4);
+        // slices are [0,25), [25,50), [50,75), [75,100]: both mid samples
+        // land in the third slice and the later one wins
+        assert_eq!(buckets, vec![Some(1.0), None, Some(0.4), Some(0.0)]);
+    }
+
+    #[test]
+    fn torn_lines_are_skipped_not_fatal() {
+        let src = "{\"t_us\":1,\"worker\":0,\"span\":0,\"ev\":\"enqueued\"}\n{\"t_us\":2,\"wor";
+        let (events, errors) = parse_events(src);
+        assert_eq!(events.len(), 1);
+        assert_eq!(errors, 1);
+    }
+}

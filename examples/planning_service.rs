@@ -4,12 +4,19 @@
 //! gracefully instead of blowing its budget.
 //!
 //! Run with: `cargo run --example planning_service --release`
+//!
+//! Pass `--trace out.jsonl` to stream the full solver telemetry (request
+//! spans, ladder steps, branch & bound node events, gap samples) to a
+//! JSONL file; render it afterwards with
+//! `cargo run -p xtask -- trace out.jsonl`.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use rrp_core::{CostSchedule, PlanningParams, ScenarioTree};
-use rrp_engine::{Engine, PlanRequest, PolicyKind};
+use rrp_engine::{Engine, EngineConfig, PlanRequest, PolicyKind};
 use rrp_spotmarket::{CostRates, EmpiricalDist};
+use rrp_trace::JsonlSink;
 
 fn request(i: usize, policy: PolicyKind, deadline: Duration) -> PlanRequest {
     let horizon = 5;
@@ -32,7 +39,34 @@ fn request(i: usize, policy: PolicyKind, deadline: Duration) -> PlanRequest {
 }
 
 fn main() {
-    let engine = Engine::new(4);
+    let mut trace_path = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trace" => match args.next() {
+                Some(path) => trace_path = Some(path),
+                None => {
+                    eprintln!("--trace needs a file path");
+                    std::process::exit(2);
+                }
+            },
+            other => eprintln!("ignoring unknown argument {other}"),
+        }
+    }
+    let engine = match &trace_path {
+        Some(path) => {
+            let sink = JsonlSink::create(path).expect("create trace file");
+            Engine::with_config(
+                4,
+                EngineConfig {
+                    sink: Some(Arc::new(sink)),
+                    count_solver_events: true,
+                    ..Default::default()
+                },
+            )
+        }
+        None => Engine::new(4),
+    };
     let policies = [
         PolicyKind::Stochastic,
         PolicyKind::Deterministic,
@@ -87,4 +121,9 @@ fn main() {
         "\n== metrics ==\n{}",
         serde_json::to_string_pretty(&snapshot).expect("snapshot serialises")
     );
+
+    drop(engine); // join workers and flush the trace sink
+    if let Some(path) = trace_path {
+        println!("\ntrace written to {path} — render with: cargo run -p xtask -- trace {path}");
+    }
 }

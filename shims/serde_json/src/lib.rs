@@ -1,10 +1,19 @@
 //! Offline stand-in for `serde_json`, driving the serde shim's
 //! JSON-writing [`serde::Serialize`] trait.
 
-/// Serialisation error. The shim's writer is infallible, so this is only
-/// here to keep `to_string(..)?`-style call sites compiling.
+mod value;
+
+pub use value::{from_str, Value};
+
+/// Serialisation/parse error.
 #[derive(Debug, Clone)]
 pub struct Error(String);
+
+impl Error {
+    pub(crate) fn msg(s: String) -> Self {
+        Self(s)
+    }
+}
 
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
