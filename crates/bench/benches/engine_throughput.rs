@@ -104,9 +104,68 @@ fn engine_throughput(c: &mut Criterion) {
         nodes: metrics.milp_nodes_total,
         objective,
     });
+
+    // The observability overhead record: metrics exposition on, with a
+    // 10 Hz scraper pulling /metrics for the whole run — the acceptance
+    // scenario ("metrics enabled + scraper within 5% of the baseline").
+    records.push(cold_run_with_scraper(&requests));
+
     match results::write_json("BENCH_engine.json", &records) {
         Ok(path) => eprintln!("wrote {} ({} records)", path.display(), records.len()),
         Err(e) => eprintln!("warning: could not write BENCH_engine.json: {e}"),
+    }
+}
+
+/// One cold 64-request batch on a metrics-serving engine while a second
+/// thread scrapes `/metrics` at 10 Hz, like a tight Prometheus poll.
+fn cold_run_with_scraper(requests: &[PlanRequest]) -> Record {
+    use std::io::{Read, Write};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let engine = Engine::with_config(
+        4,
+        EngineConfig {
+            metrics: Some(rrp_engine::MetricsConfig {
+                addr: Some("127.0.0.1:0".to_string()),
+                ..Default::default()
+            }),
+            ..Default::default()
+        },
+    );
+    let addr = engine.metrics_addr().expect("bench engine serves metrics");
+    let stop = Arc::new(AtomicBool::new(false));
+    let scraper = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut scrapes = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                if let Ok(mut s) = std::net::TcpStream::connect(addr) {
+                    let _ = s.write_all(b"GET /metrics HTTP/1.1\r\nHost: bench\r\n\r\n");
+                    let mut buf = String::new();
+                    let _ = s.read_to_string(&mut buf);
+                    assert!(buf.contains("rrp_completed_total"), "scrape missing families");
+                    scrapes += 1;
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            scrapes
+        })
+    };
+    let t0 = Instant::now();
+    let responses = engine.run_batch(requests.to_vec());
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    stop.store(true, Ordering::Relaxed);
+    let scrapes = scraper.join().expect("scraper thread");
+    let metrics = engine.metrics();
+    eprintln!("metrics+scraper cold run: {wall_ms:.1} ms under {scrapes} scrapes");
+    let objective: f64 =
+        responses.iter().filter_map(|r| r.plan.as_ref()).map(|p| p.objective).sum();
+    Record {
+        instance: "engine_throughput/cold_64req/4+metrics+scraper".to_string(),
+        wall_ms,
+        nodes: metrics.milp_nodes_total,
+        objective,
     }
 }
 

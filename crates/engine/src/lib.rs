@@ -22,9 +22,13 @@
 //!   [`InfeasibilityProof`] (no branch & bound, no worker panic), and the
 //!   audit's bound/big-M tightenings strengthen the instance the
 //!   Deterministic rung solves.
-//! * **Metrics** ([`metrics`]) — per-level counts, queue depth, cache hit
-//!   rate, audit/rejection counts, p50/p99 latency as a serialisable
-//!   snapshot.
+//! * **Metrics** ([`metrics`]) — per-level counts, queue depth (current
+//!   and high-water), cache hit rate, audit/rejection counts, bounded
+//!   per-tenant tables, p50/p99 latency as a serialisable snapshot.
+//! * **Exposition** ([`MetricsConfig`]) — opt-in [`rrp_obs`] wiring: a
+//!   trace→metrics bridge feeding a labeled registry, served over HTTP as
+//!   `/metrics` (Prometheus text), `/snapshot` (JSON), `/healthz` and
+//!   `/readyz`.
 //!
 //! ```
 //! use std::time::Duration;
@@ -65,9 +69,9 @@ pub use cache::{CacheEntry, PlanCache};
 pub use ladder::{
     run_ladder, run_ladder_prepared, run_ladder_with, LadderConfig, LadderResult, PreparedDrrp,
 };
-pub use metrics::MetricsSnapshot;
+pub use metrics::{MetricsSnapshot, TenantSnapshot, TENANT_OVERFLOW, TENANT_TABLE_CAP};
 pub use request::{
     DegradationLevel, PlanRequest, PlanResponse, PolicyKind, RungOutcome, TraceEntry,
 };
 pub use rrp_audit::InfeasibilityProof;
-pub use service::{Engine, EngineConfig, Ticket};
+pub use service::{Engine, EngineConfig, MetricsConfig, Ticket};

@@ -9,14 +9,45 @@
 //! every latency in a `Mutex<Vec<Duration>>`, which grew without bound and
 //! sorted the whole vector on every snapshot.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
 
+use parking_lot::Mutex;
 use rrp_trace::{CounterSink, LogHistogram};
 use serde::Serialize;
 
 use crate::cache::PlanCache;
 use crate::request::DegradationLevel;
+
+/// Cap on distinct tenants tracked in the per-tenant table. Requests from
+/// tenants beyond the cap fold into one [`TENANT_OVERFLOW`] row — the same
+/// bounded-cardinality discipline the metrics registry applies, so a flood
+/// of unique tenant ids cannot grow either without bound.
+pub const TENANT_TABLE_CAP: usize = 64;
+
+/// Name of the fold-in row for tenants past [`TENANT_TABLE_CAP`].
+pub const TENANT_OVERFLOW: &str = "__other__";
+
+/// One tenant's row in [`MetricsSnapshot::tenants`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TenantSnapshot {
+    pub tenant: String,
+    /// Responses produced for this tenant (cache hits and rejections
+    /// included).
+    pub requests: u64,
+    pub cache_hits: u64,
+    pub audit_rejections: u64,
+    pub deadline_misses: u64,
+}
+
+#[derive(Debug, Default, Clone)]
+struct TenantCounters {
+    requests: u64,
+    cache_hits: u64,
+    audit_rejections: u64,
+    deadline_misses: u64,
+}
 
 /// Point-in-time view of the engine's counters. Serialisable so it can be
 /// scraped/shipped as JSON.
@@ -54,6 +85,14 @@ pub struct MetricsSnapshot {
     /// Median relative gap of solves that stopped on a budget
     /// (`terminated:*`); 0 when none did or telemetry is off.
     pub gap_at_timeout_p50: f64,
+    /// Highest queue depth observed since the engine started.
+    pub queue_depth_high_water: usize,
+    /// Events the engine's trace sink discarded under pressure (e.g. a
+    /// full [`rrp_trace::RingSink`]); 0 when tracing is off or lossless.
+    pub trace_dropped_events: u64,
+    /// Per-tenant request accounting, sorted by tenant id. Bounded at
+    /// [`TENANT_TABLE_CAP`] rows plus one [`TENANT_OVERFLOW`] row.
+    pub tenants: Vec<TenantSnapshot>,
 }
 
 /// Internal mutable counters. Everything on the per-response path is an
@@ -68,11 +107,16 @@ pub(crate) struct Metrics {
     audit_rejections: AtomicU64,
     /// Response latencies in milliseconds (fixed-size log buckets).
     latencies: LogHistogram,
+    queue_high_water: AtomicUsize,
+    /// Per-tenant rows; one short lock per completed response, far off the
+    /// solver hot path.
+    tenants: Mutex<HashMap<String, TenantCounters>>,
 }
 
 impl Metrics {
     pub fn enqueue(&self) {
-        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.queue_high_water.fetch_max(depth, Ordering::Relaxed);
     }
 
     pub fn dequeue(&self) {
@@ -106,7 +150,52 @@ impl Metrics {
         self.latencies.record(latency.as_secs_f64() * 1e3);
     }
 
-    pub fn snapshot(&self, cache: &PlanCache, solver: &CounterSink) -> MetricsSnapshot {
+    /// Requests submitted but not yet picked up by a worker, right now.
+    pub fn queue_depth(&self) -> usize {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Account one completed response to its tenant. Distinct from
+    /// [`Metrics::record`]/[`Metrics::record_rejection`] so the global
+    /// counters stay atomics; this one takes a short lock.
+    pub fn record_tenant(&self, tenant: &str, cache_hit: bool, rejected: bool, deadline_met: bool) {
+        let mut tenants = self.tenants.lock();
+        let row = if tenants.contains_key(tenant) || tenants.len() < TENANT_TABLE_CAP {
+            tenants.entry(tenant.to_string()).or_default()
+        } else {
+            tenants.entry(TENANT_OVERFLOW.to_string()).or_default()
+        };
+        row.requests += 1;
+        if cache_hit {
+            row.cache_hits += 1;
+        }
+        if rejected {
+            row.audit_rejections += 1;
+        }
+        if !deadline_met {
+            row.deadline_misses += 1;
+        }
+    }
+
+    pub fn snapshot(
+        &self,
+        cache: &PlanCache,
+        solver: &CounterSink,
+        trace_dropped_events: u64,
+    ) -> MetricsSnapshot {
+        let mut tenants: Vec<TenantSnapshot> = self
+            .tenants
+            .lock()
+            .iter()
+            .map(|(tenant, c)| TenantSnapshot {
+                tenant: tenant.clone(),
+                requests: c.requests,
+                cache_hits: c.cache_hits,
+                audit_rejections: c.audit_rejections,
+                deadline_misses: c.deadline_misses,
+            })
+            .collect();
+        tenants.sort_by(|a, b| a.tenant.cmp(&b.tenant));
         MetricsSnapshot {
             completed: self.completed.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
@@ -125,6 +214,9 @@ impl Metrics {
             milp_nodes_total: solver.milp_nodes.load(Ordering::Relaxed),
             lp_iters_total: solver.lp_iters.load(Ordering::Relaxed),
             gap_at_timeout_p50: solver.gap_at_timeout.quantile(0.50),
+            queue_depth_high_water: self.queue_high_water.load(Ordering::Relaxed),
+            trace_dropped_events,
+            tenants,
         }
     }
 }
@@ -150,7 +242,7 @@ mod tests {
         for i in 1..=100 {
             m.record(DegradationLevel::Full, Duration::from_millis(i), true);
         }
-        let snap = m.snapshot(&PlanCache::new(), &CounterSink::new());
+        let snap = m.snapshot(&PlanCache::new(), &CounterSink::new(), 0);
         // exact nearest-rank p50 of 1..=100 ms is 51 ms, p99 is 100 ms;
         // the log-bucket answers must land within the documented 9.05%
         assert!((snap.p50_latency_ms - 51.0).abs() / 51.0 <= 0.0906, "p50 {}", snap.p50_latency_ms);
@@ -166,8 +258,10 @@ mod tests {
         let m = Metrics::default();
         let cache = PlanCache::new();
         m.record(DegradationLevel::Full, Duration::from_millis(3), true);
+        m.record_tenant("acme", false, false, true);
         m.record(DegradationLevel::OnDemandOnly, Duration::from_millis(9), false);
-        let snap = m.snapshot(&cache, &CounterSink::new());
+        m.record_tenant("acme", false, false, false);
+        let snap = m.snapshot(&cache, &CounterSink::new(), 7);
         assert_eq!(snap.completed, 2);
         assert_eq!(snap.level_full, 1);
         assert_eq!(snap.level_on_demand_only, 1);
@@ -178,6 +272,9 @@ mod tests {
         assert!(json.contains("\"audit_rejections\""), "json: {json}");
         assert!(json.contains("\"milp_nodes_total\""), "json: {json}");
         assert!(json.contains("\"gap_at_timeout_p50\""), "json: {json}");
+        assert!(json.contains("\"trace_dropped_events\":7"), "json: {json}");
+        assert!(json.contains("\"queue_depth_high_water\""), "json: {json}");
+        assert!(json.contains("\"tenants\":[{\"tenant\":\"acme\",\"requests\":2"), "json: {json}");
     }
 
     #[test]
@@ -188,7 +285,7 @@ mod tests {
         m.record(DegradationLevel::Deterministic, Duration::from_millis(2), true);
         m.record_audit();
         m.record_rejection(Duration::from_micros(40), true);
-        let snap = m.snapshot(&cache, &CounterSink::new());
+        let snap = m.snapshot(&cache, &CounterSink::new(), 0);
         assert_eq!(snap.audits, 2);
         assert_eq!(snap.audit_rejections, 1);
         assert_eq!(snap.completed, 2);
@@ -212,9 +309,44 @@ mod tests {
             nodes: 1,
             gap: 0.5,
         }));
-        let snap = m.snapshot(&PlanCache::new(), &solver);
+        let snap = m.snapshot(&PlanCache::new(), &solver, 0);
         assert_eq!(snap.milp_nodes_total, 1);
         assert_eq!(snap.lp_iters_total, 17);
         assert!((snap.gap_at_timeout_p50 - 0.5).abs() / 0.5 <= 0.0906);
+    }
+
+    #[test]
+    fn queue_high_water_tracks_the_peak() {
+        let m = Metrics::default();
+        for _ in 0..5 {
+            m.enqueue();
+        }
+        for _ in 0..5 {
+            m.dequeue();
+        }
+        m.enqueue();
+        let snap = m.snapshot(&PlanCache::new(), &CounterSink::new(), 0);
+        assert_eq!(snap.queue_depth, 1);
+        assert_eq!(snap.queue_depth_high_water, 5);
+    }
+
+    #[test]
+    fn tenant_table_folds_overflow_into_other() {
+        let m = Metrics::default();
+        for i in 0..TENANT_TABLE_CAP + 10 {
+            m.record_tenant(&format!("tenant-{i:03}"), false, false, true);
+        }
+        // known tenants keep their own rows even after the cap is reached
+        m.record_tenant("tenant-000", true, false, true);
+        let snap = m.snapshot(&PlanCache::new(), &CounterSink::new(), 0);
+        assert_eq!(snap.tenants.len(), TENANT_TABLE_CAP + 1);
+        let other =
+            snap.tenants.iter().find(|t| t.tenant == TENANT_OVERFLOW).expect("overflow row exists");
+        assert_eq!(other.requests, 10);
+        let first = snap.tenants.iter().find(|t| t.tenant == "tenant-000").expect("kept row");
+        assert_eq!(first.requests, 2);
+        assert_eq!(first.cache_hits, 1);
+        let total: u64 = snap.tenants.iter().map(|t| t.requests).sum();
+        assert_eq!(total, TENANT_TABLE_CAP as u64 + 11);
     }
 }

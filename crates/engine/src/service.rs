@@ -2,7 +2,9 @@
 //! crossbeam job queue. No async runtime — each request is CPU-bound MILP
 //! work, so plain threads with a blocking channel are the right shape.
 
+use std::net::SocketAddr;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -10,7 +12,9 @@ use std::time::Instant;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use rrp_audit::{audit_milp_with, AuditOptions, UpperBoundHint};
 use rrp_milp::{MilpOptions, SolveBudget};
+use rrp_obs::{MetricsSink, ObsHooks, ObsServer, Readiness, Registry};
 use rrp_trace::{CounterSink, EventKind, Sink, SpanId, TeeSink, TraceHandle};
+use serde::Serialize;
 
 use crate::cache::{CacheEntry, PlanCache};
 use crate::ladder::{run_ladder_with, LadderConfig, PreparedDrrp};
@@ -34,6 +38,30 @@ pub struct EngineConfig {
     /// without an external sink — the cost is one relaxed-atomic counter
     /// sink behind the full event pipeline.
     pub count_solver_events: bool,
+    /// Pull-based metrics exposition ([`rrp_obs`]). `None` (the default)
+    /// builds no registry, no bridge and no server — the engine is exactly
+    /// as before. `Some` tees a [`MetricsSink`] into the event pipeline
+    /// (enabling tracing) and, when [`MetricsConfig::addr`] is set, serves
+    /// `/metrics`, `/snapshot`, `/healthz` and `/readyz` on it.
+    pub metrics: Option<MetricsConfig>,
+}
+
+/// Metrics exposition options (see [`EngineConfig::metrics`]).
+#[derive(Debug, Clone)]
+pub struct MetricsConfig {
+    /// Address to serve on, e.g. `"127.0.0.1:9184"` (`:0` picks an
+    /// ephemeral port — read it back via [`Engine::metrics_addr`]).
+    /// `None` keeps the registry and bridge without an HTTP server.
+    pub addr: Option<String>,
+    /// `/readyz` reports 503 while more requests than this sit in the
+    /// queue unserved — the scrape-visible backpressure signal.
+    pub ready_high_water: usize,
+}
+
+impl Default for MetricsConfig {
+    fn default() -> Self {
+        Self { addr: None, ready_high_water: 128 }
+    }
 }
 
 struct Job {
@@ -51,6 +79,20 @@ struct Shared {
     /// Aggregates solver events for [`MetricsSnapshot`]; only fed while
     /// `trace` is enabled.
     counters: Arc<CounterSink>,
+    /// The combined sink behind `trace` (tee of counters, bridge, external)
+    /// — kept so snapshots can report [`Sink::dropped_events`] without
+    /// downcasting. `None` when tracing is off.
+    event_sink: Option<Arc<dyn Sink>>,
+    /// Metrics registry the [`MetricsSink`] bridge writes into; `None`
+    /// unless the engine was built with [`EngineConfig::metrics`].
+    registry: Option<Arc<Registry>>,
+}
+
+impl Shared {
+    fn snapshot(&self) -> MetricsSnapshot {
+        let dropped = self.event_sink.as_ref().map(|s| s.dropped_events()).unwrap_or(0);
+        self.metrics.snapshot(&self.cache, &self.counters, dropped)
+    }
 }
 
 /// Handle to one submitted request; [`Ticket::wait`] blocks for the
@@ -76,6 +118,10 @@ pub struct Engine {
     tx: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
     shared: Arc<Shared>,
+    /// Raised first thing in `Drop`: `/readyz` answers 503 for the rest of
+    /// the teardown so scrapers see the engine drain instead of vanish.
+    shutting_down: Arc<AtomicBool>,
+    obs: Option<ObsServer>,
 }
 
 impl Engine {
@@ -93,16 +139,32 @@ impl Engine {
     /// An engine with full construction options, including telemetry.
     pub fn with_config(workers: usize, config: EngineConfig) -> Self {
         assert!(workers > 0, "engine needs at least one worker");
-        let EngineConfig { milp: opts, sink, count_solver_events } = config;
+        let EngineConfig { milp: opts, sink, count_solver_events, metrics } = config;
         let counters = Arc::new(CounterSink::new());
-        let trace = match (sink, count_solver_events) {
-            (None, false) => TraceHandle::off(),
-            (None, true) => TraceHandle::new(Arc::clone(&counters) as Arc<dyn Sink>),
-            (Some(external), _) => TraceHandle::new(Arc::new(TeeSink::new(vec![
-                Arc::clone(&counters) as Arc<dyn Sink>,
-                external,
-            ]))),
+        let registry = metrics.as_ref().map(|_| Arc::new(Registry::new()));
+
+        // the event pipeline: counters always lead the tee; the metrics
+        // bridge and any external sink follow. Tracing turns on if any
+        // consumer beyond the bare counters exists (or was asked for).
+        let mut fanout: Vec<Arc<dyn Sink>> = Vec::new();
+        if let Some(reg) = &registry {
+            fanout.push(Arc::new(MetricsSink::new(Arc::clone(reg))));
+        }
+        if let Some(external) = sink {
+            fanout.push(external);
+        }
+        let (trace, event_sink) = if fanout.is_empty() && !count_solver_events {
+            (TraceHandle::off(), None)
+        } else {
+            let combined: Arc<dyn Sink> = if fanout.is_empty() {
+                Arc::clone(&counters) as Arc<dyn Sink>
+            } else {
+                fanout.insert(0, Arc::clone(&counters) as Arc<dyn Sink>);
+                Arc::new(TeeSink::new(fanout))
+            };
+            (TraceHandle::new(Arc::clone(&combined)), Some(combined))
         };
+
         let (tx, rx) = unbounded::<Job>();
         let shared = Arc::new(Shared {
             cache: PlanCache::new(),
@@ -110,6 +172,8 @@ impl Engine {
             opts,
             trace,
             counters,
+            event_sink,
+            registry,
         });
         let handles = (0..workers)
             .map(|i| {
@@ -125,7 +189,24 @@ impl Engine {
                     .expect("spawn engine worker")
             })
             .collect();
-        Self { tx: Some(tx), workers: handles, shared }
+
+        let shutting_down = Arc::new(AtomicBool::new(false));
+        let obs = metrics
+            .as_ref()
+            .and_then(|m| m.addr.as_deref().map(|addr| (addr, m.ready_high_water)))
+            .and_then(|(addr, high_water)| {
+                let hooks = obs_hooks(&shared, &shutting_down, workers, high_water);
+                match ObsServer::bind(addr, hooks) {
+                    Ok(server) => Some(server),
+                    Err(e) => {
+                        // a taken port must not take the planner down with
+                        // it: run without exposition and say so
+                        eprintln!("rrp-engine: metrics server bind {addr} failed: {e}");
+                        None
+                    }
+                }
+            });
+        Self { tx: Some(tx), workers: handles, shared, shutting_down, obs }
     }
 
     /// Enqueue a request; returns immediately with a [`Ticket`].
@@ -153,7 +234,29 @@ impl Engine {
 
     /// Point-in-time metrics snapshot.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.shared.metrics.snapshot(&self.shared.cache, &self.shared.counters)
+        self.shared.snapshot()
+    }
+
+    /// Address the metrics server is listening on, when one is running —
+    /// with `addr: "127.0.0.1:0"` this is how the chosen port is learned.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.obs.as_ref().map(ObsServer::local_addr)
+    }
+
+    /// The metrics registry, when the engine was built with
+    /// [`EngineConfig::metrics`]. Rendering it directly (without the HTTP
+    /// server) is how tests and embedders scrape in-process.
+    pub fn registry(&self) -> Option<&Arc<Registry>> {
+        self.shared.registry.as_ref()
+    }
+
+    /// The Prometheus exposition body `/metrics` would serve right now
+    /// (snapshot-synced), when a registry exists.
+    pub fn render_metrics(&self) -> Option<String> {
+        self.shared.registry.as_ref().map(|reg| {
+            sync_registry(&self.shared, reg, self.workers.len());
+            reg.render()
+        })
     }
 
     /// The engine's trace handle (disabled unless the engine was built
@@ -170,13 +273,107 @@ impl Engine {
 
 impl Drop for Engine {
     fn drop(&mut self) {
+        // flip readiness first: scrapers polling `/readyz` see 503 while
+        // the queue drains instead of an abrupt connection refusal
+        self.shutting_down.store(true, Ordering::SeqCst);
         // closing the queue ends every worker's recv loop
         self.tx.take();
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
-        // all workers are done emitting: persist anything buffered
+        // workers are gone — now stop serving scrapes…
+        if let Some(mut obs) = self.obs.take() {
+            obs.shutdown();
+        }
+        // …and persist anything buffered
         self.shared.trace.flush();
+    }
+}
+
+/// Build the closures the exposition server serves from. All three capture
+/// `Arc`s only — the server thread never touches the engine struct itself,
+/// so teardown order stays simple.
+fn obs_hooks(
+    shared: &Arc<Shared>,
+    shutting_down: &Arc<AtomicBool>,
+    workers: usize,
+    ready_high_water: usize,
+) -> ObsHooks {
+    let metrics_shared = Arc::clone(shared);
+    let snapshot_shared = Arc::clone(shared);
+    let ready_shared = Arc::clone(shared);
+    let ready_flag = Arc::clone(shutting_down);
+    ObsHooks {
+        metrics_text: Box::new(move || match &metrics_shared.registry {
+            Some(reg) => {
+                sync_registry(&metrics_shared, reg, workers);
+                reg.render()
+            }
+            None => String::new(),
+        }),
+        snapshot_json: Box::new(move || {
+            let mut out = String::with_capacity(512);
+            snapshot_shared.snapshot().serialize_json(&mut out);
+            out
+        }),
+        readiness: Box::new(move || {
+            if ready_flag.load(Ordering::SeqCst) {
+                return Readiness::not_ready("shutting down");
+            }
+            let depth = ready_shared.metrics.queue_depth();
+            if depth > ready_high_water {
+                Readiness::not_ready(format!(
+                    "queue depth {depth} over high-water {ready_high_water}"
+                ))
+            } else {
+                Readiness::ready(format!("queue depth {depth}"))
+            }
+        }),
+    }
+}
+
+/// Fold the scalar [`MetricsSnapshot`] state into the registry. The bridge
+/// keeps event-driven series current on its own; point-in-time state
+/// (queue depth, cache hit rate, level totals) is synced here, once per
+/// scrape, using `Counter::set`'s scrape-time semantics.
+fn sync_registry(shared: &Shared, reg: &Registry, workers: usize) {
+    let snap = shared.snapshot();
+    reg.counter("rrp_completed_total", "Responses produced (cache hits included)", &[])
+        .set(snap.completed);
+    reg.gauge("rrp_queue_depth", "Requests submitted but not yet picked up", &[])
+        .set(snap.queue_depth as f64);
+    reg.gauge("rrp_queue_depth_high_water", "Highest queue depth observed since engine start", &[])
+        .set(snap.queue_depth_high_water as f64);
+    reg.counter(
+        "rrp_trace_dropped_events_total",
+        "Trace events discarded under pressure by the engine's sink",
+        &[],
+    )
+    .set(snap.trace_dropped_events);
+    reg.gauge("rrp_cache_hit_rate", "Warm-start cache hits over lookups", &[])
+        .set(snap.cache_hit_rate);
+    reg.gauge("rrp_cache_entries", "Distinct fingerprints currently cached", &[])
+        .set(shared.cache.len() as f64);
+    reg.counter("rrp_audits_total", "Pre-solve audit-gate runs", &[]).set(snap.audits);
+    reg.counter(
+        "rrp_deadline_misses_total",
+        "Responses later than their deadline (all tenants)",
+        &[],
+    )
+    .set(snap.deadline_misses);
+    reg.gauge("rrp_workers", "Engine worker threads", &[]).set(workers as f64);
+    for (rung, served) in [
+        ("full", snap.level_full),
+        ("deterministic", snap.level_deterministic),
+        ("dynamic-program", snap.level_dynamic_program),
+        ("on-demand-only", snap.level_on_demand_only),
+    ] {
+        reg.counter(
+            "rrp_level_served_total",
+            "Answers served, by degradation-ladder rung",
+            &[("rung", rung)],
+        )
+        .set(served);
     }
 }
 
@@ -201,6 +398,17 @@ fn process(shared: &Shared, job: Job) {
         let latency = start.elapsed();
         let deadline_met = latency <= req.deadline;
         shared.metrics.record(entry.degradation, latency, deadline_met);
+        shared.metrics.record_tenant(&req.app_id, true, false, deadline_met);
+        shared.trace.emit(
+            span,
+            EventKind::RequestDone {
+                tenant: req.app_id.clone(),
+                level: entry.degradation.as_str(),
+                outcome: "cache_hit",
+                latency_us: latency.as_micros() as u64,
+                deadline_met,
+            },
+        );
         shared.trace.close_span(span);
         let _ = reply.send(PlanResponse {
             app_id: req.app_id,
@@ -249,6 +457,17 @@ fn process(shared: &Shared, job: Job) {
         let latency = start.elapsed();
         let deadline_met = latency <= req.deadline;
         shared.metrics.record_rejection(latency, deadline_met);
+        shared.metrics.record_tenant(&req.app_id, false, true, deadline_met);
+        shared.trace.emit(
+            span,
+            EventKind::RequestDone {
+                tenant: req.app_id.clone(),
+                level: req.policy.start_level().as_str(),
+                outcome: "rejected",
+                latency_us: latency.as_micros() as u64,
+                deadline_met,
+            },
+        );
         shared.trace.close_span(span);
         let _ = reply.send(PlanResponse {
             app_id: req.app_id,
@@ -277,6 +496,17 @@ fn process(shared: &Shared, job: Job) {
     let latency = start.elapsed();
     let deadline_met = latency <= req.deadline;
     shared.metrics.record(result.level, latency, deadline_met);
+    shared.metrics.record_tenant(&req.app_id, false, false, deadline_met);
+    shared.trace.emit(
+        span,
+        EventKind::RequestDone {
+            tenant: req.app_id.clone(),
+            level: result.level.as_str(),
+            outcome: "ok",
+            latency_us: latency.as_micros() as u64,
+            deadline_met,
+        },
+    );
     shared.trace.close_span(span);
     let _ = reply.send(PlanResponse {
         app_id: req.app_id,

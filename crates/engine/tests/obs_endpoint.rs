@@ -1,0 +1,215 @@
+//! The embedded exposition server on a live engine: concurrent scrapes
+//! during solves always parse in full, required families are present,
+//! `/readyz` flips to 503 while the queue sits over the high-water mark
+//! and during shutdown, and dropping the engine takes the listener down.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use rrp_core::{CostSchedule, PlanningParams, ScenarioTree};
+use rrp_engine::{Engine, EngineConfig, MetricsConfig, PlanRequest, PolicyKind};
+use rrp_obs::text::parse;
+use rrp_spotmarket::{CostRates, EmpiricalDist};
+
+fn http_get(addr: SocketAddr, path: &str) -> Option<(u16, String)> {
+    let mut s = TcpStream::connect_timeout(&addr, Duration::from_secs(2)).ok()?;
+    s.set_read_timeout(Some(Duration::from_secs(2))).ok()?;
+    s.write_all(format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes()).ok()?;
+    let mut raw = Vec::new();
+    s.read_to_end(&mut raw).ok()?;
+    let text = String::from_utf8(raw).ok()?;
+    let (head, body) = text.split_once("\r\n\r\n")?;
+    let status: u16 = head.split_whitespace().nth(1)?.parse().ok()?;
+    Some((status, body.to_string()))
+}
+
+fn request(i: usize, horizon: usize) -> PlanRequest {
+    let demand: Vec<f64> = (0..horizon).map(|t| 0.2 + 0.15 * ((i + t) % 5) as f64).collect();
+    PlanRequest {
+        app_id: format!("tenant-{}", i % 3),
+        vm_class: "m1.small".into(),
+        schedule: CostSchedule::ec2(vec![0.06; horizon], demand, &CostRates::ec2_2011()),
+        params: PlanningParams::default(),
+        tree: None,
+        policy: PolicyKind::Deterministic,
+        deadline: Duration::from_secs(30),
+        seed: i as u64,
+    }
+}
+
+/// A stochastic request heavy enough (tens of milliseconds) that a
+/// 1-worker engine holds a visible backlog while a batch of them drains.
+fn slow_request(i: usize) -> PlanRequest {
+    let horizon = 8;
+    let mut req = request(i, horizon);
+    let d = EmpiricalDist::from_parts(vec![0.04, 0.12], vec![0.6, 0.4]);
+    req.tree = Some(ScenarioTree::from_stage_distributions(&vec![d; horizon], 100_000));
+    req.policy = PolicyKind::Stochastic;
+    req
+}
+
+fn serving_engine(workers: usize, ready_high_water: usize) -> (Engine, SocketAddr) {
+    let engine = Engine::with_config(
+        workers,
+        EngineConfig {
+            metrics: Some(MetricsConfig {
+                addr: Some("127.0.0.1:0".to_string()),
+                ready_high_water,
+            }),
+            ..Default::default()
+        },
+    );
+    let addr = engine.metrics_addr().expect("ephemeral metrics server bound");
+    (engine, addr)
+}
+
+#[test]
+fn concurrent_scrapes_during_solves_parse_and_carry_families() {
+    let (engine, addr) = serving_engine(2, 128);
+    let reqs: Vec<PlanRequest> = (0..24).map(|i| request(i, 6)).collect();
+
+    let scrapers: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                for _ in 0..25 {
+                    let (code, body) = http_get(addr, "/metrics").expect("scrape answered");
+                    assert_eq!(code, 200);
+                    parse(&body).unwrap_or_else(|e| panic!("torn exposition: {e}\n{body}"));
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            })
+        })
+        .collect();
+    let responses = engine.run_batch(reqs);
+    assert_eq!(responses.len(), 24);
+    for s in scrapers {
+        s.join().expect("scraper clean");
+    }
+
+    // after the batch, the exposition carries every advertised family with
+    // per-tenant and per-rung label splits
+    let (code, body) = http_get(addr, "/metrics").expect("final scrape");
+    assert_eq!(code, 200);
+    let samples = parse(&body).expect("final exposition parses");
+    for family in [
+        "rrp_completed_total",
+        "rrp_queue_depth",
+        "rrp_queue_depth_high_water",
+        "rrp_trace_dropped_events_total",
+        "rrp_cache_hit_rate",
+        "rrp_workers",
+        "rrp_request_latency_ms_count",
+        "rrp_milp_nodes_opened_total",
+        "rrp_lp_solves_total",
+    ] {
+        assert!(samples.iter().any(|s| s.name == family), "family `{family}` missing:\n{body}");
+    }
+    assert!(
+        samples.iter().any(|s| s.name == "rrp_requests_total" && s.label("tenant").is_some()),
+        "no per-tenant series"
+    );
+    assert!(
+        samples.iter().any(|s| s.name == "rrp_level_served_total" && s.label("rung").is_some()),
+        "no per-rung series"
+    );
+    assert!(
+        samples.iter().any(|s| s.name == "rrp_completed_total" && (s.value - 24.0).abs() < 0.5),
+        "completed counter disagrees with the batch size"
+    );
+
+    // /snapshot serves the JSON mirror, /healthz stays trivially up
+    let (code, body) = http_get(addr, "/snapshot").expect("snapshot");
+    assert_eq!(code, 200);
+    assert!(body.contains("\"completed\":24"), "{body}");
+    assert!(body.contains("\"tenants\":["), "{body}");
+    let (code, body) = http_get(addr, "/healthz").expect("healthz");
+    assert_eq!(code, 200);
+    assert_eq!(body, "ok\n");
+}
+
+#[test]
+fn readyz_flips_over_high_water_and_recovers() {
+    // 1 worker, high-water 0: any queued request makes the engine not-ready
+    let (engine, addr) = serving_engine(1, 0);
+    let (code, _) = http_get(addr, "/readyz").expect("idle readyz");
+    assert_eq!(code, 200);
+
+    // pile up work faster than one worker drains it, then poll for the flip
+    let tickets: Vec<_> = (0..12).map(|i| engine.submit(slow_request(i))).collect();
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mut saw_503 = false;
+    while Instant::now() < deadline {
+        let (code, body) = http_get(addr, "/readyz").expect("readyz under load");
+        if code == 503 {
+            assert!(body.contains("over high-water"), "{body}");
+            saw_503 = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(saw_503, "readyz never reported the backlog");
+
+    for t in tickets {
+        let _ = t.wait();
+    }
+    // drained: ready again
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let (code, _) = http_get(addr, "/readyz").expect("readyz after drain");
+        if code == 200 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "readyz never recovered after the drain");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+#[test]
+fn readyz_reports_shutting_down_while_the_queue_drains() {
+    // 1 worker with a backlog: drop() flips the shutdown flag first, then
+    // blocks joining the worker — a concurrent poller must see the 503
+    // "shutting down" window before the listener goes away
+    let (engine, addr) = serving_engine(1, usize::MAX);
+    let _tickets: Vec<_> = (0..8).map(|i| engine.submit(slow_request(i))).collect();
+    let poller = std::thread::spawn(move || {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while Instant::now() < deadline {
+            match http_get(addr, "/readyz") {
+                Some((503, body)) if body.contains("shutting down") => return true,
+                Some(_) => std::thread::sleep(Duration::from_millis(1)),
+                None => return false, // listener already gone
+            }
+        }
+        false
+    });
+    std::thread::sleep(Duration::from_millis(30)); // let the poller start
+    drop(engine); // blocks until the backlog drains
+    assert!(
+        poller.join().expect("poller clean"),
+        "readyz never reported `shutting down` during the drain"
+    );
+}
+
+#[test]
+fn drop_takes_the_listener_down() {
+    let (engine, addr) = serving_engine(2, 128);
+    let _ = engine.run_batch((0..4).map(|i| request(i, 5)).collect());
+    let (code, _) = http_get(addr, "/healthz").expect("alive before drop");
+    assert_eq!(code, 200);
+    drop(engine);
+    // the listener thread is joined by drop, so the port is closed; a
+    // lingering TIME_WAIT accept would still refuse the request body
+    let gone = http_get(addr, "/healthz").is_none();
+    assert!(gone, "metrics server survived engine drop");
+}
+
+#[test]
+fn engine_without_metrics_serves_nothing() {
+    let engine = Engine::new(2);
+    assert!(engine.metrics_addr().is_none());
+    assert!(engine.render_metrics().is_none());
+    assert!(engine.registry().is_none());
+    let responses = engine.run_batch((0..4).map(|i| request(i, 5)).collect());
+    assert_eq!(responses.len(), 4);
+}

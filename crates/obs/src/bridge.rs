@@ -1,0 +1,290 @@
+//! The trace→metrics bridge: a [`rrp_trace::Sink`] that folds the solver
+//! event stream into labeled registry series *without retaining events*.
+//!
+//! Hot-path discipline: the branch & bound events (`node_opened`,
+//! `node_pruned`, `lp_solved`, …) hit pre-registered handles — one relaxed
+//! atomic each, no lock, no allocation. Per-solve and per-request events
+//! (`solve_done`, `ladder_step`, `request_done`) may take the registry
+//! lock to resolve a labeled series; they fire once per solve/request, far
+//! off the innermost loops.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rrp_trace::{Event, EventKind, PruneReason, Sink};
+
+use crate::registry::{Counter, Registry, Summary};
+
+/// Folds [`rrp_trace`] events into a [`Registry`]. Attach it to an engine
+/// (teed with any other sink) and every scrape of `/metrics` sees the
+/// per-rung, per-prune-reason and per-tenant series it maintains.
+pub struct MetricsSink {
+    registry: Arc<Registry>,
+    // pre-registered hot handles (one relaxed atomic per event)
+    nodes_opened: Counter,
+    pruned: [Counter; 3], // indexed like `prune_index`
+    integral: Counter,
+    incumbents: Counter,
+    lp_solves: Counter,
+    lp_iters: Counter,
+    refactorisations: Counter,
+    gap_at_timeout: Summary,
+    // low-cardinality labeled series resolved once and cached
+    solve_status: Mutex<HashMap<&'static str, Counter>>,
+    rung_latency: Mutex<HashMap<&'static str, Summary>>,
+}
+
+fn prune_index(reason: PruneReason) -> usize {
+    match reason {
+        PruneReason::Bound => 0,
+        PruneReason::Infeasible => 1,
+        PruneReason::Numerical => 2,
+    }
+}
+
+impl MetricsSink {
+    pub fn new(registry: Arc<Registry>) -> Self {
+        let pruned = [
+            registry.counter(
+                "rrp_milp_nodes_pruned_total",
+                "Branch & bound nodes closed without branching, by reason",
+                &[("reason", "bound")],
+            ),
+            registry.counter(
+                "rrp_milp_nodes_pruned_total",
+                "Branch & bound nodes closed without branching, by reason",
+                &[("reason", "infeasible")],
+            ),
+            registry.counter(
+                "rrp_milp_nodes_pruned_total",
+                "Branch & bound nodes closed without branching, by reason",
+                &[("reason", "numerical")],
+            ),
+        ];
+        Self {
+            nodes_opened: registry.counter(
+                "rrp_milp_nodes_opened_total",
+                "Branch & bound nodes opened",
+                &[],
+            ),
+            pruned,
+            integral: registry.counter(
+                "rrp_milp_nodes_integral_total",
+                "Branch & bound nodes whose LP optimum was integral",
+                &[],
+            ),
+            incumbents: registry.counter(
+                "rrp_milp_incumbents_total",
+                "Incumbent improvements",
+                &[],
+            ),
+            lp_solves: registry.counter("rrp_lp_solves_total", "LP solves finished", &[]),
+            lp_iters: registry.counter(
+                "rrp_lp_iters_total",
+                "Simplex iterations across all LP solves",
+                &[],
+            ),
+            refactorisations: registry.counter(
+                "rrp_lp_refactorisations_total",
+                "Basis (re)factorisations",
+                &[],
+            ),
+            gap_at_timeout: registry.summary(
+                "rrp_milp_gap_at_timeout",
+                "Relative gap of solves stopped by a budget",
+                &[],
+            ),
+            solve_status: Mutex::new(HashMap::new()),
+            rung_latency: Mutex::new(HashMap::new()),
+            registry,
+        }
+    }
+
+    /// The registry this sink writes into.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    fn on_solve_done(&self, status: &'static str, gap: f64) {
+        self.solve_status
+            .lock()
+            .entry(status)
+            .or_insert_with(|| {
+                self.registry.counter(
+                    "rrp_milp_solves_total",
+                    "Branch & bound searches finished, by final status",
+                    &[("status", status)],
+                )
+            })
+            .inc();
+        if status.starts_with("terminated") && gap.is_finite() {
+            self.gap_at_timeout.observe(gap);
+        }
+    }
+
+    fn on_ladder_step(&self, level: &'static str, elapsed_us: u64) {
+        self.rung_latency
+            .lock()
+            .entry(level)
+            .or_insert_with(|| {
+                self.registry.summary(
+                    "rrp_rung_latency_ms",
+                    "Wall-clock per degradation-ladder rung attempt (ms)",
+                    &[("rung", level)],
+                )
+            })
+            .observe(elapsed_us as f64 / 1e3);
+    }
+
+    fn on_request_done(
+        &self,
+        tenant: &str,
+        outcome: &'static str,
+        latency_us: u64,
+        deadline_met: bool,
+    ) {
+        self.registry
+            .counter("rrp_requests_total", "Requests completed, per tenant", &[("tenant", tenant)])
+            .inc();
+        if !deadline_met {
+            self.registry
+                .counter(
+                    "rrp_deadline_miss_total",
+                    "Responses later than their deadline, per tenant",
+                    &[("tenant", tenant)],
+                )
+                .inc();
+        }
+        match outcome {
+            "rejected" => self
+                .registry
+                .counter(
+                    "rrp_audit_rejections_total",
+                    "Requests statically rejected by the audit gate, per tenant",
+                    &[("tenant", tenant)],
+                )
+                .inc(),
+            "cache_hit" => self
+                .registry
+                .counter(
+                    "rrp_cache_hits_total",
+                    "Requests answered from the warm-start cache, per tenant",
+                    &[("tenant", tenant)],
+                )
+                .inc(),
+            _ => {}
+        }
+        self.registry
+            .summary("rrp_request_latency_ms", "Pickup-to-response latency (ms)", &[])
+            .observe(latency_us as f64 / 1e3);
+    }
+}
+
+impl Sink for MetricsSink {
+    fn emit(&self, ev: &Event) {
+        match &ev.kind {
+            EventKind::NodeOpened { .. } => self.nodes_opened.inc(),
+            EventKind::NodePruned { reason, .. } => self.pruned[prune_index(*reason)].inc(),
+            EventKind::NodeIntegral { .. } => self.integral.inc(),
+            EventKind::IncumbentImproved { .. } => self.incumbents.inc(),
+            EventKind::LpSolved { iters, .. } => {
+                self.lp_solves.inc();
+                self.lp_iters.add(*iters as u64);
+            }
+            EventKind::Refactored { .. } => self.refactorisations.inc(),
+            EventKind::SolveDone { status, gap, .. } => self.on_solve_done(status, *gap),
+            EventKind::LadderStep { level, elapsed_us, .. } => {
+                self.on_ladder_step(level, *elapsed_us)
+            }
+            EventKind::RequestDone { tenant, outcome, latency_us, deadline_met, .. } => {
+                self.on_request_done(tenant, outcome, *latency_us, *deadline_met)
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrp_trace::SpanId;
+
+    fn ev(kind: EventKind) -> Event {
+        Event { t_us: 0, worker: 0, span: SpanId::ROOT, kind }
+    }
+
+    #[test]
+    fn solver_events_fold_into_labeled_series() {
+        let reg = Arc::new(Registry::new());
+        let sink = MetricsSink::new(Arc::clone(&reg));
+        sink.emit(&ev(EventKind::NodeOpened { id: 0, depth: 0, bound: 0.0 }));
+        sink.emit(&ev(EventKind::NodeOpened { id: 1, depth: 1, bound: 0.5 }));
+        sink.emit(&ev(EventKind::NodePruned { id: 1, reason: PruneReason::Bound }));
+        sink.emit(&ev(EventKind::LpSolved { iters: 13, status: "optimal" }));
+        sink.emit(&ev(EventKind::SolveDone { status: "terminated:deadline", nodes: 2, gap: 0.3 }));
+        sink.emit(&ev(EventKind::LadderStep {
+            level: "deterministic",
+            outcome: "solved".to_string(),
+            elapsed_us: 2500,
+        }));
+        let text = reg.render();
+        assert!(text.contains("rrp_milp_nodes_opened_total 2"), "{text}");
+        assert!(text.contains("rrp_milp_nodes_pruned_total{reason=\"bound\"} 1"), "{text}");
+        assert!(text.contains("rrp_lp_iters_total 13"), "{text}");
+        assert!(text.contains("rrp_milp_solves_total{status=\"terminated:deadline\"} 1"), "{text}");
+        assert!(text.contains("rrp_milp_gap_at_timeout_count 1"), "{text}");
+        assert!(text.contains("rrp_rung_latency_ms_count{rung=\"deterministic\"} 1"), "{text}");
+    }
+
+    #[test]
+    fn request_done_builds_per_tenant_series() {
+        let reg = Arc::new(Registry::new());
+        let sink = MetricsSink::new(Arc::clone(&reg));
+        sink.emit(&ev(EventKind::RequestDone {
+            tenant: "acme".to_string(),
+            level: "full",
+            outcome: "ok",
+            latency_us: 1000,
+            deadline_met: true,
+        }));
+        sink.emit(&ev(EventKind::RequestDone {
+            tenant: "acme".to_string(),
+            level: "dynamic-program",
+            outcome: "ok",
+            latency_us: 9000,
+            deadline_met: false,
+        }));
+        sink.emit(&ev(EventKind::RequestDone {
+            tenant: "other".to_string(),
+            level: "deterministic",
+            outcome: "rejected",
+            latency_us: 40,
+            deadline_met: true,
+        }));
+        let text = reg.render();
+        assert!(text.contains("rrp_requests_total{tenant=\"acme\"} 2"), "{text}");
+        assert!(text.contains("rrp_deadline_miss_total{tenant=\"acme\"} 1"), "{text}");
+        assert!(text.contains("rrp_audit_rejections_total{tenant=\"other\"} 1"), "{text}");
+        assert!(text.contains("rrp_request_latency_ms_count 3"), "{text}");
+    }
+
+    #[test]
+    fn hostile_tenant_ids_stay_parseable() {
+        let reg = Arc::new(Registry::new());
+        let sink = MetricsSink::new(Arc::clone(&reg));
+        let hostile = "a\"b\\c\nd";
+        sink.emit(&ev(EventKind::RequestDone {
+            tenant: hostile.to_string(),
+            level: "full",
+            outcome: "ok",
+            latency_us: 1,
+            deadline_met: true,
+        }));
+        let text = reg.render();
+        let samples = crate::text::parse(&text).expect("hostile labels must not tear the format");
+        let req =
+            samples.iter().find(|s| s.name == "rrp_requests_total").expect("tenant series present");
+        assert_eq!(req.label("tenant"), Some(hostile));
+    }
+}

@@ -1,0 +1,459 @@
+//! The labeled metrics registry: `(name, label-set)` → counter / gauge /
+//! summary, with a bounded label-cardinality guard.
+//!
+//! Registration (`counter` / `gauge` / `summary`) takes one short lock and
+//! returns an `Arc`ed handle; every update through the handle afterwards is
+//! a relaxed atomic — callers on hot paths register once and hold the
+//! handle. Series keys are the *canonical* rendered label set (pairs sorted
+//! by key, values escaped), so `[("a","1"),("b","2")]` and
+//! `[("b","2"),("a","1")]` are the same series.
+//!
+//! **Cardinality guard.** A scrape endpoint keyed by tenant-controlled
+//! strings must not let one hostile tenant grow the registry without bound:
+//! once a family holds `series_cap` distinct label sets, further *new*
+//! label sets fold into a single `__other__` series (same label keys,
+//! every value `__other__`) and the overflow is counted and exposed as
+//! `rrp_obs_series_overflow_total`.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rrp_trace::LogHistogram;
+
+use crate::text::{escape_help, escape_label_value, fmt_f64};
+
+/// Default per-family cap on distinct label sets.
+pub const DEFAULT_SERIES_CAP: usize = 64;
+
+/// Label value used for series folded together by the cardinality guard.
+pub const OVERFLOW_LABEL: &str = "__other__";
+
+/// Quantiles every summary exposes.
+const SUMMARY_QUANTILES: [f64; 3] = [0.5, 0.9, 0.99];
+
+/// A monotonically increasing series handle. `set` exists for scrape-time
+/// synchronisation from an authoritative atomic elsewhere (the engine's own
+/// counters) — such a counter must only ever be `set` to non-decreasing
+/// values, never mixed with `inc`/`add`.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrite with an authoritative value (scrape-time sync).
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time `f64` series handle (stored as bits in an `AtomicU64`).
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+struct SummaryInner {
+    hist: LogHistogram,
+    /// Running sum of observations, `f64` bits updated by CAS.
+    sum_bits: AtomicU64,
+}
+
+/// A distribution series handle backed by [`LogHistogram`]: lock-free
+/// observation, constant memory, quantile answers within ~9.05% relative
+/// error. Exposed in Prometheus text as a `summary` (quantiles + `_sum` +
+/// `_count`).
+#[derive(Clone)]
+pub struct Summary(Arc<SummaryInner>);
+
+impl Summary {
+    pub fn observe(&self, v: f64) {
+        self.0.hist.record(v);
+        let mut cur = self.0.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.0.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.0.hist.count()
+    }
+
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.0.hist.quantile(q)
+    }
+
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Summary,
+}
+
+impl Kind {
+    fn as_str(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Summary => "summary",
+        }
+    }
+}
+
+enum Series {
+    Counter(Counter),
+    Gauge(Gauge),
+    Summary(Summary),
+}
+
+struct Family {
+    kind: Kind,
+    help: &'static str,
+    /// Canonical label rendering (`k="v",…`, keys sorted) → series.
+    series: BTreeMap<String, Series>,
+}
+
+/// The metric store behind `/metrics`. Shared as `Arc<Registry>` between
+/// the bridge (event-time updates), the engine (scrape-time sync), and the
+/// exposition server (render).
+pub struct Registry {
+    families: Mutex<BTreeMap<&'static str, Family>>,
+    series_cap: usize,
+    /// Series registrations folded into `__other__` by the guard.
+    overflowed: AtomicU64,
+    /// Registrations that hit an existing family of a different type;
+    /// they get a detached handle (updates invisible to scrapers).
+    type_conflicts: AtomicU64,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// A registry with the default per-family cardinality cap.
+    pub fn new() -> Self {
+        Self::with_series_cap(DEFAULT_SERIES_CAP)
+    }
+
+    /// A registry folding new label sets beyond `cap` per family into the
+    /// `__other__` bucket (min 1).
+    pub fn with_series_cap(cap: usize) -> Self {
+        Self {
+            families: Mutex::new(BTreeMap::new()),
+            series_cap: cap.max(1),
+            overflowed: AtomicU64::new(0),
+            type_conflicts: AtomicU64::new(0),
+        }
+    }
+
+    /// Series registrations the cardinality guard folded into `__other__`.
+    pub fn overflowed(&self) -> u64 {
+        self.overflowed.load(Ordering::Relaxed)
+    }
+
+    pub fn counter(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&'static str, &str)],
+    ) -> Counter {
+        match self.register(name, help, labels, Kind::Counter) {
+            Some(Series::Counter(c)) => c,
+            _ => Counter(Arc::new(AtomicU64::new(0))), // detached (type conflict)
+        }
+    }
+
+    pub fn gauge(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&'static str, &str)],
+    ) -> Gauge {
+        match self.register(name, help, labels, Kind::Gauge) {
+            Some(Series::Gauge(g)) => g,
+            _ => Gauge(Arc::new(AtomicU64::new(0))),
+        }
+    }
+
+    pub fn summary(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&'static str, &str)],
+    ) -> Summary {
+        match self.register(name, help, labels, Kind::Summary) {
+            Some(Series::Summary(s)) => s,
+            _ => Summary(Arc::new(SummaryInner {
+                hist: LogHistogram::new(),
+                sum_bits: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// Shared registration path; `None` signals a family type conflict.
+    fn register(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&'static str, &str)],
+        kind: Kind,
+    ) -> Option<Series> {
+        let mut families = self.families.lock();
+        let family =
+            families.entry(name).or_insert_with(|| Family { kind, help, series: BTreeMap::new() });
+        if family.kind != kind {
+            self.type_conflicts.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let key = canonical_labels(labels);
+        if let Some(existing) = family.series.get(&key) {
+            return Some(clone_series(existing));
+        }
+        let key = if family.series.len() < self.series_cap {
+            key
+        } else {
+            // cardinality guard: fold this new label set into __other__
+            self.overflowed.fetch_add(1, Ordering::Relaxed);
+            let folded: Vec<(&'static str, &str)> =
+                labels.iter().map(|&(k, _)| (k, OVERFLOW_LABEL)).collect();
+            let folded_key = canonical_labels(&folded);
+            if let Some(existing) = family.series.get(&folded_key) {
+                return Some(clone_series(existing));
+            }
+            folded_key
+        };
+        let fresh = match kind {
+            Kind::Counter => Series::Counter(Counter(Arc::new(AtomicU64::new(0)))),
+            Kind::Gauge => Series::Gauge(Gauge(Arc::new(AtomicU64::new(0)))),
+            Kind::Summary => Series::Summary(Summary(Arc::new(SummaryInner {
+                hist: LogHistogram::new(),
+                sum_bits: AtomicU64::new(0),
+            }))),
+        };
+        let handle = clone_series(&fresh);
+        family.series.insert(key, fresh);
+        Some(handle)
+    }
+
+    /// Render the whole registry in the Prometheus text exposition format
+    /// (version 0.0.4): `# HELP` / `# TYPE` headers, one sample line per
+    /// series, summaries as quantile samples plus `_sum` / `_count`.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(4096);
+        let families = self.families.lock();
+        for (name, family) in families.iter() {
+            let _ = writeln!(out, "# HELP {name} {}", escape_help(family.help));
+            let _ = writeln!(out, "# TYPE {name} {}", family.kind.as_str());
+            for (labels, series) in &family.series {
+                match series {
+                    Series::Counter(c) => {
+                        let _ = writeln!(out, "{name}{} {}", braced(labels), c.get());
+                    }
+                    Series::Gauge(g) => {
+                        let _ = writeln!(out, "{name}{} {}", braced(labels), fmt_f64(g.value()));
+                    }
+                    Series::Summary(s) => {
+                        for q in SUMMARY_QUANTILES {
+                            let with_q = if labels.is_empty() {
+                                format!("{{quantile=\"{q}\"}}")
+                            } else {
+                                format!("{{{labels},quantile=\"{q}\"}}")
+                            };
+                            let _ = writeln!(out, "{name}{with_q} {}", fmt_f64(s.quantile(q)));
+                        }
+                        let _ = writeln!(out, "{name}_sum{} {}", braced(labels), fmt_f64(s.sum()));
+                        let _ = writeln!(out, "{name}_count{} {}", braced(labels), s.count());
+                    }
+                }
+            }
+        }
+        drop(families);
+        // the registry's own health: how much the guard had to fold
+        let _ = writeln!(
+            out,
+            "# HELP rrp_obs_series_overflow_total Series folded into __other__ by the label-cardinality guard\n# TYPE rrp_obs_series_overflow_total counter\nrrp_obs_series_overflow_total {}",
+            self.overflowed()
+        );
+        out
+    }
+}
+
+fn clone_series(s: &Series) -> Series {
+    match s {
+        Series::Counter(c) => Series::Counter(c.clone()),
+        Series::Gauge(g) => Series::Gauge(g.clone()),
+        Series::Summary(su) => Series::Summary(su.clone()),
+    }
+}
+
+/// Canonical label rendering: pairs sorted by key, values escaped, joined
+/// as `k="v",…` (empty string for an unlabeled series).
+fn canonical_labels(labels: &[(&'static str, &str)]) -> String {
+    let mut pairs: Vec<(&str, &str)> = labels.iter().map(|&(k, v)| (k, v)).collect();
+    pairs.sort_by(|a, b| a.0.cmp(b.0));
+    let mut out = String::new();
+    for (i, (k, v)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape_label_value(v));
+        out.push('"');
+    }
+    out
+}
+
+/// `{labels}` or nothing for the unlabeled series.
+fn braced(labels: &str) -> String {
+    if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{labels}}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_render_and_accumulate() {
+        let reg = Registry::new();
+        let a = reg.counter("req_total", "Requests", &[("tenant", "a")]);
+        let b = reg.counter("req_total", "Requests", &[("tenant", "b")]);
+        a.inc();
+        a.add(2);
+        b.inc();
+        // re-registration returns the same underlying series
+        let a2 = reg.counter("req_total", "Requests", &[("tenant", "a")]);
+        a2.inc();
+        let text = reg.render();
+        assert!(text.contains("# TYPE req_total counter"), "{text}");
+        assert!(text.contains("req_total{tenant=\"a\"} 4"), "{text}");
+        assert!(text.contains("req_total{tenant=\"b\"} 1"), "{text}");
+    }
+
+    #[test]
+    fn label_order_does_not_split_series() {
+        let reg = Registry::new();
+        let x = reg.counter("m", "h", &[("a", "1"), ("b", "2")]);
+        let y = reg.counter("m", "h", &[("b", "2"), ("a", "1")]);
+        x.inc();
+        y.inc();
+        assert_eq!(x.get(), 2);
+        assert!(reg.render().contains("m{a=\"1\",b=\"2\"} 2"));
+    }
+
+    #[test]
+    fn gauges_hold_floats() {
+        let reg = Registry::new();
+        let g = reg.gauge("depth", "Queue depth", &[]);
+        g.set(3.5);
+        assert!(reg.render().contains("depth 3.5"), "{}", reg.render());
+        g.set(-0.25);
+        assert!((g.value() + 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summaries_expose_quantiles_sum_count() {
+        let reg = Registry::new();
+        let s = reg.summary("lat_ms", "Latency", &[("rung", "full")]);
+        for i in 1..=100 {
+            s.observe(i as f64);
+        }
+        assert_eq!(s.count(), 100);
+        assert!((s.sum() - 5050.0).abs() < 1e-9);
+        let text = reg.render();
+        assert!(text.contains("lat_ms{rung=\"full\",quantile=\"0.5\"}"), "{text}");
+        assert!(text.contains("lat_ms_sum{rung=\"full\"} 5050"), "{text}");
+        assert!(text.contains("lat_ms_count{rung=\"full\"} 100"), "{text}");
+        // quantile answer within the documented histogram error
+        let p50 = s.quantile(0.5);
+        assert!((p50 - 51.0).abs() / 51.0 <= 0.0906, "p50 {p50}");
+    }
+
+    #[test]
+    fn cardinality_guard_folds_into_other() {
+        let reg = Registry::with_series_cap(2);
+        for i in 0..5 {
+            let c = reg.counter("t_total", "h", &[("tenant", &format!("t{i}"))]);
+            c.inc();
+        }
+        assert_eq!(reg.overflowed(), 3);
+        let text = reg.render();
+        assert!(text.contains("t_total{tenant=\"t0\"} 1"), "{text}");
+        assert!(text.contains("t_total{tenant=\"t1\"} 1"), "{text}");
+        // t2..t4 all fold into one __other__ series
+        assert!(text.contains("t_total{tenant=\"__other__\"} 3"), "{text}");
+        assert!(!text.contains("tenant=\"t3\""), "{text}");
+        assert!(text.contains("rrp_obs_series_overflow_total 3"), "{text}");
+    }
+
+    #[test]
+    fn type_conflict_yields_detached_handle() {
+        let reg = Registry::new();
+        let c = reg.counter("x", "h", &[]);
+        c.inc();
+        let g = reg.gauge("x", "h", &[]); // wrong type: detached
+        g.set(99.0);
+        let text = reg.render();
+        assert!(text.contains("x 1"), "{text}");
+        assert!(!text.contains("99"), "{text}");
+    }
+
+    #[test]
+    fn concurrent_updates_lose_nothing() {
+        let reg = Arc::new(Registry::new());
+        let c = reg.counter("n", "h", &[]);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 40_000);
+    }
+}

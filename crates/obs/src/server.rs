@@ -1,0 +1,282 @@
+//! Embedded exposition server: a deliberately tiny HTTP/1.1 responder on
+//! `std::net::TcpListener`, meant for loopback scrapes of a planning
+//! engine. No async runtime, no HTTP dependency — four GET routes:
+//!
+//! * `/metrics`  — Prometheus text format 0.0.4
+//! * `/snapshot` — the engine's `MetricsSnapshot` as JSON
+//! * `/healthz`  — liveness: 200 while the server thread is alive
+//! * `/readyz`   — readiness: 200/503 from the [`ObsHooks::readiness`] hook
+//!
+//! Every response is assembled fully in memory and written with one
+//! `write_all`, with a `Content-Length` header and `Connection: close` —
+//! a scraper can never observe a torn exposition body short of a socket
+//! error, which HTTP framing makes detectable. Shutdown is cooperative:
+//! a stop flag plus a self-connect to unblock `accept`, then a join.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Readiness verdict served on `/readyz`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Readiness {
+    /// `true` → 200, `false` → 503.
+    pub ready: bool,
+    /// Short plain-text explanation included in the response body, e.g.
+    /// `"queue depth 131 over high-water 128"`.
+    pub detail: String,
+}
+
+impl Readiness {
+    pub fn ready(detail: impl Into<String>) -> Self {
+        Self { ready: true, detail: detail.into() }
+    }
+
+    pub fn not_ready(detail: impl Into<String>) -> Self {
+        Self { ready: false, detail: detail.into() }
+    }
+}
+
+/// What the server serves. The engine (or any host) supplies closures so
+/// `rrp-obs` never needs to know engine types — the dependency points the
+/// other way.
+pub struct ObsHooks {
+    /// Body of `/metrics` (Prometheus text format).
+    pub metrics_text: Box<dyn Fn() -> String + Send + Sync>,
+    /// Body of `/snapshot` (JSON).
+    pub snapshot_json: Box<dyn Fn() -> String + Send + Sync>,
+    /// Verdict for `/readyz`.
+    pub readiness: Box<dyn Fn() -> Readiness + Send + Sync>,
+}
+
+/// A running exposition server. Dropping it shuts it down gracefully.
+pub struct ObsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ObsServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:9184"`, or `"127.0.0.1:0"` for an
+    /// ephemeral port) and start serving. Fails only if the bind fails.
+    pub fn bind<A: ToSocketAddrs>(addr: A, hooks: ObsHooks) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let hooks = Arc::new(hooks);
+            std::thread::Builder::new()
+                .name("rrp-obs-accept".to_string())
+                .spawn(move || accept_loop(listener, stop, hooks))?
+        };
+        Ok(Self { addr: local, stop, accept: Some(accept) })
+    }
+
+    /// The bound address — use with `127.0.0.1:0` to learn the port.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, unblock the accept loop, and join it. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // unblock the blocking accept with a throwaway connection
+        if let Ok(s) = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250)) {
+            drop(s);
+        }
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ObsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, stop: Arc<AtomicBool>, hooks: Arc<ObsHooks>) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let hooks = Arc::clone(&hooks);
+        // one short-lived thread per connection: scrapers are few (a
+        // Prometheus poll, a dashboard, a test harness), bodies are small,
+        // and full-buffer writes keep each response atomic regardless of
+        // interleaving
+        let _ = std::thread::Builder::new()
+            .name("rrp-obs-conn".to_string())
+            .spawn(move || handle(stream, &hooks));
+    }
+}
+
+fn handle(mut stream: TcpStream, hooks: &ObsHooks) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let Some(request_line) = read_request_line(&mut stream) else {
+        return;
+    };
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or_default();
+    let path = parts.next().unwrap_or_default();
+    let path = path.split('?').next().unwrap_or(path);
+
+    let (status, content_type, body) = if method != "GET" {
+        (405, "text/plain; charset=utf-8", "method not allowed\n".to_string())
+    } else {
+        match path {
+            "/metrics" => (200, "text/plain; version=0.0.4; charset=utf-8", (hooks.metrics_text)()),
+            "/snapshot" => (200, "application/json", (hooks.snapshot_json)()),
+            "/healthz" => (200, "text/plain; charset=utf-8", "ok\n".to_string()),
+            "/readyz" => {
+                let r = (hooks.readiness)();
+                let code = if r.ready { 200 } else { 503 };
+                (code, "text/plain; charset=utf-8", format!("{}\n", r.detail))
+            }
+            _ => (404, "text/plain; charset=utf-8", "not found\n".to_string()),
+        }
+    };
+    respond(&mut stream, status, content_type, &body);
+}
+
+/// Read up to the end of the request head and return the request line.
+/// Bounded at 8 KiB — anything longer is not a scraper we serve.
+fn read_request_line(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = stream.read(&mut chunk).ok()?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() >= 8192 {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    head.lines().next().map(|l| l.to_string())
+}
+
+fn respond(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) {
+    let reason = match status {
+        200 => "OK",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Error",
+    };
+    let mut out = Vec::with_capacity(body.len() + 128);
+    out.extend_from_slice(
+        format!(
+            "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        )
+        .as_bytes(),
+    );
+    out.extend_from_slice(body.as_bytes());
+    // one write for the whole response: no interleaving point mid-body
+    let _ = stream.write_all(&out);
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal test-side HTTP GET returning (status, body).
+    pub(crate) fn http_get(addr: SocketAddr, path: &str) -> Option<(u16, String)> {
+        let mut s = TcpStream::connect_timeout(&addr, Duration::from_secs(2)).ok()?;
+        s.set_read_timeout(Some(Duration::from_secs(2))).ok()?;
+        s.write_all(format!("GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").as_bytes()).ok()?;
+        let mut raw = Vec::new();
+        s.read_to_end(&mut raw).ok()?;
+        let text = String::from_utf8(raw).ok()?;
+        let (head, body) = text.split_once("\r\n\r\n")?;
+        let status: u16 = head.split_whitespace().nth(1)?.parse().ok()?;
+        Some((status, body.to_string()))
+    }
+
+    fn test_hooks(ready: Arc<AtomicBool>) -> ObsHooks {
+        ObsHooks {
+            metrics_text: Box::new(|| "m_total 1\n".to_string()),
+            snapshot_json: Box::new(|| "{\"completed\":1}".to_string()),
+            readiness: Box::new(move || {
+                if ready.load(Ordering::SeqCst) {
+                    Readiness::ready("ok")
+                } else {
+                    Readiness::not_ready("queue over high-water")
+                }
+            }),
+        }
+    }
+
+    #[test]
+    fn routes_and_status_codes() {
+        let ready = Arc::new(AtomicBool::new(true));
+        let server =
+            ObsServer::bind("127.0.0.1:0", test_hooks(Arc::clone(&ready))).expect("ephemeral bind");
+        let addr = server.local_addr();
+
+        let (code, body) = http_get(addr, "/metrics").expect("metrics scrape");
+        assert_eq!(code, 200);
+        assert_eq!(body, "m_total 1\n");
+
+        let (code, body) = http_get(addr, "/snapshot").expect("snapshot fetch");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"completed\":1"));
+
+        let (code, _) = http_get(addr, "/healthz").expect("healthz");
+        assert_eq!(code, 200);
+
+        let (code, body) = http_get(addr, "/readyz").expect("readyz up");
+        assert_eq!(code, 200);
+        assert_eq!(body, "ok\n");
+
+        ready.store(false, Ordering::SeqCst);
+        let (code, body) = http_get(addr, "/readyz").expect("readyz degraded");
+        assert_eq!(code, 503);
+        assert!(body.contains("high-water"), "{body}");
+
+        let (code, _) = http_get(addr, "/nope").expect("unknown route");
+        assert_eq!(code, 404);
+    }
+
+    #[test]
+    fn non_get_is_rejected() {
+        let ready = Arc::new(AtomicBool::new(true));
+        let server = ObsServer::bind("127.0.0.1:0", test_hooks(ready)).expect("ephemeral bind");
+        let addr = server.local_addr();
+        let mut s = TcpStream::connect_timeout(&addr, Duration::from_secs(2)).expect("connect");
+        s.write_all(b"POST /metrics HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n")
+            .expect("send");
+        let mut raw = Vec::new();
+        let _ = s.read_to_end(&mut raw);
+        let text = String::from_utf8_lossy(&raw);
+        assert!(text.starts_with("HTTP/1.1 405"), "{text}");
+    }
+
+    #[test]
+    fn shutdown_stops_serving_and_is_idempotent() {
+        let ready = Arc::new(AtomicBool::new(true));
+        let mut server = ObsServer::bind("127.0.0.1:0", test_hooks(ready)).expect("ephemeral bind");
+        let addr = server.local_addr();
+        assert!(http_get(addr, "/healthz").is_some(), "alive before shutdown");
+        server.shutdown();
+        server.shutdown(); // second call is a no-op
+                           // the listener is gone: either the connect fails outright or the
+                           // connection is never answered
+        if let Some((code, _)) = http_get(addr, "/healthz") {
+            panic!("server answered after shutdown with {code}");
+        }
+    }
+}

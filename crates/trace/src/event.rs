@@ -78,6 +78,16 @@ pub enum EventKind {
     CacheLookup { hit: bool },
     /// One rung of the degradation ladder ran.
     LadderStep { level: &'static str, outcome: String, elapsed_us: u64 },
+    /// A request left the engine (any completion path: cache hit, audit
+    /// rejection, or a ladder result). Carries the tenant id so sinks can
+    /// aggregate per tenant without retaining the request.
+    RequestDone {
+        tenant: String,
+        level: &'static str,
+        outcome: &'static str,
+        latency_us: u64,
+        deadline_met: bool,
+    },
 }
 
 impl EventKind {
@@ -101,6 +111,7 @@ impl EventKind {
             EventKind::Dequeued => "dequeued",
             EventKind::CacheLookup { .. } => "cache_lookup",
             EventKind::LadderStep { .. } => "ladder_step",
+            EventKind::RequestDone { .. } => "request_done",
         }
     }
 }
@@ -204,6 +215,14 @@ impl Event {
                 field_str(out, "level", level);
                 field_str(out, "outcome", outcome);
                 field_u64(out, "elapsed_us", *elapsed_us);
+            }
+            EventKind::RequestDone { tenant, level, outcome, latency_us, deadline_met } => {
+                field_str(out, "tenant", tenant);
+                field_str(out, "level", level);
+                field_str(out, "outcome", outcome);
+                field_u64(out, "latency_us", *latency_us);
+                out.push_str(",\"deadline_met\":");
+                out.push_str(if *deadline_met { "true" } else { "false" });
             }
         }
     }

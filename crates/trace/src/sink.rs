@@ -20,6 +20,12 @@ pub trait Sink: Send + Sync {
     fn emit(&self, ev: &Event);
     /// Persist anything buffered. Default: nothing to do.
     fn flush(&self) {}
+    /// Events this sink has discarded under pressure (e.g. a full ring).
+    /// Default: a sink that never drops reports 0. Lets the engine surface
+    /// loss through `Arc<dyn Sink>` without downcasting.
+    fn dropped_events(&self) -> u64 {
+        0
+    }
 }
 
 /// Discards everything. Useful when a sink slot must be filled but no
@@ -86,6 +92,10 @@ impl Sink for RingSink {
         }
         buf.push_back(ev.clone());
     }
+
+    fn dropped_events(&self) -> u64 {
+        RingSink::dropped_events(self)
+    }
 }
 
 /// Streams events as JSON lines to any writer (usually a file). Write
@@ -147,6 +157,10 @@ impl Sink for TeeSink {
         for s in &self.sinks {
             s.flush();
         }
+    }
+
+    fn dropped_events(&self) -> u64 {
+        self.sinks.iter().map(|s| s.dropped_events()).sum()
     }
 }
 

@@ -1,0 +1,192 @@
+//! `cargo run -p xtask -- benchdiff <baseline.json> <current.json>` — the
+//! bench regression gate.
+//!
+//! Both files are `results/BENCH_*.json` arrays (see `rrp-bench`'s
+//! `results` module). Every instance present in the baseline must exist in
+//! the current run (losing coverage fails) and must not be slower than
+//! `baseline * (1 + tol)` (default tolerance 10%, `--tol 0.10`). Instances
+//! only in the current run are reported but never fail — new benches are
+//! welcome. Sub-millisecond baselines are compared with a 0.5 ms absolute
+//! floor on the allowance: at that scale scheduler noise dwarfs any real
+//! regression a ratio would catch.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::process::ExitCode;
+
+use serde_json::Value;
+
+/// Absolute slack added to the allowance for tiny baselines (ms).
+const NOISE_FLOOR_MS: f64 = 0.5;
+
+pub fn run(args: &[String]) -> ExitCode {
+    let mut files = Vec::new();
+    let mut tol = 0.10;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tol" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(t) if t >= 0.0 => tol = t,
+                _ => return usage("--tol needs a non-negative fraction (e.g. 0.10)"),
+            },
+            flag if flag.starts_with('-') => return usage(&format!("unknown flag {flag}")),
+            file => files.push(file.to_string()),
+        }
+    }
+    let [baseline_path, current_path] = files.as_slice() else {
+        return usage("need exactly two files: <baseline.json> <current.json>");
+    };
+
+    let baseline = match load(baseline_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("benchdiff: {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let current = match load(current_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("benchdiff: {current_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let (report, failures) = diff(&baseline, &current, tol);
+    print!("{report}");
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("benchdiff: {failures} regression(s) beyond {:.0}%", tol * 100.0);
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("benchdiff: {msg}");
+    eprintln!(
+        "usage: cargo run -p xtask -- benchdiff <baseline.json> <current.json> [--tol <frac>]"
+    );
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let src = fs::read_to_string(path).map_err(|e| e.to_string())?;
+    parse_records(&src)
+}
+
+/// Parse a BENCH json array into `(instance, wall_ms)` pairs.
+fn parse_records(src: &str) -> Result<Vec<(String, f64)>, String> {
+    let v: Value = serde_json::from_str(src).map_err(|e| format!("invalid JSON: {e:?}"))?;
+    let Some(arr) = v.as_array() else {
+        return Err("expected a JSON array of records".to_string());
+    };
+    let mut out = Vec::with_capacity(arr.len());
+    for (i, rec) in arr.iter().enumerate() {
+        let (Some(instance), Some(wall_ms)) = (
+            rec.get("instance").and_then(Value::as_str),
+            rec.get("wall_ms").and_then(Value::as_f64),
+        ) else {
+            return Err(format!("record {i}: missing instance or wall_ms"));
+        };
+        out.push((instance.to_string(), wall_ms));
+    }
+    Ok(out)
+}
+
+/// Render the comparison table and count failures (regressions + coverage
+/// losses).
+fn diff(baseline: &[(String, f64)], current: &[(String, f64)], tol: f64) -> (String, usize) {
+    let mut out = String::new();
+    let mut failures = 0;
+    let _ = writeln!(
+        out,
+        "{:<44} {:>12} {:>12} {:>8}  verdict",
+        "instance", "baseline ms", "current ms", "Δ%"
+    );
+    for (instance, base_ms) in baseline {
+        match current.iter().find(|(name, _)| name == instance) {
+            Some((_, cur_ms)) => {
+                let delta = (cur_ms - base_ms) / base_ms * 100.0;
+                let allowance = base_ms * tol + NOISE_FLOOR_MS;
+                let regressed = *cur_ms > base_ms + allowance;
+                if regressed {
+                    failures += 1;
+                }
+                let _ = writeln!(
+                    out,
+                    "{instance:<44} {base_ms:>12.3} {cur_ms:>12.3} {delta:>+7.1}%  {}",
+                    if regressed { "REGRESSED" } else { "ok" }
+                );
+            }
+            None => {
+                failures += 1;
+                let _ =
+                    writeln!(out, "{instance:<44} {base_ms:>12.3} {:>12} {:>8}  MISSING", "-", "-");
+            }
+        }
+    }
+    for (instance, cur_ms) in current {
+        if !baseline.iter().any(|(name, _)| name == instance) {
+            let _ = writeln!(out, "{instance:<44} {:>12} {cur_ms:>12.3} {:>8}  new", "-", "-");
+        }
+    }
+    (out, failures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recs(pairs: &[(&str, f64)]) -> Vec<(String, f64)> {
+        pairs.iter().map(|(n, v)| (n.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let base = recs(&[("a/1", 100.0), ("a/2", 200.0)]);
+        let cur = recs(&[("a/1", 105.0), ("a/2", 195.0)]);
+        let (report, failures) = diff(&base, &cur, 0.10);
+        assert_eq!(failures, 0, "{report}");
+        assert!(report.contains("ok"), "{report}");
+    }
+
+    #[test]
+    fn regression_beyond_tolerance_fails() {
+        let base = recs(&[("a/1", 100.0)]);
+        let cur = recs(&[("a/1", 112.0)]);
+        let (report, failures) = diff(&base, &cur, 0.10);
+        assert_eq!(failures, 1, "{report}");
+        assert!(report.contains("REGRESSED"), "{report}");
+    }
+
+    #[test]
+    fn missing_instance_fails_new_instance_does_not() {
+        let base = recs(&[("a/1", 100.0)]);
+        let cur = recs(&[("b/1", 50.0)]);
+        let (report, failures) = diff(&base, &cur, 0.10);
+        assert_eq!(failures, 1, "{report}");
+        assert!(report.contains("MISSING"), "{report}");
+        assert!(report.contains("new"), "{report}");
+    }
+
+    #[test]
+    fn sub_millisecond_baselines_get_the_noise_floor() {
+        // 0.5 ms baseline doubling to 0.9 ms is noise, not a regression
+        let base = recs(&[("warm", 0.5)]);
+        let cur = recs(&[("warm", 0.9)]);
+        let (report, failures) = diff(&base, &cur, 0.10);
+        assert_eq!(failures, 0, "{report}");
+    }
+
+    #[test]
+    fn records_parse_from_bench_json() {
+        let src = r#"[
+  {"instance":"engine_throughput/cold_64req/4","wall_ms":322.7,"nodes":0,"objective":null}
+]"#;
+        let recs = parse_records(src).expect("parses");
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].0, "engine_throughput/cold_64req/4");
+        assert!((recs[0].1 - 322.7).abs() < 1e-9);
+    }
+}

@@ -10,13 +10,20 @@
 //! * `cargo run -p xtask -- trace <file.jsonl>` renders a report from an
 //!   `rrp-trace` JSONL stream (see [`trace`]); `--assert-gap-closed` is
 //!   the CI assertion mode.
+//! * `cargo run -p xtask -- watch <addr>` is a live terminal dashboard
+//!   over an engine's `/metrics` endpoint (see [`watch`]).
+//! * `cargo run -p xtask -- benchdiff <baseline.json> <current.json>`
+//!   compares two `results/BENCH_*.json` files and fails on wall-clock
+//!   regressions beyond a tolerance (see [`benchdiff`]).
 //!
 //! The scan is line-based and deliberately simple: it skips `//` comments
 //! and `#[cfg(test)] mod` blocks (test code may unwrap freely), and the
 //! allowlist absorbs the rare justified use. It is a tripwire against
 //! *new* debt, not a parser.
 
+mod benchdiff;
 mod trace;
+mod watch;
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -48,9 +55,11 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => lint(),
         Some("trace") => trace::run(&args[1..]),
+        Some("watch") => watch::run(&args[1..]),
+        Some("benchdiff") => benchdiff::run(&args[1..]),
         _ => {
             eprintln!(
-                "usage: cargo run -p xtask -- lint\n       cargo run -p xtask -- trace <file.jsonl> [--assert-gap-closed] [--gap-tol <rel>]"
+                "usage: cargo run -p xtask -- lint\n       cargo run -p xtask -- trace <file.jsonl> [--assert-gap-closed] [--gap-tol <rel>]\n       cargo run -p xtask -- watch <addr> [--interval-ms <n>] [--frames <n>]\n       cargo run -p xtask -- benchdiff <baseline.json> <current.json> [--tol <frac>]"
             );
             ExitCode::from(2)
         }

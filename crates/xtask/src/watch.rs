@@ -1,0 +1,371 @@
+//! `cargo run -p xtask -- watch <addr>` — a live terminal dashboard over a
+//! planning engine's `/metrics` endpoint.
+//!
+//! Polls the Prometheus text exposition once per interval (default 1 s),
+//! parses it with `rrp_obs::text::parse`, and repaints one screen:
+//! throughput (completed/s, with a sparkline of its history), queue depth
+//! against its high-water mark, cache hit rate, the degradation-rung
+//! distribution as bars, p50/p99 request latency, gap-at-timeout, the
+//! busiest tenants, and the `/readyz` verdict.
+//!
+//! Exits cleanly on Ctrl-C (no terminal modes are changed — the default
+//! SIGINT disposition is already clean) and exits 0 when a previously
+//! reachable server goes away (engine shutdown ends the watch, it does not
+//! fail it). `--frames <n>` renders a fixed number of frames and exits —
+//! the CI/scripting mode. `--interval-ms <n>` adjusts the poll rate.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use rrp_obs::text::{parse, Sample};
+
+/// Sparkline glyphs, low to high (same palette as the trace report).
+const BARS: &[char] = &['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+/// Maximum sparkline / bar width in glyphs.
+const WIDTH: usize = 48;
+/// History points kept for sparklines.
+const HISTORY: usize = WIDTH;
+
+pub fn run(args: &[String]) -> ExitCode {
+    let mut addr = None;
+    let mut interval = Duration::from_millis(1000);
+    let mut frames: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--interval-ms" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(ms) => interval = Duration::from_millis(ms.max(50)),
+                None => return usage("--interval-ms needs an integer argument"),
+            },
+            "--frames" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => frames = Some(n),
+                None => return usage("--frames needs an integer argument"),
+            },
+            flag if flag.starts_with('-') => return usage(&format!("unknown flag {flag}")),
+            a => {
+                if addr.replace(a.to_string()).is_some() {
+                    return usage("more than one address given");
+                }
+            }
+        }
+    }
+    let Some(addr) = addr else {
+        return usage("no address given (e.g. 127.0.0.1:9184)");
+    };
+
+    let mut state = WatchState::default();
+    let mut frame: u64 = 0;
+    loop {
+        let t0 = Instant::now();
+        match http_get(&addr, "/metrics") {
+            Some((200, body)) => match parse(&body) {
+                Ok(samples) => {
+                    let ready = http_get(&addr, "/readyz");
+                    frame += 1;
+                    let screen = render(&addr, frame, interval, &samples, ready, &mut state);
+                    // clear + home, then repaint — no raw mode, no alt screen
+                    print!("\x1b[2J\x1b[H{screen}");
+                    let _ = std::io::stdout().flush();
+                }
+                Err(e) => {
+                    eprintln!("watch: {addr}/metrics returned an unparseable body: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Some((code, _)) => {
+                eprintln!("watch: {addr}/metrics answered HTTP {code}");
+                return ExitCode::FAILURE;
+            }
+            None if frame == 0 => {
+                eprintln!("watch: cannot reach {addr}/metrics — is the engine serving?");
+                eprintln!("       (start one with: cargo run --example planning_service --release -- --serve-metrics {addr} --hold 60)");
+                return ExitCode::FAILURE;
+            }
+            None => {
+                println!("\nwatch: {addr} went away after {frame} frame(s) — engine shut down");
+                return ExitCode::SUCCESS;
+            }
+        }
+        if frames.is_some_and(|n| frame >= n) {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(interval.saturating_sub(t0.elapsed()));
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("watch: {msg}");
+    eprintln!("usage: cargo run -p xtask -- watch <addr> [--interval-ms <n>] [--frames <n>]");
+    ExitCode::from(2)
+}
+
+/// Cross-frame state: last counters for rate derivation plus sparkline
+/// histories.
+#[derive(Default)]
+struct WatchState {
+    last: Option<(Instant, f64)>,
+    throughput: VecDeque<f64>,
+    queue: VecDeque<f64>,
+}
+
+/// Minimal HTTP/1.1 GET returning (status, body). `None` on any socket
+/// error — connection refused after a successful frame means shutdown.
+fn http_get(addr: &str, path: &str) -> Option<(u16, String)> {
+    let mut s = TcpStream::connect(addr).ok()?;
+    s.set_read_timeout(Some(Duration::from_secs(2))).ok()?;
+    s.write_all(format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\n\r\n").as_bytes()).ok()?;
+    let mut raw = Vec::new();
+    s.read_to_end(&mut raw).ok()?;
+    let text = String::from_utf8(raw).ok()?;
+    let (head, body) = text.split_once("\r\n\r\n")?;
+    let status: u16 = head.split_whitespace().nth(1)?.parse().ok()?;
+    Some((status, body.to_string()))
+}
+
+fn value(samples: &[Sample], name: &str) -> Option<f64> {
+    samples.iter().find(|s| s.name == name && s.labels.is_empty()).map(|s| s.value)
+}
+
+fn labeled(samples: &[Sample], name: &str, key: &str, val: &str) -> Option<f64> {
+    samples.iter().find(|s| s.name == name && s.label(key) == Some(val)).map(|s| s.value)
+}
+
+fn render(
+    addr: &str,
+    frame: u64,
+    interval: Duration,
+    samples: &[Sample],
+    ready: Option<(u16, String)>,
+    state: &mut WatchState,
+) -> String {
+    let mut out = String::with_capacity(2048);
+    let completed = value(samples, "rrp_completed_total").unwrap_or(0.0);
+    let now = Instant::now();
+    let throughput = match state.last {
+        Some((t, prev)) => {
+            let dt = now.duration_since(t).as_secs_f64().max(1e-9);
+            ((completed - prev) / dt).max(0.0)
+        }
+        None => 0.0,
+    };
+    state.last = Some((now, completed));
+    push_history(&mut state.throughput, throughput);
+    let queue = value(samples, "rrp_queue_depth").unwrap_or(0.0);
+    push_history(&mut state.queue, queue);
+
+    let _ = writeln!(
+        out,
+        "rrp watch — {addr}   frame {frame}   every {:.1}s   (Ctrl-C to quit)",
+        interval.as_secs_f64()
+    );
+    let _ = writeln!(
+        out,
+        "  throughput  {throughput:>8.1} req/s   {} total   {}",
+        completed as u64,
+        sparkline(&state.throughput)
+    );
+    let high = value(samples, "rrp_queue_depth_high_water").unwrap_or(0.0);
+    let _ = writeln!(
+        out,
+        "  queue       {:>8} deep      high-water {}   {}",
+        queue as u64,
+        high as u64,
+        sparkline(&state.queue)
+    );
+    let hit_rate = value(samples, "rrp_cache_hit_rate").unwrap_or(0.0);
+    let entries = value(samples, "rrp_cache_entries").unwrap_or(0.0);
+    let _ = writeln!(
+        out,
+        "  cache       {:>7.1}% hit rate  {} entries",
+        hit_rate * 100.0,
+        entries as u64
+    );
+    let p50 = labeled(samples, "rrp_request_latency_ms", "quantile", "0.5");
+    let p99 = labeled(samples, "rrp_request_latency_ms", "quantile", "0.99");
+    let _ = writeln!(
+        out,
+        "  latency     p50 {}   p99 {}",
+        p50.map_or("-".to_string(), fmt_ms),
+        p99.map_or("-".to_string(), fmt_ms)
+    );
+    let gap_n = value(samples, "rrp_milp_gap_at_timeout_count").unwrap_or(0.0);
+    if gap_n > 0.0 {
+        let g50 = labeled(samples, "rrp_milp_gap_at_timeout", "quantile", "0.5").unwrap_or(0.0);
+        let g99 = labeled(samples, "rrp_milp_gap_at_timeout", "quantile", "0.99").unwrap_or(0.0);
+        let _ = writeln!(
+            out,
+            "  gap@timeout p50 {:.1}%   p99 {:.1}%   ({} budget-stopped solves)",
+            g50 * 100.0,
+            g99 * 100.0,
+            gap_n as u64
+        );
+    }
+    let dropped = value(samples, "rrp_trace_dropped_events_total").unwrap_or(0.0);
+    if dropped > 0.0 {
+        let _ = writeln!(out, "  dropped     {} trace events lost under pressure", dropped as u64);
+    }
+
+    let _ = writeln!(out, "  rungs served:");
+    let rungs = ["full", "deterministic", "dynamic-program", "on-demand-only"];
+    let served: Vec<f64> = rungs
+        .iter()
+        .map(|r| labeled(samples, "rrp_level_served_total", "rung", r).unwrap_or(0.0))
+        .collect();
+    let max = served.iter().cloned().fold(0.0_f64, f64::max).max(1.0);
+    for (rung, n) in rungs.iter().zip(&served) {
+        let width = ((n / max) * WIDTH as f64).ceil() as usize;
+        let bar: String = "█".repeat(if *n > 0.0 { width.max(1) } else { 0 });
+        let _ = writeln!(out, "    {rung:<16} {bar} {}", *n as u64);
+    }
+
+    let mut tenants: Vec<&Sample> = samples
+        .iter()
+        .filter(|s| s.name == "rrp_requests_total" && s.label("tenant").is_some())
+        .collect();
+    if !tenants.is_empty() {
+        tenants.sort_by(|a, b| b.value.total_cmp(&a.value));
+        let _ = writeln!(out, "  busiest tenants:");
+        for s in tenants.iter().take(5) {
+            let tenant = s.label("tenant").unwrap_or("?");
+            let misses =
+                labeled(samples, "rrp_deadline_miss_total", "tenant", tenant).unwrap_or(0.0);
+            let _ = writeln!(
+                out,
+                "    {:<20} {:>6} requests   {} deadline misses",
+                compact(tenant),
+                s.value as u64,
+                misses as u64
+            );
+        }
+    }
+
+    match ready {
+        Some((200, detail)) => {
+            let _ = writeln!(out, "  readyz      ready ({})", detail.trim());
+        }
+        Some((code, detail)) => {
+            let _ = writeln!(out, "  readyz      NOT READY [{code}] ({})", detail.trim());
+        }
+        None => {
+            let _ = writeln!(out, "  readyz      unreachable");
+        }
+    }
+    out
+}
+
+fn push_history(h: &mut VecDeque<f64>, v: f64) {
+    if h.len() == HISTORY {
+        h.pop_front();
+    }
+    h.push_back(v);
+}
+
+fn sparkline(history: &VecDeque<f64>) -> String {
+    let max = history.iter().cloned().fold(0.0_f64, f64::max);
+    if max <= 0.0 {
+        return String::new();
+    }
+    history
+        .iter()
+        .map(|&v| {
+            let idx = ((v / max) * (BARS.len() - 1) as f64).round() as usize;
+            BARS[idx.min(BARS.len() - 1)]
+        })
+        .collect()
+}
+
+/// Truncate a tenant id to the table column, escaping nothing — the parser
+/// already unescaped it, so control characters are replaced for display.
+fn compact(tenant: &str) -> String {
+    let clean: String =
+        tenant.chars().map(|c| if c.is_control() { '·' } else { c }).take(20).collect();
+    clean
+}
+
+fn fmt_ms(ms: f64) -> String {
+    if ms >= 1000.0 {
+        format!("{:.2} s", ms / 1000.0)
+    } else if ms >= 1.0 {
+        format!("{ms:.1} ms")
+    } else {
+        format!("{:.0} µs", ms * 1000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_body() -> Vec<Sample> {
+        parse(
+            "rrp_completed_total 64\n\
+             rrp_queue_depth 3\n\
+             rrp_queue_depth_high_water 17\n\
+             rrp_cache_hit_rate 0.5\n\
+             rrp_cache_entries 12\n\
+             rrp_trace_dropped_events_total 2\n\
+             rrp_request_latency_ms{quantile=\"0.5\"} 12.5\n\
+             rrp_request_latency_ms{quantile=\"0.99\"} 88.0\n\
+             rrp_milp_gap_at_timeout_count 0\n\
+             rrp_level_served_total{rung=\"full\"} 40\n\
+             rrp_level_served_total{rung=\"deterministic\"} 20\n\
+             rrp_level_served_total{rung=\"dynamic-program\"} 4\n\
+             rrp_level_served_total{rung=\"on-demand-only\"} 0\n\
+             rrp_requests_total{tenant=\"acme\"} 50\n\
+             rrp_requests_total{tenant=\"zephyr\"} 14\n\
+             rrp_deadline_miss_total{tenant=\"acme\"} 1\n",
+        )
+        .expect("test body parses")
+    }
+
+    #[test]
+    fn render_shows_every_section() {
+        let samples = sample_body();
+        let mut state = WatchState::default();
+        // two frames so throughput has a delta
+        let _ = render(
+            "127.0.0.1:1",
+            1,
+            Duration::from_millis(100),
+            &samples,
+            Some((200, "queue depth 3\n".into())),
+            &mut state,
+        );
+        let screen = render(
+            "127.0.0.1:1",
+            2,
+            Duration::from_millis(100),
+            &samples,
+            Some((503, "queue depth 999 over high-water 128\n".into())),
+            &mut state,
+        );
+        assert!(screen.contains("throughput"), "{screen}");
+        assert!(screen.contains("high-water 17"), "{screen}");
+        assert!(screen.contains("50.0% hit rate"), "{screen}");
+        assert!(screen.contains("p50 12.5 ms"), "{screen}");
+        assert!(screen.contains("full"), "{screen}");
+        assert!(screen.contains("acme"), "{screen}");
+        assert!(screen.contains("2 trace events lost"), "{screen}");
+        assert!(screen.contains("NOT READY [503]"), "{screen}");
+    }
+
+    #[test]
+    fn sparkline_scales_to_max() {
+        let mut h = VecDeque::new();
+        for v in [0.0, 1.0, 2.0, 4.0] {
+            push_history(&mut h, v);
+        }
+        let line = sparkline(&h);
+        assert_eq!(line.chars().count(), 4);
+        assert!(line.ends_with('█'), "{line}");
+    }
+
+    #[test]
+    fn hostile_tenant_ids_render_without_control_chars() {
+        assert_eq!(compact("evil\ntenant"), "evil·tenant");
+    }
+}

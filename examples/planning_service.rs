@@ -9,12 +9,17 @@
 //! spans, ladder steps, branch & bound node events, gap samples) to a
 //! JSONL file; render it afterwards with
 //! `cargo run -p xtask -- trace out.jsonl`.
+//!
+//! Pass `--serve-metrics <addr>` (e.g. `127.0.0.1:9184`) to expose
+//! `/metrics`, `/snapshot`, `/healthz` and `/readyz` on that address, and
+//! `--hold <secs>` to keep the engine alive after the demo with a request
+//! trickle — watch it live with `cargo run -p xtask -- watch <addr>`.
 
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use rrp_core::{CostSchedule, PlanningParams, ScenarioTree};
-use rrp_engine::{Engine, EngineConfig, PlanRequest, PolicyKind};
+use rrp_engine::{Engine, EngineConfig, MetricsConfig, PlanRequest, PolicyKind};
 use rrp_spotmarket::{CostRates, EmpiricalDist};
 use rrp_trace::JsonlSink;
 
@@ -40,6 +45,8 @@ fn request(i: usize, policy: PolicyKind, deadline: Duration) -> PlanRequest {
 
 fn main() {
     let mut trace_path = None;
+    let mut metrics_addr = None;
+    let mut hold_secs = 0u64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -50,23 +57,41 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--serve-metrics" => match args.next() {
+                Some(addr) => metrics_addr = Some(addr),
+                None => {
+                    eprintln!("--serve-metrics needs an address (e.g. 127.0.0.1:9184)");
+                    std::process::exit(2);
+                }
+            },
+            "--hold" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(secs) => hold_secs = secs,
+                None => {
+                    eprintln!("--hold needs a number of seconds");
+                    std::process::exit(2);
+                }
+            },
             other => eprintln!("ignoring unknown argument {other}"),
         }
     }
-    let engine = match &trace_path {
-        Some(path) => {
-            let sink = JsonlSink::create(path).expect("create trace file");
+    let metrics =
+        metrics_addr.clone().map(|addr| MetricsConfig { addr: Some(addr), ..Default::default() });
+    let engine = match (&trace_path, metrics) {
+        (None, None) => Engine::new(4),
+        (path, metrics) => {
+            let sink = path.as_ref().map(|p| {
+                Arc::new(JsonlSink::create(p).expect("create trace file"))
+                    as Arc<dyn rrp_trace::Sink>
+            });
             Engine::with_config(
                 4,
-                EngineConfig {
-                    sink: Some(Arc::new(sink)),
-                    count_solver_events: true,
-                    ..Default::default()
-                },
+                EngineConfig { sink, count_solver_events: true, metrics, ..Default::default() },
             )
         }
-        None => Engine::new(4),
     };
+    if let Some(addr) = engine.metrics_addr() {
+        println!("metrics served on http://{addr}/metrics  (watch: cargo run -p xtask -- watch {addr})\n");
+    }
     let policies = [
         PolicyKind::Stochastic,
         PolicyKind::Deterministic,
@@ -116,13 +141,28 @@ fn main() {
         None => println!("unexpectedly planned"),
     }
 
+    if hold_secs > 0 {
+        println!("\n== holding for {hold_secs}s with a request trickle (Ctrl-C to stop early) ==");
+        let until = Instant::now() + Duration::from_secs(hold_secs);
+        let mut i = 0usize;
+        while Instant::now() < until {
+            // a steady mixed trickle keeps every dashboard panel moving:
+            // fresh fingerprints (cache misses) and repeats (hits)
+            let policy = policies[i % policies.len()];
+            let _ = engine.submit(request(i % 24, policy, Duration::from_secs(5))).wait();
+            i += 1;
+            std::thread::sleep(Duration::from_millis(150));
+        }
+        println!("served {i} trickle requests");
+    }
+
     let snapshot = engine.metrics();
     println!(
         "\n== metrics ==\n{}",
         serde_json::to_string_pretty(&snapshot).expect("snapshot serialises")
     );
 
-    drop(engine); // join workers and flush the trace sink
+    drop(engine); // join workers, stop the metrics server, flush the trace sink
     if let Some(path) = trace_path {
         println!("\ntrace written to {path} — render with: cargo run -p xtask -- trace {path}");
     }
