@@ -103,6 +103,7 @@ fn engine_throughput(c: &mut Criterion) {
         wall_ms,
         nodes: metrics.milp_nodes_total,
         objective,
+        extras: Vec::new(),
     });
 
     // The observability overhead record: metrics exposition on, with a
@@ -166,6 +167,7 @@ fn cold_run_with_scraper(requests: &[PlanRequest]) -> Record {
         wall_ms,
         nodes: metrics.milp_nodes_total,
         objective,
+        extras: Vec::new(),
     }
 }
 

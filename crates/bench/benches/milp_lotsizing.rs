@@ -1,11 +1,19 @@
 //! Ablation: generic branch & bound vs the structure-exploiting
 //! Wagner–Whitin DP on uncapacitated DRRP instances of growing horizon —
 //! quantifying the value of the paper's "dynamic lot-sizing" observation.
+//!
+//! Besides the stderr report, the run persists node-throughput records —
+//! warm dual-simplex B&B vs a cold (`warm_start: false`) baseline on a
+//! capacitated DRRP instance — into `results/BENCH_milp.json` (merged with
+//! `parallel_bb`'s namespace) for `xtask benchdiff`.
+
+use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rrp_bench::results::{self, Record};
 use rrp_core::demand::DemandModel;
 use rrp_core::{wagner_whitin, CostSchedule, DrrpProblem, PlanningParams};
-use rrp_milp::MilpOptions;
+use rrp_milp::{MilpOptions, MilpProblem};
 use rrp_spotmarket::CostRates;
 
 fn instance(horizon: usize) -> CostSchedule {
@@ -36,6 +44,67 @@ fn bench_lotsizing(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    persist_records();
+}
+
+/// Solve once and turn the search statistics into a BENCH record: wall
+/// clock, tree size, and the warm-start extras (`nodes_per_sec`,
+/// `lp_iters_per_node`, `warm_hit_rate`) the perf acceptance gate reads.
+fn measure(label: &str, milp: &MilpProblem, opts: &MilpOptions) -> Record {
+    let t0 = Instant::now();
+    let sol = milp.solve(opts).expect("bench instance is feasible");
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let nodes = sol.nodes.max(1) as f64;
+    Record {
+        instance: label.to_string(),
+        wall_ms,
+        nodes: sol.nodes as u64,
+        objective: sol.objective,
+        extras: Vec::new(),
+    }
+    .with_extra("nodes_per_sec", nodes / (wall_ms / 1e3).max(1e-9))
+    .with_extra("lp_iters_per_node", sol.lp_stats.iterations as f64 / nodes)
+    .with_extra("warm_hit_rate", sol.lp_stats.warm_hit_rate())
+}
+
+/// The warm-vs-cold node-throughput comparison on a capacitated DRRP
+/// instance (capacity binds, so the tree is non-trivial), plus the shim's
+/// timing records, merged into this bench's namespace of BENCH_milp.json.
+fn persist_records() {
+    let mut records: Vec<Record> = criterion::take_results()
+        .into_iter()
+        .map(|r| Record::timing(r.label, r.mean_ns as f64 / 1e6))
+        .collect();
+
+    let horizon = 24;
+    let s = instance(horizon);
+    let peak = s.demand.iter().cloned().fold(0.0_f64, f64::max);
+    // capacity at ~1.15× peak demand binds in the busy slots without
+    // making the instance infeasible
+    let params = PlanningParams { capacity: Some(peak * 1.15), ..Default::default() };
+    let (milp, _) = DrrpProblem::new(s, params).to_milp();
+    let warm_opts = MilpOptions::default();
+    let cold_opts = MilpOptions { warm_start: false, ..Default::default() };
+    let warm = measure(&format!("milp_lotsizing/drrp_cap{horizon}/warm"), &milp, &warm_opts);
+    let cold = measure(&format!("milp_lotsizing/drrp_cap{horizon}/cold"), &milp, &cold_opts);
+    assert!(
+        (warm.objective - cold.objective).abs() <= 1e-6 * (1.0 + cold.objective.abs()),
+        "warm and cold B&B disagree: {} vs {}",
+        warm.objective,
+        cold.objective
+    );
+    eprintln!(
+        "drrp_cap{horizon}: warm {:.1} ms / {} nodes, cold {:.1} ms / {} nodes",
+        warm.wall_ms, warm.nodes, cold.wall_ms, cold.nodes
+    );
+    records.push(warm);
+    records.push(cold);
+
+    match results::merge_json("BENCH_milp.json", "milp_lotsizing", &records) {
+        Ok(path) => eprintln!("wrote {} ({} records)", path.display(), records.len()),
+        Err(e) => eprintln!("warning: could not write BENCH_milp.json: {e}"),
+    }
 }
 
 criterion_group!(benches, bench_lotsizing);

@@ -1,7 +1,14 @@
 //! Ablation: sequential vs parallel branch & bound on knapsack-style
 //! binary programs whose trees are deep enough to amortise batching.
+//!
+//! Also persists node-throughput / warm-hit records for the deepest
+//! knapsack into `results/BENCH_milp.json` (its own instance namespace,
+//! merged alongside `milp_lotsizing`'s).
+
+use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rrp_bench::results::{self, Record};
 use rrp_lp::{Cmp, Model, Sense};
 use rrp_milp::{solve_parallel, MilpOptions, MilpProblem};
 
@@ -39,6 +46,62 @@ fn bench_parallel(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    persist_records();
+}
+
+/// Node-throughput record from one solve (see `sol.lp_stats` extras).
+fn record_from(label: &str, wall_ms: f64, sol: &rrp_milp::MilpSolution) -> Record {
+    let nodes = sol.nodes.max(1) as f64;
+    Record {
+        instance: label.to_string(),
+        wall_ms,
+        nodes: sol.nodes as u64,
+        objective: sol.objective,
+        extras: Vec::new(),
+    }
+    .with_extra("nodes_per_sec", nodes / (wall_ms / 1e3).max(1e-9))
+    .with_extra("lp_iters_per_node", sol.lp_stats.iterations as f64 / nodes)
+    .with_extra("warm_hit_rate", sol.lp_stats.warm_hit_rate())
+}
+
+/// Sequential warm vs cold (`warm_start: false`) plus parallel warm on the
+/// n=18 knapsack, with cross-checked objectives, merged into
+/// `BENCH_milp.json` under this bench's namespace.
+fn persist_records() {
+    let mut records: Vec<Record> = criterion::take_results()
+        .into_iter()
+        .map(|r| Record::timing(r.label, r.mean_ns as f64 / 1e6))
+        .collect();
+
+    let n = 18;
+    let p = knapsack(n, 99);
+    let warm_opts = MilpOptions { node_limit: 50_000, ..Default::default() };
+    let cold_opts = MilpOptions { warm_start: false, ..warm_opts.clone() };
+    let solve = |label: String, opts: &MilpOptions, parallel: bool| {
+        let t0 = Instant::now();
+        let sol = if parallel { solve_parallel(&p, opts) } else { p.solve(opts) }
+            .expect("bench knapsack is feasible");
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        record_from(&label, wall_ms, &sol)
+    };
+    let warm = solve(format!("parallel_bb/knapsack{n}/seq_warm"), &warm_opts, false);
+    let cold = solve(format!("parallel_bb/knapsack{n}/seq_cold"), &cold_opts, false);
+    let par = solve(format!("parallel_bb/knapsack{n}/par_warm"), &warm_opts, true);
+    for other in [&cold, &par] {
+        assert!(
+            (warm.objective - other.objective).abs() <= 1e-6 * (1.0 + warm.objective.abs()),
+            "optimal objectives diverged: {} vs {}",
+            warm.objective,
+            other.objective
+        );
+    }
+    records.extend([warm, cold, par]);
+
+    match results::merge_json("BENCH_milp.json", "parallel_bb", &records) {
+        Ok(path) => eprintln!("wrote {} ({} records)", path.display(), records.len()),
+        Err(e) => eprintln!("warning: could not write BENCH_milp.json: {e}"),
+    }
 }
 
 criterion_group!(benches, bench_parallel);

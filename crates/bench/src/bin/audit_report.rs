@@ -43,6 +43,7 @@ fn solve_and_record(records: &mut Vec<Record>, instance: String, milp: &MilpProb
             wall_ms: t0.elapsed().as_secs_f64() * 1e3,
             nodes: sol.nodes as u64,
             objective: sol.objective,
+            extras: Vec::new(),
         }),
         Err(e) => eprintln!("warning: {instance}: solve failed: {e:?}"),
     }

@@ -24,12 +24,29 @@ pub struct Record {
     pub nodes: u64,
     /// Objective value (`NaN` serialises as `null` for timing-only records).
     pub objective: f64,
+    /// Extra named measurements appended as additional JSON fields (e.g.
+    /// `nodes_per_sec`, `warm_hit_rate`). `benchdiff` ignores fields it
+    /// does not know, so extras never break the regression gate.
+    pub extras: Vec<(String, f64)>,
 }
 
 impl Record {
     /// A timing-only record (no solve attached).
     pub fn timing(instance: impl Into<String>, wall_ms: f64) -> Self {
-        Self { instance: instance.into(), wall_ms, nodes: 0, objective: f64::NAN }
+        Self {
+            instance: instance.into(),
+            wall_ms,
+            nodes: 0,
+            objective: f64::NAN,
+            extras: Vec::new(),
+        }
+    }
+
+    /// Append a named extra measurement (builder-style).
+    #[must_use]
+    pub fn with_extra(mut self, key: impl Into<String>, value: f64) -> Self {
+        self.extras.push((key.into(), value));
+        self
     }
 }
 
@@ -55,22 +72,90 @@ pub fn write_json(file_name: &str, records: &[Record]) -> io::Result<PathBuf> {
     Ok(path)
 }
 
+/// Merge `records` into `results/<file_name>`: records already in the file
+/// whose instance starts with `prefix` are replaced by this run; records
+/// from other benches (different prefix) are kept verbatim. This lets
+/// several bench binaries share one `BENCH_*.json` — each owns its own
+/// instance namespace and reruns idempotently.
+///
+/// The file is rewritten from its own one-record-per-line layout, so only
+/// files produced by [`write_json`]/[`merge_json`] round-trip; a
+/// hand-edited file with records spanning lines loses the foreign records.
+pub fn merge_json(file_name: &str, prefix: &str, records: &[Record]) -> io::Result<PathBuf> {
+    let path = results_dir()?.join(file_name);
+    let existing = fs::read_to_string(&path).unwrap_or_default();
+    fs::write(&path, merge_rendered(&existing, prefix, records))?;
+    Ok(path)
+}
+
+/// The pure half of [`merge_json`]: line-filter `existing`, dropping this
+/// run's `prefix` namespace, and append the fresh records.
+fn merge_rendered(existing: &str, prefix: &str, records: &[Record]) -> String {
+    let mut kept: Vec<&str> = Vec::new();
+    for line in existing.lines() {
+        let body = line.trim().trim_end_matches(',');
+        if !body.starts_with('{') {
+            continue;
+        }
+        // instance labels never contain quotes (bench code picks them),
+        // so a plain split is enough to read the label back
+        let instance =
+            body.strip_prefix("{\"instance\":\"").and_then(|rest| rest.split('"').next());
+        match instance {
+            Some(name) if name.starts_with(prefix) => {} // superseded
+            Some(_) => kept.push(body),
+            None => {}
+        }
+    }
+    let mut out = String::from("[\n");
+    let mut first = true;
+    for line in &kept {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str("  ");
+        out.push_str(line);
+    }
+    for r in records {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str("  ");
+        render_record(&mut out, r);
+    }
+    out.push_str("\n]\n");
+    out
+}
+
 fn render_json(records: &[Record]) -> String {
     let mut out = String::from("[\n");
     for (i, r) in records.iter().enumerate() {
         if i > 0 {
             out.push_str(",\n");
         }
-        out.push_str("  {\"instance\":");
-        push_json_str(&mut out, &r.instance);
-        let _ = write!(out, ",\"wall_ms\":");
-        push_json_f64(&mut out, r.wall_ms);
-        let _ = write!(out, ",\"nodes\":{},\"objective\":", r.nodes);
-        push_json_f64(&mut out, r.objective);
-        out.push('}');
+        out.push_str("  ");
+        render_record(&mut out, r);
     }
     out.push_str("\n]\n");
     out
+}
+
+fn render_record(out: &mut String, r: &Record) {
+    out.push_str("{\"instance\":");
+    push_json_str(out, &r.instance);
+    let _ = write!(out, ",\"wall_ms\":");
+    push_json_f64(out, r.wall_ms);
+    let _ = write!(out, ",\"nodes\":{},\"objective\":", r.nodes);
+    push_json_f64(out, r.objective);
+    for (key, value) in &r.extras {
+        out.push(',');
+        push_json_str(out, key);
+        out.push(':');
+        push_json_f64(out, *value);
+    }
+    out.push('}');
 }
 
 fn push_json_str(out: &mut String, s: &str) {
@@ -105,12 +190,13 @@ fn push_json_f64(out: &mut String, v: f64) {
 mod tests {
     use super::*;
 
+    fn rec(instance: &str, wall_ms: f64, nodes: u64, objective: f64) -> Record {
+        Record { instance: instance.into(), wall_ms, nodes, objective, extras: Vec::new() }
+    }
+
     #[test]
     fn records_render_as_valid_flat_json() {
-        let records = [
-            Record { instance: "a/1".into(), wall_ms: 12.5, nodes: 37, objective: 3.75 },
-            Record::timing("b \"q\"", 0.25),
-        ];
+        let records = [rec("a/1", 12.5, 37, 3.75), Record::timing("b \"q\"", 0.25)];
         let json = render_json(&records);
         assert!(json.starts_with("[\n"), "{json}");
         assert!(json.contains("\"instance\":\"a/1\",\"wall_ms\":12.5,\"nodes\":37"), "{json}");
@@ -120,9 +206,39 @@ mod tests {
 
     #[test]
     fn integral_floats_keep_a_decimal_point() {
-        let json =
-            render_json(&[Record { instance: "x".into(), wall_ms: 3.0, nodes: 0, objective: 2.0 }]);
+        let json = render_json(&[rec("x", 3.0, 0, 2.0)]);
         assert!(json.contains("\"wall_ms\":3.0"), "{json}");
         assert!(json.contains("\"objective\":2.0"), "{json}");
+    }
+
+    #[test]
+    fn extras_append_as_named_fields() {
+        let json = render_json(&[Record::timing("a/1", 1.5)
+            .with_extra("nodes_per_sec", 1234.5)
+            .with_extra("warm_hit_rate", 0.875)]);
+        assert!(json.contains("\"nodes_per_sec\":1234.5"), "{json}");
+        assert!(json.contains("\"warm_hit_rate\":0.875"), "{json}");
+    }
+
+    #[test]
+    fn merge_replaces_own_prefix_and_keeps_foreign_records() {
+        let existing = render_json(&[
+            rec("alpha/1", 1.0, 0, f64::NAN),
+            rec("beta/1", 2.0, 5, 9.0),
+            rec("alpha/2", 3.0, 0, f64::NAN),
+        ]);
+        let merged = merge_rendered(&existing, "alpha/", &[rec("alpha/3", 7.0, 1, 4.0)]);
+        assert!(!merged.contains("alpha/1"), "{merged}");
+        assert!(!merged.contains("alpha/2"), "{merged}");
+        assert!(merged.contains("beta/1"), "{merged}");
+        assert!(merged.contains("alpha/3"), "{merged}");
+        // the merged file still parses as a flat JSON array shape
+        assert!(merged.starts_with("[\n") && merged.ends_with("]\n"), "{merged}");
+    }
+
+    #[test]
+    fn merge_into_empty_is_write() {
+        let merged = merge_rendered("", "x/", &[rec("x/1", 1.0, 0, f64::NAN)]);
+        assert_eq!(merged, render_json(&[rec("x/1", 1.0, 0, f64::NAN)]));
     }
 }

@@ -7,9 +7,11 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 use rrp_core::RentalPlan;
+use rrp_milp::Basis;
 
 use crate::request::DegradationLevel;
 
@@ -21,11 +23,21 @@ pub struct CacheEntry {
 }
 
 /// Thread-safe plan cache with hit/miss counters.
+///
+/// Besides exact-instance plans it keeps a *basis side-table* keyed by
+/// problem **shape** (tenant + model dimensions, not data): a rolling-horizon
+/// re-plan shifts demand and prices, so its exact fingerprint misses the plan
+/// cache, but the constraint matrix keeps its shape — the previous solve's
+/// final root basis stays dual feasible and warm-starts the new root LP
+/// (see `rrp_milp::MilpOptions::root_basis`).
 #[derive(Debug, Default)]
 pub struct PlanCache {
     map: Mutex<HashMap<u64, CacheEntry>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    bases: Mutex<HashMap<u64, Arc<Basis>>>,
+    basis_hits: AtomicU64,
+    basis_misses: AtomicU64,
 }
 
 impl PlanCache {
@@ -67,6 +79,45 @@ impl PlanCache {
     pub fn hit_rate(&self) -> f64 {
         let h = self.hits() as f64;
         let total = h + self.misses() as f64;
+        if total > 0.0 {
+            h / total
+        } else {
+            0.0
+        }
+    }
+
+    /// Look up the last optimal root basis stored for a problem shape.
+    pub fn lookup_basis(&self, shape: u64) -> Option<Arc<Basis>> {
+        let basis = self.bases.lock().get(&shape).cloned();
+        match basis {
+            Some(_) => self.basis_hits.fetch_add(1, Ordering::Relaxed),
+            None => self.basis_misses.fetch_add(1, Ordering::Relaxed),
+        };
+        basis
+    }
+
+    /// Store the final root basis of a fully-solved request under its
+    /// shape key; later requests of the same shape start warm from it.
+    pub fn insert_basis(&self, shape: u64, basis: Arc<Basis>) {
+        self.bases.lock().insert(shape, basis);
+    }
+
+    pub fn basis_entries(&self) -> usize {
+        self.bases.lock().len()
+    }
+
+    pub fn basis_hits(&self) -> u64 {
+        self.basis_hits.load(Ordering::Relaxed)
+    }
+
+    pub fn basis_misses(&self) -> u64 {
+        self.basis_misses.load(Ordering::Relaxed)
+    }
+
+    /// Basis-table hits over lookups; 0 before any lookup.
+    pub fn basis_hit_rate(&self) -> f64 {
+        let h = self.basis_hits() as f64;
+        let total = h + self.basis_misses() as f64;
         if total > 0.0 {
             h / total
         } else {

@@ -4,11 +4,12 @@
 //! a closed-form construction, so the ladder is total on feasible
 //! instances.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use rrp_core::drrp::DrrpVars;
 use rrp_core::{on_demand_plan, wagner_whitin, DrrpProblem, PlanOutcome, RentalPlan, SrrpProblem};
-use rrp_milp::{MilpOptions, MilpProblem, SolveBudget, SolveStatus};
+use rrp_milp::{Basis, MilpOptions, MilpProblem, SolveBudget, SolveStatus};
 use rrp_trace::{EventKind, SpanId, TraceHandle};
 
 use crate::request::{DegradationLevel, PlanRequest, RungOutcome, TraceEntry};
@@ -69,10 +70,15 @@ pub struct LadderResult {
     /// the only results worth caching (a degraded or incumbent answer would
     /// poison the cache for later, less-pressed requests).
     pub fully_solved: bool,
+    /// Final basis of the answering MILP rung's root LP relaxation, when
+    /// that rung solved a prepared DRRP instance. The engine files it in
+    /// its basis side-table so the next same-shape request (a rolling-
+    /// horizon re-plan) starts its root LP warm.
+    pub root_basis: Option<Arc<Basis>>,
 }
 
 enum Attempt {
-    Answer(RentalPlan, RungOutcome),
+    Answer(RentalPlan, RungOutcome, Option<Arc<Basis>>),
     Miss(RungOutcome),
 }
 
@@ -123,9 +129,9 @@ pub fn run_ladder_with(
         let t0 = Instant::now();
         let attempt = attempt_level(req, level, level_opts, budget, prepared);
         let elapsed = t0.elapsed();
-        let (plan, outcome) = match attempt {
-            Attempt::Answer(plan, outcome) => (Some(plan), outcome),
-            Attempt::Miss(outcome) => (None, outcome),
+        let (plan, outcome, root_basis) = match attempt {
+            Attempt::Answer(plan, outcome, basis) => (Some(plan), outcome, basis),
+            Attempt::Miss(outcome) => (None, outcome, None),
         };
         if cfg.trace.is_enabled() {
             rung.emit(EventKind::LadderStep {
@@ -139,7 +145,7 @@ pub fn run_ladder_with(
             Some(plan) => {
                 let fully_solved = level == start_level && outcome == RungOutcome::Solved;
                 trace.push(TraceEntry { level, outcome, elapsed });
-                return LadderResult { plan, level, trace, fully_solved };
+                return LadderResult { plan, level, trace, fully_solved, root_basis };
             }
             None => {
                 trace.push(TraceEntry { level, outcome, elapsed });
@@ -172,11 +178,13 @@ fn attempt_level(
                     SolveStatus::Optimal(sol) => Attempt::Answer(
                         prep.problem.extract(&sol.values, &prep.vars),
                         RungOutcome::Solved,
+                        sol.root_basis.clone(),
                     ),
                     SolveStatus::Terminated { best_incumbent: Some(sol), reason, .. } => {
                         Attempt::Answer(
                             prep.problem.extract(&sol.values, &prep.vars),
                             RungOutcome::Incumbent(reason),
+                            sol.root_basis.clone(),
                         )
                     }
                     SolveStatus::Terminated { best_incumbent: None, reason, .. } => {
@@ -187,9 +195,9 @@ fn attempt_level(
             }
             let drrp = DrrpProblem::new(req.schedule.clone(), req.params);
             match drrp.solve_milp_budgeted(opts, budget) {
-                PlanOutcome::Optimal(plan) => Attempt::Answer(plan, RungOutcome::Solved),
+                PlanOutcome::Optimal(plan) => Attempt::Answer(plan, RungOutcome::Solved, None),
                 PlanOutcome::Terminated { plan: Some(plan), reason, .. } => {
-                    Attempt::Answer(plan, RungOutcome::Incumbent(reason))
+                    Attempt::Answer(plan, RungOutcome::Incumbent(reason), None)
                 }
                 PlanOutcome::Terminated { plan: None, reason, .. } => {
                     Attempt::Miss(RungOutcome::Exhausted(reason))
@@ -204,11 +212,11 @@ fn attempt_level(
                 ));
             }
             let plan = wagner_whitin::solve(&req.schedule, &req.params);
-            Attempt::Answer(plan, RungOutcome::Solved)
+            Attempt::Answer(plan, RungOutcome::Solved, None)
         }
         DegradationLevel::OnDemandOnly => {
             let plan = on_demand_plan(&req.schedule, &req.params);
-            Attempt::Answer(plan, RungOutcome::Solved)
+            Attempt::Answer(plan, RungOutcome::Solved, None)
         }
     }
 }
@@ -239,5 +247,5 @@ fn commit_srrp(
             "committed SRRP path infeasible for schedule demand".to_string(),
         ));
     }
-    Attempt::Answer(plan, rung)
+    Attempt::Answer(plan, rung, None)
 }

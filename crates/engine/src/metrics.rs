@@ -303,7 +303,7 @@ mod tests {
         let solver = CounterSink::new();
         let ev = |kind| Event { t_us: 0, worker: 0, span: SpanId::ROOT, kind };
         solver.emit(&ev(EventKind::NodeOpened { id: 1, depth: 0, bound: 0.0 }));
-        solver.emit(&ev(EventKind::LpSolved { iters: 17, status: "optimal" }));
+        solver.emit(&ev(EventKind::LpSolved { iters: 17, status: "optimal", warm: true }));
         solver.emit(&ev(EventKind::SolveDone {
             status: "terminated:deadline",
             nodes: 1,

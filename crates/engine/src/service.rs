@@ -11,6 +11,7 @@ use std::time::Instant;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use rrp_audit::{audit_milp_with, AuditOptions, UpperBoundHint};
+use rrp_core::fingerprint::Fnv64;
 use rrp_milp::{MilpOptions, SolveBudget};
 use rrp_obs::{MetricsSink, ObsHooks, ObsServer, Readiness, Registry};
 use rrp_trace::{CounterSink, EventKind, Sink, SpanId, TeeSink, TraceHandle};
@@ -269,6 +270,17 @@ impl Engine {
     pub fn cache_len(&self) -> usize {
         self.shared.cache.len()
     }
+
+    /// Problem shapes with a stored root basis (warm-start side-table).
+    pub fn basis_cache_entries(&self) -> usize {
+        self.shared.cache.basis_entries()
+    }
+
+    /// Basis side-table hits over lookups (0 before any solve misses the
+    /// plan cache).
+    pub fn basis_cache_hit_rate(&self) -> f64 {
+        self.shared.cache.basis_hit_rate()
+    }
 }
 
 impl Drop for Engine {
@@ -354,6 +366,10 @@ fn sync_registry(shared: &Shared, reg: &Registry, workers: usize) {
         .set(snap.cache_hit_rate);
     reg.gauge("rrp_cache_entries", "Distinct fingerprints currently cached", &[])
         .set(shared.cache.len() as f64);
+    reg.gauge("rrp_basis_cache_hit_rate", "Root-basis warm-start hits over lookups", &[])
+        .set(shared.cache.basis_hit_rate());
+    reg.gauge("rrp_basis_cache_entries", "Problem shapes with a stored root basis", &[])
+        .set(shared.cache.basis_entries() as f64);
     reg.counter("rrp_audits_total", "Pre-solve audit-gate runs", &[]).set(snap.audits);
     reg.counter(
         "rrp_deadline_misses_total",
@@ -375,6 +391,20 @@ fn sync_registry(shared: &Shared, reg: &Registry, workers: usize) {
         )
         .set(served);
     }
+}
+
+/// Key for the basis side-table: tenant identity plus the *dimensions* of
+/// the prepared MILP. Two requests share a key exactly when their constraint
+/// matrices have the same layout — the condition under which a stored basis
+/// is even shape-compatible. Data (demand, prices) deliberately stays out:
+/// surviving data changes is the point of the warm start.
+fn shape_fingerprint(app_id: &str, prepared: &PreparedDrrp) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_bytes(app_id.as_bytes());
+    h.write_usize(prepared.milp.model.num_vars());
+    h.write_usize(prepared.milp.model.num_cons());
+    h.write_usize(prepared.milp.integers.len());
+    h.finish()
 }
 
 fn worker_loop(rx: &Receiver<Job>, shared: &Shared) {
@@ -484,14 +514,31 @@ fn process(shared: &Shared, job: Job) {
     }
     audit.apply(&mut prepared.milp);
 
+    // Basis warm start across re-plans: the exact fingerprint missed (new
+    // demand/prices), but a same-shape solve may have left its final root
+    // basis behind — hand it to the MILP root LP as a dual-feasible hint.
+    // A stale or mismatched basis only costs the warm attempt; the solver
+    // falls back to a cold primal solve on its own.
+    let shape = shape_fingerprint(&req.app_id, &prepared);
+    let ladder_opts = if shared.opts.warm_start {
+        let mut o = shared.opts.clone();
+        o.root_basis = shared.cache.lookup_basis(shape);
+        o
+    } else {
+        shared.opts.clone()
+    };
+
     let budget =
         SolveBudget::with_deadline(start + req.deadline).and_node_limit(shared.opts.node_limit);
     let ladder_cfg = LadderConfig { trace: shared.trace.clone(), parent: span };
-    let result = run_ladder_with(&req, &shared.opts, &budget, Some(&prepared), &ladder_cfg);
+    let result = run_ladder_with(&req, &ladder_opts, &budget, Some(&prepared), &ladder_cfg);
     if result.fully_solved {
         shared
             .cache
             .insert(key, CacheEntry { plan: result.plan.clone(), degradation: result.level });
+        if let Some(basis) = &result.root_basis {
+            shared.cache.insert_basis(shape, Arc::clone(basis));
+        }
     }
     let latency = start.elapsed();
     let deadline_met = latency <= req.deadline;

@@ -1,0 +1,475 @@
+//! Bounded-variable dual simplex, warm-started from a [`Basis`] snapshot.
+//!
+//! Reduced costs depend only on `A` and `c`, so an optimal basis stays
+//! *dual* feasible after any change to bounds or right-hand sides — exactly
+//! what branch & bound does between a parent node and its children, and
+//! what rolling-horizon re-plans do between periods. Starting from the
+//! parent basis, the dual simplex drives out the (typically one or two)
+//! primal bound violations in a handful of pivots instead of re-running the
+//! full two-phase primal from the slack basis.
+//!
+//! The warm path is an optimisation, never a correctness dependency: any
+//! structural mismatch, singular refactorisation, dual-infeasible start,
+//! stall, or "no eligible entering column" outcome abandons the attempt and
+//! falls back to the cold primal path ([`simplex::solve_sparse_snapshot`]).
+//! In particular an infeasibility *verdict* is never taken from the warm
+//! path — the cold primal confirms it — so warm and cold searches prune the
+//! same nodes.
+
+use rrp_trace::{EventKind, SpanId, TraceHandle};
+
+use crate::engine::{BasisEngine, SparseEngine};
+use crate::model::StandardLp;
+use crate::simplex::{self, nonbasic_value, status_tag, Basis, RawResult, VStat, VarStatus};
+use crate::solution::Status;
+use crate::FEAS_TOL;
+
+/// Reduced-cost tolerance when validating dual feasibility of a warm basis.
+const DUAL_TOL: f64 = 1e-7;
+/// Pivot magnitude below which a dual ratio-test candidate is rejected.
+const DPIV_TOL: f64 = 1e-9;
+/// Consecutive degenerate dual pivots before the warm attempt is abandoned.
+const STALL_LIMIT: usize = 200;
+
+/// Outcome of [`solve_warm`]: the raw LP result, the final basis snapshot
+/// (`Some` only for optimal solves), and which path produced it.
+#[derive(Debug, Clone)]
+pub struct WarmResult {
+    pub raw: RawResult,
+    /// Final basis when the solve ended [`Status::Optimal`] — feed it to the
+    /// next warm solve.
+    pub basis: Option<Basis>,
+    /// True when the warm dual path produced `raw` (false = cold fallback,
+    /// including the no-hint case).
+    pub warm: bool,
+}
+
+/// Why a warm attempt was abandoned (all funnel into the cold fallback).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WarmFail {
+    /// Basis refactorisation failed.
+    Singular,
+    /// Reduced costs violate the resting-bound sign conditions.
+    DualInfeasible,
+    /// Too many degenerate pivots in a row.
+    Stalled,
+    /// Iteration limit.
+    IterationLimit,
+    /// No eligible entering column: a primal-infeasibility certificate that
+    /// we deliberately re-verify on the cold path.
+    NoEntering,
+}
+
+/// Solve `lp`, warm-starting from `hint` when possible. Equivalent to
+/// [`simplex::solve_sparse`] in its result; only the path differs.
+pub fn solve_warm(lp: &StandardLp, hint: Option<&Basis>) -> WarmResult {
+    solve_warm_traced(lp, hint, &TraceHandle::off(), SpanId::ROOT)
+}
+
+/// [`solve_warm`] with telemetry: the finishing `lp_solved` event carries
+/// `warm: true` when the dual path succeeded. Abandoned warm attempts emit
+/// nothing — exactly one `lp_solved` is recorded per logical solve.
+pub fn solve_warm_traced(
+    lp: &StandardLp,
+    hint: Option<&Basis>,
+    trace: &TraceHandle,
+    span: SpanId,
+) -> WarmResult {
+    if let Some(basis) = hint {
+        if let Some(mut dual) = DualSimplex::from_hint(lp, basis) {
+            dual.trace = trace.clone();
+            dual.span = span;
+            match dual.run() {
+                Ok((raw, basis)) => return WarmResult { raw, basis, warm: true },
+                Err(_fail) => {} // fall through to the cold path
+            }
+        }
+    }
+    let (raw, basis) = simplex::solve_sparse_snapshot(lp, trace, span);
+    WarmResult { raw, basis, warm: false }
+}
+
+struct DualSimplex<'a> {
+    lp: &'a StandardLp,
+    engine: SparseEngine,
+    m: usize,
+    n: usize,
+    basis: Vec<usize>,
+    vstat: Vec<VStat>,
+    /// Value per column (basic values maintained incrementally).
+    x: Vec<f64>,
+    /// Reduced cost per column (0 for basic columns), maintained
+    /// incrementally and recomputed at every refactorisation.
+    d: Vec<f64>,
+    /// Scratch: row `r` of `B⁻¹A` restricted to nonbasic columns.
+    alpha: Vec<f64>,
+    iterations: usize,
+    degenerate_run: usize,
+    max_iters: usize,
+    refactor_period: usize,
+    since_refactor: usize,
+    /// True right after a refactor + full recompute — a clean state whose
+    /// feasibility/optimality conclusions can be trusted.
+    clean: bool,
+    trace: TraceHandle,
+    span: SpanId,
+}
+
+impl<'a> DualSimplex<'a> {
+    /// Rebuild solver state from a basis snapshot; `None` when the hint does
+    /// not structurally fit `lp`.
+    fn from_hint(lp: &'a StandardLp, hint: &Basis) -> Option<Self> {
+        let m = lp.nrows();
+        let n = lp.ncols();
+        if !hint.fits(m, n) {
+            return None;
+        }
+        let mut vstat = Vec::with_capacity(n);
+        for j in 0..n {
+            let (l, u) = (lp.lower[j], lp.upper[j]);
+            // Reconcile the snapshot status with the *current* bounds: a
+            // resting bound may have moved or vanished since the snapshot.
+            let stat = match hint.status[j] {
+                VarStatus::Basic => VStat::Basic(usize::MAX), // patched below
+                VarStatus::AtLower => {
+                    if l.is_finite() {
+                        VStat::AtLower
+                    } else if u.is_finite() {
+                        VStat::AtUpper
+                    } else {
+                        VStat::FreeZero
+                    }
+                }
+                VarStatus::AtUpper => {
+                    if u.is_finite() {
+                        VStat::AtUpper
+                    } else if l.is_finite() {
+                        VStat::AtLower
+                    } else {
+                        VStat::FreeZero
+                    }
+                }
+                VarStatus::Free => {
+                    if l.is_finite() {
+                        VStat::AtLower
+                    } else if u.is_finite() {
+                        VStat::AtUpper
+                    } else {
+                        VStat::FreeZero
+                    }
+                }
+            };
+            vstat.push(stat);
+        }
+        for (r, &j) in hint.columns.iter().enumerate() {
+            if !matches!(vstat[j], VStat::Basic(_)) {
+                return None; // columns[] disagrees with status[]
+            }
+            vstat[j] = VStat::Basic(r);
+        }
+        if vstat.iter().any(|s| matches!(s, VStat::Basic(r) if *r == usize::MAX)) {
+            return None; // a status[]-basic column missing from columns[]
+        }
+        let mut x = vec![0.0; n];
+        for j in 0..n {
+            if !matches!(vstat[j], VStat::Basic(_)) {
+                x[j] = nonbasic_value(vstat[j], lp.lower[j], lp.upper[j]);
+            }
+        }
+        Some(Self {
+            lp,
+            engine: SparseEngine::new(),
+            m,
+            n,
+            basis: hint.columns.clone(),
+            vstat,
+            x,
+            d: vec![0.0; n],
+            alpha: vec![0.0; n],
+            iterations: 0,
+            degenerate_run: 0,
+            max_iters: 200 * (m + n) + 10_000,
+            refactor_period: 64,
+            since_refactor: 0,
+            clean: false,
+            trace: TraceHandle::off(),
+            span: SpanId::ROOT,
+        })
+    }
+
+    fn run(&mut self) -> Result<(RawResult, Option<Basis>), WarmFail> {
+        self.refresh(WarmFail::Singular, "warm_initial")?;
+        if !self.dual_feasible() {
+            return Err(WarmFail::DualInfeasible);
+        }
+        loop {
+            if self.iterations >= self.max_iters {
+                return Err(WarmFail::IterationLimit);
+            }
+            let leaving = self.most_violated_row();
+            let (r, below) = match leaving {
+                Some(rb) => rb,
+                None => {
+                    // Primal feasible. Trust it only from a clean state:
+                    // incremental drift must not declare false optimality.
+                    if self.clean {
+                        return Ok(self.finish());
+                    }
+                    self.refresh(WarmFail::Singular, "confirm")?;
+                    continue;
+                }
+            };
+
+            // rho = B⁻ᵀ e_r, alpha_j = a_j · rho for nonbasic j.
+            let mut rho = vec![0.0f64; self.m];
+            rho[r] = 1.0;
+            self.engine.btran(&mut rho);
+            for j in 0..self.n {
+                self.alpha[j] = if matches!(self.vstat[j], VStat::Basic(_)) {
+                    0.0
+                } else {
+                    self.lp.a.col_dot(j, &rho)
+                };
+            }
+
+            let entering = self.ratio_test(below);
+            let q = match entering {
+                Some(q) => q,
+                None => {
+                    // No entering column: the violated row proves primal
+                    // infeasibility — but only trust a clean state, and even
+                    // then hand the verdict to the cold path (see module doc).
+                    if self.clean {
+                        return Err(WarmFail::NoEntering);
+                    }
+                    self.refresh(WarmFail::Singular, "confirm")?;
+                    continue;
+                }
+            };
+            self.pivot(r, below, q)?;
+        }
+    }
+
+    /// Refactorise and recompute basic values + reduced costs from scratch.
+    fn refresh(&mut self, on_singular: WarmFail, reason: &'static str) -> Result<(), WarmFail> {
+        if self.engine.refactor(&self.lp.a, &self.basis).is_err() {
+            return Err(on_singular);
+        }
+        self.since_refactor = 0;
+        if self.trace.is_enabled() {
+            self.trace.emit(
+                self.span,
+                EventKind::Refactored {
+                    iter: self.iterations,
+                    nnz: self.engine.factor_nnz(),
+                    reason,
+                },
+            );
+        }
+        self.recompute_basic_values();
+        self.recompute_duals();
+        self.clean = true;
+        Ok(())
+    }
+
+    /// x_B = B⁻¹ (b − N x_N)
+    fn recompute_basic_values(&mut self) {
+        let lp = self.lp;
+        let mut rhs = lp.b.clone();
+        for j in 0..self.n {
+            if !matches!(self.vstat[j], VStat::Basic(_)) {
+                let v = self.x[j];
+                if v != 0.0 {
+                    lp.a.col_axpy(j, -v, &mut rhs);
+                }
+            }
+        }
+        self.engine.ftran(&mut rhs);
+        for (r, &j) in self.basis.iter().enumerate() {
+            self.x[j] = rhs[r];
+        }
+    }
+
+    /// y = B⁻ᵀ c_B; d_j = c_j − a_j·y (0 for basic columns).
+    fn recompute_duals(&mut self) {
+        let lp = self.lp;
+        let mut y = vec![0.0f64; self.m];
+        for (r, &j) in self.basis.iter().enumerate() {
+            y[r] = lp.c[j];
+        }
+        self.engine.btran(&mut y);
+        for j in 0..self.n {
+            self.d[j] = if matches!(self.vstat[j], VStat::Basic(_)) {
+                0.0
+            } else {
+                lp.c[j] - lp.a.col_dot(j, &y)
+            };
+        }
+    }
+
+    /// Check the resting-bound sign conditions on the reduced costs.
+    fn dual_feasible(&self) -> bool {
+        let lp = self.lp;
+        (0..self.n).all(|j| {
+            if lp.lower[j] == lp.upper[j] {
+                return true; // fixed columns carry no sign condition
+            }
+            match self.vstat[j] {
+                VStat::Basic(_) => true,
+                VStat::AtLower => self.d[j] >= -DUAL_TOL,
+                VStat::AtUpper => self.d[j] <= DUAL_TOL,
+                VStat::FreeZero => self.d[j].abs() <= DUAL_TOL,
+            }
+        })
+    }
+
+    /// Leaving-row choice: the basic variable most outside its bounds.
+    /// Returns `(row, below_lower?)`.
+    fn most_violated_row(&self) -> Option<(usize, bool)> {
+        let lp = self.lp;
+        let mut best: Option<(usize, bool, f64)> = None;
+        for (r, &j) in self.basis.iter().enumerate() {
+            let v = self.x[j];
+            let below = lp.lower[j] - v;
+            let above = v - lp.upper[j];
+            let (viol, is_below) = if below >= above { (below, true) } else { (above, false) };
+            if viol > FEAS_TOL && best.is_none_or(|(_, _, b)| viol > b) {
+                best = Some((r, is_below, viol));
+            }
+        }
+        best.map(|(r, is_below, _)| (r, is_below))
+    }
+
+    /// Dual ratio test over `self.alpha`: among sign-eligible nonbasic
+    /// columns, pick the one minimising |d_j / alpha_j| (tie-break: larger
+    /// pivot magnitude). `below` is the leaving variable's violation side.
+    fn ratio_test(&self, below: bool) -> Option<usize> {
+        const TIE: f64 = 1e-9;
+        let lp = self.lp;
+        let mut best: Option<(usize, f64, f64)> = None; // (col, ratio, |alpha|)
+        for j in 0..self.n {
+            if lp.lower[j] == lp.upper[j] {
+                continue; // fixed columns cannot enter
+            }
+            let a = self.alpha[j];
+            let eligible = match self.vstat[j] {
+                VStat::Basic(_) => false,
+                // Raising the leaving variable (below its lower bound) needs
+                // x_p' = … − alpha_j·x_j to increase along the entering
+                // variable's allowed direction; mirrored when above.
+                VStat::AtLower => {
+                    if below {
+                        a < -DPIV_TOL
+                    } else {
+                        a > DPIV_TOL
+                    }
+                }
+                VStat::AtUpper => {
+                    if below {
+                        a > DPIV_TOL
+                    } else {
+                        a < -DPIV_TOL
+                    }
+                }
+                VStat::FreeZero => a.abs() > DPIV_TOL,
+            };
+            if !eligible {
+                continue;
+            }
+            let ratio = self.d[j].abs() / a.abs();
+            let better = match best {
+                None => true,
+                Some((_, rb, ab)) => ratio < rb - TIE || (ratio <= rb + TIE && a.abs() > ab),
+            };
+            if better {
+                best = Some((j, ratio, a.abs()));
+            }
+        }
+        best.map(|(j, _, _)| j)
+    }
+
+    /// Exchange basis row `r`'s variable (leaving to the violated bound)
+    /// with entering column `q`, updating duals, primal values and factors.
+    fn pivot(&mut self, r: usize, below: bool, q: usize) -> Result<(), WarmFail> {
+        let lp = self.lp;
+        let p = self.basis[r];
+        let target = if below { lp.lower[p] } else { lp.upper[p] };
+        let aq = self.alpha[q];
+
+        // Dual step: keeps every nonbasic reduced cost sign-feasible.
+        let theta = self.d[q] / aq;
+        for j in 0..self.n {
+            if !matches!(self.vstat[j], VStat::Basic(_)) && self.alpha[j] != 0.0 {
+                self.d[j] -= theta * self.alpha[j];
+            }
+        }
+        self.d[q] = 0.0;
+        self.d[p] = -theta;
+
+        // Primal step along the entering column.
+        let dq = (self.x[p] - target) / aq;
+        let mut w = vec![0.0f64; self.m];
+        for (i, v) in lp.a.col_iter(q) {
+            w[i] = v;
+        }
+        self.engine.ftran(&mut w);
+        for (i, &bj) in self.basis.iter().enumerate() {
+            self.x[bj] -= dq * w[i];
+        }
+        self.x[q] += dq;
+        self.x[p] = target;
+
+        self.vstat[p] =
+            if below || lp.lower[p] == lp.upper[p] { VStat::AtLower } else { VStat::AtUpper };
+        self.vstat[q] = VStat::Basic(r);
+        self.basis[r] = q;
+        self.clean = false;
+
+        if theta.abs() <= 1e-12 {
+            self.degenerate_run += 1;
+            if self.degenerate_run > STALL_LIMIT {
+                return Err(WarmFail::Stalled);
+            }
+        } else {
+            self.degenerate_run = 0;
+        }
+
+        let update_rejected = self.engine.update(r, &w).is_err();
+        if update_rejected || self.since_refactor + 1 >= self.refactor_period {
+            self.refresh(
+                WarmFail::Singular,
+                if update_rejected { "update_rejected" } else { "periodic" },
+            )?;
+        } else {
+            self.since_refactor += 1;
+        }
+        self.iterations += 1;
+        Ok(())
+    }
+
+    fn finish(&mut self) -> (RawResult, Option<Basis>) {
+        let status = Status::Optimal;
+        if self.trace.is_enabled() {
+            self.trace.emit(
+                self.span,
+                EventKind::LpSolved {
+                    iters: self.iterations,
+                    status: status_tag(status),
+                    warm: true,
+                },
+            );
+        }
+        let lp = self.lp;
+        let mut y = vec![0.0f64; self.m];
+        for (r, &j) in self.basis.iter().enumerate() {
+            y[r] = lp.c[j];
+        }
+        self.engine.btran(&mut y);
+        let mut d = vec![0.0f64; self.n];
+        for j in 0..self.n {
+            d[j] = lp.c[j] - lp.a.col_dot(j, &y);
+        }
+        let basis = simplex::snapshot(&self.basis, &self.vstat);
+        (RawResult { status, x: self.x.clone(), y, d, iterations: self.iterations }, Some(basis))
+    }
+}

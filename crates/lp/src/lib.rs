@@ -28,6 +28,7 @@
 //! assert!((sol.values[x] - 3.0).abs() < 1e-9);
 //! ```
 
+pub mod dual;
 pub mod engine;
 pub mod lu;
 pub mod matrix;
@@ -37,8 +38,10 @@ pub mod scaling;
 pub mod simplex;
 pub mod solution;
 
+pub use dual::{solve_warm, solve_warm_traced, WarmResult};
 pub use model::{Cmp, Model, Sense, StandardLp, VarId};
 pub use presolve::{presolve, InfeasibleRow, PresolveOutcome, Presolved};
+pub use simplex::{Basis, VarStatus};
 pub use solution::{Solution, Status};
 
 /// Feasibility tolerance used throughout the solver.

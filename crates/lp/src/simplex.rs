@@ -35,12 +35,44 @@ pub struct RawResult {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum VStat {
+pub(crate) enum VStat {
     Basic(usize),
     AtLower,
     AtUpper,
     /// Free nonbasic variable resting at zero.
     FreeZero,
+}
+
+/// Where a standard-form column rests in a basis snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarStatus {
+    /// In the basis (its row is recorded in [`Basis::columns`]).
+    Basic,
+    AtLower,
+    AtUpper,
+    /// Free nonbasic column resting at zero.
+    Free,
+}
+
+/// A simplex basis snapshot: which column is basic in each row plus the
+/// resting status of every column. Captured from an optimal [`Simplex`] run
+/// and fed to [`crate::dual::solve_warm`] — after a bound change the basis
+/// stays *dual* feasible (reduced costs depend only on `A` and `c`), so the
+/// dual simplex re-solves in a handful of pivots instead of a cold
+/// two-phase primal run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Basis {
+    /// Basic column per row (`columns[r]` is basic in row `r`); length m.
+    pub columns: Vec<usize>,
+    /// Resting status per standard-form column; length n.
+    pub status: Vec<VarStatus>,
+}
+
+impl Basis {
+    /// Whether this snapshot structurally fits an m-row, n-column LP.
+    pub fn fits(&self, m: usize, n: usize) -> bool {
+        self.columns.len() == m && self.status.len() == n && self.columns.iter().all(|&j| j < n)
+    }
 }
 
 /// Solve with the sparse LU engine.
@@ -53,11 +85,12 @@ pub fn solve_dense(lp: &StandardLp) -> RawResult {
     solve_with(lp, DenseEngine::new())
 }
 
-/// Warm-started solve: reuse a previous basis if supplied (used by B&B after
-/// bound changes). Falls back to the slack basis when the hint is absent or
-/// singular.
+/// Cold solve from the all-slack basis with two-phase primal simplex. This
+/// entry point never reuses a basis — warm re-solves after bound changes go
+/// through [`crate::dual::solve_warm`], which starts from a [`Basis`]
+/// snapshot and falls back here when the hint is unusable.
 pub fn solve_with<E: BasisEngine>(lp: &StandardLp, engine: E) -> RawResult {
-    Simplex::new(lp, engine).run()
+    Simplex::new(lp, engine).run().0
 }
 
 /// [`solve_sparse`] with telemetry: sampled `simplex_iter` events,
@@ -81,6 +114,19 @@ pub fn solve_with_traced<E: BasisEngine>(
     span: SpanId,
 ) -> RawResult {
     let mut s = Simplex::new(lp, engine);
+    s.trace = trace.clone();
+    s.span = span;
+    s.run().0
+}
+
+/// Cold sparse solve that also returns the final [`Basis`] snapshot
+/// (`Some` only when the solve ended [`Status::Optimal`]).
+pub fn solve_sparse_snapshot(
+    lp: &StandardLp,
+    trace: &TraceHandle,
+    span: SpanId,
+) -> (RawResult, Option<Basis>) {
+    let mut s = Simplex::new(lp, SparseEngine::new());
     s.trace = trace.clone();
     s.span = span;
     s.run()
@@ -127,7 +173,7 @@ impl<'a, E: BasisEngine> Simplex<'a, E> {
         }
     }
 
-    fn run(mut self) -> RawResult {
+    fn run(mut self) -> (RawResult, Option<Basis>) {
         if let Err(st) = self.init_slack_basis() {
             return self.finish(st);
         }
@@ -494,17 +540,22 @@ impl<'a, E: BasisEngine> Simplex<'a, E> {
         }
     }
 
-    fn finish(mut self, status: Status) -> RawResult {
+    fn finish(mut self, status: Status) -> (RawResult, Option<Basis>) {
         if self.trace.is_enabled() {
             self.trace.emit(
                 self.span,
-                EventKind::LpSolved { iters: self.iterations, status: status_tag(status) },
+                EventKind::LpSolved {
+                    iters: self.iterations,
+                    status: status_tag(status),
+                    warm: false,
+                },
             );
         }
         let lp = self.lp;
         // Final duals and reduced costs from the true objective.
         let mut y = vec![0.0f64; self.m];
         let mut d = vec![0.0f64; self.n];
+        let mut basis = None;
         if status == Status::Optimal {
             let mut cb = vec![0.0f64; self.m];
             for (r, &j) in self.basis.iter().enumerate() {
@@ -515,13 +566,28 @@ impl<'a, E: BasisEngine> Simplex<'a, E> {
             for j in 0..self.n {
                 d[j] = lp.c[j] - lp.a.col_dot(j, &y);
             }
+            basis = Some(snapshot(&self.basis, &self.vstat));
         }
-        RawResult { status, x: self.x, y, d, iterations: self.iterations }
+        (RawResult { status, x: self.x, y, d, iterations: self.iterations }, basis)
     }
 }
 
+/// Capture the public [`Basis`] form of a solver's internal basis state.
+pub(crate) fn snapshot(basis: &[usize], vstat: &[VStat]) -> Basis {
+    let status = vstat
+        .iter()
+        .map(|s| match s {
+            VStat::Basic(_) => VarStatus::Basic,
+            VStat::AtLower => VarStatus::AtLower,
+            VStat::AtUpper => VarStatus::AtUpper,
+            VStat::FreeZero => VarStatus::Free,
+        })
+        .collect();
+    Basis { columns: basis.to_vec(), status }
+}
+
 /// Snake_case status tag used in trace events.
-fn status_tag(status: Status) -> &'static str {
+pub(crate) fn status_tag(status: Status) -> &'static str {
     match status {
         Status::Optimal => "optimal",
         Status::Infeasible => "infeasible",
@@ -539,7 +605,7 @@ enum RatioOutcome {
     Pivot(f64, usize, bool),
 }
 
-fn nonbasic_value(stat: VStat, l: f64, u: f64) -> f64 {
+pub(crate) fn nonbasic_value(stat: VStat, l: f64, u: f64) -> f64 {
     match stat {
         VStat::AtLower => l,
         VStat::AtUpper => u,

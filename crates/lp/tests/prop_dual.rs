@@ -1,0 +1,136 @@
+//! Property test for the warm-started dual simplex: on randomized
+//! lot-sizing LPs, re-solving after branching-style bound tightenings from
+//! the parent's optimal basis must agree with a cold primal solve — same
+//! status, same objective — no matter how the warm attempt went.
+
+use proptest::prelude::*;
+use rrp_lp::dual;
+use rrp_lp::simplex;
+use rrp_lp::{Cmp, Model, Sense, StandardLp, Status};
+
+/// A small single-level lot-sizing instance (the paper's DRRP skeleton):
+/// production x_t with fixed-charge indicator y_t and carried stock s_t.
+#[derive(Debug, Clone)]
+struct LotLp {
+    horizon: usize,
+    demand: Vec<f64>,
+    setup: Vec<f64>,
+    unit: Vec<f64>,
+    hold: Vec<f64>,
+    capacity: f64,
+    /// Branching-style tightenings applied to the child: (column, lower, upper).
+    tightenings: Vec<(usize, f64, f64)>,
+}
+
+fn lot_lp() -> impl Strategy<Value = LotLp> {
+    (2usize..7, any::<u64>()).prop_map(|(horizon, seed)| {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let demand: Vec<f64> = (0..horizon).map(|_| rng.gen_range(0.2..3.0)).collect();
+        let setup: Vec<f64> = (0..horizon).map(|_| rng.gen_range(0.5..6.0)).collect();
+        let unit: Vec<f64> = (0..horizon).map(|_| rng.gen_range(0.1..2.0)).collect();
+        let hold: Vec<f64> = (0..horizon).map(|_| rng.gen_range(0.05..0.8)).collect();
+        let capacity = rng.gen_range(3.0..9.0);
+        // Branch on a few indicator columns (y_t is column 3t+1, see build):
+        // down fixes y_t = 0, up fixes y_t = 1 — exactly what B&B emits.
+        let mut tightenings = Vec::new();
+        for t in 0..horizon {
+            if rng.gen_bool(0.4) {
+                let col = 3 * t + 1;
+                if rng.gen_bool(0.5) {
+                    tightenings.push((col, f64::NEG_INFINITY, 0.0));
+                } else {
+                    tightenings.push((col, 1.0, f64::INFINITY));
+                }
+            }
+        }
+        LotLp { horizon, demand, setup, unit, hold, capacity, tightenings }
+    })
+}
+
+/// Columns per period t: x_t = 3t, y_t = 3t+1, s_t = 3t+2.
+fn build(lp: &LotLp) -> StandardLp {
+    let mut m = Model::new(Sense::Minimize);
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    let mut ss = Vec::new();
+    for t in 0..lp.horizon {
+        xs.push(m.add_var(0.0, lp.capacity, lp.unit[t], &format!("x{t}")));
+        ys.push(m.add_var(0.0, 1.0, lp.setup[t], &format!("y{t}")));
+        ss.push(m.add_var(0.0, f64::INFINITY, lp.hold[t], &format!("s{t}")));
+    }
+    for t in 0..lp.horizon {
+        // flow balance: s_{t-1} + x_t - s_t = d_t
+        let mut terms = vec![(xs[t], 1.0), (ss[t], -1.0)];
+        if t > 0 {
+            terms.push((ss[t - 1], 1.0));
+        }
+        m.add_con(&terms, Cmp::Eq, lp.demand[t]);
+        // forcing: x_t <= capacity * y_t
+        m.add_con(&[(xs[t], 1.0), (ys[t], -lp.capacity)], Cmp::Le, 0.0);
+    }
+    m.to_standard()
+}
+
+fn tighten(std: &StandardLp, tightenings: &[(usize, f64, f64)]) -> StandardLp {
+    let mut child = std.clone();
+    for &(j, l, u) in tightenings {
+        child.lower[j] = child.lower[j].max(l);
+        child.upper[j] = child.upper[j].min(u);
+    }
+    child
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Warm dual re-solve of a bound-tightened child == cold primal solve.
+    #[test]
+    fn warm_resolve_matches_cold(lp in lot_lp()) {
+        let std = build(&lp);
+        let (parent, basis) = simplex::solve_sparse_snapshot(
+            &std, &rrp_trace::TraceHandle::off(), rrp_trace::SpanId::ROOT);
+        prop_assert_eq!(parent.status, Status::Optimal);
+        let basis = basis.expect("optimal parent produces a basis");
+
+        let child = tighten(&std, &lp.tightenings);
+        let cold = simplex::solve_sparse(&child);
+        let warm = dual::solve_warm(&child, Some(&basis));
+
+        prop_assert!(warm.raw.status == cold.status,
+            "status diverged: warm {:?} cold {:?} (warm path = {})",
+            warm.raw.status, cold.status, warm.warm);
+        if cold.status == Status::Optimal {
+            let zc: f64 = cold.x.iter().zip(&child.c).map(|(x, c)| x * c).sum();
+            let zw: f64 = warm.raw.x.iter().zip(&child.c).map(|(x, c)| x * c).sum();
+            prop_assert!((zc - zw).abs() <= 1e-6 * (1.0 + zc.abs()),
+                "objective diverged: cold {zc} warm {zw} (warm path = {})", warm.warm);
+            // the warm result must itself be primal feasible
+            for j in 0..child.ncols() {
+                prop_assert!(warm.raw.x[j] >= child.lower[j] - 1e-6);
+                prop_assert!(warm.raw.x[j] <= child.upper[j] + 1e-6);
+            }
+            prop_assert!(warm.basis.is_some(), "optimal warm solve must snapshot a basis");
+        }
+    }
+
+    /// The unchanged problem re-solved from its own optimal basis is a
+    /// zero-or-few-pivot warm hit with the identical objective.
+    #[test]
+    fn same_problem_warm_hit_is_cheap(lp in lot_lp()) {
+        let std = build(&lp);
+        let (parent, basis) = simplex::solve_sparse_snapshot(
+            &std, &rrp_trace::TraceHandle::off(), rrp_trace::SpanId::ROOT);
+        prop_assert_eq!(parent.status, Status::Optimal);
+        let basis = basis.expect("optimal parent produces a basis");
+
+        let warm = dual::solve_warm(&std, Some(&basis));
+        prop_assert!(warm.warm, "identical problem must take the warm path");
+        prop_assert_eq!(warm.raw.status, Status::Optimal);
+        prop_assert!(warm.raw.iterations <= 2,
+            "re-solve of an unchanged LP took {} pivots", warm.raw.iterations);
+        let zp: f64 = parent.x.iter().zip(&std.c).map(|(x, c)| x * c).sum();
+        let zw: f64 = warm.raw.x.iter().zip(&std.c).map(|(x, c)| x * c).sum();
+        prop_assert!((zp - zw).abs() <= 1e-7 * (1.0 + zp.abs()));
+    }
+}

@@ -1,8 +1,9 @@
 //! Primal heuristics: cheap attempts to produce integral incumbents from an
 //! LP-relaxation solution.
 
+use rrp_lp::dual;
 use rrp_lp::model::StandardLp;
-use rrp_lp::simplex;
+use rrp_lp::simplex::Basis;
 use rrp_lp::Status;
 
 /// Rounding direction for [`round_and_fix`].
@@ -18,20 +19,24 @@ pub(crate) enum RoundMode {
 }
 
 /// Fix every integer column to the rounded relaxation value (clamped into
-/// its current bounds) and re-solve the LP for the continuous columns.
+/// its node bounds) and re-solve the LP for the continuous columns.
+///
+/// `lp` already carries the node's bounds; `node_bounds` lists the node's
+/// `(column, lower, upper)` for each integer column — the fix clamps into
+/// these and they are restored before returning, so the caller's scratch LP
+/// is left untouched. `hint` warm-starts the fix-and-resolve from the
+/// node's optimal basis (fixing bounds keeps it dual feasible).
 /// Returns the full column vector and (min-form) objective on success.
 pub(crate) fn round_and_fix(
-    lp: &StandardLp,
-    lower: &[f64],
-    upper: &[f64],
-    integers: &[usize],
+    lp: &mut StandardLp,
+    node_bounds: &[(usize, f64, f64)],
     relax_x: &[f64],
     mode: RoundMode,
+    hint: Option<&Basis>,
 ) -> Option<(Vec<f64>, f64)> {
-    let mut fixed = lp.clone();
-    fixed.lower.copy_from_slice(lower);
-    fixed.upper.copy_from_slice(upper);
-    for &j in integers {
+    // Work out every fix before touching `lp`, so failure leaves it intact.
+    let mut fixes = Vec::with_capacity(node_bounds.len());
+    for &(j, lower, upper) in node_bounds {
         let rounded = match mode {
             RoundMode::Nearest => relax_x[j].round(),
             RoundMode::CeilPositive => {
@@ -42,29 +47,36 @@ pub(crate) fn round_and_fix(
                 }
             }
         };
-        let r = rounded.clamp(lower[j], upper[j]);
+        let r = rounded.clamp(lower, upper);
         // clamp may land on a non-integral bound; snap inward if so
         let r = if (r - r.round()).abs() > 1e-9 {
-            if rounded < lower[j] {
-                lower[j].ceil()
+            if rounded < lower {
+                lower.ceil()
             } else {
-                upper[j].floor()
+                upper.floor()
             }
         } else {
             r
         };
-        if r < lower[j] - 1e-9 || r > upper[j] + 1e-9 {
+        if r < lower - 1e-9 || r > upper + 1e-9 {
             return None; // no integral point inside the bounds
         }
-        fixed.lower[j] = r;
-        fixed.upper[j] = r;
+        fixes.push((j, r));
     }
-    let raw = simplex::solve_sparse(&fixed);
-    if raw.status != Status::Optimal {
+    for &(j, r) in &fixes {
+        lp.lower[j] = r;
+        lp.upper[j] = r;
+    }
+    let ws = dual::solve_warm(lp, hint);
+    for &(j, lower, upper) in node_bounds {
+        lp.lower[j] = lower;
+        lp.upper[j] = upper;
+    }
+    if ws.raw.status != Status::Optimal {
         return None;
     }
-    let obj: f64 = raw.x.iter().zip(&fixed.c).map(|(x, c)| x * c).sum();
-    Some((raw.x, obj))
+    let obj: f64 = ws.raw.x.iter().zip(&lp.c).map(|(x, c)| x * c).sum();
+    Some((ws.raw.x, obj))
 }
 
 #[cfg(test)]
@@ -82,10 +94,14 @@ mod tests {
         let y = m.add_var(0.0, 3.0, 1.0, "y");
         m.add_con(&[(x, 1.0), (y, 1.0)], Cmp::Ge, 2.5);
         let std = m.to_standard();
-        let relax = simplex::solve_sparse(&std);
+        let relax = rrp_lp::simplex::solve_sparse(&std);
         assert_eq!(relax.status, Status::Optimal);
         // Fix only x (treat y as continuous) so the repair step has slack.
-        let got = round_and_fix(&std, &std.lower, &std.upper, &[0], &relax.x, RoundMode::Nearest);
+        let mut scratch = std.clone();
+        let node = [(0, std.lower[0], std.upper[0])];
+        let got = round_and_fix(&mut scratch, &node, &relax.x, RoundMode::Nearest, None);
+        assert_eq!(scratch.lower, std.lower, "scratch bounds restored");
+        assert_eq!(scratch.upper, std.upper, "scratch bounds restored");
         if let Some((xs, obj)) = got {
             assert!((xs[0] - xs[0].round()).abs() < 1e-9);
             assert!(xs[0] + xs[1] >= 2.5 - 1e-7);
@@ -99,11 +115,12 @@ mod tests {
         let mut m = Model::new(Sense::Minimize);
         let _x = m.add_var(0.2, 0.8, 1.0, "x");
         let std = m.to_standard();
-        let relax = simplex::solve_sparse(&std);
-        let got = round_and_fix(&std, &std.lower, &std.upper, &[0], &relax.x, RoundMode::Nearest);
+        let relax = rrp_lp::simplex::solve_sparse(&std);
+        let mut scratch = std.clone();
+        let node = [(0, std.lower[0], std.upper[0])];
+        let got = round_and_fix(&mut scratch, &node, &relax.x, RoundMode::Nearest, None);
         assert!(got.is_none());
-        let got_up =
-            round_and_fix(&std, &std.lower, &std.upper, &[0], &relax.x, RoundMode::CeilPositive);
+        let got_up = round_and_fix(&mut scratch, &node, &relax.x, RoundMode::CeilPositive, None);
         assert!(got_up.is_none());
     }
 }

@@ -36,7 +36,8 @@ mod solver;
 
 pub use branch::Branching;
 pub use budget::{SolveBudget, SolveStatus, StopReason};
-pub use solver::{solve_budgeted, solve_parallel, MilpOptions, MilpSolution, MilpStatus};
+pub use rrp_lp::simplex::{Basis, VarStatus};
+pub use solver::{solve_budgeted, solve_parallel, LpStats, MilpOptions, MilpSolution, MilpStatus};
 
 use rrp_lp::{Model, VarId};
 

@@ -2,10 +2,13 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::{Arc, Mutex};
 
 use rayon::prelude::*;
+use rrp_lp::dual;
 use rrp_lp::model::StandardLp;
-use rrp_lp::simplex;
+use rrp_lp::simplex::{self, Basis};
 use rrp_lp::Status;
 use rrp_trace::{with_worker, EventKind, PruneReason, SpanId, TraceHandle};
 
@@ -31,6 +34,13 @@ pub struct MilpOptions {
     pub heuristic_period: usize,
     /// Worker batch size for [`solve_parallel`] (0 = rayon default width).
     pub parallel_batch: usize,
+    /// Warm-start node re-solves with the parent basis via the dual simplex.
+    /// On by default; turn off to measure the cold baseline.
+    pub warm_start: bool,
+    /// Warm-start hint for the root LP (e.g. the final root basis of a
+    /// previous solve of the same problem shape, kept by the engine's
+    /// warm-start cache for rolling-horizon re-plans).
+    pub root_basis: Option<Arc<Basis>>,
     /// Telemetry handle. Disabled by default: every emission site is then a
     /// single branch, so un-instrumented solves pay nothing.
     pub trace: TraceHandle,
@@ -48,6 +58,8 @@ impl Default for MilpOptions {
             branching: Branching::default(),
             heuristic_period: 16,
             parallel_batch: 0,
+            warm_start: true,
+            root_basis: None,
             trace: TraceHandle::off(),
             trace_span: SpanId::ROOT,
         }
@@ -93,16 +105,85 @@ pub struct MilpSolution {
     pub nodes: usize,
     /// Whether the gap criterion was met (vs. node-limit stop).
     pub proven_optimal: bool,
+    /// Aggregate LP-solve statistics across the search (warm-hit telemetry).
+    pub lp_stats: LpStats,
+    /// Final basis of the root LP relaxation — a warm-start hint for the
+    /// next solve of the same problem shape (see [`MilpOptions::root_basis`]).
+    pub root_basis: Option<Arc<Basis>>,
+}
+
+/// Aggregate LP statistics of one branch & bound run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LpStats {
+    /// Node/heuristic LP solves finished (dense retries not double-counted).
+    pub solves: u64,
+    /// Total simplex iterations across those solves.
+    pub iterations: u64,
+    /// Solves entered with a warm-start basis hint.
+    pub warm_attempts: u64,
+    /// Solves completed on the warm dual-simplex path.
+    pub warm_hits: u64,
+}
+
+impl LpStats {
+    /// Fraction of LP solves completed warm (0.0 when none ran).
+    pub fn warm_hit_rate(&self) -> f64 {
+        if self.solves == 0 {
+            0.0
+        } else {
+            self.warm_hits as f64 / self.solves as f64
+        }
+    }
+
+    /// Mean simplex iterations per LP solve (0.0 when none ran).
+    pub fn mean_iterations(&self) -> f64 {
+        if self.solves == 0 {
+            0.0
+        } else {
+            self.iterations as f64 / self.solves as f64
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
 struct Node {
     /// Parent LP bound in min-form (lower bound on any descendant).
     bound: f64,
+    /// Tightest bound interval per branched column — at most one entry per
+    /// column (compressed on push), so applying them is O(distinct cols).
     overrides: Vec<(usize, f64, f64)>,
     /// (col, up?, parent fractional part, parent objective) for pseudo-costs.
     branch: Option<(usize, bool, f64, f64)>,
+    /// Branching depth (overrides.len() undercounts it after compression).
+    depth: usize,
+    /// Parent LP's optimal basis — warm-start hint for this node's re-solve,
+    /// shared between siblings (and across the parallel frontier).
+    basis: Option<Arc<Basis>>,
     id: u64,
+}
+
+/// Parent overrides plus one new branching interval on `col`, keeping only
+/// the tightest interval per column.
+fn child_overrides(
+    parent: &[(usize, f64, f64)],
+    col: usize,
+    lower: f64,
+    upper: f64,
+) -> Vec<(usize, f64, f64)> {
+    let mut out = Vec::with_capacity(parent.len() + 1);
+    let mut merged = false;
+    for &(j, l, u) in parent {
+        if j == col {
+            out.push((j, l.max(lower), u.min(upper)));
+            merged = true;
+        } else {
+            out.push((j, l, u));
+        }
+    }
+    if !merged {
+        out.push((col, lower, upper));
+    }
+    out
 }
 
 impl PartialEq for Node {
@@ -143,9 +224,29 @@ struct Searcher<'a> {
     integers: &'a [usize],
     opts: &'a MilpOptions,
     pc: PseudoCosts,
-    next_id: std::sync::atomic::AtomicU64,
+    next_id: AtomicU64,
     /// Span node/LP events land in (the per-solve `milp` span).
     span: SpanId,
+    /// Per-batch-slot scratch LPs: one matrix clone per concurrent lane for
+    /// the whole search instead of one per node. Only the bound vectors are
+    /// rewritten per node; the rayon shim spawns fresh scoped threads per
+    /// batch, so slots (not thread-locals) key the reuse.
+    scratch: Vec<Mutex<Option<StandardLp>>>,
+    lp_solves: AtomicU64,
+    lp_iters: AtomicU64,
+    warm_attempts: AtomicU64,
+    warm_hits: AtomicU64,
+    /// Final basis of the root node's LP, captured for re-plan warm starts.
+    root_basis: Mutex<Option<Arc<Basis>>>,
+}
+
+/// Lock a mutex, recovering the guard from a poisoned lock (a panicking
+/// solver lane must not wedge the others).
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
 }
 
 impl<'a> Searcher<'a> {
@@ -154,14 +255,30 @@ impl<'a> Searcher<'a> {
         integers: &'a [usize],
         opts: &'a MilpOptions,
         span: SpanId,
+        slots: usize,
     ) -> Self {
         Self {
             base,
             integers,
             opts,
             pc: PseudoCosts::new(base.ncols()),
-            next_id: std::sync::atomic::AtomicU64::new(1),
+            next_id: AtomicU64::new(1),
             span,
+            scratch: (0..slots.max(1)).map(|_| Mutex::new(None)).collect(),
+            lp_solves: AtomicU64::new(0),
+            lp_iters: AtomicU64::new(0),
+            warm_attempts: AtomicU64::new(0),
+            warm_hits: AtomicU64::new(0),
+            root_basis: Mutex::new(None),
+        }
+    }
+
+    fn lp_stats(&self) -> LpStats {
+        LpStats {
+            solves: self.lp_solves.load(AtomicOrdering::Relaxed),
+            iterations: self.lp_iters.load(AtomicOrdering::Relaxed),
+            warm_attempts: self.warm_attempts.load(AtomicOrdering::Relaxed),
+            warm_hits: self.warm_hits.load(AtomicOrdering::Relaxed),
         }
     }
 
@@ -192,17 +309,23 @@ impl<'a> Searcher<'a> {
     }
 
     /// Solve one node's LP relaxation and classify the outcome.
-    /// `cutoff` is the current incumbent objective in min-form (`INFINITY`
-    /// when none); `run_heuristic` enables the rounding heuristic.
-    fn expand(&self, node: &Node, cutoff: f64, run_heuristic: bool) -> Expansion {
+    /// `slot` picks the scratch LP for this batch lane; `cutoff` is the
+    /// current incumbent objective in min-form (`INFINITY` when none);
+    /// `run_heuristic` enables the rounding heuristic.
+    fn expand(&self, slot: usize, node: &Node, cutoff: f64, run_heuristic: bool) -> Expansion {
         if self.opts.trace.is_enabled() {
             self.emit(EventKind::NodeOpened {
                 id: node.id,
-                depth: node.overrides.len(),
+                depth: node.depth,
                 bound: self.model_sense(node.bound),
             });
         }
-        let mut lp = self.base.clone();
+        // Materialise the node LP in this lane's scratch: shared matrix and
+        // costs, per-node bound vectors rebuilt from the base + overrides.
+        let mut guard = lock(&self.scratch[slot % self.scratch.len()]);
+        let lp = guard.get_or_insert_with(|| self.base.clone());
+        lp.lower.copy_from_slice(&self.base.lower);
+        lp.upper.copy_from_slice(&self.base.upper);
         for &(j, l, u) in &node.overrides {
             lp.lower[j] = lp.lower[j].max(l);
             lp.upper[j] = lp.upper[j].min(u);
@@ -210,22 +333,37 @@ impl<'a> Searcher<'a> {
                 return self.prune(node.id, PruneReason::Infeasible);
             }
         }
-        let raw = simplex::solve_sparse_traced(&lp, &self.opts.trace, self.span);
-        let raw = match raw.status {
-            Status::Optimal => raw,
+
+        let hint = if self.opts.warm_start { node.basis.as_deref() } else { None };
+        if hint.is_some() {
+            self.warm_attempts.fetch_add(1, AtomicOrdering::Relaxed);
+        }
+        let warmed = dual::solve_warm_traced(lp, hint, &self.opts.trace, self.span);
+        self.lp_solves.fetch_add(1, AtomicOrdering::Relaxed);
+        self.lp_iters.fetch_add(warmed.raw.iterations as u64, AtomicOrdering::Relaxed);
+        if warmed.warm {
+            self.warm_hits.fetch_add(1, AtomicOrdering::Relaxed);
+        }
+        let (raw, basis) = match warmed.raw.status {
+            Status::Optimal => (warmed.raw, warmed.basis),
             Status::Infeasible => return self.prune(node.id, PruneReason::Infeasible),
             Status::Unbounded => return Expansion::Unbounded,
             Status::IterationLimit | Status::Numerical => {
-                // one retry with the dense reference engine
-                let dense = simplex::solve_dense_traced(&lp, &self.opts.trace, self.span);
+                // one retry with the dense reference engine (no basis to
+                // hand down — the children of this node start cold)
+                let dense = simplex::solve_dense_traced(lp, &self.opts.trace, self.span);
                 match dense.status {
-                    Status::Optimal => dense,
+                    Status::Optimal => (dense, None),
                     Status::Infeasible => return self.prune(node.id, PruneReason::Infeasible),
                     Status::Unbounded => return Expansion::Unbounded,
                     _ => return self.prune(node.id, PruneReason::Numerical),
                 }
             }
         };
+        let basis = basis.map(Arc::new);
+        if node.id == 0 {
+            *lock(&self.root_basis) = basis.clone();
+        }
         let z: f64 = raw.x.iter().zip(&lp.c).map(|(x, c)| x * c).sum();
 
         // pseudo-cost update from the parent's branching decision
@@ -254,20 +392,15 @@ impl<'a> Searcher<'a> {
 
         let heuristic = if run_heuristic {
             // try nearest-rounding and ceil-positive (fixed-charge friendly)
-            // and keep the better feasible point
+            // and keep the better feasible point; both re-solves run in this
+            // lane's scratch LP, warm-started from the node's basis
+            let node_bounds: Vec<(usize, f64, f64)> =
+                self.integers.iter().map(|&j| (j, lp.lower[j], lp.upper[j])).collect();
             let tries = [heuristics::RoundMode::Nearest, heuristics::RoundMode::CeilPositive];
+            let hint = if self.opts.warm_start { basis.as_deref() } else { None };
             tries
                 .iter()
-                .filter_map(|&mode| {
-                    heuristics::round_and_fix(
-                        self.base,
-                        &lp.lower,
-                        &lp.upper,
-                        self.integers,
-                        &raw.x,
-                        mode,
-                    )
-                })
+                .filter_map(|&mode| heuristics::round_and_fix(lp, &node_bounds, &raw.x, mode, hint))
                 .filter(|&(_, hz)| hz < cutoff - self.gap_slack(cutoff))
                 .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
                 .map(|(x, hz)| (hz, x))
@@ -277,21 +410,23 @@ impl<'a> Searcher<'a> {
 
         let (col, v) = branch::select(self.opts.branching, &self.pc, &fractional);
         let frac = v - v.floor();
-        let mut down = node.overrides.clone();
-        down.push((col, f64::NEG_INFINITY, v.floor()));
-        let mut up = node.overrides.clone();
-        up.push((col, v.ceil(), f64::INFINITY));
+        let down = child_overrides(&node.overrides, col, f64::NEG_INFINITY, v.floor());
+        let up = child_overrides(&node.overrides, col, v.ceil(), f64::INFINITY);
         let children = [
             Node {
                 bound: z,
                 overrides: down,
                 branch: Some((col, false, frac, z)),
+                depth: node.depth + 1,
+                basis: basis.clone(),
                 id: self.fresh_id(),
             },
             Node {
                 bound: z,
                 overrides: up,
                 branch: Some((col, true, frac, z)),
+                depth: node.depth + 1,
+                basis,
                 id: self.fresh_id(),
             },
         ];
@@ -369,10 +504,17 @@ fn drive_with(
 ) -> (Result<MilpSolution, MilpStatus>, Option<StopReason>, f64) {
     let base = problem.model.to_standard();
     let solve_span = opts.trace.span("milp", opts.trace_span);
-    let searcher = Searcher::new(&base, &problem.integers, opts, solve_span.id());
+    let searcher = Searcher::new(&base, &problem.integers, opts, solve_span.id(), batch_width);
 
     let mut heap: BinaryHeap<Node> = BinaryHeap::new();
-    heap.push(Node { bound: f64::NEG_INFINITY, overrides: Vec::new(), branch: None, id: 0 });
+    heap.push(Node {
+        bound: f64::NEG_INFINITY,
+        overrides: Vec::new(),
+        branch: None,
+        depth: 0,
+        basis: opts.root_basis.clone(),
+        id: 0,
+    });
 
     let mut incumbent: Option<(f64, Vec<f64>)> = None; // (min-form obj, x)
     let mut nodes = 0usize;
@@ -439,16 +581,19 @@ fn drive_with(
         nodes += batch.len();
 
         let results: Vec<Expansion> = if batch.len() == 1 {
-            vec![searcher.expand(&batch[0], cutoff, run_h)]
+            vec![searcher.expand(0, &batch[0], cutoff, run_h)]
         } else {
             // Tag each expansion's events with its batch slot so traces can
             // tell concurrent lanes apart (the rayon shim spawns fresh scoped
-            // threads, so there is no stable pool index to use instead).
+            // threads, so there is no stable pool index to use instead). The
+            // slot also picks the lane's scratch LP.
             let slotted: Vec<(u32, &Node)> =
                 batch.iter().enumerate().map(|(s, n)| (s as u32, n)).collect();
             slotted
                 .into_par_iter()
-                .map(|(slot, n)| with_worker(slot, || searcher.expand(n, cutoff, run_h)))
+                .map(|(slot, n)| {
+                    with_worker(slot, || searcher.expand(slot as usize, n, cutoff, run_h))
+                })
                 .collect()
         };
 
@@ -517,6 +662,8 @@ fn drive_with(
                 gap,
                 nodes,
                 proven_optimal: proven,
+                lp_stats: searcher.lp_stats(),
+                root_basis: lock(&searcher.root_basis).clone(),
             };
             let bound = sol.best_bound;
             (Ok(sol), stopped, bound)

@@ -221,7 +221,7 @@ mod tests {
         sink.emit(&ev(EventKind::NodeOpened { id: 0, depth: 0, bound: 0.0 }));
         sink.emit(&ev(EventKind::NodeOpened { id: 1, depth: 1, bound: 0.5 }));
         sink.emit(&ev(EventKind::NodePruned { id: 1, reason: PruneReason::Bound }));
-        sink.emit(&ev(EventKind::LpSolved { iters: 13, status: "optimal" }));
+        sink.emit(&ev(EventKind::LpSolved { iters: 13, status: "optimal", warm: false }));
         sink.emit(&ev(EventKind::SolveDone { status: "terminated:deadline", nodes: 2, gap: 0.3 }));
         sink.emit(&ev(EventKind::LadderStep {
             level: "deterministic",

@@ -45,8 +45,10 @@ pub enum EventKind {
     /// The basis was (re)factorised. `nnz` is the LU fill of the new
     /// factors (0 for the dense engine).
     Refactored { iter: usize, nnz: usize, reason: &'static str },
-    /// One LP solve finished; `iters` is its total simplex iterations.
-    LpSolved { iters: usize, status: &'static str },
+    /// One LP solve finished; `iters` is its total simplex iterations and
+    /// `warm` is true when a warm-started dual-simplex re-solve produced the
+    /// result (false = cold primal path).
+    LpSolved { iters: usize, status: &'static str, warm: bool },
 
     // --- MILP layer -------------------------------------------------------
     /// A branch & bound node was popped for expansion.
@@ -169,9 +171,11 @@ impl Event {
                 field_u64(out, "nnz", *nnz as u64);
                 field_str(out, "reason", reason);
             }
-            EventKind::LpSolved { iters, status } => {
+            EventKind::LpSolved { iters, status, warm } => {
                 field_u64(out, "iters", *iters as u64);
                 field_str(out, "status", status);
+                out.push_str(",\"warm\":");
+                out.push_str(if *warm { "true" } else { "false" });
             }
             EventKind::NodeOpened { id, depth, bound } => {
                 field_u64(out, "id", *id);

@@ -175,6 +175,8 @@ pub struct CounterSink {
     pub lp_iters: AtomicU64,
     /// LP solves finished.
     pub lp_solves: AtomicU64,
+    /// LP solves that completed on the warm dual-simplex path.
+    pub lp_warm: AtomicU64,
     /// Incumbent improvements observed.
     pub incumbents: AtomicU64,
     /// Basis (re)factorisations.
@@ -199,9 +201,12 @@ impl Sink for CounterSink {
             EventKind::NodeOpened { .. } => {
                 self.milp_nodes.fetch_add(1, Ordering::Relaxed);
             }
-            EventKind::LpSolved { iters, .. } => {
+            EventKind::LpSolved { iters, warm, .. } => {
                 self.lp_solves.fetch_add(1, Ordering::Relaxed);
                 self.lp_iters.fetch_add(*iters as u64, Ordering::Relaxed);
+                if *warm {
+                    self.lp_warm.fetch_add(1, Ordering::Relaxed);
+                }
             }
             EventKind::IncumbentImproved { .. } => {
                 self.incumbents.fetch_add(1, Ordering::Relaxed);
@@ -274,12 +279,13 @@ mod tests {
         let c = CounterSink::new();
         c.emit(&ev(EventKind::NodeOpened { id: 1, depth: 0, bound: 0.0 }));
         c.emit(&ev(EventKind::NodeOpened { id: 2, depth: 1, bound: 0.5 }));
-        c.emit(&ev(EventKind::LpSolved { iters: 11, status: "optimal" }));
+        c.emit(&ev(EventKind::LpSolved { iters: 11, status: "optimal", warm: true }));
         c.emit(&ev(EventKind::IncumbentImproved { objective: 1.0 }));
         c.emit(&ev(EventKind::SolveDone { status: "terminated:deadline", nodes: 2, gap: 0.25 }));
         c.emit(&ev(EventKind::SolveDone { status: "optimal", nodes: 2, gap: 0.0 }));
         assert_eq!(c.milp_nodes.load(Ordering::Relaxed), 2);
         assert_eq!(c.lp_iters.load(Ordering::Relaxed), 11);
+        assert_eq!(c.lp_warm.load(Ordering::Relaxed), 1);
         assert_eq!(c.incumbents.load(Ordering::Relaxed), 1);
         assert_eq!(c.gap_at_timeout.count(), 1);
         let p50 = c.gap_at_timeout.quantile(0.5);

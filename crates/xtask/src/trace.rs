@@ -4,11 +4,14 @@
 //! The tool rebuilds the span tree from `span_open`/`span_close` events and
 //! renders one report per MILP solve (a `"milp"` span): search-tree summary
 //! (nodes by prune reason, depth histogram), the gap-vs-time timeline as an
-//! ASCII sparkline, and a per-rung latency breakdown from `ladder_step`
-//! events. With `--assert-gap-closed` it exits non-zero unless every
-//! `solve_done` in the file reached optimality (or a relative gap within
-//! `--gap-tol`, default 1e-6) — the CI mode that keeps the instrumented
-//! example honest.
+//! ASCII sparkline, a warm-start summary (dual-simplex warm-hit rate and
+//! estimated pivots saved versus cold solves), and a per-rung latency
+//! breakdown from `ladder_step` events. With `--assert-gap-closed` it exits
+//! non-zero unless every `solve_done` in the file reached optimality (or a
+//! relative gap within `--gap-tol`, default 1e-6); with
+//! `--assert-warm-rate <pct>` it additionally requires that share of LP
+//! solves to have taken the warm dual-simplex path — the CI modes that keep
+//! the instrumented example honest.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -49,6 +52,11 @@ struct Solve {
     depths: BTreeMap<u64, u64>,
     lp_solves: u64,
     lp_iters: u64,
+    /// LP solves that took the warm dual-simplex path (`"warm":true`).
+    lp_warm: u64,
+    /// Simplex pivots split by path, for the iterations-saved estimate.
+    lp_warm_iters: u64,
+    lp_cold_iters: u64,
     /// `(t_us, gap)` timeline; `f64::INFINITY` for a null (no-incumbent) gap.
     gap_samples: Vec<(u64, f64)>,
     done: Option<(String, u64, f64)>,
@@ -67,6 +75,7 @@ pub fn run(args: &[String]) -> ExitCode {
     let mut path = None;
     let mut assert_gap_closed = false;
     let mut gap_tol = 1e-6;
+    let mut assert_warm_rate = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -74,6 +83,10 @@ pub fn run(args: &[String]) -> ExitCode {
             "--gap-tol" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
                 Some(t) => gap_tol = t,
                 None => return usage("--gap-tol needs a numeric argument"),
+            },
+            "--assert-warm-rate" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(p) if (0.0..=100.0).contains(&p) => assert_warm_rate = Some(p),
+                _ => return usage("--assert-warm-rate needs a percentage in [0, 100]"),
             },
             flag if flag.starts_with('-') => return usage(&format!("unknown flag {flag}")),
             file => {
@@ -102,7 +115,13 @@ pub fn run(args: &[String]) -> ExitCode {
     print!("{}", render_report(path, &events, &spans, &solves, &rungs, parse_errors));
 
     if assert_gap_closed {
-        return assert_closed(&solves, gap_tol);
+        let code = assert_closed(&solves, gap_tol);
+        if code != ExitCode::SUCCESS {
+            return code;
+        }
+    }
+    if let Some(pct) = assert_warm_rate {
+        return assert_warm(&solves, pct);
     }
     ExitCode::SUCCESS
 }
@@ -110,7 +129,8 @@ pub fn run(args: &[String]) -> ExitCode {
 fn usage(msg: &str) -> ExitCode {
     eprintln!("trace: {msg}");
     eprintln!(
-        "usage: cargo run -p xtask -- trace <file.jsonl> [--assert-gap-closed] [--gap-tol <rel>]"
+        "usage: cargo run -p xtask -- trace <file.jsonl> [--assert-gap-closed] \
+         [--gap-tol <rel>] [--assert-warm-rate <pct>]"
     );
     ExitCode::from(2)
 }
@@ -205,7 +225,15 @@ fn collect_solves(events: &[Ev], spans: &BTreeMap<u64, Span>) -> Vec<Solve> {
             "node_integral" => solve.integral += 1,
             "lp_solved" => {
                 solve.lp_solves += 1;
-                solve.lp_iters += ev.v.get("iters").and_then(Value::as_u64).unwrap_or(0);
+                let iters = ev.v.get("iters").and_then(Value::as_u64).unwrap_or(0);
+                solve.lp_iters += iters;
+                // traces written before the warm field existed count as cold
+                if ev.v.get("warm").and_then(Value::as_bool).unwrap_or(false) {
+                    solve.lp_warm += 1;
+                    solve.lp_warm_iters += iters;
+                } else {
+                    solve.lp_cold_iters += iters;
+                }
             }
             "gap_sample" => {
                 // a null gap serialises the no-incumbent state: ∞
@@ -284,9 +312,10 @@ fn render_report(
             Some((status, nodes, gap)) => {
                 let _ = writeln!(
                     out,
-                    "  status {status}   nodes {nodes}   gap {}   lp {} solves / {} iters",
+                    "  status {status}   nodes {nodes}   gap {}   lp {} solves ({} warm) / {} iters",
                     fmt_gap(*gap),
                     solve.lp_solves,
+                    solve.lp_warm,
                     solve.lp_iters
                 );
             }
@@ -316,6 +345,8 @@ fn render_report(
         render_gap_sparkline(&mut out, &solve.gap_samples, spans.get(&solve.span));
     }
 
+    render_warm_summary(&mut out, solves);
+
     if !rungs.is_empty() {
         out.push('\n');
         let _ = writeln!(out, "rung latency:");
@@ -336,6 +367,36 @@ fn render_report(
         }
     }
     out
+}
+
+/// File-level dual-simplex warm-start aggregate: hit rate across every LP
+/// solve, mean pivots on each path, and the estimated pivots the warm
+/// starts saved (each warm solve priced at the mean cold pivot count).
+fn render_warm_summary(out: &mut String, solves: &[Solve]) {
+    let lp: u64 = solves.iter().map(|s| s.lp_solves).sum();
+    if lp == 0 {
+        return;
+    }
+    let warm: u64 = solves.iter().map(|s| s.lp_warm).sum();
+    let cold = lp - warm;
+    let warm_iters: u64 = solves.iter().map(|s| s.lp_warm_iters).sum();
+    let cold_iters: u64 = solves.iter().map(|s| s.lp_cold_iters).sum();
+    out.push('\n');
+    let rate = 100.0 * warm as f64 / lp as f64;
+    let _ = writeln!(out, "warm start: {warm}/{lp} lp solves warm ({rate:.1}%)");
+    let mean_warm = if warm > 0 { warm_iters as f64 / warm as f64 } else { 0.0 };
+    let mean_cold = if cold > 0 { cold_iters as f64 / cold as f64 } else { 0.0 };
+    let _ = writeln!(
+        out,
+        "  mean pivots: warm {mean_warm:.1}   cold {mean_cold:.1}{}",
+        if cold == 0 { "   (no cold solves to compare)" } else { "" },
+    );
+    if warm > 0 && cold > 0 {
+        let saved = (mean_cold - mean_warm) * warm as f64;
+        if saved > 0.0 {
+            let _ = writeln!(out, "  ≈{saved:.0} pivots saved by warm starts");
+        }
+    }
 }
 
 /// `  depth:  0 ████████ 12` rows, bars scaled to the deepest count.
@@ -473,6 +534,27 @@ fn assert_closed(solves: &[Solve], tol: f64) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `--assert-warm-rate <pct>`: at least `pct`% of all LP solves in the file
+/// must have taken the warm dual-simplex path. A file with no LP solves
+/// fails (nothing ran, so nothing was verified).
+fn assert_warm(solves: &[Solve], pct: f64) -> ExitCode {
+    let lp: u64 = solves.iter().map(|s| s.lp_solves).sum();
+    if lp == 0 {
+        eprintln!("trace: --assert-warm-rate: no lp_solved events in trace");
+        return ExitCode::FAILURE;
+    }
+    let warm: u64 = solves.iter().map(|s| s.lp_warm).sum();
+    let rate = 100.0 * warm as f64 / lp as f64;
+    if rate + 1e-9 < pct {
+        eprintln!(
+            "trace: --assert-warm-rate: warm rate {rate:.1}% ({warm}/{lp}) below required {pct}%"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("trace: --assert-warm-rate: warm rate {rate:.1}% ({warm}/{lp}) >= {pct}%");
+    ExitCode::SUCCESS
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -490,6 +572,7 @@ mod tests {
 {"t_us":9,"worker":1,"span":3,"ev":"lp_solved","iters":12,"status":"optimal"}
 {"t_us":10,"worker":1,"span":3,"ev":"gap_sample","best_bound":10.0,"incumbent":null,"gap":null}
 {"t_us":11,"worker":1,"span":3,"ev":"node_opened","id":1,"depth":1,"bound":10.5}
+{"t_us":12,"worker":1,"span":3,"ev":"lp_solved","iters":2,"status":"optimal","warm":true}
 {"t_us":12,"worker":1,"span":3,"ev":"node_integral","id":1,"objective":11.0}
 {"t_us":13,"worker":1,"span":3,"ev":"incumbent_improved","objective":11.0}
 {"t_us":14,"worker":1,"span":3,"ev":"gap_sample","best_bound":10.0,"incumbent":11.0,"gap":0.1}
@@ -553,6 +636,33 @@ mod tests {
         assert!(report.contains("gap ["), "{report}");
         assert!(report.contains("rung latency:"), "{report}");
         assert!(report.contains("terminated:deadline"), "{report}");
+    }
+
+    #[test]
+    fn warm_solves_are_split_from_cold() {
+        let (events, spans) = parsed();
+        let solves = collect_solves(&events, &spans);
+        // solve #1: one cold lp_solved (no warm field — pre-warm trace
+        // compatibility) and one warm at 2 pivots
+        assert_eq!(solves[0].lp_solves, 2);
+        assert_eq!(solves[0].lp_warm, 1);
+        assert_eq!(solves[0].lp_warm_iters, 2);
+        assert_eq!(solves[0].lp_cold_iters, 12);
+        let rungs = collect_rung_stats(&events, &spans);
+        let report = render_report("t.jsonl", &events, &spans, &solves, &rungs, 0);
+        assert!(report.contains("warm start: 1/2 lp solves warm (50.0%)"), "{report}");
+        assert!(report.contains("pivots saved"), "{report}");
+    }
+
+    #[test]
+    fn assert_warm_rate_gates_on_the_file_rate() {
+        let (events, spans) = parsed();
+        let solves = collect_solves(&events, &spans);
+        // 1 of 2 LP solves warm: 50% passes, 80% fails
+        assert_eq!(assert_warm(&solves, 50.0), ExitCode::SUCCESS);
+        assert_eq!(assert_warm(&solves, 80.0), ExitCode::FAILURE);
+        // no LP solves at all is a failure, not a vacuous pass
+        assert_eq!(assert_warm(&[], 0.0), ExitCode::FAILURE);
     }
 
     #[test]

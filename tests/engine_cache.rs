@@ -141,3 +141,42 @@ fn responses_bit_identical_across_worker_counts() {
     let quad: Vec<_> = Engine::new(4).run_batch(make_batch()).iter().map(essence).collect();
     assert_eq!(single, quad, "plans must not depend on worker count");
 }
+
+/// A rolling-horizon re-plan: same tenant and model shape, shifted demand.
+/// The exact fingerprint misses the plan cache, but the basis side-table
+/// hits, warm-starting the new root LP — and the answer is identical to a
+/// warm-start-disabled engine's.
+#[test]
+fn replan_hits_the_basis_side_table() {
+    let det_request = |seed: u64| {
+        let mut req = base_request(seed);
+        req.app_id = "replan-tenant".into();
+        req.policy = PolicyKind::Deterministic;
+        req.tree = None;
+        req
+    };
+
+    let engine = Engine::new(1);
+    let first = engine.submit(det_request(41)).wait();
+    assert!(!first.cache_hit);
+    assert_eq!(engine.basis_cache_entries(), 1, "fully-solved request stores its root basis");
+
+    let second = engine.submit(det_request(42)).wait();
+    assert!(!second.cache_hit, "shifted demand must miss the plan cache");
+    assert!(
+        engine.basis_cache_hit_rate() > 0.0,
+        "same-shape re-plan must hit the basis side-table"
+    );
+
+    // warm-started answer == cold engine's answer, bit for bit
+    let cold_opts = rrp_milp::MilpOptions { warm_start: false, ..Default::default() };
+    let cold = Engine::with_options(1, cold_opts).submit(det_request(42)).wait();
+    let (wp, cp) = (second.expect_plan(), cold.expect_plan());
+    assert_eq!(wp.chi, cp.chi, "rental decisions must not depend on warm start");
+    assert!(
+        (wp.objective - cp.objective).abs() <= 1e-9 * (1.0 + cp.objective.abs()),
+        "warm {} vs cold {}",
+        wp.objective,
+        cp.objective
+    );
+}
