@@ -47,6 +47,55 @@ pub fn overpay_pct(cost: f64, ideal: f64) -> f64 {
     (cost / ideal - 1.0) * 100.0
 }
 
+/// Realised-vs-planned cost of one closed-loop episode.
+///
+/// *Planned* is the counterfactual execution of the committed plans at the
+/// realised spot prices with every bid winning; *realised* is what actually
+/// happened once interruptions and recoveries intervened. On an
+/// interruption-free trace the two coincide, so `realised / planned` is the
+/// interruption premium a bid policy pays.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize)]
+pub struct RealisedReport {
+    /// Counterfactual committed-plan cost at realised prices.
+    pub planned: f64,
+    /// Actual cost including interruption fallout.
+    pub realised: f64,
+    /// Portion of `realised` attributable to recovery overheads
+    /// (checkpoint writes, migration transfers).
+    pub recovery_overhead: f64,
+    /// Reservation charges accrued (upfront counted once per term).
+    pub reservation: f64,
+}
+
+impl RealisedReport {
+    /// `realised / planned`; 1.0 when both are zero, `+inf` when only the
+    /// planned side is zero.
+    pub fn ratio(&self) -> f64 {
+        if self.planned > 0.0 {
+            self.realised / self.planned
+        } else if self.realised > 0.0 {
+            f64::INFINITY
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Service-level outcomes of one closed-loop episode.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize)]
+pub struct SloReport {
+    /// Slots that ended with unserved backlog.
+    pub violated_slots: usize,
+    /// Demand (GB) that missed its slot, summed over the run.
+    pub unmet_demand_gb: f64,
+    /// Backlog (GB) still outstanding when the episode ended.
+    pub unrecovered_gb: f64,
+    /// Re-plans whose response missed the planning deadline.
+    pub deadline_misses: usize,
+    /// Total re-plan requests issued (initial plan included).
+    pub replans: usize,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -78,5 +127,15 @@ mod tests {
     #[test]
     fn zero_total_shares() {
         assert_eq!(CostBreakdown::default().shares(), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn realised_ratio_edges() {
+        let mut r = RealisedReport { planned: 10.0, realised: 12.5, ..Default::default() };
+        assert!((r.ratio() - 1.25).abs() < 1e-12);
+        r.planned = 0.0;
+        assert!(r.ratio().is_infinite());
+        r.realised = 0.0;
+        assert_eq!(r.ratio(), 1.0);
     }
 }

@@ -22,7 +22,8 @@
 //!   paper's Fig. 10/12 evaluations.
 //! * **Rolling-horizon simulation** ([`rolling`]) — periodic re-planning
 //!   against realised spot prices with out-of-bid fallback to on-demand,
-//!   plus full cost accounting ([`eval`]).
+//!   plus full cost accounting ([`eval`]) and commit-once reservation
+//!   charging ([`reservation`]).
 
 pub mod budgeted;
 pub mod cost;
@@ -33,6 +34,7 @@ pub mod fallback;
 pub mod fingerprint;
 pub mod policy;
 pub mod portfolio;
+pub mod reservation;
 pub mod rolling;
 pub mod sampling;
 pub mod scenario;
@@ -43,8 +45,9 @@ pub mod wagner_whitin;
 pub use budgeted::PlanOutcome;
 pub use cost::{CostSchedule, PlanningParams};
 pub use drrp::{DrrpProblem, RentalPlan};
-pub use eval::CostBreakdown;
+pub use eval::{CostBreakdown, RealisedReport, SloReport};
 pub use fallback::on_demand_plan;
 pub use fingerprint::fingerprint_instance;
+pub use reservation::{ReservationLedger, ReservedTerm};
 pub use scenario::ScenarioTree;
 pub use srrp::SrrpProblem;

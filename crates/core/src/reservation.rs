@@ -1,0 +1,190 @@
+//! Reserved-instance terms and commit-once upfront accounting.
+//!
+//! The paper's models rent on the spot and on-demand markets only; real
+//! clouds also sell *reserved* capacity — pay an upfront fee once, then a
+//! discounted hourly rate for every slot of the term. Realised-cost
+//! accounting over a rolling horizon trips over that fee: a re-plan whose
+//! remaining window is shorter than an already-committed term overlaps the
+//! term again, and naive per-window accounting (`upfront + hourly · slots`
+//! per overlapping window) charges the upfront fee once *per window*
+//! instead of once per term. [`ReservationLedger`] owns the correct
+//! semantics: the fee posts with the first executed window that reaches
+//! the term, and never again.
+
+/// One committed reserved term: `len` slots starting at `start`, paid for
+/// with a one-time `upfront` fee plus an `hourly` rate per covered slot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReservedTerm {
+    /// First slot covered.
+    pub start: usize,
+    /// Number of slots covered.
+    pub len: usize,
+    /// One-time fee for the whole term.
+    pub upfront: f64,
+    /// Per-slot rate while the term runs.
+    pub hourly: f64,
+}
+
+impl ReservedTerm {
+    /// One past the last covered slot.
+    pub fn end(&self) -> usize {
+        self.start + self.len
+    }
+
+    /// Whether `slot` falls inside the term.
+    pub fn covers(&self, slot: usize) -> bool {
+        slot >= self.start && slot < self.end()
+    }
+
+    /// Number of slots of the window `[from, to)` the term covers.
+    pub fn overlap(&self, from: usize, to: usize) -> usize {
+        let lo = self.start.max(from);
+        let hi = self.end().min(to);
+        hi.saturating_sub(lo)
+    }
+
+    fn validate(&self) {
+        assert!(self.len > 0, "a reserved term must cover at least one slot");
+        assert!(
+            self.upfront.is_finite() && self.upfront >= 0.0,
+            "upfront fee must be finite and >= 0"
+        );
+        assert!(
+            self.hourly.is_finite() && self.hourly >= 0.0,
+            "hourly rate must be finite and >= 0"
+        );
+    }
+}
+
+/// Realised-cost ledger for committed reserved terms.
+///
+/// Windows of execution are accrued in order via [`accrue_window`]; each
+/// term's hourly rate is charged for every covered slot, and its upfront
+/// fee exactly once — with the first window that overlaps the term — no
+/// matter how many re-plan windows the term spans or how short the
+/// remaining horizon gets.
+///
+/// [`accrue_window`]: ReservationLedger::accrue_window
+#[derive(Debug, Clone, Default)]
+pub struct ReservationLedger {
+    terms: Vec<ReservedTerm>,
+    upfront_charged: Vec<bool>,
+    upfront_total: f64,
+    hourly_total: f64,
+}
+
+impl ReservationLedger {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Commit a term. Charges nothing by itself — cost posts as windows
+    /// covering the term execute, so a committed-but-never-reached term
+    /// stays free.
+    pub fn commit(&mut self, term: ReservedTerm) {
+        term.validate();
+        self.terms.push(term);
+        self.upfront_charged.push(false);
+    }
+
+    /// Accrue the executed window `[from, to)`: hourly charges for every
+    /// covered slot of every term, plus — exactly once per term — the
+    /// upfront fee, posted with the first window that overlaps the term.
+    /// Returns this window's share of reservation cost.
+    pub fn accrue_window(&mut self, from: usize, to: usize) -> f64 {
+        assert!(from <= to, "accrue_window: inverted window [{from}, {to})");
+        let mut cost = 0.0;
+        for (term, charged) in self.terms.iter().zip(self.upfront_charged.iter_mut()) {
+            let slots = term.overlap(from, to);
+            if slots == 0 {
+                continue;
+            }
+            let hourly = term.hourly * slots as f64;
+            self.hourly_total += hourly;
+            cost += hourly;
+            if !*charged {
+                *charged = true;
+                self.upfront_total += term.upfront;
+                cost += term.upfront;
+            }
+        }
+        cost
+    }
+
+    /// Whether any committed term covers `slot`.
+    pub fn covers(&self, slot: usize) -> bool {
+        self.terms.iter().any(|t| t.covers(slot))
+    }
+
+    pub fn terms(&self) -> &[ReservedTerm] {
+        &self.terms
+    }
+
+    /// Upfront fees posted so far (each term's at most once).
+    pub fn upfront_total(&self) -> f64 {
+        self.upfront_total
+    }
+
+    /// Hourly charges accrued so far.
+    pub fn hourly_total(&self) -> f64 {
+        self.hourly_total
+    }
+
+    /// Total reservation cost accrued so far.
+    pub fn total(&self) -> f64 {
+        self.upfront_total + self.hourly_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upfront_posts_with_first_overlapping_window_only() {
+        let mut ledger = ReservationLedger::new();
+        ledger.commit(ReservedTerm { start: 2, len: 12, upfront: 5.0, hourly: 0.1 });
+        // rolling horizon 6 over 18 slots: the term spans three windows
+        let w0 = ledger.accrue_window(0, 6); // covers slots 2..6 (4 slots) + upfront
+        let w1 = ledger.accrue_window(6, 12); // 6 covered slots
+        let w2 = ledger.accrue_window(12, 18); // term truncates at 14: 2 slots
+        assert!((w0 - (5.0 + 0.4)).abs() < 1e-12, "w0 = {w0}");
+        assert!((w1 - 0.6).abs() < 1e-12, "w1 = {w1}");
+        assert!((w2 - 0.2).abs() < 1e-12, "w2 = {w2}");
+        assert!((ledger.upfront_total() - 5.0).abs() < 1e-12);
+        assert!((ledger.hourly_total() - 1.2).abs() < 1e-12);
+        assert!((ledger.total() - 6.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unreached_term_costs_nothing() {
+        let mut ledger = ReservationLedger::new();
+        ledger.commit(ReservedTerm { start: 10, len: 4, upfront: 3.0, hourly: 0.2 });
+        assert_eq!(ledger.accrue_window(0, 6), 0.0);
+        assert_eq!(ledger.total(), 0.0);
+    }
+
+    #[test]
+    fn coverage_and_overlap() {
+        let term = ReservedTerm { start: 3, len: 4, upfront: 1.0, hourly: 0.1 };
+        assert!(!term.covers(2));
+        assert!(term.covers(3));
+        assert!(term.covers(6));
+        assert!(!term.covers(7));
+        assert_eq!(term.overlap(0, 3), 0);
+        assert_eq!(term.overlap(0, 5), 2);
+        assert_eq!(term.overlap(5, 100), 2);
+        assert_eq!(term.overlap(8, 9), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn empty_term_rejected() {
+        ReservationLedger::new().commit(ReservedTerm {
+            start: 0,
+            len: 0,
+            upfront: 0.0,
+            hourly: 0.0,
+        });
+    }
+}

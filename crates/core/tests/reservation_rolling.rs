@@ -1,0 +1,90 @@
+//! Regression: a rolling-horizon re-plan whose remaining window is shorter
+//! than an already-committed reservation term must not double-count the
+//! term's upfront fee in realised cost.
+
+use rrp_core::{RealisedReport, ReservationLedger, ReservedTerm};
+
+/// The original bug: accounting `upfront + hourly * overlap` per re-plan
+/// window charges the upfront fee once per overlapping window. With a
+/// 12-slot term spanning three 6-slot re-plan windows the naive sum is
+/// `3 * 5.0 + 1.2`; the ledger must report `5.0 + 1.2`.
+#[test]
+fn upfront_fee_not_double_counted_across_replan_windows() {
+    let term = ReservedTerm { start: 2, len: 12, upfront: 5.0, hourly: 0.1 };
+    let mut ledger = ReservationLedger::new();
+    ledger.commit(term);
+
+    let replan_every = 6;
+    let slots = 18;
+    let mut realised = 0.0;
+    let mut naive = 0.0;
+    let mut windows = 0;
+    for from in (0..slots).step_by(replan_every) {
+        let to = (from + replan_every).min(slots);
+        realised += ledger.accrue_window(from, to);
+        let overlap = term.overlap(from, to);
+        if overlap > 0 {
+            naive += term.upfront + term.hourly * overlap as f64;
+            windows += 1;
+        }
+    }
+
+    assert_eq!(windows, 3, "the term must span several re-plan windows to exercise the bug");
+    let expected = term.upfront + term.hourly * term.len as f64;
+    assert!((realised - expected).abs() < 1e-12, "realised {realised} != expected {expected}");
+    assert!((ledger.total() - expected).abs() < 1e-12);
+    assert!((ledger.upfront_total() - term.upfront).abs() < 1e-12);
+    // the naive accounting really would have tripled the fee
+    assert!((naive - (3.0 * term.upfront + 1.2)).abs() < 1e-12);
+}
+
+/// Remaining horizon shorter than the term: the episode ends mid-term, so
+/// only the executed slots accrue hourly cost, and the upfront fee still
+/// posts exactly once.
+#[test]
+fn truncated_final_window_charges_partial_hourly_only() {
+    let term = ReservedTerm { start: 4, len: 10, upfront: 8.0, hourly: 0.25 };
+    let mut ledger = ReservationLedger::new();
+    ledger.commit(term);
+
+    // episode of 9 slots re-planned every 3: the term runs 4..9 only
+    let mut realised = 0.0;
+    for from in (0..9).step_by(3) {
+        realised += ledger.accrue_window(from, from + 3);
+    }
+    let executed_slots = 5.0; // slots 4..9
+    let expected = term.upfront + term.hourly * executed_slots;
+    assert!((realised - expected).abs() < 1e-12, "realised {realised} != expected {expected}");
+    assert!((ledger.hourly_total() - term.hourly * executed_slots).abs() < 1e-12);
+}
+
+/// A term committed beyond the executed horizon never posts any charge.
+#[test]
+fn term_beyond_horizon_is_free() {
+    let mut ledger = ReservationLedger::new();
+    ledger.commit(ReservedTerm { start: 24, len: 6, upfront: 4.0, hourly: 0.5 });
+    let mut realised = 0.0;
+    for from in (0..12).step_by(4) {
+        realised += ledger.accrue_window(from, from + 4);
+    }
+    assert_eq!(realised, 0.0);
+    assert_eq!(ledger.total(), 0.0);
+}
+
+/// Reservation charges flow into the realised side of the report without
+/// disturbing the planned/realised ratio semantics.
+#[test]
+fn reservation_feeds_realised_report() {
+    let mut ledger = ReservationLedger::new();
+    ledger.commit(ReservedTerm { start: 0, len: 4, upfront: 2.0, hourly: 0.5 });
+    let reservation = ledger.accrue_window(0, 4);
+    let planned = 10.0;
+    let report = RealisedReport {
+        planned,
+        realised: planned + reservation,
+        recovery_overhead: 0.0,
+        reservation,
+    };
+    assert!((report.reservation - 4.0).abs() < 1e-12);
+    assert!((report.ratio() - 1.4).abs() < 1e-12);
+}

@@ -116,6 +116,53 @@ impl PlanRequest {
         h.write_u8(self.policy.tag());
         h.finish()
     }
+
+    /// Derive the interruption-aware re-plan for the tail `[from, T)` of
+    /// this request's horizon: same billing rates and demand, a fresh
+    /// per-slot `compute` price vector (the caller's new bid), the
+    /// surviving `inventory` as the initial stock, and any shipping
+    /// `backlog` folded into the first tail slot's demand so the re-plan
+    /// must clear it.
+    ///
+    /// The scenario tree — rooted at the original slot 0 — no longer
+    /// describes the tail, so it is dropped and a [`PolicyKind::Stochastic`]
+    /// request degrades to [`PolicyKind::Deterministic`]; every other
+    /// policy is kept.
+    pub fn replan_tail(
+        &self,
+        from: usize,
+        inventory: f64,
+        compute: Vec<f64>,
+        backlog: f64,
+    ) -> PlanRequest {
+        let t = self.horizon();
+        assert!(from < t, "replan_tail: from={from} is past the horizon {t}");
+        assert_eq!(compute.len(), t - from, "replan_tail: bid vector must cover the tail");
+        let mut schedule = CostSchedule {
+            compute,
+            inventory: self.schedule.inventory[from..].to_vec(),
+            gen: self.schedule.gen[from..].to_vec(),
+            out: self.schedule.out[from..].to_vec(),
+            demand: self.schedule.demand[from..].to_vec(),
+        };
+        schedule.demand[0] += backlog.max(0.0);
+        let mut params = self.params;
+        params.initial_inventory = inventory.max(0.0);
+        let policy = match self.policy {
+            PolicyKind::Stochastic => PolicyKind::Deterministic,
+            other => other,
+        };
+        PlanRequest {
+            app_id: self.app_id.clone(),
+            vm_class: self.vm_class.clone(),
+            schedule,
+            params,
+            tree: None,
+            policy,
+            deadline: self.deadline,
+            seed: self.seed,
+        }
+    }
 }
 
 /// What happened on one rung of the ladder.
@@ -191,5 +238,55 @@ impl PlanResponse {
             (None, Some(proof)) => panic!("request was rejected as infeasible: {proof}"),
             (None, None) => panic!("response carries neither plan nor rejection"),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrp_spotmarket::CostRates;
+
+    fn request() -> PlanRequest {
+        let rates = CostRates::ec2_2011();
+        PlanRequest {
+            app_id: "tenant".to_string(),
+            vm_class: "c1.medium".to_string(),
+            schedule: CostSchedule::ec2(vec![0.06; 6], vec![0.4, 0.5, 0.6, 0.7, 0.8, 0.9], &rates),
+            params: PlanningParams::default(),
+            tree: None,
+            policy: PolicyKind::Stochastic,
+            deadline: Duration::from_secs(1),
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn replan_tail_slices_and_carries_state() {
+        let req = request();
+        let tail = req.replan_tail(2, 1.25, vec![0.09; 4], 0.3);
+        assert_eq!(tail.horizon(), 4);
+        assert_eq!(tail.schedule.compute, vec![0.09; 4]);
+        assert!((tail.schedule.demand[0] - (0.6 + 0.3)).abs() < 1e-12, "backlog folded in");
+        assert_eq!(&tail.schedule.demand[1..], &[0.7, 0.8, 0.9]);
+        assert!((tail.params.initial_inventory - 1.25).abs() < 1e-12);
+        assert_eq!(tail.policy, PolicyKind::Deterministic, "stochastic degrades without a tree");
+        assert!(tail.tree.is_none());
+        assert_eq!(tail.app_id, "tenant");
+    }
+
+    #[test]
+    fn replan_tail_keeps_non_stochastic_policy() {
+        let mut req = request();
+        req.policy = PolicyKind::DynamicProgram;
+        let tail = req.replan_tail(5, 0.0, vec![0.1], 0.0);
+        assert_eq!(tail.policy, PolicyKind::DynamicProgram);
+        assert_eq!(tail.horizon(), 1);
+        assert!((tail.schedule.demand[0] - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "past the horizon")]
+    fn replan_tail_rejects_exhausted_horizon() {
+        request().replan_tail(6, 0.0, vec![], 0.0);
     }
 }

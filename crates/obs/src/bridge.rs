@@ -137,6 +137,29 @@ impl MetricsSink {
             .observe(elapsed_us as f64 / 1e3);
     }
 
+    fn on_spot_interrupted(&self, tenant: &str) {
+        self.registry
+            .counter(
+                "rrp_sim_interruptions_total",
+                "Simulated out-of-bid spot interruptions, per tenant",
+                &[("tenant", tenant)],
+            )
+            .inc();
+    }
+
+    fn on_recovery_applied(&self, action: &'static str, cost: f64) {
+        self.registry
+            .counter(
+                "rrp_sim_recoveries_total",
+                "Simulated interruption recoveries, by action",
+                &[("action", action)],
+            )
+            .inc();
+        self.registry
+            .summary("rrp_sim_recovery_cost", "Extra realised cost per recovery ($)", &[])
+            .observe(cost);
+    }
+
     fn on_request_done(
         &self,
         tenant: &str,
@@ -199,6 +222,10 @@ impl Sink for MetricsSink {
             }
             EventKind::RequestDone { tenant, outcome, latency_us, deadline_met, .. } => {
                 self.on_request_done(tenant, outcome, *latency_us, *deadline_met)
+            }
+            EventKind::SpotInterrupted { tenant, .. } => self.on_spot_interrupted(tenant),
+            EventKind::RecoveryApplied { action, cost, .. } => {
+                self.on_recovery_applied(action, *cost)
             }
             _ => {}
         }
@@ -267,6 +294,37 @@ mod tests {
         assert!(text.contains("rrp_deadline_miss_total{tenant=\"acme\"} 1"), "{text}");
         assert!(text.contains("rrp_audit_rejections_total{tenant=\"other\"} 1"), "{text}");
         assert!(text.contains("rrp_request_latency_ms_count 3"), "{text}");
+    }
+
+    #[test]
+    fn sim_events_build_interruption_series() {
+        let reg = Arc::new(Registry::new());
+        let sink = MetricsSink::new(Arc::clone(&reg));
+        sink.emit(&ev(EventKind::SpotInterrupted {
+            tenant: "acme".to_string(),
+            slot: 3,
+            spot: 0.3,
+            bid: 0.1,
+        }));
+        sink.emit(&ev(EventKind::SpotInterrupted {
+            tenant: "acme".to_string(),
+            slot: 5,
+            spot: 0.4,
+            bid: 0.1,
+        }));
+        sink.emit(&ev(EventKind::RecoveryApplied {
+            tenant: "acme".to_string(),
+            slot: 3,
+            action: "checkpoint_resume",
+            cost: 1.5,
+        }));
+        let text = reg.render();
+        assert!(text.contains("rrp_sim_interruptions_total{tenant=\"acme\"} 2"), "{text}");
+        assert!(
+            text.contains("rrp_sim_recoveries_total{action=\"checkpoint_resume\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("rrp_sim_recovery_cost_sum 1.5"), "{text}");
     }
 
     #[test]

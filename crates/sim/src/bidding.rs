@@ -1,0 +1,168 @@
+//! Pluggable bid policies: how a tenant sets its spot bid for the next
+//! slot, given what the market just did to it.
+//!
+//! The paper fixes the bid for a whole horizon; the literature closes the
+//! loop — Li et al.'s feedback-control bidding adjusts the bid from the
+//! observed interruption rate. The simulator calls [`BidPolicy::next_bid`]
+//! exactly once per slot boundary, so stateful policies see every outcome
+//! exactly once.
+
+/// What a bid policy observes at a slot boundary.
+#[derive(Debug, Clone, Copy)]
+pub struct MarketObs {
+    /// Slot the returned bid will apply from.
+    pub slot: usize,
+    /// Realised spot price of the slot that just ended (the archive's
+    /// last estimation-window price before slot 0).
+    pub last_price: f64,
+    /// Mean spot price over the estimation window.
+    pub hist_mean: f64,
+    /// On-demand fallback price λ.
+    pub on_demand: f64,
+    /// Whether the tenant was interrupted (out-of-bid) in the slot that
+    /// just ended.
+    pub interrupted: bool,
+}
+
+/// A bidding strategy. Stateful: the simulator keeps one instance per
+/// episode and feeds it every slot boundary.
+pub trait BidPolicy: Send {
+    fn name(&self) -> &'static str;
+    /// The bid to stand for the next slot.
+    fn next_bid(&mut self, obs: &MarketObs) -> f64;
+}
+
+/// The paper's stance: a fixed bid at `margin ×` the historical mean,
+/// clamped to the on-demand price (bidding above λ never helps).
+#[derive(Debug, Clone, Copy)]
+pub struct StaticBid {
+    pub margin: f64,
+}
+
+impl StaticBid {
+    /// Bid exactly the historical mean — the truthful-valuation baseline.
+    pub fn at_mean() -> Self {
+        Self { margin: 1.0 }
+    }
+}
+
+impl BidPolicy for StaticBid {
+    fn name(&self) -> &'static str {
+        "static"
+    }
+
+    fn next_bid(&mut self, obs: &MarketObs) -> f64 {
+        (self.margin * obs.hist_mean).min(obs.on_demand)
+    }
+}
+
+/// Bid the on-demand price itself: the never-interrupted upper envelope
+/// (a winner pays the spot price, so overbidding costs nothing per slot —
+/// it only removes the interruption hedge the bid encodes).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OnDemandClamp;
+
+impl BidPolicy for OnDemandClamp {
+    fn name(&self) -> &'static str {
+        "clamp"
+    }
+
+    fn next_bid(&mut self, obs: &MarketObs) -> f64 {
+        obs.on_demand
+    }
+}
+
+/// Feedback-control bidding à la Li et al.: track the observed
+/// interruption rate with an EWMA and steer a multiplicative bid factor
+/// toward a target rate — interruptions push the bid up, quiet slots let
+/// it relax back toward the mean.
+#[derive(Debug, Clone, Copy)]
+pub struct FeedbackBid {
+    /// Interruption rate the controller steers toward.
+    pub target_interrupt_rate: f64,
+    /// Proportional gain on the rate error.
+    pub gain: f64,
+    /// EWMA smoothing factor for the observed rate.
+    pub smoothing: f64,
+    rate: f64,
+    mult: f64,
+}
+
+impl FeedbackBid {
+    pub fn new(target_interrupt_rate: f64, gain: f64, smoothing: f64) -> Self {
+        assert!((0.0..1.0).contains(&target_interrupt_rate));
+        assert!(gain > 0.0 && (0.0..=1.0).contains(&smoothing));
+        Self { target_interrupt_rate, gain, smoothing, rate: 0.0, mult: 1.0 }
+    }
+
+    /// The EWMA-estimated interruption rate so far.
+    pub fn observed_rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl Default for FeedbackBid {
+    fn default() -> Self {
+        Self::new(0.02, 2.0, 0.25)
+    }
+}
+
+impl BidPolicy for FeedbackBid {
+    fn name(&self) -> &'static str {
+        "feedback"
+    }
+
+    fn next_bid(&mut self, obs: &MarketObs) -> f64 {
+        let hit = if obs.interrupted { 1.0 } else { 0.0 };
+        self.rate = (1.0 - self.smoothing) * self.rate + self.smoothing * hit;
+        self.mult *= 1.0 + self.gain * (self.rate - self.target_interrupt_rate);
+        // floor 1.0: never bid below the static-at-mean baseline, so the
+        // controller only ever *reduces* interruptions relative to it
+        self.mult = self.mult.clamp(1.0, 2.5);
+        (self.mult * obs.hist_mean).min(obs.on_demand)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(interrupted: bool) -> MarketObs {
+        MarketObs { slot: 1, last_price: 0.06, hist_mean: 0.06, on_demand: 0.2, interrupted }
+    }
+
+    #[test]
+    fn static_bid_is_constant_and_clamped() {
+        let mut p = StaticBid::at_mean();
+        assert_eq!(p.next_bid(&obs(false)), 0.06);
+        assert_eq!(p.next_bid(&obs(true)), 0.06);
+        let mut high = StaticBid { margin: 10.0 };
+        assert_eq!(high.next_bid(&obs(false)), 0.2);
+    }
+
+    #[test]
+    fn clamp_bids_on_demand() {
+        assert_eq!(OnDemandClamp.next_bid(&obs(true)), 0.2);
+    }
+
+    #[test]
+    fn feedback_raises_bid_under_interruptions() {
+        let mut p = FeedbackBid::default();
+        let calm = p.next_bid(&obs(false));
+        for _ in 0..6 {
+            p.next_bid(&obs(true));
+        }
+        let stressed = p.next_bid(&obs(true));
+        assert!(stressed > calm, "{stressed} vs {calm}");
+        assert!(p.observed_rate() > 0.5);
+    }
+
+    #[test]
+    fn feedback_never_bids_below_mean_or_above_on_demand() {
+        let mut p = FeedbackBid::default();
+        for i in 0..200 {
+            let b = p.next_bid(&obs(i % 2 == 0));
+            assert!((0.06 - 1e-12..=0.2 + 1e-12).contains(&b), "bid {b} out of range");
+        }
+    }
+}

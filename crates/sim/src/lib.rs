@@ -1,0 +1,45 @@
+//! # rrp-sim — closed-loop spot-market simulation
+//!
+//! Everything else in the workspace plans *open-loop*: the engine emits a
+//! rental plan against a price forecast and never learns what the market
+//! actually did. This crate closes the loop. It plays a synthetic spot
+//! trace forward against a running [`rrp_engine::Engine`] through its
+//! public API:
+//!
+//! * [`bidding`] — pluggable bid policies: the paper's fixed bid
+//!   ([`StaticBid`]), the never-interrupted on-demand clamp
+//!   ([`OnDemandClamp`]), and a feedback controller steering the bid from
+//!   the observed interruption rate ([`FeedbackBid`], à la Li et al.).
+//! * [`recovery`] — pluggable interruption handling: fail over to
+//!   on-demand (the paper's §IV assumption), checkpoint + resume with a
+//!   configurable overhead, or migrate to a surviving market
+//!   (Voorsluys et al.'s trio).
+//! * [`episode`] — the per-slot event loop: reveal price → kill
+//!   out-of-bid capacity → recover → ship demand → update bid →
+//!   rolling-horizon re-plan. Two ledgers (planned counterfactual vs
+//!   realised) make `realised / planned` the interruption premium.
+//! * [`report`] — the (bid × recovery) matrix over one fixed-seed trace
+//!   with an ANSI summary table and a golden-pinnable JSON form.
+//! * [`soak`] — multi-tenant load generation: N concurrent tenants
+//!   through the engine's caches, ladder and obs stack.
+//!
+//! Determinism: every random stream of a run derives from one master
+//! `u64` via [`rrp_spotmarket::SeedSeq`]; the report prints it.
+
+pub mod bidding;
+pub mod episode;
+pub mod recovery;
+pub mod report;
+pub mod soak;
+
+pub use bidding::{BidPolicy, FeedbackBid, MarketObs, OnDemandClamp, StaticBid};
+pub use episode::{
+    episode_inputs, run_episode, EpisodeInputs, EpisodeResult, SimConfig, SimReservation,
+    SlotOutcome,
+};
+pub use recovery::{
+    CheckpointResume, InterruptionCtx, MigrateMarket, OnDemandFailover, RecoveryAction,
+    RecoveryPolicy,
+};
+pub use report::{run_matrix, MatrixCell, SimReport};
+pub use soak::{run_soak, SoakConfig, SoakOutcome};

@@ -1,0 +1,212 @@
+//! Pluggable recovery policies: what a tenant does in the slot where the
+//! spot market killed its instance (Voorsluys et al. quantify exactly
+//! these three options: fail over to on-demand, checkpoint and resume
+//! later, or migrate the work to a surviving market).
+
+/// Everything a recovery policy sees about the interruption it must
+/// handle.
+#[derive(Debug, Clone, Copy)]
+pub struct InterruptionCtx {
+    /// Slot the interruption happened in.
+    pub slot: usize,
+    /// Realised spot price that outbid the tenant.
+    pub spot: f64,
+    /// The losing bid.
+    pub bid: f64,
+    /// On-demand fallback price λ.
+    pub on_demand: f64,
+    /// Realised spot price on the alternate (surviving) market this slot.
+    pub alt_spot: f64,
+    /// Production (GB) the committed plan wanted this slot.
+    pub planned_alpha: f64,
+    /// Inventory (GB) held entering the slot.
+    pub inventory: f64,
+}
+
+/// The concrete action a recovery policy chose, with its priced-out
+/// overheads. The episode runner applies the action; the policy only
+/// decides.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RecoveryAction {
+    /// Produce the planned amount on on-demand capacity at λ.
+    OnDemandFailover,
+    /// Skip the slot's production: checkpoint `overhead_gb` of state to
+    /// storage and resume later, letting the backlog carry the demand.
+    CheckpointResume { overhead_gb: f64 },
+    /// Produce the planned amount on the alternate market at its spot
+    /// price, paying `overhead_cost` to move state across.
+    MigrateMarket { overhead_cost: f64 },
+}
+
+impl RecoveryAction {
+    pub fn name(&self) -> &'static str {
+        match self {
+            RecoveryAction::OnDemandFailover => "on_demand_failover",
+            RecoveryAction::CheckpointResume { .. } => "checkpoint_resume",
+            RecoveryAction::MigrateMarket { .. } => "migrate_market",
+        }
+    }
+}
+
+/// An interruption-handling strategy. Stateful like [`crate::BidPolicy`];
+/// called once per interruption.
+pub trait RecoveryPolicy: Send {
+    fn name(&self) -> &'static str;
+    fn recover(&mut self, ctx: &InterruptionCtx) -> RecoveryAction;
+}
+
+/// Always fall back to on-demand capacity — the paper's own out-of-bid
+/// assumption (§IV), made explicit as a policy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OnDemandFailover;
+
+impl RecoveryPolicy for OnDemandFailover {
+    fn name(&self) -> &'static str {
+        "failover"
+    }
+
+    fn recover(&mut self, _ctx: &InterruptionCtx) -> RecoveryAction {
+        RecoveryAction::OnDemandFailover
+    }
+}
+
+/// Checkpoint and wait the spike out: write `overhead_frac` of the
+/// interrupted slot's planned production as checkpoint state, produce
+/// nothing, and let the re-plan clear the backlog.
+///
+/// Deferral is bounded: after `max_defer` *consecutive* checkpointed
+/// slots the policy escalates to on-demand failover, so a persistently
+/// out-of-bid tenant cannot starve its demand forever (the liveness half
+/// of Voorsluys et al.'s checkpoint/resume trade-off).
+#[derive(Debug, Clone, Copy)]
+pub struct CheckpointResume {
+    /// Checkpoint size as a fraction of the slot's planned production.
+    pub overhead_frac: f64,
+    /// Consecutive interrupted slots to sit out before escalating.
+    pub max_defer: usize,
+    streak: usize,
+    last_slot: Option<usize>,
+}
+
+impl CheckpointResume {
+    pub fn new(overhead_frac: f64, max_defer: usize) -> Self {
+        assert!(overhead_frac >= 0.0 && max_defer >= 1);
+        Self { overhead_frac, max_defer, streak: 0, last_slot: None }
+    }
+}
+
+impl Default for CheckpointResume {
+    fn default() -> Self {
+        Self::new(0.25, 2)
+    }
+}
+
+impl RecoveryPolicy for CheckpointResume {
+    fn name(&self) -> &'static str {
+        "checkpoint"
+    }
+
+    fn recover(&mut self, ctx: &InterruptionCtx) -> RecoveryAction {
+        let consecutive = matches!(self.last_slot, Some(s) if s + 1 == ctx.slot);
+        self.streak = if consecutive { self.streak + 1 } else { 1 };
+        self.last_slot = Some(ctx.slot);
+        if self.streak > self.max_defer {
+            self.streak = 0;
+            return RecoveryAction::OnDemandFailover;
+        }
+        RecoveryAction::CheckpointResume { overhead_gb: self.overhead_frac * ctx.planned_alpha }
+    }
+}
+
+/// Migrate to the surviving alternate market: keep producing at its spot
+/// price, paying a per-GB transfer for the state (inventory + in-flight
+/// production) that must move.
+#[derive(Debug, Clone, Copy)]
+pub struct MigrateMarket {
+    pub migration_cost_per_gb: f64,
+}
+
+impl Default for MigrateMarket {
+    fn default() -> Self {
+        Self { migration_cost_per_gb: 0.05 }
+    }
+}
+
+impl RecoveryPolicy for MigrateMarket {
+    fn name(&self) -> &'static str {
+        "migrate"
+    }
+
+    fn recover(&mut self, ctx: &InterruptionCtx) -> RecoveryAction {
+        RecoveryAction::MigrateMarket {
+            overhead_cost: self.migration_cost_per_gb * (ctx.inventory + ctx.planned_alpha),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> InterruptionCtx {
+        InterruptionCtx {
+            slot: 3,
+            spot: 0.09,
+            bid: 0.06,
+            on_demand: 0.2,
+            alt_spot: 0.055,
+            planned_alpha: 0.8,
+            inventory: 1.2,
+        }
+    }
+
+    #[test]
+    fn failover_is_unconditional() {
+        assert_eq!(OnDemandFailover.recover(&ctx()), RecoveryAction::OnDemandFailover);
+    }
+
+    #[test]
+    fn checkpoint_sizes_overhead_from_planned_production() {
+        let a = CheckpointResume::default().recover(&ctx());
+        match a {
+            RecoveryAction::CheckpointResume { overhead_gb } => {
+                assert!((overhead_gb - 0.2).abs() < 1e-12)
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checkpoint_escalates_after_consecutive_deferrals() {
+        let mut p = CheckpointResume::default();
+        let at = |slot| InterruptionCtx { slot, ..ctx() };
+        assert!(matches!(p.recover(&at(4)), RecoveryAction::CheckpointResume { .. }));
+        assert!(matches!(p.recover(&at(5)), RecoveryAction::CheckpointResume { .. }));
+        assert_eq!(p.recover(&at(6)), RecoveryAction::OnDemandFailover, "third in a row escalates");
+        // the streak resets after escalation and after any quiet slot
+        assert!(matches!(p.recover(&at(7)), RecoveryAction::CheckpointResume { .. }));
+        assert!(matches!(p.recover(&at(9)), RecoveryAction::CheckpointResume { .. }));
+        assert!(matches!(p.recover(&at(10)), RecoveryAction::CheckpointResume { .. }));
+    }
+
+    #[test]
+    fn migrate_prices_state_transfer() {
+        let a = MigrateMarket::default().recover(&ctx());
+        match a {
+            RecoveryAction::MigrateMarket { overhead_cost } => {
+                assert!((overhead_cost - 0.05 * 2.0).abs() < 1e-12)
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+    }
+
+    #[test]
+    fn action_names_are_stable() {
+        assert_eq!(RecoveryAction::OnDemandFailover.name(), "on_demand_failover");
+        assert_eq!(
+            RecoveryAction::CheckpointResume { overhead_gb: 0.0 }.name(),
+            "checkpoint_resume"
+        );
+        assert_eq!(RecoveryAction::MigrateMarket { overhead_cost: 0.0 }.name(), "migrate_market");
+    }
+}

@@ -1,0 +1,214 @@
+//! The (bid policy × recovery policy) evaluation matrix: run the same
+//! fixed-seed trace through every combination and report realised vs
+//! planned cost plus SLO violations per cell, the way the replan ablation
+//! reports its grid.
+
+use crate::bidding::{BidPolicy, FeedbackBid, OnDemandClamp, StaticBid};
+use crate::episode::{run_episode, SimConfig};
+use crate::recovery::{CheckpointResume, MigrateMarket, OnDemandFailover, RecoveryPolicy};
+use rrp_engine::Engine;
+
+/// One (bid × recovery) cell of the matrix. All money values are rounded
+/// to 4 decimals so the serialised report is golden-pinnable.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct MatrixCell {
+    pub bid: String,
+    pub recovery: String,
+    pub planned: f64,
+    pub realised: f64,
+    /// `realised / planned` — the interruption premium.
+    pub ratio: f64,
+    pub recovery_overhead: f64,
+    pub interruptions: usize,
+    pub replans: usize,
+    pub violated_slots: usize,
+    pub unmet_demand_gb: f64,
+    pub unrecovered_gb: f64,
+    pub deadline_misses: usize,
+}
+
+/// The full matrix over one fixed-seed trace.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct SimReport {
+    /// The master seed every stream of the run derived from — reproduces
+    /// the whole report.
+    pub master_seed: u64,
+    pub class: String,
+    pub slots: usize,
+    pub horizon: usize,
+    pub cells: Vec<MatrixCell>,
+}
+
+fn round4(v: f64) -> f64 {
+    (v * 1e4).round() / 1e4
+}
+
+type BidFactory = (&'static str, fn() -> Box<dyn BidPolicy>);
+type RecoveryFactory = (&'static str, fn() -> Box<dyn RecoveryPolicy>);
+
+/// The default bid-policy line-up: static-at-mean, on-demand clamp,
+/// feedback control.
+pub fn default_bid_policies() -> Vec<BidFactory> {
+    vec![
+        ("static", || Box::new(StaticBid::at_mean())),
+        ("clamp", || Box::new(OnDemandClamp)),
+        ("feedback", || Box::new(FeedbackBid::default())),
+    ]
+}
+
+/// The default recovery line-up: on-demand failover, checkpoint+resume,
+/// migrate-to-surviving-market.
+pub fn default_recovery_policies() -> Vec<RecoveryFactory> {
+    vec![
+        ("failover", || Box::new(OnDemandFailover)),
+        ("checkpoint", || Box::new(CheckpointResume::default())),
+        ("migrate", || Box::new(MigrateMarket::default())),
+    ]
+}
+
+/// Run every (bid × recovery) combination over the same trace (same
+/// master seed, so every cell sees identical prices and demand).
+pub fn run_matrix(engine: &Engine, cfg: &SimConfig) -> SimReport {
+    let mut cells = Vec::new();
+    for (bid_name, bid_factory) in default_bid_policies() {
+        for (rec_name, rec_factory) in default_recovery_policies() {
+            let mut cell_cfg = cfg.clone();
+            cell_cfg.app_id = format!("{}-{bid_name}-{rec_name}", cfg.app_id);
+            let mut bid = bid_factory();
+            let mut rec = rec_factory();
+            let r = run_episode(engine, &cell_cfg, bid.as_mut(), rec.as_mut());
+            cells.push(MatrixCell {
+                bid: bid_name.to_string(),
+                recovery: rec_name.to_string(),
+                planned: round4(r.report.planned),
+                realised: round4(r.report.realised),
+                ratio: round4(r.report.ratio()),
+                recovery_overhead: round4(r.report.recovery_overhead),
+                interruptions: r.interruptions,
+                replans: r.slo.replans,
+                violated_slots: r.slo.violated_slots,
+                unmet_demand_gb: round4(r.slo.unmet_demand_gb),
+                unrecovered_gb: round4(r.slo.unrecovered_gb),
+                deadline_misses: r.slo.deadline_misses,
+            });
+        }
+    }
+    SimReport {
+        master_seed: cfg.seed,
+        class: cfg.class.name().to_string(),
+        slots: cfg.slots,
+        horizon: cfg.horizon,
+        cells,
+    }
+}
+
+impl SimReport {
+    /// The cell for a (bid, recovery) pair, when present.
+    pub fn cell(&self, bid: &str, recovery: &str) -> Option<&MatrixCell> {
+        self.cells.iter().find(|c| c.bid == bid && c.recovery == recovery)
+    }
+
+    /// Serialise the report (for `xtask simreport` and the golden pin).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_default()
+    }
+
+    /// ANSI summary table: one row per cell, the ratio colour-coded
+    /// (green ≤ 1.05, yellow ≤ 1.5, red beyond).
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "closed-loop sim · class {} · {} slots · window {} · master seed {}",
+            self.class, self.slots, self.horizon, self.master_seed
+        );
+        let _ = writeln!(
+            out,
+            "\x1b[1m{:<10} {:<12} {:>9} {:>9} {:>7} {:>7} {:>5} {:>5} {:>7} {:>5}\x1b[0m",
+            "bid",
+            "recovery",
+            "planned",
+            "realised",
+            "ratio",
+            "ovh$",
+            "intr",
+            "viol",
+            "unrec",
+            "miss"
+        );
+        for c in &self.cells {
+            let colour = if c.ratio <= 1.05 {
+                "\x1b[32m"
+            } else if c.ratio <= 1.5 {
+                "\x1b[33m"
+            } else {
+                "\x1b[31m"
+            };
+            let _ = writeln!(
+                out,
+                "{:<10} {:<12} {:>9.4} {:>9.4} {colour}{:>7.3}\x1b[0m {:>7.4} {:>5} {:>5} {:>7.4} {:>5}",
+                c.bid,
+                c.recovery,
+                c.planned,
+                c.realised,
+                c.ratio,
+                c.recovery_overhead,
+                c.interruptions,
+                c.violated_slots,
+                c.unrecovered_gb,
+                c.deadline_misses
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn matrix_covers_three_by_three() {
+        let engine = Engine::new(2);
+        let cfg = SimConfig { slots: 8, horizon: 4, ..Default::default() };
+        let report = run_matrix(&engine, &cfg);
+        assert_eq!(report.cells.len(), 9);
+        for (b, _) in default_bid_policies() {
+            for (r, _) in default_recovery_policies() {
+                assert!(report.cell(b, r).is_some(), "missing cell {b}×{r}");
+            }
+        }
+        assert_eq!(report.master_seed, cfg.seed);
+    }
+
+    #[test]
+    fn report_json_round_trips_through_the_value_model() {
+        let engine = Engine::new(2);
+        let cfg = SimConfig {
+            slots: 6,
+            horizon: 3,
+            deadline: Duration::from_secs(10),
+            ..Default::default()
+        };
+        let report = run_matrix(&engine, &cfg);
+        let v = serde_json::from_str(&report.to_json()).expect("report JSON must parse");
+        assert_eq!(v.get("master_seed").and_then(|m| m.as_u64()), Some(cfg.seed));
+        let cells = v.get("cells").and_then(|c| c.as_array()).expect("cells array");
+        assert_eq!(cells.len(), 9);
+        assert!(cells[0].get("ratio").and_then(|r| r.as_f64()).is_some());
+    }
+
+    #[test]
+    fn render_is_ansi_and_lists_every_cell() {
+        let engine = Engine::new(2);
+        let cfg = SimConfig { slots: 6, horizon: 3, ..Default::default() };
+        let report = run_matrix(&engine, &cfg);
+        let text = report.render();
+        assert!(text.contains("\x1b["));
+        for c in &report.cells {
+            assert!(text.contains(&c.bid) && text.contains(&c.recovery));
+        }
+    }
+}

@@ -11,6 +11,8 @@
 
 use rrp_timeseries::TimeSeries;
 
+use crate::archive::{SpotArchive, ARCHIVE_DAYS};
+use crate::seeds::derive_seed;
 use crate::vmclass::VmClass;
 
 /// One provider's offer for a VM class.
@@ -41,6 +43,37 @@ impl Federation {
             assert!(p.on_demand > 0.0, "provider '{}' has a non-positive λ", p.name);
         }
         Self { class, providers }
+    }
+
+    /// Deterministically generated synthetic coalition: `n` providers whose
+    /// spot feeds share the class's calibrated statistical signature but
+    /// evolve under independently derived sub-seeds of one master `seed`
+    /// (see [`derive_seed`]), windowed to days `[start_day, end_day)`.
+    /// On-demand prices get a mild deterministic spread so the effective λ
+    /// is a genuine coalition minimum. Exactly reproducible from `seed`.
+    pub fn synthetic(
+        class: VmClass,
+        n: usize,
+        seed: u64,
+        start_day: usize,
+        end_day: usize,
+    ) -> Self {
+        assert!(n >= 1, "a synthetic federation needs at least one provider");
+        assert!(start_day < end_day && end_day <= ARCHIVE_DAYS, "invalid day window");
+        let providers = (0..n)
+            .map(|i| {
+                let archive =
+                    SpotArchive::generate(class, derive_seed(seed, &format!("provider-{i}")));
+                ProviderOffer {
+                    name: format!("synthetic-{i}"),
+                    spot: archive.hourly_window(start_day, end_day),
+                    // provider 0 is the reference λ; later members quote a
+                    // slightly higher fallback, as a remote provider would
+                    on_demand: class.on_demand_price() * (1.0 + 0.02 * i as f64),
+                }
+            })
+            .collect();
+        Self::new(class, providers)
     }
 
     pub fn providers(&self) -> &[ProviderOffer] {
@@ -164,6 +197,40 @@ mod tests {
         }
         let sum: f64 = f.market_shares().iter().sum();
         assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn synthetic_federation_is_seed_deterministic_and_distinct() {
+        use crate::archive::{ESTIMATION_END_DAY, ESTIMATION_START_DAY};
+        let f1 = Federation::synthetic(
+            VmClass::C1Medium,
+            3,
+            42,
+            ESTIMATION_START_DAY,
+            ESTIMATION_END_DAY,
+        );
+        let f2 = Federation::synthetic(
+            VmClass::C1Medium,
+            3,
+            42,
+            ESTIMATION_START_DAY,
+            ESTIMATION_END_DAY,
+        );
+        assert_eq!(f1.horizon(), 62 * 24);
+        for (a, b) in f1.providers().iter().zip(f2.providers()) {
+            assert_eq!(a.spot.values(), b.spot.values(), "same seed must reproduce");
+        }
+        // distinct sub-seeds: providers do not mirror each other
+        assert_ne!(f1.providers()[0].spot.values(), f1.providers()[1].spot.values());
+        // a different master seed moves every feed
+        let g = Federation::synthetic(
+            VmClass::C1Medium,
+            3,
+            43,
+            ESTIMATION_START_DAY,
+            ESTIMATION_END_DAY,
+        );
+        assert_ne!(f1.providers()[0].spot.values(), g.providers()[0].spot.values());
     }
 
     #[test]

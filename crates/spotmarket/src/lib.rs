@@ -20,12 +20,15 @@
 //!   paper's §IV assumption).
 //! * [`distribution`] — empirical discrete price distributions and the
 //!   paper's bid-dependent truncation (Eq. 10).
+//! * [`seeds`] — deterministic seed derivation: every random stream of a
+//!   simulation run reproduces from a single master `u64`.
 
 pub mod archive;
 pub mod auction;
 pub mod billing;
 pub mod distribution;
 pub mod federation;
+pub mod seeds;
 pub mod vmclass;
 
 pub use archive::SpotArchive;
@@ -33,4 +36,5 @@ pub use auction::{rental_outcome, RentalOutcome};
 pub use billing::CostRates;
 pub use distribution::EmpiricalDist;
 pub use federation::{Federation, ProviderOffer};
+pub use seeds::{derive_seed, SeedSeq};
 pub use vmclass::VmClass;

@@ -1,0 +1,100 @@
+//! Deterministic seed derivation for every random stream in a simulation.
+//!
+//! A closed-loop run draws from several independent processes — the home
+//! market's price archive, an alternate market, per-tenant demand — and a
+//! run is only reproducible if *all* of them derive from one master seed
+//! printed in the report. [`derive_seed`] maps `(master, label)` to a
+//! stream seed: FNV-1a over the label folded into the master, finished
+//! with a splitmix64 mix so structurally close labels ("tenant-1" /
+//! "tenant-2") land on statistically unrelated seeds.
+//!
+//! The derivation is a pure function — no RNG state — so callers can
+//! re-derive any stream's seed from the printed master without replaying
+//! the run.
+
+/// Derive the seed of the stream named `label` from a master seed.
+///
+/// Deterministic and stable across runs and platforms: the same
+/// `(master, label)` pair always yields the same seed.
+pub fn derive_seed(master: u64, label: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+    for b in label.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    splitmix64(master ^ h)
+}
+
+/// One splitmix64 output step — a strong 64-bit finaliser.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A labelled family of seeds rooted at one master value.
+///
+/// Thin convenience over [`derive_seed`] that keeps the master alongside
+/// the derivations, so reports can print `seq.master()` and tests can
+/// re-derive any stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedSeq {
+    master: u64,
+}
+
+impl SeedSeq {
+    pub fn new(master: u64) -> Self {
+        Self { master }
+    }
+
+    /// The master seed every stream derives from.
+    pub fn master(&self) -> u64 {
+        self.master
+    }
+
+    /// Seed of the stream named `label`.
+    pub fn derive(&self, label: &str) -> u64 {
+        derive_seed(self.master, label)
+    }
+
+    /// Seed of the `index`-th member of an indexed stream family
+    /// (equivalent to `derive("{label}-{index}")`).
+    pub fn derive_indexed(&self, label: &str, index: usize) -> u64 {
+        derive_seed(self.master, &format!("{label}-{index}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_label_sensitive() {
+        assert_eq!(derive_seed(42, "spot"), derive_seed(42, "spot"));
+        assert_ne!(derive_seed(42, "spot"), derive_seed(42, "alt-market"));
+        assert_ne!(derive_seed(42, "spot"), derive_seed(43, "spot"));
+    }
+
+    #[test]
+    fn close_labels_do_not_collide_or_correlate() {
+        let seeds: Vec<u64> = (0..100).map(|i| derive_seed(7, &format!("tenant-{i}"))).collect();
+        let mut sorted = seeds.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), seeds.len(), "collision among tenant seeds");
+        // crude independence check: consecutive seeds differ in many bits
+        for w in seeds.windows(2) {
+            let differing = (w[0] ^ w[1]).count_ones();
+            assert!(differing > 10, "suspiciously correlated seeds {:x} {:x}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn seq_matches_free_function() {
+        let seq = SeedSeq::new(99);
+        assert_eq!(seq.master(), 99);
+        assert_eq!(seq.derive("demand"), derive_seed(99, "demand"));
+        assert_eq!(seq.derive_indexed("tenant", 3), derive_seed(99, "tenant-3"));
+    }
+}

@@ -90,6 +90,15 @@ pub enum EventKind {
         latency_us: u64,
         deadline_met: bool,
     },
+
+    // --- closed-loop simulation layer -------------------------------------
+    /// A tenant's spot capacity was killed mid-plan: the realised price
+    /// rose above the standing bid at this slot.
+    SpotInterrupted { tenant: String, slot: u64, spot: f64, bid: f64 },
+    /// A recovery policy handled an interruption. `cost` is the extra
+    /// realised cost the action incurred in this slot (failover premium,
+    /// checkpoint write, migration transfer).
+    RecoveryApplied { tenant: String, slot: u64, action: &'static str, cost: f64 },
 }
 
 impl EventKind {
@@ -114,6 +123,8 @@ impl EventKind {
             EventKind::CacheLookup { .. } => "cache_lookup",
             EventKind::LadderStep { .. } => "ladder_step",
             EventKind::RequestDone { .. } => "request_done",
+            EventKind::SpotInterrupted { .. } => "spot_interrupted",
+            EventKind::RecoveryApplied { .. } => "recovery_applied",
         }
     }
 }
@@ -228,6 +239,18 @@ impl Event {
                 out.push_str(",\"deadline_met\":");
                 out.push_str(if *deadline_met { "true" } else { "false" });
             }
+            EventKind::SpotInterrupted { tenant, slot, spot, bid } => {
+                field_str(out, "tenant", tenant);
+                field_u64(out, "slot", *slot);
+                field_f64(out, "spot", *spot);
+                field_f64(out, "bid", *bid);
+            }
+            EventKind::RecoveryApplied { tenant, slot, action, cost } => {
+                field_str(out, "tenant", tenant);
+                field_u64(out, "slot", *slot);
+                field_str(out, "action", action);
+                field_f64(out, "cost", *cost);
+            }
         }
     }
 }
@@ -324,6 +347,38 @@ mod tests {
             kind: EventKind::IncumbentImproved { objective: 2.0 },
         };
         assert!(ev.to_json().contains("\"objective\":2.0"), "{}", ev.to_json());
+    }
+
+    #[test]
+    fn sim_events_serialise_flat() {
+        let ev = Event {
+            t_us: 5,
+            worker: 0,
+            span: SpanId::ROOT,
+            kind: EventKind::SpotInterrupted {
+                tenant: "tenant-1".to_string(),
+                slot: 7,
+                spot: 0.25,
+                bid: 0.125,
+            },
+        };
+        assert_eq!(
+            ev.to_json(),
+            "{\"t_us\":5,\"worker\":0,\"span\":0,\"ev\":\"spot_interrupted\",\
+             \"tenant\":\"tenant-1\",\"slot\":7,\"spot\":0.25,\"bid\":0.125}"
+        );
+        let ev = Event {
+            t_us: 6,
+            worker: 0,
+            span: SpanId::ROOT,
+            kind: EventKind::RecoveryApplied {
+                tenant: "tenant-1".to_string(),
+                slot: 7,
+                action: "on_demand_failover",
+                cost: 2.0,
+            },
+        };
+        assert!(ev.to_json().contains("\"action\":\"on_demand_failover\",\"cost\":2.0"));
     }
 
     #[test]

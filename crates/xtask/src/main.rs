@@ -15,6 +15,9 @@
 //! * `cargo run -p xtask -- benchdiff <baseline.json> <current.json>`
 //!   compares two `results/BENCH_*.json` files and fails on wall-clock
 //!   regressions beyond a tolerance (see [`benchdiff`]).
+//! * `cargo run -p xtask -- simreport <report.json>` gates a closed-loop
+//!   sim report: bounded realised/planned ratio, no stranded demand, no
+//!   deadline misses (see [`simreport`]).
 //!
 //! The scan is line-based and deliberately simple: it skips `//` comments
 //! and `#[cfg(test)] mod` blocks (test code may unwrap freely), and the
@@ -22,6 +25,7 @@
 //! *new* debt, not a parser.
 
 mod benchdiff;
+mod simreport;
 mod trace;
 mod watch;
 
@@ -57,9 +61,10 @@ fn main() -> ExitCode {
         Some("trace") => trace::run(&args[1..]),
         Some("watch") => watch::run(&args[1..]),
         Some("benchdiff") => benchdiff::run(&args[1..]),
+        Some("simreport") => simreport::run(&args[1..]),
         _ => {
             eprintln!(
-                "usage: cargo run -p xtask -- lint\n       cargo run -p xtask -- trace <file.jsonl> [--assert-gap-closed] [--gap-tol <rel>]\n       cargo run -p xtask -- watch <addr> [--interval-ms <n>] [--frames <n>]\n       cargo run -p xtask -- benchdiff <baseline.json> <current.json> [--tol <frac>]"
+                "usage: cargo run -p xtask -- lint\n       cargo run -p xtask -- trace <file.jsonl> [--assert-gap-closed] [--gap-tol <rel>]\n       cargo run -p xtask -- watch <addr> [--interval-ms <n>] [--frames <n>]\n       cargo run -p xtask -- benchdiff <baseline.json> <current.json> [--tol <frac>]\n       cargo run -p xtask -- simreport <report.json> [--assert-realised-ratio <ceiling>]"
             );
             ExitCode::from(2)
         }

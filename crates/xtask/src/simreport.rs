@@ -1,0 +1,238 @@
+//! `cargo run -p xtask -- simreport <report.json>` — the closed-loop
+//! simulation SLO gate.
+//!
+//! The input is the JSON written by `cargo run --example spot_sim --
+//! --json <path>` (an `rrp-sim` `SimReport`): one cell per (bid policy ×
+//! recovery policy) pair over a fixed-seed trace. The command renders an
+//! aligned summary and, with `--assert-realised-ratio <ceiling>`, turns
+//! into a CI assertion:
+//!
+//! * every cell's realised/planned ratio must be finite and at most the
+//!   ceiling (the interruption premium stays bounded), and
+//! * no cell may strand demand (`unrecovered_gb` must be ~zero) or miss a
+//!   plan deadline.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::process::ExitCode;
+
+use serde_json::Value;
+
+/// Unrecovered demand below this is float noise, not a stranded shipment.
+const UNRECOVERED_TOL_GB: f64 = 1e-9;
+
+pub fn run(args: &[String]) -> ExitCode {
+    let mut path = None;
+    let mut ceiling = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--assert-realised-ratio" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(c) if c >= 1.0 => ceiling = Some(c),
+                _ => return usage("--assert-realised-ratio needs a ratio >= 1.0 (e.g. 1.5)"),
+            },
+            flag if flag.starts_with('-') => return usage(&format!("unknown flag {flag}")),
+            file if path.is_none() => path = Some(file.to_string()),
+            _ => return usage("need exactly one <report.json>"),
+        }
+    }
+    let Some(path) = path else {
+        return usage("need a <report.json> (write one with spot_sim --json)");
+    };
+
+    let cells = match load(&path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("simreport: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let (report, failures) = check(&cells, ceiling);
+    print!("{report}");
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("simreport: {failures} cell(s) violate the SLO gate");
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("simreport: {msg}");
+    eprintln!(
+        "usage: cargo run -p xtask -- simreport <report.json> [--assert-realised-ratio <ceiling>]"
+    );
+    ExitCode::from(2)
+}
+
+/// One matrix cell, as much of it as the gate needs.
+#[derive(Debug, Clone)]
+struct Cell {
+    bid: String,
+    recovery: String,
+    ratio: f64,
+    interruptions: u64,
+    violated_slots: u64,
+    unrecovered_gb: f64,
+    deadline_misses: u64,
+}
+
+fn load(path: &str) -> Result<Vec<Cell>, String> {
+    let src = fs::read_to_string(path).map_err(|e| e.to_string())?;
+    parse_cells(&src)
+}
+
+fn parse_cells(src: &str) -> Result<Vec<Cell>, String> {
+    let v: Value = serde_json::from_str(src).map_err(|e| format!("invalid JSON: {e:?}"))?;
+    let Some(arr) = v.get("cells").and_then(Value::as_array) else {
+        return Err("expected a SimReport object with a `cells` array".to_string());
+    };
+    if arr.is_empty() {
+        return Err("report has no cells".to_string());
+    }
+    let mut out = Vec::with_capacity(arr.len());
+    for (i, rec) in arr.iter().enumerate() {
+        let (Some(bid), Some(recovery), Some(ratio), Some(unrecovered_gb)) = (
+            rec.get("bid").and_then(Value::as_str),
+            rec.get("recovery").and_then(Value::as_str),
+            rec.get("ratio").and_then(Value::as_f64),
+            rec.get("unrecovered_gb").and_then(Value::as_f64),
+        ) else {
+            return Err(format!("cell {i}: missing bid/recovery/ratio/unrecovered_gb"));
+        };
+        let count = |key: &str| rec.get(key).and_then(Value::as_u64).unwrap_or(0);
+        out.push(Cell {
+            bid: bid.to_string(),
+            recovery: recovery.to_string(),
+            ratio,
+            interruptions: count("interruptions"),
+            violated_slots: count("violated_slots"),
+            unrecovered_gb,
+            deadline_misses: count("deadline_misses"),
+        });
+    }
+    Ok(out)
+}
+
+/// Render the gate table and count violating cells. Without a ceiling the
+/// ratio column is informational and only stranded demand/deadline misses
+/// fail.
+fn check(cells: &[Cell], ceiling: Option<f64>) -> (String, usize) {
+    let mut out = String::new();
+    let mut failures = 0;
+    let _ = writeln!(
+        out,
+        "{:<10} {:<11} {:>7} {:>5} {:>5} {:>9} {:>5}  verdict",
+        "bid", "recovery", "ratio", "intr", "viol", "unrec gb", "miss"
+    );
+    for c in cells {
+        let mut faults = Vec::new();
+        if let Some(max) = ceiling {
+            if !c.ratio.is_finite() || c.ratio > max {
+                faults.push(format!("ratio>{max}"));
+            }
+        }
+        if c.unrecovered_gb.is_nan() || c.unrecovered_gb.abs() > UNRECOVERED_TOL_GB {
+            faults.push("unrecovered".to_string());
+        }
+        if c.deadline_misses > 0 {
+            faults.push("deadline".to_string());
+        }
+        if !faults.is_empty() {
+            failures += 1;
+        }
+        let verdict = if faults.is_empty() { "ok".to_string() } else { faults.join(",") };
+        let _ = writeln!(
+            out,
+            "{:<10} {:<11} {:>7.3} {:>5} {:>5} {:>9.4} {:>5}  {verdict}",
+            c.bid,
+            c.recovery,
+            c.ratio,
+            c.interruptions,
+            c.violated_slots,
+            c.unrecovered_gb,
+            c.deadline_misses
+        );
+    }
+    if let Some(max) = ceiling {
+        let worst = cells.iter().map(|c| c.ratio).fold(f64::NEG_INFINITY, f64::max);
+        let _ = writeln!(out, "worst realised/planned ratio {worst:.4} (ceiling {max})");
+    }
+    (out, failures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(bid: &str, ratio: f64, unrec: f64, miss: u64) -> Cell {
+        Cell {
+            bid: bid.to_string(),
+            recovery: "failover".to_string(),
+            ratio,
+            interruptions: 1,
+            violated_slots: 0,
+            unrecovered_gb: unrec,
+            deadline_misses: miss,
+        }
+    }
+
+    #[test]
+    fn clean_report_passes_with_ceiling() {
+        let cells = [cell("static", 1.24, 0.0, 0), cell("feedback", 1.04, 0.0, 0)];
+        let (report, failures) = check(&cells, Some(1.5));
+        assert_eq!(failures, 0, "{report}");
+        assert!(report.contains("worst realised/planned ratio 1.2400"), "{report}");
+    }
+
+    #[test]
+    fn ratio_above_ceiling_fails() {
+        let cells = [cell("static", 1.8, 0.0, 0)];
+        let (report, failures) = check(&cells, Some(1.5));
+        assert_eq!(failures, 1, "{report}");
+        assert!(report.contains("ratio>1.5"), "{report}");
+    }
+
+    #[test]
+    fn infinite_ratio_fails_under_ceiling() {
+        let cells = [cell("static", f64::INFINITY, 0.0, 0)];
+        let (_, failures) = check(&cells, Some(1.5));
+        assert_eq!(failures, 1);
+    }
+
+    #[test]
+    fn stranded_demand_fails_even_without_ceiling() {
+        let cells = [cell("static", 1.1, 0.35, 0)];
+        let (report, failures) = check(&cells, None);
+        assert_eq!(failures, 1, "{report}");
+        assert!(report.contains("unrecovered"), "{report}");
+    }
+
+    #[test]
+    fn deadline_misses_fail() {
+        let cells = [cell("static", 1.1, 0.0, 2)];
+        let (_, failures) = check(&cells, None);
+        assert_eq!(failures, 1);
+    }
+
+    #[test]
+    fn cells_parse_from_sim_report_json() {
+        let src = r#"{"master_seed":1,"class":"c1.medium","slots":8,"horizon":3,"cells":[
+            {"bid":"static","recovery":"failover","planned":1.0,"realised":1.2,"ratio":1.2,
+             "recovery_overhead":0.0,"interruptions":2,"replans":4,"violated_slots":0,
+             "unmet_demand_gb":0.0,"unrecovered_gb":0.0,"deadline_misses":0}]}"#;
+        let cells = parse_cells(src).expect("parses");
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].bid, "static");
+        assert_eq!(cells[0].recovery, "failover");
+        assert!((cells[0].ratio - 1.2).abs() < 1e-12);
+        assert_eq!(cells[0].interruptions, 2);
+    }
+
+    #[test]
+    fn missing_cells_is_an_error() {
+        assert!(parse_cells(r#"{"master_seed":1}"#).is_err());
+        assert!(parse_cells(r#"{"cells":[]}"#).is_err());
+    }
+}
