@@ -5,7 +5,6 @@
 //! deadline-degraded plan would hand later, less-pressed requests a worse
 //! answer than they could afford to compute.
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -13,7 +12,17 @@ use parking_lot::Mutex;
 use rrp_core::RentalPlan;
 use rrp_milp::Basis;
 
+use crate::bounded::BoundedMap;
 use crate::request::DegradationLevel;
+
+/// Plan-table capacity. A long-running service sees an unbounded stream
+/// of distinct fingerprints (prices and demand shift every re-plan), so
+/// the table must evict; FIFO keeps the most recent working set.
+pub const PLAN_CACHE_CAP: usize = 4096;
+
+/// Basis side-table capacity. Shapes are far fewer than fingerprints
+/// (tenant + model dimensions only), but tenants churn too.
+pub const BASIS_CACHE_CAP: usize = 512;
 
 /// A cached answer: the committed plan and the rung it came from.
 #[derive(Debug, Clone)]
@@ -30,19 +39,41 @@ pub struct CacheEntry {
 /// cache, but the constraint matrix keeps its shape — the previous solve's
 /// final root basis stays dual feasible and warm-starts the new root LP
 /// (see `rrp_milp::MilpOptions::root_basis`).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct PlanCache {
-    map: Mutex<HashMap<u64, CacheEntry>>,
+    map: Mutex<BoundedMap<CacheEntry>>,
     hits: AtomicU64,
     misses: AtomicU64,
-    bases: Mutex<HashMap<u64, Arc<Basis>>>,
+    evictions: AtomicU64,
+    bases: Mutex<BoundedMap<Arc<Basis>>>,
     basis_hits: AtomicU64,
     basis_misses: AtomicU64,
+    basis_evictions: AtomicU64,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        Self::with_caps(PLAN_CACHE_CAP, BASIS_CACHE_CAP)
+    }
 }
 
 impl PlanCache {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A cache with explicit capacities (tests use small ones).
+    pub fn with_caps(plan_cap: usize, basis_cap: usize) -> Self {
+        Self {
+            map: Mutex::new(BoundedMap::new(plan_cap)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            bases: Mutex::new(BoundedMap::new(basis_cap)),
+            basis_hits: AtomicU64::new(0),
+            basis_misses: AtomicU64::new(0),
+            basis_evictions: AtomicU64::new(0),
+        }
     }
 
     /// Look a fingerprint up, counting the access as a hit or miss.
@@ -56,7 +87,8 @@ impl PlanCache {
     }
 
     pub fn insert(&self, key: u64, entry: CacheEntry) {
-        self.map.lock().insert(key, entry);
+        let evicted = self.map.lock().insert(key, entry);
+        self.evictions.fetch_add(evicted as u64, Ordering::Relaxed);
     }
 
     pub fn len(&self) -> usize {
@@ -73,6 +105,11 @@ impl PlanCache {
 
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Plan entries evicted to stay under [`PLAN_CACHE_CAP`].
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     /// Hits over total lookups; 0 when nothing has been looked up yet.
@@ -99,7 +136,8 @@ impl PlanCache {
     /// Store the final root basis of a fully-solved request under its
     /// shape key; later requests of the same shape start warm from it.
     pub fn insert_basis(&self, shape: u64, basis: Arc<Basis>) {
-        self.bases.lock().insert(shape, basis);
+        let evicted = self.bases.lock().insert(shape, basis);
+        self.basis_evictions.fetch_add(evicted as u64, Ordering::Relaxed);
     }
 
     pub fn basis_entries(&self) -> usize {
@@ -112,6 +150,11 @@ impl PlanCache {
 
     pub fn basis_misses(&self) -> u64 {
         self.basis_misses.load(Ordering::Relaxed)
+    }
+
+    /// Basis entries evicted to stay under [`BASIS_CACHE_CAP`].
+    pub fn basis_evictions(&self) -> u64 {
+        self.basis_evictions.load(Ordering::Relaxed)
     }
 
     /// Basis-table hits over lookups; 0 before any lookup.

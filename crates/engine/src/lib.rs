@@ -59,6 +59,7 @@
 //! assert!(resp.expect_plan().is_feasible(&schedule, &PlanningParams::default(), 1e-6));
 //! ```
 
+pub mod bounded;
 pub mod cache;
 pub mod ladder;
 pub mod metrics;

@@ -1,0 +1,90 @@
+//! Regression tests for the bounded plan/basis caches.
+//!
+//! The `unbounded-growth` lint flagged the original `PlanCache`: a
+//! long-running service inserting one entry per distinct fingerprint
+//! (prices and demand shift every rolling-horizon re-plan) grew both
+//! tables without bound. These tests pin the fix — capacity is enforced
+//! under sustained churn, eviction is FIFO, and eviction counters move.
+
+use std::sync::Arc;
+
+use rrp_core::{CostBreakdown, RentalPlan};
+use rrp_engine::cache::{CacheEntry, PlanCache, BASIS_CACHE_CAP, PLAN_CACHE_CAP};
+use rrp_engine::request::DegradationLevel;
+use rrp_milp::Basis;
+
+fn entry(tag: f64) -> CacheEntry {
+    CacheEntry {
+        plan: RentalPlan {
+            alpha: vec![tag],
+            beta: vec![0.0],
+            chi: vec![true],
+            objective: tag,
+            breakdown: CostBreakdown::default(),
+        },
+        degradation: DegradationLevel::Full,
+    }
+}
+
+fn basis(cols: usize) -> Arc<Basis> {
+    Arc::new(Basis { columns: (0..cols).collect(), status: Vec::new() })
+}
+
+#[test]
+fn plan_table_never_exceeds_cap() {
+    let cache = PlanCache::with_caps(8, 8);
+    for key in 0..1000u64 {
+        cache.insert(key, entry(key as f64));
+        assert!(cache.len() <= 8, "len {} exceeded cap after key {key}", cache.len());
+    }
+    assert_eq!(cache.len(), 8);
+    assert_eq!(cache.evictions(), 992);
+}
+
+#[test]
+fn plan_eviction_is_fifo_oldest_first() {
+    let cache = PlanCache::with_caps(3, 3);
+    for key in 0..5u64 {
+        cache.insert(key, entry(key as f64));
+    }
+    assert!(cache.lookup(0).is_none(), "oldest entry evicted");
+    assert!(cache.lookup(1).is_none());
+    let kept = cache.lookup(4).expect("newest entry kept");
+    assert_eq!(kept.plan.objective, 4.0);
+}
+
+#[test]
+fn reinserting_a_cached_key_does_not_evict_neighbours() {
+    let cache = PlanCache::with_caps(2, 2);
+    cache.insert(1, entry(1.0));
+    cache.insert(2, entry(2.0));
+    cache.insert(1, entry(10.0));
+    assert_eq!(cache.evictions(), 0);
+    assert!(cache.lookup(2).is_some(), "replace must not push out key 2");
+    assert_eq!(cache.lookup(1).expect("replaced").plan.objective, 10.0);
+}
+
+#[test]
+fn basis_table_never_exceeds_cap() {
+    let cache = PlanCache::with_caps(4, 4);
+    for shape in 0..100u64 {
+        cache.insert_basis(shape, basis(shape as usize + 1));
+        assert!(cache.basis_entries() <= 4);
+    }
+    assert_eq!(cache.basis_entries(), 4);
+    assert_eq!(cache.basis_evictions(), 96);
+    assert!(cache.lookup_basis(0).is_none(), "oldest shape evicted");
+    assert_eq!(cache.lookup_basis(99).expect("newest shape kept").columns.len(), 100);
+}
+
+#[test]
+fn default_caps_are_the_documented_constants() {
+    let cache = PlanCache::new();
+    assert_eq!((PLAN_CACHE_CAP, BASIS_CACHE_CAP), (4096, 512));
+    // Filling past the plan cap must hold the bound with default caps too.
+    for key in 0..(PLAN_CACHE_CAP as u64 + 10) {
+        cache.insert(key, entry(0.0));
+    }
+    assert_eq!(cache.len(), PLAN_CACHE_CAP);
+    assert_eq!(cache.evictions(), 10);
+}

@@ -1,0 +1,116 @@
+//! Model-checks the plan cache's insert/lookup protocol (mirrors
+//! `PlanCache` over `BoundedMap` in `src/cache.rs`): a mutexed bounded
+//! map with FIFO eviction plus relaxed hit/miss counters. The checked
+//! properties: capacity holds under concurrent inserts, a completed
+//! insert is visible to a later lookup on any schedule, and the counter
+//! total matches the number of lookups (counters may be relaxed because
+//! nothing gates on them — exactly the argument the `relaxed-module`
+//! allowlist entry for cache.rs records).
+
+use std::collections::VecDeque;
+
+use loom::sync::atomic::{AtomicU64, Ordering};
+use loom::sync::{Arc, Mutex};
+
+/// Miniature of `BoundedMap`: FIFO-bounded association list.
+struct Bounded {
+    entries: VecDeque<(u64, u64)>,
+    cap: usize,
+}
+
+impl Bounded {
+    fn insert(&mut self, k: u64, v: u64) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.0 == k) {
+            e.1 = v;
+            return;
+        }
+        self.entries.push_back((k, v));
+        while self.entries.len() > self.cap {
+            self.entries.pop_front();
+        }
+    }
+
+    fn get(&self, k: u64) -> Option<u64> {
+        self.entries.iter().find(|e| e.0 == k).map(|e| e.1)
+    }
+}
+
+struct Cache {
+    map: Mutex<Bounded>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Cache {
+    fn new(cap: usize) -> Self {
+        Self {
+            map: Mutex::new(Bounded { entries: VecDeque::new(), cap }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn lookup(&self, k: u64) -> Option<u64> {
+        let got = self.map.lock().unwrap().get(k);
+        match got {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        got
+    }
+
+    fn insert(&self, k: u64, v: u64) {
+        self.map.lock().unwrap().insert(k, v);
+    }
+}
+
+#[test]
+fn insert_is_visible_to_later_lookup_on_any_schedule() {
+    loom::model(|| {
+        let cache = Arc::new(Cache::new(4));
+        let c2 = Arc::clone(&cache);
+        let writer = loom::thread::spawn(move || {
+            c2.insert(1, 10);
+        });
+        // lookup-or-compute: on a miss this thread computes and inserts
+        // the same plan — the double-compute is allowed, incoherence not
+        if cache.lookup(1).is_none() {
+            cache.insert(1, 10);
+        }
+        writer.join().unwrap();
+        assert_eq!(cache.lookup(1), Some(10), "completed insert must be visible");
+    });
+}
+
+#[test]
+fn concurrent_inserts_never_exceed_cap() {
+    loom::model(|| {
+        let cache = Arc::new(Cache::new(2));
+        let c2 = Arc::clone(&cache);
+        let writer = loom::thread::spawn(move || {
+            c2.insert(1, 10);
+            c2.insert(2, 20);
+        });
+        cache.insert(3, 30);
+        writer.join().unwrap();
+        let len = cache.map.lock().unwrap().entries.len();
+        assert!(len <= 2, "cap must hold under every interleaving, got {len}");
+    });
+}
+
+#[test]
+fn hit_miss_counters_account_for_every_lookup() {
+    loom::model(|| {
+        let cache = Arc::new(Cache::new(4));
+        let c2 = Arc::clone(&cache);
+        let reader = loom::thread::spawn(move || {
+            c2.lookup(1);
+            c2.lookup(2);
+        });
+        cache.insert(1, 10);
+        cache.lookup(1);
+        reader.join().unwrap();
+        let total = cache.hits.load(Ordering::Relaxed) + cache.misses.load(Ordering::Relaxed);
+        assert_eq!(total, 3, "each lookup counts exactly once as hit or miss");
+    });
+}

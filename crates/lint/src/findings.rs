@@ -1,0 +1,120 @@
+//! Findings: what a lint pass reports, and the deterministic JSON
+//! rendering the golden tests and `xtask analyze --json` share.
+
+use std::fmt::Write as _;
+
+/// One diagnostic from one pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Pass name: `token`, `lock-order`, `held-lock`, `relaxed`,
+    /// `unbounded-growth`.
+    pub lint: String,
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    pub line: u32,
+    /// Stable allowlist key — what `lint-allow.txt` entries match on.
+    pub key: String,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Set when an allowlist entry covered this finding; justified
+    /// findings are reported but do not fail the build.
+    pub justified: bool,
+}
+
+/// Sort findings into the canonical order used everywhere findings are
+/// rendered: by file, line, lint, key.
+pub fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, &a.lint, &a.key).cmp(&(&b.file, b.line, &b.lint, &b.key))
+    });
+}
+
+/// Render findings as a deterministic JSON document. Byte-for-byte
+/// stable for a given finding set — the fixture goldens depend on it.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        let _ = write!(
+            out,
+            "\"lint\": {}, \"file\": {}, \"line\": {}, \"key\": {}, \"message\": {}, \"justified\": {}",
+            escape(&f.lint),
+            escape(&f.file),
+            f.line,
+            escape(&f.key),
+            escape(&f.message),
+            f.justified
+        );
+        out.push('}');
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    let open = findings.iter().filter(|f| !f.justified).count();
+    let _ = write!(out, "],\n  \"total\": {},\n  \"unjustified\": {}\n}}\n", findings.len(), open);
+    out
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_deterministic_and_escaped() {
+        let mut fs = vec![
+            Finding {
+                lint: "token".into(),
+                file: "b.rs".into(),
+                line: 2,
+                key: "b.rs: x.unwrap()".into(),
+                message: "says \"hi\"".into(),
+                justified: false,
+            },
+            Finding {
+                lint: "token".into(),
+                file: "a.rs".into(),
+                line: 9,
+                key: "a.rs: y.unwrap()".into(),
+                message: "m".into(),
+                justified: true,
+            },
+        ];
+        sort_findings(&mut fs);
+        assert_eq!(fs[0].file, "a.rs");
+        let json = render_json(&fs);
+        assert!(json.contains("\\\"hi\\\""));
+        assert!(json.contains("\"total\": 2"));
+        assert!(json.contains("\"unjustified\": 1"));
+        assert_eq!(json, render_json(&fs), "stable across calls");
+    }
+
+    #[test]
+    fn empty_findings_render_compact() {
+        let json = render_json(&[]);
+        assert!(json.contains("\"findings\": []"));
+        assert!(json.contains("\"unjustified\": 0"));
+    }
+}

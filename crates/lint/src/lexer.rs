@@ -1,0 +1,408 @@
+//! A total, loss-free Rust lexer.
+//!
+//! Every byte of the input lands in exactly one token, so concatenating
+//! the token texts reproduces the source byte-for-byte (the round-trip
+//! property the `lexer_roundtrip` test pins over the whole workspace).
+//! The lexer never fails: malformed input degrades to `Unknown` tokens or
+//! an unterminated literal that runs to end of file — analysis passes see
+//! a best-effort token stream instead of an error.
+//!
+//! Comments and whitespace are kept as trivia tokens; the parser indexes
+//! past them but lints like the atomic-ordering audit read them (the
+//! `// relaxed-ok:` justification convention lives in trivia).
+
+/// Token classification. Just enough resolution for item parsing and the
+/// lint passes — operators stay one `Punct` per character (`::` is two
+/// `Punct(':')` tokens; passes that care look at adjacency).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Whitespace run (spaces, tabs, newlines).
+    Ws,
+    /// `// …` to end of line (newline excluded), including doc comments.
+    LineComment,
+    /// `/* … */`, nested per Rust rules; unterminated runs to EOF.
+    BlockComment,
+    /// String literal: `"…"`, `b"…"`, `c"…"`, and raw forms `r"…"`,
+    /// `r#"…"#`, `br#"…"#` with any hash count.
+    Str,
+    /// Character or byte-character literal: `'a'`, `'\n'`, `b'x'`.
+    Char,
+    /// Lifetime or loop label: `'a`, `'static`, `'outer`.
+    Lifetime,
+    /// Identifier or keyword, including raw identifiers (`r#fn`).
+    Ident,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Num,
+    /// A single punctuation character.
+    Punct,
+    /// Any byte that fits no other class (stray `\u{…}` fragments, BOM…).
+    Unknown,
+}
+
+/// One token: classification plus the byte range it covers and the
+/// 1-based line its first byte sits on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub start: usize,
+    pub end: usize,
+    pub line: u32,
+}
+
+impl Tok {
+    /// The token's text within the source it was lexed from.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+
+    /// True for whitespace and comments — tokens the parser skips.
+    pub fn is_trivia(&self) -> bool {
+        matches!(self.kind, TokKind::Ws | TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// Lex `src` completely. Total: never panics, never drops a byte.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer { src: src.as_bytes(), pos: 0, line: 1 }.run()
+}
+
+struct Lexer<'s> {
+    src: &'s [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'s> Lexer<'s> {
+    fn run(mut self) -> Vec<Tok> {
+        let mut out = Vec::with_capacity(self.src.len() / 4 + 8);
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let line = self.line;
+            let kind = self.next_kind();
+            debug_assert!(self.pos > start, "lexer must always advance");
+            out.push(Tok { kind, start, end: self.pos, line });
+        }
+        out
+    }
+
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.src.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    /// Advance one byte, tracking line numbers.
+    fn bump(&mut self) {
+        if self.peek(0) == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn next_kind(&mut self) -> TokKind {
+        let c = self.peek(0);
+        if c.is_ascii_whitespace() {
+            while self.pos < self.src.len() && self.peek(0).is_ascii_whitespace() {
+                self.bump();
+            }
+            return TokKind::Ws;
+        }
+        if c == b'/' && self.peek(1) == b'/' {
+            while self.pos < self.src.len() && self.peek(0) != b'\n' {
+                self.bump();
+            }
+            return TokKind::LineComment;
+        }
+        if c == b'/' && self.peek(1) == b'*' {
+            self.bump();
+            self.bump();
+            let mut depth = 1usize;
+            while self.pos < self.src.len() && depth > 0 {
+                if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                } else {
+                    self.bump();
+                }
+            }
+            return TokKind::BlockComment;
+        }
+        if c == b'"' {
+            return self.string_body();
+        }
+        // string/char prefixes and raw identifiers: r" r#" br" b" b' c" cr#"
+        if matches!(c, b'r' | b'b' | b'c') {
+            if let Some(kind) = self.try_prefixed_literal() {
+                return kind;
+            }
+        }
+        if c == b'\'' {
+            return self.lifetime_or_char();
+        }
+        if c == b'_' || c.is_ascii_alphabetic() || c >= 0x80 {
+            return self.ident_body();
+        }
+        if c.is_ascii_digit() {
+            return self.number_body();
+        }
+        if c.is_ascii_punctuation() {
+            self.bump();
+            return TokKind::Punct;
+        }
+        self.bump();
+        TokKind::Unknown
+    }
+
+    /// `"…"` with escapes; unterminated runs to EOF.
+    fn string_body(&mut self) -> TokKind {
+        self.bump(); // opening quote
+        while self.pos < self.src.len() {
+            match self.peek(0) {
+                b'\\' => {
+                    self.bump();
+                    if self.pos < self.src.len() {
+                        self.bump();
+                    }
+                }
+                b'"' => {
+                    self.bump();
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+        TokKind::Str
+    }
+
+    /// Raw string starting at the current `r`/`br`/`cr` position:
+    /// `r##"…"##` with any hash count. Caller verified the shape.
+    fn raw_string_body(&mut self, prefix_len: usize, hashes: usize) -> TokKind {
+        for _ in 0..prefix_len + hashes + 1 {
+            self.bump(); // prefix, hashes, opening quote
+        }
+        while self.pos < self.src.len() {
+            if self.peek(0) == b'"' {
+                let mut matched = true;
+                for h in 0..hashes {
+                    if self.peek(1 + h) != b'#' {
+                        matched = false;
+                        break;
+                    }
+                }
+                if matched {
+                    for _ in 0..hashes + 1 {
+                        self.bump();
+                    }
+                    return TokKind::Str;
+                }
+            }
+            self.bump();
+        }
+        TokKind::Str
+    }
+
+    /// Try to lex `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'`, `c"…"`,
+    /// `cr#"…"#` or a raw identifier `r#ident`. Returns `None` when the
+    /// current position is a plain identifier starting with r/b/c.
+    fn try_prefixed_literal(&mut self) -> Option<TokKind> {
+        let c0 = self.peek(0);
+        let c1 = self.peek(1);
+        // two-byte prefixes: br cr
+        let (prefix_len, raw_capable) = if (c0 == b'b' || c0 == b'c') && c1 == b'r' {
+            (2, true)
+        } else if c0 == b'r' {
+            (1, true)
+        } else {
+            (1, false) // b"…" / b'…' / c"…"
+        };
+        let after = self.peek(prefix_len);
+        if raw_capable {
+            // count hashes after the r
+            let mut hashes = 0usize;
+            while self.peek(prefix_len + hashes) == b'#' {
+                hashes += 1;
+            }
+            let quote = self.peek(prefix_len + hashes);
+            if quote == b'"' {
+                return Some(self.raw_string_body(prefix_len, hashes));
+            }
+            // raw identifier r#ident
+            if prefix_len == 1 && hashes == 1 && (after == b'#') {
+                let id_start = self.peek(2);
+                if id_start == b'_' || id_start.is_ascii_alphabetic() {
+                    self.bump();
+                    self.bump();
+                    return Some(self.ident_body());
+                }
+            }
+        }
+        if prefix_len == 1 {
+            if after == b'"' {
+                self.bump();
+                return Some(self.string_body());
+            }
+            if c0 == b'b' && after == b'\'' {
+                self.bump();
+                self.bump(); // b'
+                return Some(self.char_tail());
+            }
+        }
+        None
+    }
+
+    /// After the opening `'` of a character literal: consume up to and
+    /// including the closing quote. Scanning byte-wise to the quote keeps
+    /// multi-byte chars (`'·'`, `'😀'`) intact — `0x27` never occurs as a
+    /// UTF-8 continuation byte. An unterminated literal stops at the end
+    /// of line so a stray quote cannot swallow the rest of the file.
+    fn char_tail(&mut self) -> TokKind {
+        while self.pos < self.src.len() {
+            match self.peek(0) {
+                b'\\' => {
+                    self.bump();
+                    if self.pos < self.src.len() {
+                        self.bump();
+                    }
+                }
+                b'\'' => {
+                    self.bump();
+                    return TokKind::Char;
+                }
+                b'\n' => return TokKind::Char,
+                _ => self.bump(),
+            }
+        }
+        TokKind::Char
+    }
+
+    /// `'` starts either a lifetime/label (`'a`, `'static`) or a char
+    /// literal (`'x'`, `'\n'`). A quote whose next char begins an
+    /// identifier is a lifetime unless the char after that closes it.
+    fn lifetime_or_char(&mut self) -> TokKind {
+        let n1 = self.peek(1);
+        let n2 = self.peek(2);
+        let ident_start = n1 == b'_' || n1.is_ascii_alphabetic();
+        if ident_start && n2 != b'\'' {
+            self.bump(); // '
+            self.ident_body();
+            return TokKind::Lifetime;
+        }
+        self.bump(); // '
+        self.char_tail()
+    }
+
+    fn ident_body(&mut self) -> TokKind {
+        while self.pos < self.src.len() {
+            let c = self.peek(0);
+            if c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80 {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        TokKind::Ident
+    }
+
+    /// Number: digits with underscores, base prefixes, one `.` when a
+    /// digit follows, exponent with optional sign, alphabetic suffix.
+    fn number_body(&mut self) -> TokKind {
+        let mut prev_exp = false;
+        self.bump(); // leading digit
+        while self.pos < self.src.len() {
+            let c = self.peek(0);
+            if c == b'_' || c.is_ascii_alphanumeric() {
+                prev_exp = (c == b'e' || c == b'E') && !self.in_hex_prefix();
+                self.bump();
+            } else if (c == b'.' || ((c == b'+' || c == b'-') && prev_exp))
+                && self.peek(1).is_ascii_digit()
+            {
+                prev_exp = false;
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        TokKind::Num
+    }
+
+    /// True when this literal began with `0x`/`0X` (so `e` is a digit,
+    /// not an exponent).
+    fn in_hex_prefix(&self) -> bool {
+        // scan back from pos to the literal start is overkill; checking the
+        // two bytes that began the token is enough because number_body is
+        // only entered on an ascii digit.
+        let mut i = self.pos;
+        while i > 0 && (self.src[i - 1].is_ascii_alphanumeric() || self.src[i - 1] == b'_') {
+            i -= 1;
+        }
+        self.src.get(i) == Some(&b'0') && matches!(self.src.get(i + 1), Some(&b'x') | Some(&b'X'))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(src: &str) {
+        let toks = lex(src);
+        let rebuilt: String = toks.iter().map(|t| t.text(src)).collect();
+        assert_eq!(rebuilt, src, "lexer must reproduce input byte-for-byte");
+    }
+
+    #[test]
+    fn roundtrips_basic_shapes() {
+        roundtrip("fn main() { let x = 1.5e-3; }\n");
+        roundtrip("let s = \"a \\\" b // not a comment\"; // real comment\n");
+        roundtrip("let r = r#\"raw \" inside\"#; let b = b\"bytes\";\n");
+        roundtrip("let c = 'x'; let nl = '\\n'; fn f<'a>(v: &'a str) {}\n");
+        roundtrip("let dot = '\u{b7}'; let emoji = '\u{1F600}'; let q = '\\'';\n");
+        roundtrip("/* nested /* block */ comment */ mod m;\n");
+        roundtrip("let hex = 0xFFee_00u64; let f = 2.; let r = 1..4;\n");
+        roundtrip("'outer: loop { break 'outer; }\n");
+        roundtrip("");
+    }
+
+    #[test]
+    fn classifies_lifetime_vs_char() {
+        let src = "fn f<'a>(x: &'a u8) { let c = 'a'; }";
+        let toks = lex(src);
+        let lifetimes = toks.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        let chars = toks.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(lifetimes, 2, "{toks:?}");
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn braces_inside_strings_are_not_puncts() {
+        let src = "let s = \"{ not a brace }\";";
+        let toks = lex(src);
+        let braces = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct && matches!(t.text(src), "{" | "}"))
+            .count();
+        assert_eq!(braces, 0);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let src = "a\nb\n  c";
+        let toks = lex(src);
+        let c = toks.iter().find(|t| t.text(src) == "c").expect("c token");
+        assert_eq!(c.line, 3);
+    }
+
+    #[test]
+    fn unterminated_literals_run_to_eof() {
+        roundtrip("let s = \"never closed");
+        roundtrip("let r = r#\"never closed");
+        roundtrip("/* never closed");
+    }
+
+    #[test]
+    fn total_on_arbitrary_bytes() {
+        roundtrip("\u{FEFF}weird \u{1F600} bytes ~~ @@ ## '' ");
+    }
+}

@@ -1,0 +1,146 @@
+//! `rrp-lint`: std-only static analysis for the workspace.
+//!
+//! Pipeline: [`lexer`] (total, loss-free tokenization) → [`parse`]
+//! (lightweight item parser: fns, structs/fields, uses, mods, statics)
+//! → [`model`] (module graph, struct/field indexes, approximate call
+//! graph, loop reachability) → [`passes`] (token safety scan,
+//! lock-order cycles, held-lock-across-blocking, atomic-ordering audit,
+//! unbounded growth) → [`findings`] (deterministic JSON) gated by
+//! [`allow`] (`lint-allow.txt` with mandatory `reason=` fields).
+//!
+//! The entry point is [`analyze`]; `cargo run -p xtask -- analyze`
+//! drives it. See DESIGN.md § "Static analysis" for what each pass
+//! proves and does not prove.
+
+pub mod allow;
+pub mod findings;
+pub mod lexer;
+pub mod model;
+pub mod parse;
+pub mod passes;
+
+use std::path::Path;
+
+use allow::Allowlist;
+use findings::{sort_findings, Finding};
+use model::Workspace;
+
+/// The result of a full analysis run.
+pub struct Analysis {
+    /// All findings, canonically sorted; `justified` set per allowlist.
+    pub findings: Vec<Finding>,
+    /// Allowlist problems (format errors, dead paths, stale entries) —
+    /// each fails the run just like an unjustified finding.
+    pub allow_errors: Vec<String>,
+    /// Number of source files analysed.
+    pub files: usize,
+}
+
+impl Analysis {
+    /// Findings not covered by the allowlist.
+    pub fn unjustified(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.justified)
+    }
+
+    /// The run is clean: no unjustified findings, no allowlist problems.
+    pub fn is_clean(&self) -> bool {
+        self.allow_errors.is_empty() && self.unjustified().next().is_none()
+    }
+}
+
+/// Run every pass over an already-built workspace model, justify
+/// findings against `allow`, and validate the allowlist itself (paths
+/// exist relative to `root` when given; no entry is stale).
+pub fn analyze_workspace(ws: &Workspace, allow: &Allowlist, root: Option<&Path>) -> Analysis {
+    let mut findings = Vec::new();
+    for pass in passes::default_passes() {
+        findings.extend(pass.run(ws));
+    }
+    for f in &mut findings {
+        f.justified =
+            allow.matches(&f.key) || (f.lint == "relaxed" && allow.matches_relaxed_module(&f.file));
+    }
+    sort_findings(&mut findings);
+
+    let mut allow_errors: Vec<String> =
+        allow.errors.iter().map(|(line, msg)| format!("lint-allow.txt:{line}: {msg}")).collect();
+    if let Some(root) = root {
+        for (line, msg) in allow.validate_paths(root) {
+            allow_errors.push(format!("lint-allow.txt:{line}: {msg}"));
+        }
+    }
+    for e in allow.stale() {
+        allow_errors.push(format!(
+            "lint-allow.txt:{}: stale entry (matches no finding): {}",
+            e.line, e.key
+        ));
+    }
+
+    Analysis { findings, allow_errors, files: ws.files.len() }
+}
+
+/// Analyse the workspace rooted at `root` (`crates/*/src` and
+/// `shims/*/src`) against its `lint-allow.txt`.
+pub fn analyze(root: &Path) -> std::io::Result<Analysis> {
+    let ws = Workspace::load(root)?;
+    let allow_path = root.join("lint-allow.txt");
+    let allow =
+        if allow_path.is_file() { Allowlist::load(&allow_path)? } else { Allowlist::default() };
+    Ok(analyze_workspace(&ws, &allow, Some(root)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parse::parse_file;
+
+    #[test]
+    fn end_to_end_on_a_tiny_tree() {
+        let src = "struct S { a: Mutex<u8>, b: Mutex<u8> }\n\
+                   impl S {\n\
+                     fn ab(&self) { let g = self.a.lock(); let h = self.b.lock(); }\n\
+                     fn ba(&self) { let g = self.b.lock(); let h = self.a.lock(); }\n\
+                   }\n";
+        let ws = Workspace::from_files(vec![parse_file(
+            "crates/x/src/lib.rs".into(),
+            "x".into(),
+            src.into(),
+        )]);
+        let allow = Allowlist::default();
+        let a = analyze_workspace(&ws, &allow, None);
+        assert!(!a.is_clean());
+        assert!(a.findings.iter().any(|f| f.lint == "lock-order"));
+    }
+
+    #[test]
+    fn allowlisted_findings_are_justified_and_entries_not_stale() {
+        let src = "struct S { out: Mutex<u8> }\n\
+                   impl S { fn emit(&self) { let g = self.out.lock(); g.write_all(b\"x\"); } }\n";
+        let ws = Workspace::from_files(vec![parse_file(
+            "crates/x/src/lib.rs".into(),
+            "x".into(),
+            src.into(),
+        )]);
+        let allow = Allowlist::parse(
+            "held-lock crates/x/src/lib.rs: S.out across write_all reason=\"writer mutex\"\n",
+        );
+        let a = analyze_workspace(&ws, &allow, None);
+        assert!(a.is_clean(), "findings: {:?}, errors: {:?}", a.findings, a.allow_errors);
+        assert_eq!(a.findings.len(), 1);
+        assert!(a.findings[0].justified);
+    }
+
+    #[test]
+    fn stale_allow_entry_fails_the_run() {
+        let ws = Workspace::from_files(vec![parse_file(
+            "crates/x/src/lib.rs".into(),
+            "x".into(),
+            "fn f() {}\n".into(),
+        )]);
+        let allow =
+            Allowlist::parse("crates/x/src/lib.rs: gone.unwrap(); reason=\"was needed once\"\n");
+        let a = analyze_workspace(&ws, &allow, None);
+        assert!(!a.is_clean());
+        assert!(a.allow_errors[0].contains("stale"));
+    }
+}

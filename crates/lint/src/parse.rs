@@ -1,0 +1,561 @@
+//! Lightweight item parser over the lexer's token stream.
+//!
+//! This is not a Rust front end — it recognises exactly the surface the
+//! lint passes need: `use` paths, `mod` structure, `struct` fields with
+//! their type text, `fn` signatures and body extents (associated to their
+//! `impl`/`trait` owner), and `static`/`static mut` items. Everything else
+//! is skipped with balanced-delimiter matching, which the lexer makes
+//! safe (braces inside strings and comments are trivia, not structure).
+//!
+//! `#[cfg(test)]`-gated modules and functions are parsed but flagged, so
+//! passes can exempt test code the way the original token lint did.
+
+use crate::lexer::{lex, Tok, TokKind};
+
+/// A parsed source file: raw text, full token stream, and the items found.
+#[derive(Debug)]
+pub struct ParsedFile {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// Name of the crate directory the file belongs to (e.g. `engine`).
+    pub crate_name: String,
+    pub src: String,
+    pub toks: Vec<Tok>,
+    pub fns: Vec<FnDef>,
+    pub structs: Vec<StructDef>,
+    pub uses: Vec<String>,
+    pub mods: Vec<ModDecl>,
+    pub statics: Vec<StaticDef>,
+}
+
+/// A function (free or associated) with its body's token extent.
+#[derive(Debug)]
+pub struct FnDef {
+    pub name: String,
+    /// `impl`/`trait` type the fn is associated with, when any.
+    pub owner: Option<String>,
+    /// Token-index range of the body *contents* (inside the braces),
+    /// `None` for bodiless declarations.
+    pub body: Option<(usize, usize)>,
+    /// True when the first parameter is a `self` receiver.
+    pub has_self: bool,
+    pub line: u32,
+    /// Inside a `#[cfg(test)]` module or carrying `#[test]`/`#[cfg(test)]`.
+    pub in_test: bool,
+}
+
+impl FnDef {
+    /// `Owner::name` for methods, bare `name` for free functions.
+    pub fn qual(&self) -> String {
+        match &self.owner {
+            Some(o) => format!("{o}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+#[derive(Debug)]
+pub struct StructDef {
+    pub name: String,
+    pub fields: Vec<FieldDef>,
+    pub line: u32,
+}
+
+#[derive(Debug)]
+pub struct FieldDef {
+    pub name: String,
+    /// The field's type as space-joined token text, e.g.
+    /// `Mutex < HashMap < u64 , CacheEntry > >`.
+    pub ty: String,
+}
+
+#[derive(Debug)]
+pub struct ModDecl {
+    pub name: String,
+    /// `mod x { … }` vs `mod x;`.
+    pub inline: bool,
+    pub cfg_test: bool,
+    pub line: u32,
+}
+
+#[derive(Debug)]
+pub struct StaticDef {
+    pub name: String,
+    pub mutable: bool,
+    pub line: u32,
+}
+
+/// Parse one file's source. Total like the lexer: malformed source yields
+/// a partial item list, never an error.
+pub fn parse_file(path: String, crate_name: String, src: String) -> ParsedFile {
+    let toks = lex(&src);
+    // indices of non-trivia tokens, the parser's navigation plane
+    let sig: Vec<usize> = (0..toks.len()).filter(|&i| !toks[i].is_trivia()).collect();
+    let mut out = ParsedFile {
+        path,
+        crate_name,
+        src,
+        toks,
+        fns: Vec::new(),
+        structs: Vec::new(),
+        uses: Vec::new(),
+        mods: Vec::new(),
+        statics: Vec::new(),
+    };
+    let n = sig.len();
+    let mut p = Parser { file: &mut out, sig: &sig };
+    p.items(0, n, None, false);
+    out
+}
+
+struct Parser<'f> {
+    file: &'f mut ParsedFile,
+    /// Indices into `file.toks` of non-trivia tokens.
+    sig: &'f [usize],
+}
+
+impl<'f> Parser<'f> {
+    fn text(&self, si: usize) -> &str {
+        let t = self.file.toks[self.sig[si]];
+        t.text(&self.file.src)
+    }
+
+    fn kind(&self, si: usize) -> TokKind {
+        self.file.toks[self.sig[si]].kind
+    }
+
+    fn line(&self, si: usize) -> u32 {
+        self.file.toks[self.sig[si]].line
+    }
+
+    /// Index (in sig space) just past the delimiter-balanced group whose
+    /// opener sits at `si`. Openers: `(`, `[`, `{`.
+    fn skip_group(&self, si: usize, end: usize) -> usize {
+        let open = self.text(si);
+        let close = match open {
+            "(" => ")",
+            "[" => "]",
+            "{" => "}",
+            _ => return si + 1,
+        };
+        let mut depth = 0usize;
+        let mut i = si;
+        while i < end {
+            let t = self.text(i);
+            if t == open {
+                depth += 1;
+            } else if t == close {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            i += 1;
+        }
+        end
+    }
+
+    /// Skip a generics group `<…>` starting at `si` (which must be `<`).
+    /// `->` arrows inside (Fn-trait sugar) do not close the group.
+    fn skip_generics(&self, si: usize, end: usize) -> usize {
+        let mut depth = 0i64;
+        let mut i = si;
+        while i < end {
+            match self.text(i) {
+                "<" => depth += 1,
+                ">" => {
+                    // `->` is an arrow, not a generics close
+                    let arrow = i > 0 && self.text(i - 1) == "-";
+                    if !arrow {
+                        depth -= 1;
+                        if depth == 0 {
+                            return i + 1;
+                        }
+                    }
+                }
+                "(" | "[" | "{" => {
+                    i = self.skip_group(i, end);
+                    continue;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        end
+    }
+
+    /// Parse items in `sig[start..end]`. `owner` is the enclosing
+    /// impl/trait type; `in_test` marks `#[cfg(test)]` scope.
+    fn items(&mut self, start: usize, end: usize, owner: Option<&str>, in_test: bool) {
+        let mut i = start;
+        let mut attr_test = false; // #[cfg(test)] / #[test] seen since last item
+        while i < end {
+            match self.text(i) {
+                "#" => {
+                    // attribute: #[…] or #![…]
+                    let mut j = i + 1;
+                    if j < end && self.text(j) == "!" {
+                        j += 1;
+                    }
+                    if j < end && self.text(j) == "[" {
+                        let close = self.skip_group(j, end);
+                        let attr: String =
+                            (j..close).map(|k| self.text(k)).collect::<Vec<_>>().join(" ");
+                        if attr.contains("cfg ( test )") || attr == "[ test ]" {
+                            attr_test = true;
+                        }
+                        i = close;
+                    } else {
+                        i += 1;
+                    }
+                }
+                "fn" => {
+                    i = self.parse_fn(i, end, owner, in_test || attr_test);
+                    attr_test = false;
+                }
+                "struct" => {
+                    i = self.parse_struct(i, end);
+                    attr_test = false;
+                }
+                "impl" | "trait" => {
+                    i = self.parse_impl_or_trait(i, end, in_test || attr_test);
+                    attr_test = false;
+                }
+                "mod" => {
+                    i = self.parse_mod(i, end, owner, in_test || attr_test);
+                    attr_test = false;
+                }
+                "use" => {
+                    let mut j = i + 1;
+                    let mut path = String::new();
+                    while j < end && self.text(j) != ";" {
+                        path.push_str(self.text(j));
+                        j += 1;
+                    }
+                    self.file.uses.push(path);
+                    i = j + 1;
+                    attr_test = false;
+                }
+                "static" => {
+                    let mutable = i + 1 < end && self.text(i + 1) == "mut";
+                    let name_i = if mutable { i + 2 } else { i + 1 };
+                    if name_i < end && self.kind(name_i) == TokKind::Ident {
+                        self.file.statics.push(StaticDef {
+                            name: self.text(name_i).to_string(),
+                            mutable,
+                            line: self.line(i),
+                        });
+                    }
+                    i = name_i + 1;
+                    attr_test = false;
+                }
+                "{" | "(" | "[" => {
+                    i = self.skip_group(i, end);
+                }
+                _ => i += 1,
+            }
+        }
+    }
+
+    /// `fn name <generics>? ( params ) (-> ret)? (where …)? { body } | ;`
+    fn parse_fn(&mut self, fn_i: usize, end: usize, owner: Option<&str>, in_test: bool) -> usize {
+        let name_i = fn_i + 1;
+        if name_i >= end || self.kind(name_i) != TokKind::Ident {
+            return fn_i + 1;
+        }
+        let name = self.text(name_i).to_string();
+        let line = self.line(fn_i);
+        let mut i = name_i + 1;
+        if i < end && self.text(i) == "<" {
+            i = self.skip_generics(i, end);
+        }
+        if i >= end || self.text(i) != "(" {
+            return name_i + 1;
+        }
+        let params_end = self.skip_group(i, end);
+        let has_self =
+            (i + 1..params_end.saturating_sub(1)).take(4).any(|k| self.text(k) == "self");
+        i = params_end;
+        // scan to body `{` or declaration `;` — return types and where
+        // clauses contain no braces we care about, but skip grouped tokens
+        while i < end {
+            match self.text(i) {
+                "{" => {
+                    let close = self.skip_group(i, end);
+                    self.file.fns.push(FnDef {
+                        name,
+                        owner: owner.map(str::to_string),
+                        body: Some((self.sig[i] + 1, self.sig[close - 1])),
+                        has_self,
+                        line,
+                        in_test,
+                    });
+                    return close;
+                }
+                ";" => {
+                    self.file.fns.push(FnDef {
+                        name,
+                        owner: owner.map(str::to_string),
+                        body: None,
+                        has_self,
+                        line,
+                        in_test,
+                    });
+                    return i + 1;
+                }
+                "(" | "[" => {
+                    i = self.skip_group(i, end);
+                }
+                "<" => {
+                    i = self.skip_generics(i, end);
+                }
+                _ => i += 1,
+            }
+        }
+        end
+    }
+
+    /// `struct Name <generics>? { fields } | ( … ); | ;`
+    fn parse_struct(&mut self, struct_i: usize, end: usize) -> usize {
+        let name_i = struct_i + 1;
+        if name_i >= end || self.kind(name_i) != TokKind::Ident {
+            return struct_i + 1;
+        }
+        let name = self.text(name_i).to_string();
+        let line = self.line(struct_i);
+        let mut i = name_i + 1;
+        if i < end && self.text(i) == "<" {
+            i = self.skip_generics(i, end);
+        }
+        // where clause tokens may precede the brace
+        while i < end && !matches!(self.text(i), "{" | "(" | ";") {
+            if self.text(i) == "<" {
+                i = self.skip_generics(i, end);
+            } else {
+                i += 1;
+            }
+        }
+        if i >= end {
+            return end;
+        }
+        if self.text(i) != "{" {
+            // tuple struct or unit struct: no named fields to index
+            self.file.structs.push(StructDef { name, fields: Vec::new(), line });
+            return self.skip_group(i, end).max(i + 1);
+        }
+        let close = self.skip_group(i, end);
+        let fields = self.parse_fields(i + 1, close - 1);
+        self.file.structs.push(StructDef { name, fields, line });
+        close
+    }
+
+    /// Named fields between struct braces: `[attrs] [pub[(…)]] name : ty ,`
+    fn parse_fields(&self, start: usize, end: usize) -> Vec<FieldDef> {
+        let mut fields = Vec::new();
+        let mut i = start;
+        while i < end {
+            // skip attributes and visibility
+            while i < end && self.text(i) == "#" {
+                let mut j = i + 1;
+                if j < end && self.text(j) == "[" {
+                    j = self.skip_group(j, end);
+                }
+                i = j;
+            }
+            if i < end && self.text(i) == "pub" {
+                i += 1;
+                if i < end && self.text(i) == "(" {
+                    i = self.skip_group(i, end);
+                }
+            }
+            if i + 1 < end && self.kind(i) == TokKind::Ident && self.text(i + 1) == ":" {
+                let name = self.text(i).to_string();
+                let mut j = i + 2;
+                let mut ty = String::new();
+                let mut angle = 0i64;
+                while j < end {
+                    let t = self.text(j);
+                    match t {
+                        "<" => angle += 1,
+                        ">" => angle -= 1,
+                        "," if angle <= 0 => break,
+                        "(" | "[" | "{" => {
+                            let close = self.skip_group(j, end);
+                            for k in j..close {
+                                if !ty.is_empty() {
+                                    ty.push(' ');
+                                }
+                                ty.push_str(self.text(k));
+                            }
+                            j = close;
+                            continue;
+                        }
+                        _ => {}
+                    }
+                    if !ty.is_empty() {
+                        ty.push(' ');
+                    }
+                    ty.push_str(t);
+                    j += 1;
+                }
+                fields.push(FieldDef { name, ty });
+                i = j + 1;
+            } else {
+                i += 1;
+            }
+        }
+        fields
+    }
+
+    /// `impl <g>? Type { … }`, `impl <g>? Trait for Type { … }`,
+    /// `trait Name { … }` — items inside get the type as `owner`.
+    fn parse_impl_or_trait(&mut self, kw_i: usize, end: usize, in_test: bool) -> usize {
+        let is_trait = self.text(kw_i) == "trait";
+        let mut i = kw_i + 1;
+        if i < end && self.text(i) == "<" {
+            i = self.skip_generics(i, end);
+        }
+        // collect header tokens up to the brace, tracking `for`
+        let mut after_for: Option<usize> = None;
+        let header_start = i;
+        while i < end && self.text(i) != "{" {
+            match self.text(i) {
+                "for" => {
+                    after_for = Some(i + 1);
+                    i += 1;
+                }
+                "<" => i = self.skip_generics(i, end),
+                "(" | "[" => i = self.skip_group(i, end),
+                "where" => {
+                    // where clause runs to the brace
+                    while i < end && self.text(i) != "{" {
+                        if self.text(i) == "<" {
+                            i = self.skip_generics(i, end);
+                        } else {
+                            i += 1;
+                        }
+                    }
+                }
+                _ => i += 1,
+            }
+        }
+        if i >= end {
+            return end;
+        }
+        let ty_start = after_for.unwrap_or(header_start);
+        // owner = last plain ident of the type path before generics/brace
+        let mut owner = None;
+        let mut k = ty_start;
+        while k < i {
+            match self.kind(k) {
+                TokKind::Ident if !matches!(self.text(k), "dyn" | "mut" | "const") => {
+                    owner = Some(self.text(k).to_string());
+                    k += 1;
+                }
+                _ if self.text(k) == "<" => {
+                    k = self.skip_generics(k, i);
+                }
+                _ => k += 1,
+            }
+        }
+        if is_trait && owner.is_none() {
+            owner = Some(String::from("<trait>"));
+        }
+        let close = self.skip_group(i, end);
+        let owner_ref = owner.as_deref();
+        self.items(i + 1, close - 1, owner_ref, in_test);
+        close
+    }
+
+    /// `mod name ;` or `mod name { … }` (recursing into the body).
+    fn parse_mod(
+        &mut self,
+        mod_i: usize,
+        end: usize,
+        owner: Option<&str>,
+        cfg_test: bool,
+    ) -> usize {
+        let name_i = mod_i + 1;
+        if name_i >= end || self.kind(name_i) != TokKind::Ident {
+            return mod_i + 1;
+        }
+        let name = self.text(name_i).to_string();
+        let line = self.line(mod_i);
+        let i = name_i + 1;
+        if i < end && self.text(i) == "{" {
+            let close = self.skip_group(i, end);
+            let in_test = cfg_test || name == "tests";
+            self.file.mods.push(ModDecl { name, inline: true, cfg_test: in_test, line });
+            self.items(i + 1, close - 1, owner, in_test);
+            return close;
+        }
+        self.file.mods.push(ModDecl { name, inline: false, cfg_test, line });
+        i + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> ParsedFile {
+        parse_file("x.rs".into(), "x".into(), src.into())
+    }
+
+    #[test]
+    fn finds_free_and_associated_fns() {
+        let f = parse(
+            "fn free() { body(); }\nimpl Engine { fn submit(&self) -> u8 { 0 } }\n\
+             impl Sink for Tee { fn emit(&self) {} }\ntrait T { fn decl(&self); }\n",
+        );
+        let quals: Vec<String> = f.fns.iter().map(FnDef::qual).collect();
+        assert_eq!(quals, ["free", "Engine::submit", "Tee::emit", "T::decl"]);
+        assert!(f.fns[1].has_self);
+        assert!(!f.fns[0].has_self);
+        assert!(f.fns[3].body.is_none());
+    }
+
+    #[test]
+    fn struct_fields_carry_type_text() {
+        let f = parse(
+            "pub struct Cache {\n    map: Mutex<HashMap<u64, Entry>>,\n    hits: AtomicU64,\n}\n",
+        );
+        assert_eq!(f.structs.len(), 1);
+        let fields = &f.structs[0].fields;
+        assert_eq!(fields[0].name, "map");
+        assert!(fields[0].ty.contains("Mutex"), "{}", fields[0].ty);
+        assert!(fields[0].ty.contains("HashMap"), "{}", fields[0].ty);
+        assert_eq!(fields[1].name, "hits");
+    }
+
+    #[test]
+    fn cfg_test_modules_flag_their_fns() {
+        let f = parse("fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n");
+        assert!(!f.fns[0].in_test);
+        assert!(f.fns[1].in_test);
+    }
+
+    #[test]
+    fn generics_with_fn_sugar_do_not_derail() {
+        let f = parse("fn apply<F: Fn(usize) -> bool>(f: F) -> bool { f(1) }\n");
+        assert_eq!(f.fns.len(), 1);
+        assert_eq!(f.fns[0].name, "apply");
+        assert!(f.fns[0].body.is_some());
+    }
+
+    #[test]
+    fn statics_and_uses_are_recorded() {
+        let f = parse("use std::sync::Arc;\nstatic mut COUNTER: u64 = 0;\nstatic OK: u8 = 1;\n");
+        assert_eq!(f.uses.len(), 1);
+        assert!(f.uses[0].contains("Arc"));
+        assert_eq!(f.statics.len(), 2);
+        assert!(f.statics[0].mutable);
+        assert!(!f.statics[1].mutable);
+    }
+
+    #[test]
+    fn strings_with_braces_do_not_break_nesting() {
+        let f = parse("fn a() { let s = \"}}}{{{\"; }\nfn b() {}\n");
+        assert_eq!(f.fns.len(), 2);
+    }
+}

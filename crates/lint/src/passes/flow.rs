@@ -1,0 +1,203 @@
+//! Intra-procedural guard tracking: which locks are held at each call
+//! site inside a function body. Shared by the lock-order and
+//! held-lock-across-blocking passes (and the growth pass, which needs
+//! guard-name → lock aliases).
+//!
+//! The model is scopes, not borrows:
+//! - `let g = self.x.lock()…;` binds a **named guard** that lives until
+//!   its enclosing block closes or an explicit `drop(g)`.
+//! - `self.x.lock().f(…)` (or `let _ = …`) creates a **temp guard** that
+//!   dies at the end of the statement (`;`).
+//! - `lock`/`read`/`write` count as acquisitions only when the receiver
+//!   chain resolves to a struct field whose type is `Mutex`/`RwLock` —
+//!   `file.read(buf)` does not.
+
+use crate::lexer::TokKind;
+use crate::model::{CallSite, FnId, Workspace};
+use std::collections::BTreeMap;
+
+/// What the walker reports at every call site.
+pub struct CallCtx<'a> {
+    pub site: &'a CallSite,
+    /// Lock ids held when the call happens (acquisition order preserved,
+    /// deduplicated). Excludes the lock this very call acquires.
+    pub held: Vec<String>,
+    /// `Some(lock_id)` when this call is itself a lock acquisition.
+    pub acquired: Option<String>,
+    /// Live named guards: `(binding name, lock id)`.
+    pub named_guards: Vec<(String, String)>,
+}
+
+struct Guard {
+    /// `None` for temp guards (including `let _ =` bindings).
+    name: Option<String>,
+    lock: String,
+    depth: usize,
+}
+
+/// Walk one function body in token order, calling `visit` at each call
+/// site with the set of held locks.
+pub fn walk_fn(ws: &Workspace, id: FnId, mut visit: impl FnMut(CallCtx<'_>)) {
+    let file = ws.file(id.0);
+    let f = ws.fn_def(id);
+    let Some((lo, hi)) = f.body else { return };
+    let sig: Vec<usize> = (lo..hi).filter(|&i| !file.toks[i].is_trivia()).collect();
+    let text = |si: usize| file.toks[sig[si]].text(&file.src);
+    let by_tok: BTreeMap<usize, &CallSite> =
+        ws.calls.get(&id).into_iter().flatten().map(|c| (c.tok, c)).collect();
+
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0usize;
+    let mut stmt_start = 0usize; // sig index where the current statement began
+
+    for si in 0..sig.len() {
+        let t = text(si);
+        match t {
+            "{" => {
+                depth += 1;
+                stmt_start = si + 1;
+            }
+            "}" => {
+                guards.retain(|g| g.depth < depth);
+                depth = depth.saturating_sub(1);
+                stmt_start = si + 1;
+            }
+            ";" => {
+                guards.retain(|g| g.name.is_some());
+                stmt_start = si + 1;
+            }
+            _ => {}
+        }
+        let Some(site) = by_tok.get(&sig[si]) else { continue };
+
+        // explicit drop(g) releases the named guard
+        if site.name == "drop" && !site.method {
+            if si + 2 < sig.len() && file.toks[sig[si + 2]].kind == TokKind::Ident {
+                let arg = text(si + 2).to_string();
+                if si + 3 < sig.len() && text(si + 3) == ")" {
+                    guards.retain(|g| g.name.as_deref() != Some(arg.as_str()));
+                }
+            }
+            continue;
+        }
+
+        let mut acquired = None;
+        if site.method && matches!(site.name.as_str(), "lock" | "read" | "write") {
+            if let Some(lid) =
+                ws.resolve_field(&file.crate_name, f.owner.as_deref(), &site.receiver)
+            {
+                if ws.lock_fields.contains(&lid) {
+                    acquired = Some(lid);
+                }
+            }
+        }
+
+        let mut held: Vec<String> = Vec::new();
+        for g in &guards {
+            if !held.contains(&g.lock) {
+                held.push(g.lock.clone());
+            }
+        }
+        let named_guards: Vec<(String, String)> = guards
+            .iter()
+            .filter_map(|g| g.name.as_ref().map(|n| (n.clone(), g.lock.clone())))
+            .collect();
+        visit(CallCtx { site, held, acquired: acquired.clone(), named_guards });
+
+        if let Some(lock) = acquired {
+            // binding: the statement is `let [mut] name = …` — anything
+            // else (`let _`, destructuring, bare expression) is a temp
+            // guard that dies at `;`
+            let mut name = None;
+            if stmt_start < sig.len() && text(stmt_start) == "let" {
+                let mut j = stmt_start + 1;
+                if j < sig.len() && text(j) == "mut" {
+                    j += 1;
+                }
+                if j + 1 < sig.len()
+                    && file.toks[sig[j]].kind == TokKind::Ident
+                    && text(j) != "_"
+                    && (text(j + 1) == "=" || text(j + 1) == ":")
+                {
+                    name = Some(text(j).to_string());
+                }
+            }
+            guards.push(Guard { name, lock, depth });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_file;
+
+    fn ws(src: &str) -> Workspace {
+        Workspace::from_files(vec![parse_file("src/lib.rs".into(), "t".into(), src.into())])
+    }
+
+    fn calls_with_held(src: &str) -> Vec<(String, Vec<String>)> {
+        let w = ws(src);
+        let id = *w.calls.keys().find(|&&(fi, ni)| w.files[fi].fns[ni].name == "f").expect("fn f");
+        let mut out = Vec::new();
+        walk_fn(&w, id, |ctx| out.push((ctx.site.name.clone(), ctx.held.clone())));
+        out
+    }
+
+    #[test]
+    fn named_guard_spans_statements_until_scope_end() {
+        let src = "struct S { a: Mutex<u8> }\n\
+                   impl S { fn f(&self) { let g = self.a.lock(); step(); } fn g(&self) {} }\n\
+                   fn step() {}\n";
+        let calls = calls_with_held(src);
+        let step = calls.iter().find(|(n, _)| n == "step").expect("step call");
+        assert_eq!(step.1, ["S.a"]);
+    }
+
+    #[test]
+    fn temp_guard_dies_at_statement_end() {
+        let src = "struct S { a: Mutex<u8> }\n\
+                   impl S { fn f(&self) { self.a.lock().push(1); step(); } }\n\
+                   fn step() {}\n";
+        let calls = calls_with_held(src);
+        let push = calls.iter().find(|(n, _)| n == "push").expect("push");
+        assert_eq!(push.1, ["S.a"], "temp guard held during chained call");
+        let step = calls.iter().find(|(n, _)| n == "step").expect("step");
+        assert!(step.1.is_empty(), "temp guard released at `;`");
+    }
+
+    #[test]
+    fn drop_releases_named_guard() {
+        let src = "struct S { a: Mutex<u8> }\n\
+                   impl S { fn f(&self) { let g = self.a.lock(); drop(g); step(); } }\n\
+                   fn step() {}\n";
+        let calls = calls_with_held(src);
+        let step = calls.iter().find(|(n, _)| n == "step").expect("step");
+        assert!(step.1.is_empty(), "drop(g) released the lock: {step:?}");
+    }
+
+    #[test]
+    fn inner_scope_guard_released_at_close() {
+        let src = "struct S { a: Mutex<u8>, b: Mutex<u8> }\n\
+                   impl S { fn f(&self) { { let g = self.a.lock(); } let h = self.b.lock(); step(); } }\n\
+                   fn step() {}\n";
+        let calls = calls_with_held(src);
+        let step = calls.iter().find(|(n, _)| n == "step").expect("step");
+        assert_eq!(step.1, ["S.b"], "inner-scope guard gone: {step:?}");
+    }
+
+    #[test]
+    fn acquire_while_held_reports_prior_lock() {
+        let src = "struct S { a: Mutex<u8>, b: Mutex<u8> }\n\
+                   impl S { fn f(&self) { let g = self.a.lock(); let h = self.b.lock(); } }\n";
+        let w = ws(src);
+        let id = *w.calls.keys().next().expect("fn");
+        let mut second = None;
+        walk_fn(&w, id, |ctx| {
+            if ctx.acquired.as_deref() == Some("S.b") {
+                second = Some(ctx.held.clone());
+            }
+        });
+        assert_eq!(second.expect("saw S.b acquire"), ["S.a"]);
+    }
+}

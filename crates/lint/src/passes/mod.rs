@@ -1,0 +1,31 @@
+//! Lint passes. Each pass sees the whole [`Workspace`] model and emits
+//! findings; justification (allowlist matching) happens in the driver,
+//! not here, so passes stay pure and the golden tests can run them
+//! without an allowlist.
+
+pub mod flow;
+pub mod growth;
+pub mod held_blocking;
+pub mod lock_order;
+pub mod relaxed;
+pub mod token;
+
+use crate::findings::Finding;
+use crate::model::Workspace;
+
+/// A lint pass: a name (used as `Finding::lint`) and a run method.
+pub trait Pass {
+    fn name(&self) -> &'static str;
+    fn run(&self, ws: &Workspace) -> Vec<Finding>;
+}
+
+/// Every pass, in pipeline order.
+pub fn default_passes() -> Vec<Box<dyn Pass>> {
+    vec![
+        Box::new(token::TokenPass),
+        Box::new(lock_order::LockOrderPass),
+        Box::new(held_blocking::HeldBlockingPass),
+        Box::new(relaxed::RelaxedPass),
+        Box::new(growth::GrowthPass),
+    ]
+}

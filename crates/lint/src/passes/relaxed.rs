@@ -1,0 +1,139 @@
+//! Atomic-ordering audit: every `Ordering::Relaxed` load/store in
+//! library code must be justified — either inline with a
+//! `// relaxed-ok: <why>` comment on the same line or the line above,
+//! or at module scope with a `relaxed-module <path>` allowlist entry
+//! (for designated counter modules where every atomic is a
+//! monotonically increasing statistic nothing synchronizes on).
+//!
+//! What this proves: no Relaxed operation lands without a human having
+//! written down why the ordering is sufficient. What it does NOT prove:
+//! that the justification is *correct* — that is what the loom-style
+//! model tests are for.
+
+use crate::findings::Finding;
+use crate::lexer::TokKind;
+use crate::model::Workspace;
+use crate::passes::Pass;
+
+pub struct RelaxedPass;
+
+impl Pass for RelaxedPass {
+    fn name(&self) -> &'static str {
+        "relaxed"
+    }
+
+    fn run(&self, ws: &Workspace) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for file in &ws.files {
+            // token ranges belonging to #[cfg(test)] functions
+            let test_ranges: Vec<(usize, usize)> =
+                file.fns.iter().filter(|f| f.in_test).filter_map(|f| f.body).collect();
+            for (i, tok) in file.toks.iter().enumerate() {
+                if tok.kind != TokKind::Ident || tok.text(&file.src) != "Relaxed" {
+                    continue;
+                }
+                // require the `Ordering::Relaxed` path form — a bare
+                // `Relaxed` ident (e.g. an enum variant definition in a
+                // shim) is not a use site
+                if !preceded_by_path_sep(file, i) {
+                    continue;
+                }
+                if test_ranges.iter().any(|&(lo, hi)| i >= lo && i < hi) {
+                    continue;
+                }
+                if has_justifying_comment(file, tok.line, "relaxed-ok") {
+                    continue;
+                }
+                out.push(Finding {
+                    lint: "relaxed".to_string(),
+                    file: file.path.clone(),
+                    line: tok.line,
+                    key: format!("relaxed {}:{}", file.path, tok.line),
+                    message: "Ordering::Relaxed without a `// relaxed-ok:` justification \
+                              (or a relaxed-module allowlist entry)"
+                        .to_string(),
+                    justified: false,
+                });
+            }
+        }
+        out
+    }
+}
+
+fn preceded_by_path_sep(file: &crate::parse::ParsedFile, i: usize) -> bool {
+    let mut seen_colons = 0;
+    for j in (0..i).rev() {
+        let t = &file.toks[j];
+        if t.is_trivia() {
+            continue;
+        }
+        if t.text(&file.src) == ":" {
+            seen_colons += 1;
+            if seen_colons == 2 {
+                return true;
+            }
+        } else {
+            return false;
+        }
+    }
+    false
+}
+
+/// A line or block comment containing `marker` on the same line or the
+/// line immediately above.
+pub fn has_justifying_comment(file: &crate::parse::ParsedFile, line: u32, marker: &str) -> bool {
+    file.toks.iter().any(|t| {
+        matches!(t.kind, TokKind::LineComment | TokKind::BlockComment)
+            && (t.line == line || t.line + 1 == line)
+            && t.text(&file.src).contains(marker)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_file;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let ws =
+            Workspace::from_files(vec![parse_file("src/lib.rs".into(), "t".into(), src.into())]);
+        RelaxedPass.run(&ws)
+    }
+
+    #[test]
+    fn bare_relaxed_use_is_flagged() {
+        let fs = run("fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\n");
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].key, "relaxed src/lib.rs:1");
+    }
+
+    #[test]
+    fn same_line_comment_justifies() {
+        let fs = run(
+            "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); } // relaxed-ok: stat counter\n",
+        );
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn line_above_comment_justifies() {
+        let fs = run(
+            "fn f(c: &AtomicU64) {\n    // relaxed-ok: nothing reads this for synchronization\n    c.fetch_add(1, Ordering::Relaxed);\n}\n",
+        );
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let fs = run(
+            "#[cfg(test)]\nmod tests {\n    fn t(c: &AtomicU64) { c.load(Ordering::Relaxed); }\n}\n",
+        );
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn variant_definitions_are_not_use_sites() {
+        let fs = run("enum Ordering { Relaxed, SeqCst }\n");
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+}

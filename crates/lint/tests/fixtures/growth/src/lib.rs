@@ -1,0 +1,39 @@
+//! Unbounded-growth fixture. Positive: `fill` inserts into a shared
+//! (sync-state-bearing) struct's collection in a loop with no cap.
+//! Negative: `fill_capped` shows eviction evidence in the same
+//! function; `Scratch` has no sync state so it is not long-lived.
+
+pub struct Cache {
+    map: Mutex<HashMap<u64, u8>>,
+    hits: AtomicU64,
+}
+
+impl Cache {
+    pub fn fill(&self) {
+        for k in 0..10 {
+            self.map.lock().insert(k, 1);
+        }
+    }
+
+    pub fn fill_capped(&self) {
+        let mut m = self.map.lock();
+        for k in 0..10 {
+            if m.len() >= CAP {
+                m.clear();
+            }
+            m.insert(k, 1);
+        }
+    }
+}
+
+pub struct Scratch {
+    rows: Vec<u8>,
+}
+
+impl Scratch {
+    pub fn build(&mut self) {
+        for k in 0..10 {
+            self.rows.push(k);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Held-lock-across-blocking fixture. Positive: `bad` keeps the writer
+//! guard alive across `write_all` and `good_scope`'s sibling `recv`.
+//! Negative: `good_scope` closes the guard's scope before blocking;
+//! `no_lock` blocks without ever holding a lock.
+
+pub struct Sinky {
+    out: Mutex<u8>,
+    rx: u8,
+}
+
+impl Sinky {
+    pub fn bad(&self) {
+        let g = self.out.lock();
+        g.write_all(b"x");
+        let _ = g;
+    }
+
+    pub fn good_scope(&self) {
+        {
+            let g = self.out.lock();
+            let _ = g;
+        }
+        self.rx.recv();
+    }
+
+    pub fn no_lock(&self) {
+        self.rx.recv();
+    }
+}

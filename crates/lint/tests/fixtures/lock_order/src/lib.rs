@@ -1,0 +1,41 @@
+//! Lock-order fixture. Positive: `Tangle` acquires its two locks in
+//! both orders (AB in `ab`, BA in `ba`) — a cycle the pass must report.
+//! Negative: `Straight` always takes a before b.
+
+pub struct Tangle {
+    a: Mutex<u8>,
+    b: Mutex<u8>,
+}
+
+impl Tangle {
+    pub fn ab(&self) {
+        let g = self.a.lock();
+        let h = self.b.lock();
+        let _ = (g, h);
+    }
+
+    pub fn ba(&self) {
+        let g = self.b.lock();
+        let h = self.a.lock();
+        let _ = (g, h);
+    }
+}
+
+pub struct Straight {
+    a: Mutex<u8>,
+    b: Mutex<u8>,
+}
+
+impl Straight {
+    pub fn one(&self) {
+        let g = self.a.lock();
+        let h = self.b.lock();
+        let _ = (g, h);
+    }
+
+    pub fn two(&self) {
+        let g = self.a.lock();
+        let h = self.b.lock();
+        let _ = (g, h);
+    }
+}

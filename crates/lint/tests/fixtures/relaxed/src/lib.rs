@@ -1,0 +1,28 @@
+//! Atomic-ordering fixture. Positive: `bump` uses `Relaxed` with no
+//! justification. Negative: `bump_ok` carries a `// relaxed-ok:`
+//! comment; `strict` uses `SeqCst`; `relaxed_ident` mentions a plain
+//! identifier named Relaxed that is not a path segment.
+
+pub struct Counters {
+    n: AtomicU64,
+}
+
+impl Counters {
+    pub fn bump(&self) {
+        self.n.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn bump_ok(&self) {
+        // relaxed-ok: monotonic counter, nothing gates on its value
+        self.n.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn strict(&self) {
+        self.n.fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub fn relaxed_ident(&self) {
+        let Relaxed = 1u8;
+        let _ = Relaxed;
+    }
+}

@@ -1,0 +1,93 @@
+//! Golden tests for the lint passes: each fixture crate under
+//! `tests/fixtures/<lint>/` is analysed in isolation and its findings
+//! JSON compared byte-for-byte against `tests/golden/<lint>.json`.
+//!
+//! Regenerate after an intentional change with
+//! `UPDATE_GOLDEN=1 cargo test -p rrp-lint --test golden` and review
+//! the diff like any other source change.
+
+use std::fs;
+use std::path::PathBuf;
+
+use rrp_lint::allow::Allowlist;
+use rrp_lint::findings::render_json;
+use rrp_lint::model::Workspace;
+use rrp_lint::parse::parse_file;
+use rrp_lint::{analyze_workspace, Analysis};
+
+fn run_fixture(name: &str) -> (String, Analysis) {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    let src = fs::read_to_string(dir.join("src/lib.rs")).expect("fixture source");
+    let ws = Workspace::from_files(vec![parse_file(
+        format!("fixtures/{name}/src/lib.rs"),
+        format!("fixture_{name}"),
+        src,
+    )]);
+    let analysis = analyze_workspace(&ws, &Allowlist::default(), None);
+    (render_json(&analysis.findings), analysis)
+}
+
+fn check_golden(name: &str, json: &str) {
+    let path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(format!("{name}.json"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::write(&path, json).expect("write golden");
+        return;
+    }
+    let want = fs::read_to_string(&path).expect("golden file; regenerate with UPDATE_GOLDEN=1");
+    assert_eq!(
+        json, want,
+        "golden mismatch for `{name}`; if intended, rerun with UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+/// Acceptance criterion: an AB/BA acquisition cycle must fail the run.
+#[test]
+fn lock_order_fixture_fails_on_ab_ba_cycle() {
+    let (json, analysis) = run_fixture("lock_order");
+    check_golden("lock_order", &json);
+    assert!(!analysis.is_clean(), "AB/BA cycle must make the analysis fail");
+    let cycles: Vec<_> = analysis.findings.iter().filter(|f| f.lint == "lock-order").collect();
+    assert!(!cycles.is_empty(), "expected a lock-order finding");
+    assert!(cycles.iter().all(|f| f.key.contains("Tangle")), "cycle must involve Tangle");
+    assert!(
+        !analysis.findings.iter().any(|f| f.key.contains("Straight")),
+        "consistent AB order must stay clean"
+    );
+}
+
+#[test]
+fn held_blocking_fixture_flags_guard_across_write() {
+    let (json, analysis) = run_fixture("held_blocking");
+    check_golden("held_blocking", &json);
+    let held: Vec<_> = analysis.findings.iter().filter(|f| f.lint == "held-lock").collect();
+    assert_eq!(held.len(), 1, "exactly the `bad` fn should be flagged: {held:?}");
+    assert!(held[0].key.contains("write_all"));
+    assert!(
+        !analysis.findings.iter().any(|f| f.lint == "held-lock" && f.key.contains("recv")),
+        "blocking after the guard's scope closes is fine"
+    );
+}
+
+#[test]
+fn relaxed_fixture_flags_only_unjustified_use() {
+    let (json, analysis) = run_fixture("relaxed");
+    check_golden("relaxed", &json);
+    let relaxed: Vec<_> = analysis.findings.iter().filter(|f| f.lint == "relaxed").collect();
+    assert_eq!(relaxed.len(), 1, "only the uncommented Relaxed use: {relaxed:?}");
+    assert_eq!(relaxed[0].line, 12, "the `bump` site, not the relaxed-ok or SeqCst ones");
+}
+
+#[test]
+fn growth_fixture_flags_uncapped_shared_map() {
+    let (json, analysis) = run_fixture("growth");
+    check_golden("growth", &json);
+    let growth: Vec<_> =
+        analysis.findings.iter().filter(|f| f.lint == "unbounded-growth").collect();
+    assert_eq!(growth.len(), 1, "only Cache.map grows unbounded: {growth:?}");
+    assert!(growth[0].key.contains("Cache.map"));
+    assert!(
+        !analysis.findings.iter().any(|f| f.key.contains("Scratch")),
+        "a struct without sync state is not long-lived"
+    );
+}

@@ -1,0 +1,103 @@
+//! The lexer's totality contract, pinned two ways: (1) every `.rs`
+//! file in the workspace lexes without panicking and the concatenated
+//! token texts reproduce the source byte-for-byte; (2) property tests
+//! feed generated strings — fragment soup with unbalanced quotes and
+//! comment openers, and raw unicode — and demand the same round-trip,
+//! with every byte covered by exactly one token in order.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use proptest::prelude::*;
+use rrp_lint::lexer::lex;
+
+fn roundtrip(src: &str) {
+    let toks = lex(src);
+    let mut pos = 0;
+    for t in &toks {
+        assert_eq!(t.start, pos, "tokens must tile the input with no gap or overlap");
+        assert!(t.end > t.start, "empty token at {pos}");
+        pos = t.end;
+    }
+    assert_eq!(pos, src.len(), "tokens must cover the whole input");
+    let rebuilt: String = toks.iter().map(|t| t.text(src)).collect();
+    assert_eq!(rebuilt, src, "concatenated token texts must reproduce the source");
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            walk(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn every_workspace_source_file_roundtrips() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut files = Vec::new();
+    for top in ["crates", "shims", "xtask"] {
+        walk(&root.join(top), &mut files);
+    }
+    assert!(files.len() > 50, "workspace walk looks broken: only {} files", files.len());
+    for path in files {
+        let src = fs::read_to_string(&path).expect("read source");
+        roundtrip(&src);
+    }
+}
+
+/// Fragments with tricky termination rules: unbalanced quotes, raw-string
+/// openers and closers, comment delimiters, lifetimes vs char literals.
+const FRAGMENTS: &[&str] = &[
+    "\"", "'", "r#\"", "\"#", "r\"", "//", "/*", "*/", "b'x'", "b\"", "'a ", "'\\''", "\\", "\n",
+    "\r\n", "0x1f", "1.0e-3", "1_000u64", "r#fn", "🦀", "::", "..=", "let", " ", "\t", "{", "}",
+];
+
+fn fragment_soup((len, seed): (usize, u64)) -> String {
+    let mut x = seed | 1;
+    let mut out = String::new();
+    for _ in 0..len {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        out.push_str(FRAGMENTS[(x >> 33) as usize % FRAGMENTS.len()]);
+    }
+    out
+}
+
+fn unicode_soup((len, seed): (usize, u64)) -> String {
+    let mut x = seed | 1;
+    let mut out = String::new();
+    for _ in 0..len {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        // Dense in ASCII (where the lexer's structure lives), sparse above.
+        let c = if x & 1 == 0 {
+            ((x >> 33) as u8 % 0x80) as char
+        } else {
+            char::from_u32((x >> 33) as u32 % 0xD800).unwrap_or('?')
+        };
+        out.push(c);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn tricky_fragment_soup_roundtrips(src in (0usize..24, any::<u64>()).prop_map(fragment_soup)) {
+        let src: String = src;
+        roundtrip(&src);
+    }
+
+    #[test]
+    fn arbitrary_unicode_roundtrips(src in (0usize..64, any::<u64>()).prop_map(unicode_soup)) {
+        let src: String = src;
+        roundtrip(&src);
+    }
+}

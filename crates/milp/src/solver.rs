@@ -275,9 +275,13 @@ impl<'a> Searcher<'a> {
 
     fn lp_stats(&self) -> LpStats {
         LpStats {
+            // relaxed-ok: telemetry counter read after the search joined
             solves: self.lp_solves.load(AtomicOrdering::Relaxed),
+            // relaxed-ok: telemetry counter
             iterations: self.lp_iters.load(AtomicOrdering::Relaxed),
+            // relaxed-ok: telemetry counter
             warm_attempts: self.warm_attempts.load(AtomicOrdering::Relaxed),
+            // relaxed-ok: telemetry counter
             warm_hits: self.warm_hits.load(AtomicOrdering::Relaxed),
         }
     }
@@ -305,6 +309,7 @@ impl<'a> Searcher<'a> {
     }
 
     fn fresh_id(&self) -> u64 {
+        // relaxed-ok: ids only need uniqueness, which fetch_add gives at any ordering
         self.next_id.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
     }
 
@@ -336,12 +341,16 @@ impl<'a> Searcher<'a> {
 
         let hint = if self.opts.warm_start { node.basis.as_deref() } else { None };
         if hint.is_some() {
+            // relaxed-ok: telemetry counter
             self.warm_attempts.fetch_add(1, AtomicOrdering::Relaxed);
         }
         let warmed = dual::solve_warm_traced(lp, hint, &self.opts.trace, self.span);
+        // relaxed-ok: telemetry counter
         self.lp_solves.fetch_add(1, AtomicOrdering::Relaxed);
+        // relaxed-ok: telemetry counter
         self.lp_iters.fetch_add(warmed.raw.iterations as u64, AtomicOrdering::Relaxed);
         if warmed.warm {
+            // relaxed-ok: telemetry counter
             self.warm_hits.fetch_add(1, AtomicOrdering::Relaxed);
         }
         let (raw, basis) = match warmed.raw.status {

@@ -1,0 +1,89 @@
+//! Model-checks the registry's register/update protocol (mirrors
+//! `Registry::register` in `src/registry.rs`): concurrent registration
+//! of the same series must hand every caller a handle to the SAME
+//! underlying counter, or increments are silently split across orphaned
+//! series. The production code holds the families lock across the
+//! check-and-insert; the `_toctou` variant models the tempting-but-wrong
+//! "check, unlock, insert" refactor and proves the checker rejects it.
+
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use loom::sync::atomic::{AtomicU64, Ordering};
+use loom::sync::{Arc, Mutex};
+
+type Families = BTreeMap<&'static str, Arc<AtomicU64>>;
+
+/// Production shape: one critical section covers lookup and insert.
+fn register(families: &Mutex<Families>, name: &'static str) -> Arc<AtomicU64> {
+    let mut f = families.lock().unwrap();
+    Arc::clone(f.entry(name).or_insert_with(|| Arc::new(AtomicU64::new(0))))
+}
+
+/// SEEDED BUG: releases the lock between the existence check and the
+/// insert, so two racing registrations can each install a fresh counter
+/// (last writer wins; the loser's increments vanish).
+fn register_toctou(families: &Mutex<Families>, name: &'static str) -> Arc<AtomicU64> {
+    {
+        let f = families.lock().unwrap();
+        if let Some(existing) = f.get(name) {
+            return Arc::clone(existing);
+        }
+    }
+    let fresh = Arc::new(AtomicU64::new(0));
+    families.lock().unwrap().insert(name, Arc::clone(&fresh));
+    fresh
+}
+
+#[test]
+fn concurrent_register_shares_one_series() {
+    loom::model(|| {
+        let families: Arc<Mutex<Families>> = Arc::new(Mutex::new(BTreeMap::new()));
+        let f2 = Arc::clone(&families);
+        let h = loom::thread::spawn(move || {
+            let c = register(&f2, "solves");
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        let c = register(&families, "solves");
+        c.fetch_add(1, Ordering::Relaxed);
+        h.join().unwrap();
+        let f = families.lock().unwrap();
+        assert_eq!(f.len(), 1, "both registrations must land on one family");
+        assert_eq!(f["solves"].load(Ordering::Relaxed), 2, "no increment may be lost");
+    });
+}
+
+#[test]
+fn register_then_concurrent_update_is_stable() {
+    loom::model(|| {
+        let families: Arc<Mutex<Families>> = Arc::new(Mutex::new(BTreeMap::new()));
+        let c = register(&families, "nodes");
+        let c2 = Arc::clone(&c);
+        let h = loom::thread::spawn(move || {
+            c2.fetch_add(5, Ordering::Relaxed);
+        });
+        c.fetch_add(3, Ordering::Relaxed);
+        h.join().unwrap();
+        assert_eq!(c.load(Ordering::Relaxed), 8);
+    });
+}
+
+#[test]
+fn checker_rejects_check_then_insert_without_lock() {
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        loom::model(|| {
+            let families: Arc<Mutex<Families>> = Arc::new(Mutex::new(BTreeMap::new()));
+            let f2 = Arc::clone(&families);
+            let h = loom::thread::spawn(move || {
+                let c = register_toctou(&f2, "solves");
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+            let c = register_toctou(&families, "solves");
+            c.fetch_add(1, Ordering::Relaxed);
+            h.join().unwrap();
+            let f = families.lock().unwrap();
+            assert_eq!(f["solves"].load(Ordering::Relaxed), 2, "an increment was lost");
+        });
+    }));
+    assert!(err.is_err(), "the checker must find the register/register race");
+}

@@ -92,6 +92,7 @@ impl TraceHandle {
     pub fn open_span(&self, name: &'static str, parent: SpanId) -> SpanId {
         match &self.inner {
             Some(inner) => {
+                // relaxed-ok: span ids only need uniqueness, not ordering
                 let id = SpanId(inner.next_span.fetch_add(1, Ordering::Relaxed));
                 self.emit(id, EventKind::SpanOpen { name, parent });
                 id

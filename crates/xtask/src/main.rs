@@ -1,12 +1,13 @@
 //! Workspace automation.
 //!
-//! * `cargo run -p xtask -- lint` runs the solver-safety lint gate: a
-//!   static scan of every library source file in `crates/*/src` for
-//!   patterns that have no place on a solver hot path — aborts
-//!   (`unwrap`/`expect`/`panic!`-family macros) and exact floating point
-//!   equality. Violations fail the run unless they are recorded in
-//!   `lint-allow.txt` (one `path: trimmed-line` entry per line) with a
-//!   justification comment.
+//! * `cargo run -p xtask -- analyze` runs the full static-analysis gate
+//!   from `rrp-lint`: the token-level solver-safety scan (no
+//!   unwrap/panic/float-`==`) plus the concurrency passes (lock-order
+//!   cycles, held-lock-across-blocking, atomic-ordering audit,
+//!   unbounded growth), justified against `lint-allow.txt` (see
+//!   [`analyze`]).
+//! * `cargo run -p xtask -- lint` is the same gate under its historical
+//!   name — kept so muscle memory and old scripts keep working.
 //! * `cargo run -p xtask -- trace <file.jsonl>` renders a report from an
 //!   `rrp-trace` JSONL stream (see [`trace`]); `--assert-gap-closed` is
 //!   the CI assertion mode.
@@ -18,372 +19,36 @@
 //! * `cargo run -p xtask -- simreport <report.json>` gates a closed-loop
 //!   sim report: bounded realised/planned ratio, no stranded demand, no
 //!   deadline misses (see [`simreport`]).
-//!
-//! The scan is line-based and deliberately simple: it skips `//` comments
-//! and `#[cfg(test)] mod` blocks (test code may unwrap freely), and the
-//! allowlist absorbs the rare justified use. It is a tripwire against
-//! *new* debt, not a parser.
 
+mod analyze;
 mod benchdiff;
 mod simreport;
 mod trace;
 mod watch;
 
-use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-
-/// One forbidden pattern: the needle searched for and the rule label
-/// reported with a hit.
-const PATTERNS: &[(&str, &str)] = &[
-    (".unwrap()", "no-unwrap"),
-    (".expect(", "no-expect"),
-    ("panic!(", "no-panic"),
-    ("unreachable!(", "no-unreachable"),
-    ("todo!(", "no-todo"),
-    ("unimplemented!(", "no-unimplemented"),
-    (".iter().nth(", "no-linear-nth"),
-    (".remove(0)", "no-front-remove"),
-];
-
-#[derive(Debug)]
-struct Violation {
-    file: String,
-    line: usize,
-    rule: &'static str,
-    content: String,
-}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => lint(),
+        Some("analyze") => analyze::run(&args[1..]),
+        Some("lint") => analyze::run(&args[1..]),
         Some("trace") => trace::run(&args[1..]),
         Some("watch") => watch::run(&args[1..]),
         Some("benchdiff") => benchdiff::run(&args[1..]),
         Some("simreport") => simreport::run(&args[1..]),
         _ => {
             eprintln!(
-                "usage: cargo run -p xtask -- lint\n       cargo run -p xtask -- trace <file.jsonl> [--assert-gap-closed] [--gap-tol <rel>]\n       cargo run -p xtask -- watch <addr> [--interval-ms <n>] [--frames <n>]\n       cargo run -p xtask -- benchdiff <baseline.json> <current.json> [--tol <frac>]\n       cargo run -p xtask -- simreport <report.json> [--assert-realised-ratio <ceiling>]"
+                "usage: cargo run -p xtask -- analyze [--deny all] [--json <path|->] [--bench-out <path>]\n       cargo run -p xtask -- trace <file.jsonl> [--assert-gap-closed] [--gap-tol <rel>]\n       cargo run -p xtask -- watch <addr> [--interval-ms <n>] [--frames <n>]\n       cargo run -p xtask -- benchdiff <baseline.json> <current.json> [--tol <frac>]\n       cargo run -p xtask -- simreport <report.json> [--assert-realised-ratio <ceiling>]"
             );
             ExitCode::from(2)
         }
     }
 }
 
-fn lint() -> ExitCode {
-    let root = repo_root();
-    let allow_path = root.join("lint-allow.txt");
-    let allow_raw = fs::read_to_string(&allow_path).unwrap_or_default();
-    let allowed: Vec<&str> =
-        allow_raw.lines().map(str::trim).filter(|l| !l.is_empty() && !l.starts_with('#')).collect();
-
-    let mut files = Vec::new();
-    collect_library_sources(&root, &mut files);
-    files.sort();
-
-    let mut violations = Vec::new();
-    for file in &files {
-        let Ok(src) = fs::read_to_string(file) else {
-            eprintln!("warning: unreadable source file {}", file.display());
-            continue;
-        };
-        let rel = file.strip_prefix(&root).unwrap_or(file).to_string_lossy().replace('\\', "/");
-        scan_file(&rel, &src, &mut violations);
-    }
-
-    let mut used = vec![false; allowed.len()];
-    let mut failures = Vec::new();
-    for v in violations {
-        let key = format!("{}: {}", v.file, v.content);
-        match allowed.iter().position(|&a| a == key) {
-            Some(i) => used[i] = true,
-            None => failures.push(v),
-        }
-    }
-
-    for (i, &entry) in allowed.iter().enumerate() {
-        if !used[i] {
-            eprintln!("note: stale lint-allow.txt entry (no longer matches): {entry}");
-        }
-    }
-
-    if failures.is_empty() {
-        println!(
-            "lint: {} files clean ({} allowlisted)",
-            files.len(),
-            used.iter().filter(|&&u| u).count()
-        );
-        return ExitCode::SUCCESS;
-    }
-    eprintln!("lint: {} violation(s):", failures.len());
-    for v in &failures {
-        eprintln!("  {}:{}: [{}] {}", v.file, v.line, v.rule, v.content);
-    }
-    eprintln!(
-        "\nfix the line, or record it in lint-allow.txt as\n  <path>: <trimmed line>\nwith a comment justifying why it cannot fail."
-    );
-    ExitCode::FAILURE
-}
-
 /// The workspace root: two levels above this crate's manifest.
-fn repo_root() -> PathBuf {
+pub(crate) fn repo_root() -> PathBuf {
     let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     manifest.parent().and_then(Path::parent).map(Path::to_path_buf).unwrap_or(manifest)
-}
-
-/// Every `.rs` under `crates/*/src`, except this automation crate itself
-/// (its source contains the forbidden patterns as search needles) and
-/// `src/bin` CLI tools (a top-level binary may abort on bad input; the
-/// gate protects library code that services and solvers link against).
-fn collect_library_sources(root: &Path, out: &mut Vec<PathBuf>) {
-    let crates = root.join("crates");
-    let Ok(entries) = fs::read_dir(&crates) else {
-        return;
-    };
-    for entry in entries.flatten() {
-        let dir = entry.path();
-        if dir.file_name().is_some_and(|n| n == "xtask") {
-            continue;
-        }
-        walk_rs(&dir.join("src"), out);
-    }
-}
-
-fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = fs::read_dir(dir) else {
-        return;
-    };
-    for entry in entries.flatten() {
-        let p = entry.path();
-        if p.is_dir() {
-            if p.file_name().is_some_and(|n| n == "bin") {
-                continue;
-            }
-            walk_rs(&p, out);
-        } else if p.extension().is_some_and(|e| e == "rs") {
-            out.push(p);
-        }
-    }
-}
-
-/// Scan one file, appending violations. Lines inside `#[cfg(test)]`-gated
-/// blocks and `//` comments are exempt.
-fn scan_file(rel: &str, src: &str, out: &mut Vec<Violation>) {
-    // depth of the brace block being skipped, when inside #[cfg(test)]
-    let mut skip_depth: Option<i64> = None;
-    let mut pending_cfg_test = false;
-    for (idx, raw) in src.lines().enumerate() {
-        let line = raw.trim();
-        if let Some(depth) = skip_depth.as_mut() {
-            *depth += brace_delta(line);
-            if *depth <= 0 {
-                skip_depth = None;
-            }
-            continue;
-        }
-        if line.starts_with("//") {
-            continue;
-        }
-        if line.contains("#[cfg(test)]") {
-            pending_cfg_test = true;
-            continue;
-        }
-        if pending_cfg_test {
-            if line.starts_with("#[") || line.is_empty() {
-                continue; // more attributes between cfg(test) and the item
-            }
-            let d = brace_delta(line);
-            pending_cfg_test = false;
-            if d > 0 {
-                skip_depth = Some(d);
-            }
-            continue;
-        }
-        let code = strip_line_comment(line);
-        for &(needle, rule) in PATTERNS {
-            if code.contains(needle) {
-                out.push(Violation {
-                    file: rel.to_string(),
-                    line: idx + 1,
-                    rule,
-                    content: line.to_string(),
-                });
-            }
-        }
-        if has_float_eq(code) {
-            out.push(Violation {
-                file: rel.to_string(),
-                line: idx + 1,
-                rule: "no-float-eq",
-                content: line.to_string(),
-            });
-        }
-    }
-}
-
-/// `{`-minus-`}` count of a line, ignoring braces inside string literals.
-fn brace_delta(line: &str) -> i64 {
-    let mut delta = 0i64;
-    let mut in_str = false;
-    let mut escaped = false;
-    for c in line.chars() {
-        if escaped {
-            escaped = false;
-            continue;
-        }
-        match c {
-            '\\' if in_str => escaped = true,
-            '"' => in_str = !in_str,
-            '{' if !in_str => delta += 1,
-            '}' if !in_str => delta -= 1,
-            _ => {}
-        }
-    }
-    delta
-}
-
-/// Cut the line at a `//` that is not inside a string literal.
-fn strip_line_comment(line: &str) -> &str {
-    let b = line.as_bytes();
-    let mut in_str = false;
-    let mut escaped = false;
-    for i in 0..b.len() {
-        if escaped {
-            escaped = false;
-            continue;
-        }
-        match b[i] {
-            b'\\' if in_str => escaped = true,
-            b'"' => in_str = !in_str,
-            b'/' if !in_str && i + 1 < b.len() && b[i + 1] == b'/' => return &line[..i],
-            _ => {}
-        }
-    }
-    line
-}
-
-/// True when the line compares with `==`/`!=` and either operand is a
-/// floating-point literal. Exact float equality on a solver path is almost
-/// always a tolerance bug; spell a genuine bit-compare via `to_bits()` or
-/// allowlist it.
-fn has_float_eq(code: &str) -> bool {
-    let b = code.as_bytes();
-    let mut i = 0;
-    while i + 1 < b.len() {
-        let is_eq = b[i] == b'=' && b[i + 1] == b'=';
-        let is_ne = b[i] == b'!' && b[i + 1] == b'=';
-        if is_eq || is_ne {
-            let prev = if i == 0 { b' ' } else { b[i - 1] };
-            let next = if i + 2 < b.len() { b[i + 2] } else { b' ' };
-            // for `==`, make sure this is not the tail of `!=`/`<=`-style
-            // compounds; `!=` is unambiguous on its own
-            let standalone = is_ne || (!matches!(prev, b'<' | b'>' | b'=' | b'!') && next != b'=');
-            if standalone {
-                let left = token_before(code, i);
-                let right = token_after(code, i + 2);
-                if is_float_literal(&left) || is_float_literal(&right) {
-                    return true;
-                }
-            }
-            i += 2;
-        } else {
-            i += 1;
-        }
-    }
-    false
-}
-
-fn token_before(code: &str, end: usize) -> String {
-    let b = code.as_bytes();
-    let mut i = end;
-    while i > 0 && (b[i - 1] == b' ') {
-        i -= 1;
-    }
-    let stop = i;
-    while i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'.' || b[i - 1] == b'_') {
-        i -= 1;
-    }
-    code[i..stop].to_string()
-}
-
-fn token_after(code: &str, start: usize) -> String {
-    let b = code.as_bytes();
-    let mut i = start;
-    while i < b.len() && b[i] == b' ' {
-        i += 1;
-    }
-    let begin = i;
-    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'.' || b[i] == b'_') {
-        i += 1;
-    }
-    code[begin..i].to_string()
-}
-
-/// `1.0`, `0.5f64`, `1e-9`, `2.` — digits with a dot or an exponent. Must
-/// start with a digit (Rust has no `.5` literal, and `.0` here is a tuple
-/// field access).
-fn is_float_literal(tok: &str) -> bool {
-    let t = tok.trim_end_matches("f64").trim_end_matches("f32").trim_end_matches('_');
-    if !t.starts_with(|c: char| c.is_ascii_digit()) {
-        return false;
-    }
-    let mut has_digit = false;
-    let mut has_dot_or_exp = false;
-    for c in t.chars() {
-        match c {
-            '0'..='9' => has_digit = true,
-            '.' => has_dot_or_exp = true,
-            'e' | 'E' => has_dot_or_exp = has_digit, // exponent needs a mantissa
-            '_' | '+' | '-' => {}
-            _ => return false,
-        }
-    }
-    has_digit && has_dot_or_exp
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn hits(src: &str) -> Vec<String> {
-        let mut v = Vec::new();
-        scan_file("x.rs", src, &mut v);
-        v.into_iter().map(|x| x.rule.to_string()).collect()
-    }
-
-    #[test]
-    fn forbidden_patterns_flagged_outside_tests() {
-        let rules = hits("fn f() {\n    let x = y.unwrap();\n}\n");
-        assert_eq!(rules, ["no-unwrap"]);
-    }
-
-    #[test]
-    fn cfg_test_blocks_are_exempt() {
-        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\nfn lib2() { z.unwrap(); }\n";
-        assert_eq!(hits(src), ["no-unwrap"]); // only lib2's
-    }
-
-    #[test]
-    fn comments_are_exempt() {
-        assert!(hits("// calls .unwrap() freely\nfn f() {} // then .unwrap()\n").is_empty());
-    }
-
-    #[test]
-    fn float_eq_detected() {
-        assert_eq!(hits("fn f(a: f64) { if a == 0.0 {} }\n"), ["no-float-eq"]);
-        assert_eq!(hits("fn f(a: f64) { if 1.5 != a {} }\n"), ["no-float-eq"]);
-        assert!(hits("fn f(a: usize) { if a == 0 {} }\n").is_empty());
-        assert!(hits("fn f(a: f64, b: f64) { if a <= 0.0 {} }\n").is_empty());
-    }
-
-    #[test]
-    fn float_literal_shapes() {
-        assert!(is_float_literal("1.0"));
-        assert!(is_float_literal("0.5f64"));
-        assert!(is_float_literal("1e-9"));
-        assert!(!is_float_literal("0"));
-        assert!(!is_float_literal("Some"));
-        assert!(!is_float_literal(""));
-    }
 }

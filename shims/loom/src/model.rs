@@ -1,0 +1,122 @@
+//! The exploration driver: runs the model closure under every schedule
+//! the bounded-preemption DFS generates, propagating the first failure
+//! (assertion panic or deadlock) with the offending schedule already
+//! minimal by construction (DFS tries the preemption-free path first).
+
+use std::panic;
+use std::sync::Arc;
+
+use crate::sched::{next_replay, AbortExecution, Scheduler, ThreadState};
+
+/// Exploration limits. `preemption_bound` is the maximum number of
+/// times a *runnable* thread may be switched away from along one
+/// execution (forced switches at blocking points are free); 2 reaches
+/// the vast majority of concurrency bugs while keeping the schedule
+/// space small. `max_iterations` is a hard cap on explored executions —
+/// exceeding it fails the test rather than silently under-exploring.
+pub struct Builder {
+    pub preemption_bound: usize,
+    pub max_iterations: usize,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Self { preemption_bound: 2, max_iterations: 50_000 }
+    }
+}
+
+impl Builder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Explore every schedule of `f` within the bounds. Returns the
+    /// number of executions explored; panics on the first deadlock or
+    /// user panic, or if `max_iterations` is exceeded.
+    pub fn check<F>(&self, f: F) -> usize
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let mut replay: Vec<usize> = Vec::new();
+        let mut executions = 0usize;
+        loop {
+            executions += 1;
+            assert!(
+                executions <= self.max_iterations,
+                "loom: exceeded {} executions without exhausting the schedule space; \
+                 shrink the model or raise Builder::max_iterations",
+                self.max_iterations
+            );
+            let sched = Arc::new(Scheduler::new(replay.clone()));
+            {
+                let mut st = sched.lock_state();
+                st.threads.push(ThreadState::Runnable);
+                st.active = 0;
+            }
+            let root = {
+                let f = Arc::clone(&f);
+                let sched = Arc::clone(&sched);
+                std::thread::Builder::new()
+                    .name("loom-0".to_string())
+                    .spawn(move || crate::thread::thread_main(sched, 0, move || f()))
+                    .expect("spawn loom root thread")
+            };
+            // wait until every controlled thread has finished
+            {
+                let mut st = sched.lock_state();
+                while !st.threads.iter().all(|s| *s == ThreadState::Finished) {
+                    st = match sched.cv.wait(st) {
+                        Ok(g) => g,
+                        Err(poisoned) => poisoned.into_inner(),
+                    };
+                }
+            }
+            let _ = root.join();
+            let (handles, deadlock, payload, trace) = {
+                let mut st = sched.lock_state();
+                (
+                    std::mem::take(&mut st.os_handles),
+                    st.deadlock.take(),
+                    st.panic_payload.take(),
+                    std::mem::take(&mut st.trace),
+                )
+            };
+            for h in handles {
+                let _ = h.join();
+            }
+            if let Some(d) = deadlock {
+                panic!(
+                    "loom: deadlock detected after {executions} execution(s)\n{d}\
+                     schedule: {:?}",
+                    trace.iter().map(|t| t.runnable[t.chosen]).collect::<Vec<_>>()
+                );
+            }
+            if let Some(p) = payload {
+                eprintln!(
+                    "loom: failing schedule (thread per decision): {:?}",
+                    trace.iter().map(|t| t.runnable[t.chosen]).collect::<Vec<_>>()
+                );
+                panic::resume_unwind(p);
+            }
+            match next_replay(&trace, self.preemption_bound) {
+                Some(next) => replay = next,
+                None => return executions,
+            }
+        }
+    }
+}
+
+/// Explore `f` under the default bounds (see [`Builder`]).
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::default().check(f);
+}
+
+/// True when `payload` is the internal teardown signal rather than a
+/// user panic.
+pub(crate) fn is_abort(payload: &(dyn std::any::Any + Send)) -> bool {
+    payload.is::<AbortExecution>()
+}

@@ -1,0 +1,265 @@
+//! The cooperative scheduler behind [`crate::model`]: real OS threads,
+//! gate-serialized so exactly one runs at a time, with every operation
+//! on a loom sync object acting as a *decision point* where the
+//! scheduler may hand the gate to another runnable thread.
+//!
+//! Exploration is a DFS over decision sequences: each execution records
+//! the runnable set and the choice taken at every decision point; the
+//! driver backtracks to the deepest point with an untried alternative
+//! (subject to the preemption bound) and replays that prefix. Because
+//! context switches only happen at operations on shared objects, purely
+//! local computation is never interleaved — the partial-order reduction
+//! that keeps small models tractable.
+
+use std::cell::RefCell;
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+/// Panic payload used to unwind controlled threads when an execution is
+/// torn down (deadlock found, another thread failed an assertion, or the
+/// model completed abnormally). Caught at the top of every controlled
+/// thread and never shown to the user.
+pub(crate) struct AbortExecution;
+
+/// What a blocked thread is waiting for.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Waiting {
+    Mutex(usize),
+    Condvar(usize),
+    Join(usize),
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum ThreadState {
+    Runnable,
+    Blocked(Waiting),
+    Finished,
+}
+
+/// One recorded decision point: the canonically-ordered runnable set
+/// (the thread that was active first, then ascending id — so index 0 is
+/// always the preemption-free continuation) and the index chosen.
+pub(crate) struct Decision {
+    pub runnable: Vec<usize>,
+    pub chosen: usize,
+    pub current: usize,
+    pub current_runnable: bool,
+}
+
+impl Decision {
+    /// 1 if taking `idx` at this point preempts a runnable thread.
+    pub(crate) fn cost(&self, idx: usize) -> usize {
+        usize::from(self.current_runnable && self.runnable[idx] != self.current)
+    }
+}
+
+pub(crate) struct State {
+    pub threads: Vec<ThreadState>,
+    pub active: usize,
+    /// Choice indices to replay from the previous execution's prefix.
+    pub replay: Vec<usize>,
+    pub step: usize,
+    pub trace: Vec<Decision>,
+    /// Set on deadlock or user panic: every thread unwinds at its next
+    /// scheduler interaction.
+    pub abort: bool,
+    pub deadlock: Option<String>,
+    pub panic_payload: Option<Box<dyn std::any::Any + Send>>,
+    pub next_obj: usize,
+    pub os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+pub(crate) struct Scheduler {
+    pub state: StdMutex<State>,
+    pub cv: StdCondvar,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Scheduler>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The scheduler + thread id of the calling controlled thread. Panics
+/// (with a real message, not an abort) when a loom primitive is used
+/// outside `loom::model`.
+pub(crate) fn current() -> (Arc<Scheduler>, usize) {
+    CURRENT.with(|c| c.borrow().clone()).expect("loom primitives must be used inside loom::model")
+}
+
+pub(crate) fn set_current(sched: Arc<Scheduler>, tid: usize) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((sched, tid)));
+}
+
+impl Scheduler {
+    pub(crate) fn new(replay: Vec<usize>) -> Self {
+        Self {
+            state: StdMutex::new(State {
+                threads: Vec::new(),
+                active: 0,
+                replay,
+                step: 0,
+                trace: Vec::new(),
+                abort: false,
+                deadlock: None,
+                panic_payload: None,
+                next_obj: 0,
+                os_handles: Vec::new(),
+            }),
+            cv: StdCondvar::new(),
+        }
+    }
+
+    /// Lock the state, recovering from poisoning (a controlled thread
+    /// may panic while holding it during teardown).
+    pub(crate) fn lock_state(&self) -> StdMutexGuard<'_, State> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    pub(crate) fn next_obj_id(&self) -> usize {
+        let mut st = self.lock_state();
+        st.next_obj += 1;
+        st.next_obj
+    }
+
+    /// Record a decision point and hand the gate to the chosen thread.
+    /// The caller must already have updated its own `ThreadState` (left
+    /// Runnable for a plain yield, set Blocked(..) or Finished first
+    /// otherwise). Does NOT wait — pair with [`Scheduler::wait_active`].
+    pub(crate) fn pick_next(&self, st: &mut State, me: usize) {
+        if st.abort {
+            return;
+        }
+        let mut runnable: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|&(_, s)| *s == ThreadState::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            if st.threads.iter().all(|s| *s == ThreadState::Finished) {
+                // execution complete; the driver notices all-finished
+                self.cv.notify_all();
+                return;
+            }
+            st.deadlock = Some(describe_deadlock(st));
+            st.abort = true;
+            self.cv.notify_all();
+            return;
+        }
+        // canonical order: continuing the active thread is index 0
+        let current_runnable = st.threads[me] == ThreadState::Runnable;
+        if current_runnable {
+            if let Some(pos) = runnable.iter().position(|&t| t == me) {
+                runnable.remove(pos);
+                runnable.insert(0, me);
+            }
+        }
+        let chosen = if st.step < st.replay.len() {
+            debug_assert!(st.replay[st.step] < runnable.len(), "replay diverged");
+            st.replay[st.step].min(runnable.len() - 1)
+        } else {
+            0
+        };
+        st.trace.push(Decision {
+            runnable: runnable.clone(),
+            chosen,
+            current: me,
+            current_runnable,
+        });
+        st.step += 1;
+        st.active = runnable[chosen];
+        self.cv.notify_all();
+    }
+
+    /// Park until this thread holds the gate again (active == me and
+    /// runnable). Panics with [`AbortExecution`] if the execution is
+    /// being torn down.
+    pub(crate) fn wait_active(&self, mut st: StdMutexGuard<'_, State>, me: usize) {
+        loop {
+            if st.abort {
+                drop(st);
+                std::panic::panic_any(AbortExecution);
+            }
+            if st.active == me && st.threads[me] == ThreadState::Runnable {
+                return;
+            }
+            st = match self.cv.wait(st) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+
+    /// A plain decision point: the calling thread stays runnable and may
+    /// or may not keep the gate.
+    pub(crate) fn yield_point(&self, me: usize) {
+        let mut st = self.lock_state();
+        if st.abort {
+            drop(st);
+            std::panic::panic_any(AbortExecution);
+        }
+        self.pick_next(&mut st, me);
+        self.wait_active(st, me);
+    }
+
+    /// Mark the calling thread blocked on `w`, schedule someone else,
+    /// and return once another thread has made it runnable again and the
+    /// scheduler handed it the gate.
+    pub(crate) fn block_on(&self, me: usize, w: Waiting) {
+        let mut st = self.lock_state();
+        if st.abort {
+            drop(st);
+            std::panic::panic_any(AbortExecution);
+        }
+        st.threads[me] = ThreadState::Blocked(w);
+        self.pick_next(&mut st, me);
+        self.wait_active(st, me);
+    }
+
+    /// Make every thread blocked on `w` runnable (they re-contend at
+    /// their next scheduling). `limit` bounds how many wake (condvar
+    /// `notify_one`); `usize::MAX` wakes all.
+    pub(crate) fn wake(&self, st: &mut State, w: Waiting, limit: usize) {
+        let mut woken = 0;
+        for s in st.threads.iter_mut() {
+            if woken == limit {
+                break;
+            }
+            if *s == ThreadState::Blocked(w) {
+                *s = ThreadState::Runnable;
+                woken += 1;
+            }
+        }
+    }
+}
+
+fn describe_deadlock(st: &State) -> String {
+    let mut out = String::from("every live thread is blocked:\n");
+    for (i, s) in st.threads.iter().enumerate() {
+        if let ThreadState::Blocked(w) = s {
+            out.push_str(&format!("  thread {i} waiting on {w:?}\n"));
+        }
+    }
+    out
+}
+
+/// The deepest decision point with an untried alternative whose total
+/// preemption count stays within `bound`; `None` when the space is
+/// exhausted. DFS order: alternatives at each point are tried in
+/// canonical-index order, so index 0 (no preemption) is the first path.
+pub(crate) fn next_replay(trace: &[Decision], bound: usize) -> Option<Vec<usize>> {
+    let mut pre: usize = trace.iter().map(|d| d.cost(d.chosen)).sum();
+    for i in (0..trace.len()).rev() {
+        pre -= trace[i].cost(trace[i].chosen);
+        for alt in trace[i].chosen + 1..trace[i].runnable.len() {
+            if pre + trace[i].cost(alt) <= bound {
+                let mut replay: Vec<usize> = trace[..i].iter().map(|d| d.chosen).collect();
+                replay.push(alt);
+                return Some(replay);
+            }
+        }
+    }
+    None
+}

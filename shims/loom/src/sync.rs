@@ -1,0 +1,292 @@
+//! Model-checked sync primitives. Every operation is a decision point;
+//! because the scheduler serializes threads, the `UnsafeCell` accesses
+//! below are data-race-free by construction — only the thread holding
+//! the gate touches them.
+//!
+//! Semantics note: the checker explores *interleavings* under
+//! sequential consistency. Memory-ordering arguments (`Relaxed` vs
+//! `SeqCst`) are NOT modeled — that discipline is covered statically by
+//! the `relaxed` lint in `rrp-lint`.
+
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+
+pub use std::sync::Arc;
+
+use crate::sched::{current, Waiting};
+
+// ---------------------------------------------------------------- Mutex
+
+pub struct Mutex<T> {
+    id: usize,
+    locked: UnsafeCell<bool>,
+    data: UnsafeCell<T>,
+}
+
+// Safety: all access to the cells is serialized by the model scheduler.
+unsafe impl<T: Send> Send for Mutex<T> {}
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+pub struct MutexGuard<'a, T> {
+    m: &'a Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Create inside a `loom::model` closure (the object id comes from
+    /// the running model).
+    pub fn new(value: T) -> Self {
+        let (sched, _) = current();
+        Self {
+            id: sched.next_obj_id(),
+            locked: UnsafeCell::new(false),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    pub fn lock(&self) -> Result<MutexGuard<'_, T>, std::convert::Infallible> {
+        let (sched, me) = current();
+        loop {
+            sched.yield_point(me);
+            // safety: we hold the gate; no other thread is running
+            let locked = unsafe { &mut *self.locked.get() };
+            if !*locked {
+                *locked = true;
+                return Ok(MutexGuard { m: self });
+            }
+            sched.block_on(me, Waiting::Mutex(self.id));
+        }
+    }
+}
+
+impl<T> MutexGuard<'_, T> {
+    /// Release without the scheduler interaction of `Drop` — used by
+    /// `Condvar::wait`, which must release-and-block atomically.
+    fn release_silently(&self) {
+        unsafe { *self.m.locked.get() = false };
+    }
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.m.data.get() }
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        unsafe { &mut *self.m.data.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        let (sched, me) = current();
+        let mut st = sched.lock_state();
+        unsafe { *self.m.locked.get() = false };
+        sched.wake(&mut st, Waiting::Mutex(self.m.id), usize::MAX);
+        // during teardown (unwinding via AbortExecution) just release;
+        // raising another panic from a Drop would abort the process
+        if std::thread::panicking() || st.abort {
+            sched.cv.notify_all();
+            return;
+        }
+        sched.pick_next(&mut st, me);
+        sched.wait_active(st, me);
+    }
+}
+
+// -------------------------------------------------------------- Condvar
+
+pub struct Condvar {
+    id: usize,
+}
+
+impl Condvar {
+    pub fn new() -> Self {
+        let (sched, _) = current();
+        Self { id: sched.next_obj_id() }
+    }
+
+    /// Atomically release the guard's mutex and block until notified;
+    /// re-acquires (re-contending) before returning. No spurious
+    /// wakeups: the model only wakes on notify.
+    pub fn wait<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+    ) -> Result<MutexGuard<'a, T>, std::convert::Infallible> {
+        let (sched, me) = current();
+        let m = guard.m;
+        guard.release_silently();
+        std::mem::forget(guard);
+        {
+            let mut st = sched.lock_state();
+            sched.wake(&mut st, Waiting::Mutex(m.id), usize::MAX);
+            st.threads[me] = crate::sched::ThreadState::Blocked(Waiting::Condvar(self.id));
+            sched.pick_next(&mut st, me);
+            sched.wait_active(st, me);
+        }
+        m.lock()
+    }
+
+    pub fn notify_one(&self) {
+        let (sched, me) = current();
+        {
+            let mut st = sched.lock_state();
+            sched.wake(&mut st, Waiting::Condvar(self.id), 1);
+        }
+        sched.yield_point(me);
+    }
+
+    pub fn notify_all(&self) {
+        let (sched, me) = current();
+        {
+            let mut st = sched.lock_state();
+            sched.wake(&mut st, Waiting::Condvar(self.id), usize::MAX);
+        }
+        sched.yield_point(me);
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// -------------------------------------------------------------- atomics
+
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use std::cell::UnsafeCell;
+
+    use crate::sched::current;
+
+    macro_rules! atomic_int {
+        ($name:ident, $ty:ty) => {
+            /// Model-checked atomic: every operation is a decision
+            /// point; orderings are accepted and ignored (the model is
+            /// sequentially consistent — see module docs).
+            #[derive(Default)]
+            pub struct $name {
+                v: UnsafeCell<$ty>,
+            }
+
+            // Safety: access serialized by the model scheduler.
+            unsafe impl Send for $name {}
+            unsafe impl Sync for $name {}
+
+            impl $name {
+                pub fn new(v: $ty) -> Self {
+                    Self { v: UnsafeCell::new(v) }
+                }
+
+                fn yield_point() {
+                    let (sched, me) = current();
+                    sched.yield_point(me);
+                }
+
+                pub fn load(&self, _order: Ordering) -> $ty {
+                    Self::yield_point();
+                    unsafe { *self.v.get() }
+                }
+
+                pub fn store(&self, val: $ty, _order: Ordering) {
+                    Self::yield_point();
+                    unsafe { *self.v.get() = val };
+                }
+
+                pub fn swap(&self, val: $ty, _order: Ordering) -> $ty {
+                    Self::yield_point();
+                    unsafe {
+                        let old = *self.v.get();
+                        *self.v.get() = val;
+                        old
+                    }
+                }
+
+                pub fn fetch_add(&self, val: $ty, _order: Ordering) -> $ty {
+                    Self::yield_point();
+                    unsafe {
+                        let old = *self.v.get();
+                        *self.v.get() = old.wrapping_add(val);
+                        old
+                    }
+                }
+
+                pub fn fetch_sub(&self, val: $ty, _order: Ordering) -> $ty {
+                    Self::yield_point();
+                    unsafe {
+                        let old = *self.v.get();
+                        *self.v.get() = old.wrapping_sub(val);
+                        old
+                    }
+                }
+
+                pub fn compare_exchange(
+                    &self,
+                    expected: $ty,
+                    new: $ty,
+                    _success: Ordering,
+                    _failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    Self::yield_point();
+                    unsafe {
+                        let old = *self.v.get();
+                        if old == expected {
+                            *self.v.get() = new;
+                            Ok(old)
+                        } else {
+                            Err(old)
+                        }
+                    }
+                }
+            }
+        };
+    }
+
+    atomic_int!(AtomicU64, u64);
+    atomic_int!(AtomicUsize, usize);
+    atomic_int!(AtomicU32, u32);
+
+    /// Model-checked atomic bool (same semantics as the integer ones).
+    #[derive(Default)]
+    pub struct AtomicBool {
+        v: UnsafeCell<bool>,
+    }
+
+    // Safety: access serialized by the model scheduler.
+    unsafe impl Send for AtomicBool {}
+    unsafe impl Sync for AtomicBool {}
+
+    impl AtomicBool {
+        pub fn new(v: bool) -> Self {
+            Self { v: UnsafeCell::new(v) }
+        }
+
+        fn yield_point() {
+            let (sched, me) = current();
+            sched.yield_point(me);
+        }
+
+        pub fn load(&self, _order: Ordering) -> bool {
+            Self::yield_point();
+            unsafe { *self.v.get() }
+        }
+
+        pub fn store(&self, val: bool, _order: Ordering) {
+            Self::yield_point();
+            unsafe { *self.v.get() = val };
+        }
+
+        pub fn swap(&self, val: bool, _order: Ordering) -> bool {
+            Self::yield_point();
+            unsafe {
+                let old = *self.v.get();
+                *self.v.get() = val;
+                old
+            }
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Controlled threads: real OS threads whose execution is serialized by
+//! the scheduler gate. `spawn` registers the thread with the current
+//! model; the new thread runs only when the scheduler hands it the gate.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Mutex as StdMutex};
+
+use crate::model::is_abort;
+use crate::sched::{current, set_current, Scheduler, ThreadState, Waiting};
+
+pub struct JoinHandle<T> {
+    tid: usize,
+    result: Arc<StdMutex<Option<T>>>,
+}
+
+/// Body shared by the root thread and every spawned thread: wait for
+/// the first schedule, run the user closure, then do finish
+/// bookkeeping — wake joiners, hand the gate on, record any panic.
+pub(crate) fn thread_main<F>(sched: Arc<Scheduler>, me: usize, f: F)
+where
+    F: FnOnce(),
+{
+    set_current(Arc::clone(&sched), me);
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+        let st = sched.lock_state();
+        sched.wait_active(st, me);
+        f();
+    }));
+    let mut st = sched.lock_state();
+    st.threads[me] = ThreadState::Finished;
+    sched.wake(&mut st, Waiting::Join(me), usize::MAX);
+    if let Err(payload) = outcome {
+        if !is_abort(payload.as_ref()) {
+            if st.panic_payload.is_none() {
+                st.panic_payload = Some(payload);
+            }
+            st.abort = true;
+        }
+        sched.cv.notify_all();
+        return;
+    }
+    sched.pick_next(&mut st, me);
+}
+
+/// Spawn a controlled thread. The spawn itself is a decision point (the
+/// new thread is immediately runnable and may be scheduled before the
+/// spawner's next step).
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (sched, me) = current();
+    let result: Arc<StdMutex<Option<T>>> = Arc::new(StdMutex::new(None));
+    let tid = {
+        let mut st = sched.lock_state();
+        st.threads.push(ThreadState::Runnable);
+        st.threads.len() - 1
+    };
+    let os = {
+        let sched = Arc::clone(&sched);
+        let result = Arc::clone(&result);
+        std::thread::Builder::new()
+            .name(format!("loom-{tid}"))
+            .spawn(move || {
+                thread_main(sched, tid, move || {
+                    let v = f();
+                    let mut slot = match result.lock() {
+                        Ok(g) => g,
+                        Err(poisoned) => poisoned.into_inner(),
+                    };
+                    *slot = Some(v);
+                })
+            })
+            .expect("spawn loom thread")
+    };
+    sched.lock_state().os_handles.push(os);
+    sched.yield_point(me);
+    JoinHandle { tid, result }
+}
+
+impl<T> JoinHandle<T> {
+    /// Block until the thread finishes. Mirrors `std::thread::JoinHandle`
+    /// in signature; under the model a panic in the child aborts the
+    /// whole execution, so a returned value is always `Ok`.
+    pub fn join(self) -> std::thread::Result<T> {
+        let (sched, me) = current();
+        sched.yield_point(me);
+        loop {
+            {
+                let st = sched.lock_state();
+                if st.threads[self.tid] == ThreadState::Finished {
+                    break;
+                }
+            }
+            sched.block_on(me, Waiting::Join(self.tid));
+        }
+        let mut slot = match self.result.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        Ok(slot.take().expect("loom thread finished without a result"))
+    }
+}
+
+/// A plain decision point with no side effect.
+pub fn yield_now() {
+    let (sched, me) = current();
+    sched.yield_point(me);
+}

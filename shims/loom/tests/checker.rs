@@ -1,0 +1,150 @@
+//! Self-tests for the model checker: it must find real interleaving
+//! bugs (lost updates, AB/BA deadlock), pass correct code, and respect
+//! its preemption bound.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use loom::sync::atomic::{AtomicU64, Ordering};
+use loom::sync::{Arc, Mutex};
+
+fn fails(f: impl Fn() + Send + Sync + 'static) -> String {
+    let err = catch_unwind(AssertUnwindSafe(move || loom::model(f)))
+        .expect_err("checker should have found a failing schedule");
+    err.downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_else(|| "<non-string panic>".to_string())
+}
+
+#[test]
+fn explores_more_than_one_schedule() {
+    let explored = loom::Builder::new().check(|| {
+        let a = Arc::new(AtomicU64::new(0));
+        let a2 = Arc::clone(&a);
+        let h = loom::thread::spawn(move || {
+            a2.fetch_add(1, Ordering::SeqCst);
+        });
+        a.fetch_add(1, Ordering::SeqCst);
+        h.join().unwrap();
+        assert_eq!(a.load(Ordering::SeqCst), 2);
+    });
+    assert!(explored > 1, "two racing increments admit multiple schedules, got {explored}");
+}
+
+#[test]
+fn finds_lost_update_in_load_then_store() {
+    let msg = fails(|| {
+        let a = Arc::new(AtomicU64::new(0));
+        let a2 = Arc::clone(&a);
+        let h = loom::thread::spawn(move || {
+            let v = a2.load(Ordering::SeqCst);
+            a2.store(v + 1, Ordering::SeqCst);
+        });
+        let v = a.load(Ordering::SeqCst);
+        a.store(v + 1, Ordering::SeqCst);
+        h.join().unwrap();
+        // under the preempting schedule one increment is lost
+        assert_eq!(a.load(Ordering::SeqCst), 2);
+    });
+    assert!(msg.contains("assertion"), "expected the model assertion to fail, got: {msg}");
+}
+
+#[test]
+fn fetch_add_version_passes() {
+    loom::model(|| {
+        let a = Arc::new(AtomicU64::new(0));
+        let a2 = Arc::clone(&a);
+        let h = loom::thread::spawn(move || {
+            a2.fetch_add(1, Ordering::SeqCst);
+        });
+        a.fetch_add(1, Ordering::SeqCst);
+        h.join().unwrap();
+        assert_eq!(a.load(Ordering::SeqCst), 2);
+    });
+}
+
+#[test]
+fn lost_update_needs_a_preemption() {
+    // with a bound of 0 the scheduler never preempts a runnable thread,
+    // so the racy window cannot be exercised — the buggy code "passes".
+    // This pins the meaning of the bound (and why the default is > 0).
+    let mut b = loom::Builder::new();
+    b.preemption_bound = 0;
+    b.check(|| {
+        let a = Arc::new(AtomicU64::new(0));
+        let a2 = Arc::clone(&a);
+        let h = loom::thread::spawn(move || {
+            let v = a2.load(Ordering::SeqCst);
+            a2.store(v + 1, Ordering::SeqCst);
+        });
+        let v = a.load(Ordering::SeqCst);
+        a.store(v + 1, Ordering::SeqCst);
+        h.join().unwrap();
+        assert_eq!(a.load(Ordering::SeqCst), 2);
+    });
+}
+
+#[test]
+fn detects_ab_ba_deadlock() {
+    let msg = fails(|| {
+        let a = Arc::new(Mutex::new(0u8));
+        let b = Arc::new(Mutex::new(0u8));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let h = loom::thread::spawn(move || {
+            let _ga = a2.lock().unwrap();
+            let _gb = b2.lock().unwrap();
+        });
+        let _gb = b.lock().unwrap();
+        let _ga = a.lock().unwrap();
+        drop(_ga);
+        drop(_gb);
+        h.join().unwrap();
+    });
+    assert!(msg.contains("deadlock"), "expected a deadlock report, got: {msg}");
+}
+
+#[test]
+fn consistent_lock_order_passes() {
+    loom::model(|| {
+        let a = Arc::new(Mutex::new(0u32));
+        let b = Arc::new(Mutex::new(0u32));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let h = loom::thread::spawn(move || {
+            let mut ga = a2.lock().unwrap();
+            let mut gb = b2.lock().unwrap();
+            *ga += 1;
+            *gb += 1;
+        });
+        {
+            let mut ga = a.lock().unwrap();
+            let mut gb = b.lock().unwrap();
+            *ga += 1;
+            *gb += 1;
+        }
+        h.join().unwrap();
+        assert_eq!(*a.lock().unwrap(), 2);
+        assert_eq!(*b.lock().unwrap(), 2);
+    });
+}
+
+#[test]
+fn mutex_provides_mutual_exclusion() {
+    loom::model(|| {
+        let m = Arc::new(Mutex::new(0u64));
+        let m2 = Arc::clone(&m);
+        let h = loom::thread::spawn(move || {
+            let mut g = m2.lock().unwrap();
+            let v = *g;
+            *g = v + 1;
+        });
+        {
+            let mut g = m.lock().unwrap();
+            let v = *g;
+            *g = v + 1;
+        }
+        h.join().unwrap();
+        // unlike the atomic load/store race, the mutex makes the
+        // read-modify-write atomic: no schedule loses an update
+        assert_eq!(*m.lock().unwrap(), 2);
+    });
+}
