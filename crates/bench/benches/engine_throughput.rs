@@ -111,6 +111,11 @@ fn engine_throughput(c: &mut Criterion) {
     // scenario ("metrics enabled + scraper within 5% of the baseline").
     records.push(cold_run_with_scraper(&requests));
 
+    // The profiler overhead pair: profiler-off vs 97 Hz sampling + flight
+    // recorder, measured back-to-back (see `prof_overhead_records`). CI
+    // gates their ratio at 1.02 with `xtask benchdiff --assert-ratio`.
+    records.extend(prof_overhead_records(&requests));
+
     match results::write_json("BENCH_engine.json", &records) {
         Ok(path) => eprintln!("wrote {} ({} records)", path.display(), records.len()),
         Err(e) => eprintln!("warning: could not write BENCH_engine.json: {e}"),
@@ -169,6 +174,52 @@ fn cold_run_with_scraper(requests: &[PlanRequest]) -> Record {
         objective,
         extras: Vec::new(),
     }
+}
+
+/// The profiler-overhead pair for the CI `profiler-overhead` gate:
+/// cold 64-request batches with the profiler off vs sampling at 97 Hz
+/// (flight recorder armed, spike triggers pinned shut so no dump pollutes
+/// the timing).
+///
+/// The two configurations run *interleaved* in one process and each
+/// records its **min** wall time: scheduler noise on a loaded runner is
+/// one-sided (preemption only ever adds time), so the min-of-pairs ratio
+/// isolates the configuration delta where a ratio of two means would
+/// mostly compare noise. `xtask benchdiff --assert-ratio` then gates
+/// `+prof97` at ≤ 1.02 × `+prof_off`.
+fn prof_overhead_records(requests: &[PlanRequest]) -> [Record; 2] {
+    const PAIRS: usize = 6;
+    let run = |prof: bool| -> f64 {
+        let engine = Engine::with_config(
+            4,
+            EngineConfig {
+                prof: prof.then(|| rrp_engine::ProfConfig {
+                    sample_hz: 97,
+                    deadline_miss_spike: 0,
+                    budget_exhaustion_spike: 0,
+                    ..Default::default()
+                }),
+                ..Default::default()
+            },
+        );
+        let t0 = Instant::now();
+        black_box(engine.run_batch(requests.to_vec()));
+        t0.elapsed().as_secs_f64() * 1e3
+    };
+    run(false); // warm-up, untimed
+    let (mut off_ms, mut on_ms) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..PAIRS {
+        off_ms = off_ms.min(run(false));
+        on_ms = on_ms.min(run(true));
+    }
+    eprintln!(
+        "profiler overhead pair: off {off_ms:.1} ms vs 97 Hz {on_ms:.1} ms (ratio {:.4})",
+        on_ms / off_ms
+    );
+    [
+        Record::timing("engine_throughput/cold_64req/4+prof_off".to_string(), off_ms),
+        Record::timing("engine_throughput/cold_64req/4+prof97".to_string(), on_ms),
+    ]
 }
 
 criterion_group!(benches, engine_throughput);

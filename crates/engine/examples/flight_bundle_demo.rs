@@ -1,0 +1,76 @@
+//! Minimal end-to-end flight-recorder demo: storm the engine with
+//! stochastic MILP instances whose deadlines are far below their solve
+//! time, let the deadline-miss spike trigger a post-mortem dump into the
+//! directory given as the first argument, and print the bundle's path on
+//! stdout — ready to pipe into the renderer:
+//!
+//! ```text
+//! bundle=$(cargo run --release --example flight_bundle_demo -- /tmp/flight)
+//! cargo run -p xtask -- postmortem "$bundle"
+//! ```
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use rrp_core::{CostSchedule, PlanningParams, ScenarioTree};
+use rrp_engine::{Engine, EngineConfig, PlanRequest, PolicyKind, ProfConfig};
+use rrp_spotmarket::{CostRates, EmpiricalDist};
+
+/// A capacitated stochastic instance that cannot finish inside a ~15 ms
+/// deadline: the full rung burns its whole budget in branch & bound, so
+/// every request is a deadline miss (see `tests/flight_storm.rs` for the
+/// asserted version of this scenario).
+fn storm_request(i: usize) -> PlanRequest {
+    let horizon = 8;
+    let demand: Vec<f64> = (0..horizon).map(|t| 0.15 + 0.11 * ((i + 3 * t) % 7) as f64).collect();
+    let d = EmpiricalDist::from_parts(vec![0.04, 0.12], vec![0.6, 0.4]);
+    let tree = ScenarioTree::from_stage_distributions(&vec![d; horizon], 100_000);
+    PlanRequest {
+        app_id: "storm".into(),
+        vm_class: "m1.small".into(),
+        schedule: CostSchedule::ec2(vec![0.06; horizon], demand, &CostRates::ec2_2011()),
+        params: PlanningParams { capacity: Some(0.7), ..Default::default() },
+        tree: Some(tree),
+        policy: PolicyKind::Stochastic,
+        deadline: Duration::from_millis(15),
+        seed: i as u64,
+    }
+}
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("rrp-flight-demo"));
+    let engine = Engine::with_config(
+        2,
+        EngineConfig {
+            prof: Some(ProfConfig {
+                sample_hz: 997,
+                bundle_dir: Some(dir.clone()),
+                deadline_miss_spike: 8,
+                spike_window_ms: 600_000,
+                budget_exhaustion_spike: 0,
+                min_dump_interval_ms: 600_000,
+                ..Default::default()
+            }),
+            ..Default::default()
+        },
+    );
+    let responses = engine.run_batch((0..12).map(storm_request).collect());
+    let misses = responses.iter().filter(|r| !r.deadline_met).count();
+    eprintln!("storm: {misses}/12 deadline misses, {} dump(s)", engine.flight_dumps());
+    drop(engine);
+
+    let mut bundles: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .map(|rd| rd.filter_map(|e| e.ok().map(|e| e.path())).collect())
+        .unwrap_or_default();
+    bundles.sort();
+    match bundles.last() {
+        Some(bundle) => println!("{}", bundle.display()),
+        None => {
+            eprintln!("no bundle dumped — storm did not trip the deadline-miss spike");
+            std::process::exit(1);
+        }
+    }
+}

@@ -75,4 +75,5 @@ pub use request::{
     DegradationLevel, PlanRequest, PlanResponse, PolicyKind, RungOutcome, TraceEntry,
 };
 pub use rrp_audit::InfeasibilityProof;
+pub use rrp_prof::ProfConfig;
 pub use service::{Engine, EngineConfig, MetricsConfig, Ticket};

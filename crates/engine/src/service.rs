@@ -2,10 +2,12 @@
 //! crossbeam job queue. No async runtime — each request is CPU-bound MILP
 //! work, so plain threads with a blocking channel are the right shape.
 
+use std::collections::HashMap;
+use std::fmt::Write as _;
 use std::net::SocketAddr;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -14,7 +16,8 @@ use rrp_audit::{audit_milp_with, AuditOptions, UpperBoundHint};
 use rrp_core::fingerprint::Fnv64;
 use rrp_milp::{MilpOptions, SolveBudget};
 use rrp_obs::{MetricsSink, ObsHooks, ObsServer, Readiness, Registry};
-use rrp_trace::{CounterSink, EventKind, Sink, SpanId, TeeSink, TraceHandle};
+use rrp_prof::{install_panic_hook, FlightRecorder, ProfConfig, Profiler, SamplerShared};
+use rrp_trace::{CounterSink, EventKind, Sink, SpanId, SpanStacks, TeeSink, TraceHandle};
 use serde::Serialize;
 
 use crate::cache::{CacheEntry, PlanCache};
@@ -45,6 +48,13 @@ pub struct EngineConfig {
     /// (enabling tracing) and, when [`MetricsConfig::addr`] is set, serves
     /// `/metrics`, `/snapshot`, `/healthz` and `/readyz` on it.
     pub metrics: Option<MetricsConfig>,
+    /// Continuous profiling + flight recorder ([`rrp_prof`]). `None` (the
+    /// default) builds neither. `Some` publishes every worker's open-span
+    /// path through the lock-free span stacks, starts the sampler thread
+    /// (when `sample_hz > 0`), and tees an always-on [`FlightRecorder`]
+    /// into the event pipeline whose triggers dump post-mortem bundles.
+    /// With a metrics server, `/profile` and `/flight` come alive too.
+    pub prof: Option<ProfConfig>,
 }
 
 /// Metrics exposition options (see [`EngineConfig::metrics`]).
@@ -72,6 +82,26 @@ struct Job {
     span: SpanId,
 }
 
+/// Profiling runtime, present when the engine was built with
+/// [`EngineConfig::prof`]. The [`Profiler`] owns the sampler thread
+/// (joined when the last `Arc<Shared>` drops); the recorder also sits
+/// inside the trace pipeline as a sink.
+struct ProfRuntime {
+    _profiler: Profiler,
+    sampler: Arc<SamplerShared>,
+    flight: Arc<FlightRecorder>,
+}
+
+/// One row of the in-flight request table: what each worker is chewing on
+/// right now, serialised into post-mortem bundles so a dump answers "what
+/// was running when it died".
+struct InflightEntry {
+    tenant: String,
+    level: &'static str,
+    deadline_ms: u64,
+    started: Instant,
+}
+
 struct Shared {
     cache: PlanCache,
     metrics: Metrics,
@@ -87,12 +117,101 @@ struct Shared {
     /// Metrics registry the [`MetricsSink`] bridge writes into; `None`
     /// unless the engine was built with [`EngineConfig::metrics`].
     registry: Option<Arc<Registry>>,
+    /// Profiler + flight recorder; `None` unless built with
+    /// [`EngineConfig::prof`].
+    prof: Option<ProfRuntime>,
+    /// In-flight request table, maintained only while `prof` is present
+    /// (bounded by worker count: one entry per request being processed).
+    inflight: Mutex<HashMap<u64, InflightEntry>>,
+    next_inflight: AtomicU64,
+}
+
+/// Lock a mutex, recovering the guard from a poisoned lock (the in-flight
+/// table is observational: a worker that panicked mid-insert must not
+/// wedge post-mortem dumps for everyone else).
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
 }
 
 impl Shared {
     fn snapshot(&self) -> MetricsSnapshot {
         let dropped = self.event_sink.as_ref().map(|s| s.dropped_events()).unwrap_or(0);
         self.metrics.snapshot(&self.cache, &self.counters, dropped)
+    }
+
+    /// The in-flight table as a JSON array (bundle + `/flight` fodder).
+    fn inflight_json(&self) -> String {
+        let table = lock(&self.inflight);
+        let mut rows: Vec<&InflightEntry> = table.values().collect();
+        rows.sort_by_key(|e| e.started);
+        let mut out = String::with_capacity(64 * rows.len() + 2);
+        out.push('[');
+        for (i, e) in rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"tenant\":\"");
+            // tenant ids are caller-supplied: escape like any JSON string
+            for c in e.tenant.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    c if (c as u32) < 0x20 => {
+                        let _ = write!(out, "\\u{:04x}", c as u32);
+                    }
+                    c => out.push(c),
+                }
+            }
+            let _ = write!(
+                out,
+                "\",\"level\":\"{}\",\"deadline_ms\":{},\"running_ms\":{}",
+                e.level,
+                e.deadline_ms,
+                e.started.elapsed().as_millis()
+            );
+            out.push('}');
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// RAII row in the in-flight table: inserted when a worker picks a
+/// request up, removed on every exit path (panics included — the drop
+/// runs during the worker's `catch_unwind`).
+struct InflightGuard<'a> {
+    shared: &'a Shared,
+    id: Option<u64>,
+}
+
+impl<'a> InflightGuard<'a> {
+    fn track(shared: &'a Shared, req: &PlanRequest) -> Self {
+        if shared.prof.is_none() {
+            return Self { shared, id: None };
+        }
+        // relaxed-ok: ids only need uniqueness
+        let id = shared.next_inflight.fetch_add(1, Ordering::Relaxed);
+        lock(&shared.inflight).insert(
+            id,
+            InflightEntry {
+                tenant: req.app_id.clone(),
+                level: req.policy.start_level().as_str(),
+                deadline_ms: req.deadline.as_millis() as u64,
+                started: Instant::now(),
+            },
+        );
+        Self { shared, id: Some(id) }
+    }
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(id) = self.id {
+            lock(&self.shared.inflight).remove(&id);
+        }
     }
 }
 
@@ -140,22 +259,34 @@ impl Engine {
     /// An engine with full construction options, including telemetry.
     pub fn with_config(workers: usize, config: EngineConfig) -> Self {
         assert!(workers > 0, "engine needs at least one worker");
-        let EngineConfig { milp: opts, sink, count_solver_events, metrics } = config;
+        let EngineConfig { milp: opts, sink, count_solver_events, metrics, prof } = config;
         let counters = Arc::new(CounterSink::new());
         let registry = metrics.as_ref().map(|_| Arc::new(Registry::new()));
 
+        // profiling: span-stack publication + the always-on flight
+        // recorder, which joins the event pipeline as one more sink
+        let prof_parts = prof
+            .as_ref()
+            .map(|p| (Arc::new(SpanStacks::new()), Arc::new(FlightRecorder::new(p.clone()))));
+        let stacks = prof_parts.as_ref().map(|(s, _)| Arc::clone(s));
+        let flight = prof_parts.as_ref().map(|(_, f)| Arc::clone(f));
+
         // the event pipeline: counters always lead the tee; the metrics
-        // bridge and any external sink follow. Tracing turns on if any
-        // consumer beyond the bare counters exists (or was asked for).
+        // bridge, flight recorder and any external sink follow. Tracing
+        // turns on if any consumer beyond the bare counters exists (or
+        // was asked for).
         let mut fanout: Vec<Arc<dyn Sink>> = Vec::new();
         if let Some(reg) = &registry {
             fanout.push(Arc::new(MetricsSink::new(Arc::clone(reg))));
+        }
+        if let Some(f) = &flight {
+            fanout.push(Arc::clone(f) as Arc<dyn Sink>);
         }
         if let Some(external) = sink {
             fanout.push(external);
         }
         let (trace, event_sink) = if fanout.is_empty() && !count_solver_events {
-            (TraceHandle::off(), None)
+            (TraceHandle::with_parts(None, stacks.clone()), None)
         } else {
             let combined: Arc<dyn Sink> = if fanout.is_empty() {
                 Arc::clone(&counters) as Arc<dyn Sink>
@@ -163,8 +294,18 @@ impl Engine {
                 fanout.insert(0, Arc::clone(&counters) as Arc<dyn Sink>);
                 Arc::new(TeeSink::new(fanout))
             };
-            (TraceHandle::new(Arc::clone(&combined)), Some(combined))
+            (TraceHandle::with_parts(Some(Arc::clone(&combined)), stacks.clone()), Some(combined))
         };
+
+        let prof_rt = prof.zip(prof_parts).map(|(p, (stacks, flight))| {
+            let profiler = Profiler::start(stacks, p.sample_hz);
+            let sampler = profiler.shared();
+            flight.set_sampler(Arc::clone(&sampler));
+            if p.panic_hook {
+                install_panic_hook(&flight);
+            }
+            ProfRuntime { _profiler: profiler, sampler, flight }
+        });
 
         let (tx, rx) = unbounded::<Job>();
         let shared = Arc::new(Shared {
@@ -175,7 +316,28 @@ impl Engine {
             counters,
             event_sink,
             registry,
+            prof: prof_rt,
+            inflight: Mutex::new(HashMap::new()),
+            next_inflight: AtomicU64::new(0),
         });
+        if let Some(rt) = &shared.prof {
+            // Weak closures: the recorder lives inside the pipeline the
+            // shared state holds, so strong captures would cycle and leak
+            let weak = Arc::downgrade(&shared);
+            rt.flight.set_snapshot_provider(Box::new(move || match weak.upgrade() {
+                Some(s) => {
+                    let mut out = String::with_capacity(512);
+                    s.snapshot().serialize_json(&mut out);
+                    out
+                }
+                None => "null".to_string(),
+            }));
+            let weak = Arc::downgrade(&shared);
+            rt.flight.set_inflight_provider(Box::new(move || match weak.upgrade() {
+                Some(s) => s.inflight_json(),
+                None => "[]".to_string(),
+            }));
+        }
         let handles = (0..workers)
             .map(|i| {
                 let rx = rx.clone();
@@ -281,6 +443,32 @@ impl Engine {
     pub fn basis_cache_hit_rate(&self) -> f64 {
         self.shared.cache.basis_hit_rate()
     }
+
+    /// Collapsed-stack profile accumulated so far (`path count` lines),
+    /// when the engine was built with [`EngineConfig::prof`].
+    pub fn profile_collapsed(&self) -> Option<String> {
+        self.shared.prof.as_ref().map(|rt| rt.sampler.collapsed())
+    }
+
+    /// Flight-recorder status (`/flight` body), when profiling is on.
+    pub fn flight_status_json(&self) -> Option<String> {
+        self.shared.prof.as_ref().map(|rt| rt.flight.status_json())
+    }
+
+    /// Fire an external flight-recorder trigger (e.g. a simulator SLO
+    /// breach). No-op without [`EngineConfig::prof`]; returns whether a
+    /// bundle actually dumped (debounce may swallow it).
+    pub fn flight_trigger(&self, cause: &str) -> bool {
+        match &self.shared.prof {
+            Some(rt) => rt.flight.trigger(cause),
+            None => false,
+        }
+    }
+
+    /// Post-mortem bundles dumped since start (0 without profiling).
+    pub fn flight_dumps(&self) -> u64 {
+        self.shared.prof.as_ref().map_or(0, |rt| rt.flight.dumps_fired())
+    }
 }
 
 impl Drop for Engine {
@@ -315,6 +503,8 @@ fn obs_hooks(
     let snapshot_shared = Arc::clone(shared);
     let ready_shared = Arc::clone(shared);
     let ready_flag = Arc::clone(shutting_down);
+    let profile_shared = Arc::clone(shared);
+    let flight_shared = Arc::clone(shared);
     ObsHooks {
         metrics_text: Box::new(move || match &metrics_shared.registry {
             Some(reg) => {
@@ -329,18 +519,39 @@ fn obs_hooks(
             out
         }),
         readiness: Box::new(move || {
-            if ready_flag.load(Ordering::SeqCst) {
-                return Readiness::not_ready("shutting down");
-            }
-            let depth = ready_shared.metrics.queue_depth();
-            if depth > ready_high_water {
-                Readiness::not_ready(format!(
-                    "queue depth {depth} over high-water {ready_high_water}"
-                ))
+            let readiness = if ready_flag.load(Ordering::SeqCst) {
+                Readiness::not_ready("shutting down")
             } else {
-                Readiness::ready(format!("queue depth {depth}"))
+                let depth = ready_shared.metrics.queue_depth();
+                if depth > ready_high_water {
+                    Readiness::not_ready(format!(
+                        "queue depth {depth} over high-water {ready_high_water}"
+                    ))
+                } else {
+                    Readiness::ready(format!("queue depth {depth}"))
+                }
+            };
+            // readiness is pull-computed, so the flip edge is observed
+            // exactly when a scraper polls `/readyz`
+            if let Some(rt) = &ready_shared.prof {
+                rt.flight.note_ready(readiness.ready);
             }
+            readiness
         }),
+        profile_text: if shared.prof.is_some() {
+            Some(Box::new(move || {
+                profile_shared.prof.as_ref().map(|rt| rt.sampler.collapsed()).unwrap_or_default()
+            }))
+        } else {
+            None
+        },
+        flight_json: if shared.prof.is_some() {
+            Some(Box::new(move || {
+                flight_shared.prof.as_ref().map(|rt| rt.flight.status_json()).unwrap_or_default()
+            }))
+        } else {
+            None
+        },
     }
 }
 
@@ -391,6 +602,35 @@ fn sync_registry(shared: &Shared, reg: &Registry, workers: usize) {
         )
         .set(served);
     }
+    if let Some(rt) = &shared.prof {
+        reg.counter("rrp_prof_samples_total", "Profiler stack samples accumulated", &[])
+            .set(rt.sampler.samples_total());
+        reg.gauge("rrp_prof_distinct_paths", "Distinct span paths seen by the profiler", &[])
+            .set(rt.sampler.distinct_paths() as f64);
+        reg.counter("rrp_flight_dumps_total", "Post-mortem bundles dumped", &[])
+            .set(rt.flight.dumps_fired());
+        reg.gauge("rrp_flight_ring_events", "Trace events held in the flight ring", &[])
+            .set(rt.flight.ring_len() as f64);
+        reg.counter(
+            "rrp_flight_ring_dropped_total",
+            "Flight-ring events evicted by the hard cap",
+            &[],
+        )
+        .set(rt.flight.ring_dropped());
+        // the cause taxonomy is closed, so every series can be synced
+        // explicitly — no stale 1s after the latest trigger moves on
+        let last = rt.flight.last_trigger();
+        for cause in
+            ["deadline_miss_spike", "budget_exhaustion", "readyz_flip", "panic", "sim_slo_breach"]
+        {
+            reg.gauge(
+                "rrp_flight_last_trigger",
+                "Most recent flight-recorder trigger, by cause (1 = latest)",
+                &[("cause", cause)],
+            )
+            .set(u64::from(last.as_deref() == Some(cause)) as f64);
+        }
+    }
 }
 
 /// Key for the basis side-table: tenant identity plus the *dimensions* of
@@ -420,6 +660,10 @@ fn process(shared: &Shared, job: Job) {
     let Job { req, reply, span } = job;
     let start = Instant::now();
     let key = req.fingerprint();
+    // the request span itself is opened on the submitting thread, so the
+    // profiler frame is published here, on the worker lane that owns it
+    let _frame = shared.trace.stack_frame("request");
+    let _inflight = InflightGuard::track(shared, &req);
     shared.trace.emit(span, EventKind::Dequeued);
 
     let cached = shared.cache.lookup(key);

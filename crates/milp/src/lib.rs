@@ -62,11 +62,26 @@ impl MilpProblem {
     /// `(var, lower, upper)`; a bound that is weaker than the current one is
     /// ignored, so applying a sound tightening can only shrink the feasible
     /// box and never changes the integer optimum.
+    ///
+    /// Propagation arithmetic can land an upper bound a few ulps below the
+    /// lower (e.g. a proven `-1e-16` against a `0` floor on a variable that
+    /// is exactly zero). A roundoff-width crossing collapses to the point
+    /// interval at the lower bound instead of producing an inverted box; a
+    /// crossing wider than tolerance means the caller applied bounds from
+    /// an instance the audit proved infeasible, which is a usage error.
     pub fn tighten_bounds(&mut self, tightened: &[(VarId, f64, f64)]) {
         for &(v, lo, hi) in tightened {
             let (cur_lo, cur_hi) = self.model.var_bounds(v);
             let new_lo = cur_lo.max(lo);
-            let new_hi = cur_hi.min(hi);
+            let mut new_hi = cur_hi.min(hi);
+            if new_lo > new_hi {
+                let gap = new_lo - new_hi;
+                assert!(
+                    gap <= 1e-9 * new_lo.abs().max(1.0),
+                    "tighten_bounds: var {v} bounds cross beyond roundoff: [{new_lo}, {new_hi}]"
+                );
+                new_hi = new_lo;
+            }
             if new_lo > cur_lo || new_hi < cur_hi {
                 self.model.set_var_bounds(v, new_lo, new_hi);
             }

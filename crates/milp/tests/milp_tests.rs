@@ -212,3 +212,19 @@ fn best_bound_brackets_objective() {
     assert!(sol.best_bound >= sol.objective - 1e-6);
     assert!(sol.proven_optimal);
 }
+
+#[test]
+fn tighten_bounds_absorbs_roundoff_crossings() {
+    // Propagation can prove an upper bound a few ulps below an exact
+    // lower (a variable that is really 0 proven `<= -1e-16`); the
+    // tightening must collapse to the point interval, not invert the box.
+    let mut m = Model::new(Sense::Minimize);
+    let x = m.add_var(0.0, 5.0, 1.0, "x");
+    let y = m.add_var(0.0, 5.0, 1.0, "y");
+    m.add_con(&[(x, 1.0), (y, 1.0)], Cmp::Ge, 1.0);
+    let mut p = MilpProblem::new(m, vec![]);
+    p.tighten_bounds(&[(x, 0.0, -1.1e-16), (y, 0.5, 4.0)]);
+    let sol = p.solve(&opts()).unwrap();
+    assert!(sol.values[x].abs() <= 1e-9, "x pinned to its point interval");
+    assert!((sol.values[y] - 1.0).abs() <= 1e-6, "y carries the demand alone");
+}

@@ -6,6 +6,8 @@
 //! * `/snapshot` — the engine's `MetricsSnapshot` as JSON
 //! * `/healthz`  — liveness: 200 while the server thread is alive
 //! * `/readyz`   — readiness: 200/503 from the [`ObsHooks::readiness`] hook
+//! * `/profile`  — collapsed-stack profiler samples (404 when no profiler)
+//! * `/flight`   — flight-recorder ring status JSON (404 when no recorder)
 //!
 //! Every response is assembled fully in memory and written with one
 //! `write_all`, with a `Content-Length` header and `Connection: close` —
@@ -50,6 +52,11 @@ pub struct ObsHooks {
     pub snapshot_json: Box<dyn Fn() -> String + Send + Sync>,
     /// Verdict for `/readyz`.
     pub readiness: Box<dyn Fn() -> Readiness + Send + Sync>,
+    /// Body of `/profile` (collapsed-stack text). `None` → the route
+    /// answers 404, so hosts without a profiler expose nothing new.
+    pub profile_text: Option<Box<dyn Fn() -> String + Send + Sync>>,
+    /// Body of `/flight` (flight-recorder status JSON). `None` → 404.
+    pub flight_json: Option<Box<dyn Fn() -> String + Send + Sync>>,
 }
 
 /// A running exposition server. Dropping it shuts it down gracefully.
@@ -141,6 +148,16 @@ fn handle(mut stream: TcpStream, hooks: &ObsHooks) {
                 let code = if r.ready { 200 } else { 503 };
                 (code, "text/plain; charset=utf-8", format!("{}\n", r.detail))
             }
+            "/profile" => match &hooks.profile_text {
+                Some(f) => (200, "text/plain; charset=utf-8", f()),
+                None => (404, "text/plain; charset=utf-8", "no profiler attached\n".to_string()),
+            },
+            "/flight" => match &hooks.flight_json {
+                Some(f) => (200, "application/json", f()),
+                None => {
+                    (404, "text/plain; charset=utf-8", "no flight recorder attached\n".to_string())
+                }
+            },
             _ => (404, "text/plain; charset=utf-8", "not found\n".to_string()),
         }
     };
@@ -217,6 +234,8 @@ mod tests {
                     Readiness::not_ready("queue over high-water")
                 }
             }),
+            profile_text: Some(Box::new(|| "request;milp 3\n".to_string())),
+            flight_json: Some(Box::new(|| "{\"ring_events\":2}".to_string())),
         }
     }
 
@@ -247,8 +266,28 @@ mod tests {
         assert_eq!(code, 503);
         assert!(body.contains("high-water"), "{body}");
 
+        let (code, body) = http_get(addr, "/profile").expect("profile fetch");
+        assert_eq!(code, 200);
+        assert_eq!(body, "request;milp 3\n");
+
+        let (code, body) = http_get(addr, "/flight").expect("flight fetch");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"ring_events\":2"), "{body}");
+
         let (code, _) = http_get(addr, "/nope").expect("unknown route");
         assert_eq!(code, 404);
+    }
+
+    #[test]
+    fn profiling_routes_404_without_hooks() {
+        let ready = Arc::new(AtomicBool::new(true));
+        let mut hooks = test_hooks(ready);
+        hooks.profile_text = None;
+        hooks.flight_json = None;
+        let server = ObsServer::bind("127.0.0.1:0", hooks).expect("ephemeral bind");
+        let addr = server.local_addr();
+        assert_eq!(http_get(addr, "/profile").expect("profile").0, 404);
+        assert_eq!(http_get(addr, "/flight").expect("flight").0, 404);
     }
 
     #[test]

@@ -42,6 +42,8 @@ fn concurrent_scrapes_never_tear() {
                     Readiness::ready(format!("queue depth {depth}"))
                 }
             }),
+            profile_text: None,
+            flight_json: None,
         }
     };
     let server = ObsServer::bind("127.0.0.1:0", hooks).expect("ephemeral bind");
@@ -111,6 +113,8 @@ fn readyz_follows_the_hook_under_load() {
                     Readiness::ready(format!("queue depth {depth}"))
                 }
             }),
+            profile_text: None,
+            flight_json: None,
         }
     };
     let server = ObsServer::bind("127.0.0.1:0", hooks).expect("ephemeral bind");

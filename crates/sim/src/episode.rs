@@ -380,6 +380,13 @@ pub fn run_episode(
     }
 
     slo.unrecovered_gb = backlog;
+    // A breached episode is an incident worth a post-mortem: slots ended
+    // with unserved backlog, or demand was still outstanding at the end.
+    // No-op unless the engine runs with a flight recorder; the recorder's
+    // debounce folds a breach-heavy soak into one bundle.
+    if slo.violated_slots > 0 || slo.unrecovered_gb > SLO_TOL {
+        engine.flight_trigger("sim_slo_breach");
+    }
     let report = RealisedReport {
         planned: planned.total() + reservation_cost,
         realised: realised.total() + recovery_overhead + reservation_cost,
@@ -459,6 +466,38 @@ mod tests {
         let b = run_episode(&engine, &cfg(), &mut OnDemandClamp, &mut OnDemandFailover);
         assert_eq!(a.report.realised, b.report.realised);
         assert_eq!(a.slo.violated_slots, b.slo.violated_slots);
+    }
+
+    #[test]
+    fn slo_breach_fires_the_flight_recorder() {
+        use rrp_engine::{EngineConfig, ProfConfig};
+
+        // deferring recovery under an always-losing bid leaves backlog in
+        // violated slots — a breached episode on a profiling engine must
+        // land a `sim_slo_breach` trigger in the flight recorder
+        let engine = Engine::with_config(
+            2,
+            EngineConfig {
+                prof: Some(ProfConfig {
+                    deadline_miss_spike: 0,
+                    budget_exhaustion_spike: 0,
+                    ..Default::default()
+                }),
+                ..Default::default()
+            },
+        );
+        let mut bid = StaticBid { margin: 0.9 };
+        let mut rec = CheckpointResume::default();
+        let r = run_episode(&engine, &cfg(), &mut bid, &mut rec);
+        assert!(r.slo.violated_slots > 0, "this config must actually breach: {:?}", r.slo);
+        assert_eq!(engine.flight_dumps(), 1, "one breach, one incident");
+        let status = engine.flight_status_json().expect("profiling engine has flight status");
+        assert!(status.contains("\"last_trigger\":\"sim_slo_breach\""), "{status}");
+        // the same episode on a plain engine is silently untracked
+        let plain = Engine::new(2);
+        let r2 = run_episode(&plain, &cfg(), &mut StaticBid { margin: 0.9 }, &mut rec);
+        assert!(r2.slo.violated_slots > 0);
+        assert_eq!(plain.flight_dumps(), 0);
     }
 
     #[test]

@@ -9,6 +9,7 @@ use std::time::Instant;
 
 use crate::event::{Event, EventKind};
 use crate::sink::Sink;
+use crate::stack::SpanStacks;
 
 /// Identity of a span. `ROOT` (0) is the implicit top-level scope: it is
 /// never opened or closed, and events outside any span carry it. `Default`
@@ -25,7 +26,11 @@ impl SpanId {
 }
 
 struct Inner {
-    sink: Arc<dyn Sink>,
+    /// Event delivery; `None` in profiler-only mode, where span opens
+    /// still publish stack frames but no events are constructed.
+    sink: Option<Arc<dyn Sink>>,
+    /// Span-stack publication for the sampling profiler (`rrp-prof`).
+    stacks: Option<Arc<SpanStacks>>,
     origin: Instant,
     next_span: AtomicU64,
 }
@@ -53,9 +58,22 @@ impl TraceHandle {
 
     /// A handle delivering events to `sink`, with its origin at "now".
     pub fn new(sink: Arc<dyn Sink>) -> Self {
+        Self::with_parts(Some(sink), None)
+    }
+
+    /// A handle with any combination of event sink and span-stack
+    /// publication. `(None, None)` degenerates to the disabled handle.
+    /// With stacks but no sink, span guards publish frames for the
+    /// profiler while `emit` stays a near-no-op (no clock read, no event
+    /// construction).
+    pub fn with_parts(sink: Option<Arc<dyn Sink>>, stacks: Option<Arc<SpanStacks>>) -> Self {
+        if sink.is_none() && stacks.is_none() {
+            return Self::off();
+        }
         Self {
             inner: Some(Arc::new(Inner {
                 sink,
+                stacks,
                 origin: Instant::now(),
                 next_span: AtomicU64::new(1),
             })),
@@ -66,6 +84,11 @@ impl TraceHandle {
         self.inner.is_some()
     }
 
+    /// The span-stack publication surface, when profiling is wired in.
+    pub fn stacks(&self) -> Option<&Arc<SpanStacks>> {
+        self.inner.as_ref().and_then(|i| i.stacks.as_ref())
+    }
+
     /// Microseconds since the trace origin (0 when disabled).
     pub fn now_us(&self) -> u64 {
         match &self.inner {
@@ -74,16 +97,20 @@ impl TraceHandle {
         }
     }
 
-    /// Emit one event into `span`. No-op when disabled.
+    /// Emit one event into `span`. No-op when disabled or when the handle
+    /// is profiler-only (stacks without a sink): the event is never
+    /// constructed, so hot solver loops pay two predictable branches.
     pub fn emit(&self, span: SpanId, kind: EventKind) {
         if let Some(inner) = &self.inner {
-            let ev = Event {
-                t_us: inner.origin.elapsed().as_micros() as u64,
-                worker: current_worker(),
-                span,
-                kind,
-            };
-            inner.sink.emit(&ev);
+            if let Some(sink) = &inner.sink {
+                let ev = Event {
+                    t_us: inner.origin.elapsed().as_micros() as u64,
+                    worker: current_worker(),
+                    span,
+                    kind,
+                };
+                sink.emit(&ev);
+            }
         }
     }
 
@@ -109,22 +136,59 @@ impl TraceHandle {
     }
 
     /// RAII variant of open/close: the span closes when the guard drops.
+    ///
+    /// Unlike the raw [`TraceHandle::open_span`]/[`close_span`] pair —
+    /// which may legally cross threads (the engine closes request spans
+    /// on a worker other than the submitter) — a guard lives and dies on
+    /// one thread, so it also publishes the span name to the current
+    /// worker lane's profiler stack and pops it on drop. The lane is
+    /// captured at open so a nested [`with_worker`] scope cannot
+    /// unbalance another lane.
     pub fn span(&self, name: &'static str, parent: SpanId) -> SpanGuard {
-        SpanGuard { handle: self.clone(), id: self.open_span(name, parent) }
+        let pushed_lane = self.stack_push(name);
+        SpanGuard { handle: self.clone(), id: self.open_span(name, parent), pushed_lane }
+    }
+
+    /// An event-less profiler frame: publishes `name` on the current
+    /// lane's span stack (when profiling is wired in) without emitting
+    /// any trace event — used where the span itself is opened raw across
+    /// threads but the *work* happens on this one.
+    pub fn stack_frame(&self, name: &'static str) -> StackFrameGuard {
+        StackFrameGuard { handle: self.clone(), pushed_lane: self.stack_push(name) }
+    }
+
+    fn stack_push(&self, name: &'static str) -> Option<u32> {
+        let inner = self.inner.as_ref()?;
+        let stacks = inner.stacks.as_ref()?;
+        let lane = current_worker();
+        stacks.push(lane, name);
+        Some(lane)
+    }
+
+    fn stack_pop(&self, lane: u32) {
+        if let Some(inner) = &self.inner {
+            if let Some(stacks) = &inner.stacks {
+                stacks.pop(lane);
+            }
+        }
     }
 
     /// Ask the sink to persist anything buffered (JSONL writers).
     pub fn flush(&self) {
         if let Some(inner) = &self.inner {
-            inner.sink.flush();
+            if let Some(sink) = &inner.sink {
+                sink.flush();
+            }
         }
     }
 }
 
-/// Guard returned by [`TraceHandle::span`]; closes the span on drop.
+/// Guard returned by [`TraceHandle::span`]; closes the span on drop and
+/// pops the profiler stack frame it pushed (if any).
 pub struct SpanGuard {
     handle: TraceHandle,
     id: SpanId,
+    pushed_lane: Option<u32>,
 }
 
 impl SpanGuard {
@@ -141,6 +205,24 @@ impl SpanGuard {
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         self.handle.close_span(self.id);
+        if let Some(lane) = self.pushed_lane {
+            self.handle.stack_pop(lane);
+        }
+    }
+}
+
+/// Guard returned by [`TraceHandle::stack_frame`]; pops the published
+/// frame on drop. Emits nothing.
+pub struct StackFrameGuard {
+    handle: TraceHandle,
+    pushed_lane: Option<u32>,
+}
+
+impl Drop for StackFrameGuard {
+    fn drop(&mut self) {
+        if let Some(lane) = self.pushed_lane {
+            self.handle.stack_pop(lane);
+        }
     }
 }
 
@@ -173,6 +255,7 @@ pub fn with_worker<R>(id: u32, f: impl FnOnce() -> R) -> R {
 mod tests {
     use super::*;
     use crate::sink::RingSink;
+    use crate::stack::SpanStacks;
 
     #[test]
     fn disabled_handle_is_inert() {
@@ -211,6 +294,52 @@ mod tests {
         let seen = with_worker(7, current_worker);
         assert_eq!(seen, 7);
         assert_eq!(current_worker(), 0);
+    }
+
+    #[test]
+    fn span_guards_publish_profiler_frames() {
+        let stacks = Arc::new(SpanStacks::new());
+        let h = TraceHandle::with_parts(None, Some(stacks.clone()));
+        assert!(h.is_enabled(), "profiler-only handles still thread through");
+        let mut ids = Vec::new();
+        {
+            let _req = h.stack_frame("request");
+            let rung = h.span("rung:full", SpanId::ROOT);
+            let _milp = h.span("milp", rung.id());
+            assert!(stacks.sample_into(0, &mut ids));
+            assert_eq!(stacks.resolve(&ids), ["request", "rung:full", "milp"]);
+            // profiler-only: emits are inert but harmless
+            h.emit(rung.id(), EventKind::Dequeued);
+        }
+        assert!(stacks.sample_into(0, &mut ids));
+        assert!(ids.is_empty(), "guards pop their frames on drop");
+        h.flush();
+    }
+
+    #[test]
+    fn raw_open_close_does_not_touch_the_stack() {
+        // raw spans may cross threads, so only RAII guards publish frames
+        let ring = Arc::new(RingSink::new(16));
+        let stacks = Arc::new(SpanStacks::new());
+        let h = TraceHandle::with_parts(Some(ring.clone()), Some(stacks.clone()));
+        let s = h.open_span("request", SpanId::ROOT);
+        let mut ids = Vec::new();
+        assert!(stacks.sample_into(0, &mut ids));
+        assert!(ids.is_empty());
+        h.close_span(s);
+        assert_eq!(ring.drain().len(), 2, "events still flow");
+    }
+
+    #[test]
+    fn guard_pops_the_lane_it_pushed() {
+        let stacks = Arc::new(SpanStacks::new());
+        let h = TraceHandle::with_parts(None, Some(stacks.clone()));
+        let g = with_worker(5, || h.span("rung:full", SpanId::ROOT));
+        assert_eq!(stacks.depth(5), 1);
+        // lane changed between open and drop: the guard still pops lane 5
+        drop(g);
+        assert_eq!(stacks.depth(5), 0);
+        assert_eq!(stacks.depth(0), 0);
     }
 
     #[test]

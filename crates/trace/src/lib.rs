@@ -39,8 +39,12 @@ mod event;
 mod handle;
 mod hist;
 mod sink;
+mod stack;
 
 pub use event::{Event, EventKind, PruneReason};
-pub use handle::{current_worker, set_worker, with_worker, SpanGuard, SpanId, TraceHandle};
+pub use handle::{
+    current_worker, set_worker, with_worker, SpanGuard, SpanId, StackFrameGuard, TraceHandle,
+};
 pub use hist::LogHistogram;
 pub use sink::{CounterSink, JsonlSink, NullSink, RingSink, Sink, TeeSink};
+pub use stack::{SpanStacks, MAX_LANES, MAX_STACK_DEPTH};

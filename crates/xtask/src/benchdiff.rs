@@ -9,6 +9,13 @@
 //! welcome. Sub-millisecond baselines are compared with a 0.5 ms absolute
 //! floor on the allowance: at that scale scheduler noise dwarfs any real
 //! regression a ratio would catch.
+//!
+//! The single-file mode `benchdiff <results.json> --assert-ratio A:B
+//! [--max-ratio <r>]` gates one instance against another from the *same*
+//! run — e.g. the profiler-overhead gate asserts
+//! `engine_throughput/cold_prof97/4` ≤ 1.02 × `…/cold_64req/4`. Comparing
+//! within one run keeps the machine, load and build identical, so the
+//! ratio isolates exactly the configuration delta.
 
 use std::fmt::Write as _;
 use std::fs;
@@ -22,6 +29,8 @@ const NOISE_FLOOR_MS: f64 = 0.5;
 pub fn run(args: &[String]) -> ExitCode {
     let mut files = Vec::new();
     let mut tol = 0.10;
+    let mut ratio_pair: Option<(String, String)> = None;
+    let mut max_ratio = 1.02;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -29,10 +38,44 @@ pub fn run(args: &[String]) -> ExitCode {
                 Some(t) if t >= 0.0 => tol = t,
                 _ => return usage("--tol needs a non-negative fraction (e.g. 0.10)"),
             },
+            "--assert-ratio" => match it.next().and_then(|v| v.split_once(':')) {
+                Some((a, b)) if !a.is_empty() && !b.is_empty() => {
+                    ratio_pair = Some((a.to_string(), b.to_string()));
+                }
+                _ => return usage("--assert-ratio needs <instance>:<baseline-instance>"),
+            },
+            "--max-ratio" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(r) if r > 0.0 => max_ratio = r,
+                _ => return usage("--max-ratio needs a positive factor (e.g. 1.02)"),
+            },
             flag if flag.starts_with('-') => return usage(&format!("unknown flag {flag}")),
             file => files.push(file.to_string()),
         }
     }
+
+    if let Some((inst, base)) = ratio_pair {
+        let [path] = files.as_slice() else {
+            return usage("--assert-ratio takes exactly one results file");
+        };
+        let records = match load(path) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("benchdiff: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match assert_ratio(&records, &inst, &base, max_ratio) {
+            Ok(report) => {
+                print!("{report}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("benchdiff: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     let [baseline_path, current_path] = files.as_slice() else {
         return usage("need exactly two files: <baseline.json> <current.json>");
     };
@@ -65,9 +108,48 @@ pub fn run(args: &[String]) -> ExitCode {
 fn usage(msg: &str) -> ExitCode {
     eprintln!("benchdiff: {msg}");
     eprintln!(
-        "usage: cargo run -p xtask -- benchdiff <baseline.json> <current.json> [--tol <frac>]"
+        "usage: cargo run -p xtask -- benchdiff <baseline.json> <current.json> [--tol <frac>]\n       cargo run -p xtask -- benchdiff <results.json> --assert-ratio <inst>:<base> [--max-ratio <r>]"
     );
     ExitCode::from(2)
+}
+
+/// Single-file ratio gate: `inst` must run within `max_ratio` of `base`
+/// (same file, same machine, same build). Sub-noise-floor baselines pass
+/// unconditionally — a ratio of two noise measurements gates nothing.
+fn assert_ratio(
+    records: &[(String, f64)],
+    inst: &str,
+    base: &str,
+    max_ratio: f64,
+) -> Result<String, String> {
+    let find = |name: &str| {
+        records
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, ms)| *ms)
+            .ok_or_else(|| format!("instance `{name}` not in the results file"))
+    };
+    let inst_ms = find(inst)?;
+    let base_ms = find(base)?;
+    if base_ms <= NOISE_FLOOR_MS {
+        return Ok(format!(
+            "{inst} {inst_ms:.3} ms vs {base} {base_ms:.3} ms — baseline under the \
+             {NOISE_FLOOR_MS} ms noise floor, ratio not meaningful: ok\n"
+        ));
+    }
+    let ratio = inst_ms / base_ms;
+    let report = format!(
+        "{inst} {inst_ms:.3} ms / {base} {base_ms:.3} ms = {ratio:.4} (max {max_ratio:.4})\n"
+    );
+    if ratio > max_ratio {
+        return Err(format!(
+            "{report}benchdiff: ratio {ratio:.4} exceeds --max-ratio {max_ratio:.4} \
+             ({:+.2}% overhead allowed, got {:+.2}%)",
+            (max_ratio - 1.0) * 100.0,
+            (ratio - 1.0) * 100.0
+        ));
+    }
+    Ok(format!("{report}ok\n"))
 }
 
 fn load(path: &str) -> Result<Vec<(String, f64)>, String> {
@@ -177,6 +259,30 @@ mod tests {
         let cur = recs(&[("warm", 0.9)]);
         let (report, failures) = diff(&base, &cur, 0.10);
         assert_eq!(failures, 0, "{report}");
+    }
+
+    #[test]
+    fn ratio_gate_passes_under_and_fails_over() {
+        let recs = recs(&[("e/cold_prof97/4", 345.0), ("e/cold_64req/4", 342.0)]);
+        let ok = assert_ratio(&recs, "e/cold_prof97/4", "e/cold_64req/4", 1.02).unwrap();
+        assert!(ok.contains("ok"), "{ok}");
+        let err = assert_ratio(&recs, "e/cold_prof97/4", "e/cold_64req/4", 1.005).unwrap_err();
+        assert!(err.contains("exceeds --max-ratio"), "{err}");
+    }
+
+    #[test]
+    fn ratio_gate_reports_missing_instances() {
+        let recs = recs(&[("a", 10.0)]);
+        let err = assert_ratio(&recs, "a", "b", 1.02).unwrap_err();
+        assert!(err.contains("`b` not in the results file"), "{err}");
+    }
+
+    #[test]
+    fn ratio_gate_skips_noise_floor_baselines() {
+        // two sub-noise measurements: a 3× "overhead" of nothing passes
+        let recs = recs(&[("warm_prof", 0.9), ("warm", 0.3)]);
+        let ok = assert_ratio(&recs, "warm_prof", "warm", 1.02).unwrap();
+        assert!(ok.contains("noise floor"), "{ok}");
     }
 
     #[test]

@@ -15,13 +15,22 @@
 //!   over an engine's `/metrics` endpoint (see [`watch`]).
 //! * `cargo run -p xtask -- benchdiff <baseline.json> <current.json>`
 //!   compares two `results/BENCH_*.json` files and fails on wall-clock
-//!   regressions beyond a tolerance (see [`benchdiff`]).
+//!   regressions beyond a tolerance (see [`benchdiff`]); the
+//!   `--assert-ratio A:B` mode gates one instance against another inside
+//!   a single file (the profiler-overhead gate).
 //! * `cargo run -p xtask -- simreport <report.json>` gates a closed-loop
 //!   sim report: bounded realised/planned ratio, no stranded demand, no
 //!   deadline misses (see [`simreport`]).
+//! * `cargo run -p xtask -- prof <addr|file>` renders a continuous
+//!   profile — live `/profile` scrape, collapsed file, or post-mortem
+//!   bundle — as a self/total "top phases" table (see [`prof`]).
+//! * `cargo run -p xtask -- postmortem <bundle.json>` renders a flight
+//!   recorder's dump as an incident report (see [`postmortem`]).
 
 mod analyze;
 mod benchdiff;
+mod postmortem;
+mod prof;
 mod simreport;
 mod trace;
 mod watch;
@@ -38,9 +47,11 @@ fn main() -> ExitCode {
         Some("watch") => watch::run(&args[1..]),
         Some("benchdiff") => benchdiff::run(&args[1..]),
         Some("simreport") => simreport::run(&args[1..]),
+        Some("prof") => prof::run(&args[1..]),
+        Some("postmortem") => postmortem::run(&args[1..]),
         _ => {
             eprintln!(
-                "usage: cargo run -p xtask -- analyze [--deny all] [--json <path|->] [--bench-out <path>]\n       cargo run -p xtask -- trace <file.jsonl> [--assert-gap-closed] [--gap-tol <rel>]\n       cargo run -p xtask -- watch <addr> [--interval-ms <n>] [--frames <n>]\n       cargo run -p xtask -- benchdiff <baseline.json> <current.json> [--tol <frac>]\n       cargo run -p xtask -- simreport <report.json> [--assert-realised-ratio <ceiling>]"
+                "usage: cargo run -p xtask -- analyze [--deny all] [--json <path|->] [--bench-out <path>]\n       cargo run -p xtask -- trace <file.jsonl> [--assert-gap-closed] [--gap-tol <rel>]\n       cargo run -p xtask -- watch <addr> [--interval-ms <n>] [--frames <n>]\n       cargo run -p xtask -- benchdiff <baseline.json> <current.json> [--tol <frac>]\n       cargo run -p xtask -- benchdiff <results.json> --assert-ratio <inst>:<base> [--max-ratio <r>]\n       cargo run -p xtask -- simreport <report.json> [--assert-realised-ratio <ceiling>]\n       cargo run -p xtask -- prof <addr|collapsed.txt|bundle.json> [--top <n>] [--collapsed] [--no-color]\n       cargo run -p xtask -- postmortem <bundle.json> [--events <n>] [--no-color]"
             );
             ExitCode::from(2)
         }

@@ -1,0 +1,246 @@
+//! `cargo run -p xtask -- postmortem <bundle.json>` — render a flight
+//! recorder's post-mortem bundle (`rrp-postmortem/1`) as a terminal
+//! incident report: the trigger, the profile's top phases at dump time,
+//! the engine's metrics snapshot, the in-flight request table, and the
+//! tail of the event ring.
+//!
+//! The report is deterministic for a fixed bundle (no wall-clock reads),
+//! which is what lets CI golden-pin it.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use serde_json::Value;
+
+use crate::prof;
+
+/// Ring-tail lines shown by default.
+const EVENT_TAIL: usize = 20;
+
+pub fn run(args: &[String]) -> ExitCode {
+    let mut path = None;
+    let mut color = true;
+    let mut tail = EVENT_TAIL;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--no-color" => color = false,
+            "--events" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => tail = n,
+                None => return usage("--events needs an integer argument"),
+            },
+            flag if flag.starts_with('-') => return usage(&format!("unknown flag {flag}")),
+            a => {
+                if path.replace(a.to_string()).is_some() {
+                    return usage("more than one bundle given");
+                }
+            }
+        }
+    }
+    let Some(path) = path else {
+        return usage("no bundle given (a postmortem-*.json dumped by the flight recorder)");
+    };
+    let body = match std::fs::read_to_string(&path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("postmortem: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match render(&body, tail, color) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("postmortem: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("postmortem: {msg}");
+    eprintln!("usage: cargo run -p xtask -- postmortem <bundle.json> [--events <n>] [--no-color]");
+    ExitCode::from(2)
+}
+
+pub(crate) fn render(body: &str, tail: usize, color: bool) -> Result<String, String> {
+    let v: Value = serde_json::from_str(body).map_err(|e| format!("invalid JSON: {e:?}"))?;
+    let schema = v.get("schema").and_then(Value::as_str).unwrap_or("?");
+    if schema != "rrp-postmortem/1" {
+        return Err(format!("unsupported schema `{schema}` (want rrp-postmortem/1)"));
+    }
+    let (bold, dim, alert, reset) =
+        if color { ("\x1b[1m", "\x1b[2m", "\x1b[31;1m", "\x1b[0m") } else { ("", "", "", "") };
+    let mut out = String::with_capacity(4096);
+
+    let cause = v.get("cause").and_then(Value::as_str).unwrap_or("?");
+    let t_us = v.get("t_us").and_then(Value::as_u64).unwrap_or(0);
+    let _ = writeln!(out, "{bold}post-mortem{reset} — trigger {alert}{cause}{reset}");
+    let _ = writeln!(
+        out,
+        "{dim}  dumped at t=+{:.3}s   ring horizon {}s   {} events evicted by cap{reset}",
+        t_us as f64 / 1e6,
+        v.get("ring_seconds").and_then(Value::as_u64).unwrap_or(0),
+        v.get("ring_dropped").and_then(Value::as_u64).unwrap_or(0),
+    );
+
+    // profile at dump time
+    out.push('\n');
+    let collapsed = prof::bundle_to_collapsed(body)?;
+    let (rows, total) = prof::aggregate(&collapsed);
+    if total > 0 {
+        out.push_str(&prof::render_table(&rows, total, 8, color));
+    } else {
+        let _ = writeln!(out, "{dim}  (no profiler samples in the bundle){reset}");
+    }
+
+    // engine metrics snapshot
+    if let Some(m) = v.get("metrics").filter(|m| !m.is_null()) {
+        let num =
+            |k: &str| m.get(k).and_then(Value::as_f64).map_or("-".to_string(), |x| format!("{x}"));
+        out.push('\n');
+        let _ = writeln!(out, "{bold}engine at dump{reset}");
+        let _ = writeln!(
+            out,
+            "  completed {}   queue depth {} (high-water {})   deadline misses {}",
+            num("completed"),
+            num("queue_depth"),
+            num("queue_depth_high_water"),
+            num("deadline_misses"),
+        );
+        let _ = writeln!(
+            out,
+            "  cache hit rate {}   audits {}   rejections {}   p99 latency {} ms",
+            num("cache_hit_rate"),
+            num("audits"),
+            num("audit_rejections"),
+            num("p99_latency_ms"),
+        );
+    }
+
+    // in-flight requests
+    if let Some(rows) = v.get("inflight").and_then(Value::as_array) {
+        out.push('\n');
+        let _ = writeln!(out, "{bold}in-flight requests ({}){reset}", rows.len());
+        for r in rows {
+            let s = |k: &str| r.get(k).and_then(Value::as_str).unwrap_or("?").to_string();
+            let n = |k: &str| r.get(k).and_then(Value::as_u64).unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "  {:<20} {:<16} deadline {:>6} ms   running {:>6} ms",
+                s("tenant"),
+                s("level"),
+                n("deadline_ms"),
+                n("running_ms"),
+            );
+        }
+    }
+
+    // event-ring tail
+    let events = v.get("events").and_then(Value::as_array).unwrap_or(&[]);
+    out.push('\n');
+    let shown = events.len().min(tail);
+    let _ = writeln!(out, "{bold}event ring — last {shown} of {}{reset}", events.len());
+    for ev in events.iter().skip(events.len() - shown) {
+        let _ = writeln!(out, "  {}", render_event(ev));
+    }
+    Ok(out)
+}
+
+/// One ring event as a compact line: time, worker lane, tag, then every
+/// payload field in declaration order.
+fn render_event(ev: &Value) -> String {
+    let t_us = ev.get("t_us").and_then(Value::as_u64).unwrap_or(0);
+    let worker = ev.get("worker").and_then(Value::as_u64).unwrap_or(0);
+    let tag = ev.get("ev").and_then(Value::as_str).unwrap_or("?");
+    let mut line = format!("+{:>10.3}s  w{worker}  {tag:<18}", t_us as f64 / 1e6);
+    if let Some(obj) = ev.as_object() {
+        for (k, val) in obj {
+            if matches!(k.as_str(), "t_us" | "worker" | "span" | "ev") {
+                continue;
+            }
+            let rendered = match val {
+                Value::String(s) => s.clone(),
+                other => serde_json::to_string(other).unwrap_or_else(|_| "?".to_string()),
+            };
+            let _ = write!(line, " {k}={rendered}");
+        }
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use std::path::PathBuf;
+
+    use super::*;
+
+    /// A synthetic but shape-faithful bundle: fixed timestamps, one of
+    /// each section. Changing the renderer means re-blessing the golden
+    /// with `UPDATE_GOLDEN=1 cargo test -p xtask postmortem`.
+    const BUNDLE: &str = r#"{"schema":"rrp-postmortem/1","cause":"deadline_miss_spike",
+      "t_us":0,"ring_seconds":30,"ring_dropped":0,
+      "events":[
+        {"t_us":0,"worker":0,"span":1,"ev":"span_open","name":"request","parent":0},
+        {"t_us":0,"worker":0,"span":1,"ev":"cache_lookup","hit":false},
+        {"t_us":0,"worker":0,"span":1,"ev":"audit_gate","verdict":"pass","tightenings":3},
+        {"t_us":0,"worker":0,"span":1,"ev":"ladder_step","level":"full","outcome":"exhausted:deadline","elapsed_us":0},
+        {"t_us":0,"worker":0,"span":1,"ev":"request_done","tenant":"storm","level":"full","outcome":"ok","latency_us":0,"deadline_met":false}
+      ],
+      "samples":[
+        {"stack":"request;rung:full;milp","count":70},
+        {"stack":"request;rung:full","count":5},
+        {"stack":"request","count":10}
+      ],
+      "samples_total":85,
+      "metrics":{"completed":12,"queue_depth":0,"queue_depth_high_water":7,
+        "deadline_misses":9,"cache_hit_rate":0,"audits":12,"audit_rejections":1,
+        "p99_latency_ms":0},
+      "inflight":[
+        {"tenant":"storm","level":"full","deadline_ms":15,"running_ms":0}
+      ]}"#;
+
+    fn check_golden(name: &str, text: &str) {
+        let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/golden")
+            .join(format!("{name}.txt"));
+        if std::env::var_os("UPDATE_GOLDEN").is_some() {
+            std::fs::create_dir_all(path.parent().unwrap()).expect("golden dir");
+            std::fs::write(&path, text).expect("write golden");
+            return;
+        }
+        let want =
+            std::fs::read_to_string(&path).expect("golden file; regenerate with UPDATE_GOLDEN=1");
+        assert_eq!(
+            text, want,
+            "golden mismatch for `{name}`; if intended, rerun with UPDATE_GOLDEN=1 and review"
+        );
+    }
+
+    #[test]
+    fn postmortem_report_matches_the_golden_pin() {
+        let report = render(BUNDLE, 20, false).expect("synthetic bundle renders");
+        check_golden("postmortem_report", &report);
+    }
+
+    #[test]
+    fn report_names_every_section() {
+        let report = render(BUNDLE, 3, false).unwrap();
+        assert!(report.contains("trigger deadline_miss_spike"), "{report}");
+        assert!(report.contains("top phases — 85 samples"), "{report}");
+        assert!(report.contains("engine at dump"), "{report}");
+        assert!(report.contains("in-flight requests (1)"), "{report}");
+        assert!(report.contains("last 3 of 5"), "{report}");
+        assert!(report.contains("deadline_met=false"), "{report}");
+        assert!(!report.contains('\x1b'), "--no-color strips ANSI");
+    }
+
+    #[test]
+    fn wrong_schema_is_refused() {
+        let err = render(r#"{"schema":"other/9"}"#, 5, false).unwrap_err();
+        assert!(err.contains("unsupported schema"), "{err}");
+        assert!(render("not json", 5, false).is_err());
+    }
+}

@@ -209,6 +209,33 @@ fn render(
         let _ = writeln!(out, "  dropped     {} trace events lost under pressure", dropped as u64);
     }
 
+    // flight-recorder panel (present only on profiling engines)
+    if let Some(sampled) = value(samples, "rrp_prof_samples_total") {
+        let paths = value(samples, "rrp_prof_distinct_paths").unwrap_or(0.0);
+        let _ = writeln!(
+            out,
+            "  profiler    {:>8} samples   {} distinct span paths",
+            sampled as u64, paths as u64
+        );
+    }
+    if let Some(ring) = value(samples, "rrp_flight_ring_events") {
+        let dumps = value(samples, "rrp_flight_dumps_total").unwrap_or(0.0);
+        let evicted = value(samples, "rrp_flight_ring_dropped_total").unwrap_or(0.0);
+        let cause = samples
+            .iter()
+            .find(|s| s.name == "rrp_flight_last_trigger" && s.value > 0.0)
+            .and_then(|s| s.label("cause"))
+            .unwrap_or("-");
+        let _ = writeln!(
+            out,
+            "  flight      {:>8} ring events   {} dumps   last trigger {}{}",
+            ring as u64,
+            dumps as u64,
+            cause,
+            if evicted > 0.0 { format!("   ({} evicted)", evicted as u64) } else { String::new() }
+        );
+    }
+
     let _ = writeln!(out, "  rungs served:");
     let rungs = ["full", "deterministic", "dynamic-program", "on-demand-only"];
     let served: Vec<f64> = rungs
@@ -317,7 +344,14 @@ mod tests {
              rrp_level_served_total{rung=\"on-demand-only\"} 0\n\
              rrp_requests_total{tenant=\"acme\"} 50\n\
              rrp_requests_total{tenant=\"zephyr\"} 14\n\
-             rrp_deadline_miss_total{tenant=\"acme\"} 1\n",
+             rrp_deadline_miss_total{tenant=\"acme\"} 1\n\
+             rrp_prof_samples_total 4821\n\
+             rrp_prof_distinct_paths 9\n\
+             rrp_flight_ring_events 311\n\
+             rrp_flight_dumps_total 1\n\
+             rrp_flight_ring_dropped_total 0\n\
+             rrp_flight_last_trigger{cause=\"deadline_miss_spike\"} 1\n\
+             rrp_flight_last_trigger{cause=\"panic\"} 0\n",
         )
         .expect("test body parses")
     }
@@ -351,6 +385,19 @@ mod tests {
         assert!(screen.contains("acme"), "{screen}");
         assert!(screen.contains("2 trace events lost"), "{screen}");
         assert!(screen.contains("NOT READY [503]"), "{screen}");
+        assert!(screen.contains("4821 samples"), "{screen}");
+        assert!(screen.contains("311 ring events"), "{screen}");
+        assert!(screen.contains("last trigger deadline_miss_spike"), "{screen}");
+    }
+
+    #[test]
+    fn flight_panel_is_absent_without_prof_metrics() {
+        let samples = parse("rrp_completed_total 4\n").expect("parses");
+        let mut state = WatchState::default();
+        let screen =
+            render("127.0.0.1:1", 1, Duration::from_millis(100), &samples, None, &mut state);
+        assert!(!screen.contains("profiler"), "{screen}");
+        assert!(!screen.contains("flight"), "{screen}");
     }
 
     #[test]

@@ -14,12 +14,19 @@
 //! `/metrics`, `/snapshot`, `/healthz` and `/readyz` on that address, and
 //! `--hold <secs>` to keep the engine alive after the demo with a request
 //! trickle — watch it live with `cargo run -p xtask -- watch <addr>`.
+//!
+//! Pass `--profile <hz>` to run the continuous span-stack profiler
+//! (render live with `cargo run -p xtask -- prof <addr>` when
+//! `--serve-metrics` is also given), and `--flight-dir <dir>` to arm the
+//! flight recorder: incidents (deadline-miss spikes, budget exhaustion,
+//! panics) dump post-mortem bundles into `<dir>`, rendered with
+//! `cargo run -p xtask -- postmortem <bundle.json>`.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rrp_core::{CostSchedule, PlanningParams, ScenarioTree};
-use rrp_engine::{Engine, EngineConfig, MetricsConfig, PlanRequest, PolicyKind};
+use rrp_engine::{Engine, EngineConfig, MetricsConfig, PlanRequest, PolicyKind, ProfConfig};
 use rrp_spotmarket::{CostRates, EmpiricalDist};
 use rrp_trace::JsonlSink;
 
@@ -47,9 +54,25 @@ fn main() {
     let mut trace_path = None;
     let mut metrics_addr = None;
     let mut hold_secs = 0u64;
+    let mut profile_hz = None;
+    let mut flight_dir = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--profile" => match args.next().and_then(|v| v.parse::<u32>().ok()) {
+                Some(hz) if hz > 0 => profile_hz = Some(hz),
+                _ => {
+                    eprintln!("--profile needs a sampling rate in Hz (e.g. 97)");
+                    std::process::exit(2);
+                }
+            },
+            "--flight-dir" => match args.next() {
+                Some(dir) => flight_dir = Some(dir),
+                None => {
+                    eprintln!("--flight-dir needs a directory for post-mortem bundles");
+                    std::process::exit(2);
+                }
+            },
             "--trace" => match args.next() {
                 Some(path) => trace_path = Some(path),
                 None => {
@@ -76,19 +99,38 @@ fn main() {
     }
     let metrics =
         metrics_addr.clone().map(|addr| MetricsConfig { addr: Some(addr), ..Default::default() });
-    let engine = match (&trace_path, metrics) {
-        (None, None) => Engine::new(4),
-        (path, metrics) => {
+    // either flag arms the prof subsystem: `--profile` picks the sampling
+    // rate, `--flight-dir` arms the recorder's dumps (with the default
+    // 97 Hz sampler so bundles carry a profile), and the panic hook rides
+    // along whenever a dump directory exists
+    let prof = (profile_hz.is_some() || flight_dir.is_some()).then(|| ProfConfig {
+        sample_hz: profile_hz.unwrap_or(ProfConfig::default().sample_hz),
+        panic_hook: flight_dir.is_some(),
+        bundle_dir: flight_dir.clone().map(std::path::PathBuf::from),
+        ..Default::default()
+    });
+    let engine = match (&trace_path, metrics, prof) {
+        (None, None, None) => Engine::new(4),
+        (path, metrics, prof) => {
             let sink = path.as_ref().map(|p| {
                 Arc::new(JsonlSink::create(p).expect("create trace file"))
                     as Arc<dyn rrp_trace::Sink>
             });
             Engine::with_config(
                 4,
-                EngineConfig { sink, count_solver_events: true, metrics, ..Default::default() },
+                EngineConfig {
+                    sink,
+                    count_solver_events: true,
+                    metrics,
+                    prof,
+                    ..Default::default()
+                },
             )
         }
     };
+    if let Some(dir) = &flight_dir {
+        println!("flight recorder armed — post-mortems dump to {dir}/\n");
+    }
     if let Some(addr) = engine.metrics_addr() {
         println!("metrics served on http://{addr}/metrics  (watch: cargo run -p xtask -- watch {addr})\n");
     }
@@ -176,6 +218,40 @@ fn main() {
             // fresh fingerprints (cache misses) and repeats (hits)
             let policy = policies[i % policies.len()];
             let _ = engine.submit(request(i % 24, policy, Duration::from_secs(5))).wait();
+            if profile_hz.is_some() {
+                // the trickle alone is cache-warm within seconds and each
+                // hit resolves in microseconds — far below one 97 Hz
+                // sample period. Profiling needs something to attribute,
+                // so add one never-cached capacitated stochastic solve
+                // per round: its branch & bound runs long enough for the
+                // sampler to catch the MILP rung mid-flight.
+                let horizon = 8;
+                let demand: Vec<f64> = (0..horizon)
+                    .map(|t| 0.15 + 0.11 * ((i + 3 * t) % 7) as f64 + 1e-4 * i as f64)
+                    .collect();
+                let d = EmpiricalDist::from_parts(vec![0.04, 0.12], vec![0.6, 0.4]);
+                let tree = ScenarioTree::from_stage_distributions(&vec![d; horizon], 100_000);
+                let _ = engine
+                    .submit(PlanRequest {
+                        app_id: format!("prof-load-{i}"),
+                        vm_class: "m1.small".into(),
+                        schedule: CostSchedule::ec2(
+                            vec![0.06; horizon],
+                            demand,
+                            &CostRates::ec2_2011(),
+                        ),
+                        params: PlanningParams { capacity: Some(0.7), ..Default::default() },
+                        tree: Some(tree),
+                        policy: PolicyKind::Stochastic,
+                        // 1 s cap: long enough to dominate the sample
+                        // histogram, short enough that a miss trickle
+                        // stays far below the flight recorder's default
+                        // spike threshold when `--flight-dir` is armed
+                        deadline: Duration::from_secs(1),
+                        seed: i as u64,
+                    })
+                    .wait();
+            }
             i += 1;
             std::thread::sleep(Duration::from_millis(150));
         }
