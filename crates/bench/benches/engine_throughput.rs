@@ -116,6 +116,11 @@ fn engine_throughput(c: &mut Criterion) {
     // gates their ratio at 1.02 with `xtask benchdiff --assert-ratio`.
     records.extend(prof_overhead_records(&requests));
 
+    // The SLO overhead pair: error budgets + burn-rate windows + tail
+    // sampling on vs off, same interleaved min-of-pairs protocol. CI
+    // gates `+slo_on` at ≤ 1.02 × `+slo_off`.
+    records.extend(slo_overhead_records(&requests));
+
     match results::write_json("BENCH_engine.json", &records) {
         Ok(path) => eprintln!("wrote {} ({} records)", path.display(), records.len()),
         Err(e) => eprintln!("warning: could not write BENCH_engine.json: {e}"),
@@ -219,6 +224,51 @@ fn prof_overhead_records(requests: &[PlanRequest]) -> [Record; 2] {
     [
         Record::timing("engine_throughput/cold_64req/4+prof_off".to_string(), off_ms),
         Record::timing("engine_throughput/cold_64req/4+prof97".to_string(), on_ms),
+    ]
+}
+
+/// The SLO-overhead pair for the CI `slo-overhead` gate: cold 64-request
+/// batches with the SLO engine off vs on (default objectives, burn-rate
+/// windows, and tail sampling — the healthy path, where retention
+/// assembles then discards every timeline).
+///
+/// Both sides keep the trace pipeline on (`count_solver_events`), so the
+/// pair isolates the SLO engine's own cost — ledger updates, window
+/// rings, timeline capture — instead of re-measuring the cost of turning
+/// tracing on, which the `+counters` record already carries.
+///
+/// Same interleaved min-of-pairs protocol as [`prof_overhead_records`],
+/// and for the same reason: scheduler preemption only ever adds time, so
+/// min-of-pairs isolates the configuration delta. `xtask benchdiff
+/// --assert-ratio` gates `+slo_on` at ≤ 1.02 × `+slo_off`.
+fn slo_overhead_records(requests: &[PlanRequest]) -> [Record; 2] {
+    const PAIRS: usize = 6;
+    let run = |slo: bool| -> f64 {
+        let engine = Engine::with_config(
+            4,
+            EngineConfig {
+                count_solver_events: true,
+                slo: slo.then(rrp_engine::SloConfig::default),
+                ..Default::default()
+            },
+        );
+        let t0 = Instant::now();
+        black_box(engine.run_batch(requests.to_vec()));
+        t0.elapsed().as_secs_f64() * 1e3
+    };
+    run(false); // warm-up, untimed
+    let (mut off_ms, mut on_ms) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..PAIRS {
+        off_ms = off_ms.min(run(false));
+        on_ms = on_ms.min(run(true));
+    }
+    eprintln!(
+        "slo overhead pair: off {off_ms:.1} ms vs on {on_ms:.1} ms (ratio {:.4})",
+        on_ms / off_ms
+    );
+    [
+        Record::timing("engine_throughput/cold_64req/4+slo_off".to_string(), off_ms),
+        Record::timing("engine_throughput/cold_64req/4+slo_on".to_string(), on_ms),
     ]
 }
 

@@ -76,4 +76,5 @@ pub use request::{
 };
 pub use rrp_audit::InfeasibilityProof;
 pub use rrp_prof::ProfConfig;
+pub use rrp_slo::SloConfig;
 pub use service::{Engine, EngineConfig, MetricsConfig, Ticket};

@@ -17,6 +17,7 @@ use rrp_core::fingerprint::Fnv64;
 use rrp_milp::{MilpOptions, SolveBudget};
 use rrp_obs::{MetricsSink, ObsHooks, ObsServer, Readiness, Registry};
 use rrp_prof::{install_panic_hook, FlightRecorder, ProfConfig, Profiler, SamplerShared};
+use rrp_slo::{SloConfig, SloEngine};
 use rrp_trace::{CounterSink, EventKind, Sink, SpanId, SpanStacks, TeeSink, TraceHandle};
 use serde::Serialize;
 
@@ -55,6 +56,14 @@ pub struct EngineConfig {
     /// into the event pipeline whose triggers dump post-mortem bundles.
     /// With a metrics server, `/profile` and `/flight` come alive too.
     pub prof: Option<ProfConfig>,
+    /// Per-tenant SLO accounting ([`rrp_slo`]). `None` (the default)
+    /// builds no SLO engine. `Some` tees an [`SloEngine`] into the event
+    /// pipeline (enabling tracing): rolling error budgets, multi-window
+    /// burn-rate alerts, and tail-sampled request timelines. With a
+    /// metrics server, `/slo` and the `rrp_slo_*` families come alive;
+    /// with profiling, a burn-rate breach fires the `slo_burn_rate`
+    /// flight trigger so the bundle carries the tenant's exemplars.
+    pub slo: Option<SloConfig>,
 }
 
 /// Metrics exposition options (see [`EngineConfig::metrics`]).
@@ -96,6 +105,10 @@ struct ProfRuntime {
 /// right now, serialised into post-mortem bundles so a dump answers "what
 /// was running when it died".
 struct InflightEntry {
+    /// Engine-assigned request id — the same id the request's
+    /// `RequestDone` event carries, so the in-flight table, the flight
+    /// ring and the SLO exemplar store agree on identity.
+    request_id: u64,
     tenant: String,
     level: &'static str,
     deadline_ms: u64,
@@ -120,10 +133,15 @@ struct Shared {
     /// Profiler + flight recorder; `None` unless built with
     /// [`EngineConfig::prof`].
     prof: Option<ProfRuntime>,
+    /// Per-tenant SLO engine; `None` unless built with
+    /// [`EngineConfig::slo`]. Also teed into the trace pipeline as a sink.
+    slo: Option<Arc<SloEngine>>,
     /// In-flight request table, maintained only while `prof` is present
     /// (bounded by worker count: one entry per request being processed).
     inflight: Mutex<HashMap<u64, InflightEntry>>,
-    next_inflight: AtomicU64,
+    /// Engine-assigned request ids, stamped into every `RequestDone`
+    /// event (and the in-flight table) whether or not profiling is on.
+    next_request_id: AtomicU64,
 }
 
 /// Lock a mutex, recovering the guard from a poisoned lock (the in-flight
@@ -153,7 +171,7 @@ impl Shared {
             if i > 0 {
                 out.push(',');
             }
-            out.push_str("{\"tenant\":\"");
+            let _ = write!(out, "{{\"request_id\":{},\"tenant\":\"", e.request_id);
             // tenant ids are caller-supplied: escape like any JSON string
             for c in e.tenant.chars() {
                 match c {
@@ -188,22 +206,21 @@ struct InflightGuard<'a> {
 }
 
 impl<'a> InflightGuard<'a> {
-    fn track(shared: &'a Shared, req: &PlanRequest) -> Self {
+    fn track(shared: &'a Shared, req: &PlanRequest, request_id: u64) -> Self {
         if shared.prof.is_none() {
             return Self { shared, id: None };
         }
-        // relaxed-ok: ids only need uniqueness
-        let id = shared.next_inflight.fetch_add(1, Ordering::Relaxed);
         lock(&shared.inflight).insert(
-            id,
+            request_id,
             InflightEntry {
+                request_id,
                 tenant: req.app_id.clone(),
                 level: req.policy.start_level().as_str(),
                 deadline_ms: req.deadline.as_millis() as u64,
                 started: Instant::now(),
             },
         );
-        Self { shared, id: Some(id) }
+        Self { shared, id: Some(request_id) }
     }
 }
 
@@ -259,7 +276,7 @@ impl Engine {
     /// An engine with full construction options, including telemetry.
     pub fn with_config(workers: usize, config: EngineConfig) -> Self {
         assert!(workers > 0, "engine needs at least one worker");
-        let EngineConfig { milp: opts, sink, count_solver_events, metrics, prof } = config;
+        let EngineConfig { milp: opts, sink, count_solver_events, metrics, prof, slo } = config;
         let counters = Arc::new(CounterSink::new());
         let registry = metrics.as_ref().map(|_| Arc::new(Registry::new()));
 
@@ -281,6 +298,13 @@ impl Engine {
         }
         if let Some(f) = &flight {
             fanout.push(Arc::clone(f) as Arc<dyn Sink>);
+        }
+        // the SLO engine follows the flight recorder so that when a
+        // burn-rate alert fires mid-emit, the RequestDone that tripped it
+        // is already in the flight ring the bundle serialises
+        let slo_engine = slo.map(|cfg| Arc::new(SloEngine::new(cfg)));
+        if let Some(s) = &slo_engine {
+            fanout.push(Arc::clone(s) as Arc<dyn Sink>);
         }
         if let Some(external) = sink {
             fanout.push(external);
@@ -317,8 +341,9 @@ impl Engine {
             event_sink,
             registry,
             prof: prof_rt,
+            slo: slo_engine,
             inflight: Mutex::new(HashMap::new()),
-            next_inflight: AtomicU64::new(0),
+            next_request_id: AtomicU64::new(0),
         });
         if let Some(rt) = &shared.prof {
             // Weak closures: the recorder lives inside the pipeline the
@@ -337,6 +362,23 @@ impl Engine {
                 Some(s) => s.inflight_json(),
                 None => "[]".to_string(),
             }));
+            if let Some(slo) = &shared.slo {
+                // bundle side: the recorder pulls the SLO status (strong
+                // Arc is fine — the recorder is not reachable from the
+                // SLO engine except through the Weak hook below)
+                let slo_for_bundle = Arc::clone(slo);
+                rt.flight.set_slo_provider(Box::new(move || slo_for_bundle.status_json()));
+                // alert side: a burn-rate breach dumps a post-mortem whose
+                // `slo` section carries the offending tenant's exemplars.
+                // Weak, because the flight recorder sits in the pipeline
+                // the SLO engine's hook would otherwise keep alive.
+                let weak_flight = Arc::downgrade(&rt.flight);
+                slo.set_alert_hook(Box::new(move |_alert| {
+                    if let Some(f) = weak_flight.upgrade() {
+                        let _ = f.trigger("slo_burn_rate");
+                    }
+                }));
+            }
         }
         let handles = (0..workers)
             .map(|i| {
@@ -469,6 +511,26 @@ impl Engine {
     pub fn flight_dumps(&self) -> u64 {
         self.shared.prof.as_ref().map_or(0, |rt| rt.flight.dumps_fired())
     }
+
+    /// SLO status document (`/slo` body: budgets, burn rates, alerts,
+    /// exemplar timelines), when the engine was built with
+    /// [`EngineConfig::slo`].
+    pub fn slo_status_json(&self) -> Option<String> {
+        self.shared.slo.as_ref().map(|s| s.status_json())
+    }
+
+    /// The SLO engine itself, when one was configured.
+    pub fn slo(&self) -> Option<&Arc<SloEngine>> {
+        self.shared.slo.as_ref()
+    }
+
+    /// Feed one sim episode's planned vs realised cost into `tenant`'s
+    /// cost-ratio objective. No-op without [`EngineConfig::slo`].
+    pub fn slo_record_cost(&self, tenant: &str, planned: f64, realised: f64) {
+        if let Some(s) = &self.shared.slo {
+            s.record_cost(tenant, planned, realised);
+        }
+    }
 }
 
 impl Drop for Engine {
@@ -505,6 +567,7 @@ fn obs_hooks(
     let ready_flag = Arc::clone(shutting_down);
     let profile_shared = Arc::clone(shared);
     let flight_shared = Arc::clone(shared);
+    let slo_shared = Arc::clone(shared);
     ObsHooks {
         metrics_text: Box::new(move || match &metrics_shared.registry {
             Some(reg) => {
@@ -548,6 +611,13 @@ fn obs_hooks(
         flight_json: if shared.prof.is_some() {
             Some(Box::new(move || {
                 flight_shared.prof.as_ref().map(|rt| rt.flight.status_json()).unwrap_or_default()
+            }))
+        } else {
+            None
+        },
+        slo_json: if shared.slo.is_some() {
+            Some(Box::new(move || {
+                slo_shared.slo.as_ref().map(|s| s.status_json()).unwrap_or_default()
             }))
         } else {
             None
@@ -602,6 +672,9 @@ fn sync_registry(shared: &Shared, reg: &Registry, workers: usize) {
         )
         .set(served);
     }
+    if let Some(slo) = &shared.slo {
+        slo.sync_registry(reg);
+    }
     if let Some(rt) = &shared.prof {
         reg.counter("rrp_prof_samples_total", "Profiler stack samples accumulated", &[])
             .set(rt.sampler.samples_total());
@@ -620,9 +693,14 @@ fn sync_registry(shared: &Shared, reg: &Registry, workers: usize) {
         // the cause taxonomy is closed, so every series can be synced
         // explicitly — no stale 1s after the latest trigger moves on
         let last = rt.flight.last_trigger();
-        for cause in
-            ["deadline_miss_spike", "budget_exhaustion", "readyz_flip", "panic", "sim_slo_breach"]
-        {
+        for cause in [
+            "deadline_miss_spike",
+            "budget_exhaustion",
+            "readyz_flip",
+            "panic",
+            "sim_slo_breach",
+            "slo_burn_rate",
+        ] {
             reg.gauge(
                 "rrp_flight_last_trigger",
                 "Most recent flight-recorder trigger, by cause (1 = latest)",
@@ -663,7 +741,9 @@ fn process(shared: &Shared, job: Job) {
     // the request span itself is opened on the submitting thread, so the
     // profiler frame is published here, on the worker lane that owns it
     let _frame = shared.trace.stack_frame("request");
-    let _inflight = InflightGuard::track(shared, &req);
+    // relaxed-ok: ids only need uniqueness
+    let request_id = shared.next_request_id.fetch_add(1, Ordering::Relaxed);
+    let _inflight = InflightGuard::track(shared, &req, request_id);
     shared.trace.emit(span, EventKind::Dequeued);
 
     let cached = shared.cache.lookup(key);
@@ -676,6 +756,7 @@ fn process(shared: &Shared, job: Job) {
         shared.trace.emit(
             span,
             EventKind::RequestDone {
+                request_id,
                 tenant: req.app_id.clone(),
                 level: entry.degradation.as_str(),
                 outcome: "cache_hit",
@@ -735,6 +816,7 @@ fn process(shared: &Shared, job: Job) {
         shared.trace.emit(
             span,
             EventKind::RequestDone {
+                request_id,
                 tenant: req.app_id.clone(),
                 level: req.policy.start_level().as_str(),
                 outcome: "rejected",
@@ -791,6 +873,7 @@ fn process(shared: &Shared, job: Job) {
     shared.trace.emit(
         span,
         EventKind::RequestDone {
+            request_id,
             tenant: req.app_id.clone(),
             level: result.level.as_str(),
             outcome: "ok",

@@ -269,6 +269,7 @@ mod tests {
         let reg = Arc::new(Registry::new());
         let sink = MetricsSink::new(Arc::clone(&reg));
         sink.emit(&ev(EventKind::RequestDone {
+            request_id: 0,
             tenant: "acme".to_string(),
             level: "full",
             outcome: "ok",
@@ -276,6 +277,7 @@ mod tests {
             deadline_met: true,
         }));
         sink.emit(&ev(EventKind::RequestDone {
+            request_id: 0,
             tenant: "acme".to_string(),
             level: "dynamic-program",
             outcome: "ok",
@@ -283,6 +285,7 @@ mod tests {
             deadline_met: false,
         }));
         sink.emit(&ev(EventKind::RequestDone {
+            request_id: 0,
             tenant: "other".to_string(),
             level: "deterministic",
             outcome: "rejected",
@@ -333,6 +336,7 @@ mod tests {
         let sink = MetricsSink::new(Arc::clone(&reg));
         let hostile = "a\"b\\c\nd";
         sink.emit(&ev(EventKind::RequestDone {
+            request_id: 0,
             tenant: hostile.to_string(),
             level: "full",
             outcome: "ok",

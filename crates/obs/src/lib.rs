@@ -41,6 +41,6 @@ pub mod server;
 pub mod text;
 
 pub use bridge::MetricsSink;
-pub use registry::{Counter, Gauge, Registry, Summary};
+pub use registry::{Counter, Gauge, Registry, Summary, OVERFLOW_LABEL};
 pub use server::{ObsHooks, ObsServer, Readiness};
 pub use text::{parse, Sample};

@@ -188,6 +188,15 @@ impl Registry {
         self.overflowed.load(Ordering::Relaxed)
     }
 
+    /// The per-family distinct-label-set cap this registry folds at.
+    /// Cap-aware producers (e.g. `rrp-slo`'s per-tenant sync) use it to
+    /// fold their own long tails *before* registration, so the folded
+    /// series carries a meaningful aggregate instead of whichever value
+    /// raced in last.
+    pub fn series_cap(&self) -> usize {
+        self.series_cap
+    }
+
     pub fn counter(
         &self,
         name: &'static str,

@@ -8,6 +8,7 @@
 //! * `/readyz`   — readiness: 200/503 from the [`ObsHooks::readiness`] hook
 //! * `/profile`  — collapsed-stack profiler samples (404 when no profiler)
 //! * `/flight`   — flight-recorder ring status JSON (404 when no recorder)
+//! * `/slo`      — per-tenant SLO budgets/alerts JSON (404 when no SLO engine)
 //!
 //! Every response is assembled fully in memory and written with one
 //! `write_all`, with a `Content-Length` header and `Connection: close` —
@@ -57,6 +58,8 @@ pub struct ObsHooks {
     pub profile_text: Option<Box<dyn Fn() -> String + Send + Sync>>,
     /// Body of `/flight` (flight-recorder status JSON). `None` → 404.
     pub flight_json: Option<Box<dyn Fn() -> String + Send + Sync>>,
+    /// Body of `/slo` (per-tenant budget/burn/exemplar JSON). `None` → 404.
+    pub slo_json: Option<Box<dyn Fn() -> String + Send + Sync>>,
 }
 
 /// A running exposition server. Dropping it shuts it down gracefully.
@@ -158,6 +161,10 @@ fn handle(mut stream: TcpStream, hooks: &ObsHooks) {
                     (404, "text/plain; charset=utf-8", "no flight recorder attached\n".to_string())
                 }
             },
+            "/slo" => match &hooks.slo_json {
+                Some(f) => (200, "application/json", f()),
+                None => (404, "text/plain; charset=utf-8", "no slo engine attached\n".to_string()),
+            },
             _ => (404, "text/plain; charset=utf-8", "not found\n".to_string()),
         }
     };
@@ -236,6 +243,7 @@ mod tests {
             }),
             profile_text: Some(Box::new(|| "request;milp 3\n".to_string())),
             flight_json: Some(Box::new(|| "{\"ring_events\":2}".to_string())),
+            slo_json: Some(Box::new(|| "{\"schema\":\"rrp-slo/1\"}".to_string())),
         }
     }
 
@@ -274,6 +282,10 @@ mod tests {
         assert_eq!(code, 200);
         assert!(body.contains("\"ring_events\":2"), "{body}");
 
+        let (code, body) = http_get(addr, "/slo").expect("slo fetch");
+        assert_eq!(code, 200);
+        assert!(body.contains("rrp-slo/1"), "{body}");
+
         let (code, _) = http_get(addr, "/nope").expect("unknown route");
         assert_eq!(code, 404);
     }
@@ -284,10 +296,12 @@ mod tests {
         let mut hooks = test_hooks(ready);
         hooks.profile_text = None;
         hooks.flight_json = None;
+        hooks.slo_json = None;
         let server = ObsServer::bind("127.0.0.1:0", hooks).expect("ephemeral bind");
         let addr = server.local_addr();
         assert_eq!(http_get(addr, "/profile").expect("profile").0, 404);
         assert_eq!(http_get(addr, "/flight").expect("flight").0, 404);
+        assert_eq!(http_get(addr, "/slo").expect("slo").0, 404);
     }
 
     #[test]

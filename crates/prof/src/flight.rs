@@ -37,6 +37,10 @@ struct Providers {
     snapshot_json: Option<Box<dyn Fn() -> String + Send + Sync>>,
     /// In-flight request table as a JSON array string.
     inflight_json: Option<Box<dyn Fn() -> String + Send + Sync>>,
+    /// SLO engine status (budgets, alerts, exemplar timelines) as a JSON
+    /// object string — so a burn-rate bundle carries the offending
+    /// tenant's tail-sampled timelines alongside the event ring.
+    slo_json: Option<Box<dyn Fn() -> String + Send + Sync>>,
     /// Profiler aggregates for the bundle's `samples` section.
     samples: Option<Arc<SamplerShared>>,
 }
@@ -90,6 +94,10 @@ impl FlightRecorder {
 
     pub fn set_inflight_provider(&self, f: Box<dyn Fn() -> String + Send + Sync>) {
         crate::lock(&self.providers).inflight_json = Some(f);
+    }
+
+    pub fn set_slo_provider(&self, f: Box<dyn Fn() -> String + Send + Sync>) {
+        crate::lock(&self.providers).slo_json = Some(f);
     }
 
     pub fn set_sampler(&self, s: Arc<SamplerShared>) {
@@ -235,6 +243,11 @@ impl FlightRecorder {
             Some(f) => out.push_str(&f()),
             None => out.push_str("null"),
         }
+        out.push_str(",\"slo\":");
+        match &providers.slo_json {
+            Some(f) => out.push_str(&f()),
+            None => out.push_str("null"),
+        }
         out.push('}');
         out
     }
@@ -362,6 +375,7 @@ mod tests {
             worker: 0,
             span: SpanId::ROOT,
             kind: EventKind::RequestDone {
+                request_id: 0,
                 tenant: "t".to_string(),
                 level: "full",
                 outcome: "ok",

@@ -393,6 +393,10 @@ pub fn run_episode(
         recovery_overhead,
         reservation: reservation_cost,
     };
+    // feed the episode's realised/planned ratio into the tenant's
+    // cost-ratio error budget (no-op unless the engine runs with an SLO
+    // engine) — this is how soak runs exercise the cost objective
+    engine.slo_record_cost(&cfg.app_id, report.planned, report.realised);
     EpisodeResult { report, slo, interruptions, recoveries, slots: records }
 }
 

@@ -1,0 +1,136 @@
+//! Event-time sliding windows for burn-rate math.
+//!
+//! A [`WindowRing`] is a bounded deque of fixed-width time buckets, each
+//! holding `(total, bad)` event counts. All arithmetic is in microseconds
+//! of *trace time* (`Event::t_us`) — no wall clock — so replaying a trace
+//! or running a seeded storm produces identical burn rates. Memory is
+//! bounded by `horizon / width + 1` buckets regardless of event rate.
+
+use std::collections::VecDeque;
+
+const US_PER_S: u64 = 1_000_000;
+
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    start_us: u64,
+    total: u64,
+    bad: u64,
+}
+
+/// Bucketed good/bad counts over a bounded trace-time horizon.
+#[derive(Debug)]
+pub(crate) struct WindowRing {
+    width_us: u64,
+    horizon_us: u64,
+    buckets: VecDeque<Bucket>,
+}
+
+impl WindowRing {
+    /// A ring whose buckets are `width_s` wide, retaining `horizon_s` of
+    /// history (both clamped to at least one second).
+    pub(crate) fn new(width_s: u64, horizon_s: u64) -> Self {
+        let width_us = width_s.max(1).saturating_mul(US_PER_S);
+        let horizon_us = horizon_s.max(1).saturating_mul(US_PER_S).max(width_us);
+        Self { width_us, horizon_us, buckets: VecDeque::new() }
+    }
+
+    /// Record one event at trace time `t_us`. Events arrive roughly in
+    /// order (worker lanes race by microseconds); anything older than the
+    /// newest bucket is charged to it — burn windows are minutes wide, so
+    /// sub-bucket reordering cannot move an event across a window edge
+    /// that matters.
+    pub(crate) fn record(&mut self, t_us: u64, bad: bool) {
+        let start = t_us - t_us % self.width_us;
+        match self.buckets.back_mut() {
+            Some(b) if b.start_us >= start => {
+                b.total += 1;
+                b.bad += u64::from(bad);
+            }
+            _ => {
+                self.buckets.push_back(Bucket { start_us: start, total: 1, bad: u64::from(bad) });
+                while let Some(front) = self.buckets.front() {
+                    if start.saturating_sub(front.start_us) > self.horizon_us {
+                        self.buckets.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// `(bad, total)` over the trailing `window_s` seconds ending at
+    /// `now_us`, bucket-granular: a bucket counts while any part of it is
+    /// inside the window.
+    pub(crate) fn tally(&self, window_s: u64, now_us: u64) -> (u64, u64) {
+        let cutoff = now_us.saturating_sub(window_s.saturating_mul(US_PER_S));
+        let mut bad = 0u64;
+        let mut total = 0u64;
+        for b in self.buckets.iter().rev() {
+            if b.start_us + self.width_us <= cutoff {
+                break;
+            }
+            bad += b.bad;
+            total += b.total;
+        }
+        (bad, total)
+    }
+
+    /// Lifetime of the ring in buckets (test/debug visibility).
+    #[cfg(test)]
+    pub(crate) fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tally_covers_only_the_window() {
+        let mut r = WindowRing::new(10, 300);
+        // 5 bad events at t=0..5s, 5 good at t=100..105s
+        for i in 0..5u64 {
+            r.record(i * US_PER_S, true);
+        }
+        for i in 0..5u64 {
+            r.record((100 + i) * US_PER_S, false);
+        }
+        let now = 105 * US_PER_S;
+        // trailing 30 s sees only the good tail
+        assert_eq!(r.tally(30, now), (0, 5));
+        // trailing 300 s sees everything
+        assert_eq!(r.tally(300, now), (5, 10));
+    }
+
+    #[test]
+    fn horizon_bounds_memory() {
+        let mut r = WindowRing::new(1, 60);
+        for t in 0..10_000u64 {
+            r.record(t * US_PER_S, false);
+        }
+        assert!(r.bucket_count() <= 62, "{} buckets retained", r.bucket_count());
+        // old history is gone: a full-horizon tally only sees the tail
+        let (_, total) = r.tally(60, 9_999 * US_PER_S);
+        assert!(total <= 62, "{total}");
+    }
+
+    #[test]
+    fn out_of_order_events_are_charged_to_the_newest_bucket() {
+        let mut r = WindowRing::new(10, 300);
+        r.record(50 * US_PER_S, false);
+        r.record(49 * US_PER_S, true); // late arrival from another lane
+        assert_eq!(r.tally(300, 50 * US_PER_S), (1, 2));
+    }
+
+    #[test]
+    fn same_bucket_accumulates() {
+        let mut r = WindowRing::new(10, 300);
+        for _ in 0..100 {
+            r.record(3 * US_PER_S, true);
+        }
+        assert_eq!(r.bucket_count(), 1);
+        assert_eq!(r.tally(10, 3 * US_PER_S), (100, 100));
+    }
+}

@@ -1,0 +1,140 @@
+//! Satellite: per-tenant `rrp_slo_*` series under the obs cardinality
+//! cap. Two layers of folding are in play — the engine's own tenant-table
+//! cap (`SloConfig::max_tenants`) and the registry's per-family series
+//! cap — and neither may corrupt budget math: named tenants keep their
+//! exact ledgers, and everything folded lands in one `__other__` series
+//! carrying the most pessimistic value.
+
+use rrp_obs::{Registry, OVERFLOW_LABEL};
+use rrp_slo::{SloConfig, SloEngine};
+use rrp_trace::{Event, EventKind, Sink, SpanId};
+
+fn done(span: u64, t_us: u64, tenant: &str, deadline_met: bool) -> Event {
+    Event {
+        t_us,
+        worker: 0,
+        span: SpanId(span),
+        kind: EventKind::RequestDone {
+            request_id: span,
+            tenant: tenant.to_string(),
+            level: "full",
+            outcome: "ok",
+            latency_us: 1_000,
+            deadline_met,
+        },
+    }
+}
+
+fn small_engine() -> SloEngine {
+    SloEngine::new(SloConfig { max_tenants: 3, ..SloConfig::default() })
+}
+
+#[test]
+fn overflow_tenants_fold_into_one_other_ledger() {
+    let slo = small_engine();
+    let mut span = 0u64;
+    // three named tenants, all healthy
+    for t in ["a", "b", "c"] {
+        for i in 0..20u64 {
+            span += 1;
+            slo.emit(&done(span, i * 1_000, t, true));
+        }
+    }
+    // five more tenants past the cap, all missing deadlines
+    for t in ["d", "e", "f", "g", "h"] {
+        for i in 0..4u64 {
+            span += 1;
+            slo.emit(&done(span, i * 1_000, t, false));
+        }
+    }
+    let v: serde_json::Value =
+        serde_json::from_str(&slo.status_json()).expect("status_json parses");
+    let tenants = v.get("tenants").and_then(|t| t.as_array()).expect("tenants array");
+    assert_eq!(tenants.len(), 4, "3 named + __other__, got {}", tenants.len());
+    let name = |t: &serde_json::Value| -> String {
+        t.get("tenant").and_then(|n| n.as_str()).unwrap_or_default().to_string()
+    };
+    let names: Vec<String> = tenants.iter().map(name).collect();
+    assert!(names.iter().any(|n| n == OVERFLOW_LABEL), "{names:?}");
+    for t in ["a", "b", "c"] {
+        assert!(names.iter().any(|n| n == t), "{names:?}");
+    }
+    let deadline_miss = |t: &serde_json::Value| -> (u64, u64) {
+        let dm = &t.get("objectives").and_then(|o| o.as_array()).expect("objectives")[0];
+        assert_eq!(dm.get("objective").and_then(|o| o.as_str()), Some("deadline_miss"));
+        (
+            dm.get("events").and_then(|e| e.as_u64()).unwrap_or(0),
+            dm.get("bad").and_then(|b| b.as_u64()).unwrap_or(0),
+        )
+    };
+    // the fold bucket aggregated all 20 overflow events, every one bad
+    let other = tenants.iter().find(|t| name(t) == OVERFLOW_LABEL).expect("__other__ present");
+    assert_eq!(deadline_miss(other), (20, 20));
+    // named ledgers are untouched by the overflow storm
+    let a = tenants.iter().find(|t| name(t) == "a").expect("tenant a");
+    assert_eq!(deadline_miss(a), (20, 0));
+}
+
+#[test]
+fn registry_sync_respects_the_series_cap_without_corrupting_budgets() {
+    let slo = small_engine();
+    let mut span = 0u64;
+    // tenant "hot" dominates volume and misses everything; "calm" and
+    // "cool" are healthy; two more fold into __other__ (one bad, one not)
+    for i in 0..40u64 {
+        span += 1;
+        slo.emit(&done(span, i * 1_000, "hot", false));
+    }
+    for t in ["calm", "cool"] {
+        for i in 0..20u64 {
+            span += 1;
+            slo.emit(&done(span, i * 1_000, t, true));
+        }
+    }
+    for i in 0..6u64 {
+        span += 1;
+        slo.emit(&done(span, i * 1_000, "over-bad", false));
+        span += 1;
+        slo.emit(&done(span, i * 1_000, "over-ok", true));
+    }
+
+    // a registry too small for every (tenant, objective, window) series
+    let reg = Registry::with_series_cap(6);
+    slo.sync_registry(&reg);
+    let text = reg.render();
+    let samples = rrp_obs::text::parse(&text).expect("registry text parses");
+
+    let budget: Vec<_> = samples.iter().filter(|s| s.name == "rrp_slo_budget_remaining").collect();
+    assert!(!budget.is_empty(), "budget family present:\n{text}");
+    // the family stayed within the cap
+    assert!(budget.len() <= 6, "{} series > cap 6", budget.len());
+
+    let label = |s: &rrp_obs::Sample, k: &str| -> String {
+        s.labels.iter().find(|(lk, _)| lk == k).map(|(_, lv)| lv.clone()).unwrap_or_default()
+    };
+
+    // "hot" is top-volume, so its exact (drained) budget survives the fold
+    let hot_dm = budget
+        .iter()
+        .find(|s| label(s, "tenant") == "hot" && label(s, "objective") == "deadline_miss")
+        .expect("hot tenant keeps a named series");
+    assert!(hot_dm.value < 0.0, "hot budget must be overspent, got {}", hot_dm.value);
+
+    // the fold bucket exists and carries the *worst* folded budget — the
+    // healthy folded tenants cannot mask the bad one
+    let other_dm = budget
+        .iter()
+        .find(|s| label(s, "tenant") == OVERFLOW_LABEL && label(s, "objective") == "deadline_miss")
+        .expect("__other__ budget series");
+    assert!(other_dm.value < 1.0, "fold must keep the pessimistic value, got {}", other_dm.value);
+
+    // scalar families are always present
+    for fam in [
+        "rrp_slo_tenants",
+        "rrp_slo_alerts_total",
+        "rrp_slo_exemplars_retained_total",
+        "rrp_slo_exemplars_dropped_total",
+    ] {
+        assert!(samples.iter().any(|s| s.name == fam), "{fam} missing:\n{text}");
+    }
+}

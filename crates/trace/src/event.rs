@@ -82,8 +82,11 @@ pub enum EventKind {
     LadderStep { level: &'static str, outcome: String, elapsed_us: u64 },
     /// A request left the engine (any completion path: cache hit, audit
     /// rejection, or a ladder result). Carries the tenant id so sinks can
-    /// aggregate per tenant without retaining the request.
+    /// aggregate per tenant without retaining the request, and the
+    /// engine-assigned `request_id` so tail samplers and the flight
+    /// recorder's in-flight table agree on which request this was.
     RequestDone {
+        request_id: u64,
         tenant: String,
         level: &'static str,
         outcome: &'static str,
@@ -231,7 +234,15 @@ impl Event {
                 field_str(out, "outcome", outcome);
                 field_u64(out, "elapsed_us", *elapsed_us);
             }
-            EventKind::RequestDone { tenant, level, outcome, latency_us, deadline_met } => {
+            EventKind::RequestDone {
+                request_id,
+                tenant,
+                level,
+                outcome,
+                latency_us,
+                deadline_met,
+            } => {
+                field_u64(out, "request_id", *request_id);
                 field_str(out, "tenant", tenant);
                 field_str(out, "level", level);
                 field_str(out, "outcome", outcome);
@@ -379,6 +390,29 @@ mod tests {
             },
         };
         assert!(ev.to_json().contains("\"action\":\"on_demand_failover\",\"cost\":2.0"));
+    }
+
+    #[test]
+    fn request_done_carries_its_request_id_first() {
+        let ev = Event {
+            t_us: 9,
+            worker: 2,
+            span: SpanId(4),
+            kind: EventKind::RequestDone {
+                request_id: 17,
+                tenant: "t-0".to_string(),
+                level: "full",
+                outcome: "ok",
+                latency_us: 120,
+                deadline_met: true,
+            },
+        };
+        assert_eq!(
+            ev.to_json(),
+            "{\"t_us\":9,\"worker\":2,\"span\":4,\"ev\":\"request_done\",\"request_id\":17,\
+             \"tenant\":\"t-0\",\"level\":\"full\",\"outcome\":\"ok\",\"latency_us\":120,\
+             \"deadline_met\":true}"
+        );
     }
 
     #[test]

@@ -26,12 +26,17 @@
 //!   bundle — as a self/total "top phases" table (see [`prof`]).
 //! * `cargo run -p xtask -- postmortem <bundle.json>` renders a flight
 //!   recorder's dump as an incident report (see [`postmortem`]).
+//! * `cargo run -p xtask -- slo <addr|bundle.json>` renders an engine's
+//!   per-tenant error budgets and burn rates as a table, plus a
+//!   span-waterfall view of a tail-sampled exemplar timeline (see
+//!   [`slo`]).
 
 mod analyze;
 mod benchdiff;
 mod postmortem;
 mod prof;
 mod simreport;
+mod slo;
 mod trace;
 mod watch;
 
@@ -49,9 +54,10 @@ fn main() -> ExitCode {
         Some("simreport") => simreport::run(&args[1..]),
         Some("prof") => prof::run(&args[1..]),
         Some("postmortem") => postmortem::run(&args[1..]),
+        Some("slo") => slo::run(&args[1..]),
         _ => {
             eprintln!(
-                "usage: cargo run -p xtask -- analyze [--deny all] [--json <path|->] [--bench-out <path>]\n       cargo run -p xtask -- trace <file.jsonl> [--assert-gap-closed] [--gap-tol <rel>]\n       cargo run -p xtask -- watch <addr> [--interval-ms <n>] [--frames <n>]\n       cargo run -p xtask -- benchdiff <baseline.json> <current.json> [--tol <frac>]\n       cargo run -p xtask -- benchdiff <results.json> --assert-ratio <inst>:<base> [--max-ratio <r>]\n       cargo run -p xtask -- simreport <report.json> [--assert-realised-ratio <ceiling>]\n       cargo run -p xtask -- prof <addr|collapsed.txt|bundle.json> [--top <n>] [--collapsed] [--no-color]\n       cargo run -p xtask -- postmortem <bundle.json> [--events <n>] [--no-color]"
+                "usage: cargo run -p xtask -- analyze [--deny all] [--json <path|->] [--bench-out <path>]\n       cargo run -p xtask -- trace <file.jsonl> [--assert-gap-closed] [--gap-tol <rel>]\n       cargo run -p xtask -- watch <addr> [--interval-ms <n>] [--frames <n>]\n       cargo run -p xtask -- benchdiff <baseline.json> <current.json> [--tol <frac>]\n       cargo run -p xtask -- benchdiff <results.json> --assert-ratio <inst>:<base> [--max-ratio <r>]\n       cargo run -p xtask -- simreport <report.json> [--assert-realised-ratio <ceiling>]\n       cargo run -p xtask -- prof <addr|collapsed.txt|bundle.json> [--top <n>] [--collapsed] [--no-color]\n       cargo run -p xtask -- postmortem <bundle.json> [--events <n>] [--no-color]\n       cargo run -p xtask -- slo <addr|bundle.json> [--timeline <request_id>] [--no-color]"
             );
             ExitCode::from(2)
         }

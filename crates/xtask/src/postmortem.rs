@@ -129,13 +129,41 @@ pub(crate) fn render(body: &str, tail: usize, color: bool) -> Result<String, Str
             let n = |k: &str| r.get(k).and_then(Value::as_u64).unwrap_or(0);
             let _ = writeln!(
                 out,
-                "  {:<20} {:<16} deadline {:>6} ms   running {:>6} ms",
+                "  #{:<6} {:<20} {:<16} deadline {:>6} ms   running {:>6} ms",
+                n("request_id"),
                 s("tenant"),
                 s("level"),
                 n("deadline_ms"),
                 n("running_ms"),
             );
         }
+    }
+
+    // SLO state at dump time (present when the engine ran with an SLO
+    // engine attached; `xtask slo <bundle>` renders the full waterfall)
+    if let Some(slo) = v.get("slo").filter(|s| !s.is_null()) {
+        out.push('\n');
+        let alerts = slo.get("alerts").and_then(Value::as_array).map_or(0, <[Value]>::len);
+        let exemplars =
+            slo.get("exemplar_timelines").and_then(Value::as_array).map_or(0, <[Value]>::len);
+        let _ = writeln!(out, "{bold}slo at dump{reset}");
+        let _ = writeln!(
+            out,
+            "  {alerts} burn-rate alert(s)   {exemplars} exemplar timeline(s) retained"
+        );
+        for a in slo.get("alerts").and_then(Value::as_array).unwrap_or(&[]) {
+            let s = |k: &str| a.get(k).and_then(Value::as_str).unwrap_or("?").to_string();
+            let _ = writeln!(
+                out,
+                "  {alert}{:<20}{reset} {:<14} {} pair burning at {:.1}x budget",
+                s("tenant"),
+                s("objective"),
+                s("window"),
+                a.get("burn").and_then(Value::as_f64).unwrap_or(0.0),
+            );
+        }
+        let _ =
+            writeln!(out, "{dim}  (render a timeline: cargo run -p xtask -- slo <bundle>){reset}");
     }
 
     // event-ring tail
@@ -187,7 +215,7 @@ mod tests {
         {"t_us":0,"worker":0,"span":1,"ev":"cache_lookup","hit":false},
         {"t_us":0,"worker":0,"span":1,"ev":"audit_gate","verdict":"pass","tightenings":3},
         {"t_us":0,"worker":0,"span":1,"ev":"ladder_step","level":"full","outcome":"exhausted:deadline","elapsed_us":0},
-        {"t_us":0,"worker":0,"span":1,"ev":"request_done","tenant":"storm","level":"full","outcome":"ok","latency_us":0,"deadline_met":false}
+        {"t_us":0,"worker":0,"span":1,"ev":"request_done","request_id":4,"tenant":"storm","level":"full","outcome":"ok","latency_us":0,"deadline_met":false}
       ],
       "samples":[
         {"stack":"request;rung:full;milp","count":70},
@@ -199,8 +227,11 @@ mod tests {
         "deadline_misses":9,"cache_hit_rate":0,"audits":12,"audit_rejections":1,
         "p99_latency_ms":0},
       "inflight":[
-        {"tenant":"storm","level":"full","deadline_ms":15,"running_ms":0}
-      ]}"#;
+        {"request_id":5,"tenant":"storm","level":"full","deadline_ms":15,"running_ms":0}
+      ],
+      "slo":{"schema":"rrp-slo/1","alerts_total":1,
+        "alerts":[{"tenant":"storm","objective":"deadline_miss","window":"fast","burn":100.0,"t_us":0,"exemplar_request_ids":[4]}],
+        "exemplar_timelines":[{"request_id":4,"tenant":"storm","reason":"deadline","level":"full","outcome":"ok","latency_us":0,"deadline_met":false,"t_us":0,"truncated":0,"events":[]}]}}"#;
 
     fn check_golden(name: &str, text: &str) {
         let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -232,6 +263,8 @@ mod tests {
         assert!(report.contains("top phases — 85 samples"), "{report}");
         assert!(report.contains("engine at dump"), "{report}");
         assert!(report.contains("in-flight requests (1)"), "{report}");
+        assert!(report.contains("slo at dump"), "{report}");
+        assert!(report.contains("burning at 100.0x budget"), "{report}");
         assert!(report.contains("last 3 of 5"), "{report}");
         assert!(report.contains("deadline_met=false"), "{report}");
         assert!(!report.contains('\x1b'), "--no-color strips ANSI");

@@ -9,10 +9,14 @@
 //! busiest tenants, and the `/readyz` verdict.
 //!
 //! Exits cleanly on Ctrl-C (no terminal modes are changed — the default
-//! SIGINT disposition is already clean) and exits 0 when a previously
-//! reachable server goes away (engine shutdown ends the watch, it does not
-//! fail it). `--frames <n>` renders a fixed number of frames and exits —
-//! the CI/scripting mode. `--interval-ms <n>` adjusts the poll rate.
+//! SIGINT disposition is already clean). Transient scrape failures —
+//! a refused connect, a 5xx, a torn body mid-restart — are retried with
+//! exponential backoff instead of killing the watch; only
+//! [`MAX_CONSECUTIVE_FAILURES`] misses in a row end it (exit 0 when a
+//! previously reachable server went away — engine shutdown ends the
+//! watch, it does not fail it — exit 1 when it never answered).
+//! `--frames <n>` renders a fixed number of frames and exits — the
+//! CI/scripting mode. `--interval-ms <n>` adjusts the poll rate.
 
 use std::collections::VecDeque;
 use std::fmt::Write as _;
@@ -29,6 +33,10 @@ const BARS: &[char] = &['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
 const WIDTH: usize = 48;
 /// History points kept for sparklines.
 const HISTORY: usize = WIDTH;
+/// Scrape failures in a row before the watch gives up.
+const MAX_CONSECUTIVE_FAILURES: u32 = 5;
+/// Backoff ceiling between retries.
+const MAX_BACKOFF: Duration = Duration::from_secs(10);
 
 pub fn run(args: &[String]) -> ExitCode {
     let mut addr = None;
@@ -59,11 +67,18 @@ pub fn run(args: &[String]) -> ExitCode {
 
     let mut state = WatchState::default();
     let mut frame: u64 = 0;
+    let mut failures: u32 = 0;
     loop {
         let t0 = Instant::now();
+        // a failed poll is transient until proven terminal: engines
+        // restart, scrapes race shutdowns, CI starts the watcher before
+        // the server — so back off and retry instead of dying on the
+        // first miss
+        let mut failure: Option<String> = None;
         match http_get(&addr, "/metrics") {
             Some((200, body)) => match parse(&body) {
                 Ok(samples) => {
+                    failures = 0;
                     let ready = http_get(&addr, "/readyz");
                     frame += 1;
                     let screen = render(&addr, frame, interval, &samples, ready, &mut state);
@@ -72,29 +87,46 @@ pub fn run(args: &[String]) -> ExitCode {
                     let _ = std::io::stdout().flush();
                 }
                 Err(e) => {
-                    eprintln!("watch: {addr}/metrics returned an unparseable body: {e}");
-                    return ExitCode::FAILURE;
+                    failure = Some(format!("{addr}/metrics returned an unparseable body: {e}"));
                 }
             },
-            Some((code, _)) => {
-                eprintln!("watch: {addr}/metrics answered HTTP {code}");
-                return ExitCode::FAILURE;
-            }
-            None if frame == 0 => {
-                eprintln!("watch: cannot reach {addr}/metrics — is the engine serving?");
+            Some((code, _)) => failure = Some(format!("{addr}/metrics answered HTTP {code}")),
+            None => failure = Some(format!("cannot reach {addr}/metrics")),
+        }
+        if let Some(why) = failure {
+            failures += 1;
+            if failures >= MAX_CONSECUTIVE_FAILURES {
+                if frame > 0 {
+                    println!("\nwatch: {addr} went away after {frame} frame(s) — engine shut down");
+                    return ExitCode::SUCCESS;
+                }
+                eprintln!("watch: {why}");
+                eprintln!(
+                    "       giving up after {MAX_CONSECUTIVE_FAILURES} attempts — is the engine serving?"
+                );
                 eprintln!("       (start one with: cargo run --example planning_service --release -- --serve-metrics {addr} --hold 60)");
                 return ExitCode::FAILURE;
             }
-            None => {
-                println!("\nwatch: {addr} went away after {frame} frame(s) — engine shut down");
-                return ExitCode::SUCCESS;
-            }
+            let delay = backoff_delay(failures, interval);
+            eprintln!(
+                "watch: {why} — retrying in {:.1}s ({failures}/{MAX_CONSECUTIVE_FAILURES})",
+                delay.as_secs_f64()
+            );
+            std::thread::sleep(delay);
+            continue;
         }
         if frames.is_some_and(|n| frame >= n) {
             return ExitCode::SUCCESS;
         }
         std::thread::sleep(interval.saturating_sub(t0.elapsed()));
     }
+}
+
+/// Exponential backoff for retry `attempt` (1-based): the poll interval
+/// doubled per miss, clamped to [`MAX_BACKOFF`].
+fn backoff_delay(attempt: u32, interval: Duration) -> Duration {
+    let factor = 1u32 << attempt.saturating_sub(1).min(16);
+    interval.saturating_mul(factor).min(MAX_BACKOFF)
 }
 
 fn usage(msg: &str) -> ExitCode {
@@ -114,7 +146,8 @@ struct WatchState {
 
 /// Minimal HTTP/1.1 GET returning (status, body). `None` on any socket
 /// error — connection refused after a successful frame means shutdown.
-fn http_get(addr: &str, path: &str) -> Option<(u16, String)> {
+/// Shared with the `slo` subcommand for its live `/slo` scrape.
+pub(crate) fn http_get(addr: &str, path: &str) -> Option<(u16, String)> {
     let mut s = TcpStream::connect(addr).ok()?;
     s.set_read_timeout(Some(Duration::from_secs(2))).ok()?;
     s.write_all(format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\n\r\n").as_bytes()).ok()?;
@@ -236,6 +269,45 @@ fn render(
         );
     }
 
+    // SLO panel (present only when the engine runs an SLO engine)
+    if let Some(alerts) = value(samples, "rrp_slo_alerts_total") {
+        let tenants = value(samples, "rrp_slo_tenants").unwrap_or(0.0);
+        let retained = value(samples, "rrp_slo_exemplars_retained_total").unwrap_or(0.0);
+        let dropped = value(samples, "rrp_slo_exemplars_dropped_total").unwrap_or(0.0);
+        let _ = writeln!(
+            out,
+            "  slo         {:>8} tenants   {} alert(s)   {} exemplars retained ({} dropped)",
+            tenants as u64, alerts as u64, retained as u64, dropped as u64
+        );
+        let worst_burn = samples
+            .iter()
+            .filter(|s| s.name == "rrp_slo_burn_rate")
+            .max_by(|a, b| a.value.total_cmp(&b.value));
+        if let Some(w) = worst_burn.filter(|w| w.value > 0.0) {
+            let _ = writeln!(
+                out,
+                "    hottest burn    {}/{} over {} at {:.1}x budget",
+                compact(w.label("tenant").unwrap_or("?")),
+                w.label("objective").unwrap_or("?"),
+                w.label("window").unwrap_or("?"),
+                w.value
+            );
+        }
+        let tightest = samples
+            .iter()
+            .filter(|s| s.name == "rrp_slo_budget_remaining")
+            .min_by(|a, b| a.value.total_cmp(&b.value));
+        if let Some(t) = tightest {
+            let _ = writeln!(
+                out,
+                "    tightest budget {}/{} at {:.2} remaining",
+                compact(t.label("tenant").unwrap_or("?")),
+                t.label("objective").unwrap_or("?"),
+                t.value
+            );
+        }
+    }
+
     let _ = writeln!(out, "  rungs served:");
     let rungs = ["full", "deterministic", "dynamic-program", "on-demand-only"];
     let served: Vec<f64> = rungs
@@ -351,7 +423,15 @@ mod tests {
              rrp_flight_dumps_total 1\n\
              rrp_flight_ring_dropped_total 0\n\
              rrp_flight_last_trigger{cause=\"deadline_miss_spike\"} 1\n\
-             rrp_flight_last_trigger{cause=\"panic\"} 0\n",
+             rrp_flight_last_trigger{cause=\"panic\"} 0\n\
+             rrp_slo_tenants 2\n\
+             rrp_slo_alerts_total 1\n\
+             rrp_slo_exemplars_retained_total 3\n\
+             rrp_slo_exemplars_dropped_total 61\n\
+             rrp_slo_burn_rate{tenant=\"acme\",objective=\"deadline_miss\",window=\"5m\"} 99.9\n\
+             rrp_slo_burn_rate{tenant=\"zephyr\",objective=\"latency\",window=\"1h\"} 0.2\n\
+             rrp_slo_budget_remaining{tenant=\"acme\",objective=\"deadline_miss\"} -3.21\n\
+             rrp_slo_budget_remaining{tenant=\"zephyr\",objective=\"latency\"} 0.98\n",
         )
         .expect("test body parses")
     }
@@ -388,6 +468,20 @@ mod tests {
         assert!(screen.contains("4821 samples"), "{screen}");
         assert!(screen.contains("311 ring events"), "{screen}");
         assert!(screen.contains("last trigger deadline_miss_spike"), "{screen}");
+        assert!(screen.contains("2 tenants   1 alert(s)   3 exemplars retained"), "{screen}");
+        assert!(screen.contains("hottest burn    acme/deadline_miss over 5m at 99.9x"), "{screen}");
+        assert!(screen.contains("tightest budget acme/deadline_miss at -3.21"), "{screen}");
+    }
+
+    #[test]
+    fn backoff_doubles_from_the_interval_and_caps() {
+        let base = Duration::from_millis(500);
+        assert_eq!(backoff_delay(1, base), Duration::from_millis(500));
+        assert_eq!(backoff_delay(2, base), Duration::from_millis(1000));
+        assert_eq!(backoff_delay(3, base), Duration::from_millis(2000));
+        assert_eq!(backoff_delay(10, base), MAX_BACKOFF);
+        // huge attempt counts do not overflow the shift
+        assert_eq!(backoff_delay(u32::MAX, base), MAX_BACKOFF);
     }
 
     #[test]
@@ -398,6 +492,7 @@ mod tests {
             render("127.0.0.1:1", 1, Duration::from_millis(100), &samples, None, &mut state);
         assert!(!screen.contains("profiler"), "{screen}");
         assert!(!screen.contains("flight"), "{screen}");
+        assert!(!screen.contains("slo"), "{screen}");
     }
 
     #[test]

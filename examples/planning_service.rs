@@ -21,12 +21,19 @@
 //! flight recorder: incidents (deadline-miss spikes, budget exhaustion,
 //! panics) dump post-mortem bundles into `<dir>`, rendered with
 //! `cargo run -p xtask -- postmortem <bundle.json>`.
+//!
+//! Pass `--slo` to track per-tenant error budgets and burn rates: with
+//! `--serve-metrics` the engine also serves `/slo` and exports
+//! `rrp_slo_*` metric families, rendered with
+//! `cargo run -p xtask -- slo <addr>`.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rrp_core::{CostSchedule, PlanningParams, ScenarioTree};
-use rrp_engine::{Engine, EngineConfig, MetricsConfig, PlanRequest, PolicyKind, ProfConfig};
+use rrp_engine::{
+    Engine, EngineConfig, MetricsConfig, PlanRequest, PolicyKind, ProfConfig, SloConfig,
+};
 use rrp_spotmarket::{CostRates, EmpiricalDist};
 use rrp_trace::JsonlSink;
 
@@ -56,9 +63,11 @@ fn main() {
     let mut hold_secs = 0u64;
     let mut profile_hz = None;
     let mut flight_dir = None;
+    let mut slo = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--slo" => slo = true,
             "--profile" => match args.next().and_then(|v| v.parse::<u32>().ok()) {
                 Some(hz) if hz > 0 => profile_hz = Some(hz),
                 _ => {
@@ -109,9 +118,10 @@ fn main() {
         bundle_dir: flight_dir.clone().map(std::path::PathBuf::from),
         ..Default::default()
     });
-    let engine = match (&trace_path, metrics, prof) {
-        (None, None, None) => Engine::new(4),
-        (path, metrics, prof) => {
+    let slo = slo.then(SloConfig::default);
+    let engine = match (&trace_path, metrics, prof, slo) {
+        (None, None, None, None) => Engine::new(4),
+        (path, metrics, prof, slo) => {
             let sink = path.as_ref().map(|p| {
                 Arc::new(JsonlSink::create(p).expect("create trace file"))
                     as Arc<dyn rrp_trace::Sink>
@@ -123,6 +133,7 @@ fn main() {
                     count_solver_events: true,
                     metrics,
                     prof,
+                    slo,
                     ..Default::default()
                 },
             )
@@ -133,6 +144,9 @@ fn main() {
     }
     if let Some(addr) = engine.metrics_addr() {
         println!("metrics served on http://{addr}/metrics  (watch: cargo run -p xtask -- watch {addr})\n");
+        if engine.slo().is_some() {
+            println!("slo engine armed — budgets at http://{addr}/slo  (render: cargo run -p xtask -- slo {addr})\n");
+        }
     }
     let policies = [
         PolicyKind::Stochastic,
