@@ -65,16 +65,20 @@ pub mod ladder;
 pub mod metrics;
 pub mod request;
 pub mod service;
+pub mod shard;
 
 pub use cache::{CacheEntry, PlanCache};
 pub use ladder::{
     run_ladder, run_ladder_prepared, run_ladder_with, LadderConfig, LadderResult, PreparedDrrp,
 };
-pub use metrics::{MetricsSnapshot, TenantSnapshot, TENANT_OVERFLOW, TENANT_TABLE_CAP};
+pub use metrics::{
+    MetricsSnapshot, ShardSnapshot, TenantSnapshot, TENANT_OVERFLOW, TENANT_TABLE_CAP,
+};
 pub use request::{
     DegradationLevel, PlanRequest, PlanResponse, PolicyKind, RungOutcome, TraceEntry,
 };
 pub use rrp_audit::InfeasibilityProof;
 pub use rrp_prof::ProfConfig;
 pub use rrp_slo::SloConfig;
-pub use service::{Engine, EngineConfig, MetricsConfig, Ticket};
+pub use service::{Engine, EngineConfig, MetricsConfig, ShardConfig, Ticket};
+pub use shard::{shard_of, Busy};

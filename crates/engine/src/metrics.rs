@@ -29,6 +29,22 @@ pub const TENANT_TABLE_CAP: usize = 64;
 /// Name of the fold-in row for tenants past [`TENANT_TABLE_CAP`].
 pub const TENANT_OVERFLOW: &str = "__other__";
 
+/// One shard's row in [`MetricsSnapshot::shards`]: the per-shard view of
+/// the queue and completion counters, so saturation of a single shard is
+/// visible even when the merged totals look healthy.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ShardSnapshot {
+    pub shard: usize,
+    /// Requests submitted to this shard but not yet picked up.
+    pub queue_depth: usize,
+    /// Highest depth this shard's queue has reached since engine start.
+    pub queue_depth_high_water: usize,
+    /// Responses this shard has produced.
+    pub completed: u64,
+    /// Requests this shard refused at admission (429 Busy).
+    pub busy_rejections: u64,
+}
+
 /// One tenant's row in [`MetricsSnapshot::tenants`].
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct TenantSnapshot {
@@ -73,6 +89,10 @@ pub struct MetricsSnapshot {
     /// Requests rejected by the audit gate with a static infeasibility
     /// proof (counted in `completed`, but in no ladder level).
     pub audit_rejections: u64,
+    /// Requests refused at admission because their shard's queue was over
+    /// its high-water mark (`429 Busy`). Not counted in `completed` — no
+    /// response was produced.
+    pub busy_rejections: u64,
     /// Median response latency (log-bucket estimate, ≤ ~9.05% rel. error).
     pub p50_latency_ms: f64,
     /// Tail response latency (same error bound).
@@ -91,8 +111,12 @@ pub struct MetricsSnapshot {
     /// full [`rrp_trace::RingSink`]); 0 when tracing is off or lossless.
     pub trace_dropped_events: u64,
     /// Per-tenant request accounting, sorted by tenant id. Bounded at
-    /// [`TENANT_TABLE_CAP`] rows plus one [`TENANT_OVERFLOW`] row.
+    /// [`TENANT_TABLE_CAP`] rows plus one [`TENANT_OVERFLOW`] row per
+    /// shard (tenant ledgers are shard-local and merged at snapshot time).
     pub tenants: Vec<TenantSnapshot>,
+    /// Per-shard queue/completion rows, one per engine shard (a single
+    /// row for the unsharded engine).
+    pub shards: Vec<ShardSnapshot>,
 }
 
 /// Internal mutable counters. Everything on the per-response path is an
@@ -105,6 +129,7 @@ pub(crate) struct Metrics {
     deadline_misses: AtomicU64,
     audits: AtomicU64,
     audit_rejections: AtomicU64,
+    busy_rejections: AtomicU64,
     /// Response latencies in milliseconds (fixed-size log buckets).
     latencies: LogHistogram,
     queue_high_water: AtomicUsize,
@@ -150,6 +175,12 @@ impl Metrics {
         self.latencies.record(latency.as_secs_f64() * 1e3);
     }
 
+    /// A request refused at admission (shard queue over high-water). No
+    /// response is produced, so `completed` does not move.
+    pub fn record_busy(&self) {
+        self.busy_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Requests submitted but not yet picked up by a worker, right now.
     pub fn queue_depth(&self) -> usize {
         self.queue_depth.load(Ordering::Relaxed)
@@ -159,65 +190,147 @@ impl Metrics {
     /// [`Metrics::record`]/[`Metrics::record_rejection`] so the global
     /// counters stay atomics; this one takes a short lock.
     pub fn record_tenant(&self, tenant: &str, cache_hit: bool, rejected: bool, deadline_met: bool) {
+        fn bump(row: &mut TenantCounters, cache_hit: bool, rejected: bool, deadline_met: bool) {
+            row.requests += 1;
+            if cache_hit {
+                row.cache_hits += 1;
+            }
+            if rejected {
+                row.audit_rejections += 1;
+            }
+            if !deadline_met {
+                row.deadline_misses += 1;
+            }
+        }
         let mut tenants = self.tenants.lock();
-        let row = if tenants.contains_key(tenant) || tenants.len() < TENANT_TABLE_CAP {
-            tenants.entry(tenant.to_string()).or_default()
-        } else {
-            tenants.entry(TENANT_OVERFLOW.to_string()).or_default()
-        };
-        row.requests += 1;
-        if cache_hit {
-            row.cache_hits += 1;
+        // known tenants take the no-alloc path: `get_mut` by `&str` instead
+        // of `entry(String)`, which would build a key String per call
+        if let Some(row) = tenants.get_mut(tenant) {
+            bump(row, cache_hit, rejected, deadline_met);
+            return;
         }
-        if rejected {
-            row.audit_rejections += 1;
+        let key = if tenants.len() < TENANT_TABLE_CAP { tenant } else { TENANT_OVERFLOW };
+        // the overflow row is hit once per request past the cap — reuse the
+        // same no-alloc path before falling through to the one-time insert
+        if let Some(row) = tenants.get_mut(key) {
+            bump(row, cache_hit, rejected, deadline_met);
+            return;
         }
-        if !deadline_met {
-            row.deadline_misses += 1;
-        }
+        bump(tenants.entry(key.to_string()).or_default(), cache_hit, rejected, deadline_met);
     }
 
+    /// Single-ledger snapshot — [`merged_snapshot`] over one part. The
+    /// engine always goes through the merging path; this is the
+    /// test-facing convenience.
+    #[cfg(test)]
     pub fn snapshot(
         &self,
         cache: &PlanCache,
         solver: &CounterSink,
         trace_dropped_events: u64,
     ) -> MetricsSnapshot {
-        let mut tenants: Vec<TenantSnapshot> = self
-            .tenants
-            .lock()
-            .iter()
-            .map(|(tenant, c)| TenantSnapshot {
-                tenant: tenant.clone(),
-                requests: c.requests,
-                cache_hits: c.cache_hits,
-                audit_rejections: c.audit_rejections,
-                deadline_misses: c.deadline_misses,
-            })
-            .collect();
-        tenants.sort_by(|a, b| a.tenant.cmp(&b.tenant));
-        MetricsSnapshot {
-            completed: self.completed.load(Ordering::Relaxed),
-            queue_depth: self.queue_depth.load(Ordering::Relaxed),
-            cache_hits: cache.hits(),
-            cache_misses: cache.misses(),
-            cache_hit_rate: cache.hit_rate(),
-            level_full: self.level_counts[0].load(Ordering::Relaxed),
-            level_deterministic: self.level_counts[1].load(Ordering::Relaxed),
-            level_dynamic_program: self.level_counts[2].load(Ordering::Relaxed),
-            level_on_demand_only: self.level_counts[3].load(Ordering::Relaxed),
-            deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
-            audits: self.audits.load(Ordering::Relaxed),
-            audit_rejections: self.audit_rejections.load(Ordering::Relaxed),
-            p50_latency_ms: self.latencies.quantile(0.50),
-            p99_latency_ms: self.latencies.quantile(0.99),
-            milp_nodes_total: solver.milp_nodes.load(Ordering::Relaxed),
-            lp_iters_total: solver.lp_iters.load(Ordering::Relaxed),
-            gap_at_timeout_p50: solver.gap_at_timeout.quantile(0.50),
-            queue_depth_high_water: self.queue_high_water.load(Ordering::Relaxed),
-            trace_dropped_events,
-            tenants,
+        merged_snapshot(&[(self, cache)], solver, trace_dropped_events)
+    }
+}
+
+/// Assemble one [`MetricsSnapshot`] over per-shard `(metrics, cache)`
+/// ledgers. Each shard is read with only its own short locks — a scrape
+/// never takes a lock any other shard's submit path contends on, so
+/// snapshot assembly cannot stall planning. With one part this degenerates
+/// to the pre-scale-out snapshot exactly (modulo the added `shards` row).
+///
+/// Merge semantics:
+/// * counters and histograms add (histograms bucket-wise, lossless);
+/// * `cache_hit_rate` is recomputed from the summed hit/lookup counts,
+///   not averaged per shard;
+/// * `queue_depth_high_water` is the **sum of per-shard peaks** — an
+///   upper bound on the true global peak, which is not derivable from
+///   per-shard peaks alone (they need not be simultaneous). For one
+///   shard it is exact;
+/// * tenant rows merge by id across shards (tenant→shard affinity means a
+///   tenant normally has one home shard anyway), so the table is bounded
+///   by `shards × (TENANT_TABLE_CAP + 1)` rows.
+pub(crate) fn merged_snapshot(
+    parts: &[(&Metrics, &PlanCache)],
+    solver: &CounterSink,
+    trace_dropped_events: u64,
+) -> MetricsSnapshot {
+    let latencies = LogHistogram::new();
+    let mut tenant_acc: HashMap<String, TenantCounters> = HashMap::new();
+    let mut shards = Vec::with_capacity(parts.len());
+    let (mut completed, mut deadline_misses, mut audits) = (0u64, 0u64, 0u64);
+    let (mut audit_rejections, mut busy_rejections) = (0u64, 0u64);
+    let mut level_counts = [0u64; 4];
+    let (mut queue_depth, mut high_water) = (0usize, 0usize);
+    let (mut cache_hits, mut cache_misses) = (0u64, 0u64);
+    for (shard, (m, cache)) in parts.iter().enumerate() {
+        let shard_completed = m.completed.load(Ordering::Relaxed);
+        let shard_depth = m.queue_depth.load(Ordering::Relaxed);
+        let shard_high_water = m.queue_high_water.load(Ordering::Relaxed);
+        let shard_busy = m.busy_rejections.load(Ordering::Relaxed);
+        completed += shard_completed;
+        queue_depth += shard_depth;
+        high_water += shard_high_water;
+        busy_rejections += shard_busy;
+        deadline_misses += m.deadline_misses.load(Ordering::Relaxed);
+        audits += m.audits.load(Ordering::Relaxed);
+        audit_rejections += m.audit_rejections.load(Ordering::Relaxed);
+        for (acc, c) in level_counts.iter_mut().zip(&m.level_counts) {
+            *acc += c.load(Ordering::Relaxed);
         }
+        latencies.merge_from(&m.latencies);
+        cache_hits += cache.hits();
+        cache_misses += cache.misses();
+        for (tenant, c) in m.tenants.lock().iter() {
+            let row = tenant_acc.entry(tenant.clone()).or_default();
+            row.requests += c.requests;
+            row.cache_hits += c.cache_hits;
+            row.audit_rejections += c.audit_rejections;
+            row.deadline_misses += c.deadline_misses;
+        }
+        shards.push(ShardSnapshot {
+            shard,
+            queue_depth: shard_depth,
+            queue_depth_high_water: shard_high_water,
+            completed: shard_completed,
+            busy_rejections: shard_busy,
+        });
+    }
+    let mut tenants: Vec<TenantSnapshot> = tenant_acc
+        .into_iter()
+        .map(|(tenant, c)| TenantSnapshot {
+            tenant,
+            requests: c.requests,
+            cache_hits: c.cache_hits,
+            audit_rejections: c.audit_rejections,
+            deadline_misses: c.deadline_misses,
+        })
+        .collect();
+    tenants.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+    let lookups = cache_hits + cache_misses;
+    MetricsSnapshot {
+        completed,
+        queue_depth,
+        cache_hits,
+        cache_misses,
+        cache_hit_rate: if lookups == 0 { 0.0 } else { cache_hits as f64 / lookups as f64 },
+        level_full: level_counts[0],
+        level_deterministic: level_counts[1],
+        level_dynamic_program: level_counts[2],
+        level_on_demand_only: level_counts[3],
+        deadline_misses,
+        audits,
+        audit_rejections,
+        busy_rejections,
+        p50_latency_ms: latencies.quantile(0.50),
+        p99_latency_ms: latencies.quantile(0.99),
+        milp_nodes_total: solver.milp_nodes.load(Ordering::Relaxed),
+        lp_iters_total: solver.lp_iters.load(Ordering::Relaxed),
+        gap_at_timeout_p50: solver.gap_at_timeout.quantile(0.50),
+        queue_depth_high_water: high_water,
+        trace_dropped_events,
+        tenants,
+        shards,
     }
 }
 
@@ -328,6 +441,43 @@ mod tests {
         let snap = m.snapshot(&PlanCache::new(), &CounterSink::new(), 0);
         assert_eq!(snap.queue_depth, 1);
         assert_eq!(snap.queue_depth_high_water, 5);
+    }
+
+    #[test]
+    fn merged_snapshot_sums_shards_and_keeps_per_shard_rows() {
+        let (m0, m1) = (Metrics::default(), Metrics::default());
+        let (c0, c1) = (PlanCache::new(), PlanCache::new());
+        m0.enqueue();
+        // two fast completions in shard 0, one slow in shard 1: the merged
+        // median sits strictly inside the fast bucket, away from the
+        // nearest-rank rounding boundary a 1-vs-1 split would land on
+        m0.record(DegradationLevel::Full, Duration::from_millis(5), true);
+        m0.record(DegradationLevel::Full, Duration::from_millis(5), true);
+        m0.record_tenant("a", false, false, true);
+        m0.record_tenant("a", false, false, true);
+        m0.dequeue();
+        m1.enqueue();
+        m1.enqueue();
+        m1.record(DegradationLevel::Deterministic, Duration::from_millis(50), false);
+        m1.record_tenant("b", false, false, false);
+        m1.record_busy();
+        m1.dequeue();
+        let snap = merged_snapshot(&[(&m0, &c0), (&m1, &c1)], &CounterSink::new(), 0);
+        assert_eq!(snap.completed, 3);
+        assert_eq!(snap.queue_depth, 1);
+        assert_eq!(snap.queue_depth_high_water, 3, "sum of per-shard peaks (1 + 2)");
+        assert_eq!(snap.deadline_misses, 1);
+        assert_eq!(snap.busy_rejections, 1);
+        assert_eq!(snap.level_full, 2);
+        assert_eq!(snap.level_deterministic, 1);
+        assert_eq!(snap.tenants.len(), 2);
+        assert_eq!(snap.shards.len(), 2);
+        assert_eq!(snap.shards[0].completed, 2);
+        assert_eq!(snap.shards[1].queue_depth, 1);
+        assert_eq!(snap.shards[1].busy_rejections, 1);
+        // merged histogram covers both shards' samples
+        assert!(snap.p99_latency_ms > 40.0, "p99 {}", snap.p99_latency_ms);
+        assert!(snap.p50_latency_ms < 50.0, "p50 {}", snap.p50_latency_ms);
     }
 
     #[test]

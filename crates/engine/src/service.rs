@@ -1,6 +1,24 @@
-//! The engine itself: a fixed pool of OS worker threads draining a shared
-//! crossbeam job queue. No async runtime — each request is CPU-bound MILP
-//! work, so plain threads with a blocking channel are the right shape.
+//! The engine itself: a fixed pool of OS worker threads. No async runtime
+//! — each request is CPU-bound MILP work, so plain threads are the right
+//! shape.
+//!
+//! Two dispatch modes share one processing pipeline:
+//!
+//! * **global** (the default, [`EngineConfig::shard`] = `None`) — every
+//!   worker drains one shared crossbeam queue and all workers share one
+//!   state slice. This is the pre-scale-out engine, kept verbatim as the
+//!   baseline the `engine_throughput` sharded-vs-global record pair
+//!   measures against.
+//! * **sharded** ([`EngineConfig::shard`] = `Some`) — tenant state (plan
+//!   cache, basis side-table, metrics/SLO ledgers, in-flight table) splits
+//!   into one [`ShardState`] per worker, requests hash to their tenant's
+//!   shard ([`shard_of`]), and each worker exclusively owns its shard: the
+//!   hot submit/complete path touches only shard-local locks. Per-shard
+//!   queues are bounded by admission control ([`Engine::try_submit`]
+//!   refuses over the high-water mark with a [`Busy`] carrying a
+//!   `Retry-After` hint) and batch-drained, so a burst of `n` submissions
+//!   costs one worker wakeup; [`Engine::run_batch`] completes through a
+//!   [`Wave`], so a burst of `n` completions costs one submitter wakeup.
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -9,22 +27,25 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use rrp_audit::{audit_milp_with, AuditOptions, UpperBoundHint};
 use rrp_core::fingerprint::Fnv64;
-use rrp_milp::{MilpOptions, SolveBudget};
-use rrp_obs::{MetricsSink, ObsHooks, ObsServer, Readiness, Registry};
+use rrp_milp::{Basis, MilpOptions, SolveBudget};
+use rrp_obs::{MetricsSink, ObsHooks, ObsServer, PlanDecision, Readiness, Registry};
 use rrp_prof::{install_panic_hook, FlightRecorder, ProfConfig, Profiler, SamplerShared};
 use rrp_slo::{SloConfig, SloEngine};
+use rrp_spotmarket::CostRates;
 use rrp_trace::{CounterSink, EventKind, Sink, SpanId, SpanStacks, TeeSink, TraceHandle};
 use serde::Serialize;
+use serde_json::Value;
 
 use crate::cache::{CacheEntry, PlanCache};
 use crate::ladder::{run_ladder_with, LadderConfig, PreparedDrrp};
-use crate::metrics::{Metrics, MetricsSnapshot};
-use crate::request::{PlanRequest, PlanResponse};
+use crate::metrics::{merged_snapshot, Metrics, MetricsSnapshot};
+use crate::request::{PlanRequest, PlanResponse, PolicyKind};
+use crate::shard::{shard_of, shard_readiness, Busy, ShardQueue, Wave};
 
 /// Engine construction options: MILP solver options plus telemetry wiring.
 ///
@@ -47,7 +68,8 @@ pub struct EngineConfig {
     /// builds no registry, no bridge and no server — the engine is exactly
     /// as before. `Some` tees a [`MetricsSink`] into the event pipeline
     /// (enabling tracing) and, when [`MetricsConfig::addr`] is set, serves
-    /// `/metrics`, `/snapshot`, `/healthz` and `/readyz` on it.
+    /// `/metrics`, `/snapshot`, `/healthz`, `/readyz` (and `/plan` on a
+    /// sharded engine) on it.
     pub metrics: Option<MetricsConfig>,
     /// Continuous profiling + flight recorder ([`rrp_prof`]). `None` (the
     /// default) builds neither. `Some` publishes every worker's open-span
@@ -64,6 +86,10 @@ pub struct EngineConfig {
     /// with profiling, a burn-rate breach fires the `slo_burn_rate`
     /// flight trigger so the bundle carries the tenant's exemplars.
     pub slo: Option<SloConfig>,
+    /// Shard the engine: one [`ShardState`] + bounded queue per worker,
+    /// tenant→shard affinity by id hash. `None` (the default) keeps the
+    /// single shared state slice and the global queue.
+    pub shard: Option<ShardConfig>,
 }
 
 /// Metrics exposition options (see [`EngineConfig::metrics`]).
@@ -74,7 +100,9 @@ pub struct MetricsConfig {
     /// `None` keeps the registry and bridge without an HTTP server.
     pub addr: Option<String>,
     /// `/readyz` reports 503 while more requests than this sit in the
-    /// queue unserved — the scrape-visible backpressure signal.
+    /// queue unserved — the scrape-visible backpressure signal. On a
+    /// sharded engine [`ShardConfig::queue_high_water`] governs instead,
+    /// per shard.
     pub ready_high_water: usize,
 }
 
@@ -84,11 +112,39 @@ impl Default for MetricsConfig {
     }
 }
 
+/// Sharding options (see [`EngineConfig::shard`]). The shard count is the
+/// worker count — each worker exclusively owns one shard.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Per-shard admission bound: [`Engine::try_submit`] (and the HTTP
+    /// `/plan` intake) refuse with [`Busy`] once this many requests sit in
+    /// the shard's queue, and `/readyz` flips 503 once a shard's unserved
+    /// backlog exceeds it. The trusted in-process [`Engine::submit`] path
+    /// is never refused.
+    pub queue_high_water: usize,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        Self { queue_high_water: 128 }
+    }
+}
+
+/// Where a job's response goes: a per-request channel ([`Ticket`]) or one
+/// slot of a batched [`Wave`].
+enum ReplyTo {
+    Channel(Sender<PlanResponse>),
+    Wave { wave: Arc<Wave<PlanResponse>>, idx: usize },
+}
+
 struct Job {
     req: PlanRequest,
-    reply: Sender<PlanResponse>,
+    reply: ReplyTo,
     /// The request's trace span, opened at submission.
     span: SpanId,
+    /// Warm-start basis handed along by a re-plan wave leader; consulted
+    /// only when the shape cache itself misses.
+    basis_hint: Option<Arc<Basis>>,
 }
 
 /// Profiling runtime, present when the engine was built with
@@ -115,9 +171,32 @@ struct InflightEntry {
     started: Instant,
 }
 
-struct Shared {
+/// One shard's slice of tenant state. On the sharded engine exactly one
+/// worker thread owns each slice, so every lock in here is shard-local:
+/// the submit/complete path of one tenant never contends with another
+/// shard's. The global engine has a single slice all workers share — the
+/// pre-scale-out behaviour, unchanged.
+struct ShardState {
     cache: PlanCache,
     metrics: Metrics,
+    /// In-flight request table, maintained only while profiling is on
+    /// (bounded by worker count: one entry per request being processed).
+    inflight: Mutex<HashMap<u64, InflightEntry>>,
+}
+
+impl ShardState {
+    fn new() -> Self {
+        Self {
+            cache: PlanCache::new(),
+            metrics: Metrics::default(),
+            inflight: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+struct Shared {
+    /// One state slice per shard; a single slice on the global engine.
+    shards: Vec<ShardState>,
     opts: MilpOptions,
     trace: TraceHandle,
     /// Aggregates solver events for [`MetricsSnapshot`]; only fed while
@@ -136,9 +215,6 @@ struct Shared {
     /// Per-tenant SLO engine; `None` unless built with
     /// [`EngineConfig::slo`]. Also teed into the trace pipeline as a sink.
     slo: Option<Arc<SloEngine>>,
-    /// In-flight request table, maintained only while `prof` is present
-    /// (bounded by worker count: one entry per request being processed).
-    inflight: Mutex<HashMap<u64, InflightEntry>>,
     /// Engine-assigned request ids, stamped into every `RequestDone`
     /// event (and the in-flight table) whether or not profiling is on.
     next_request_id: AtomicU64,
@@ -157,23 +233,52 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 impl Shared {
     fn snapshot(&self) -> MetricsSnapshot {
         let dropped = self.event_sink.as_ref().map(|s| s.dropped_events()).unwrap_or(0);
-        self.metrics.snapshot(&self.cache, &self.counters, dropped)
+        let parts: Vec<(&Metrics, &PlanCache)> =
+            self.shards.iter().map(|s| (&s.metrics, &s.cache)).collect();
+        merged_snapshot(&parts, &self.counters, dropped)
     }
 
-    /// The in-flight table as a JSON array (bundle + `/flight` fodder).
+    fn cache_len(&self) -> usize {
+        self.shards.iter().map(|s| s.cache.len()).sum()
+    }
+
+    fn basis_cache_entries(&self) -> usize {
+        self.shards.iter().map(|s| s.cache.basis_entries()).sum()
+    }
+
+    fn basis_cache_hit_rate(&self) -> f64 {
+        let hits: u64 = self.shards.iter().map(|s| s.cache.basis_hits()).sum();
+        let misses: u64 = self.shards.iter().map(|s| s.cache.basis_misses()).sum();
+        let lookups = hits + misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            hits as f64 / lookups as f64
+        }
+    }
+
+    /// The merged in-flight table as a JSON array (bundle + `/flight`
+    /// fodder). Each shard's table is read under its own short lock.
     fn inflight_json(&self) -> String {
-        let table = lock(&self.inflight);
-        let mut rows: Vec<&InflightEntry> = table.values().collect();
-        rows.sort_by_key(|e| e.started);
+        let mut rows: Vec<(u64, String, &'static str, u64, Instant)> = Vec::new();
+        for shard in &self.shards {
+            let table = lock(&shard.inflight);
+            rows.extend(
+                table
+                    .values()
+                    .map(|e| (e.request_id, e.tenant.clone(), e.level, e.deadline_ms, e.started)),
+            );
+        }
+        rows.sort_by_key(|e| e.4);
         let mut out = String::with_capacity(64 * rows.len() + 2);
         out.push('[');
-        for (i, e) in rows.iter().enumerate() {
+        for (i, (request_id, tenant, level, deadline_ms, started)) in rows.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
-            let _ = write!(out, "{{\"request_id\":{},\"tenant\":\"", e.request_id);
+            let _ = write!(out, "{{\"request_id\":{request_id},\"tenant\":\"");
             // tenant ids are caller-supplied: escape like any JSON string
-            for c in e.tenant.chars() {
+            for c in tenant.chars() {
                 match c {
                     '"' => out.push_str("\\\""),
                     '\\' => out.push_str("\\\\"),
@@ -186,9 +291,9 @@ impl Shared {
             let _ = write!(
                 out,
                 "\",\"level\":\"{}\",\"deadline_ms\":{},\"running_ms\":{}",
-                e.level,
-                e.deadline_ms,
-                e.started.elapsed().as_millis()
+                level,
+                deadline_ms,
+                started.elapsed().as_millis()
             );
             out.push('}');
         }
@@ -201,16 +306,16 @@ impl Shared {
 /// request up, removed on every exit path (panics included — the drop
 /// runs during the worker's `catch_unwind`).
 struct InflightGuard<'a> {
-    shared: &'a Shared,
+    state: &'a ShardState,
     id: Option<u64>,
 }
 
 impl<'a> InflightGuard<'a> {
-    fn track(shared: &'a Shared, req: &PlanRequest, request_id: u64) -> Self {
-        if shared.prof.is_none() {
-            return Self { shared, id: None };
+    fn track(state: &'a ShardState, enabled: bool, req: &PlanRequest, request_id: u64) -> Self {
+        if !enabled {
+            return Self { state, id: None };
         }
-        lock(&shared.inflight).insert(
+        lock(&state.inflight).insert(
             request_id,
             InflightEntry {
                 request_id,
@@ -220,14 +325,14 @@ impl<'a> InflightGuard<'a> {
                 started: Instant::now(),
             },
         );
-        Self { shared, id: Some(request_id) }
+        Self { state, id: Some(request_id) }
     }
 }
 
 impl Drop for InflightGuard<'_> {
     fn drop(&mut self) {
         if let Some(id) = self.id {
-            lock(&self.shared.inflight).remove(&id);
+            lock(&self.state.inflight).remove(&id);
         }
     }
 }
@@ -246,13 +351,33 @@ impl Ticket {
     pub fn wait(self) -> PlanResponse {
         self.rx.recv().expect("planning worker dropped the request (it panicked — see stderr)")
     }
+
+    /// Non-blocking completion probe: `None` while the response is
+    /// outstanding. Same panic contract as [`Ticket::wait`].
+    pub fn try_wait(&self) -> Option<PlanResponse> {
+        match self.rx.try_recv() {
+            Ok(resp) => Some(resp),
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => {
+                panic!("planning worker dropped the request (it panicked — see stderr)")
+            }
+        }
+    }
+}
+
+/// How jobs reach workers: the global engine's single shared channel, or
+/// one bounded [`ShardQueue`] per worker shard.
+#[derive(Clone)]
+enum Dispatch {
+    Global(Sender<Job>),
+    Sharded(Arc<Vec<Arc<ShardQueue<Job>>>>),
 }
 
 /// A concurrent multi-tenant planning service. Submit [`PlanRequest`]s
-/// from any thread; `workers` OS threads drain the queue, each running the
-/// degradation ladder under the request's deadline.
+/// from any thread; `workers` OS threads drain the queue(s), each running
+/// the degradation ladder under the request's deadline.
 pub struct Engine {
-    tx: Option<Sender<Job>>,
+    dispatch: Option<Dispatch>,
     workers: Vec<JoinHandle<()>>,
     shared: Arc<Shared>,
     /// Raised first thing in `Drop`: `/readyz` answers 503 for the rest of
@@ -276,7 +401,8 @@ impl Engine {
     /// An engine with full construction options, including telemetry.
     pub fn with_config(workers: usize, config: EngineConfig) -> Self {
         assert!(workers > 0, "engine needs at least one worker");
-        let EngineConfig { milp: opts, sink, count_solver_events, metrics, prof, slo } = config;
+        let EngineConfig { milp: opts, sink, count_solver_events, metrics, prof, slo, shard } =
+            config;
         let counters = Arc::new(CounterSink::new());
         let registry = metrics.as_ref().map(|_| Arc::new(Registry::new()));
 
@@ -331,10 +457,11 @@ impl Engine {
             ProfRuntime { _profiler: profiler, sampler, flight }
         });
 
-        let (tx, rx) = unbounded::<Job>();
+        // one state slice per shard; the global engine shares slice 0
+        let shard_count = if shard.is_some() { workers } else { 1 };
+        let shards: Vec<ShardState> = (0..shard_count).map(|_| ShardState::new()).collect();
         let shared = Arc::new(Shared {
-            cache: PlanCache::new(),
-            metrics: Metrics::default(),
+            shards,
             opts,
             trace,
             counters,
@@ -342,7 +469,6 @@ impl Engine {
             registry,
             prof: prof_rt,
             slo: slo_engine,
-            inflight: Mutex::new(HashMap::new()),
             next_request_id: AtomicU64::new(0),
         });
         if let Some(rt) = &shared.prof {
@@ -380,27 +506,56 @@ impl Engine {
                 }));
             }
         }
-        let handles = (0..workers)
-            .map(|i| {
-                let rx = rx.clone();
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("rrp-engine-{i}"))
-                    .spawn(move || {
-                        // tag this worker's trace events with its lane
-                        rrp_trace::set_worker(i as u32);
-                        worker_loop(&rx, &shared)
+
+        let high_water = shard.as_ref().map(|s| s.queue_high_water);
+        let (dispatch, handles) = match high_water {
+            None => {
+                let (tx, rx) = unbounded::<Job>();
+                let handles = (0..workers)
+                    .map(|i| {
+                        let rx = rx.clone();
+                        let shared = Arc::clone(&shared);
+                        std::thread::Builder::new()
+                            .name(format!("rrp-engine-{i}"))
+                            .spawn(move || {
+                                // tag this worker's trace events with its lane
+                                rrp_trace::set_worker(i as u32);
+                                worker_loop_global(&rx, &shared)
+                            })
+                            .expect("spawn engine worker")
                     })
-                    .expect("spawn engine worker")
-            })
-            .collect();
+                    .collect();
+                (Dispatch::Global(tx), handles)
+            }
+            Some(hw) => {
+                let queues: Arc<Vec<Arc<ShardQueue<Job>>>> =
+                    Arc::new((0..workers).map(|i| Arc::new(ShardQueue::new(i, hw))).collect());
+                let handles = (0..workers)
+                    .map(|i| {
+                        let queue = Arc::clone(&queues[i]);
+                        let shared = Arc::clone(&shared);
+                        std::thread::Builder::new()
+                            .name(format!("rrp-engine-{i}"))
+                            .spawn(move || {
+                                rrp_trace::set_worker(i as u32);
+                                worker_loop_sharded(&queue, &shared, i)
+                            })
+                            .expect("spawn engine worker")
+                    })
+                    .collect();
+                (Dispatch::Sharded(queues), handles)
+            }
+        };
 
         let shutting_down = Arc::new(AtomicBool::new(false));
         let obs = metrics
             .as_ref()
             .and_then(|m| m.addr.as_deref().map(|addr| (addr, m.ready_high_water)))
-            .and_then(|(addr, high_water)| {
-                let hooks = obs_hooks(&shared, &shutting_down, workers, high_water);
+            .and_then(|(addr, ready_high_water)| {
+                // per-shard saturation governs readiness on the sharded
+                // engine; the legacy global mark otherwise
+                let hw = high_water.unwrap_or(ready_high_water);
+                let hooks = obs_hooks(&shared, &shutting_down, &dispatch, workers, hw);
                 match ObsServer::bind(addr, hooks) {
                     Ok(server) => Some(server),
                     Err(e) => {
@@ -411,33 +566,145 @@ impl Engine {
                     }
                 }
             });
-        Self { tx: Some(tx), workers: handles, shared, shutting_down, obs }
+        Self { dispatch: Some(dispatch), workers: handles, shared, shutting_down, obs }
     }
 
-    /// Enqueue a request; returns immediately with a [`Ticket`].
+    fn dispatch(&self) -> &Dispatch {
+        self.dispatch.as_ref().expect("engine already shut down")
+    }
+
+    /// Enqueue a request; returns immediately with a [`Ticket`]. This
+    /// trusted in-process path is never refused — HTTP and other untrusted
+    /// intakes go through [`Engine::try_submit`] instead.
     pub fn submit(&self, req: PlanRequest) -> Ticket {
         let (reply, rx) = unbounded();
-        self.shared.metrics.enqueue();
-        let span = self.shared.trace.open_span("request", SpanId::ROOT);
-        self.shared.trace.emit(span, EventKind::Enqueued);
-        let job = Job { req, reply, span };
-        if self.tx.as_ref().expect("engine already shut down").send(job).is_err() {
-            panic!("engine workers are gone");
-        }
+        submit_job(&self.shared, self.dispatch(), req, ReplyTo::Channel(reply), None);
         Ticket { rx }
     }
 
+    /// Enqueue with admission control: on a sharded engine the request is
+    /// refused with [`Busy`] when its tenant's shard queue is at or over
+    /// the high-water mark. The global engine has no admission bound and
+    /// always accepts.
+    pub fn try_submit(&self, req: PlanRequest) -> Result<Ticket, Busy> {
+        match self.dispatch() {
+            Dispatch::Global(_) => Ok(self.submit(req)),
+            Dispatch::Sharded(queues) => {
+                let (reply, rx) = unbounded();
+                try_submit_sharded(&self.shared, queues, req, ReplyTo::Channel(reply))
+                    .map(|()| Ticket { rx })
+            }
+        }
+    }
+
     /// Submit a batch and wait for all responses, preserving input order.
+    ///
+    /// On the sharded engine the whole batch completes through one
+    /// [`Wave`] — a single submitter wakeup for `n` responses instead of
+    /// `n` channel wakeups — which is the submit-path lever behind the
+    /// sharded-vs-global `engine_throughput` record pair.
     pub fn run_batch(&self, reqs: Vec<PlanRequest>) -> Vec<PlanResponse> {
-        let tickets: Vec<Ticket> = reqs.into_iter().map(|r| self.submit(r)).collect();
-        tickets.into_iter().map(Ticket::wait).collect()
+        match self.dispatch() {
+            Dispatch::Global(_) => {
+                let tickets: Vec<Ticket> = reqs.into_iter().map(|r| self.submit(r)).collect();
+                tickets.into_iter().map(Ticket::wait).collect()
+            }
+            Dispatch::Sharded(queues) => {
+                let wave = Arc::new(Wave::new(reqs.len()));
+                let jobs = reqs.into_iter().enumerate().map(|(idx, req)| (req, idx, None));
+                submit_wave_sharded(&self.shared, queues, &wave, jobs);
+                wave.wait()
+            }
+        }
+    }
+
+    /// Submit a rolling-horizon re-plan batch, sharing warm-start work
+    /// across tenants whose instances have the same model shape, and wait
+    /// for all responses in input order.
+    ///
+    /// Requests are grouped by shape proxy (horizon + policy). Each
+    /// group's first request is the *leader*: it solves first, and its
+    /// final root-LP basis is handed to every other member of the group as
+    /// a warm-start hint — one factorisation's worth of work serving the
+    /// whole batch. Members still run their own audit pass (bound/big-M
+    /// tightenings are data-dependent, so they cannot be shared soundly)
+    /// and fall back to a cold solve on their own if the leader's basis
+    /// does not fit; correctness never depends on the hint.
+    pub fn run_replan_wave(&self, reqs: Vec<PlanRequest>) -> Vec<PlanResponse> {
+        let n = reqs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        // group by shape proxy, first-appearance order
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        let mut by_key: HashMap<u64, usize> = HashMap::new();
+        for (i, req) in reqs.iter().enumerate() {
+            let key = replan_shape_proxy(req);
+            match by_key.get(&key) {
+                Some(&g) => groups[g].push(i),
+                None => {
+                    by_key.insert(key, groups.len());
+                    groups.push(vec![i]);
+                }
+            }
+        }
+        let mut reqs: Vec<Option<PlanRequest>> = reqs.into_iter().map(Some).collect();
+        let mut slots: Vec<Option<PlanResponse>> = (0..n).map(|_| None).collect();
+        // all group leaders solve first, concurrently across shards
+        let leader_tickets: Vec<(usize, Ticket)> = groups
+            .iter()
+            .filter_map(|g| reqs[g[0]].take().map(|req| (g[0], self.submit(req))))
+            .collect();
+        let mut hints: Vec<Option<Arc<Basis>>> = Vec::with_capacity(groups.len());
+        for (idx, ticket) in leader_tickets {
+            let resp = ticket.wait();
+            hints.push(resp.root_basis.clone());
+            slots[idx] = Some(resp);
+        }
+        // members ride their leader's basis, completing as one wave
+        let members = n - groups.len();
+        let wave = Arc::new(Wave::new(members));
+        let mut member_slots = Vec::with_capacity(members);
+        let mut member_jobs = Vec::with_capacity(members);
+        let dispatch = self.dispatch();
+        for (g, idxs) in groups.iter().enumerate() {
+            for &i in &idxs[1..] {
+                if let Some(req) = reqs[i].take() {
+                    member_jobs.push((req, member_slots.len(), hints[g].clone()));
+                    member_slots.push(i);
+                }
+            }
+        }
+        match dispatch {
+            Dispatch::Sharded(queues) => {
+                submit_wave_sharded(&self.shared, queues, &wave, member_jobs);
+            }
+            Dispatch::Global(_) => {
+                for (req, idx, hint) in member_jobs {
+                    let reply = ReplyTo::Wave { wave: Arc::clone(&wave), idx };
+                    submit_job(&self.shared, dispatch, req, reply, hint);
+                }
+            }
+        }
+        for (w, resp) in wave.wait().into_iter().enumerate() {
+            slots[member_slots[w]] = Some(resp);
+        }
+        let out: Vec<PlanResponse> = slots.into_iter().flatten().collect();
+        debug_assert_eq!(out.len(), n, "every re-plan slot must be filled");
+        out
     }
 
     pub fn worker_count(&self) -> usize {
         self.workers.len()
     }
 
-    /// Point-in-time metrics snapshot.
+    /// Number of state shards (1 on the global engine, = workers when
+    /// sharded).
+    pub fn shard_count(&self) -> usize {
+        self.shared.shards.len()
+    }
+
+    /// Point-in-time metrics snapshot (merged across shards).
     pub fn metrics(&self) -> MetricsSnapshot {
         self.shared.snapshot()
     }
@@ -470,20 +737,22 @@ impl Engine {
         &self.shared.trace
     }
 
-    /// Number of distinct fingerprints currently cached.
+    /// Number of distinct fingerprints currently cached (summed across
+    /// shards).
     pub fn cache_len(&self) -> usize {
-        self.shared.cache.len()
+        self.shared.cache_len()
     }
 
-    /// Problem shapes with a stored root basis (warm-start side-table).
+    /// Problem shapes with a stored root basis (warm-start side-table,
+    /// summed across shards).
     pub fn basis_cache_entries(&self) -> usize {
-        self.shared.cache.basis_entries()
+        self.shared.basis_cache_entries()
     }
 
     /// Basis side-table hits over lookups (0 before any solve misses the
     /// plan cache).
     pub fn basis_cache_hit_rate(&self) -> f64 {
-        self.shared.cache.basis_hit_rate()
+        self.shared.basis_cache_hit_rate()
     }
 
     /// Collapsed-stack profile accumulated so far (`path count` lines),
@@ -538,8 +807,18 @@ impl Drop for Engine {
         // flip readiness first: scrapers polling `/readyz` see 503 while
         // the queue drains instead of an abrupt connection refusal
         self.shutting_down.store(true, Ordering::SeqCst);
-        // closing the queue ends every worker's recv loop
-        self.tx.take();
+        // closing the dispatch ends every worker's recv loop once its
+        // queue drains (the obs `/plan` hook may still hold queue Arcs —
+        // the closed flag, not the Arc count, is what stops the workers)
+        match self.dispatch.take() {
+            Some(Dispatch::Global(tx)) => drop(tx),
+            Some(Dispatch::Sharded(queues)) => {
+                for q in queues.iter() {
+                    q.close();
+                }
+            }
+            None => {}
+        }
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
@@ -552,14 +831,121 @@ impl Drop for Engine {
     }
 }
 
-/// Build the closures the exposition server serves from. All three capture
+/// The shard a request lands on: its tenant's hash shard when sharded,
+/// the single shared slice otherwise.
+fn shard_index(shared: &Shared, dispatch: &Dispatch, app_id: &str) -> usize {
+    match dispatch {
+        Dispatch::Global(_) => 0,
+        Dispatch::Sharded(_) => shard_of(app_id, shared.shards.len()),
+    }
+}
+
+/// Trusted-path submission: open the span, account the enqueue on the
+/// request's shard, hand the job to its queue. Never refused.
+fn submit_job(
+    shared: &Shared,
+    dispatch: &Dispatch,
+    req: PlanRequest,
+    reply: ReplyTo,
+    basis_hint: Option<Arc<Basis>>,
+) {
+    let s = shard_index(shared, dispatch, &req.app_id);
+    shared.shards[s].metrics.enqueue();
+    let span = shared.trace.open_span("request", SpanId::ROOT);
+    shared.trace.emit(span, EventKind::Enqueued);
+    let job = Job { req, reply, span, basis_hint };
+    match dispatch {
+        Dispatch::Global(tx) => {
+            if tx.send(job).is_err() {
+                panic!("engine workers are gone");
+            }
+        }
+        Dispatch::Sharded(queues) => queues[s].push(job),
+    }
+}
+
+/// Trusted-path wave submission to a sharded engine: per-job accounting
+/// (enqueue gauge, span) stays per job, but each shard's slice of the
+/// wave lands in its queue under one lock and at most one wakeup — the
+/// batched counterpart of [`submit_job`].
+fn submit_wave_sharded(
+    shared: &Shared,
+    queues: &[Arc<ShardQueue<Job>>],
+    wave: &Arc<Wave<PlanResponse>>,
+    jobs: impl IntoIterator<Item = (PlanRequest, usize, Option<Arc<Basis>>)>,
+) {
+    let mut per_shard: Vec<Vec<Job>> = (0..queues.len()).map(|_| Vec::new()).collect();
+    for (req, idx, basis_hint) in jobs {
+        let s = shard_of(&req.app_id, queues.len());
+        shared.shards[s].metrics.enqueue();
+        let span = shared.trace.open_span("request", SpanId::ROOT);
+        shared.trace.emit(span, EventKind::Enqueued);
+        let reply = ReplyTo::Wave { wave: Arc::clone(wave), idx };
+        per_shard[s].push(Job { req, reply, span, basis_hint });
+    }
+    for (s, shard_jobs) in per_shard.into_iter().enumerate() {
+        if !shard_jobs.is_empty() {
+            queues[s].push_batch(shard_jobs);
+        }
+    }
+}
+
+/// Admission-controlled submission to a sharded engine: refused with
+/// [`Busy`] when the tenant's shard queue is at or over its high-water
+/// mark. Shared by [`Engine::try_submit`] and the HTTP `/plan` intake.
+fn try_submit_sharded(
+    shared: &Shared,
+    queues: &[Arc<ShardQueue<Job>>],
+    req: PlanRequest,
+    reply: ReplyTo,
+) -> Result<(), Busy> {
+    let s = shard_of(&req.app_id, queues.len());
+    let state = &shared.shards[s];
+    state.metrics.enqueue();
+    let span = shared.trace.open_span("request", SpanId::ROOT);
+    shared.trace.emit(span, EventKind::Enqueued);
+    let job = Job { req, reply, span, basis_hint: None };
+    match queues[s].try_push(job) {
+        Ok(()) => Ok(()),
+        Err((job, busy)) => {
+            // undo the optimistic enqueue (the +1 above covers this −1,
+            // so the depth gauge never underflows) and account the refusal
+            state.metrics.dequeue();
+            state.metrics.record_busy();
+            shared.trace.close_span(job.span);
+            Err(busy)
+        }
+    }
+}
+
+/// Cheap grouping key for [`Engine::run_replan_wave`]: requests whose
+/// MILP would have the same variable/constraint layout group together.
+/// Horizon and policy determine the DRRP model dimensions; data (demand,
+/// prices) deliberately stays out — surviving data changes is the point
+/// of sharing the leader's basis. A proxy collision across shapes is
+/// harmless: the member's warm attempt fails to fit and the solver runs
+/// cold.
+fn replan_shape_proxy(req: &PlanRequest) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_usize(req.horizon());
+    h.write_u8(match req.policy {
+        PolicyKind::Stochastic => 0,
+        PolicyKind::Deterministic => 1,
+        PolicyKind::DynamicProgram => 2,
+        PolicyKind::OnDemand => 3,
+    });
+    h.finish()
+}
+
+/// Build the closures the exposition server serves from. All hooks capture
 /// `Arc`s only — the server thread never touches the engine struct itself,
 /// so teardown order stays simple.
 fn obs_hooks(
     shared: &Arc<Shared>,
     shutting_down: &Arc<AtomicBool>,
+    dispatch: &Dispatch,
     workers: usize,
-    ready_high_water: usize,
+    high_water: usize,
 ) -> ObsHooks {
     let metrics_shared = Arc::clone(shared);
     let snapshot_shared = Arc::clone(shared);
@@ -585,14 +971,12 @@ fn obs_hooks(
             let readiness = if ready_flag.load(Ordering::SeqCst) {
                 Readiness::not_ready("shutting down")
             } else {
-                let depth = ready_shared.metrics.queue_depth();
-                if depth > ready_high_water {
-                    Readiness::not_ready(format!(
-                        "queue depth {depth} over high-water {ready_high_water}"
-                    ))
-                } else {
-                    Readiness::ready(format!("queue depth {depth}"))
-                }
+                // per-shard unserved backlog vs the high-water mark: any
+                // one saturated shard flips the engine not-ready (it
+                // stalls every tenant hashed to it)
+                let depths: Vec<usize> =
+                    ready_shared.shards.iter().map(|s| s.metrics.queue_depth()).collect();
+                shard_readiness(&depths, high_water)
             };
             // readiness is pull-computed, so the flip edge is observed
             // exactly when a scraper polls `/readyz`
@@ -622,7 +1006,154 @@ fn obs_hooks(
         } else {
             None
         },
+        // the multi-connection `/plan` intake requires the sharded engine:
+        // its admission control is the per-shard queue bound, and shard
+        // queues shut down by flag (so the hook's queue Arcs cannot keep
+        // workers alive past Engine::drop). The global engine serves
+        // scrapes only.
+        plan: match dispatch {
+            Dispatch::Sharded(queues) => {
+                let plan_shared = Arc::clone(shared);
+                let queues = Arc::clone(queues);
+                Some(Box::new(move |body: &str| {
+                    let req = match parse_plan_request(body) {
+                        Ok(req) => req,
+                        Err(msg) => {
+                            return PlanDecision::Reject {
+                                status: 400,
+                                body: format!("{{\"error\":\"{}\"}}", json_escape(&msg)),
+                            }
+                        }
+                    };
+                    let (reply, rx) = unbounded();
+                    match try_submit_sharded(&plan_shared, &queues, req, ReplyTo::Channel(reply)) {
+                        Err(busy) => PlanDecision::Busy {
+                            retry_after_ms: busy.retry_after_ms,
+                            body: format!(
+                                "{{\"error\":\"busy\",\"shard\":{},\"queue_depth\":{},\
+                                 \"high_water\":{},\"retry_after_ms\":{}}}",
+                                busy.shard, busy.depth, busy.high_water, busy.retry_after_ms
+                            ),
+                        },
+                        Ok(()) => PlanDecision::Accepted(Box::new(move || match rx.try_recv() {
+                            Ok(resp) => Some((200, plan_response_json(&resp))),
+                            Err(TryRecvError::Empty) => None,
+                            Err(TryRecvError::Disconnected) => {
+                                Some((500, "{\"error\":\"planning worker failed\"}".to_string()))
+                            }
+                        })),
+                    }
+                }))
+            }
+            Dispatch::Global(_) => None,
+        },
     }
+}
+
+/// Escape a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parse the `/plan` wire format into a [`PlanRequest`]:
+///
+/// ```json
+/// {"app_id": "tenant-1", "policy": "deterministic", "deadline_ms": 250,
+///  "seed": 7, "compute": [0.06, ...], "demand": [0.4, ...]}
+/// ```
+///
+/// `compute` and `demand` must be equal-length non-empty arrays; the
+/// schedule is completed with the paper's EC2 billing rates. `policy`
+/// defaults to `"deterministic"`; `"stochastic"` is rejected (a scenario
+/// tree does not fit the wire format), the other tags map to their
+/// [`PolicyKind`].
+fn parse_plan_request(body: &str) -> Result<PlanRequest, String> {
+    let v: Value = serde_json::from_str(body).map_err(|e| format!("invalid JSON: {e}"))?;
+    let app_id = v
+        .get("app_id")
+        .and_then(Value::as_str)
+        .ok_or("missing string field \"app_id\"")?
+        .to_string();
+    let floats = |field: &str| -> Result<Vec<f64>, String> {
+        v.get(field)
+            .and_then(Value::as_array)
+            .ok_or(format!("missing array field \"{field}\""))?
+            .iter()
+            .map(|x| x.as_f64().ok_or(format!("non-numeric entry in \"{field}\"")))
+            .collect()
+    };
+    let compute = floats("compute")?;
+    let demand = floats("demand")?;
+    if compute.is_empty() || compute.len() != demand.len() {
+        return Err(format!(
+            "\"compute\" ({}) and \"demand\" ({}) must be equal-length and non-empty",
+            compute.len(),
+            demand.len()
+        ));
+    }
+    let policy = match v.get("policy").and_then(Value::as_str).unwrap_or("deterministic") {
+        "deterministic" => PolicyKind::Deterministic,
+        "dynamic-program" => PolicyKind::DynamicProgram,
+        "on-demand" => PolicyKind::OnDemand,
+        "stochastic" => {
+            return Err("policy \"stochastic\" needs a scenario tree; submit in-process".into())
+        }
+        other => return Err(format!("unknown policy \"{other}\"")),
+    };
+    let deadline_ms = v.get("deadline_ms").and_then(Value::as_u64).unwrap_or(1_000);
+    let seed = v.get("seed").and_then(Value::as_u64).unwrap_or(0);
+    Ok(PlanRequest {
+        app_id,
+        vm_class: "m1.small".to_string(),
+        schedule: rrp_core::CostSchedule::ec2(compute, demand, &CostRates::ec2_2011()),
+        params: rrp_core::PlanningParams::default(),
+        tree: None,
+        policy,
+        deadline: Duration::from_millis(deadline_ms),
+        seed,
+    })
+}
+
+/// Serialise a [`PlanResponse`] for the `/plan` route.
+fn plan_response_json(resp: &PlanResponse) -> String {
+    let mut out = String::with_capacity(256);
+    let _ = write!(
+        out,
+        "{{\"app_id\":\"{}\",\"degradation\":\"{}\",\"cache_hit\":{},\
+         \"deadline_met\":{},\"latency_ms\":{:.3},",
+        json_escape(&resp.app_id),
+        resp.degradation.as_str(),
+        resp.cache_hit,
+        resp.deadline_met,
+        resp.latency.as_secs_f64() * 1e3
+    );
+    match (&resp.plan, &resp.rejection) {
+        (Some(plan), _) => {
+            let _ = write!(out, "\"objective\":{:.6},\"rejected\":false}}", plan.objective);
+        }
+        (None, Some(proof)) => {
+            let _ = write!(
+                out,
+                "\"rejected\":true,\"rejection\":\"{}\"}}",
+                json_escape(&proof.to_string())
+            );
+        }
+        (None, None) => {
+            let _ = write!(out, "\"rejected\":false}}");
+        }
+    }
+    out
 }
 
 /// Fold the scalar [`MetricsSnapshot`] state into the registry. The bridge
@@ -646,11 +1177,11 @@ fn sync_registry(shared: &Shared, reg: &Registry, workers: usize) {
     reg.gauge("rrp_cache_hit_rate", "Warm-start cache hits over lookups", &[])
         .set(snap.cache_hit_rate);
     reg.gauge("rrp_cache_entries", "Distinct fingerprints currently cached", &[])
-        .set(shared.cache.len() as f64);
+        .set(shared.cache_len() as f64);
     reg.gauge("rrp_basis_cache_hit_rate", "Root-basis warm-start hits over lookups", &[])
-        .set(shared.cache.basis_hit_rate());
+        .set(shared.basis_cache_hit_rate());
     reg.gauge("rrp_basis_cache_entries", "Problem shapes with a stored root basis", &[])
-        .set(shared.cache.basis_entries() as f64);
+        .set(shared.basis_cache_entries() as f64);
     reg.counter("rrp_audits_total", "Pre-solve audit-gate runs", &[]).set(snap.audits);
     reg.counter(
         "rrp_deadline_misses_total",
@@ -658,7 +1189,34 @@ fn sync_registry(shared: &Shared, reg: &Registry, workers: usize) {
         &[],
     )
     .set(snap.deadline_misses);
+    reg.counter(
+        "rrp_busy_rejections_total",
+        "Requests refused at admission (shard queue over high-water)",
+        &[],
+    )
+    .set(snap.busy_rejections);
     reg.gauge("rrp_workers", "Engine worker threads", &[]).set(workers as f64);
+    reg.gauge("rrp_shards", "Engine state shards", &[]).set(shared.shards.len() as f64);
+    for shard in &snap.shards {
+        let label = shard.shard.to_string();
+        let labels: &[(&'static str, &str)] = &[("shard", label.as_str())];
+        reg.gauge("rrp_shard_queue_depth", "Unserved requests on this shard", labels)
+            .set(shard.queue_depth as f64);
+        reg.gauge(
+            "rrp_shard_queue_depth_high_water",
+            "Highest queue depth this shard has seen",
+            labels,
+        )
+        .set(shard.queue_depth_high_water as f64);
+        reg.counter("rrp_shard_completed_total", "Responses produced by this shard", labels)
+            .set(shard.completed);
+        reg.counter(
+            "rrp_shard_busy_rejections_total",
+            "Requests this shard refused at admission",
+            labels,
+        )
+        .set(shard.busy_rejections);
+    }
     for (rung, served) in [
         ("full", snap.level_full),
         ("deterministic", snap.level_deterministic),
@@ -725,17 +1283,90 @@ fn shape_fingerprint(app_id: &str, prepared: &PreparedDrrp) -> u64 {
     h.finish()
 }
 
-fn worker_loop(rx: &Receiver<Job>, shared: &Shared) {
+/// Global-dispatch worker: all workers share the state slice and the
+/// channel. One wakeup and one reply-channel send per request — the
+/// baseline the sharded engine's batch disciplines are measured against.
+fn worker_loop_global(rx: &Receiver<Job>, shared: &Shared) {
+    let state = &shared.shards[0];
     while let Ok(job) = rx.recv() {
-        shared.metrics.dequeue();
-        // a panicking request (malformed instance) must not kill the
-        // worker; its reply sender unwinds away and the Ticket reports it
-        let _ = catch_unwind(AssertUnwindSafe(|| process(shared, job)));
+        run_job(shared, state, job);
     }
 }
 
-fn process(shared: &Shared, job: Job) {
-    let Job { req, reply, span } = job;
+/// Wave responses a sharded worker buffered while draining one batch.
+type PendingCompletion = (Arc<Wave<PlanResponse>>, usize, Option<PlanResponse>);
+
+/// Sharded worker: exclusively owns shard `shard`'s state and queue.
+/// Batch-draining the queue means a burst of submissions costs one
+/// condvar wakeup; the jobs then run back-to-back without re-locking,
+/// and their wave completions are filed per wave under one lock
+/// ([`Wave::complete_many`]) after the drain. Channel replies (single
+/// submissions) still deliver immediately — a [`Ticket`] holder is
+/// waiting on each one individually.
+fn worker_loop_sharded(queue: &ShardQueue<Job>, shared: &Shared, shard: usize) {
+    let state = &shared.shards[shard];
+    let mut batch = Vec::new();
+    let mut completions: Vec<PendingCompletion> = Vec::new();
+    while queue.recv_batch(&mut batch) {
+        for job in batch.drain(..) {
+            state.metrics.dequeue();
+            let Job { req, reply, span, basis_hint } = job;
+            let result =
+                catch_unwind(AssertUnwindSafe(|| process(shared, state, req, span, basis_hint)));
+            match (reply, result) {
+                (ReplyTo::Channel(tx), Ok(resp)) => {
+                    let _ = tx.send(resp);
+                }
+                (ReplyTo::Channel(tx), Err(_)) => drop(tx),
+                (ReplyTo::Wave { wave, idx }, Ok(resp)) => {
+                    completions.push((wave, idx, Some(resp)))
+                }
+                (ReplyTo::Wave { wave, idx }, Err(_)) => completions.push((wave, idx, None)),
+            }
+        }
+        // group buffered completions by wave identity and file each group
+        // in one complete_many call
+        while let Some((wave, idx, resp)) = completions.pop() {
+            let mut entries = vec![(idx, resp)];
+            let mut i = 0;
+            while i < completions.len() {
+                if Arc::ptr_eq(&completions[i].0, &wave) {
+                    let (_, idx, resp) = completions.swap_remove(i);
+                    entries.push((idx, resp));
+                } else {
+                    i += 1;
+                }
+            }
+            wave.complete_many(entries);
+        }
+    }
+}
+
+/// Run one job on its shard and deliver the response. A panicking request
+/// (malformed instance) must not kill the worker: the channel reply drops
+/// its sender (the [`Ticket`] reports the panic) and a wave slot is
+/// poisoned (the wave completes; [`Wave::wait`] reports it).
+fn run_job(shared: &Shared, state: &ShardState, job: Job) {
+    state.metrics.dequeue();
+    let Job { req, reply, span, basis_hint } = job;
+    let result = catch_unwind(AssertUnwindSafe(|| process(shared, state, req, span, basis_hint)));
+    match (reply, result) {
+        (ReplyTo::Channel(tx), Ok(resp)) => {
+            let _ = tx.send(resp);
+        }
+        (ReplyTo::Channel(tx), Err(_)) => drop(tx),
+        (ReplyTo::Wave { wave, idx }, Ok(resp)) => wave.complete(idx, Some(resp)),
+        (ReplyTo::Wave { wave, idx }, Err(_)) => wave.complete(idx, None),
+    }
+}
+
+fn process(
+    shared: &Shared,
+    state: &ShardState,
+    req: PlanRequest,
+    span: SpanId,
+    basis_hint: Option<Arc<Basis>>,
+) -> PlanResponse {
     let start = Instant::now();
     let key = req.fingerprint();
     // the request span itself is opened on the submitting thread, so the
@@ -743,29 +1374,34 @@ fn process(shared: &Shared, job: Job) {
     let _frame = shared.trace.stack_frame("request");
     // relaxed-ok: ids only need uniqueness
     let request_id = shared.next_request_id.fetch_add(1, Ordering::Relaxed);
-    let _inflight = InflightGuard::track(shared, &req, request_id);
+    let _inflight = InflightGuard::track(state, shared.prof.is_some(), &req, request_id);
     shared.trace.emit(span, EventKind::Dequeued);
 
-    let cached = shared.cache.lookup(key);
+    let cached = state.cache.lookup(key);
     shared.trace.emit(span, EventKind::CacheLookup { hit: cached.is_some() });
     if let Some(entry) = cached {
         let latency = start.elapsed();
         let deadline_met = latency <= req.deadline;
-        shared.metrics.record(entry.degradation, latency, deadline_met);
-        shared.metrics.record_tenant(&req.app_id, true, false, deadline_met);
-        shared.trace.emit(
-            span,
-            EventKind::RequestDone {
-                request_id,
-                tenant: req.app_id.clone(),
-                level: entry.degradation.as_str(),
-                outcome: "cache_hit",
-                latency_us: latency.as_micros() as u64,
-                deadline_met,
-            },
-        );
+        state.metrics.record(entry.degradation, latency, deadline_met);
+        state.metrics.record_tenant(&req.app_id, true, false, deadline_met);
+        // `emit` is a no-op when tracing is off, but its *argument* is
+        // still built — gate the tenant-id clone out of the cache-hit
+        // path, which is pure submit-path overhead under a hit storm
+        if shared.trace.is_enabled() {
+            shared.trace.emit(
+                span,
+                EventKind::RequestDone {
+                    request_id,
+                    tenant: req.app_id.clone(),
+                    level: entry.degradation.as_str(),
+                    outcome: "cache_hit",
+                    latency_us: latency.as_micros() as u64,
+                    deadline_met,
+                },
+            );
+        }
         shared.trace.close_span(span);
-        let _ = reply.send(PlanResponse {
+        return PlanResponse {
             app_id: req.app_id,
             fingerprint: key,
             plan: Some(entry.plan),
@@ -775,8 +1411,8 @@ fn process(shared: &Shared, job: Job) {
             cache_hit: true,
             latency,
             deadline_met,
-        });
-        return;
+            root_basis: None,
+        };
     }
 
     // Pre-solve audit gate. Every ladder answer must satisfy the schedule's
@@ -800,7 +1436,7 @@ fn process(shared: &Shared, job: Job) {
     let audit_opts =
         AuditOptions { hints, structure: false, numerics: false, ..Default::default() };
     let audit = audit_milp_with(&prepared.milp, &audit_opts);
-    shared.metrics.record_audit();
+    state.metrics.record_audit();
     shared.trace.emit(
         span,
         EventKind::AuditGate {
@@ -811,8 +1447,8 @@ fn process(shared: &Shared, job: Job) {
     if let Some(proof) = audit.infeasibility {
         let latency = start.elapsed();
         let deadline_met = latency <= req.deadline;
-        shared.metrics.record_rejection(latency, deadline_met);
-        shared.metrics.record_tenant(&req.app_id, false, true, deadline_met);
+        state.metrics.record_rejection(latency, deadline_met);
+        state.metrics.record_tenant(&req.app_id, false, true, deadline_met);
         shared.trace.emit(
             span,
             EventKind::RequestDone {
@@ -825,7 +1461,7 @@ fn process(shared: &Shared, job: Job) {
             },
         );
         shared.trace.close_span(span);
-        let _ = reply.send(PlanResponse {
+        return PlanResponse {
             app_id: req.app_id,
             fingerprint: key,
             plan: None,
@@ -835,20 +1471,22 @@ fn process(shared: &Shared, job: Job) {
             cache_hit: false,
             latency,
             deadline_met,
-        });
-        return;
+            root_basis: None,
+        };
     }
     audit.apply(&mut prepared.milp);
 
     // Basis warm start across re-plans: the exact fingerprint missed (new
     // demand/prices), but a same-shape solve may have left its final root
     // basis behind — hand it to the MILP root LP as a dual-feasible hint.
+    // The shard's own side-table wins; a batched wave leader's basis
+    // (`basis_hint`) fills in when the table has nothing for this shape.
     // A stale or mismatched basis only costs the warm attempt; the solver
     // falls back to a cold primal solve on its own.
     let shape = shape_fingerprint(&req.app_id, &prepared);
     let ladder_opts = if shared.opts.warm_start {
         let mut o = shared.opts.clone();
-        o.root_basis = shared.cache.lookup_basis(shape);
+        o.root_basis = state.cache.lookup_basis(shape).or(basis_hint);
         o
     } else {
         shared.opts.clone()
@@ -859,17 +1497,17 @@ fn process(shared: &Shared, job: Job) {
     let ladder_cfg = LadderConfig { trace: shared.trace.clone(), parent: span };
     let result = run_ladder_with(&req, &ladder_opts, &budget, Some(&prepared), &ladder_cfg);
     if result.fully_solved {
-        shared
+        state
             .cache
             .insert(key, CacheEntry { plan: result.plan.clone(), degradation: result.level });
         if let Some(basis) = &result.root_basis {
-            shared.cache.insert_basis(shape, Arc::clone(basis));
+            state.cache.insert_basis(shape, Arc::clone(basis));
         }
     }
     let latency = start.elapsed();
     let deadline_met = latency <= req.deadline;
-    shared.metrics.record(result.level, latency, deadline_met);
-    shared.metrics.record_tenant(&req.app_id, false, false, deadline_met);
+    state.metrics.record(result.level, latency, deadline_met);
+    state.metrics.record_tenant(&req.app_id, false, false, deadline_met);
     shared.trace.emit(
         span,
         EventKind::RequestDone {
@@ -882,7 +1520,7 @@ fn process(shared: &Shared, job: Job) {
         },
     );
     shared.trace.close_span(span);
-    let _ = reply.send(PlanResponse {
+    PlanResponse {
         app_id: req.app_id,
         fingerprint: key,
         plan: Some(result.plan),
@@ -892,5 +1530,6 @@ fn process(shared: &Shared, job: Job) {
         cache_hit: false,
         latency,
         deadline_met,
-    });
+        root_basis: result.root_basis,
+    }
 }

@@ -8,7 +8,7 @@ use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
 use rrp_core::{CostSchedule, PlanningParams, ScenarioTree};
-use rrp_engine::{Engine, EngineConfig, MetricsConfig, PlanRequest, PolicyKind};
+use rrp_engine::{Engine, EngineConfig, MetricsConfig, PlanRequest, PolicyKind, ShardConfig};
 use rrp_obs::text::parse;
 use rrp_spotmarket::{CostRates, EmpiricalDist};
 
@@ -22,6 +22,24 @@ fn http_get(addr: SocketAddr, path: &str) -> Option<(u16, String)> {
     let (head, body) = text.split_once("\r\n\r\n")?;
     let status: u16 = head.split_whitespace().nth(1)?.parse().ok()?;
     Some((status, body.to_string()))
+}
+
+/// POST returning `(status, full head, body)` — the head carries
+/// `Retry-After` on a 429.
+fn http_post(addr: SocketAddr, path: &str, body: &str) -> Option<(u16, String, String)> {
+    let mut s = TcpStream::connect_timeout(&addr, Duration::from_secs(5)).ok()?;
+    s.set_read_timeout(Some(Duration::from_secs(30))).ok()?;
+    s.write_all(
+        format!("POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}", body.len())
+            .as_bytes(),
+    )
+    .ok()?;
+    let mut raw = Vec::new();
+    s.read_to_end(&mut raw).ok()?;
+    let text = String::from_utf8(raw).ok()?;
+    let (head, body) = text.split_once("\r\n\r\n")?;
+    let status: u16 = head.split_whitespace().nth(1)?.parse().ok()?;
+    Some((status, head.to_string(), body.to_string()))
 }
 
 fn request(i: usize, horizon: usize) -> PlanRequest {
@@ -163,6 +181,123 @@ fn readyz_flips_over_high_water_and_recovers() {
         assert!(Instant::now() < deadline, "readyz never recovered after the drain");
         std::thread::sleep(Duration::from_millis(2));
     }
+}
+
+fn serving_sharded_engine(workers: usize, queue_high_water: usize) -> (Engine, SocketAddr) {
+    let engine = Engine::with_config(
+        workers,
+        EngineConfig {
+            metrics: Some(MetricsConfig {
+                addr: Some("127.0.0.1:0".to_string()),
+                ..Default::default()
+            }),
+            shard: Some(ShardConfig { queue_high_water }),
+            ..Default::default()
+        },
+    );
+    let addr = engine.metrics_addr().expect("ephemeral metrics server bound");
+    (engine, addr)
+}
+
+#[test]
+fn sharded_readyz_holds_at_the_edge_and_flips_one_over() {
+    // one shard, high-water 1: a backlog of exactly 1 sits *at* the edge
+    // and must stay ready — the flip is strictly `depth > high_water`
+    let (engine, addr) = serving_sharded_engine(1, 1);
+    let (code, _) = http_get(addr, "/readyz").expect("idle readyz");
+    assert_eq!(code, 200);
+
+    let blocker = engine.submit(slow_request(0));
+    // while the single request is in flight the depth is exactly the
+    // high-water mark: every poll must stay 200 (no premature flip)
+    for _ in 0..5 {
+        let (code, body) = http_get(addr, "/readyz").expect("readyz at the edge");
+        assert_eq!(code, 200, "503 at depth == high_water: {body}");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // one more queued request crosses the edge: poll for the 503 window
+    let tickets: Vec<_> = (1..12).map(|i| engine.submit(slow_request(i))).collect();
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mut saw_503 = false;
+    while Instant::now() < deadline {
+        let (code, body) = http_get(addr, "/readyz").expect("readyz over the edge");
+        if code == 503 {
+            assert!(body.contains("over high-water"), "{body}");
+            saw_503 = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(saw_503, "readyz never reported the saturated shard");
+
+    let _ = blocker.wait();
+    for t in tickets {
+        let _ = t.wait();
+    }
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let (code, _) = http_get(addr, "/readyz").expect("readyz after drain");
+        if code == 200 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "readyz never recovered after the drain");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+#[test]
+fn plan_intake_serves_a_tenant_request_over_http() {
+    let (engine, addr) = serving_sharded_engine(2, 128);
+    let body = r#"{"app_id":"http-tenant","policy":"deterministic","deadline_ms":30000,
+        "compute":[0.06,0.06,0.06,0.06],"demand":[0.4,0.8,0.2,0.6]}"#;
+    let (code, _, resp) = http_post(addr, "/plan", body).expect("plan intake answered");
+    assert_eq!(code, 200, "{resp}");
+    assert!(resp.contains("\"app_id\":\"http-tenant\""), "{resp}");
+    assert!(resp.contains("\"objective\":"), "{resp}");
+    assert!(resp.contains("\"deadline_met\":true"), "{resp}");
+
+    // the request went through the real engine: counters and per-tenant
+    // rows carry it
+    let m = engine.metrics();
+    assert_eq!(m.completed, 1);
+    assert!(m.tenants.iter().any(|t| t.tenant == "http-tenant"));
+
+    // malformed and unsupported intakes are rejected, not crashed on
+    let (code, _, resp) = http_post(addr, "/plan", "{not json").expect("bad body answered");
+    assert_eq!(code, 400, "{resp}");
+    let (code, _, resp) = http_post(
+        addr,
+        "/plan",
+        r#"{"app_id":"x","policy":"stochastic","compute":[0.06],"demand":[0.4]}"#,
+    )
+    .expect("stochastic answered");
+    assert_eq!(code, 400, "{resp}");
+    assert!(resp.contains("stochastic"), "{resp}");
+}
+
+#[test]
+fn plan_intake_backpressure_is_429_with_retry_after() {
+    // high-water 0: every untrusted intake is refused at admission
+    let (engine, addr) = serving_sharded_engine(1, 0);
+    let body = r#"{"app_id":"shed-me","compute":[0.06,0.06],"demand":[0.4,0.2]}"#;
+    let (code, head, resp) = http_post(addr, "/plan", body).expect("busy intake answered");
+    assert_eq!(code, 429, "{resp}");
+    assert!(head.contains("Retry-After: "), "429 must carry Retry-After:\n{head}");
+    assert!(resp.contains("busy"), "{resp}");
+    let m = engine.metrics();
+    assert_eq!(m.busy_rejections, 1);
+    assert_eq!(m.completed, 0);
+}
+
+#[test]
+fn plan_intake_is_404_on_the_global_engine() {
+    // the unsharded engine attaches no intake hook — the route stays 404
+    // rather than silently accepting work outside admission control
+    let (_engine, addr) = serving_engine(1, 128);
+    let body = r#"{"app_id":"x","compute":[0.06],"demand":[0.4]}"#;
+    let (code, _, _) = http_post(addr, "/plan", body).expect("global intake answered");
+    assert_eq!(code, 404);
 }
 
 #[test]

@@ -1,0 +1,252 @@
+//! Sharding is a pure performance device: a sharded engine (per-worker
+//! plan cache, basis side-table, metrics ledger, and in-flight table)
+//! must be *indistinguishable* from the single-shard engine in what it
+//! computes. On the paper's Fig. 10–12 style evaluation instances the
+//! two configurations must produce byte-identical plans and identical
+//! cache-hit / deadline-miss counters; any divergence is a correctness
+//! bug in the shard hand-off, not a tuning issue. Admission control
+//! (`try_submit` + 429 `Busy`) and the batched re-plan wave ride along.
+
+use std::time::Duration;
+
+use rrp_core::demand::DemandModel;
+use rrp_core::{CostSchedule, PlanningParams};
+use rrp_engine::{
+    Engine, EngineConfig, MetricsSnapshot, PlanRequest, PlanResponse, PolicyKind, ShardConfig,
+};
+use rrp_spotmarket::{CostRates, VmClass};
+
+/// The Fig. 10 evaluation setup: paper-default demand (N(0.4, 0.2) GB/h
+/// truncated positive) against a class's flat on-demand price.
+fn paper_request(class: VmClass, day: u64, horizon: usize) -> PlanRequest {
+    let seed = 4242 + day * 31 + class as u64;
+    let demand = DemandModel::paper_default().sample(horizon, seed);
+    let compute = vec![class.on_demand_price(); horizon];
+    PlanRequest {
+        app_id: format!("{}-day{day}", class.name()),
+        vm_class: "m1.small".into(),
+        schedule: CostSchedule::ec2(compute, demand, &CostRates::ec2_2011()),
+        params: PlanningParams::default(),
+        tree: None,
+        policy: PolicyKind::Deterministic,
+        deadline: Duration::from_secs(30),
+        seed,
+    }
+}
+
+/// Every Fig. 10–12 evaluation class × a few re-plan days.
+fn evaluation_workload(horizon: usize) -> Vec<PlanRequest> {
+    let mut reqs = Vec::new();
+    for class in VmClass::EVALUATION {
+        for day in 0..4u64 {
+            reqs.push(paper_request(class, day, horizon));
+        }
+    }
+    reqs
+}
+
+fn sharded_engine(workers: usize) -> Engine {
+    Engine::with_config(
+        workers,
+        EngineConfig { shard: Some(ShardConfig::default()), ..Default::default() },
+    )
+}
+
+/// The response fields a tenant can observe, rendered for byte-for-byte
+/// comparison (latency and trace timings are excluded — they are the
+/// only fields allowed to differ between configurations).
+fn observable(resp: &PlanResponse) -> String {
+    format!(
+        "app={} fp={} degradation={:?} cache_hit={} deadline_met={} rejection={} plan={:?}",
+        resp.app_id,
+        resp.fingerprint,
+        resp.degradation,
+        resp.cache_hit,
+        resp.deadline_met,
+        resp.rejection.is_some(),
+        resp.plan,
+    )
+}
+
+fn counter_fingerprint(m: &MetricsSnapshot) -> String {
+    format!(
+        "completed={} cache_hits={} cache_misses={} deadline_misses={} audits={} \
+         audit_rejections={} busy={} levels={}/{}/{}/{}",
+        m.completed,
+        m.cache_hits,
+        m.cache_misses,
+        m.deadline_misses,
+        m.audits,
+        m.audit_rejections,
+        m.busy_rejections,
+        m.level_full,
+        m.level_deterministic,
+        m.level_dynamic_program,
+        m.level_on_demand_only,
+    )
+}
+
+#[test]
+fn sharded_and_global_engines_are_observably_identical() {
+    let global = Engine::new(1);
+    let sharded = sharded_engine(4);
+    assert_eq!(global.shard_count(), 1);
+    assert_eq!(sharded.shard_count(), 4);
+
+    // three re-plan rounds over the same instances: round one misses the
+    // cache everywhere, later rounds must hit — in *both* configurations,
+    // because tenant→shard affinity keeps a tenant's repeats on one shard
+    for _round in 0..3 {
+        for req in evaluation_workload(10) {
+            let g = global.submit(req.clone()).wait();
+            let s = sharded.submit(req).wait();
+            assert_eq!(observable(&g), observable(&s), "sharded plan diverged from global");
+        }
+    }
+
+    let (gm, sm) = (global.metrics(), sharded.metrics());
+    assert_eq!(
+        counter_fingerprint(&gm),
+        counter_fingerprint(&sm),
+        "merged sharded counters diverged from the single-shard ledger"
+    );
+    let n = (VmClass::EVALUATION.len() * 4) as u64;
+    assert_eq!(gm.completed, 3 * n);
+    assert_eq!(gm.cache_misses, n, "round one must miss");
+    assert_eq!(gm.cache_hits, 2 * n, "later rounds must hit");
+    assert_eq!(gm.deadline_misses, 0);
+
+    // warm-basis side-tables agree too (summed across shards)
+    assert_eq!(global.basis_cache_entries(), sharded.basis_cache_entries());
+    assert_eq!(global.basis_cache_hit_rate(), sharded.basis_cache_hit_rate());
+    assert_eq!(global.cache_len(), sharded.cache_len());
+
+    // per-tenant rows merge identically (sorted by tenant id either way)
+    assert_eq!(gm.tenants.len(), sm.tenants.len());
+    for (g, s) in gm.tenants.iter().zip(&sm.tenants) {
+        assert_eq!(
+            (g.tenant.as_str(), g.requests, g.cache_hits, g.deadline_misses),
+            (s.tenant.as_str(), s.requests, s.cache_hits, s.deadline_misses),
+        );
+    }
+
+    // the shard table reflects the topology: one row per shard, completions
+    // conserved under the merge
+    assert_eq!(gm.shards.len(), 1);
+    assert_eq!(sm.shards.len(), 4);
+    assert_eq!(sm.shards.iter().map(|s| s.completed).sum::<u64>(), sm.completed);
+    assert!(
+        sm.shards.iter().filter(|s| s.completed > 0).count() > 1,
+        "12 tenants should hash onto more than one of 4 shards"
+    );
+}
+
+#[test]
+fn try_submit_refuses_at_the_high_water_mark_and_recovers() {
+    // high-water 0: the bounded queue refuses *every* untrusted submission
+    let engine = Engine::with_config(
+        2,
+        EngineConfig { shard: Some(ShardConfig { queue_high_water: 0 }), ..Default::default() },
+    );
+    for i in 0..3 {
+        let req = paper_request(VmClass::C1Medium, i, 8);
+        let busy = match engine.try_submit(req) {
+            Err(b) => b,
+            Ok(_) => panic!("queue_high_water=0 must refuse every try_submit"),
+        };
+        assert_eq!(busy.depth, 0);
+        assert_eq!(busy.high_water, 0);
+        assert!(
+            (50..=5000).contains(&busy.retry_after_ms),
+            "retry hint out of band: {}",
+            busy.retry_after_ms
+        );
+        assert!(busy.shard < 2);
+    }
+
+    // refusals are visible, side-effect-free, and do not wedge the engine:
+    // the trusted in-process path still serves
+    let m = engine.metrics();
+    assert_eq!(m.busy_rejections, 3);
+    assert_eq!(m.completed, 0);
+    assert_eq!(m.queue_depth, 0, "a refused request must not leak queue depth");
+    let resp = engine.submit(paper_request(VmClass::M1Large, 9, 8)).wait();
+    assert!(resp.deadline_met);
+    assert!(resp.plan.is_some());
+    let m = engine.metrics();
+    assert_eq!(m.completed, 1);
+    assert_eq!(m.busy_rejections, 3);
+
+    // a sane high-water accepts
+    let roomy = sharded_engine(2);
+    let resp = match roomy.try_submit(paper_request(VmClass::M1Xlarge, 1, 8)) {
+        Ok(t) => t.wait(),
+        Err(b) => panic!("idle engine refused admission: {b:?}"),
+    };
+    assert!(resp.deadline_met);
+}
+
+#[test]
+fn replan_wave_matches_individual_submissions() {
+    // two shapes (horizons 8 and 10) interleaved across tenants: each
+    // shape group elects a leader whose root basis warm-starts the rest
+    let mut reqs = Vec::new();
+    for day in 0..3u64 {
+        for class in VmClass::EVALUATION {
+            reqs.push(paper_request(class, day, 8));
+            reqs.push(paper_request(class, day, 10));
+        }
+    }
+
+    let wave_engine = sharded_engine(4);
+    let solo_engine = sharded_engine(4);
+    let waved = wave_engine.run_replan_wave(reqs.clone());
+    assert_eq!(waved.len(), reqs.len(), "wave must answer every request");
+
+    for (req, resp) in reqs.iter().zip(&waved) {
+        assert_eq!(req.app_id, resp.app_id, "wave must preserve input order");
+        let solo = solo_engine.submit(req.clone()).wait();
+        // a leader's basis is a warm-start *hint*: the member may pivot
+        // through a different path, but must land on the same optimum
+        let (w, s) = (resp.plan.as_ref(), solo.plan.as_ref());
+        let (w, s) = (w.expect("wave plan"), s.expect("solo plan"));
+        assert!(
+            (w.objective - s.objective).abs() <= 1e-9 * (1.0 + s.objective.abs()),
+            "{}: wave {} vs solo {}",
+            req.app_id,
+            w.objective,
+            s.objective
+        );
+        assert!(w.is_feasible(&req.schedule, &req.params, 1e-6), "{}", req.app_id);
+        assert_eq!(resp.degradation, solo.degradation);
+        assert!(resp.deadline_met, "{}", req.app_id);
+    }
+
+    let m = wave_engine.metrics();
+    assert_eq!(m.completed, waved.len() as u64);
+    assert_eq!(m.deadline_misses, 0);
+}
+
+#[test]
+fn replan_wave_on_the_global_engine_degrades_gracefully() {
+    // the wave API works (and stays correct) without sharding — only the
+    // batching economics change
+    let engine = Engine::new(2);
+    let reqs: Vec<PlanRequest> =
+        VmClass::EVALUATION.iter().map(|&c| paper_request(c, 0, 8)).collect();
+    let out = engine.run_replan_wave(reqs.clone());
+    assert_eq!(out.len(), reqs.len());
+    for (req, resp) in reqs.iter().zip(&out) {
+        assert_eq!(req.app_id, resp.app_id);
+        assert!(resp.plan.is_some());
+        assert!(resp.deadline_met);
+    }
+}
+
+#[test]
+fn empty_wave_and_batch_are_no_ops() {
+    let engine = sharded_engine(2);
+    assert!(engine.run_replan_wave(Vec::new()).is_empty());
+    assert!(engine.run_batch(Vec::new()).is_empty());
+    assert_eq!(engine.metrics().completed, 0);
+}

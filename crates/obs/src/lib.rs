@@ -42,5 +42,5 @@ pub mod text;
 
 pub use bridge::MetricsSink;
 pub use registry::{Counter, Gauge, Registry, Summary, OVERFLOW_LABEL};
-pub use server::{ObsHooks, ObsServer, Readiness};
+pub use server::{ObsHooks, ObsServer, PendingPlan, PlanDecision, Readiness};
 pub use text::{parse, Sample};

@@ -45,6 +45,7 @@ fn concurrent_scrapes_never_tear() {
             profile_text: None,
             flight_json: None,
             slo_json: None,
+            plan: None,
         }
     };
     let server = ObsServer::bind("127.0.0.1:0", hooks).expect("ephemeral bind");
@@ -117,6 +118,7 @@ fn readyz_follows_the_hook_under_load() {
             profile_text: None,
             flight_json: None,
             slo_json: None,
+            plan: None,
         }
     };
     let server = ObsServer::bind("127.0.0.1:0", hooks).expect("ephemeral bind");

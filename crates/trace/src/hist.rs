@@ -69,6 +69,25 @@ impl LogHistogram {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// Fold `other`'s buckets into this histogram (bucket-wise add).
+    ///
+    /// The layout is identical for every instance (same base, growth and
+    /// bucket count), so merging loses nothing beyond the resolution both
+    /// histograms already had. Used to assemble one quantile view over
+    /// per-shard histograms without making the record path cross shards.
+    /// Concurrent recording into `other` during the merge may leave the
+    /// merged count behind by the in-flight samples — the same point-in-
+    /// time semantics every other snapshot counter has.
+    pub fn merge_from(&self, other: &LogHistogram) {
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
     /// Nearest-rank quantile (`q` in `[0, 1]`): the geometric midpoint of
     /// the bucket holding the rank. 0 when empty. Relative error vs. the
     /// exact sample quantile is bounded by `2^(1/8) − 1 ≈ 9.05%` for
@@ -133,6 +152,27 @@ mod tests {
         let h = LogHistogram::new();
         assert_eq!(h.quantile(0.5), 0.0);
         assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn merge_matches_recording_into_one() {
+        let (a, b, merged, direct) =
+            (LogHistogram::new(), LogHistogram::new(), LogHistogram::new(), LogHistogram::new());
+        for i in 1..=500 {
+            let v = 0.03 * i as f64;
+            if i % 2 == 0 {
+                a.record(v)
+            } else {
+                b.record(v)
+            };
+            direct.record(v);
+        }
+        merged.merge_from(&a);
+        merged.merge_from(&b);
+        assert_eq!(merged.count(), direct.count());
+        for q in [0.5, 0.9, 0.99] {
+            assert_eq!(merged.quantile(q), direct.quantile(q), "q={q}");
+        }
     }
 
     #[test]

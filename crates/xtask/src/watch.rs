@@ -142,6 +142,8 @@ struct WatchState {
     last: Option<(Instant, f64)>,
     throughput: VecDeque<f64>,
     queue: VecDeque<f64>,
+    /// One depth history per shard, indexed by shard id (sharded engines).
+    shard_queues: Vec<VecDeque<f64>>,
 }
 
 /// Minimal HTTP/1.1 GET returning (status, body). `None` on any socket
@@ -209,6 +211,38 @@ fn render(
         high as u64,
         sparkline(&state.queue)
     );
+    // per-shard queue panel (present only on sharded engines): one
+    // sparkline per shard, so a single saturated shard is visible even
+    // when the merged depth above looks healthy
+    let mut shard_rows: Vec<&Sample> = samples
+        .iter()
+        .filter(|s| s.name == "rrp_shard_queue_depth" && s.label("shard").is_some())
+        .collect();
+    if !shard_rows.is_empty() {
+        shard_rows.sort_by_key(|s| {
+            s.label("shard").and_then(|v| v.parse::<usize>().ok()).unwrap_or(usize::MAX)
+        });
+        if state.shard_queues.len() < shard_rows.len() {
+            state.shard_queues.resize_with(shard_rows.len(), VecDeque::new);
+        }
+        let _ = writeln!(out, "  shard queues:");
+        for (i, s) in shard_rows.iter().enumerate() {
+            let shard = s.label("shard").unwrap_or("?");
+            push_history(&mut state.shard_queues[i], s.value);
+            let hw =
+                labeled(samples, "rrp_shard_queue_depth_high_water", "shard", shard).unwrap_or(0.0);
+            let busy =
+                labeled(samples, "rrp_shard_busy_rejections_total", "shard", shard).unwrap_or(0.0);
+            let _ = writeln!(
+                out,
+                "    shard {shard:<3} {:>6} deep   high-water {:<5} {:>6} busy   {}",
+                s.value as u64,
+                hw as u64,
+                busy as u64,
+                sparkline(&state.shard_queues[i])
+            );
+        }
+    }
     let hit_rate = value(samples, "rrp_cache_hit_rate").unwrap_or(0.0);
     let entries = value(samples, "rrp_cache_entries").unwrap_or(0.0);
     let _ = writeln!(
@@ -414,6 +448,12 @@ mod tests {
              rrp_level_served_total{rung=\"deterministic\"} 20\n\
              rrp_level_served_total{rung=\"dynamic-program\"} 4\n\
              rrp_level_served_total{rung=\"on-demand-only\"} 0\n\
+             rrp_shards 2\n\
+             rrp_shard_queue_depth{shard=\"1\"} 9\n\
+             rrp_shard_queue_depth{shard=\"0\"} 2\n\
+             rrp_shard_queue_depth_high_water{shard=\"0\"} 4\n\
+             rrp_shard_queue_depth_high_water{shard=\"1\"} 12\n\
+             rrp_shard_busy_rejections_total{shard=\"1\"} 7\n\
              rrp_requests_total{tenant=\"acme\"} 50\n\
              rrp_requests_total{tenant=\"zephyr\"} 14\n\
              rrp_deadline_miss_total{tenant=\"acme\"} 1\n\
@@ -465,6 +505,13 @@ mod tests {
         assert!(screen.contains("acme"), "{screen}");
         assert!(screen.contains("2 trace events lost"), "{screen}");
         assert!(screen.contains("NOT READY [503]"), "{screen}");
+        assert!(screen.contains("shard queues:"), "{screen}");
+        // rows come out ordered by shard id even though the scrape wasn't
+        let s0 = screen.find("shard 0").expect("shard 0 row");
+        let s1 = screen.find("shard 1").expect("shard 1 row");
+        assert!(s0 < s1, "{screen}");
+        assert!(screen.contains("high-water 12"), "{screen}");
+        assert!(screen.contains("7 busy"), "{screen}");
         assert!(screen.contains("4821 samples"), "{screen}");
         assert!(screen.contains("311 ring events"), "{screen}");
         assert!(screen.contains("last trigger deadline_miss_spike"), "{screen}");
@@ -493,6 +540,7 @@ mod tests {
         assert!(!screen.contains("profiler"), "{screen}");
         assert!(!screen.contains("flight"), "{screen}");
         assert!(!screen.contains("slo"), "{screen}");
+        assert!(!screen.contains("shard queues"), "{screen}");
     }
 
     #[test]

@@ -26,13 +26,22 @@
 //! `--serve-metrics` the engine also serves `/slo` and exports
 //! `rrp_slo_*` metric families, rendered with
 //! `cargo run -p xtask -- slo <addr>`.
+//!
+//! Pass `--shards <n>` to pick the worker-shard count (default 4; each
+//! worker owns its slice of tenant state — plan cache, basis table,
+//! metrics ledger — keyed by tenant-id hash). `--shards 0` falls back to
+//! the legacy global-dispatch engine for A/B comparison. Pass `--soak <n>`
+//! to follow the demo with an n-tenant submission soak in 512-request
+//! waves (the `engine_soak` bench's wave discipline), reporting req/s,
+//! p99 latency and the deadline-miss rate.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rrp_core::{CostSchedule, PlanningParams, ScenarioTree};
 use rrp_engine::{
-    Engine, EngineConfig, MetricsConfig, PlanRequest, PolicyKind, ProfConfig, SloConfig,
+    Engine, EngineConfig, MetricsConfig, PlanRequest, PolicyKind, ProfConfig, ShardConfig,
+    SloConfig,
 };
 use rrp_spotmarket::{CostRates, EmpiricalDist};
 use rrp_trace::JsonlSink;
@@ -64,10 +73,28 @@ fn main() {
     let mut profile_hz = None;
     let mut flight_dir = None;
     let mut slo = false;
+    // `Some(n)` = sharded engine with n worker shards; `None` = the legacy
+    // global-dispatch baseline (`--shards 0`)
+    let mut shards: Option<usize> = Some(4);
+    let mut soak_tenants = 0usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--slo" => slo = true,
+            "--shards" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => shards = (n > 0).then_some(n),
+                None => {
+                    eprintln!("--shards needs a count (0 = legacy global dispatch)");
+                    std::process::exit(2);
+                }
+            },
+            "--soak" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => soak_tenants = n,
+                None => {
+                    eprintln!("--soak needs a tenant count (e.g. 20000)");
+                    std::process::exit(2);
+                }
+            },
             "--profile" => match args.next().and_then(|v| v.parse::<u32>().ok()) {
                 Some(hz) if hz > 0 => profile_hz = Some(hz),
                 _ => {
@@ -119,26 +146,31 @@ fn main() {
         ..Default::default()
     });
     let slo = slo.then(SloConfig::default);
-    let engine = match (&trace_path, metrics, prof, slo) {
-        (None, None, None, None) => Engine::new(4),
-        (path, metrics, prof, slo) => {
-            let sink = path.as_ref().map(|p| {
-                Arc::new(JsonlSink::create(p).expect("create trace file"))
-                    as Arc<dyn rrp_trace::Sink>
-            });
-            Engine::with_config(
-                4,
-                EngineConfig {
-                    sink,
-                    count_solver_events: true,
-                    metrics,
-                    prof,
-                    slo,
-                    ..Default::default()
-                },
-            )
-        }
+    let workers = shards.unwrap_or(4);
+    let shard = shards.map(|_| ShardConfig::default());
+    let engine = {
+        let sink = trace_path.as_ref().map(|p| {
+            Arc::new(JsonlSink::create(p).expect("create trace file")) as Arc<dyn rrp_trace::Sink>
+        });
+        let count_solver_events =
+            sink.is_some() || metrics.is_some() || prof.is_some() || slo.is_some();
+        Engine::with_config(
+            workers,
+            EngineConfig {
+                sink,
+                count_solver_events,
+                metrics,
+                prof,
+                slo,
+                shard,
+                ..Default::default()
+            },
+        )
     };
+    match shards {
+        Some(n) => println!("engine: {n} worker shard(s), per-tenant state sharded by id hash\n"),
+        None => println!("engine: 4 workers, legacy global dispatch (--shards 0)\n"),
+    }
     if let Some(dir) = &flight_dir {
         println!("flight recorder armed — post-mortems dump to {dir}/\n");
     }
@@ -221,6 +253,44 @@ fn main() {
     match &rejected.rejection {
         Some(proof) => println!("rejected: {proof}"),
         None => println!("unexpectedly planned"),
+    }
+
+    if soak_tenants > 0 {
+        println!("\n== soak: {soak_tenants} synthetic tenants in 512-request waves ==");
+        const WAVE: usize = 512;
+        let before = engine.metrics();
+        let t0 = Instant::now();
+        let mut latencies_ms: Vec<f64> = Vec::with_capacity(soak_tenants);
+        let mut start = 0usize;
+        while start < soak_tenants {
+            let end = (start + WAVE).min(soak_tenants);
+            let reqs: Vec<PlanRequest> = (start..end)
+                .map(|i| {
+                    let mut req = request(i, PolicyKind::DynamicProgram, Duration::from_secs(1));
+                    req.app_id = format!("soak-{i}");
+                    // spread demand so the soak mixes solves with replays
+                    // instead of replaying five cached plans forever
+                    for d in &mut req.schedule.demand {
+                        *d += 1e-6 * (i % 1024) as f64;
+                    }
+                    req
+                })
+                .collect();
+            for resp in engine.run_batch(reqs) {
+                latencies_ms.push(resp.latency.as_secs_f64() * 1e3);
+            }
+            start = end;
+        }
+        let wall_s = t0.elapsed().as_secs_f64();
+        latencies_ms.sort_by(|a, b| a.total_cmp(b));
+        let p99 = latencies_ms[((latencies_ms.len() - 1) as f64 * 0.99) as usize];
+        let after = engine.metrics();
+        let misses = after.deadline_misses - before.deadline_misses;
+        println!(
+            "{soak_tenants} tenants in {wall_s:.1} s — {:.0} req/s, p99 {p99:.2} ms, \
+             {misses} deadline miss(es)",
+            soak_tenants as f64 / wall_s
+        );
     }
 
     if hold_secs > 0 {

@@ -1,0 +1,11 @@
+//! The [`Source`] trait: what a type needs to be registrable with a
+//! [`crate::Registry`]. The shim's notion of identity is the unix file
+//! descriptor.
+
+use std::os::unix::io::RawFd;
+
+/// A pollable source. Implemented by [`crate::net::TcpListener`] and
+/// [`crate::net::TcpStream`]; any `AsRawFd` type can join.
+pub trait Source {
+    fn raw_fd(&self) -> RawFd;
+}

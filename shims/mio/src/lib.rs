@@ -1,0 +1,370 @@
+//! Offline stand-in for `mio` 0.8: the readiness-polling subset this
+//! workspace uses — [`Poll`]/[`Registry`]/[`Events`] over nonblocking
+//! [`net::TcpListener`]/[`net::TcpStream`].
+//!
+//! On Linux the selector is real `epoll` (level-triggered), reached
+//! through direct `extern "C"` declarations — std already links libc, so
+//! no crate dependency is needed. On other unix targets the selector
+//! degrades to a bounded busy-poll that reports every registered source
+//! ready for its full interest set; correct (callers must handle spurious
+//! readiness anyway, exactly as with level-triggered epoll) but not
+//! efficient. Non-unix targets are unsupported.
+
+use std::io;
+use std::time::Duration;
+
+pub mod event;
+pub mod net;
+
+/// Caller-chosen identifier attached to a registered source; readiness
+/// events carry it back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Token(pub usize);
+
+/// Readiness kinds a source can be registered for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    pub const READABLE: Interest = Interest(0b01);
+    pub const WRITABLE: Interest = Interest(0b10);
+
+    pub fn is_readable(self) -> bool {
+        self.0 & Self::READABLE.0 != 0
+    }
+
+    pub fn is_writable(self) -> bool {
+        self.0 & Self::WRITABLE.0 != 0
+    }
+
+    /// Combine two interests (`READABLE.add(WRITABLE)`).
+    // the name mirrors the real mio API this crate shims; `|` works too
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+
+    fn bitor(self, rhs: Interest) -> Interest {
+        self.add(rhs)
+    }
+}
+
+/// One readiness event: which token, and which directions are ready.
+/// Error/hang-up conditions surface as both readable and writable so the
+/// owner's next read/write observes the real error.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    token: Token,
+    readable: bool,
+    writable: bool,
+}
+
+impl Event {
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    pub fn is_readable(&self) -> bool {
+        self.readable
+    }
+
+    pub fn is_writable(&self) -> bool {
+        self.writable
+    }
+}
+
+/// Reusable buffer [`Poll::poll`] fills with readiness events.
+pub struct Events {
+    inner: Vec<Event>,
+    capacity: usize,
+}
+
+impl Events {
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events { inner: Vec::with_capacity(capacity), capacity: capacity.max(1) }
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.inner.iter()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+}
+
+impl<'a> IntoIterator for &'a Events {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// The selector: blocks in [`Poll::poll`] until a registered source is
+/// ready (or the timeout lapses).
+pub struct Poll {
+    registry: Registry,
+}
+
+impl Poll {
+    pub fn new() -> io::Result<Poll> {
+        Ok(Poll { registry: Registry { selector: sys::Selector::new()? } })
+    }
+
+    /// Handle used to (de)register sources.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Wait for readiness, filling `events` (cleared first). `None` blocks
+    /// indefinitely. Spurious wakeups with zero events are allowed.
+    pub fn poll(&mut self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        events.clear();
+        self.registry.selector.poll(&mut events.inner, events.capacity, timeout)
+    }
+}
+
+/// Registration handle: attach sources to the [`Poll`] they should wake.
+pub struct Registry {
+    selector: sys::Selector,
+}
+
+impl Registry {
+    pub fn register<S: event::Source + ?Sized>(
+        &self,
+        source: &mut S,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()> {
+        self.selector.register(source.raw_fd(), token, interests)
+    }
+
+    pub fn reregister<S: event::Source + ?Sized>(
+        &self,
+        source: &mut S,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()> {
+        self.selector.reregister(source.raw_fd(), token, interests)
+    }
+
+    pub fn deregister<S: event::Source + ?Sized>(&self, source: &mut S) -> io::Result<()> {
+        self.selector.deregister(source.raw_fd())
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    //! Level-triggered epoll selector. The syscalls are declared directly:
+    //! std links libc on every Linux target, so the symbols are present
+    //! without a libc crate dependency.
+
+    use std::io;
+    use std::os::unix::io::RawFd;
+    use std::time::Duration;
+
+    use super::{Event, Interest, Token};
+
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+
+    // x86_64 packs epoll_event to match the kernel ABI; other arches use
+    // natural alignment — same rule the kernel headers apply.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    pub(crate) struct Selector {
+        epfd: RawFd,
+    }
+
+    impl Selector {
+        pub fn new() -> io::Result<Selector> {
+            // SAFETY: plain syscall, no pointers involved
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Selector { epfd })
+        }
+
+        fn mask(interests: Interest) -> u32 {
+            let mut m = EPOLLRDHUP;
+            if interests.is_readable() {
+                m |= EPOLLIN;
+            }
+            if interests.is_writable() {
+                m |= EPOLLOUT;
+            }
+            m
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+            let mut ev = EpollEvent { events, data: token };
+            // SAFETY: `ev` outlives the call; epoll_ctl only reads it
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+            if rc < 0 {
+                Err(io::Error::last_os_error())
+            } else {
+                Ok(())
+            }
+        }
+
+        pub fn register(&self, fd: RawFd, token: Token, interests: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, Self::mask(interests), token.0 as u64)
+        }
+
+        pub fn reregister(&self, fd: RawFd, token: Token, interests: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, Self::mask(interests), token.0 as u64)
+        }
+
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            // the event argument is ignored for DEL on modern kernels but
+            // must be non-null on pre-2.6.9 ones; pass a dummy either way
+            self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+        }
+
+        pub fn poll(
+            &self,
+            out: &mut Vec<Event>,
+            capacity: usize,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            let timeout_ms: i32 = match timeout {
+                None => -1,
+                Some(d) => d.as_millis().min(i32::MAX as u128) as i32,
+            };
+            let mut buf = vec![EpollEvent { events: 0, data: 0 }; capacity];
+            // SAFETY: `buf` holds `capacity` writable EpollEvents and the
+            // kernel writes at most `capacity` of them
+            let n = unsafe { epoll_wait(self.epfd, buf.as_mut_ptr(), capacity as i32, timeout_ms) };
+            if n < 0 {
+                let e = io::Error::last_os_error();
+                // a signal mid-wait is a spurious wakeup, not a failure
+                if e.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(e);
+            }
+            for ev in &buf[..n as usize] {
+                // copy out of the (possibly packed) struct before use
+                let events = ev.events;
+                let data = ev.data;
+                out.push(Event {
+                    token: Token(data as usize),
+                    readable: events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0,
+                    writable: events & (EPOLLOUT | EPOLLHUP | EPOLLERR) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Selector {
+        fn drop(&mut self) {
+            // SAFETY: epfd came from epoll_create1 and is closed only here
+            unsafe {
+                close(self.epfd);
+            }
+        }
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod sys {
+    //! Portable fallback: a bounded busy-poll that reports every registered
+    //! source ready for its full interest set. Spurious readiness is within
+    //! the level-triggered contract (owners retry and hit `WouldBlock`), so
+    //! this is correct, just not efficient.
+
+    use std::io;
+    use std::os::unix::io::RawFd;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    use super::{Event, Interest, Token};
+
+    const POLL_STEP: Duration = Duration::from_millis(5);
+
+    pub(crate) struct Selector {
+        registered: Mutex<Vec<(RawFd, Token, Interest)>>,
+    }
+
+    impl Selector {
+        pub fn new() -> io::Result<Selector> {
+            Ok(Selector { registered: Mutex::new(Vec::new()) })
+        }
+
+        fn table(&self) -> std::sync::MutexGuard<'_, Vec<(RawFd, Token, Interest)>> {
+            match self.registered.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            }
+        }
+
+        pub fn register(&self, fd: RawFd, token: Token, interests: Interest) -> io::Result<()> {
+            self.table().push((fd, token, interests));
+            Ok(())
+        }
+
+        pub fn reregister(&self, fd: RawFd, token: Token, interests: Interest) -> io::Result<()> {
+            let mut t = self.table();
+            t.retain(|(f, _, _)| *f != fd);
+            t.push((fd, token, interests));
+            Ok(())
+        }
+
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            self.table().retain(|(f, _, _)| *f != fd);
+            Ok(())
+        }
+
+        pub fn poll(
+            &self,
+            out: &mut Vec<Event>,
+            capacity: usize,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            std::thread::sleep(timeout.unwrap_or(POLL_STEP).min(POLL_STEP));
+            for (_, token, interests) in self.table().iter().take(capacity) {
+                out.push(Event {
+                    token: *token,
+                    readable: interests.is_readable(),
+                    writable: interests.is_writable(),
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(not(unix))]
+compile_error!("the mio shim supports unix targets only (epoll on Linux, busy-poll elsewhere)");

@@ -1,0 +1,188 @@
+//! Nonblocking TCP wrappers: std types switched to nonblocking mode and
+//! made registrable ([`crate::event::Source`]). Reads and writes return
+//! `io::ErrorKind::WouldBlock` instead of blocking; owners retry when the
+//! poll reports readiness again.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, ToSocketAddrs};
+use std::os::unix::io::{AsRawFd, RawFd};
+
+use crate::event::Source;
+
+/// Nonblocking listener; `accept` never blocks.
+#[derive(Debug)]
+pub struct TcpListener {
+    inner: std::net::TcpListener,
+}
+
+impl TcpListener {
+    /// Bind and switch to nonblocking mode.
+    pub fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<TcpListener> {
+        let inner = std::net::TcpListener::bind(addr)?;
+        inner.set_nonblocking(true)?;
+        Ok(TcpListener { inner })
+    }
+
+    /// Adopt an already-bound std listener (switched to nonblocking here).
+    pub fn from_std(inner: std::net::TcpListener) -> io::Result<TcpListener> {
+        inner.set_nonblocking(true)?;
+        Ok(TcpListener { inner })
+    }
+
+    /// Accept one pending connection (nonblocking: `WouldBlock` when the
+    /// backlog is empty). The accepted stream is nonblocking too.
+    pub fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
+        let (stream, addr) = self.inner.accept()?;
+        stream.set_nonblocking(true)?;
+        Ok((TcpStream { inner: stream }, addr))
+    }
+
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+}
+
+impl Source for TcpListener {
+    fn raw_fd(&self) -> RawFd {
+        self.inner.as_raw_fd()
+    }
+}
+
+/// Nonblocking stream; `Read`/`Write` return `WouldBlock` instead of
+/// blocking.
+#[derive(Debug)]
+pub struct TcpStream {
+    inner: std::net::TcpStream,
+}
+
+impl TcpStream {
+    /// Adopt an already-connected std stream (switched to nonblocking).
+    pub fn from_std(inner: std::net::TcpStream) -> io::Result<TcpStream> {
+        inner.set_nonblocking(true)?;
+        Ok(TcpStream { inner })
+    }
+
+    pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.peer_addr()
+    }
+
+    pub fn shutdown(&self, how: Shutdown) -> io::Result<()> {
+        self.inner.shutdown(how)
+    }
+}
+
+impl Source for TcpStream {
+    fn raw_fd(&self) -> RawFd {
+        self.inner.as_raw_fd()
+    }
+}
+
+impl Read for TcpStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.inner.read(buf)
+    }
+}
+
+impl Write for TcpStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Events, Interest, Poll, Token};
+    use std::time::Duration;
+
+    #[test]
+    fn accept_is_nonblocking() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let err = listener.accept().expect_err("no pending connection");
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+    }
+
+    #[test]
+    fn poll_reports_listener_readable_on_connect() {
+        let mut listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let mut poll = Poll::new().expect("poll");
+        poll.registry().register(&mut listener, Token(7), Interest::READABLE).expect("register");
+
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_millis(50))).expect("idle poll");
+        assert!(events.is_empty(), "no connection yet");
+
+        let client = std::net::TcpStream::connect(addr).expect("connect");
+        poll.poll(&mut events, Some(Duration::from_secs(2))).expect("poll");
+        let ev = events.iter().next().expect("one readiness event");
+        assert_eq!(ev.token(), Token(7));
+        assert!(ev.is_readable());
+        let (stream, _) = listener.accept().expect("accept");
+        drop(client);
+        drop(stream);
+    }
+
+    #[test]
+    fn stream_read_would_block_then_delivers() {
+        let mut listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let mut poll = Poll::new().expect("poll");
+        poll.registry().register(&mut listener, Token(0), Interest::READABLE).expect("register");
+
+        let mut client = std::net::TcpStream::connect(addr).expect("connect");
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_secs(2))).expect("poll accept");
+        let (mut stream, _) = listener.accept().expect("accept");
+        poll.registry().register(&mut stream, Token(1), Interest::READABLE).expect("register conn");
+
+        let mut buf = [0u8; 16];
+        assert_eq!(
+            stream.read(&mut buf).expect_err("nothing sent yet").kind(),
+            io::ErrorKind::WouldBlock
+        );
+
+        std::io::Write::write_all(&mut client, b"ping").expect("send");
+        // level-triggered: poll until the data's arrival is reported
+        let mut got = false;
+        for _ in 0..100 {
+            poll.poll(&mut events, Some(Duration::from_millis(50))).expect("poll data");
+            if events.iter().any(|e| e.token() == Token(1) && e.is_readable()) {
+                got = true;
+                break;
+            }
+        }
+        assert!(got, "data readiness never reported");
+        assert_eq!(stream.read(&mut buf).expect("read"), 4);
+        assert_eq!(&buf[..4], b"ping");
+    }
+
+    #[test]
+    fn reregister_switches_interest_to_writable() {
+        let mut listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let mut poll = Poll::new().expect("poll");
+        poll.registry().register(&mut listener, Token(0), Interest::READABLE).expect("register");
+        let _client = std::net::TcpStream::connect(addr).expect("connect");
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_secs(2))).expect("poll accept");
+        let (mut stream, _) = listener.accept().expect("accept");
+        poll.registry().register(&mut stream, Token(1), Interest::READABLE).expect("register");
+        poll.registry().reregister(&mut stream, Token(1), Interest::WRITABLE).expect("reregister");
+        // a fresh connected socket has send-buffer space: writable fires
+        let mut got = false;
+        for _ in 0..100 {
+            poll.poll(&mut events, Some(Duration::from_millis(50))).expect("poll writable");
+            if events.iter().any(|e| e.token() == Token(1) && e.is_writable()) {
+                got = true;
+                break;
+            }
+        }
+        assert!(got, "writable readiness never reported");
+        poll.registry().deregister(&mut stream).expect("deregister");
+    }
+}
